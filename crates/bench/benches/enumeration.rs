@@ -1,0 +1,74 @@
+//! Criterion benches for strategy enumeration, counting, and sampling
+//! (the machinery behind Table I and the exhaustive search).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+use qce_strategy::enumerate::{count_full, for_each_full, paper, StrategySampler};
+use qce_strategy::MsId;
+
+fn ids(m: usize) -> Vec<MsId> {
+    (0..m).map(MsId).collect()
+}
+
+fn bench_streaming_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/stream_full");
+    for m in [3usize, 4, 5, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let ids = ids(m);
+            b.iter(|| {
+                let mut count = 0u64;
+                for_each_full(&ids, |s| count += s.len() as u64);
+                black_box(count)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/count");
+    for m in [6usize, 10, 16, 20] {
+        group.bench_with_input(BenchmarkId::new("semantic", m), &m, |b, &m| {
+            b.iter(|| black_box(count_full(black_box(m))));
+        });
+        group.bench_with_input(BenchmarkId::new("paper_table1", m), &m, |b, &m| {
+            b.iter(|| black_box(paper::count_table1(black_box(m))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate/sample");
+    for m in [4usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let sampler = StrategySampler::new(&ids(m));
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| black_box(sampler.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_display(c: &mut Criterion) {
+    let text = "c*(a*b-d*e)-f*(g-h)";
+    c.bench_function("expr/parse", |b| {
+        b.iter(|| qce_strategy::Strategy::parse(black_box(text)).unwrap());
+    });
+    let strategy = qce_strategy::Strategy::parse(text).unwrap();
+    c.bench_function("expr/display", |b| {
+        b.iter(|| black_box(&strategy).to_string());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_streaming_enumeration,
+    bench_counting,
+    bench_sampling,
+    bench_parse_display
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benches for the QoS estimators: Algorithm 1 versus the
+//! folding baseline, across strategy sizes and shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+use qce_strategy::enumerate::StrategySampler;
+use qce_strategy::estimate::{estimate, estimate_folding, timelines};
+use qce_strategy::{EnvQos, MsId, Qos, Strategy};
+
+fn env(m: usize) -> EnvQos {
+    (0..m)
+        .map(|i| {
+            Qos::new(
+                50.0 + 10.0 * i as f64,
+                40.0 + 15.0 * i as f64,
+                0.5 + 0.04 * i as f64,
+            )
+            .expect("valid")
+        })
+        .collect()
+}
+
+fn random_strategy(m: usize, seed: u64) -> Strategy {
+    let ids: Vec<MsId> = (0..m).map(MsId).collect();
+    StrategySampler::new(&ids).sample(&mut ChaCha8Rng::seed_from_u64(seed))
+}
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate/algorithm1");
+    for m in [2usize, 4, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let env = env(m);
+            let strategy = random_strategy(m, 7);
+            b.iter(|| estimate(black_box(&strategy), black_box(&env)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_folding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate/folding");
+    for m in [2usize, 4, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let env = env(m);
+            let strategy = random_strategy(m, 7);
+            b.iter(|| estimate_folding(black_box(&strategy), black_box(&env)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_timelines(c: &mut Criterion) {
+    let env = env(8);
+    let strategy = random_strategy(8, 7);
+    c.bench_function("estimate/timelines_8", |b| {
+        b.iter(|| timelines(black_box(&strategy), black_box(&env)).unwrap());
+    });
+}
+
+fn bench_shapes(c: &mut Criterion) {
+    // Fixed shapes at M = 6: fail-over is the cheapest timeline, parallel
+    // the densest.
+    let env = env(6);
+    let mut group = c.benchmark_group("estimate/shape");
+    for (name, text) in [
+        ("failover", "a-b-c-d-e-f"),
+        ("parallel", "a*b*c*d*e*f"),
+        ("mixed", "a*b-c*(d-e)-f"),
+    ] {
+        let strategy = Strategy::parse(text).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| estimate(black_box(&strategy), black_box(&env)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1,
+    bench_folding,
+    bench_timelines,
+    bench_shapes
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the virtual-time executor and Monte-Carlo
+//! pipeline (the simulation substrate of Section V.A).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+use qce_sim::{simulate, Environment, VirtualExecutor};
+use qce_strategy::Strategy;
+
+fn env(m: usize) -> Environment {
+    Environment::from_triples(
+        &(0..m)
+            .map(|i| (50.0, 40.0 + 10.0 * i as f64, 0.6 + 0.03 * i as f64))
+            .collect::<Vec<_>>(),
+    )
+    .expect("valid")
+}
+
+fn bench_single_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/execute");
+    for (name, text) in [
+        ("failover5", "a-b-c-d-e"),
+        ("parallel5", "a*b*c*d*e"),
+        ("mixed5", "c*(a*b-d*e)"),
+    ] {
+        let strategy = Strategy::parse(text).unwrap();
+        let environment = env(5);
+        group.bench_function(name, |b| {
+            let exec = VirtualExecutor::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| {
+                exec.execute(black_box(&strategy), black_box(&environment), &mut rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/monte_carlo_300");
+    group.sample_size(20);
+    for m in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let ids: Vec<qce_strategy::MsId> = (0..m).map(qce_strategy::MsId).collect();
+            let strategy = qce_strategy::enumerate::failover(&ids).unwrap();
+            let environment = env(m);
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            b.iter(|| simulate(&strategy, &environment, 300, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cancellation_ablation(c: &mut Criterion) {
+    let strategy = Strategy::parse("a*b*c*d*e").unwrap();
+    let environment = env(5);
+    let mut group = c.benchmark_group("sim/cost_semantics");
+    group.bench_function("assumption2", |b| {
+        let exec = VirtualExecutor::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| exec.execute(&strategy, &environment, &mut rng).unwrap());
+    });
+    group.bench_function("free_preemption", |b| {
+        let exec = VirtualExecutor::without_cancellation_charges();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| exec.execute(&strategy, &environment, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_execution,
+    bench_monte_carlo_batch,
+    bench_cancellation_ablation
+);
+criterion_main!(benches);

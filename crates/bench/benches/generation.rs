@@ -1,0 +1,124 @@
+//! Criterion benches for strategy generation — the quantitative backbone
+//! of Fig. 7a: exhaustive search explodes with `M`, the approximation
+//! heuristic and the predefined defaults stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+use qce_sim::RandomEnvConfig;
+use qce_strategy::{EnvQos, Generator, MsId, Requirements};
+
+fn random_env(m: usize, seed: u64) -> EnvQos {
+    RandomEnvConfig {
+        microservices: m,
+        avg_cost: 70.0,
+        avg_latency: 70.0,
+        avg_reliability_pct: 70.0,
+        delta: 50.0,
+    }
+    .generate(&mut ChaCha8Rng::seed_from_u64(seed))
+    .mean_qos_table()
+}
+
+fn requirements() -> Requirements {
+    Requirements::new(100.0, 100.0, 0.97).expect("valid")
+}
+
+fn bench_exhaustive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate/exhaustive");
+    group.sample_size(10);
+    for m in [3usize, 4, 5, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let env = random_env(m, 1);
+            let ids: Vec<MsId> = (0..m).map(MsId).collect();
+            let generator = Generator::default();
+            let req = requirements();
+            b.iter(|| generator.exhaustive(black_box(&env), &ids, &req).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_approximation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate/approximation");
+    for m in [4usize, 6, 8, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let env = random_env(m, 1);
+            let ids: Vec<MsId> = (0..m).map(MsId).collect();
+            let generator = Generator::default();
+            let req = requirements();
+            b.iter(|| {
+                generator
+                    .approximation(black_box(&env), &ids, &req)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_defaults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate/defaults");
+    for m in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("failover", m), &m, |b, &m| {
+            let env = random_env(m, 1);
+            let ids: Vec<MsId> = (0..m).map(MsId).collect();
+            let generator = Generator::default();
+            let req = requirements();
+            b.iter(|| {
+                generator
+                    .failover_in_order(black_box(&env), &ids, &req)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", m), &m, |b, &m| {
+            let env = random_env(m, 1);
+            let ids: Vec<MsId> = (0..m).map(MsId).collect();
+            let generator = Generator::default();
+            let req = requirements();
+            b.iter(|| {
+                generator
+                    .speculative_parallel(black_box(&env), &ids, &req)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_subset_ablations(c: &mut Criterion) {
+    // DESIGN.md ablation: searching F'(M) and the early-stopping greedy.
+    let mut group = c.benchmark_group("generate/ablation");
+    group.sample_size(10);
+    let m = 5;
+    let env = random_env(m, 1);
+    let ids: Vec<MsId> = (0..m).map(MsId).collect();
+    let generator = Generator::default();
+    let req = requirements();
+    group.bench_function("exhaustive_subsets_m5", |b| {
+        b.iter(|| {
+            generator
+                .exhaustive_subsets(black_box(&env), &ids, &req)
+                .unwrap()
+        });
+    });
+    group.bench_function("approximation_early_stop_m5", |b| {
+        b.iter(|| {
+            generator
+                .approximation_early_stop(black_box(&env), &ids, &req)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive,
+    bench_approximation,
+    bench_defaults,
+    bench_subset_ablations
+);
+criterion_main!(benches);

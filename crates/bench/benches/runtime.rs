@@ -1,0 +1,115 @@
+//! Criterion benches for the threaded runtime: executor overhead beyond
+//! the microservices' own latencies, collector throughput, and gateway
+//! request overhead.
+//!
+//! Providers are configured with zero latency so the measured time is pure
+//! framework overhead (thread fan-out, channels, bookkeeping).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qce_runtime::{
+    execute_strategy, Collector, ExecutionRecord, Gateway, GatewayConfig, InMemoryMarket,
+    Invocation, MsSpec, Provider, ServiceScript, SimulatedProvider,
+};
+use qce_strategy::{Qos, Requirements, Strategy};
+
+fn providers(n: usize) -> Vec<Arc<dyn Provider>> {
+    (0..n)
+        .map(|i| {
+            SimulatedProvider::builder(format!("d{i}/cap{i}"), format!("cap{i}"))
+                .latency(Duration::ZERO)
+                .reliability(1.0)
+                .cost(1.0)
+                .build() as Arc<dyn Provider>
+        })
+        .collect()
+}
+
+fn bench_executor_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/executor_overhead");
+    group.sample_size(30);
+    let request = Invocation::new(1, "", vec![]);
+    for (name, text) in [
+        ("failover3", "a-b-c"),
+        ("parallel3", "a*b*c"),
+        ("parallel5", "a*b*c*d*e"),
+        ("mixed5", "c*(a*b-d*e)"),
+    ] {
+        let strategy = Strategy::parse(text).unwrap();
+        let provs = providers(strategy.len());
+        group.bench_function(name, |b| {
+            b.iter(|| execute_strategy(black_box(&strategy), &provs, &request, None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_collector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/collector");
+    group.bench_function("record", |b| {
+        let collector = Collector::new(100);
+        let record = ExecutionRecord {
+            success: true,
+            latency: Duration::from_millis(5),
+            cost: 1.0,
+        };
+        b.iter(|| collector.record(black_box("provider-x"), record));
+    });
+    group.bench_function("stats_window100", |b| {
+        let collector = Collector::new(100);
+        for _ in 0..100 {
+            collector.record(
+                "provider-x",
+                ExecutionRecord {
+                    success: true,
+                    latency: Duration::from_millis(5),
+                    cost: 1.0,
+                },
+            );
+        }
+        b.iter(|| black_box(collector.stats("provider-x")));
+    });
+    group.finish();
+}
+
+fn bench_gateway_invoke(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/gateway_invoke");
+    group.sample_size(30);
+    for m in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let market = InMemoryMarket::new();
+            let mut script = ServiceScript::new(
+                "svc",
+                (0..m)
+                    .map(|i| MsSpec {
+                        name: format!("m{i}"),
+                        capability: format!("cap{i}"),
+                        prior: Qos::new(1.0, 1.0, 1.0).expect("valid"),
+                    })
+                    .collect(),
+                Requirements::new(100.0, 100.0, 0.5).expect("valid"),
+            );
+            script.slot_size = u32::MAX; // plan once, then steady state
+            market.publish(script).unwrap();
+            let gateway = Gateway::new(Box::new(market), GatewayConfig::default());
+            for provider in providers(m) {
+                gateway.registry().register(provider);
+            }
+            gateway.invoke("svc").unwrap(); // warm up: fetch + plan
+            b.iter(|| gateway.invoke(black_box("svc")).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_executor_overhead,
+    bench_collector,
+    bench_gateway_invoke
+);
+criterion_main!(benches);

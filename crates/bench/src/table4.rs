@@ -1,0 +1,176 @@
+//! Reproduction of **Table IV**: execution results of the testbed setting —
+//! the default (speculative parallel) strategy versus the generated
+//! strategy, and the generated strategy's estimate versus its measurement.
+//!
+//! Paper values (their Java testbed):
+//!
+//! | QoS         | Default | Estimate (gen.) | Measured (gen.) |
+//! |-------------|---------|-----------------|-----------------|
+//! | cost        | 100     | 70              | 69              |
+//! | latency     | 163     | 81              | 78              |
+//! | reliability | 94      | 97              | 98              |
+//!
+//! Shape to reproduce: the generated fail-over chain slashes cost versus
+//! the parallel default, reliability is ≈ `1 − 0.3³ = 97.3%` either way,
+//! and *measured ≈ estimated* for the generated strategy. (Two testbed
+//! artifacts of the paper do not transfer: their parallel default measured
+//! a *higher* latency than fail-over — Java thread-fanout overhead — and a
+//! cost of 100 rather than 3 × 50; our executor charges all three started
+//! invocations per Assumption 2 and has negligible fan-out overhead, so the
+//! parallel default costs 150 and is latency-cheaper. See EXPERIMENTS.md.)
+
+use std::path::Path;
+
+use crate::report::{fmt_f, Report};
+use crate::testbed::{self, SlotQos};
+
+/// Result of the Table IV run.
+#[derive(Debug, Clone)]
+pub struct Table4Result {
+    /// Measured QoS of the default (speculative parallel) slot.
+    pub default_measured: SlotQos,
+    /// The generator's estimate for the generated strategy (paper units).
+    pub generated_estimate: Option<qce_strategy::Qos>,
+    /// Measured QoS of the generated-strategy slot.
+    pub generated_measured: SlotQos,
+    /// The generated strategy, named.
+    pub generated_strategy: String,
+}
+
+/// Executes the Table IV scenario: one default slot, one generated slot,
+/// `per_slot` invocations each.
+///
+/// # Panics
+///
+/// Panics if the testbed fails to serve requests (cannot happen).
+#[must_use]
+pub fn measure(per_slot: u32, latency_scale: f64) -> Table4Result {
+    let tb = testbed::build(per_slot, latency_scale);
+    let default_measured = testbed::run_slot(&tb, per_slot);
+    let generated_measured = testbed::run_slot(&tb, per_slot);
+    let history = tb.gateway.slot_history(testbed::SERVICE);
+    assert!(history.len() >= 2, "two slots were executed");
+    let generated_estimate = history[1].estimated.map(|q| {
+        // Normalize the estimate's latency back to paper milliseconds.
+        qce_strategy::Qos {
+            latency: q.latency / latency_scale,
+            ..q
+        }
+    });
+    Table4Result {
+        default_measured,
+        generated_estimate,
+        generated_measured,
+        generated_strategy: history[1].strategy_text.clone(),
+    }
+}
+
+/// Runs the Table IV reproduction and writes `table4.tsv`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the report cannot be written.
+pub fn run(reports: &Path, per_slot: u32, latency_scale: f64) -> std::io::Result<()> {
+    let result = measure(per_slot, latency_scale);
+    let mut report = Report::new(
+        format!(
+            "Table IV: testbed execution results ({per_slot} invocations/slot, \
+             latency scale {latency_scale})"
+        ),
+        &[
+            "QoS",
+            "paper default",
+            "measured default",
+            "paper est(gen)",
+            "est(gen)",
+            "paper measured(gen)",
+            "measured(gen)",
+        ],
+    );
+    let est = result.generated_estimate.expect("generated slot estimated");
+    report.row([
+        "cost".to_string(),
+        "100".to_string(),
+        fmt_f(result.default_measured.cost, 1),
+        "70".to_string(),
+        fmt_f(est.cost, 1),
+        "69".to_string(),
+        fmt_f(result.generated_measured.cost, 1),
+    ]);
+    report.row([
+        "latency (ms)".to_string(),
+        "163".to_string(),
+        fmt_f(result.default_measured.latency_ms, 1),
+        "81".to_string(),
+        fmt_f(est.latency, 1),
+        "78".to_string(),
+        fmt_f(result.generated_measured.latency_ms, 1),
+    ]);
+    report.row([
+        "reliability (%)".to_string(),
+        "94".to_string(),
+        fmt_f(result.default_measured.reliability * 100.0, 1),
+        "97".to_string(),
+        fmt_f(est.reliability.value() * 100.0, 1),
+        "98".to_string(),
+        fmt_f(result.generated_measured.reliability * 100.0, 1),
+    ]);
+    report.note(format!("generated strategy: {}", result.generated_strategy));
+    report.note("shape reproduced: generated slashes cost vs default; measured(gen) ~= est(gen)");
+    report.note(
+        "paper's default latency/cost anomalies (163ms, cost 100) stem from their \
+         Java thread fan-out; our executor follows Assumption 2 exactly (cost 150)",
+    );
+    report.emit(reports, "table4")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_cuts_cost_versus_default() {
+        let result = measure(60, 0.02);
+        assert!(
+            result.generated_measured.cost < result.default_measured.cost * 0.7,
+            "generated {} vs default {}",
+            result.generated_measured.cost,
+            result.default_measured.cost
+        );
+    }
+
+    #[test]
+    fn measured_matches_estimate_for_generated_slot() {
+        let result = measure(80, 0.02);
+        let est = result.generated_estimate.unwrap();
+        let rel_err = (result.generated_measured.cost - est.cost).abs() / est.cost;
+        assert!(
+            rel_err < 0.30,
+            "cost: measured {} vs est {}",
+            result.generated_measured.cost,
+            est.cost
+        );
+        assert!(
+            (result.generated_measured.reliability - est.reliability.value()).abs() < 0.1,
+            "reliability: measured {} vs est {}",
+            result.generated_measured.reliability,
+            est.reliability
+        );
+    }
+
+    #[test]
+    fn reliability_is_high_in_both_slots() {
+        let result = measure(60, 0.02);
+        assert!(result.default_measured.reliability > 0.85);
+        assert!(result.generated_measured.reliability > 0.85);
+    }
+
+    #[test]
+    fn run_writes_report() {
+        let dir = std::env::temp_dir().join(format!("qce-table4-{}", std::process::id()));
+        run(&dir, 20, 0.02).unwrap();
+        assert!(dir.join("table4.tsv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,291 @@
+//! The QoS collector of the gateway's feedback loop (paper Section IV.B).
+//!
+//! The collector "keeps updating the QoS characteristics of microservices
+//! until their executions complete": every completed invocation is recorded
+//! against its provider, and the generator reads back windowed averages.
+//! Until a provider has observations, the script's *prior* QoS is used —
+//! that is why the first time slot runs the default strategy.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use qce_strategy::Qos;
+
+/// One completed invocation, as recorded by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionRecord {
+    /// Whether the invocation succeeded.
+    pub success: bool,
+    /// Wall-clock latency of the invocation.
+    pub latency: Duration,
+    /// Cost charged for the invocation.
+    pub cost: f64,
+}
+
+/// Windowed statistics for one provider.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProviderStats {
+    /// Number of observations in the window.
+    pub count: usize,
+    /// Fraction of successful invocations.
+    pub success_rate: f64,
+    /// Mean latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Mean charged cost.
+    pub mean_cost: f64,
+}
+
+impl ProviderStats {
+    /// Converts the stats into the estimator's QoS representation
+    /// (latency in milliseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the recorded values are out of domain, which cannot happen
+    /// for stats produced by a [`Collector`].
+    #[must_use]
+    pub fn as_qos(&self) -> Qos {
+        Qos::new(self.mean_cost, self.mean_latency_ms, self.success_rate)
+            .expect("recorded statistics are in domain")
+    }
+}
+
+/// Thread-safe, windowed QoS statistics keyed by provider id.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use qce_runtime::{Collector, ExecutionRecord};
+///
+/// let collector = Collector::new(100);
+/// collector.record("pi/read-temp-sensor", ExecutionRecord {
+///     success: true,
+///     latency: Duration::from_millis(30),
+///     cost: 50.0,
+/// });
+/// let stats = collector.stats("pi/read-temp-sensor").unwrap();
+/// assert_eq!(stats.count, 1);
+/// assert_eq!(stats.mean_cost, 50.0);
+/// ```
+#[derive(Debug)]
+pub struct Collector {
+    window: usize,
+    records: RwLock<HashMap<String, VecDeque<ExecutionRecord>>>,
+}
+
+impl Collector {
+    /// Creates a collector that keeps the most recent `window` observations
+    /// per provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must hold at least one record");
+        Collector {
+            window,
+            records: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The configured window size.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Records one completed invocation for `provider_id`.
+    pub fn record(&self, provider_id: &str, record: ExecutionRecord) {
+        let mut map = self.records.write();
+        let ring = map.entry(provider_id.to_string()).or_default();
+        if ring.len() == self.window {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Windowed statistics for `provider_id`, or `None` if it has no
+    /// observations yet.
+    #[must_use]
+    pub fn stats(&self, provider_id: &str) -> Option<ProviderStats> {
+        let map = self.records.read();
+        let ring = map.get(provider_id)?;
+        if ring.is_empty() {
+            return None;
+        }
+        let count = ring.len();
+        let successes = ring.iter().filter(|r| r.success).count();
+        let mean_latency_ms = ring
+            .iter()
+            .map(|r| r.latency.as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / count as f64;
+        let mean_cost = ring.iter().map(|r| r.cost).sum::<f64>() / count as f64;
+        Some(ProviderStats {
+            count,
+            success_rate: successes as f64 / count as f64,
+            mean_latency_ms,
+            mean_cost,
+        })
+    }
+
+    /// The QoS the generator should assume for `provider_id`: windowed
+    /// measurements when available, the script's `prior` otherwise.
+    #[must_use]
+    pub fn qos_or_prior(&self, provider_id: &str, prior: &Qos) -> Qos {
+        self.stats(provider_id)
+            .map(|s| s.as_qos())
+            .unwrap_or(*prior)
+    }
+
+    /// Number of observations currently stored for `provider_id`.
+    #[must_use]
+    pub fn observation_count(&self, provider_id: &str) -> usize {
+        self.records
+            .read()
+            .get(provider_id)
+            .map_or(0, VecDeque::len)
+    }
+
+    /// Forgets every observation for `provider_id` (e.g. when a device
+    /// re-registers after leaving the environment).
+    pub fn reset(&self, provider_id: &str) {
+        self.records.write().remove(provider_id);
+    }
+
+    /// Forgets all observations.
+    pub fn reset_all(&self) {
+        self.records.write().clear();
+    }
+
+    /// Ids of all providers with at least one observation.
+    #[must_use]
+    pub fn provider_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .records
+            .read()
+            .iter()
+            .filter(|(_, ring)| !ring.is_empty())
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(success: bool, ms: u64, cost: f64) -> ExecutionRecord {
+        ExecutionRecord {
+            success,
+            latency: Duration::from_millis(ms),
+            cost,
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = Collector::new(0);
+    }
+
+    #[test]
+    fn empty_collector_has_no_stats() {
+        let c = Collector::new(10);
+        assert!(c.stats("x").is_none());
+        assert_eq!(c.observation_count("x"), 0);
+        assert!(c.provider_ids().is_empty());
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let c = Collector::new(10);
+        c.record("p", rec(true, 10, 5.0));
+        c.record("p", rec(false, 30, 7.0));
+        let s = c.stats("p").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.success_rate, 0.5);
+        assert!((s.mean_latency_ms - 20.0).abs() < 1e-9);
+        assert_eq!(s.mean_cost, 6.0);
+        let qos = s.as_qos();
+        assert_eq!(qos.reliability.value(), 0.5);
+    }
+
+    #[test]
+    fn window_evicts_oldest() {
+        let c = Collector::new(3);
+        for i in 0..5 {
+            c.record("p", rec(true, 10 * (i + 1), 1.0));
+        }
+        let s = c.stats("p").unwrap();
+        assert_eq!(s.count, 3);
+        // Only records 3, 4, 5 remain: latencies 30, 40, 50.
+        assert!((s.mean_latency_ms - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_reflects_reliability_shift() {
+        // A reliability drop becomes visible once old successes age out —
+        // the mechanism behind the Fig. 8 adaptation.
+        let c = Collector::new(10);
+        for _ in 0..10 {
+            c.record("p", rec(true, 10, 1.0));
+        }
+        assert_eq!(c.stats("p").unwrap().success_rate, 1.0);
+        for _ in 0..10 {
+            c.record("p", rec(false, 10, 1.0));
+        }
+        assert_eq!(c.stats("p").unwrap().success_rate, 0.0);
+    }
+
+    #[test]
+    fn prior_used_until_observations_arrive() {
+        let c = Collector::new(10);
+        let prior = Qos::new(50.0, 60.0, 0.7).unwrap();
+        assert_eq!(c.qos_or_prior("p", &prior), prior);
+        c.record("p", rec(true, 10, 5.0));
+        let qos = c.qos_or_prior("p", &prior);
+        assert_eq!(qos.cost, 5.0);
+        assert_eq!(qos.reliability.value(), 1.0);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let c = Collector::new(10);
+        c.record("p", rec(true, 10, 5.0));
+        c.record("q", rec(true, 10, 5.0));
+        assert_eq!(c.provider_ids(), vec!["p".to_string(), "q".to_string()]);
+        c.reset("p");
+        assert!(c.stats("p").is_none());
+        assert!(c.stats("q").is_some());
+        c.reset_all();
+        assert!(c.provider_ids().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        use std::sync::Arc;
+        let c = Arc::new(Collector::new(1000));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        c.record("shared", rec((t + i) % 2 == 0, 5, 1.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.observation_count("shared"), 800);
+        let s = c.stats("shared").unwrap();
+        assert_eq!(s.success_rate, 0.5);
+    }
+}

@@ -1,0 +1,630 @@
+//! Device-side microservice providers.
+//!
+//! A [`Provider`] is the gateway's handle to one microservice hosted on one
+//! edge device. [`SimulatedProvider`] emulates the paper's testbed
+//! microservices (a DS1820 sensor read, a CPU-temperature estimator, a web
+//! lookup) with configurable latency, reliability, and cost — the same code
+//! path as a real device (a blocking invocation on the executor's thread),
+//! with `thread::sleep` standing in for sensor and network I/O.
+//! [`FnProvider`] wraps an arbitrary closure for microservices that do real
+//! computation.
+
+use std::fmt;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::message::{Invocation, InvokeError};
+
+/// A microservice endpoint that the strategy executor can invoke.
+///
+/// Implementations must be thread-safe: the speculative-parallel pattern
+/// invokes different providers from different threads simultaneously, and
+/// the same provider may serve concurrent requests.
+pub trait Provider: Send + Sync {
+    /// Globally unique provider id, conventionally `"<device>/<capability>"`.
+    fn id(&self) -> &str;
+
+    /// The capability this provider implements (e.g. `"read-temp-sensor"`).
+    fn capability(&self) -> &str;
+
+    /// Cost charged per started invocation (Assumption 2).
+    fn cost(&self) -> f64;
+
+    /// Synchronously executes the microservice.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvokeError`] when the execution fails or the device is
+    /// unreachable.
+    fn invoke(&self, request: &Invocation) -> Result<Vec<u8>, InvokeError>;
+}
+
+impl fmt::Debug for dyn Provider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Provider")
+            .field("id", &self.id())
+            .field("capability", &self.capability())
+            .field("cost", &self.cost())
+            .finish()
+    }
+}
+
+/// Mutable runtime knobs of a [`SimulatedProvider`], shared so tests and
+/// dynamic scenarios (Fig. 8) can change them mid-run.
+#[derive(Debug)]
+struct SimState {
+    reliability: f64,
+    latency: Duration,
+    jitter: Duration,
+    online: bool,
+    rng: ChaCha8Rng,
+    invocations: u64,
+}
+
+/// A provider that emulates a device-hosted microservice: sleeps for the
+/// configured latency (± uniform jitter), then succeeds with the configured
+/// reliability.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use qce_runtime::{Invocation, Provider, SimulatedProvider};
+///
+/// let p = SimulatedProvider::builder("pi/read-temp-sensor", "read-temp-sensor")
+///     .latency(Duration::from_millis(2))
+///     .reliability(1.0)
+///     .cost(50.0)
+///     .seed(7)
+///     .build();
+/// let out = p.invoke(&Invocation::new(1, "read-temp-sensor", vec![]));
+/// assert!(out.is_ok());
+/// ```
+pub struct SimulatedProvider {
+    id: String,
+    capability: String,
+    cost: f64,
+    state: Mutex<SimState>,
+    /// Optional payload returned on success.
+    response: Vec<u8>,
+    /// Maximum concurrent invocations (`None` = unlimited).
+    capacity: Option<usize>,
+    /// Currently running invocations.
+    active: std::sync::atomic::AtomicUsize,
+    /// Invocations rejected for being over capacity.
+    rejected: std::sync::atomic::AtomicU64,
+}
+
+impl fmt::Debug for SimulatedProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimulatedProvider")
+            .field("id", &self.id)
+            .field("capability", &self.capability)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulatedProvider {
+    /// Starts building a simulated provider with the given id and
+    /// capability.
+    #[must_use]
+    pub fn builder(
+        id: impl Into<String>,
+        capability: impl Into<String>,
+    ) -> SimulatedProviderBuilder {
+        SimulatedProviderBuilder {
+            id: id.into(),
+            capability: capability.into(),
+            cost: 1.0,
+            reliability: 1.0,
+            latency: Duration::from_millis(1),
+            jitter: Duration::ZERO,
+            seed: 0,
+            response: Vec::new(),
+            capacity: None,
+        }
+    }
+
+    /// Changes the success probability (clamped into `[0, 1]`) — the knob
+    /// the Fig. 8 adaptation experiment turns.
+    pub fn set_reliability(&self, reliability: f64) {
+        self.state.lock().reliability = reliability.clamp(0.0, 1.0);
+    }
+
+    /// Takes the device on- or off-line. Offline providers fail instantly
+    /// with [`InvokeError::DeviceUnavailable`].
+    pub fn set_online(&self, online: bool) {
+        self.state.lock().online = online;
+    }
+
+    /// Changes the emulated execution latency.
+    pub fn set_latency(&self, latency: Duration) {
+        self.state.lock().latency = latency;
+    }
+
+    /// Number of invocations served so far (successful or not).
+    #[must_use]
+    pub fn invocations(&self) -> u64 {
+        self.state.lock().invocations
+    }
+
+    /// Number of invocations rejected for exceeding the capacity limit.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Invocations currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.active.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// Builder for [`SimulatedProvider`].
+#[derive(Debug)]
+pub struct SimulatedProviderBuilder {
+    id: String,
+    capability: String,
+    cost: f64,
+    reliability: f64,
+    latency: Duration,
+    jitter: Duration,
+    seed: u64,
+    response: Vec<u8>,
+    capacity: Option<usize>,
+}
+
+impl SimulatedProviderBuilder {
+    /// Sets the per-invocation cost (default 1.0).
+    #[must_use]
+    pub fn cost(mut self, cost: f64) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the success probability (default 1.0).
+    #[must_use]
+    pub fn reliability(mut self, reliability: f64) -> Self {
+        self.reliability = reliability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the emulated execution latency (default 1 ms).
+    #[must_use]
+    pub fn latency(mut self, latency: Duration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Adds symmetric uniform jitter: each invocation sleeps
+    /// `latency ± jitter/2` (default none).
+    #[must_use]
+    pub fn jitter(mut self, jitter: Duration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Seeds the provider's private RNG for reproducible behaviour
+    /// (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the payload returned on success (default empty).
+    #[must_use]
+    pub fn response(mut self, payload: Vec<u8>) -> Self {
+        self.response = payload;
+        self
+    }
+
+    /// Limits the number of concurrent invocations the device serves;
+    /// invocations beyond the limit fail immediately with
+    /// [`InvokeError::Overloaded`]. Models the scarce, shared resources of
+    /// the paper's Section VII scalability discussion (default: unlimited).
+    #[must_use]
+    pub fn capacity(mut self, limit: usize) -> Self {
+        self.capacity = Some(limit);
+        self
+    }
+
+    /// Builds the provider, wrapped in an [`Arc`] ready for registration.
+    #[must_use]
+    pub fn build(self) -> Arc<SimulatedProvider> {
+        Arc::new(SimulatedProvider {
+            id: self.id,
+            capability: self.capability,
+            cost: self.cost,
+            state: Mutex::new(SimState {
+                reliability: self.reliability,
+                latency: self.latency,
+                jitter: self.jitter,
+                online: true,
+                rng: ChaCha8Rng::seed_from_u64(self.seed),
+                invocations: 0,
+            }),
+            response: self.response,
+            capacity: self.capacity,
+            active: std::sync::atomic::AtomicUsize::new(0),
+            rejected: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+}
+
+impl Provider for SimulatedProvider {
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn capability(&self) -> &str {
+        &self.capability
+    }
+
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    fn invoke(&self, _request: &Invocation) -> Result<Vec<u8>, InvokeError> {
+        use std::sync::atomic::Ordering;
+        // Admission control: reject immediately when at capacity.
+        let _slot = if let Some(limit) = self.capacity {
+            let mut current = self.active.load(Ordering::Acquire);
+            loop {
+                if current >= limit {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(InvokeError::Overloaded);
+                }
+                match self.active.compare_exchange_weak(
+                    current,
+                    current + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+            Some(SlotGuard {
+                active: &self.active,
+            })
+        } else {
+            None
+        };
+        // Sample behaviour under the lock, then sleep outside it so
+        // concurrent invocations don't serialize.
+        let (sleep_for, success) = {
+            let mut state = self.state.lock();
+            state.invocations += 1;
+            if !state.online {
+                return Err(InvokeError::DeviceUnavailable);
+            }
+            let jitter_ns = state.jitter.as_nanos() as u64;
+            let offset = if jitter_ns == 0 {
+                0i64
+            } else {
+                state
+                    .rng
+                    .gen_range(-(jitter_ns as i64) / 2..=(jitter_ns as i64) / 2)
+            };
+            let base = state.latency.as_nanos() as i64;
+            let sleep_ns = (base + offset).max(0) as u64;
+            let reliability = state.reliability;
+            let success = state.rng.gen_bool(reliability);
+            (Duration::from_nanos(sleep_ns), success)
+        };
+        thread::sleep(sleep_for);
+        if success {
+            Ok(self.response.clone())
+        } else {
+            Err(InvokeError::ExecutionFailed {
+                reason: "simulated microservice failure".to_string(),
+            })
+        }
+    }
+}
+
+/// A provider that runs an arbitrary closure — for microservices with real
+/// logic (e.g. computing a temperature estimate from CPU readings).
+///
+/// # Examples
+///
+/// ```
+/// use qce_runtime::{FnProvider, Invocation, Provider};
+///
+/// let p = FnProvider::new("m92p/est-temp", "est-temp", 50.0, |req| {
+///     Ok(req.payload.iter().rev().copied().collect())
+/// });
+/// let out = p.invoke(&Invocation::new(1, "est-temp", vec![1, 2, 3])).unwrap();
+/// assert_eq!(out, vec![3, 2, 1]);
+/// ```
+pub struct FnProvider<F> {
+    id: String,
+    capability: String,
+    cost: f64,
+    body: F,
+}
+
+impl<F> fmt::Debug for FnProvider<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnProvider")
+            .field("id", &self.id)
+            .field("capability", &self.capability)
+            .field("cost", &self.cost)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F> FnProvider<F>
+where
+    F: Fn(&Invocation) -> Result<Vec<u8>, InvokeError> + Send + Sync,
+{
+    /// Creates a closure-backed provider.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        capability: impl Into<String>,
+        cost: f64,
+        body: F,
+    ) -> Arc<Self> {
+        Arc::new(FnProvider {
+            id: id.into(),
+            capability: capability.into(),
+            cost,
+            body,
+        })
+    }
+}
+
+impl<F> Provider for FnProvider<F>
+where
+    F: Fn(&Invocation) -> Result<Vec<u8>, InvokeError> + Send + Sync,
+{
+    fn id(&self) -> &str {
+        &self.id
+    }
+
+    fn capability(&self) -> &str {
+        &self.capability
+    }
+
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    fn invoke(&self, request: &Invocation) -> Result<Vec<u8>, InvokeError> {
+        (self.body)(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_provider_succeeds_and_fails_by_reliability() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::ZERO)
+            .reliability(0.5)
+            .seed(3)
+            .build();
+        let req = Invocation::new(0, "cap", vec![]);
+        let n = 2000;
+        let ok = (0..n).filter(|_| p.invoke(&req).is_ok()).count();
+        let rate = ok as f64 / f64::from(n);
+        assert!((rate - 0.5).abs() < 0.05, "rate {rate}");
+        assert_eq!(p.invocations(), 2000);
+    }
+
+    #[test]
+    fn simulated_provider_sleeps_for_latency() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_millis(20))
+            .build();
+        let req = Invocation::new(0, "cap", vec![]);
+        let t0 = std::time::Instant::now();
+        p.invoke(&req).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn offline_provider_fails_fast() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_secs(10))
+            .build();
+        p.set_online(false);
+        let t0 = std::time::Instant::now();
+        let err = p.invoke(&Invocation::new(0, "cap", vec![])).unwrap_err();
+        assert_eq!(err, InvokeError::DeviceUnavailable);
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        p.set_online(true);
+        assert!(p.invoke(&Invocation::new(0, "cap", vec![])).is_ok());
+    }
+
+    #[test]
+    fn reliability_can_change_at_runtime() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::ZERO)
+            .reliability(1.0)
+            .build();
+        let req = Invocation::new(0, "cap", vec![]);
+        assert!(p.invoke(&req).is_ok());
+        p.set_reliability(0.0);
+        assert!(p.invoke(&req).is_err());
+    }
+
+    #[test]
+    fn latency_can_change_at_runtime() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::ZERO)
+            .build();
+        p.set_latency(Duration::from_millis(15));
+        let t0 = std::time::Instant::now();
+        p.invoke(&Invocation::new(0, "cap", vec![])).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(13));
+    }
+
+    #[test]
+    fn jitter_varies_latency() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_millis(4))
+            .jitter(Duration::from_millis(4))
+            .seed(5)
+            .build();
+        let req = Invocation::new(0, "cap", vec![]);
+        let mut samples = Vec::new();
+        for _ in 0..10 {
+            let t0 = std::time::Instant::now();
+            let _ = p.invoke(&req);
+            samples.push(t0.elapsed());
+        }
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        assert!(*max > *min, "jitter should vary sleep times");
+    }
+
+    #[test]
+    fn builder_sets_response_and_metadata() {
+        let p = SimulatedProvider::builder("dev/x", "x")
+            .cost(42.0)
+            .response(vec![7])
+            .latency(Duration::ZERO)
+            .build();
+        assert_eq!(p.id(), "dev/x");
+        assert_eq!(p.capability(), "x");
+        assert_eq!(p.cost(), 42.0);
+        assert_eq!(p.invoke(&Invocation::new(0, "x", vec![])).unwrap(), vec![7]);
+    }
+
+    #[test]
+    fn fn_provider_runs_closure() {
+        let p = FnProvider::new("d/sum", "sum", 1.0, |req| {
+            Ok(vec![req.payload.iter().sum::<u8>()])
+        });
+        let out = p.invoke(&Invocation::new(0, "sum", vec![1, 2, 3])).unwrap();
+        assert_eq!(out, vec![6]);
+        assert_eq!(p.capability(), "sum");
+    }
+
+    #[test]
+    fn provider_trait_object_debug() {
+        let p = SimulatedProvider::builder("d/cap", "cap").build();
+        let obj: Arc<dyn Provider> = p;
+        let text = format!("{obj:?}");
+        assert!(text.contains("d/cap"));
+    }
+
+    #[test]
+    fn providers_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimulatedProvider>();
+        assert_send_sync::<Arc<dyn Provider>>();
+    }
+}
+
+/// RAII guard releasing a capacity slot when the invocation completes.
+struct SlotGuard<'a> {
+    active: &'a std::sync::atomic::AtomicUsize,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.active
+            .fetch_sub(1, std::sync::atomic::Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod capacity_tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_millis(10))
+            .build();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    assert!(p.invoke(&Invocation::new(0, "cap", vec![])).is_ok());
+                });
+            }
+        });
+        assert_eq!(p.rejected(), 0);
+    }
+
+    #[test]
+    fn capacity_one_rejects_concurrent_invocations() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_millis(40))
+            .capacity(1)
+            .build();
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let p = Arc::clone(&p);
+                    scope.spawn(move || p.invoke(&Invocation::new(0, "cap", vec![])).is_ok())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let ok = results.iter().filter(|&&r| r).count();
+        assert_eq!(ok, 1, "exactly one invocation should win the single slot");
+        assert_eq!(p.rejected(), 3);
+        assert_eq!(p.in_flight(), 0, "slot released after completion");
+    }
+
+    #[test]
+    fn capacity_slot_released_after_each_invocation() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::ZERO)
+            .capacity(1)
+            .build();
+        let req = Invocation::new(0, "cap", vec![]);
+        for _ in 0..5 {
+            assert!(p.invoke(&req).is_ok(), "sequential invocations all fit");
+        }
+        assert_eq!(p.rejected(), 0);
+    }
+
+    #[test]
+    fn overloaded_failure_is_instant_and_distinct() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_millis(50))
+            .capacity(1)
+            .build();
+        let p2 = Arc::clone(&p);
+        let handle = std::thread::spawn(move || p2.invoke(&Invocation::new(0, "cap", vec![])));
+        std::thread::sleep(Duration::from_millis(10));
+        let t0 = std::time::Instant::now();
+        let err = p.invoke(&Invocation::new(1, "cap", vec![])).unwrap_err();
+        assert_eq!(err, InvokeError::Overloaded);
+        assert!(
+            t0.elapsed() < Duration::from_millis(20),
+            "rejection is instant"
+        );
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn slot_released_even_when_offline() {
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::ZERO)
+            .capacity(1)
+            .build();
+        p.set_online(false);
+        let req = Invocation::new(0, "cap", vec![]);
+        assert_eq!(p.invoke(&req).unwrap_err(), InvokeError::DeviceUnavailable);
+        assert_eq!(p.in_flight(), 0, "early return must release the slot");
+        p.set_online(true);
+        assert!(p.invoke(&req).is_ok());
+    }
+}

@@ -1,0 +1,446 @@
+//! The gateway's strategy executor: real threads, real invocations.
+//!
+//! Executes an execution strategy against resolved providers with the
+//! paper's semantics:
+//!
+//! * `-` invokes operands in order, falling through on failure;
+//! * `*` invokes operands on parallel threads; the first success wins;
+//! * a success anywhere **short-circuits** the strategy: invocations that
+//!   have not started yet are abandoned, invocations already in flight
+//!   cannot be recalled (Assumption 2: their full cost is charged and the
+//!   collector still records their eventual completion).
+//!
+//! The executor joins every spawned thread before returning, so cost
+//! accounting and collector state are complete and race-free when the
+//! caller sees the outcome; the reported `latency` is the instant the
+//! winning invocation completed, not the join time.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use qce_strategy::{Node, Strategy};
+
+use crate::collector::{Collector, ExecutionRecord};
+use crate::device::Provider;
+use crate::message::{Invocation, InvocationOutcome, RuntimeError};
+
+/// The observable result of executing a strategy for one service request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceOutcome {
+    /// Whether any microservice succeeded.
+    pub success: bool,
+    /// Payload of the earliest successful invocation.
+    pub payload: Option<Vec<u8>>,
+    /// Time from request start to the earliest success (or, on total
+    /// failure, to the completion of the last invocation).
+    pub latency: Duration,
+    /// Total cost charged across all started invocations (Assumption 2).
+    pub cost: f64,
+    /// Every invocation that started, in completion order.
+    pub invocations: Vec<InvocationOutcome>,
+}
+
+/// Executes `strategy` over `providers` (indexed by
+/// [`MsId`](qce_strategy::MsId)), recording completed invocations into
+/// `collector` when provided.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::NoProvider`] if the strategy references an index
+/// with no resolved provider.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use qce_runtime::{execute_strategy, Invocation, Provider, SimulatedProvider};
+/// use qce_strategy::Strategy;
+///
+/// let fast = SimulatedProvider::builder("d1/fast", "fast")
+///     .latency(Duration::from_millis(2))
+///     .cost(10.0)
+///     .build();
+/// let slow = SimulatedProvider::builder("d2/slow", "slow")
+///     .latency(Duration::from_millis(50))
+///     .cost(20.0)
+///     .build();
+/// let providers: Vec<Arc<dyn Provider>> = vec![fast, slow];
+///
+/// let outcome = execute_strategy(
+///     &Strategy::parse("a*b")?,
+///     &providers,
+///     &Invocation::new(1, "", vec![]),
+///     None,
+/// )?;
+/// assert!(outcome.success);
+/// assert_eq!(outcome.cost, 30.0); // both started: both charged
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn execute_strategy(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+    request: &Invocation,
+    collector: Option<&Collector>,
+) -> Result<ServiceOutcome, RuntimeError> {
+    for id in strategy.leaves() {
+        if providers.get(id.index()).is_none() {
+            return Err(RuntimeError::NoProvider {
+                capability: format!("strategy operand {id}"),
+            });
+        }
+    }
+
+    let ctx = Ctx {
+        providers,
+        request,
+        collector,
+        cancel: AtomicBool::new(false),
+        started_at: Instant::now(),
+        first_success: Mutex::new(None),
+        invocations: Mutex::new(Vec::new()),
+    };
+
+    run_node(strategy.node(), &ctx);
+
+    let first_success = ctx.first_success.into_inner();
+    let invocations = ctx.invocations.into_inner();
+    let cost = invocations.iter().map(|i| i.cost).sum();
+    let (success, payload, latency) = match first_success {
+        Some(win) => (true, Some(win.payload), win.at),
+        None => (false, None, ctx.started_at.elapsed()),
+    };
+    Ok(ServiceOutcome {
+        success,
+        payload,
+        latency,
+        cost,
+        invocations,
+    })
+}
+
+struct Win {
+    at: Duration,
+    payload: Vec<u8>,
+}
+
+struct Ctx<'a> {
+    providers: &'a [Arc<dyn Provider>],
+    request: &'a Invocation,
+    collector: Option<&'a Collector>,
+    cancel: AtomicBool,
+    started_at: Instant,
+    first_success: Mutex<Option<Win>>,
+    invocations: Mutex<Vec<InvocationOutcome>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeStatus {
+    /// At least one microservice in the subtree succeeded.
+    Succeeded,
+    /// Every started microservice failed and nothing remains to try.
+    Failed,
+    /// The subtree stopped because the strategy was already won elsewhere.
+    Cancelled,
+}
+
+fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
+    match node {
+        Node::Leaf(id) => {
+            // The short-circuit: once a success is recorded anywhere, new
+            // invocations never start (and are never charged).
+            if ctx.cancel.load(Ordering::SeqCst) {
+                return NodeStatus::Cancelled;
+            }
+            let provider = &ctx.providers[id.index()];
+            let t0 = Instant::now();
+            let result = provider.invoke(ctx.request);
+            let latency = t0.elapsed();
+            let success = result.is_ok();
+            let outcome = InvocationOutcome {
+                provider_id: provider.id().to_string(),
+                capability: provider.capability().to_string(),
+                payload: result.as_ref().ok().cloned(),
+                latency,
+                cost: provider.cost(),
+                success,
+            };
+            if let Some(collector) = ctx.collector {
+                collector.record(
+                    provider.id(),
+                    ExecutionRecord {
+                        success,
+                        latency,
+                        cost: provider.cost(),
+                    },
+                );
+            }
+            ctx.invocations.lock().push(outcome);
+            match result {
+                Ok(payload) => {
+                    let at = ctx.started_at.elapsed();
+                    let mut win = ctx.first_success.lock();
+                    let earlier = win.as_ref().is_none_or(|w| at < w.at);
+                    if earlier {
+                        *win = Some(Win { at, payload });
+                    }
+                    drop(win);
+                    ctx.cancel.store(true, Ordering::SeqCst);
+                    NodeStatus::Succeeded
+                }
+                Err(_) => NodeStatus::Failed,
+            }
+        }
+        Node::Seq(children) => {
+            for child in children {
+                match run_node(child, ctx) {
+                    NodeStatus::Succeeded => return NodeStatus::Succeeded,
+                    NodeStatus::Cancelled => return NodeStatus::Cancelled,
+                    NodeStatus::Failed => {}
+                }
+            }
+            NodeStatus::Failed
+        }
+        Node::Par(children) => {
+            let statuses: Vec<NodeStatus> = std::thread::scope(|scope| {
+                let handles: Vec<_> = children
+                    .iter()
+                    .skip(1)
+                    .map(|child| scope.spawn(move || run_node(child, ctx)))
+                    .collect();
+                // Run the first child on the current thread: a Par of n
+                // children needs only n − 1 extra threads.
+                let mut statuses = vec![run_node(&children[0], ctx)];
+                statuses.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().unwrap_or(NodeStatus::Failed)),
+                );
+                statuses
+            });
+            if statuses.contains(&NodeStatus::Succeeded) {
+                NodeStatus::Succeeded
+            } else if statuses.contains(&NodeStatus::Cancelled) {
+                NodeStatus::Cancelled
+            } else {
+                NodeStatus::Failed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimulatedProvider;
+    use qce_strategy::Strategy;
+
+    fn provider(id: &str, latency_ms: u64, reliability: f64, cost: f64) -> Arc<dyn Provider> {
+        SimulatedProvider::builder(id, id)
+            .latency(Duration::from_millis(latency_ms))
+            .reliability(reliability)
+            .cost(cost)
+            .seed(1)
+            .build()
+    }
+
+    fn req() -> Invocation {
+        Invocation::new(1, "", vec![])
+    }
+
+    #[test]
+    fn single_provider_success() {
+        let providers = vec![provider("a", 5, 1.0, 10.0)];
+        let out =
+            execute_strategy(&Strategy::parse("a").unwrap(), &providers, &req(), None).unwrap();
+        assert!(out.success);
+        assert_eq!(out.cost, 10.0);
+        assert_eq!(out.invocations.len(), 1);
+        assert!(out.latency >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn missing_provider_is_an_error() {
+        let providers = vec![provider("a", 1, 1.0, 1.0)];
+        assert!(matches!(
+            execute_strategy(&Strategy::parse("a*b").unwrap(), &providers, &req(), None),
+            Err(RuntimeError::NoProvider { .. })
+        ));
+    }
+
+    #[test]
+    fn failover_skips_backup_on_success() {
+        let providers = vec![provider("a", 2, 1.0, 10.0), provider("b", 2, 1.0, 99.0)];
+        let out =
+            execute_strategy(&Strategy::parse("a-b").unwrap(), &providers, &req(), None).unwrap();
+        assert!(out.success);
+        assert_eq!(out.cost, 10.0, "backup never invoked");
+        assert_eq!(out.invocations.len(), 1);
+    }
+
+    #[test]
+    fn failover_uses_backup_on_failure() {
+        let providers = vec![provider("a", 2, 0.0, 10.0), provider("b", 2, 1.0, 20.0)];
+        let out =
+            execute_strategy(&Strategy::parse("a-b").unwrap(), &providers, &req(), None).unwrap();
+        assert!(out.success);
+        assert_eq!(out.cost, 30.0);
+        assert_eq!(out.invocations.len(), 2);
+        assert!(!out.invocations[0].success);
+        assert!(out.invocations[1].success);
+    }
+
+    #[test]
+    fn total_failure_reports_failure() {
+        let providers = vec![provider("a", 1, 0.0, 10.0), provider("b", 1, 0.0, 20.0)];
+        let out =
+            execute_strategy(&Strategy::parse("a*b").unwrap(), &providers, &req(), None).unwrap();
+        assert!(!out.success);
+        assert!(out.payload.is_none());
+        assert_eq!(out.cost, 30.0);
+    }
+
+    #[test]
+    fn parallel_returns_fastest_success() {
+        let providers = vec![
+            provider("slow", 60, 1.0, 10.0),
+            provider("fast", 2, 1.0, 20.0),
+        ];
+        let out =
+            execute_strategy(&Strategy::parse("a*b").unwrap(), &providers, &req(), None).unwrap();
+        assert!(out.success);
+        // The fast provider's completion defines the latency even though we
+        // join the slow one before returning.
+        assert!(
+            out.latency < Duration::from_millis(40),
+            "latency {:?}",
+            out.latency
+        );
+        assert_eq!(out.cost, 30.0, "both started — both charged");
+        assert_eq!(
+            out.invocations.len(),
+            2,
+            "loser still completes and records"
+        );
+    }
+
+    #[test]
+    fn short_circuit_prevents_new_invocations() {
+        // (a-b)*c: a fails slowly (30 ms), c succeeds fast (2 ms). By the
+        // time a fails, the strategy is won: b must never start.
+        let providers = vec![
+            provider("a", 30, 0.0, 10.0),
+            provider("b", 1, 1.0, 99.0),
+            provider("c", 2, 1.0, 20.0),
+        ];
+        let out = execute_strategy(
+            &Strategy::parse("(a-b)*c").unwrap(),
+            &providers,
+            &req(),
+            None,
+        )
+        .unwrap();
+        assert!(out.success);
+        assert_eq!(out.cost, 30.0, "b was cancelled before starting");
+        assert_eq!(out.invocations.len(), 2);
+        assert!(out.invocations.iter().all(|i| i.provider_id != "b"));
+    }
+
+    #[test]
+    fn sequential_fallback_runs_when_parallel_loser_needed() {
+        // (a-b)*c: c fails fast, a fails fast → b runs and succeeds.
+        let providers = vec![
+            provider("a", 2, 0.0, 10.0),
+            provider("b", 2, 1.0, 15.0),
+            provider("c", 2, 0.0, 20.0),
+        ];
+        let out = execute_strategy(
+            &Strategy::parse("(a-b)*c").unwrap(),
+            &providers,
+            &req(),
+            None,
+        )
+        .unwrap();
+        assert!(out.success);
+        assert_eq!(out.cost, 45.0);
+        assert_eq!(out.invocations.len(), 3);
+    }
+
+    #[test]
+    fn payload_comes_from_the_winner() {
+        let fast = SimulatedProvider::builder("fast", "fast")
+            .latency(Duration::from_millis(2))
+            .response(vec![1])
+            .build();
+        let slow = SimulatedProvider::builder("slow", "slow")
+            .latency(Duration::from_millis(40))
+            .response(vec![2])
+            .build();
+        let providers: Vec<Arc<dyn Provider>> = vec![slow, fast];
+        // a = slow, b = fast; parallel → fast's payload wins.
+        let out =
+            execute_strategy(&Strategy::parse("a*b").unwrap(), &providers, &req(), None).unwrap();
+        assert_eq!(out.payload, Some(vec![1]));
+    }
+
+    #[test]
+    fn collector_records_every_completed_invocation() {
+        let collector = Collector::new(100);
+        let providers = vec![provider("a", 1, 0.0, 10.0), provider("b", 1, 1.0, 20.0)];
+        let out = execute_strategy(
+            &Strategy::parse("a-b").unwrap(),
+            &providers,
+            &req(),
+            Some(&collector),
+        )
+        .unwrap();
+        assert!(out.success);
+        assert_eq!(collector.observation_count("a"), 1);
+        assert_eq!(collector.observation_count("b"), 1);
+        assert_eq!(collector.stats("a").unwrap().success_rate, 0.0);
+        assert_eq!(collector.stats("b").unwrap().success_rate, 1.0);
+    }
+
+    #[test]
+    fn five_way_parallel_completes() {
+        let providers: Vec<Arc<dyn Provider>> = (0..5)
+            .map(|i| provider(&format!("p{i}"), 2 + i, 0.5, 1.0))
+            .collect();
+        let out = execute_strategy(
+            &Strategy::parse("a*b*c*d*e").unwrap(),
+            &providers,
+            &req(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(out.invocations.len(), 5, "all started simultaneously");
+    }
+
+    #[test]
+    fn nested_strategy_executes() {
+        let providers: Vec<Arc<dyn Provider>> = vec![
+            provider("a", 2, 0.0, 1.0),
+            provider("b", 2, 0.0, 1.0),
+            provider("c", 2, 1.0, 1.0),
+            provider("d", 2, 0.0, 1.0),
+            provider("e", 2, 0.0, 1.0),
+        ];
+        let out = execute_strategy(
+            &Strategy::parse("c*(a*b-d*e)").unwrap(),
+            &providers,
+            &req(),
+            None,
+        )
+        .unwrap();
+        assert!(out.success);
+    }
+
+    #[test]
+    fn outcome_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ServiceOutcome>();
+    }
+}

@@ -1,0 +1,591 @@
+//! The edge gateway: the centrepiece of the paper's system design
+//! (Section IV, Fig. 4).
+//!
+//! The gateway accepts client service requests by `ServiceID`, fetches and
+//! caches the service script from the market, resolves each equivalent
+//! microservice to its best provider (Assumption 1), and runs the
+//! **feedback loop**: the *collector* records per-provider QoS, the
+//! *generator* re-synthesizes the execution strategy at every time-slot
+//! boundary, and the *strategy executor* carries it out on real threads.
+//! The first slot runs the default strategy to gather observations; each
+//! later slot runs the strategy generated from the previous slot's data,
+//! so the system self-adapts to dissimilar and drifting environments.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use qce_strategy::{Attribute, Qos, Strategy};
+
+use crate::collector::Collector;
+use crate::device::Provider;
+use crate::executor::execute_strategy;
+use crate::generator::{plan_slot, SlotPlan, StrategyOrigin};
+use crate::market::Market;
+use crate::message::{Invocation, RuntimeError};
+use crate::quorum::execute_with_quorum;
+use crate::registry::Registry;
+use crate::script::ServiceScript;
+
+/// Gateway configuration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatewayConfig {
+    /// Sliding-window size of the QoS collector (observations per
+    /// provider).
+    pub collector_window: usize,
+    /// Exhaustive/approximation threshold `θ` for the generator.
+    pub generator_threshold: usize,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            collector_window: 100,
+            generator_threshold: qce_strategy::generate::DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+/// The gateway's warning that a generated strategy cannot meet the QoS
+/// requirements (Section IV.C: "the gateway reports the estimated
+/// unsatisfied QoS to the client, which then determines whether the service
+/// request with this expected QoS should be continued").
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosAdvisory {
+    /// The estimated QoS of the best strategy the generator could find.
+    pub estimated: Qos,
+    /// Which attributes miss their requirements.
+    pub violations: Vec<Attribute>,
+}
+
+/// A completed service request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceResponse {
+    /// Correlates with the client request.
+    pub request_id: u64,
+    /// Whether any equivalent microservice succeeded.
+    pub success: bool,
+    /// Payload of the winning microservice, if any.
+    pub payload: Option<Vec<u8>>,
+    /// Wall-clock latency to the first success (or total failure).
+    pub latency: Duration,
+    /// Total cost charged (Assumption 2).
+    pub cost: f64,
+    /// The strategy that served the request.
+    pub strategy: Strategy,
+    /// The strategy rendered with the script's microservice names.
+    pub strategy_text: String,
+    /// Zero-based time slot the request fell into.
+    pub slot: u64,
+    /// How the slot's strategy was chosen.
+    pub origin: StrategyOrigin,
+    /// Present when the generator expects the QoS requirements to be
+    /// missed (the client decides whether to continue).
+    pub advisory: Option<QosAdvisory>,
+    /// `(votes for the answer, votes cast)` when the script requests quorum
+    /// execution (§VII); `None` under first-success semantics.
+    pub votes: Option<(usize, usize)>,
+}
+
+/// Record of one time slot's planning decision, kept for diagnostics and
+/// for the adaptation experiments (Fig. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotRecord {
+    /// Zero-based slot index.
+    pub slot: u64,
+    /// The strategy chosen for the slot, with script names.
+    pub strategy_text: String,
+    /// How it was chosen.
+    pub origin: StrategyOrigin,
+    /// The generator's QoS estimate for the slot's strategy.
+    pub estimated: Option<Qos>,
+}
+
+struct ActivePlan {
+    plan: SlotPlan,
+    providers: Vec<Arc<dyn Provider>>,
+    advisory: Option<QosAdvisory>,
+}
+
+struct ServiceState {
+    script: ServiceScript,
+    slot: u64,
+    invocations_in_slot: u32,
+    active: Option<ActivePlan>,
+    history: Vec<SlotRecord>,
+}
+
+/// The edge gateway.
+///
+/// # Examples
+///
+/// See the crate-level documentation and the `adaptive_temperature`
+/// example for end-to-end usage; unit tests below exercise each behaviour.
+pub struct Gateway {
+    market: Box<dyn Market>,
+    registry: Arc<Registry>,
+    collector: Arc<Collector>,
+    config: GatewayConfig,
+    services: Mutex<HashMap<String, ServiceState>>,
+    next_request: AtomicU64,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("config", &self.config)
+            .field("capabilities", &self.registry.capabilities())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gateway {
+    /// Creates a gateway over a market with a fresh registry and collector.
+    #[must_use]
+    pub fn new(market: Box<dyn Market>, config: GatewayConfig) -> Self {
+        Gateway {
+            market,
+            registry: Arc::new(Registry::new()),
+            collector: Arc::new(Collector::new(config.collector_window)),
+            config,
+            services: Mutex::new(HashMap::new()),
+            next_request: AtomicU64::new(1),
+        }
+    }
+
+    /// The device registry (devices register their microservices here).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The QoS collector.
+    #[must_use]
+    pub fn collector(&self) -> &Arc<Collector> {
+        &self.collector
+    }
+
+    /// Invokes the service identified by `service_id` with an empty
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// See [`Gateway::invoke_with_payload`].
+    pub fn invoke(&self, service_id: &str) -> Result<ServiceResponse, RuntimeError> {
+        self.invoke_with_payload(service_id, Vec::new())
+    }
+
+    /// Invokes the service identified by `service_id`.
+    ///
+    /// On the first invocation the script is fetched from the market and
+    /// cached. Each slot boundary re-plans the strategy from collector
+    /// data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownService`] if the market has no such
+    /// script, [`RuntimeError::NoProvider`] if a capability has no
+    /// registered provider, or an invalid-script/generation error.
+    pub fn invoke_with_payload(
+        &self,
+        service_id: &str,
+        payload: Vec<u8>,
+    ) -> Result<ServiceResponse, RuntimeError> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+
+        // Plan (or reuse) the slot's strategy under the service lock, then
+        // execute outside it so concurrent requests don't serialize.
+        let (strategy, providers, names, slot, origin, advisory, quorum) = {
+            let mut services = self.services.lock();
+            let state = match services.get_mut(service_id) {
+                Some(state) => state,
+                None => {
+                    let script = self.market.fetch(service_id)?;
+                    script.validate()?;
+                    services.insert(
+                        service_id.to_string(),
+                        ServiceState {
+                            script,
+                            slot: 0,
+                            invocations_in_slot: 0,
+                            active: None,
+                            history: Vec::new(),
+                        },
+                    );
+                    services.get_mut(service_id).expect("just inserted")
+                }
+            };
+
+            if state.active.is_none() || state.invocations_in_slot >= state.script.slot_size {
+                if state.active.is_some() {
+                    state.slot += 1;
+                    state.invocations_in_slot = 0;
+                }
+                let active = self.plan(state)?;
+                state.history.push(SlotRecord {
+                    slot: state.slot,
+                    strategy_text: active
+                        .plan
+                        .strategy
+                        .to_string_with_names(&state.script.ms_names()),
+                    origin: active.plan.origin.clone(),
+                    estimated: active.plan.estimated,
+                });
+                state.active = Some(active);
+            }
+
+            state.invocations_in_slot += 1;
+            let active = state.active.as_ref().expect("planned above");
+            (
+                active.plan.strategy.clone(),
+                active.providers.clone(),
+                state
+                    .script
+                    .ms_names()
+                    .iter()
+                    .map(|s| (*s).to_string())
+                    .collect::<Vec<_>>(),
+                state.slot,
+                active.plan.origin.clone(),
+                active.advisory.clone(),
+                state.script.quorum,
+            )
+        };
+
+        let request = Invocation::new(request_id, service_id.to_string(), payload);
+        let (success, payload, latency, cost, votes) = match quorum {
+            Some(q) if q > 1 => {
+                let outcome =
+                    execute_with_quorum(&strategy, &providers, &request, Some(&self.collector), q)?;
+                (
+                    outcome.agreed,
+                    outcome.payload,
+                    outcome.latency,
+                    outcome.cost,
+                    Some((outcome.votes, outcome.votes_cast)),
+                )
+            }
+            _ => {
+                let outcome =
+                    execute_strategy(&strategy, &providers, &request, Some(&self.collector))?;
+                (
+                    outcome.success,
+                    outcome.payload,
+                    outcome.latency,
+                    outcome.cost,
+                    None,
+                )
+            }
+        };
+
+        Ok(ServiceResponse {
+            request_id,
+            success,
+            payload,
+            latency,
+            cost,
+            strategy_text: strategy.to_string_with_names(&names),
+            strategy,
+            slot,
+            origin,
+            advisory,
+            votes,
+        })
+    }
+
+    /// Plans the current slot for `state`: resolve providers, then generate
+    /// (or default) the strategy.
+    fn plan(&self, state: &ServiceState) -> Result<ActivePlan, RuntimeError> {
+        let utility = qce_strategy::UtilityIndex::new(state.script.penalty_k).map_err(|e| {
+            RuntimeError::InvalidScript {
+                reason: e.to_string(),
+            }
+        })?;
+        let providers: Vec<Arc<dyn Provider>> = state
+            .script
+            .microservices
+            .iter()
+            .map(|spec| {
+                self.registry.best_provider(
+                    &spec.capability,
+                    &spec.prior,
+                    &self.collector,
+                    utility,
+                    &state.script.requirements,
+                )
+            })
+            .collect::<Result<_, _>>()?;
+
+        let plan = plan_slot(
+            &state.script,
+            &providers,
+            &self.collector,
+            state.slot,
+            self.config.generator_threshold,
+        )?;
+
+        let advisory = plan.estimated.and_then(|estimated| {
+            let violations = state.script.requirements.violations(&estimated);
+            if violations.is_empty() {
+                None
+            } else {
+                Some(QosAdvisory {
+                    estimated,
+                    violations,
+                })
+            }
+        });
+
+        Ok(ActivePlan {
+            plan,
+            providers,
+            advisory,
+        })
+    }
+
+    /// Forces the next invocation of `service_id` to re-plan its strategy,
+    /// as if a slot boundary had been reached.
+    pub fn end_slot(&self, service_id: &str) {
+        if let Some(state) = self.services.lock().get_mut(service_id) {
+            if state.active.is_some() {
+                state.slot += 1;
+                state.invocations_in_slot = 0;
+                state.active = None;
+            }
+        }
+    }
+
+    /// The per-slot planning history of `service_id` (empty if the service
+    /// has not been invoked yet).
+    #[must_use]
+    pub fn slot_history(&self, service_id: &str) -> Vec<SlotRecord> {
+        self.services
+            .lock()
+            .get(service_id)
+            .map(|s| s.history.clone())
+            .unwrap_or_default()
+    }
+
+    /// The strategy currently serving `service_id`, rendered with script
+    /// names.
+    #[must_use]
+    pub fn current_strategy(&self, service_id: &str) -> Option<String> {
+        let services = self.services.lock();
+        let state = services.get(service_id)?;
+        let active = state.active.as_ref()?;
+        Some(
+            active
+                .plan
+                .strategy
+                .to_string_with_names(&state.script.ms_names()),
+        )
+    }
+
+    /// Drops the cached script and planning state of `service_id` (e.g.
+    /// after publishing an updated script to the market).
+    pub fn evict_service(&self, service_id: &str) {
+        self.services.lock().remove(service_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimulatedProvider;
+    use crate::market::InMemoryMarket;
+    use crate::script::MsSpec;
+    use qce_strategy::Requirements;
+
+    fn market_with(script: ServiceScript) -> Box<dyn Market> {
+        let market = InMemoryMarket::new();
+        market.publish(script).unwrap();
+        Box::new(market)
+    }
+
+    fn script(slot_size: u32) -> ServiceScript {
+        let mut s = ServiceScript::new(
+            "temp",
+            vec![
+                MsSpec {
+                    name: "readTempSensor".into(),
+                    capability: "read-temp".into(),
+                    prior: Qos::new(50.0, 5.0, 0.7).unwrap(),
+                },
+                MsSpec {
+                    name: "estTemp".into(),
+                    capability: "est-temp".into(),
+                    prior: Qos::new(50.0, 8.0, 0.7).unwrap(),
+                },
+                MsSpec {
+                    name: "readLocTemp".into(),
+                    capability: "loc-temp".into(),
+                    prior: Qos::new(50.0, 12.0, 0.7).unwrap(),
+                },
+            ],
+            Requirements::new(100.0, 100.0, 0.97).unwrap(),
+        );
+        s.slot_size = slot_size;
+        s
+    }
+
+    fn register_devices(gateway: &Gateway, reliability: f64) {
+        for (i, (cap, ms)) in [("read-temp", 2u64), ("est-temp", 3), ("loc-temp", 5)]
+            .iter()
+            .enumerate()
+        {
+            gateway.registry().register(
+                SimulatedProvider::builder(format!("dev{i}/{cap}"), *cap)
+                    .cost(50.0)
+                    .latency(Duration::from_millis(*ms))
+                    .reliability(reliability)
+                    .seed(i as u64)
+                    .build(),
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_service_is_reported() {
+        let gateway = Gateway::new(Box::new(InMemoryMarket::new()), GatewayConfig::default());
+        assert!(matches!(
+            gateway.invoke("nope"),
+            Err(RuntimeError::UnknownService { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_provider_is_reported() {
+        let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
+        assert!(matches!(
+            gateway.invoke("temp"),
+            Err(RuntimeError::NoProvider { .. })
+        ));
+    }
+
+    #[test]
+    fn first_slot_runs_speculative_parallel_default() {
+        let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        let response = gateway.invoke("temp").unwrap();
+        assert!(response.success);
+        assert_eq!(response.slot, 0);
+        assert_eq!(response.origin, StrategyOrigin::Default);
+        assert!(response.strategy.is_parallel());
+        assert_eq!(response.strategy_text, "readTempSensor*estTemp*readLocTemp");
+        assert_eq!(response.cost, 150.0, "parallel default charges everyone");
+    }
+
+    #[test]
+    fn second_slot_generates_from_observations() {
+        let gateway = Gateway::new(market_with(script(5)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        for _ in 0..5 {
+            gateway.invoke("temp").unwrap();
+        }
+        let response = gateway.invoke("temp").unwrap();
+        assert_eq!(response.slot, 1);
+        assert!(matches!(response.origin, StrategyOrigin::Generated(_)));
+        // With perfectly reliable observed providers, fail-over on the best
+        // one dominates: cost collapses to a single invocation.
+        assert_eq!(response.cost, 50.0, "generated strategy avoids redundancy");
+        let history = gateway.slot_history("temp");
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].origin, StrategyOrigin::Default);
+    }
+
+    #[test]
+    fn slot_boundary_respects_slot_size() {
+        let gateway = Gateway::new(market_with(script(3)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        let slots: Vec<u64> = (0..7)
+            .map(|_| gateway.invoke("temp").unwrap().slot)
+            .collect();
+        assert_eq!(slots, vec![0, 0, 0, 1, 1, 1, 2]);
+    }
+
+    #[test]
+    fn end_slot_forces_replan() {
+        let gateway = Gateway::new(market_with(script(100)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        gateway.invoke("temp").unwrap();
+        assert_eq!(gateway.slot_history("temp").len(), 1);
+        gateway.end_slot("temp");
+        let response = gateway.invoke("temp").unwrap();
+        assert_eq!(response.slot, 1);
+        assert_eq!(gateway.slot_history("temp").len(), 2);
+    }
+
+    #[test]
+    fn advisory_reported_when_requirements_unreachable() {
+        // Impossible requirements: reliability 99.9% from 50%-reliable
+        // microservices costs more than the cost budget allows.
+        let mut s = script(5);
+        s.requirements = Requirements::new(10.0, 1.0, 0.999).unwrap();
+        let gateway = Gateway::new(market_with(s), GatewayConfig::default());
+        register_devices(&gateway, 0.5);
+        for _ in 0..5 {
+            let _ = gateway.invoke("temp").unwrap();
+        }
+        let response = gateway.invoke("temp").unwrap();
+        let advisory = response.advisory.expect("requirements cannot be met");
+        assert!(!advisory.violations.is_empty());
+    }
+
+    #[test]
+    fn current_strategy_uses_names() {
+        let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        assert!(gateway.current_strategy("temp").is_none());
+        gateway.invoke("temp").unwrap();
+        let text = gateway.current_strategy("temp").unwrap();
+        assert!(text.contains("readTempSensor"), "{text}");
+    }
+
+    #[test]
+    fn evict_service_forces_refetch() {
+        let market = InMemoryMarket::new();
+        market.publish(script(10)).unwrap();
+        let gateway = Gateway::new(Box::new(market), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        gateway.invoke("temp").unwrap();
+        gateway.evict_service("temp");
+        assert!(gateway.slot_history("temp").is_empty());
+        let response = gateway.invoke("temp").unwrap();
+        assert_eq!(response.slot, 0, "state restarted");
+    }
+
+    #[test]
+    fn collector_fills_during_first_slot() {
+        let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        gateway.invoke("temp").unwrap();
+        // The parallel default invoked every provider once.
+        assert_eq!(gateway.collector().provider_ids().len(), 3);
+    }
+
+    #[test]
+    fn quorum_script_votes_and_costs_double() {
+        let mut s = script(10);
+        s.quorum = Some(2);
+        let gateway = Gateway::new(market_with(s), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        let response = gateway.invoke("temp").unwrap();
+        assert!(response.success);
+        let (votes, cast) = response.votes.expect("quorum execution reports votes");
+        assert!(votes >= 2, "votes {votes}");
+        assert!(cast >= votes);
+    }
+
+    #[test]
+    fn failed_request_still_reports() {
+        let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
+        register_devices(&gateway, 0.0);
+        let response = gateway.invoke("temp").unwrap();
+        assert!(!response.success);
+        assert!(response.payload.is_none());
+        assert_eq!(response.cost, 150.0, "all three tried and failed");
+    }
+}

@@ -1,0 +1,255 @@
+//! The gateway-side strategy generator: bridges collector observations into
+//! the core generation algorithms of `qce-strategy` (paper Section IV.B:
+//! "an execution strategy generator retrieves the QoS of constituent
+//! microservices from the collector, and outputs an execution strategy").
+
+use std::sync::Arc;
+
+use qce_strategy::{EnvQos, Generated, Generator, Requirements, Strategy, UtilityIndex};
+
+use crate::collector::Collector;
+use crate::device::Provider;
+use crate::message::RuntimeError;
+use crate::script::ServiceScript;
+
+/// How the active strategy for a slot was chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrategyOrigin {
+    /// The bootstrap strategy of the first time slot, executed before the
+    /// collector has observations: the script's developer default, or the
+    /// system default (speculative parallel) if the script names none.
+    Default,
+    /// Synthesized by the generator from collector data.
+    Generated(qce_strategy::Method),
+}
+
+impl std::fmt::Display for StrategyOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StrategyOrigin::Default => f.write_str("default"),
+            StrategyOrigin::Generated(m) => write!(f, "generated({m})"),
+        }
+    }
+}
+
+/// A strategy chosen for one time slot, with its provenance and estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotPlan {
+    /// The strategy to execute this slot.
+    pub strategy: Strategy,
+    /// How it was chosen.
+    pub origin: StrategyOrigin,
+    /// The per-microservice QoS table the decision was based on.
+    pub assumed_env: EnvQos,
+    /// The estimated QoS of the strategy under `assumed_env` (`None` only
+    /// if estimation failed, which cannot happen for well-formed plans).
+    pub estimated: Option<qce_strategy::Qos>,
+}
+
+/// Builds the QoS table the generator should assume for this script: for
+/// each microservice, collector observations of its resolved provider when
+/// available, the script prior (with the provider's advertised cost)
+/// otherwise.
+#[must_use]
+pub fn assumed_env(
+    script: &ServiceScript,
+    providers: &[Arc<dyn Provider>],
+    collector: &Collector,
+) -> EnvQos {
+    script
+        .microservices
+        .iter()
+        .zip(providers)
+        .map(|(spec, provider)| {
+            let prior = qce_strategy::Qos {
+                cost: provider.cost(),
+                ..spec.prior
+            };
+            collector.qos_or_prior(provider.id(), &prior)
+        })
+        .collect()
+}
+
+/// Plans the strategy for a time slot.
+///
+/// Slot 0 executes the default strategy (collecting initial observations);
+/// later slots run the paper's Algorithm 2 (exhaustive below the threshold,
+/// approximation above it) against the assumed QoS table.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::InvalidScript`] for an unparsable default
+/// strategy or penalty, or [`RuntimeError::Generation`] if generation
+/// fails.
+pub fn plan_slot(
+    script: &ServiceScript,
+    providers: &[Arc<dyn Provider>],
+    collector: &Collector,
+    slot: u64,
+    threshold: usize,
+) -> Result<SlotPlan, RuntimeError> {
+    let env = assumed_env(script, providers, collector);
+    let ids = env.ids();
+    let requirements: Requirements = script.requirements;
+    let utility = UtilityIndex::new(script.penalty_k).map_err(|e| RuntimeError::InvalidScript {
+        reason: e.to_string(),
+    })?;
+
+    if slot == 0 {
+        let strategy = match script.parsed_default_strategy()? {
+            Some(s) => s,
+            None => qce_strategy::enumerate::speculative_parallel(&ids).map_err(|e| {
+                RuntimeError::Generation {
+                    reason: e.to_string(),
+                }
+            })?,
+        };
+        let estimated = qce_strategy::estimate::estimate(&strategy, &env).ok();
+        return Ok(SlotPlan {
+            strategy,
+            origin: StrategyOrigin::Default,
+            assumed_env: env,
+            estimated,
+        });
+    }
+
+    let generator = Generator::new(utility, threshold);
+    let generated: Generated =
+        generator
+            .generate(&env, &ids, &requirements)
+            .map_err(|e| RuntimeError::Generation {
+                reason: e.to_string(),
+            })?;
+    Ok(SlotPlan {
+        strategy: generated.strategy,
+        origin: StrategyOrigin::Generated(generated.method),
+        assumed_env: env,
+        estimated: Some(generated.qos),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::ExecutionRecord;
+    use crate::device::SimulatedProvider;
+    use crate::script::MsSpec;
+    use qce_strategy::Qos;
+    use std::time::Duration;
+
+    fn script() -> ServiceScript {
+        ServiceScript::new(
+            "svc",
+            vec![
+                MsSpec {
+                    name: "m0".into(),
+                    capability: "c0".into(),
+                    prior: Qos::new(50.0, 30.0, 0.7).unwrap(),
+                },
+                MsSpec {
+                    name: "m1".into(),
+                    capability: "c1".into(),
+                    prior: Qos::new(50.0, 60.0, 0.7).unwrap(),
+                },
+                MsSpec {
+                    name: "m2".into(),
+                    capability: "c2".into(),
+                    prior: Qos::new(50.0, 80.0, 0.7).unwrap(),
+                },
+            ],
+            qce_strategy::Requirements::new(100.0, 100.0, 0.97).unwrap(),
+        )
+    }
+
+    fn providers() -> Vec<Arc<dyn Provider>> {
+        (0..3)
+            .map(|i| {
+                SimulatedProvider::builder(format!("d{i}/c{i}"), format!("c{i}"))
+                    .cost(50.0)
+                    .latency(Duration::from_millis(1))
+                    .build() as Arc<dyn Provider>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn assumed_env_uses_priors_without_history() {
+        let collector = Collector::new(10);
+        let env = assumed_env(&script(), &providers(), &collector);
+        assert_eq!(env.len(), 3);
+        // Prior latency/reliability, provider-advertised cost.
+        let q = env.get(qce_strategy::MsId(1)).unwrap();
+        assert_eq!(q.latency, 60.0);
+        assert_eq!(q.cost, 50.0);
+        assert_eq!(q.reliability.value(), 0.7);
+    }
+
+    #[test]
+    fn assumed_env_prefers_observations() {
+        let collector = Collector::new(10);
+        collector.record(
+            "d0/c0",
+            ExecutionRecord {
+                success: true,
+                latency: Duration::from_millis(123),
+                cost: 9.0,
+            },
+        );
+        let env = assumed_env(&script(), &providers(), &collector);
+        let q = env.get(qce_strategy::MsId(0)).unwrap();
+        assert!((q.latency - 123.0).abs() < 1.0);
+        assert_eq!(q.cost, 9.0);
+        assert_eq!(q.reliability.value(), 1.0);
+    }
+
+    #[test]
+    fn slot_zero_runs_system_default_parallel() {
+        let collector = Collector::new(10);
+        let plan = plan_slot(&script(), &providers(), &collector, 0, 6).unwrap();
+        assert_eq!(plan.origin, StrategyOrigin::Default);
+        assert!(plan.strategy.is_parallel());
+        assert_eq!(plan.strategy.len(), 3);
+        assert!(plan.estimated.is_some());
+    }
+
+    #[test]
+    fn slot_zero_respects_script_default() {
+        let mut s = script();
+        s.default_strategy = Some("m0-m1-m2".to_string());
+        let collector = Collector::new(10);
+        let plan = plan_slot(&s, &providers(), &collector, 0, 6).unwrap();
+        assert!(plan.strategy.is_failover());
+    }
+
+    #[test]
+    fn later_slots_generate() {
+        let collector = Collector::new(10);
+        let plan = plan_slot(&script(), &providers(), &collector, 1, 6).unwrap();
+        match plan.origin {
+            StrategyOrigin::Generated(m) => {
+                assert_eq!(m, qce_strategy::Method::Exhaustive, "3 ≤ θ = 6");
+            }
+            StrategyOrigin::Default => panic!("slot 1 must generate"),
+        }
+        assert_eq!(plan.strategy.len(), 3);
+    }
+
+    #[test]
+    fn threshold_switches_to_approximation() {
+        let collector = Collector::new(10);
+        let plan = plan_slot(&script(), &providers(), &collector, 1, 2).unwrap();
+        assert_eq!(
+            plan.origin,
+            StrategyOrigin::Generated(qce_strategy::Method::Approximation)
+        );
+    }
+
+    #[test]
+    fn origin_display() {
+        assert_eq!(StrategyOrigin::Default.to_string(), "default");
+        assert_eq!(
+            StrategyOrigin::Generated(qce_strategy::Method::Exhaustive).to_string(),
+            "generated(exhaustive)"
+        );
+    }
+}

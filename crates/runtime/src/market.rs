@@ -1,0 +1,360 @@
+//! The cloud-based service market (paper Section IV.A).
+//!
+//! Gateways download self-describing service scripts from a market and
+//! cache them locally, so that "if a recently executed service is invoked
+//! again, the request can be processed entirely within the edge's local
+//! environment, without needing to interact with the cloud."
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::message::RuntimeError;
+use crate::script::ServiceScript;
+
+/// A source of service scripts.
+pub trait Market: Send + Sync {
+    /// Fetches the script for `service_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownService`] when the market has no such
+    /// script, or [`RuntimeError::Market`] on transport problems.
+    fn fetch(&self, service_id: &str) -> Result<ServiceScript, RuntimeError>;
+
+    /// Lists the available service ids (diagnostic use).
+    fn service_ids(&self) -> Vec<String>;
+}
+
+impl std::fmt::Debug for dyn Market {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Market")
+            .field("services", &self.service_ids())
+            .finish()
+    }
+}
+
+/// An in-memory market, optionally with an artificial fetch latency to
+/// emulate the cloud round-trip.
+///
+/// # Examples
+///
+/// ```
+/// use qce_runtime::{InMemoryMarket, Market, MsSpec, ServiceScript};
+/// use qce_strategy::{Qos, Requirements};
+///
+/// let script = ServiceScript::new(
+///     "svc",
+///     vec![MsSpec {
+///         name: "m".into(),
+///         capability: "cap".into(),
+///         prior: Qos::new(1.0, 1.0, 0.9)?,
+///     }],
+///     Requirements::new(10.0, 10.0, 0.5)?,
+/// );
+/// let market = InMemoryMarket::new();
+/// market.publish(script.clone())?;
+/// assert_eq!(market.fetch("svc")?, script);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct InMemoryMarket {
+    scripts: RwLock<HashMap<String, ServiceScript>>,
+    fetch_latency: Duration,
+    fetches: AtomicU64,
+}
+
+impl InMemoryMarket {
+    /// Creates an empty market with no artificial latency.
+    #[must_use]
+    pub fn new() -> Self {
+        InMemoryMarket::default()
+    }
+
+    /// Creates a market whose fetches block for `latency`, emulating the
+    /// cloud round-trip that local caching avoids.
+    #[must_use]
+    pub fn with_latency(latency: Duration) -> Self {
+        InMemoryMarket {
+            fetch_latency: latency,
+            ..InMemoryMarket::default()
+        }
+    }
+
+    /// Publishes (or replaces) a script.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidScript`] if the script fails
+    /// validation.
+    pub fn publish(&self, script: ServiceScript) -> Result<(), RuntimeError> {
+        script.validate()?;
+        self.scripts
+            .write()
+            .insert(script.service_id.clone(), script);
+        Ok(())
+    }
+
+    /// Number of fetches served so far.
+    #[must_use]
+    pub fn fetch_count(&self) -> u64 {
+        self.fetches.load(Ordering::Relaxed)
+    }
+}
+
+impl Market for InMemoryMarket {
+    fn fetch(&self, service_id: &str) -> Result<ServiceScript, RuntimeError> {
+        if !self.fetch_latency.is_zero() {
+            std::thread::sleep(self.fetch_latency);
+        }
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        self.scripts
+            .read()
+            .get(service_id)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnknownService {
+                service_id: service_id.to_string(),
+            })
+    }
+
+    fn service_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.scripts.read().keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+}
+
+/// A market backed by a directory of `<service_id>.json` script files —
+/// the self-describing scripts a real deployment would host.
+#[derive(Debug)]
+pub struct FileMarket {
+    root: PathBuf,
+}
+
+impl FileMarket {
+    /// Creates a market rooted at `dir` (created on publish if missing).
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FileMarket { root: dir.into() }
+    }
+
+    /// Writes a script to `<root>/<service_id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidScript`] if validation fails or
+    /// [`RuntimeError::Market`] on I/O problems.
+    pub fn publish(&self, script: &ServiceScript) -> Result<(), RuntimeError> {
+        script.validate()?;
+        std::fs::create_dir_all(&self.root).map_err(|e| RuntimeError::Market {
+            reason: e.to_string(),
+        })?;
+        let path = self.root.join(format!("{}.json", script.service_id));
+        std::fs::write(&path, script.to_json()).map_err(|e| RuntimeError::Market {
+            reason: e.to_string(),
+        })
+    }
+}
+
+impl Market for FileMarket {
+    fn fetch(&self, service_id: &str) -> Result<ServiceScript, RuntimeError> {
+        let path = self.root.join(format!("{service_id}.json"));
+        let json = std::fs::read_to_string(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                RuntimeError::UnknownService {
+                    service_id: service_id.to_string(),
+                }
+            } else {
+                RuntimeError::Market {
+                    reason: e.to_string(),
+                }
+            }
+        })?;
+        ServiceScript::from_json(&json)
+    }
+
+    fn service_ids(&self) -> Vec<String> {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<String> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                name.strip_suffix(".json").map(str::to_string)
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+/// Wraps any market with a local script cache: the first fetch goes to the
+/// backing market, later fetches are served locally (the gateway behaviour
+/// described in Section IV.A).
+#[derive(Debug)]
+pub struct CachingMarket<M> {
+    inner: M,
+    cache: RwLock<HashMap<String, ServiceScript>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<M: Market> CachingMarket<M> {
+    /// Wraps `inner` with an empty cache.
+    #[must_use]
+    pub fn new(inner: M) -> Self {
+        CachingMarket {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// `(cache hits, cache misses)` so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every cached script (e.g. to force re-download after a market
+    /// update).
+    pub fn invalidate(&self) {
+        self.cache.write().clear();
+    }
+
+    /// A reference to the backing market.
+    #[must_use]
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: Market> Market for CachingMarket<M> {
+    fn fetch(&self, service_id: &str) -> Result<ServiceScript, RuntimeError> {
+        if let Some(script) = self.cache.read().get(service_id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(script.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let script = self.inner.fetch(service_id)?;
+        self.cache
+            .write()
+            .insert(service_id.to_string(), script.clone());
+        Ok(script)
+    }
+
+    fn service_ids(&self) -> Vec<String> {
+        self.inner.service_ids()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::MsSpec;
+    use qce_strategy::{Qos, Requirements};
+
+    fn script(id: &str) -> ServiceScript {
+        ServiceScript::new(
+            id,
+            vec![MsSpec {
+                name: "m".to_string(),
+                capability: "cap".to_string(),
+                prior: Qos::new(1.0, 1.0, 0.9).unwrap(),
+            }],
+            Requirements::new(10.0, 10.0, 0.5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn in_memory_publish_and_fetch() {
+        let market = InMemoryMarket::new();
+        market.publish(script("a")).unwrap();
+        market.publish(script("b")).unwrap();
+        assert_eq!(market.fetch("a").unwrap().service_id, "a");
+        assert_eq!(market.service_ids(), vec!["a".to_string(), "b".to_string()]);
+        assert!(matches!(
+            market.fetch("zzz"),
+            Err(RuntimeError::UnknownService { .. })
+        ));
+        assert_eq!(market.fetch_count(), 2);
+    }
+
+    #[test]
+    fn in_memory_rejects_invalid_scripts() {
+        let market = InMemoryMarket::new();
+        let mut bad = script("a");
+        bad.slot_size = 0;
+        assert!(market.publish(bad).is_err());
+    }
+
+    #[test]
+    fn fetch_latency_is_applied() {
+        let market = InMemoryMarket::with_latency(Duration::from_millis(20));
+        market.publish(script("a")).unwrap();
+        let t0 = std::time::Instant::now();
+        market.fetch("a").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(18));
+    }
+
+    #[test]
+    fn file_market_round_trip() {
+        let dir = std::env::temp_dir().join(format!("qce-market-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let market = FileMarket::new(&dir);
+        market.publish(&script("filed")).unwrap();
+        let fetched = market.fetch("filed").unwrap();
+        assert_eq!(fetched.service_id, "filed");
+        assert_eq!(market.service_ids(), vec!["filed".to_string()]);
+        assert!(matches!(
+            market.fetch("absent"),
+            Err(RuntimeError::UnknownService { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_market_empty_dir_lists_nothing() {
+        let market = FileMarket::new("/nonexistent/qce-market");
+        assert!(market.service_ids().is_empty());
+    }
+
+    #[test]
+    fn caching_market_hits_after_first_fetch() {
+        let inner = InMemoryMarket::new();
+        inner.publish(script("a")).unwrap();
+        let caching = CachingMarket::new(inner);
+        caching.fetch("a").unwrap();
+        caching.fetch("a").unwrap();
+        caching.fetch("a").unwrap();
+        assert_eq!(caching.cache_stats(), (2, 1));
+        assert_eq!(caching.inner().fetch_count(), 1, "cloud contacted once");
+        caching.invalidate();
+        caching.fetch("a").unwrap();
+        assert_eq!(caching.cache_stats(), (2, 2));
+    }
+
+    #[test]
+    fn caching_market_propagates_errors_without_caching_them() {
+        let caching = CachingMarket::new(InMemoryMarket::new());
+        assert!(caching.fetch("nope").is_err());
+        assert!(caching.fetch("nope").is_err());
+        assert_eq!(caching.cache_stats(), (0, 2));
+    }
+
+    #[test]
+    fn market_trait_object_debug() {
+        let market = InMemoryMarket::new();
+        market.publish(script("a")).unwrap();
+        let obj: &dyn Market = &market;
+        assert!(format!("{obj:?}").contains('a'));
+    }
+}

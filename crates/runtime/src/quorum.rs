@@ -1,0 +1,415 @@
+//! Quorum execution: the paper's future-work direction of using equivalent
+//! microservices "to protect from malicious devices that return fake
+//! results" (Section VII).
+//!
+//! Instead of short-circuiting at the *first* success, the executor keeps
+//! following the strategy until some payload has been returned by `q`
+//! distinct microservices (byte-equal agreement), then answers with that
+//! payload. Equivalent microservices compute the same fact by different
+//! means, so agreement across them is evidence against a fabricated
+//! result. With `q = 1` this degenerates to the standard first-success
+//! semantics.
+//!
+//! Cost follows Assumption 2 unchanged: every started invocation is charged
+//! in full, so quorum execution makes the reliability/cost trade-off
+//! explicit — a quorum of 2 over a fail-over chain costs roughly twice a
+//! single-success run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use qce_strategy::{Node, Strategy};
+
+use crate::collector::{Collector, ExecutionRecord};
+use crate::device::Provider;
+use crate::message::{Invocation, InvocationOutcome, RuntimeError};
+
+/// Result of a quorum execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuorumOutcome {
+    /// The payload that reached quorum (or, failing that, the plurality
+    /// payload among successful invocations).
+    pub payload: Option<Vec<u8>>,
+    /// Votes received by the winning payload.
+    pub votes: usize,
+    /// Total successful invocations (votes cast).
+    pub votes_cast: usize,
+    /// Whether the required quorum was reached.
+    pub agreed: bool,
+    /// Time until the quorum was reached (or everything finished).
+    pub latency: Duration,
+    /// Total cost charged (Assumption 2).
+    pub cost: f64,
+    /// Every invocation that started.
+    pub invocations: Vec<InvocationOutcome>,
+}
+
+/// Executes `strategy` until `quorum` distinct microservices return the
+/// same payload.
+///
+/// The strategy's control flow is reinterpreted for redundancy: a
+/// microservice's *success* no longer terminates the run — execution
+/// continues (sequential stages advance, parallel races keep running)
+/// until the quorum is met or every microservice has been tried. Failures
+/// still gate sequential fall-through exactly as before.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::NoProvider`] if the strategy references an index
+/// with no resolved provider.
+///
+/// # Panics
+///
+/// Panics if `quorum` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use qce_runtime::{execute_with_quorum, FnProvider, Invocation, Provider};
+/// use qce_strategy::Strategy;
+///
+/// // Two honest sensors and one compromised device.
+/// let honest1 = FnProvider::new("a", "temp", 10.0, |_| Ok(vec![21]));
+/// let liar = FnProvider::new("b", "temp", 10.0, |_| Ok(vec![99]));
+/// let honest2 = FnProvider::new("c", "temp", 10.0, |_| Ok(vec![21]));
+/// let providers: Vec<Arc<dyn Provider>> = vec![honest1, liar, honest2];
+///
+/// let outcome = execute_with_quorum(
+///     &Strategy::parse("a-b-c")?,
+///     &providers,
+///     &Invocation::new(1, "temp", vec![]),
+///     None,
+///     2,
+/// )?;
+/// assert!(outcome.agreed);
+/// assert_eq!(outcome.payload, Some(vec![21])); // the liar is outvoted
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn execute_with_quorum(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+    request: &Invocation,
+    collector: Option<&Collector>,
+    quorum: usize,
+) -> Result<QuorumOutcome, RuntimeError> {
+    assert!(quorum >= 1, "quorum must be at least 1");
+    for id in strategy.leaves() {
+        if providers.get(id.index()).is_none() {
+            return Err(RuntimeError::NoProvider {
+                capability: format!("strategy operand {id}"),
+            });
+        }
+    }
+
+    let ctx = QuorumCtx {
+        providers,
+        request,
+        collector,
+        quorum,
+        done: AtomicBool::new(false),
+        started_at: Instant::now(),
+        votes: Mutex::new(VoteBox::default()),
+        invocations: Mutex::new(Vec::new()),
+    };
+    run_node(strategy.node(), &ctx);
+
+    let votes = ctx.votes.into_inner();
+    let invocations = ctx.invocations.into_inner();
+    let cost = invocations.iter().map(|i| i.cost).sum();
+    let (payload, winner_votes) = votes.winner();
+    let agreed = winner_votes >= quorum;
+    let latency = votes.decided_at.unwrap_or_else(|| ctx.started_at.elapsed());
+    Ok(QuorumOutcome {
+        payload,
+        votes: winner_votes,
+        votes_cast: votes.total,
+        agreed,
+        latency,
+        cost,
+        invocations,
+    })
+}
+
+#[derive(Default)]
+struct VoteBox {
+    /// payload → (votes, first-seen order)
+    tally: HashMap<Vec<u8>, (usize, usize)>,
+    total: usize,
+    decided_at: Option<Duration>,
+}
+
+impl VoteBox {
+    /// Registers a vote; returns the new count for this payload.
+    fn vote(&mut self, payload: Vec<u8>) -> usize {
+        let order = self.tally.len();
+        let entry = self.tally.entry(payload).or_insert((0, order));
+        entry.0 += 1;
+        self.total += 1;
+        entry.0
+    }
+
+    /// The plurality payload (ties broken by first-seen order).
+    fn winner(&self) -> (Option<Vec<u8>>, usize) {
+        self.tally
+            .iter()
+            .max_by(|(_, (va, oa)), (_, (vb, ob))| va.cmp(vb).then(ob.cmp(oa)))
+            .map_or((None, 0), |(payload, (votes, _))| {
+                (Some(payload.clone()), *votes)
+            })
+    }
+}
+
+struct QuorumCtx<'a> {
+    providers: &'a [Arc<dyn Provider>],
+    request: &'a Invocation,
+    collector: Option<&'a Collector>,
+    quorum: usize,
+    done: AtomicBool,
+    started_at: Instant,
+    votes: Mutex<VoteBox>,
+    invocations: Mutex<Vec<InvocationOutcome>>,
+}
+
+fn run_node(node: &Node, ctx: &QuorumCtx<'_>) {
+    match node {
+        Node::Leaf(id) => {
+            if ctx.done.load(Ordering::SeqCst) {
+                return;
+            }
+            let provider = &ctx.providers[id.index()];
+            let t0 = Instant::now();
+            let result = provider.invoke(ctx.request);
+            let latency = t0.elapsed();
+            let success = result.is_ok();
+            if let Some(collector) = ctx.collector {
+                collector.record(
+                    provider.id(),
+                    ExecutionRecord {
+                        success,
+                        latency,
+                        cost: provider.cost(),
+                    },
+                );
+            }
+            ctx.invocations.lock().push(InvocationOutcome {
+                provider_id: provider.id().to_string(),
+                capability: provider.capability().to_string(),
+                payload: result.as_ref().ok().cloned(),
+                latency,
+                cost: provider.cost(),
+                success,
+            });
+            if let Ok(payload) = result {
+                let mut votes = ctx.votes.lock();
+                let count = votes.vote(payload);
+                if count >= ctx.quorum && votes.decided_at.is_none() {
+                    votes.decided_at = Some(ctx.started_at.elapsed());
+                    drop(votes);
+                    ctx.done.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        Node::Seq(children) => {
+            // Under quorum semantics every stage runs (successes no longer
+            // absorb the chain) until the quorum is globally reached.
+            for child in children {
+                if ctx.done.load(Ordering::SeqCst) {
+                    return;
+                }
+                run_node(child, ctx);
+            }
+        }
+        Node::Par(children) => {
+            std::thread::scope(|scope| {
+                for child in children.iter().skip(1) {
+                    scope.spawn(move || run_node(child, ctx));
+                }
+                run_node(&children[0], ctx);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{FnProvider, SimulatedProvider};
+
+    fn honest(id: &str, answer: u8, cost: f64) -> Arc<dyn Provider> {
+        FnProvider::new(id, "cap", cost, move |_| Ok(vec![answer]))
+    }
+
+    fn liar(id: &str, answer: u8) -> Arc<dyn Provider> {
+        FnProvider::new(id, "cap", 10.0, move |_| Ok(vec![answer]))
+    }
+
+    fn failing(id: &str) -> Arc<dyn Provider> {
+        FnProvider::new(id, "cap", 10.0, |_| {
+            Err(crate::message::InvokeError::ExecutionFailed {
+                reason: "down".to_string(),
+            })
+        })
+    }
+
+    fn req() -> Invocation {
+        Invocation::new(1, "cap", vec![])
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn zero_quorum_rejected() {
+        let providers = vec![honest("a", 1, 1.0)];
+        let _ = execute_with_quorum(&Strategy::parse("a").unwrap(), &providers, &req(), None, 0);
+    }
+
+    #[test]
+    fn quorum_one_matches_first_success_semantics() {
+        let providers = vec![honest("a", 7, 10.0), honest("b", 7, 20.0)];
+        let out = execute_with_quorum(
+            &Strategy::parse("a-b").unwrap(),
+            &providers,
+            &req(),
+            None,
+            1,
+        )
+        .unwrap();
+        assert!(out.agreed);
+        assert_eq!(out.payload, Some(vec![7]));
+        assert_eq!(out.cost, 10.0, "b never runs at quorum 1");
+    }
+
+    #[test]
+    fn quorum_two_runs_the_backup_too() {
+        let providers = vec![honest("a", 7, 10.0), honest("b", 7, 20.0)];
+        let out = execute_with_quorum(
+            &Strategy::parse("a-b").unwrap(),
+            &providers,
+            &req(),
+            None,
+            2,
+        )
+        .unwrap();
+        assert!(out.agreed);
+        assert_eq!(out.votes, 2);
+        assert_eq!(out.cost, 30.0, "redundancy costs double");
+    }
+
+    #[test]
+    fn byzantine_device_is_outvoted() {
+        let providers = vec![honest("a", 21, 10.0), liar("b", 99), honest("c", 21, 10.0)];
+        let out = execute_with_quorum(
+            &Strategy::parse("a-b-c").unwrap(),
+            &providers,
+            &req(),
+            None,
+            2,
+        )
+        .unwrap();
+        assert!(out.agreed);
+        assert_eq!(out.payload, Some(vec![21]));
+        assert_eq!(out.votes, 2);
+        assert_eq!(out.votes_cast, 3);
+    }
+
+    #[test]
+    fn no_quorum_returns_plurality_unagreed() {
+        let providers = vec![honest("a", 1, 10.0), liar("b", 2), failing("c")];
+        let out = execute_with_quorum(
+            &Strategy::parse("a-b-c").unwrap(),
+            &providers,
+            &req(),
+            None,
+            2,
+        )
+        .unwrap();
+        assert!(!out.agreed);
+        assert_eq!(out.votes, 1);
+        assert_eq!(out.votes_cast, 2);
+        // Plurality tie broken by first-seen payload.
+        assert_eq!(out.payload, Some(vec![1]));
+    }
+
+    #[test]
+    fn failures_still_gate_nothing_under_quorum_seq() {
+        // All fail: no votes, not agreed, everything charged.
+        let providers = vec![failing("a"), failing("b")];
+        let out = execute_with_quorum(
+            &Strategy::parse("a-b").unwrap(),
+            &providers,
+            &req(),
+            None,
+            1,
+        )
+        .unwrap();
+        assert!(!out.agreed);
+        assert_eq!(out.votes_cast, 0);
+        assert!(out.payload.is_none());
+        assert_eq!(out.cost, 20.0);
+    }
+
+    #[test]
+    fn parallel_strategy_reaches_quorum_concurrently() {
+        let providers: Vec<Arc<dyn Provider>> = (0..3)
+            .map(|i| {
+                SimulatedProvider::builder(format!("p{i}"), "cap")
+                    .latency(Duration::from_millis(2 + i))
+                    .reliability(1.0)
+                    .cost(10.0)
+                    .response(vec![42])
+                    .build() as Arc<dyn Provider>
+            })
+            .collect();
+        let out = execute_with_quorum(
+            &Strategy::parse("a*b*c").unwrap(),
+            &providers,
+            &req(),
+            None,
+            2,
+        )
+        .unwrap();
+        assert!(out.agreed);
+        assert_eq!(out.payload, Some(vec![42]));
+        assert!(out.votes >= 2);
+        assert_eq!(out.cost, 30.0, "all three start in parallel");
+    }
+
+    #[test]
+    fn quorum_stops_sequential_tail_once_reached() {
+        let providers = vec![
+            honest("a", 5, 10.0),
+            honest("b", 5, 10.0),
+            honest("c", 5, 999.0),
+        ];
+        let out = execute_with_quorum(
+            &Strategy::parse("a-b-c").unwrap(),
+            &providers,
+            &req(),
+            None,
+            2,
+        )
+        .unwrap();
+        assert!(out.agreed);
+        assert_eq!(out.cost, 20.0, "c never starts once a and b agree");
+    }
+
+    #[test]
+    fn collector_records_quorum_invocations() {
+        let collector = Collector::new(10);
+        let providers = vec![honest("a", 5, 10.0), honest("b", 5, 10.0)];
+        let _ = execute_with_quorum(
+            &Strategy::parse("a-b").unwrap(),
+            &providers,
+            &req(),
+            Some(&collector),
+            2,
+        )
+        .unwrap();
+        assert_eq!(collector.observation_count("a"), 1);
+        assert_eq!(collector.observation_count("b"), 1);
+    }
+}

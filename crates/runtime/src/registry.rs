@@ -1,0 +1,284 @@
+//! The gateway's microservice registry.
+//!
+//! Edge devices register the microservices they host (paper Section V.B:
+//! "each edge device registers its available microservices and their usage
+//! costs with the gateway"). When a service script is provisioned, the
+//! registry resolves each required *capability* to the provider with the
+//! best current QoS — the paper's Assumption 1: "although multiple devices
+//! can provide a microservice in an edge environment, our system only
+//! selects the one with the best QoS".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use qce_strategy::{Qos, Requirements, UtilityIndex};
+
+use crate::collector::Collector;
+use crate::device::Provider;
+use crate::message::RuntimeError;
+
+/// Thread-safe capability → providers index.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use qce_runtime::{Registry, SimulatedProvider};
+///
+/// let registry = Registry::new();
+/// registry.register(
+///     SimulatedProvider::builder("pi/read-temp", "read-temp")
+///         .latency(Duration::from_millis(1))
+///         .build(),
+/// );
+/// assert_eq!(registry.providers_for("read-temp").len(), 1);
+/// assert!(registry.providers_for("unknown").is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    by_capability: RwLock<HashMap<String, Vec<Arc<dyn Provider>>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a provider under its capability. Re-registering the same
+    /// provider id replaces the previous entry.
+    pub fn register(&self, provider: Arc<dyn Provider>) {
+        let mut map = self.by_capability.write();
+        let entry = map.entry(provider.capability().to_string()).or_default();
+        entry.retain(|p| p.id() != provider.id());
+        entry.push(provider);
+    }
+
+    /// Removes a provider by id (e.g. the device left the environment).
+    /// Returns `true` if something was removed.
+    pub fn deregister(&self, provider_id: &str) -> bool {
+        let mut map = self.by_capability.write();
+        let mut removed = false;
+        for entry in map.values_mut() {
+            let before = entry.len();
+            entry.retain(|p| p.id() != provider_id);
+            removed |= entry.len() != before;
+        }
+        map.retain(|_, v| !v.is_empty());
+        removed
+    }
+
+    /// All providers for `capability` (registration order).
+    #[must_use]
+    pub fn providers_for(&self, capability: &str) -> Vec<Arc<dyn Provider>> {
+        self.by_capability
+            .read()
+            .get(capability)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// All registered capabilities, sorted.
+    #[must_use]
+    pub fn capabilities(&self) -> Vec<String> {
+        let mut caps: Vec<String> = self.by_capability.read().keys().cloned().collect();
+        caps.sort();
+        caps
+    }
+
+    /// Selects the provider of `capability` with the best current QoS
+    /// (Assumption 1), judged by the utility index against `requirements`
+    /// using collector observations (falling back to `prior` for providers
+    /// without history, with the provider's advertised cost substituted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoProvider`] when no provider is registered
+    /// for the capability.
+    pub fn best_provider(
+        &self,
+        capability: &str,
+        prior: &Qos,
+        collector: &Collector,
+        utility: UtilityIndex,
+        requirements: &Requirements,
+    ) -> Result<Arc<dyn Provider>, RuntimeError> {
+        let candidates = self.providers_for(capability);
+        candidates
+            .into_iter()
+            .map(|p| {
+                let assumed = collector.stats(p.id()).map_or_else(
+                    || {
+                        // No history: use the script prior but the provider's
+                        // advertised cost (devices register their costs).
+                        Qos {
+                            cost: p.cost(),
+                            ..*prior
+                        }
+                    },
+                    |s| s.as_qos(),
+                );
+                let score = utility.utility(&assumed, requirements);
+                (p, score)
+            })
+            .max_by(|(pa, ua), (pb, ub)| {
+                ua.partial_cmp(ub)
+                    .expect("utilities are finite")
+                    // Deterministic tie-break on id so selection is stable.
+                    .then_with(|| pb.id().cmp(pa.id()))
+            })
+            .map(|(p, _)| p)
+            .ok_or_else(|| RuntimeError::NoProvider {
+                capability: capability.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::ExecutionRecord;
+    use crate::device::SimulatedProvider;
+    use std::time::Duration;
+
+    fn provider(id: &str, capability: &str, cost: f64) -> Arc<SimulatedProvider> {
+        SimulatedProvider::builder(id, capability)
+            .cost(cost)
+            .latency(Duration::from_millis(1))
+            .build()
+    }
+
+    fn requirements() -> Requirements {
+        Requirements::new(100.0, 100.0, 0.9).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let registry = Registry::new();
+        registry.register(provider("d1/x", "x", 1.0));
+        registry.register(provider("d2/x", "x", 2.0));
+        registry.register(provider("d1/y", "y", 1.0));
+        assert_eq!(registry.providers_for("x").len(), 2);
+        assert_eq!(registry.providers_for("y").len(), 1);
+        assert_eq!(
+            registry.capabilities(),
+            vec!["x".to_string(), "y".to_string()]
+        );
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let registry = Registry::new();
+        registry.register(provider("d1/x", "x", 1.0));
+        registry.register(provider("d1/x", "x", 5.0));
+        let providers = registry.providers_for("x");
+        assert_eq!(providers.len(), 1);
+        assert_eq!(providers[0].cost(), 5.0);
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let registry = Registry::new();
+        registry.register(provider("d1/x", "x", 1.0));
+        assert!(registry.deregister("d1/x"));
+        assert!(!registry.deregister("d1/x"));
+        assert!(registry.providers_for("x").is_empty());
+        assert!(registry.capabilities().is_empty());
+    }
+
+    #[test]
+    fn best_provider_errors_when_none() {
+        let registry = Registry::new();
+        let collector = Collector::new(10);
+        let prior = Qos::new(50.0, 50.0, 0.7).unwrap();
+        assert!(matches!(
+            registry.best_provider(
+                "x",
+                &prior,
+                &collector,
+                UtilityIndex::default(),
+                &requirements()
+            ),
+            Err(RuntimeError::NoProvider { .. })
+        ));
+    }
+
+    #[test]
+    fn best_provider_prefers_cheaper_without_history() {
+        let registry = Registry::new();
+        registry.register(provider("d1/x", "x", 80.0));
+        registry.register(provider("d2/x", "x", 20.0));
+        let collector = Collector::new(10);
+        let prior = Qos::new(50.0, 50.0, 0.7).unwrap();
+        let best = registry
+            .best_provider(
+                "x",
+                &prior,
+                &collector,
+                UtilityIndex::default(),
+                &requirements(),
+            )
+            .unwrap();
+        assert_eq!(best.id(), "d2/x", "lower advertised cost wins");
+    }
+
+    #[test]
+    fn best_provider_uses_collector_history() {
+        let registry = Registry::new();
+        registry.register(provider("slow/x", "x", 10.0));
+        registry.register(provider("fast/x", "x", 10.0));
+        let collector = Collector::new(10);
+        // History says "slow/x" is terrible and "fast/x" is great.
+        for _ in 0..5 {
+            collector.record(
+                "slow/x",
+                ExecutionRecord {
+                    success: false,
+                    latency: Duration::from_millis(900),
+                    cost: 10.0,
+                },
+            );
+            collector.record(
+                "fast/x",
+                ExecutionRecord {
+                    success: true,
+                    latency: Duration::from_millis(5),
+                    cost: 10.0,
+                },
+            );
+        }
+        let prior = Qos::new(50.0, 50.0, 0.7).unwrap();
+        let best = registry
+            .best_provider(
+                "x",
+                &prior,
+                &collector,
+                UtilityIndex::default(),
+                &requirements(),
+            )
+            .unwrap();
+        assert_eq!(best.id(), "fast/x");
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let registry = Registry::new();
+        registry.register(provider("b/x", "x", 10.0));
+        registry.register(provider("a/x", "x", 10.0));
+        let collector = Collector::new(10);
+        let prior = Qos::new(50.0, 50.0, 0.7).unwrap();
+        let best = registry
+            .best_provider(
+                "x",
+                &prior,
+                &collector,
+                UtilityIndex::default(),
+                &requirements(),
+            )
+            .unwrap();
+        assert_eq!(best.id(), "a/x", "lexicographically smaller id wins ties");
+    }
+}

@@ -1,0 +1,282 @@
+//! End-to-end integration tests: market → gateway → devices → feedback
+//! loop, on real threads (millisecond-scale latencies).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qce_runtime::{
+    CachingMarket, Client, Collector, Gateway, GatewayConfig, InMemoryMarket, Market, MsSpec,
+    Registry, ServiceScript, SimulatedProvider, StrategyOrigin,
+};
+use qce_strategy::{Qos, Requirements};
+
+/// Builds the paper's testbed service: three temperature microservices
+/// (Section V.B) with reliability 0.7 and cost 50 each.
+fn temperature_script(slot_size: u32) -> ServiceScript {
+    let mut script = ServiceScript::new(
+        "detect-temperature",
+        vec![
+            MsSpec {
+                name: "readTempSensor".into(),
+                capability: "read-temp".into(),
+                prior: Qos::new(50.0, 5.0, 0.7).unwrap(),
+            },
+            MsSpec {
+                name: "estTemp".into(),
+                capability: "est-temp".into(),
+                prior: Qos::new(50.0, 8.0, 0.7).unwrap(),
+            },
+            MsSpec {
+                name: "readLocTemp".into(),
+                capability: "loc-temp".into(),
+                prior: Qos::new(50.0, 12.0, 0.7).unwrap(),
+            },
+        ],
+        Requirements::new(100.0, 50.0, 0.97).unwrap(),
+    );
+    script.slot_size = slot_size;
+    script
+}
+
+struct Testbed {
+    gateway: Arc<Gateway>,
+    sensor: Arc<SimulatedProvider>,
+}
+
+/// Gateway + three simulated devices; `readTempSensor` is the fastest.
+fn testbed(slot_size: u32, reliability: f64) -> Testbed {
+    let market = InMemoryMarket::new();
+    market.publish(temperature_script(slot_size)).unwrap();
+    // A small collector window keeps the feedback loop responsive: a
+    // demoted microservice is only observed on fail-over fallthrough, so a
+    // large window would take many slots to notice its recovery.
+    let config = GatewayConfig {
+        collector_window: 60,
+        ..GatewayConfig::default()
+    };
+    let gateway = Arc::new(Gateway::new(Box::new(market), config));
+    // The sensor is markedly cheaper and faster than the alternatives so
+    // that, when healthy, it robustly leads the generated strategy.
+    let sensor = SimulatedProvider::builder("pi/read-temp", "read-temp")
+        .cost(30.0)
+        .latency(Duration::from_millis(2))
+        .reliability(reliability)
+        .seed(11)
+        .build();
+    gateway.registry().register(Arc::clone(&sensor) as _);
+    gateway.registry().register(
+        SimulatedProvider::builder("m92p-a/est-temp", "est-temp")
+            .cost(50.0)
+            .latency(Duration::from_millis(15))
+            .reliability(reliability)
+            .seed(22)
+            .build(),
+    );
+    gateway.registry().register(
+        SimulatedProvider::builder("m92p-b/loc-temp", "loc-temp")
+            .cost(50.0)
+            .latency(Duration::from_millis(25))
+            .reliability(reliability)
+            .seed(33)
+            .build(),
+    );
+    Testbed { gateway, sensor }
+}
+
+#[test]
+fn generated_strategy_is_the_papers_failover_chain() {
+    // Paper Section V.B: with r = 70% and cost 50 for all three, the
+    // generated strategy is readTempSensor-estTemp-readLocTemp.
+    let tb = testbed(40, 0.7);
+    for _ in 0..40 {
+        tb.gateway.invoke("detect-temperature").unwrap();
+    }
+    let response = tb.gateway.invoke("detect-temperature").unwrap();
+    assert!(matches!(response.origin, StrategyOrigin::Generated(_)));
+    assert_eq!(
+        response.strategy_text, "readTempSensor-estTemp-readLocTemp",
+        "fastest-first fail-over"
+    );
+}
+
+#[test]
+fn generated_strategy_beats_default_on_cost() {
+    let tb = testbed(30, 0.7);
+    let mut default_costs = Vec::new();
+    let mut generated_costs = Vec::new();
+    for _ in 0..90 {
+        let response = tb.gateway.invoke("detect-temperature").unwrap();
+        match response.origin {
+            StrategyOrigin::Default => default_costs.push(response.cost),
+            StrategyOrigin::Generated(_) => generated_costs.push(response.cost),
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert_eq!(avg(&default_costs), 130.0, "parallel default charges all 3");
+    assert!(
+        avg(&generated_costs) < 100.0,
+        "fail-over charges ~70 on average, got {}",
+        avg(&generated_costs)
+    );
+}
+
+#[test]
+fn feedback_loop_adapts_to_reliability_drop_and_recovery() {
+    // The Fig. 8 scenario: readTempSensor's reliability drops to 20% and
+    // later recovers; the generated strategy must demote and re-promote it.
+    let tb = testbed(50, 0.7);
+
+    // Slot 0 (default) + slot 1 (generated from healthy data).
+    for _ in 0..100 {
+        tb.gateway.invoke("detect-temperature").unwrap();
+    }
+    let healthy = tb.gateway.current_strategy("detect-temperature").unwrap();
+    assert!(
+        healthy.starts_with("readTempSensor"),
+        "healthy sensor leads: {healthy}"
+    );
+
+    // Reliability drops; run enough slots for the window to turn over.
+    tb.sensor.set_reliability(0.2);
+    for _ in 0..150 {
+        tb.gateway.invoke("detect-temperature").unwrap();
+    }
+    let degraded = tb.gateway.current_strategy("detect-temperature").unwrap();
+    assert!(
+        !degraded.starts_with("readTempSensor"),
+        "degraded sensor must not lead: {degraded}"
+    );
+
+    // Recovery. The demoted sensor is only invoked when the new leader
+    // fails (~30% of requests), so refreshing its observation window takes
+    // several slots.
+    tb.sensor.set_reliability(0.7);
+    for _ in 0..400 {
+        tb.gateway.invoke("detect-temperature").unwrap();
+    }
+    let recovered = tb.gateway.current_strategy("detect-temperature").unwrap();
+    assert!(
+        recovered.starts_with("readTempSensor"),
+        "recovered sensor leads again: {recovered}"
+    );
+}
+
+#[test]
+fn measured_qos_tracks_generator_estimate() {
+    let tb = testbed(60, 0.7);
+    // Slot 0: collect.
+    for _ in 0..60 {
+        tb.gateway.invoke("detect-temperature").unwrap();
+    }
+    // Slot 1: measure the generated strategy.
+    let mut costs = Vec::new();
+    let mut successes = 0u32;
+    for _ in 0..60 {
+        let r = tb.gateway.invoke("detect-temperature").unwrap();
+        costs.push(r.cost);
+        if r.success {
+            successes += 1;
+        }
+    }
+    let history = tb.gateway.slot_history("detect-temperature");
+    let estimated = history[1]
+        .estimated
+        .expect("generated slots carry estimates");
+    let mean_cost = costs.iter().sum::<f64>() / costs.len() as f64;
+    assert!(
+        (mean_cost - estimated.cost).abs() / estimated.cost < 0.35,
+        "measured cost {mean_cost} vs estimated {}",
+        estimated.cost
+    );
+    let measured_rel = f64::from(successes) / 60.0;
+    assert!(
+        (measured_rel - estimated.reliability.value()).abs() < 0.12,
+        "measured reliability {measured_rel} vs estimated {}",
+        estimated.reliability
+    );
+}
+
+#[test]
+fn concurrent_clients_share_one_gateway() {
+    let tb = testbed(1000, 1.0);
+    let gateway = Arc::clone(&tb.gateway);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let gw = Arc::clone(&gateway);
+            scope.spawn(move || {
+                let client = Client::new(gw);
+                for _ in 0..10 {
+                    let response = client.invoke("detect-temperature").unwrap();
+                    assert!(response.success);
+                }
+            });
+        }
+    });
+    // All 40 invocations landed in slot 0 and were recorded.
+    assert_eq!(tb.gateway.collector().observation_count("pi/read-temp"), 40);
+}
+
+#[test]
+fn caching_market_fetches_cloud_once() {
+    let inner = InMemoryMarket::with_latency(Duration::from_millis(10));
+    inner.publish(temperature_script(10)).unwrap();
+    let caching = CachingMarket::new(inner);
+    // Exercise Market-level caching directly (the gateway additionally
+    // caches the parsed script in its service state).
+    caching.fetch("detect-temperature").unwrap();
+    caching.fetch("detect-temperature").unwrap();
+    caching.fetch("detect-temperature").unwrap();
+    let (hits, misses) = caching.cache_stats();
+    assert_eq!((hits, misses), (2, 1));
+    assert_eq!(caching.inner().fetch_count(), 1);
+}
+
+#[test]
+fn best_provider_switches_when_a_better_device_joins() {
+    let tb = testbed(5, 0.7);
+    for _ in 0..5 {
+        tb.gateway.invoke("detect-temperature").unwrap();
+    }
+    // A much better read-temp provider joins the environment.
+    tb.gateway.registry().register(
+        SimulatedProvider::builder("server/read-temp", "read-temp")
+            .cost(10.0)
+            .latency(Duration::from_millis(1))
+            .reliability(0.99)
+            .build(),
+    );
+    // Next slots should route read-temp to the new provider; after a few
+    // slots the collector has data for it.
+    for _ in 0..20 {
+        tb.gateway.invoke("detect-temperature").unwrap();
+    }
+    let collector: &Arc<Collector> = tb.gateway.collector();
+    assert!(
+        collector.observation_count("server/read-temp") > 0,
+        "new provider should be selected (Assumption 1)"
+    );
+}
+
+#[test]
+fn registry_is_shared_across_services() {
+    // Two scripts using the same capability resolve to the same provider.
+    let market = InMemoryMarket::new();
+    let mut s1 = temperature_script(10);
+    s1.service_id = "svc-1".into();
+    let mut s2 = temperature_script(10);
+    s2.service_id = "svc-2".into();
+    market.publish(s1).unwrap();
+    market.publish(s2).unwrap();
+    let gateway = Gateway::new(Box::new(market), GatewayConfig::default());
+    let registry: &Arc<Registry> = gateway.registry();
+    for (i, cap) in ["read-temp", "est-temp", "loc-temp"].iter().enumerate() {
+        registry.register(
+            SimulatedProvider::builder(format!("d{i}/{cap}"), *cap)
+                .cost(50.0)
+                .latency(Duration::from_millis(1))
+                .build(),
+        );
+    }
+    assert!(gateway.invoke("svc-1").unwrap().success);
+    assert!(gateway.invoke("svc-2").unwrap().success);
+}

@@ -1,0 +1,51 @@
+//! The committed sample script asset stays loadable: guards the script
+//! wire format against accidental breaking changes.
+
+use qce_runtime::ServiceScript;
+
+fn asset_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../assets/detect-fire.script.json")
+}
+
+#[test]
+fn sample_script_parses_and_validates() {
+    let json = std::fs::read_to_string(asset_path()).expect("asset exists");
+    let script = ServiceScript::from_json(&json).expect("asset is a valid script");
+    assert_eq!(script.service_id, "detect-fire");
+    assert_eq!(script.microservices.len(), 5);
+    assert_eq!(script.slot_size, 100);
+    assert_eq!(script.quorum, None);
+    let strategy = script
+        .parsed_default_strategy()
+        .expect("default strategy parses")
+        .expect("a default strategy is pinned");
+    assert!(strategy.is_failover());
+    assert_eq!(strategy.len(), 5);
+}
+
+#[test]
+fn sample_script_round_trips_losslessly() {
+    let json = std::fs::read_to_string(asset_path()).unwrap();
+    let script = ServiceScript::from_json(&json).unwrap();
+    let reserialized = script.to_json();
+    let reparsed = ServiceScript::from_json(&reserialized).unwrap();
+    assert_eq!(script, reparsed);
+}
+
+#[test]
+fn sample_script_priors_match_the_papers_example() {
+    // The asset encodes the Section III.D fire-detection QoS table.
+    let json = std::fs::read_to_string(asset_path()).unwrap();
+    let script = ServiceScript::from_json(&json).unwrap();
+    let expected = [
+        (50.0, 0.6),
+        (100.0, 0.6),
+        (150.0, 0.7),
+        (200.0, 0.7),
+        (250.0, 0.8),
+    ];
+    for (spec, (cost, reliability)) in script.microservices.iter().zip(expected) {
+        assert_eq!(spec.prior.cost, cost);
+        assert_eq!(spec.prior.reliability.value(), reliability);
+    }
+}

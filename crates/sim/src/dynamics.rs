@@ -1,0 +1,310 @@
+//! Resource dynamics: scheduled QoS changes that model mobile devices
+//! leaving, energy-harvesting devices browning out, and recoveries.
+//!
+//! The paper's adaptation experiment (Fig. 8) drops the reliability of
+//! `readTempSensor` from 70% to 20% after 230 executions and restores it
+//! after 430; the feedback loop must notice and re-generate the strategy.
+
+use serde::{Deserialize, Serialize};
+
+use qce_strategy::MsId;
+
+use crate::environment::Environment;
+use crate::microservice::LatencyDistribution;
+
+/// One scheduled change to a microservice's QoS.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosChange {
+    /// The change takes effect once this many executions have been
+    /// recorded (i.e. starting with execution number `after + 1`).
+    pub after_executions: u64,
+    /// Which microservice changes.
+    pub ms: MsId,
+    /// What changes.
+    pub change: ChangeKind,
+}
+
+/// The kinds of QoS drift the simulator can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ChangeKind {
+    /// Set the success probability (e.g. a sensor becoming flaky).
+    SetReliability(f64),
+    /// Replace the latency distribution (e.g. a device switching to a
+    /// low-power mode).
+    SetLatency(LatencyDistribution),
+    /// Set the per-invocation cost (e.g. a provider re-pricing).
+    SetCost(f64),
+    /// The device leaves entirely: reliability drops to zero.
+    Depart,
+}
+
+/// An [`Environment`] whose microservice QoS changes at scheduled execution
+/// counts.
+///
+/// # Examples
+///
+/// ```
+/// use qce_sim::{ChangeKind, DynamicEnvironment, Environment, QosChange};
+/// use qce_strategy::MsId;
+///
+/// // Fig. 8: readTempSensor reliability drops to 20% after 230 executions
+/// // and recovers to 70% after 430.
+/// let base = Environment::from_triples(&[
+///     (50.0, 30.0, 0.7),
+///     (50.0, 60.0, 0.7),
+///     (50.0, 80.0, 0.7),
+/// ])?;
+/// let mut env = DynamicEnvironment::new(base, vec![
+///     QosChange { after_executions: 230, ms: MsId(0), change: ChangeKind::SetReliability(0.2) },
+///     QosChange { after_executions: 430, ms: MsId(0), change: ChangeKind::SetReliability(0.7) },
+/// ]);
+///
+/// env.advance(230);
+/// assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.2);
+/// env.advance(200);
+/// assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.7);
+/// # Ok::<(), qce_strategy::QosError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicEnvironment {
+    current: Environment,
+    /// Remaining changes, sorted by `after_executions` ascending.
+    pending: Vec<QosChange>,
+    executions: u64,
+}
+
+impl DynamicEnvironment {
+    /// Creates a dynamic environment from a base environment and a change
+    /// schedule (applied in `after_executions` order; ties apply in the
+    /// order given).
+    #[must_use]
+    pub fn new(base: Environment, mut schedule: Vec<QosChange>) -> Self {
+        schedule.sort_by_key(|c| c.after_executions);
+        schedule.reverse(); // pop from the back = earliest first
+        DynamicEnvironment {
+            current: base,
+            pending: schedule,
+            executions: 0,
+        }
+    }
+
+    /// A static environment that never changes.
+    #[must_use]
+    pub fn from_static(base: Environment) -> Self {
+        DynamicEnvironment::new(base, Vec::new())
+    }
+
+    /// The environment as of the current execution count.
+    #[must_use]
+    pub fn current(&self) -> &Environment {
+        &self.current
+    }
+
+    /// Total executions recorded so far.
+    #[must_use]
+    pub fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    /// Number of scheduled changes that have not fired yet.
+    #[must_use]
+    pub fn pending_changes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Records one execution, applying any change whose threshold has been
+    /// reached. Returns `true` if the environment changed.
+    pub fn record_execution(&mut self) -> bool {
+        self.advance(1)
+    }
+
+    /// Records `n` executions at once. Returns `true` if any change fired.
+    pub fn advance(&mut self, n: u64) -> bool {
+        self.executions += n;
+        let mut changed = false;
+        while let Some(next) = self.pending.last() {
+            if next.after_executions > self.executions {
+                break;
+            }
+            let change = self.pending.pop().expect("peeked above");
+            self.apply(&change);
+            changed = true;
+        }
+        changed
+    }
+
+    fn apply(&mut self, change: &QosChange) {
+        let Some(model) = self.current.get_mut(change.ms) else {
+            // A change for an unknown microservice is ignored rather than
+            // panicking: schedules may be written against a superset
+            // environment.
+            return;
+        };
+        match change.change {
+            ChangeKind::SetReliability(r) => {
+                model.reliability = qce_strategy::Reliability::clamped(r);
+            }
+            ChangeKind::SetLatency(dist) => {
+                if dist.validate().is_ok() {
+                    model.latency = dist;
+                }
+            }
+            ChangeKind::SetCost(c) => {
+                if c.is_finite() && c >= 0.0 {
+                    model.cost = c;
+                }
+            }
+            ChangeKind::Depart => {
+                model.reliability = qce_strategy::Reliability::NEVER;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Environment {
+        Environment::from_triples(&[(50.0, 30.0, 0.7), (50.0, 60.0, 0.7)]).unwrap()
+    }
+
+    #[test]
+    fn static_environment_never_changes() {
+        let mut env = DynamicEnvironment::from_static(base());
+        assert!(!env.advance(10_000));
+        assert_eq!(env.executions(), 10_000);
+        assert_eq!(env.pending_changes(), 0);
+        assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.7);
+    }
+
+    #[test]
+    fn change_fires_exactly_at_threshold() {
+        let mut env = DynamicEnvironment::new(
+            base(),
+            vec![QosChange {
+                after_executions: 5,
+                ms: MsId(0),
+                change: ChangeKind::SetReliability(0.2),
+            }],
+        );
+        assert!(!env.advance(4));
+        assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.7);
+        assert!(env.record_execution(), "fires at the 5th execution");
+        assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.2);
+        assert!(!env.record_execution());
+    }
+
+    #[test]
+    fn fig8_drop_and_recovery() {
+        let mut env = DynamicEnvironment::new(
+            base(),
+            vec![
+                QosChange {
+                    after_executions: 430,
+                    ms: MsId(0),
+                    change: ChangeKind::SetReliability(0.7),
+                },
+                QosChange {
+                    after_executions: 230,
+                    ms: MsId(0),
+                    change: ChangeKind::SetReliability(0.2),
+                },
+            ],
+        );
+        env.advance(230);
+        assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.2);
+        env.advance(199);
+        assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.2);
+        env.advance(1);
+        assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 0.7);
+        assert_eq!(env.pending_changes(), 0);
+    }
+
+    #[test]
+    fn bulk_advance_applies_all_crossed_changes() {
+        let mut env = DynamicEnvironment::new(
+            base(),
+            vec![
+                QosChange {
+                    after_executions: 10,
+                    ms: MsId(0),
+                    change: ChangeKind::SetCost(99.0),
+                },
+                QosChange {
+                    after_executions: 20,
+                    ms: MsId(1),
+                    change: ChangeKind::SetLatency(LatencyDistribution::Constant(5.0)),
+                },
+            ],
+        );
+        assert!(env.advance(25));
+        assert_eq!(env.current().get(MsId(0)).unwrap().cost, 99.0);
+        assert_eq!(env.current().get(MsId(1)).unwrap().latency.mean(), 5.0);
+    }
+
+    #[test]
+    fn departure_zeroes_reliability() {
+        let mut env = DynamicEnvironment::new(
+            base(),
+            vec![QosChange {
+                after_executions: 1,
+                ms: MsId(1),
+                change: ChangeKind::Depart,
+            }],
+        );
+        env.record_execution();
+        assert_eq!(env.current().get(MsId(1)).unwrap().reliability.value(), 0.0);
+    }
+
+    #[test]
+    fn unknown_ms_change_is_ignored() {
+        let mut env = DynamicEnvironment::new(
+            base(),
+            vec![QosChange {
+                after_executions: 1,
+                ms: MsId(42),
+                change: ChangeKind::SetCost(1.0),
+            }],
+        );
+        assert!(env.record_execution(), "change fires but is a no-op");
+        assert_eq!(env.current(), &base());
+    }
+
+    #[test]
+    fn invalid_change_values_are_ignored() {
+        let mut env = DynamicEnvironment::new(
+            base(),
+            vec![
+                QosChange {
+                    after_executions: 1,
+                    ms: MsId(0),
+                    change: ChangeKind::SetCost(-5.0),
+                },
+                QosChange {
+                    after_executions: 1,
+                    ms: MsId(0),
+                    change: ChangeKind::SetLatency(LatencyDistribution::Constant(-1.0)),
+                },
+            ],
+        );
+        env.record_execution();
+        assert_eq!(env.current().get(MsId(0)).unwrap().cost, 50.0);
+        assert_eq!(env.current().get(MsId(0)).unwrap().latency.mean(), 30.0);
+    }
+
+    #[test]
+    fn reliability_change_is_clamped() {
+        let mut env = DynamicEnvironment::new(
+            base(),
+            vec![QosChange {
+                after_executions: 1,
+                ms: MsId(0),
+                change: ChangeKind::SetReliability(1.7),
+            }],
+        );
+        env.record_execution();
+        assert_eq!(env.current().get(MsId(0)).unwrap().reliability.value(), 1.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Stochastic models of individual edge microservices.
+//!
+//! A [`MsModel`] describes how one microservice behaves in a particular
+//! edge environment: the probability that an invocation succeeds, how long
+//! it takes (a latency *distribution*, not just a mean), and what it costs.
+//! Per the paper's Assumption 2, cost is charged in full the moment an
+//! invocation starts.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qce_strategy::{MsId, Qos, QosError, Reliability};
+
+/// A latency distribution sampled once per invocation.
+///
+/// The paper's simulation imitates latency with fixed `system.sleep`
+/// durations, i.e. [`LatencyDistribution::Constant`]; the other variants
+/// model the jitter of real edge devices and power the estimator-robustness
+/// ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyDistribution {
+    /// Always exactly this latency.
+    Constant(f64),
+    /// Uniform over `[min, max]`.
+    Uniform {
+        /// Smallest possible latency.
+        min: f64,
+        /// Largest possible latency.
+        max: f64,
+    },
+    /// Normal with the given mean and standard deviation, truncated at 0.
+    Normal {
+        /// Mean latency.
+        mean: f64,
+        /// Standard deviation.
+        std_dev: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean latency (`1/λ`).
+        mean: f64,
+    },
+}
+
+impl LatencyDistribution {
+    /// The distribution's mean — what the QoS collector would converge to
+    /// and what Algorithm 1 consumes.
+    ///
+    /// ```
+    /// use qce_sim::LatencyDistribution;
+    /// assert_eq!(LatencyDistribution::Uniform { min: 40.0, max: 60.0 }.mean(), 50.0);
+    /// assert_eq!(LatencyDistribution::Constant(75.0).mean(), 75.0);
+    /// ```
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyDistribution::Constant(v) => v,
+            LatencyDistribution::Uniform { min, max } => (min + max) / 2.0,
+            LatencyDistribution::Normal { mean, .. }
+            | LatencyDistribution::Exponential { mean } => mean,
+        }
+    }
+
+    /// Draws one latency sample (always ≥ 0).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match *self {
+            LatencyDistribution::Constant(v) => v,
+            LatencyDistribution::Uniform { min, max } => {
+                if min == max {
+                    min
+                } else {
+                    rng.gen_range(min..max)
+                }
+            }
+            LatencyDistribution::Normal { mean, std_dev } => {
+                // Box–Muller transform; avoids pulling in rand_distr.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                mean + std_dev * z
+            }
+            LatencyDistribution::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -mean * u.ln()
+            }
+        };
+        v.max(0.0)
+    }
+
+    /// Validates the distribution parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidLatency`] when any parameter is negative,
+    /// non-finite, or (for uniform) `min > max`.
+    pub fn validate(&self) -> Result<(), QosError> {
+        let ok = match *self {
+            LatencyDistribution::Constant(v) => v.is_finite() && v >= 0.0,
+            LatencyDistribution::Uniform { min, max } => {
+                min.is_finite() && max.is_finite() && 0.0 <= min && min <= max
+            }
+            LatencyDistribution::Normal { mean, std_dev } => {
+                mean.is_finite() && std_dev.is_finite() && mean >= 0.0 && std_dev >= 0.0
+            }
+            LatencyDistribution::Exponential { mean } => mean.is_finite() && mean >= 0.0,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(QosError::InvalidLatency(self.mean()))
+        }
+    }
+}
+
+/// Stochastic model of one microservice in one environment.
+///
+/// # Examples
+///
+/// ```
+/// use qce_sim::{LatencyDistribution, MsModel};
+/// use qce_strategy::MsId;
+///
+/// let model = MsModel::new(
+///     MsId(0),
+///     0.7,
+///     LatencyDistribution::Constant(950.0),
+///     50.0,
+/// )?;
+/// assert_eq!(model.mean_qos().latency, 950.0);
+/// # Ok::<(), qce_strategy::QosError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MsModel {
+    /// Which microservice this models.
+    pub id: MsId,
+    /// Probability that an invocation succeeds.
+    pub reliability: Reliability,
+    /// Latency distribution of an invocation (success or failure).
+    pub latency: LatencyDistribution,
+    /// Cost charged per started invocation (Assumption 2).
+    pub cost: f64,
+}
+
+impl MsModel {
+    /// Creates a model, validating every parameter.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QosError`] if `reliability` is outside `[0, 1]`, the
+    /// latency distribution is malformed, or `cost` is negative.
+    pub fn new(
+        id: MsId,
+        reliability: f64,
+        latency: LatencyDistribution,
+        cost: f64,
+    ) -> Result<Self, QosError> {
+        latency.validate()?;
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(QosError::InvalidCost(cost));
+        }
+        Ok(MsModel {
+            id,
+            reliability: Reliability::new(reliability)?,
+            latency,
+            cost,
+        })
+    }
+
+    /// The average QoS this model exhibits — the values an ideal collector
+    /// would report and Algorithm 1 would consume.
+    #[must_use]
+    pub fn mean_qos(&self) -> Qos {
+        Qos {
+            cost: self.cost,
+            latency: self.latency.mean(),
+            reliability: self.reliability,
+        }
+    }
+
+    /// Samples one invocation: `(succeeded, latency)`.
+    pub fn sample_invocation<R: Rng + ?Sized>(&self, rng: &mut R) -> (bool, f64) {
+        let success = rng.gen_bool(self.reliability.value());
+        let latency = self.latency.sample(rng);
+        (success, latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn distribution_means() {
+        assert_eq!(LatencyDistribution::Constant(5.0).mean(), 5.0);
+        assert_eq!(
+            LatencyDistribution::Uniform {
+                min: 0.0,
+                max: 10.0
+            }
+            .mean(),
+            5.0
+        );
+        assert_eq!(
+            LatencyDistribution::Normal {
+                mean: 7.0,
+                std_dev: 2.0
+            }
+            .mean(),
+            7.0
+        );
+        assert_eq!(LatencyDistribution::Exponential { mean: 3.0 }.mean(), 3.0);
+    }
+
+    #[test]
+    fn distribution_validation() {
+        assert!(LatencyDistribution::Constant(-1.0).validate().is_err());
+        assert!(LatencyDistribution::Uniform { min: 5.0, max: 1.0 }
+            .validate()
+            .is_err());
+        assert!(LatencyDistribution::Uniform { min: 1.0, max: 5.0 }
+            .validate()
+            .is_ok());
+        assert!(LatencyDistribution::Normal {
+            mean: 1.0,
+            std_dev: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(LatencyDistribution::Exponential { mean: f64::NAN }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn constant_sampling_is_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let d = LatencyDistribution::Constant(42.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 42.0);
+        }
+    }
+
+    #[test]
+    fn uniform_sampling_within_bounds_and_converges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let d = LatencyDistribution::Uniform {
+            min: 10.0,
+            max: 20.0,
+        };
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = d.sample(&mut rng);
+            assert!((10.0..20.0).contains(&v));
+            sum += v;
+        }
+        assert!((sum / 10_000.0 - 15.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn degenerate_uniform_is_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let d = LatencyDistribution::Uniform { min: 5.0, max: 5.0 };
+        assert_eq!(d.sample(&mut rng), 5.0);
+    }
+
+    #[test]
+    fn normal_sampling_converges_and_clamps() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let d = LatencyDistribution::Normal {
+            mean: 50.0,
+            std_dev: 10.0,
+        };
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!(v >= 0.0);
+            sum += v;
+        }
+        assert!((sum / f64::from(n) - 50.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn exponential_sampling_converges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let d = LatencyDistribution::Exponential { mean: 30.0 };
+        let n = 40_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        assert!((sum / f64::from(n) - 30.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn model_validation() {
+        let d = LatencyDistribution::Constant(1.0);
+        assert!(MsModel::new(MsId(0), 0.5, d, 10.0).is_ok());
+        assert!(MsModel::new(MsId(0), 1.5, d, 10.0).is_err());
+        assert!(MsModel::new(MsId(0), 0.5, d, -1.0).is_err());
+        assert!(MsModel::new(MsId(0), 0.5, LatencyDistribution::Constant(-2.0), 1.0).is_err());
+    }
+
+    #[test]
+    fn invocation_success_rate_converges() {
+        let model = MsModel::new(MsId(0), 0.7, LatencyDistribution::Constant(1.0), 5.0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let n = 20_000;
+        let successes = (0..n)
+            .filter(|_| model.sample_invocation(&mut rng).0)
+            .count();
+        let rate = successes as f64 / f64::from(n);
+        assert!((rate - 0.7).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn mean_qos_mirrors_model() {
+        let model = MsModel::new(
+            MsId(3),
+            0.6,
+            LatencyDistribution::Uniform {
+                min: 40.0,
+                max: 60.0,
+            },
+            25.0,
+        )
+        .unwrap();
+        let qos = model.mean_qos();
+        assert_eq!(qos.cost, 25.0);
+        assert_eq!(qos.latency, 50.0);
+        assert_eq!(qos.reliability.value(), 0.6);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let model = MsModel::new(
+            MsId(1),
+            0.8,
+            LatencyDistribution::Normal {
+                mean: 10.0,
+                std_dev: 1.0,
+            },
+            2.0,
+        )
+        .unwrap();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: MsModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(model, back);
+    }
+}

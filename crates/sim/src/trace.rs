@@ -1,0 +1,123 @@
+//! Execution traces produced by the virtual-time executor.
+
+use serde::{Deserialize, Serialize};
+
+use qce_strategy::MsId;
+
+/// What happened to one microservice during one strategy execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MsRecord {
+    /// The microservice.
+    pub ms: MsId,
+    /// Virtual time at which its invocation was scheduled to start.
+    pub start: f64,
+    /// Virtual time at which its invocation would complete.
+    pub end: f64,
+    /// Whether the invocation actually started (and was therefore charged,
+    /// per Assumption 2). `false` when the strategy already succeeded at or
+    /// before `start`.
+    pub started: bool,
+    /// Whether the invocation completed successfully. Always `false` when
+    /// `started` is `false`.
+    pub succeeded: bool,
+    /// Whether the invocation was started but cut short because another
+    /// microservice won the race (`started && end > overall latency`).
+    pub cancelled: bool,
+}
+
+/// The outcome of one simulated strategy execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Whether any microservice succeeded.
+    pub success: bool,
+    /// Virtual time at which the strategy returned: the first success, or —
+    /// when everything fails — the completion of the last invocation.
+    pub latency: f64,
+    /// Total cost charged: the sum of the costs of all *started*
+    /// invocations (Assumption 2: failures and cancellations pay full
+    /// price).
+    pub cost: f64,
+    /// Records for every invocation that was *scheduled*, in scheduling
+    /// order. A microservice skipped because an earlier member of its own
+    /// sequence succeeded has no record; one scheduled at or after the
+    /// moment the strategy succeeded has a record with `started == false`.
+    pub records: Vec<MsRecord>,
+}
+
+impl ExecutionTrace {
+    /// Ids of the microservices that actually started.
+    #[must_use]
+    pub fn started(&self) -> Vec<MsId> {
+        self.records
+            .iter()
+            .filter(|r| r.started)
+            .map(|r| r.ms)
+            .collect()
+    }
+
+    /// The microservice whose success ended the execution, if any.
+    #[must_use]
+    pub fn winner(&self) -> Option<MsId> {
+        self.records
+            .iter()
+            .filter(|r| r.succeeded && r.end <= self.latency)
+            .min_by(|a, b| a.end.partial_cmp(&b.end).expect("ends are finite"))
+            .map(|r| r.ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(ms: usize, start: f64, end: f64, started: bool, succeeded: bool) -> MsRecord {
+        MsRecord {
+            ms: MsId(ms),
+            start,
+            end,
+            started,
+            succeeded,
+            cancelled: false,
+        }
+    }
+
+    #[test]
+    fn started_filters_records() {
+        let trace = ExecutionTrace {
+            success: true,
+            latency: 10.0,
+            cost: 5.0,
+            records: vec![
+                record(0, 0.0, 10.0, true, true),
+                record(1, 10.0, 20.0, false, false),
+            ],
+        };
+        assert_eq!(trace.started(), vec![MsId(0)]);
+        assert_eq!(trace.winner(), Some(MsId(0)));
+    }
+
+    #[test]
+    fn winner_is_earliest_success() {
+        let trace = ExecutionTrace {
+            success: true,
+            latency: 8.0,
+            cost: 5.0,
+            records: vec![
+                record(0, 0.0, 12.0, true, true), // succeeded but after the win
+                record(1, 0.0, 8.0, true, true),
+            ],
+        };
+        assert_eq!(trace.winner(), Some(MsId(1)));
+    }
+
+    #[test]
+    fn no_winner_on_failure() {
+        let trace = ExecutionTrace {
+            success: false,
+            latency: 20.0,
+            cost: 5.0,
+            records: vec![record(0, 0.0, 20.0, true, false)],
+        };
+        assert_eq!(trace.winner(), None);
+    }
+}

@@ -1,0 +1,1098 @@
+//! Enumeration, counting, and uniform sampling of execution strategies
+//! (paper Section III.B, Table I).
+//!
+//! Given `M` equivalent microservices, the set of distinct execution
+//! strategies that use *all* of them is denoted `F(M)`; allowing strategies
+//! over any non-empty subset gives `F'(M)`.
+//!
+//! ## A note on Table I (reproduction finding)
+//!
+//! The paper reports `F(M)` = 3, 19, 207, 3211, 64743 for M = 2..6. Under
+//! the paper's *own* equivalences (Observations 1–3: `*` commutative, both
+//! operators associative), the number of semantically distinct strategies
+//! is smaller:
+//!
+//! | M | 2 | 3 | 4 | 5 | 6 |
+//! |---|---|---|---|---|---|
+//! | semantically distinct (this module) | 3 | 19 | 195 | 2791 | 51303 |
+//! | paper's Table I                     | 3 | 19 | 207 | 3211 | 64743 |
+//!
+//! The gap is explained by commutative duplicates the paper's
+//! duplication-removal misses when **both** operands of `*` are
+//! parenthesized sub-expressions: at M = 4 the 12 extra entries are exactly
+//! the ordered pairs `(w-x)*(y-z)` vs `(y-z)*(w-x)`, which Observation 1
+//! says are the same strategy. Re-running the enumeration with a dedup that
+//! sorts only *leaf* operands of `*` (keeping parenthesized operands in
+//! encounter order) reproduces the paper's 3, 19, 207, 3211 exactly
+//! (64383 vs 64743 at M = 6); see [`paper`]. Both brute-force
+//! binary-expression enumeration and an independent counting recurrence
+//! confirm the semantic counts used here.
+//!
+//! This module reproduces the semantic numbers three independent ways:
+//! explicit enumeration ([`enumerate_full`]), a closed counting recurrence
+//! ([`count_full`]), and uniform random sampling ([`StrategySampler`])
+//! driven by the same recurrence.
+//!
+//! The enumeration works directly on the canonical form (see
+//! [`crate::expr::ast`]): a strategy tree alternates `Seq` and `Par` levels,
+//! so we recursively enumerate
+//!
+//! * *seq-rooted* trees: a first block holding a non-seq tree, followed by
+//!   the remainder as either a single non-seq tree or another seq-rooted
+//!   tree (right-spine recursion guarantees each flattened `Seq` is produced
+//!   exactly once);
+//! * *par-rooted* trees: the child block containing the smallest leaf is
+//!   the distinguished *anchor* (exploiting commutativity), the remainder is
+//!   a single non-par tree or another par-rooted tree.
+
+use crate::error::BuildError;
+use crate::expr::{Node, Strategy};
+use crate::MsId;
+
+/// Maximum number of microservices supported by the counting recurrences.
+///
+/// `F(21)` overflows `u128`; enumeration is practical only far below this.
+pub const MAX_COUNT_M: usize = 20;
+
+/// Bitmask over positions of a microservice slice.
+type Mask = u64;
+
+/// Iterates over all submasks of `mask`, including `0` and `mask` itself.
+fn submasks(mask: Mask) -> impl Iterator<Item = Mask> {
+    let mut sub = mask;
+    let mut done = false;
+    std::iter::from_fn(move || {
+        if done {
+            return None;
+        }
+        let current = sub;
+        if sub == 0 {
+            done = true;
+        } else {
+            sub = (sub - 1) & mask;
+        }
+        Some(current)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Streaming enumeration
+// ---------------------------------------------------------------------------
+
+/// Calls `visit` once for every distinct strategy that uses **all** of
+/// `ids` — the set `F(M)` of the paper.
+///
+/// Strategies are produced in a deterministic order. This streams with
+/// `O(depth)` memory, so it can walk strategy spaces too large to collect
+/// (e.g. `F(7)` ≈ 1.5 M strategies).
+///
+/// # Panics
+///
+/// Panics if `ids` contains duplicates or more than 64 entries.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::enumerate::for_each_full;
+/// use qce_strategy::MsId;
+///
+/// let ids = [MsId(0), MsId(1)];
+/// let mut seen = Vec::new();
+/// for_each_full(&ids, |s| seen.push(s.to_string()));
+/// seen.sort();
+/// assert_eq!(seen, ["a*b", "a-b", "b-a"]);
+/// ```
+pub fn for_each_full(ids: &[MsId], mut visit: impl FnMut(Strategy)) {
+    let ctx = EnumCtx::new(ids);
+    if ids.is_empty() {
+        return;
+    }
+    let full: Mask = if ids.len() == 64 {
+        Mask::MAX
+    } else {
+        (1 << ids.len()) - 1
+    };
+    ctx.stream_all(full, &mut |node| {
+        visit(Strategy::from_node(node).expect("enumeration produces valid strategies"));
+    });
+}
+
+/// Calls `visit` once for every strategy over every non-empty subset of
+/// `ids` — the set `F'(M)` of the paper.
+///
+/// # Panics
+///
+/// Panics if `ids` contains duplicates or more than 64 entries.
+pub fn for_each_with_subsets(ids: &[MsId], mut visit: impl FnMut(Strategy)) {
+    if ids.is_empty() {
+        return;
+    }
+    assert!(ids.len() <= 64, "at most 64 microservices supported");
+    let full: Mask = if ids.len() == 64 {
+        Mask::MAX
+    } else {
+        (1 << ids.len()) - 1
+    };
+    let ctx = EnumCtx::new(ids);
+    for sub in submasks(full) {
+        if sub == 0 {
+            continue;
+        }
+        ctx.stream_all(sub, &mut |node| {
+            visit(Strategy::from_node(node).expect("enumeration produces valid strategies"));
+        });
+    }
+}
+
+/// Collects `F(M)`: every distinct strategy using **all** of `ids`.
+///
+/// Practical for `M ≤ 6` (64 743 strategies); prefer [`for_each_full`]
+/// beyond that.
+///
+/// # Panics
+///
+/// Panics if `ids` contains duplicates or more than 64 entries.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::enumerate::enumerate_full;
+/// use qce_strategy::MsId;
+///
+/// let ids: Vec<MsId> = (0..4).map(MsId).collect();
+/// // 195 semantically distinct strategies (the paper's Table I reports 207,
+/// // counting some commutative duplicates — see the module docs).
+/// assert_eq!(enumerate_full(&ids).len(), 195);
+/// ```
+#[must_use]
+pub fn enumerate_full(ids: &[MsId]) -> Vec<Strategy> {
+    let mut out = Vec::new();
+    for_each_full(ids, |s| out.push(s));
+    out
+}
+
+/// Collects `F'(M)`: every strategy over every non-empty subset of `ids`.
+///
+/// ```
+/// use qce_strategy::enumerate::enumerate_with_subsets;
+/// use qce_strategy::MsId;
+///
+/// let ids: Vec<MsId> = (0..3).map(MsId).collect();
+/// assert_eq!(enumerate_with_subsets(&ids).len(), 31); // Table I (exact at M ≤ 3)
+/// ```
+#[must_use]
+pub fn enumerate_with_subsets(ids: &[MsId]) -> Vec<Strategy> {
+    let mut out = Vec::new();
+    for_each_with_subsets(ids, |s| out.push(s));
+    out
+}
+
+struct EnumCtx<'a> {
+    ids: &'a [MsId],
+}
+
+impl<'a> EnumCtx<'a> {
+    fn new(ids: &'a [MsId]) -> Self {
+        assert!(ids.len() <= 64, "at most 64 microservices supported");
+        let mut sorted: Vec<MsId> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "microservice ids must be distinct");
+        EnumCtx { ids }
+    }
+
+    /// All trees over `mask`: non-seq-rooted plus seq-rooted.
+    fn stream_all(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+        self.stream_non_seq(mask, f);
+        self.stream_seq(mask, f);
+    }
+
+    /// Trees whose root is not `Seq` (a leaf or a `Par`).
+    fn stream_non_seq(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+        if mask.count_ones() == 1 {
+            let idx = mask.trailing_zeros() as usize;
+            f(Node::Leaf(self.ids[idx]));
+        } else {
+            self.stream_par(mask, f);
+        }
+    }
+
+    /// Trees whose root is not `Par` (a leaf or a `Seq`).
+    fn stream_non_par(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+        if mask.count_ones() == 1 {
+            let idx = mask.trailing_zeros() as usize;
+            f(Node::Leaf(self.ids[idx]));
+        } else {
+            self.stream_seq(mask, f);
+        }
+    }
+
+    /// `Seq`-rooted trees over `mask` (requires ≥ 2 leaves).
+    ///
+    /// Right-spine recursion: choose the first child's leaf block `B`, then
+    /// emit `Seq[first, rest…]` for `rest` either a single non-seq tree or
+    /// the children of a seq-rooted tree over the remainder.
+    fn stream_seq(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+        if mask.count_ones() < 2 {
+            return;
+        }
+        for first_mask in submasks(mask) {
+            if first_mask == 0 || first_mask == mask {
+                continue;
+            }
+            let rest_mask = mask & !first_mask;
+            self.stream_non_seq(first_mask, &mut |first| {
+                // rest as a single non-seq child: Seq of exactly 2 children
+                self.stream_non_seq(rest_mask, &mut |rest| {
+                    f(Node::Seq(vec![first.clone(), rest]));
+                });
+                // rest as a longer sequential tail: splice its children
+                self.stream_seq(rest_mask, &mut |rest_seq| {
+                    let Node::Seq(tail) = rest_seq else {
+                        unreachable!("stream_seq yields Seq nodes only")
+                    };
+                    let mut children = Vec::with_capacity(tail.len() + 1);
+                    children.push(first.clone());
+                    children.extend(tail);
+                    f(Node::Seq(children));
+                });
+            });
+        }
+    }
+
+    /// `Par`-rooted trees over `mask` (requires ≥ 2 leaves).
+    ///
+    /// The child block containing the lowest-indexed leaf is the anchor —
+    /// fixing it exploits `*`'s commutativity so each unordered set of
+    /// children is produced exactly once.
+    fn stream_par(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+        if mask.count_ones() < 2 {
+            return;
+        }
+        let low: Mask = mask & mask.wrapping_neg();
+        let others = mask ^ low;
+        for extra in submasks(others) {
+            if extra == others {
+                continue; // anchor block must leave at least one leaf over
+            }
+            let anchor_mask = low | extra;
+            let rest_mask = others ^ extra;
+            self.stream_non_par(anchor_mask, &mut |anchor| {
+                // remainder is a single non-par child: Par of 2 children
+                self.stream_non_par(rest_mask, &mut |rest| {
+                    let mut children = vec![anchor.clone(), rest];
+                    children.sort();
+                    f(Node::Par(children));
+                });
+                // remainder is itself a Par: splice its children in
+                self.stream_par(rest_mask, &mut |rest_par| {
+                    let Node::Par(tail) = rest_par else {
+                        unreachable!("stream_par yields Par nodes only")
+                    };
+                    let mut children = Vec::with_capacity(tail.len() + 1);
+                    children.push(anchor.clone());
+                    children.extend(tail);
+                    children.sort();
+                    f(Node::Par(children));
+                });
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counting recurrences
+// ---------------------------------------------------------------------------
+
+/// Size-indexed counts of the enumeration classes above. All counts are
+/// exact in `u128` for `m ≤` [`MAX_COUNT_M`].
+#[derive(Debug, Clone)]
+struct Counts {
+    /// `non_seq[n]`: trees over `n` labeled leaves whose root is not `Seq`.
+    non_seq: Vec<u128>,
+    /// `non_par[n]`: trees whose root is not `Par`.
+    non_par: Vec<u128>,
+    /// `seq[n]`: `Seq`-rooted trees.
+    seq: Vec<u128>,
+    /// `par[n]`: `Par`-rooted trees.
+    par: Vec<u128>,
+    /// `binom[n][k]`.
+    binom: Vec<Vec<u128>>,
+}
+
+impl Counts {
+    fn up_to(m: usize) -> Self {
+        assert!(
+            m <= MAX_COUNT_M,
+            "strategy counts overflow u128 beyond M = {MAX_COUNT_M}"
+        );
+        let mut binom = vec![vec![0u128; m + 1]; m + 1];
+        for row in binom.iter_mut() {
+            row[0] = 1;
+        }
+        for n in 1..=m {
+            for k in 1..=n {
+                let above = binom[n - 1][k - 1];
+                let left = if k < n { binom[n - 1][k] } else { 0 };
+                binom[n][k] = above.checked_add(left).expect("binomial overflow");
+            }
+        }
+
+        let mut non_seq = vec![0u128; m + 1];
+        let mut non_par = vec![0u128; m + 1];
+        let mut seq = vec![0u128; m + 1];
+        let mut par = vec![0u128; m + 1];
+        // forest[n]: unordered partitions of n labeled leaves into ≥ 1
+        // blocks, each block carrying a non-par tree (the children multiset
+        // of a Par, allowing the degenerate single-block case).
+        let mut forest = vec![0u128; m + 1];
+        if m >= 1 {
+            non_seq[1] = 1;
+            non_par[1] = 1;
+            forest[0] = 1;
+        }
+        for n in 1..=m {
+            if n >= 2 {
+                // Seq: first block of size j carrying a non-seq tree,
+                // remainder either one more non-seq block or a longer tail.
+                let mut total: u128 = 0;
+                for j in 1..n {
+                    let tails = non_seq[n - j]
+                        .checked_add(seq[n - j])
+                        .expect("count overflow");
+                    let term = binom[n][j]
+                        .checked_mul(non_seq[j])
+                        .and_then(|v| v.checked_mul(tails))
+                        .expect("count overflow");
+                    total = total.checked_add(term).expect("count overflow");
+                }
+                seq[n] = total;
+                non_par[n] = seq[n];
+            }
+            // forest[n]: the block containing the lowest leaf has size j.
+            let mut total: u128 = 0;
+            for j in 1..=n {
+                let term = binom[n - 1][j - 1]
+                    .checked_mul(non_par[j])
+                    .and_then(|v| v.checked_mul(forest[n - j]))
+                    .expect("count overflow");
+                total = total.checked_add(term).expect("count overflow");
+            }
+            forest[n] = total;
+            if n >= 2 {
+                par[n] = forest[n] - non_par[n];
+                non_seq[n] = par[n];
+            }
+        }
+        Counts {
+            non_seq,
+            non_par,
+            seq,
+            par,
+            binom,
+        }
+    }
+
+    fn all(&self, n: usize) -> u128 {
+        self.non_seq[n] + self.seq[n]
+    }
+}
+
+/// Number of semantically distinct strategies using all of `m`
+/// microservices — the corrected `F(M)` (see the module docs for how this
+/// relates to the paper's Table I; [`paper::count_table1`] reproduces the
+/// published numbers).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m >` [`MAX_COUNT_M`] (the count would overflow
+/// `u128`).
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::enumerate::count_full;
+///
+/// assert_eq!(count_full(2), 3);
+/// assert_eq!(count_full(5), 2791);
+/// assert_eq!(count_full(6), 51303);
+/// ```
+#[must_use]
+pub fn count_full(m: usize) -> u128 {
+    assert!(m >= 1, "need at least one microservice");
+    Counts::up_to(m).all(m)
+}
+
+/// Number of semantically distinct strategies using between 1 and `m` of
+/// the microservices — the corrected `F'(M)` (the paper's Table I values
+/// are reproduced by [`paper::count_table1_subsets`]).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m >` [`MAX_COUNT_M`].
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::enumerate::count_with_subsets;
+///
+/// assert_eq!(count_with_subsets(2), 5);
+/// assert_eq!(count_with_subsets(3), 31);
+/// assert_eq!(count_with_subsets(6), 71405);
+/// ```
+#[must_use]
+pub fn count_with_subsets(m: usize) -> u128 {
+    assert!(m >= 1, "need at least one microservice");
+    let counts = Counts::up_to(m);
+    (1..=m)
+        .map(|j| {
+            counts.binom[m][j]
+                .checked_mul(counts.all(j))
+                .expect("count overflow")
+        })
+        .try_fold(0u128, u128::checked_add)
+        .expect("count overflow")
+}
+
+// ---------------------------------------------------------------------------
+// Uniform sampling
+// ---------------------------------------------------------------------------
+
+/// Draws strategies uniformly at random from `F(M)` over a fixed id set.
+///
+/// The sampler inverts the counting recurrence, so every one of the
+/// `F(M)` distinct strategies is equally likely. Used by the paper's
+/// estimation-correctness experiment, which "randomly select\[s\] 100
+/// execution strategies".
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::enumerate::StrategySampler;
+/// use qce_strategy::MsId;
+/// use rand::SeedableRng;
+///
+/// let ids: Vec<MsId> = (0..5).map(MsId).collect();
+/// let sampler = StrategySampler::new(&ids);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let s = sampler.sample(&mut rng);
+/// assert_eq!(s.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrategySampler {
+    ids: Vec<MsId>,
+    counts: Counts,
+}
+
+impl StrategySampler {
+    /// Creates a sampler over the given distinct microservice ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty, contains duplicates, or has more than
+    /// [`MAX_COUNT_M`] entries.
+    #[must_use]
+    pub fn new(ids: &[MsId]) -> Self {
+        assert!(!ids.is_empty(), "need at least one microservice");
+        let mut sorted: Vec<MsId> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "microservice ids must be distinct");
+        StrategySampler {
+            ids: ids.to_vec(),
+            counts: Counts::up_to(ids.len()),
+        }
+    }
+
+    /// Total number of strategies the sampler draws from (`F(M)`).
+    #[must_use]
+    pub fn space_size(&self) -> u128 {
+        self.counts.all(self.ids.len())
+    }
+
+    /// Draws one strategy uniformly at random.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> Strategy {
+        let mut pool: Vec<MsId> = self.ids.clone();
+        let node = self.sample_all(&mut pool, rng);
+        debug_assert!(pool.is_empty());
+        Strategy::from_node(node).expect("sampler produces valid strategies")
+    }
+
+    /// Samples any tree consuming all ids in `pool`.
+    fn sample_all<R: rand::Rng + ?Sized>(&self, pool: &mut Vec<MsId>, rng: &mut R) -> Node {
+        let n = pool.len();
+        let w_non_seq = self.counts.non_seq[n];
+        let total = w_non_seq + self.counts.seq[n];
+        if rng.gen_range(0..total) < w_non_seq {
+            self.sample_non_seq(pool, rng)
+        } else {
+            self.sample_seq(pool, rng)
+        }
+    }
+
+    fn sample_non_seq<R: rand::Rng + ?Sized>(&self, pool: &mut Vec<MsId>, rng: &mut R) -> Node {
+        if pool.len() == 1 {
+            Node::Leaf(pool.pop().expect("pool non-empty"))
+        } else {
+            self.sample_par(pool, rng)
+        }
+    }
+
+    fn sample_non_par<R: rand::Rng + ?Sized>(&self, pool: &mut Vec<MsId>, rng: &mut R) -> Node {
+        if pool.len() == 1 {
+            Node::Leaf(pool.pop().expect("pool non-empty"))
+        } else {
+            self.sample_seq(pool, rng)
+        }
+    }
+
+    fn sample_seq<R: rand::Rng + ?Sized>(&self, pool: &mut Vec<MsId>, rng: &mut R) -> Node {
+        let n = pool.len();
+        debug_assert!(n >= 2);
+        // Choose the size j of the first block, weighted by how many trees
+        // have a first block of that size.
+        let weight = |j: usize| {
+            self.counts.binom[n][j]
+                * self.counts.non_seq[j]
+                * (self.counts.non_seq[n - j] + self.counts.seq[n - j])
+        };
+        let total: u128 = (1..n).map(weight).sum();
+        let mut pick = rng.gen_range(0..total);
+        let mut size = 1;
+        for j in 1..n {
+            let w = weight(j);
+            if pick < w {
+                size = j;
+                break;
+            }
+            pick -= w;
+        }
+        let mut block = draw_subset(pool, size, rng);
+        let first = self.sample_non_seq(&mut block, rng);
+        // Tail: one more non-seq child, or a longer seq-rooted tail.
+        let rest = pool.len();
+        let w_single = self.counts.non_seq[rest];
+        let w_tail = self.counts.seq[rest];
+        let mut children = vec![first];
+        if rng.gen_range(0..w_single + w_tail) < w_single {
+            children.push(self.sample_non_seq(pool, rng));
+        } else {
+            match self.sample_seq(pool, rng) {
+                Node::Seq(tail) => children.extend(tail),
+                other => children.push(other),
+            }
+        }
+        Node::Seq(children)
+    }
+
+    fn sample_par<R: rand::Rng + ?Sized>(&self, pool: &mut Vec<MsId>, rng: &mut R) -> Node {
+        let n = pool.len();
+        debug_assert!(n >= 2);
+        // The anchor block contains the smallest id in the pool; choose its
+        // size j weighted by the number of trees with that anchor size.
+        let weight = |j: usize| {
+            let rest = n - j;
+            self.counts.binom[n - 1][j - 1]
+                * self.counts.non_par[j]
+                * (self.counts.non_par[rest] + self.counts.par[rest])
+        };
+        let total: u128 = (1..n).map(weight).sum();
+        let mut pick = rng.gen_range(0..total);
+        let mut size = 1;
+        for j in 1..n {
+            let w = weight(j);
+            if pick < w {
+                size = j;
+                break;
+            }
+            pick -= w;
+        }
+        // Remove the smallest id, then draw j-1 companions for the anchor.
+        let min_pos = pool
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, id)| **id)
+            .map(|(i, _)| i)
+            .expect("pool non-empty");
+        let lowest = pool.swap_remove(min_pos);
+        let mut block = draw_subset(pool, size - 1, rng);
+        block.push(lowest);
+        let anchor = self.sample_non_par(&mut block, rng);
+        let rest = pool.len();
+        let w_single = self.counts.non_par[rest];
+        let w_more = self.counts.par[rest];
+        let mut children = vec![anchor];
+        if rng.gen_range(0..w_single + w_more) < w_single {
+            children.push(self.sample_non_par(pool, rng));
+        } else {
+            match self.sample_par(pool, rng) {
+                Node::Par(tail) => children.extend(tail),
+                other => children.push(other),
+            }
+        }
+        children.sort();
+        Node::Par(children)
+    }
+}
+
+/// Removes and returns `count` uniformly random elements from `pool`.
+fn draw_subset<R: rand::Rng + ?Sized>(
+    pool: &mut Vec<MsId>,
+    count: usize,
+    rng: &mut R,
+) -> Vec<MsId> {
+    debug_assert!(count <= pool.len());
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let i = rng.gen_range(0..pool.len());
+        out.push(pool.swap_remove(i));
+    }
+    out
+}
+
+/// Reconstruction of the counting procedure behind the paper's Table I.
+///
+/// The published `F(M)` numbers (3, 19, 207, 3211, 64743) count strategies
+/// under a duplication removal that sorts only the *single-microservice*
+/// operands of `*`, leaving parenthesized operands in encounter order —
+/// so `(a-b)*(c-d)` and `(c-d)*(a-b)` are counted twice even though
+/// Observation 1 makes them the same strategy. The recurrences below model
+/// exactly that: a parallel node owns an unordered set of leaf children
+/// plus an **ordered** sequence of sequential children.
+///
+/// They reproduce Table I exactly for `M ≤ 5` and come within 0.56% at
+/// `M = 6` (64 383 vs the published 64 743; the residual is attributable to
+/// the paper's incompletely specified dedup procedure). Use
+/// [`count_full`] for the semantically correct counts.
+pub mod paper {
+    use super::MAX_COUNT_M;
+
+    /// `F(M)` as counted by the paper's procedure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m >` [`MAX_COUNT_M`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qce_strategy::enumerate::paper::count_table1;
+    ///
+    /// assert_eq!(count_table1(4), 207);  // Table I
+    /// assert_eq!(count_table1(5), 3211); // Table I
+    /// ```
+    #[must_use]
+    pub fn count_table1(m: usize) -> u128 {
+        assert!(m >= 1, "need at least one microservice");
+        let t = Tables::up_to(m);
+        t.all(m)
+    }
+
+    /// `F'(M)` as counted by the paper's procedure.
+    ///
+    /// ```
+    /// use qce_strategy::enumerate::paper::count_table1_subsets;
+    ///
+    /// assert_eq!(count_table1_subsets(4), 305);  // Table I
+    /// assert_eq!(count_table1_subsets(5), 4471); // Table I
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m >` [`MAX_COUNT_M`].
+    #[must_use]
+    pub fn count_table1_subsets(m: usize) -> u128 {
+        assert!(m >= 1, "need at least one microservice");
+        let t = Tables::up_to(m);
+        (1..=m)
+            .map(|j| t.binom[m][j].checked_mul(t.all(j)).expect("count overflow"))
+            .try_fold(0u128, u128::checked_add)
+            .expect("count overflow")
+    }
+
+    struct Tables {
+        /// `non_seq[n]`: leaf (n = 1) or paper-style Par. Kept for clarity
+        /// even though `all` only reads `seq` and `par`.
+        #[allow(dead_code)]
+        non_seq: Vec<u128>,
+        /// `seq[n]`: Seq-rooted trees (identical to the semantic count at
+        /// fixed child classes, but over paper-style children).
+        seq: Vec<u128>,
+        /// `par[n]`: paper-style Par-rooted trees.
+        par: Vec<u128>,
+        binom: Vec<Vec<u128>>,
+    }
+
+    impl Tables {
+        #[allow(clippy::needless_range_loop)]
+        fn up_to(m: usize) -> Self {
+            assert!(
+                m <= MAX_COUNT_M,
+                "strategy counts overflow u128 beyond M = {MAX_COUNT_M}"
+            );
+            let mut binom = vec![vec![0u128; m + 1]; m + 1];
+            for row in binom.iter_mut() {
+                row[0] = 1;
+            }
+            for n in 1..=m {
+                for k in 1..=n {
+                    let left = if k < n { binom[n - 1][k] } else { 0 };
+                    binom[n][k] = binom[n - 1][k - 1].checked_add(left).expect("overflow");
+                }
+            }
+            let mut non_seq = vec![0u128; m + 1];
+            let mut seq = vec![0u128; m + 1];
+            let mut par = vec![0u128; m + 1];
+            // ordered[n]: ordered sequences of ≥ 1 sequential blocks (each of
+            // size ≥ 2, carrying a Seq-rooted tree) covering n leaves.
+            let mut ordered = vec![0u128; m + 1];
+            if m >= 1 {
+                non_seq[1] = 1;
+            }
+            for n in 1..=m {
+                if n >= 2 {
+                    let mut s: u128 = 0;
+                    for j in 1..n {
+                        let tails = non_seq[n - j] + seq[n - j];
+                        s += binom[n][j] * non_seq[j] * tails;
+                    }
+                    seq[n] = s;
+
+                    let mut o: u128 = 0;
+                    for j in 2..=n {
+                        let rest = n - j;
+                        let tail = if rest == 0 { 1 } else { ordered[rest] };
+                        o += binom[n][j] * seq[j] * tail;
+                    }
+                    ordered[n] = o;
+
+                    // Par: t unordered leaf children + an ordered sequence of
+                    // k sequential children, t + k ≥ 2.
+                    let mut p: u128 = 1; // t = n: all children are leaves
+                    for t in 1..=n.saturating_sub(2) {
+                        p += binom[n][t] * ordered[n - t];
+                    }
+                    // t = 0 requires k ≥ 2: exclude the single-block case.
+                    p += ordered[n] - seq[n];
+                    par[n] = p;
+                    non_seq[n] = par[n];
+                }
+            }
+            Tables {
+                non_seq,
+                seq,
+                par,
+                binom,
+            }
+        }
+
+        fn all(&self, n: usize) -> u128 {
+            if n == 1 {
+                1
+            } else {
+                self.seq[n] + self.par[n]
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn table1_published_full_counts() {
+            assert_eq!(count_table1(1), 1);
+            assert_eq!(count_table1(2), 3);
+            assert_eq!(count_table1(3), 19);
+            assert_eq!(count_table1(4), 207);
+            assert_eq!(count_table1(5), 3211);
+            // Published value is 64 743; the reconstructed dedup yields
+            // 64 383 (0.56% below) — see the module docs.
+            assert_eq!(count_table1(6), 64383);
+        }
+
+        #[test]
+        fn table1_published_subset_counts() {
+            assert_eq!(count_table1_subsets(1), 1);
+            assert_eq!(count_table1_subsets(2), 5);
+            assert_eq!(count_table1_subsets(3), 31);
+            assert_eq!(count_table1_subsets(4), 305);
+            assert_eq!(count_table1_subsets(5), 4471);
+            // Published value is 87 545; reconstruction gives 87 185.
+            assert_eq!(count_table1_subsets(6), 87185);
+        }
+
+        #[test]
+        fn paper_counts_never_below_semantic_counts() {
+            for m in 1..=10 {
+                assert!(
+                    count_table1(m) >= super::super::count_full(m),
+                    "paper dedup keeps duplicates, so its count can't be smaller (m={m})"
+                );
+            }
+        }
+    }
+}
+
+/// Builds the fail-over strategy `ids[0] - ids[1] - …` (MOLE's sequential
+/// pattern) over the given order.
+///
+/// # Errors
+///
+/// Returns [`BuildError::TooFewOperands`] for an empty slice (a single id
+/// yields the leaf strategy) or [`BuildError::DuplicateMicroservice`] on
+/// duplicates.
+///
+/// ```
+/// use qce_strategy::enumerate::failover;
+/// use qce_strategy::MsId;
+///
+/// let s = failover(&[MsId(2), MsId(0), MsId(1)])?;
+/// assert_eq!(s.to_string(), "c-a-b");
+/// # Ok::<(), qce_strategy::BuildError>(())
+/// ```
+pub fn failover(ids: &[MsId]) -> Result<Strategy, BuildError> {
+    match ids {
+        [] => Err(BuildError::TooFewOperands { got: 0 }),
+        [only] => Ok(Strategy::leaf(*only)),
+        _ => Strategy::seq(ids.iter().copied().map(Strategy::leaf)),
+    }
+}
+
+/// Builds the speculative-parallel strategy `ids[0] * ids[1] * …` (MOLE's
+/// parallel pattern).
+///
+/// # Errors
+///
+/// Same conditions as [`failover`].
+///
+/// ```
+/// use qce_strategy::enumerate::speculative_parallel;
+/// use qce_strategy::MsId;
+///
+/// let s = speculative_parallel(&[MsId(0), MsId(1), MsId(2)])?;
+/// assert_eq!(s.to_string(), "a*b*c");
+/// # Ok::<(), qce_strategy::BuildError>(())
+/// ```
+pub fn speculative_parallel(ids: &[MsId]) -> Result<Strategy, BuildError> {
+    match ids {
+        [] => Err(BuildError::TooFewOperands { got: 0 }),
+        [only] => Ok(Strategy::leaf(*only)),
+        _ => Strategy::par(ids.iter().copied().map(Strategy::leaf)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+
+    fn ids(m: usize) -> Vec<MsId> {
+        (0..m).map(MsId).collect()
+    }
+
+    #[test]
+    fn semantic_full_counts_by_enumeration() {
+        // Semantically distinct counts; see module docs for the relation to
+        // the paper's Table I. Verified independently by brute-force
+        // enumeration of all binary expression trees.
+        let expected = [(2usize, 3usize), (3, 19), (4, 195), (5, 2791)];
+        for (m, count) in expected {
+            assert_eq!(enumerate_full(&ids(m)).len(), count, "F({m})");
+        }
+    }
+
+    #[test]
+    fn semantic_subset_counts_by_enumeration() {
+        let expected = [(2usize, 5usize), (3, 31), (4, 293), (5, 3991)];
+        for (m, count) in expected {
+            assert_eq!(enumerate_with_subsets(&ids(m)).len(), count, "F'({m})");
+        }
+    }
+
+    #[test]
+    fn semantic_counting_recurrence() {
+        assert_eq!(count_full(1), 1);
+        assert_eq!(count_full(2), 3);
+        assert_eq!(count_full(3), 19);
+        assert_eq!(count_full(4), 195);
+        assert_eq!(count_full(5), 2791);
+        assert_eq!(count_full(6), 51303);
+        assert_eq!(count_with_subsets(1), 1);
+        assert_eq!(count_with_subsets(2), 5);
+        assert_eq!(count_with_subsets(3), 31);
+        assert_eq!(count_with_subsets(4), 293);
+        assert_eq!(count_with_subsets(5), 3991);
+        assert_eq!(count_with_subsets(6), 71405);
+    }
+
+    #[test]
+    fn counts_strictly_grow() {
+        let mut prev = 0u128;
+        for m in 1..=12 {
+            let c = count_full(m);
+            assert!(c > prev, "F({m}) should exceed F({})", m - 1);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates() {
+        for m in 1..=5 {
+            let all = enumerate_full(&ids(m));
+            let unique: HashSet<_> = all.iter().cloned().collect();
+            assert_eq!(unique.len(), all.len(), "duplicates at M={m}");
+        }
+    }
+
+    #[test]
+    fn enumerated_strategies_use_all_ids() {
+        for m in 1..=5 {
+            for s in enumerate_full(&ids(m)) {
+                let mut leaves = s.leaves();
+                leaves.sort_unstable();
+                assert_eq!(leaves, ids(m), "strategy {s} misses ids");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_round_trips_through_text() {
+        for s in enumerate_full(&ids(4)) {
+            let reparsed = Strategy::parse(&s.to_string()).unwrap();
+            assert_eq!(s, reparsed);
+        }
+    }
+
+    #[test]
+    fn m3_strategies_match_hand_enumeration() {
+        // The 19 strategies over {a, b, c}: 6 pure fail-over orderings,
+        // 1 pure parallel, 6 of shape x-(y*z) / (y*z)-x, and 6 of shape
+        // (x-y)*z with ordered (x,y).
+        let mut rendered: Vec<String> = enumerate_full(&ids(3))
+            .iter()
+            .map(Strategy::to_string)
+            .collect();
+        rendered.sort();
+        let mut expected = vec![
+            "a-b-c", "a-c-b", "b-a-c", "b-c-a", "c-a-b", "c-b-a", // fail-over
+            "a*b*c", // parallel
+            "a-b*c", "b-a*c", "c-a*b", "a*b-c", "a*c-b",
+            "b*c-a", // seq of 2 with one par block
+            "(a-b)*c", "(b-a)*c", "(a-c)*b", "(c-a)*b", "(b-c)*a",
+            "(c-b)*a", // par with seq block
+        ];
+        // Render expectations through the parser so Par-child ordering is canonical.
+        let mut expected: Vec<String> = expected
+            .drain(..)
+            .map(|t| Strategy::parse(t).unwrap().to_string())
+            .collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(expected.len(), 19);
+        assert_eq!(rendered, expected);
+    }
+
+    #[test]
+    fn enumeration_with_arbitrary_ids() {
+        let custom = [MsId(7), MsId(3), MsId(11)];
+        let all = enumerate_full(&custom);
+        assert_eq!(all.len(), 19);
+        for s in &all {
+            let mut leaves = s.leaves();
+            leaves.sort_unstable();
+            assert_eq!(leaves, vec![MsId(3), MsId(7), MsId(11)]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn enumeration_rejects_duplicate_ids() {
+        let _ = enumerate_full(&[MsId(0), MsId(0)]);
+    }
+
+    #[test]
+    fn streaming_matches_collected() {
+        let mut streamed = 0usize;
+        for_each_full(&ids(5), |_| streamed += 1);
+        assert_eq!(streamed, 2791);
+        let mut streamed = 0usize;
+        for_each_with_subsets(&ids(4), |_| streamed += 1);
+        assert_eq!(streamed, 293);
+    }
+
+    #[test]
+    fn empty_id_list_enumerates_nothing() {
+        let mut visits = 0;
+        for_each_full(&[], |_| visits += 1);
+        for_each_with_subsets(&[], |_| visits += 1);
+        assert_eq!(visits, 0);
+    }
+
+    #[test]
+    fn sampler_space_size_matches_counts() {
+        for m in 1..=8 {
+            let sampler = StrategySampler::new(&ids(m));
+            assert_eq!(sampler.space_size(), count_full(m));
+        }
+    }
+
+    #[test]
+    fn sampler_produces_valid_full_strategies() {
+        let sampler = StrategySampler::new(&ids(6));
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            let s = sampler.sample(&mut rng);
+            let mut leaves = s.leaves();
+            leaves.sort_unstable();
+            assert_eq!(leaves, ids(6));
+        }
+    }
+
+    #[test]
+    fn sampler_is_close_to_uniform_on_m2() {
+        // F(2) = {a-b, b-a, a*b}; with 3000 draws each should get ~1000.
+        let sampler = StrategySampler::new(&ids(2));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..3000 {
+            *counts
+                .entry(sampler.sample(&mut rng).to_string())
+                .or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 3);
+        for (_, c) in counts {
+            assert!((800..1200).contains(&c), "non-uniform draw count {c}");
+        }
+    }
+
+    #[test]
+    fn sampler_covers_all_m3_strategies() {
+        let sampler = StrategySampler::new(&ids(3));
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(sampler.sample(&mut rng));
+        }
+        assert_eq!(seen.len(), 19, "sampler should reach every F(3) strategy");
+    }
+
+    #[test]
+    fn default_pattern_builders() {
+        assert!(failover(&[]).is_err());
+        assert_eq!(failover(&[MsId(4)]).unwrap().to_string(), "e");
+        assert_eq!(speculative_parallel(&[MsId(4)]).unwrap().to_string(), "e");
+        let fo = failover(&ids(3)).unwrap();
+        assert!(fo.is_failover());
+        let sp = speculative_parallel(&ids(3)).unwrap();
+        assert!(sp.is_parallel());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn count_beyond_limit_panics() {
+        let _ = count_full(MAX_COUNT_M + 1);
+    }
+}

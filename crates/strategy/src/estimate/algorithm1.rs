@@ -1,0 +1,310 @@
+//! The paper's Algorithm 1: average cost, latency, and reliability of an
+//! execution strategy.
+//!
+//! Given the timelines of all microservices (see
+//! [`timeline`](crate::estimate::timelines)):
+//!
+//! * **latency** — sort timelines by end time into `φ`; the strategy
+//!   finishes at `φ(i).end` with probability *all earlier-finishing
+//!   microservices fail and `φ(i)` succeeds*; if everything fails, it
+//!   finishes at the last end time;
+//! * **cost** — per Assumption 2, a microservice is charged in full as soon
+//!   as it starts; `m` starts iff every microservice finishing *at or
+//!   before* `m`'s start has failed;
+//! * **reliability** — the strategy fails only if every microservice fails:
+//!   `r = 1 − Π (1 − r_m)`.
+//!
+//! ### Erratum handled here
+//!
+//! Algorithm 1 line 10 filters the gating set with `e < s` (strictly
+//! before). The paper's own Table II values (cost 162 for `a-b*c-d-e`, 372
+//! for `c*(a*b-d*e)`) require `e ≤ s`: in a sequential chain the fall-back
+//! microservice starts exactly when its predecessor's window ends, and it
+//! must only be charged when that predecessor failed. We therefore use
+//! `e ≤ s` (excluding the microservice itself); `tests` pin every Table II
+//! row.
+
+use crate::error::EstimateError;
+use crate::estimate::timeline::{timelines, Timeline};
+use crate::expr::Strategy;
+use crate::qos::{EnvQos, Qos, Reliability};
+
+/// Estimates the average QoS of executing `strategy` repeatedly in an
+/// environment whose per-microservice QoS is `env` (the paper's
+/// Algorithm 1).
+///
+/// # Errors
+///
+/// Returns [`EstimateError::MissingMicroservice`] if `env` lacks an entry
+/// for any microservice of the strategy.
+///
+/// # Examples
+///
+/// The worked example from Section III.C.3 — `a*b*c` with
+/// `l = (10, 90, 70)` and `r = (10%, 90%, 70%)` has an average latency of
+/// 69.4 (the folding method of prior work over-estimates it at 73.6):
+///
+/// ```
+/// use qce_strategy::estimate::estimate;
+/// use qce_strategy::{EnvQos, Strategy};
+///
+/// let env = EnvQos::from_triples(&[
+///     (1.0, 10.0, 0.1),
+///     (1.0, 90.0, 0.9),
+///     (1.0, 70.0, 0.7),
+/// ])?;
+/// let qos = estimate(&Strategy::parse("a*b*c")?, &env)?;
+/// assert!((qos.latency - 69.4).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate(strategy: &Strategy, env: &EnvQos) -> Result<Qos, EstimateError> {
+    let tl = timelines(strategy, env)?;
+    Ok(estimate_from_timelines(&tl, env))
+}
+
+/// Estimates QoS from precomputed timelines (all referenced microservices
+/// must be present in `env`).
+///
+/// Exposed separately so callers that need the timelines anyway (e.g. the
+/// virtual-time executor's sanity checks) avoid recomputing them.
+///
+/// # Panics
+///
+/// Panics if a timeline references a microservice missing from `env`.
+#[must_use]
+pub fn estimate_from_timelines(tl: &[Timeline], env: &EnvQos) -> Qos {
+    let reliability_of = |t: &Timeline| -> Reliability {
+        env.get(t.ms)
+            .unwrap_or_else(|| panic!("environment lacks QoS for {}", t.ms))
+            .reliability
+    };
+
+    // Reliability: fails only when every microservice fails.
+    let all_fail: f64 = tl
+        .iter()
+        .map(|t| reliability_of(t).failure_probability())
+        .product();
+    let reliability = Reliability::clamped(1.0 - all_fail);
+
+    // Latency: lines 3–7 of Algorithm 1.
+    let mut by_end: Vec<&Timeline> = tl.iter().collect();
+    by_end.sort_by(|x, y| x.end.partial_cmp(&y.end).expect("latency must not be NaN"));
+    let mut latency = 0.0;
+    let mut prefix_fail = 1.0; // probability that φ(0..i) all failed
+    for (i, t) in by_end.iter().enumerate() {
+        let r = reliability_of(t).value();
+        if i + 1 == by_end.len() {
+            // Last to finish: the execution ends here whether it succeeds
+            // or not (everything earlier already failed).
+            latency += prefix_fail * t.end;
+        } else {
+            latency += prefix_fail * r * t.end;
+            prefix_fail *= 1.0 - r;
+        }
+    }
+
+    // Cost: lines 9–12. A microservice is charged iff every microservice
+    // finishing at or before its start failed (erratum: `e ≤ s`).
+    let mut cost = 0.0;
+    for t in tl {
+        let p_started: f64 = tl
+            .iter()
+            .filter(|other| !std::ptr::eq(*other, t) && other.end <= t.start)
+            .map(|other| reliability_of(other).failure_probability())
+            .product();
+        let c = env
+            .get(t.ms)
+            .unwrap_or_else(|| panic!("environment lacks QoS for {}", t.ms))
+            .cost;
+        cost += p_started * c;
+    }
+
+    Qos {
+        cost,
+        latency,
+        reliability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MsId;
+
+    /// Section III.D / Table II microservices a–e:
+    /// QoS [cost, latency, reliability] = [50,50,60%] … [250,250,80%].
+    fn env5() -> EnvQos {
+        EnvQos::from_triples(&[
+            (50.0, 50.0, 0.6),
+            (100.0, 100.0, 0.6),
+            (150.0, 150.0, 0.7),
+            (200.0, 200.0, 0.7),
+            (250.0, 250.0, 0.8),
+        ])
+        .unwrap()
+    }
+
+    fn est(text: &str) -> Qos {
+        estimate(&Strategy::parse(text).unwrap(), &env5()).unwrap()
+    }
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn single_leaf_is_its_own_qos() {
+        let q = est("c");
+        assert!((q.cost - 150.0).abs() < EPS);
+        assert!((q.latency - 150.0).abs() < EPS);
+        assert!((q.reliability.value() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn section3c3_worked_example() {
+        // a*b*c with l=(10,90,70), r=(10%,90%,70%): latency 69.4.
+        let env =
+            EnvQos::from_triples(&[(1.0, 10.0, 0.1), (1.0, 90.0, 0.9), (1.0, 70.0, 0.7)]).unwrap();
+        let q = estimate(&Strategy::parse("a*b*c").unwrap(), &env).unwrap();
+        assert!((q.latency - 69.4).abs() < 1e-9, "got {}", q.latency);
+        // All three start immediately, so all are charged.
+        assert!((q.cost - 3.0).abs() < EPS);
+        // r = 1 - 0.9*0.1*0.3 = 0.973
+        assert!((q.reliability.value() - 0.973).abs() < EPS);
+    }
+
+    #[test]
+    fn table2_strategy1_failover() {
+        // Exact arithmetic gives 127.2 for both cost and latency (the paper
+        // rounds to 126); reliability 99.7%.
+        let q = est("a-b-c-d-e");
+        assert!((q.cost - 127.2).abs() < 1e-6, "cost {}", q.cost);
+        assert!((q.latency - 127.2).abs() < 1e-6, "latency {}", q.latency);
+        assert!((q.reliability.value() - 0.99712).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_strategy2_parallel() {
+        // Paper: cost 750, latency 81, reliability 99.7%.
+        let q = est("a*b*c*d*e");
+        assert!((q.cost - 750.0).abs() < EPS, "cost {}", q.cost);
+        // 0.6*50 + 0.4*0.6*100 + 0.16*0.7*150 + 0.048*0.7*200 + 0.0144*250
+        let expected = 0.6 * 50.0
+            + 0.4 * 0.6 * 100.0
+            + 0.4 * 0.4 * 0.7 * 150.0
+            + 0.4 * 0.4 * 0.3 * 0.7 * 200.0
+            + 0.4 * 0.4 * 0.3 * 0.3 * 250.0;
+        assert!((q.latency - expected).abs() < EPS);
+        assert!((q.latency - 81.0).abs() < 0.5, "latency {}", q.latency);
+        assert!((q.reliability.value() - 0.99712).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_strategy3_custom() {
+        // Paper: cost 162, latency 111, reliability 99.7%.
+        // Exact: cost 163.2, latency 111.2.
+        let q = est("a-b*c-d-e");
+        assert!((q.cost - 163.2).abs() < 1e-6, "cost {}", q.cost);
+        assert!((q.latency - 111.2).abs() < 1e-6, "latency {}", q.latency);
+        assert!((q.reliability.value() - 0.99712).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_strategy4_custom() {
+        // Paper: cost 372, latency 85, reliability 99.7%.
+        // Exact: cost 372 exactly, latency 85.92.
+        let q = est("c*(a*b-d*e)");
+        assert!((q.cost - 372.0).abs() < 1e-6, "cost {}", q.cost);
+        assert!((q.latency - 85.92).abs() < 1e-6, "latency {}", q.latency);
+        assert!((q.reliability.value() - 0.99712).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reliability_is_order_independent() {
+        let strategies = [
+            "a-b-c-d-e",
+            "a*b*c*d*e",
+            "a-b*c-d-e",
+            "c*(a*b-d*e)",
+            "(a-b)*(c-d)*e",
+        ];
+        for text in strategies {
+            let q = est(text);
+            assert!(
+                (q.reliability.value() - 0.99712).abs() < 1e-9,
+                "{text}: {}",
+                q.reliability
+            );
+        }
+    }
+
+    #[test]
+    fn failover_cost_is_conditional() {
+        // a-b: cost = 50 + 0.4*100 = 90; latency = 0.6*50 + 0.4*150 = 90.
+        let q = est("a-b");
+        assert!((q.cost - 90.0).abs() < EPS);
+        assert!((q.latency - 90.0).abs() < EPS);
+    }
+
+    #[test]
+    fn parallel_cost_charges_everyone() {
+        let q = est("a*b");
+        assert!((q.cost - 150.0).abs() < EPS);
+        // 0.6*50 + 0.4*100 = 70
+        assert!((q.latency - 70.0).abs() < EPS);
+    }
+
+    #[test]
+    fn perfectly_reliable_head_shields_tail() {
+        let env = EnvQos::from_triples(&[(10.0, 5.0, 1.0), (99.0, 99.0, 0.5)]).unwrap();
+        let q = estimate(&Strategy::parse("a-b").unwrap(), &env).unwrap();
+        assert!((q.cost - 10.0).abs() < EPS, "b never starts");
+        assert!((q.latency - 5.0).abs() < EPS);
+        assert_eq!(q.reliability, Reliability::ALWAYS);
+    }
+
+    #[test]
+    fn zero_reliability_head_always_falls_through() {
+        let env = EnvQos::from_triples(&[(10.0, 5.0, 0.0), (20.0, 7.0, 0.8)]).unwrap();
+        let q = estimate(&Strategy::parse("a-b").unwrap(), &env).unwrap();
+        assert!((q.cost - 30.0).abs() < EPS);
+        assert!((q.latency - 12.0).abs() < EPS);
+        assert!((q.reliability.value() - 0.8).abs() < EPS);
+    }
+
+    #[test]
+    fn equal_end_times_share_the_tie_consistently() {
+        // Two parallel microservices with identical latency: expected
+        // latency is that latency regardless of sort order.
+        let env = EnvQos::from_triples(&[(1.0, 40.0, 0.5), (1.0, 40.0, 0.9)]).unwrap();
+        let q = estimate(&Strategy::parse("a*b").unwrap(), &env).unwrap();
+        assert!((q.latency - 40.0).abs() < EPS);
+    }
+
+    #[test]
+    fn missing_entry_error() {
+        let env = EnvQos::from_triples(&[(1.0, 1.0, 0.5)]).unwrap();
+        let s = Strategy::parse("a*b").unwrap();
+        assert_eq!(
+            estimate(&s, &env).unwrap_err(),
+            EstimateError::MissingMicroservice(MsId(1))
+        );
+    }
+
+    #[test]
+    fn grouped_vs_ungrouped_differ_in_qos() {
+        // Observation 3's semantic distinction shows up in the estimates.
+        let grouped = est("(a-b)*c");
+        let ungrouped = est("a-b*c");
+        assert!((grouped.cost - ungrouped.cost).abs() > 1.0);
+        assert!((grouped.latency - ungrouped.latency).abs() > 1.0);
+    }
+
+    #[test]
+    fn estimate_from_timelines_matches_estimate() {
+        let s = Strategy::parse("a-b*c-d").unwrap();
+        let env = env5();
+        let tl = crate::estimate::timelines(&s, &env).unwrap();
+        let via_tl = estimate_from_timelines(&tl, &env);
+        let direct = estimate(&s, &env).unwrap();
+        assert_eq!(via_tl, direct);
+    }
+}

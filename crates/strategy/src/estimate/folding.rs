@@ -1,0 +1,202 @@
+//! The folding-based QoS estimator from the web-services literature
+//! (Hiratsuka et al., ICWS 2011 — reference [15] of the paper), used as the
+//! baseline that Algorithm 1 improves upon.
+//!
+//! The folding method collapses an execution strategy bottom-up: each
+//! composite node is replaced by a single *virtual* microservice whose QoS
+//! is computed pairwise from its children's QoS:
+//!
+//! * sequential `x - y`: `l = l_x + (1-r_x)·l_y`, `c = c_x + (1-r_x)·c_y`,
+//!   `r = 1-(1-r_x)(1-r_y)`;
+//! * parallel `x * y` (fold the faster one first):
+//!   `l = l_f·r_f + l_s·(1-r_f)`, `c = c_x + c_y`,
+//!   `r = 1-(1-r_x)(1-r_y)`.
+//!
+//! As the paper's Section III.C.3 shows, folding ignores that a *later*
+//! sibling can short-circuit microservices folded earlier: for `a*b*c` with
+//! `l=(10,90,70)`, `r=(10%,90%,70%)` folding yields 73.6 while the true
+//! average latency is 69.4. This module exists so benchmarks can quantify
+//! that gap.
+
+use crate::error::EstimateError;
+use crate::expr::{Node, Strategy};
+use crate::qos::{EnvQos, Qos, Reliability};
+
+/// Estimates strategy QoS with the folding method of prior work \[15\].
+///
+/// Prefer [`estimate`](crate::estimate::estimate) (the paper's Algorithm 1)
+/// for accurate numbers; this exists as a comparison baseline.
+///
+/// # Errors
+///
+/// Returns [`EstimateError::MissingMicroservice`] if `env` lacks an entry
+/// for any microservice of the strategy.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::estimate::{estimate, estimate_folding};
+/// use qce_strategy::{EnvQos, Strategy};
+///
+/// let env = EnvQos::from_triples(&[
+///     (1.0, 10.0, 0.1),
+///     (1.0, 90.0, 0.9),
+///     (1.0, 70.0, 0.7),
+/// ])?;
+/// let s = Strategy::parse("a*b*c")?;
+/// let folded = estimate_folding(&s, &env)?;
+/// let exact = estimate(&s, &env)?;
+/// assert!((folded.latency - 73.6).abs() < 1e-9); // the paper's Section III.C.3
+/// assert!((exact.latency - 69.4).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn estimate_folding(strategy: &Strategy, env: &EnvQos) -> Result<Qos, EstimateError> {
+    fold(strategy.node(), env)
+}
+
+fn fold(node: &Node, env: &EnvQos) -> Result<Qos, EstimateError> {
+    match node {
+        Node::Leaf(id) => env
+            .get(*id)
+            .copied()
+            .ok_or(EstimateError::MissingMicroservice(*id)),
+        Node::Seq(children) => {
+            let mut iter = children.iter();
+            let first = fold(iter.next().expect("Seq has children"), env)?;
+            iter.try_fold(first, |acc, child| {
+                let next = fold(child, env)?;
+                Ok(fold_seq(&acc, &next))
+            })
+        }
+        Node::Par(children) => {
+            let mut iter = children.iter();
+            let first = fold(iter.next().expect("Par has children"), env)?;
+            iter.try_fold(first, |acc, child| {
+                let next = fold(child, env)?;
+                Ok(fold_par(&acc, &next))
+            })
+        }
+    }
+}
+
+fn fold_seq(x: &Qos, y: &Qos) -> Qos {
+    let fx = x.reliability.failure_probability();
+    Qos {
+        cost: x.cost + fx * y.cost,
+        latency: x.latency + fx * y.latency,
+        reliability: Reliability::clamped(1.0 - fx * y.reliability.failure_probability()),
+    }
+}
+
+fn fold_par(x: &Qos, y: &Qos) -> Qos {
+    // Order the pair by latency: the faster one "wins" with its own
+    // reliability, otherwise the slower one's latency is paid.
+    let (fast, slow) = if x.latency <= y.latency {
+        (x, y)
+    } else {
+        (y, x)
+    };
+    let rf = fast.reliability.value();
+    Qos {
+        cost: x.cost + y.cost,
+        latency: fast.latency * rf + slow.latency * (1.0 - rf),
+        reliability: Reliability::clamped(
+            1.0 - x.reliability.failure_probability() * y.reliability.failure_probability(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::estimate;
+
+    const EPS: f64 = 1e-9;
+
+    fn env_3c3() -> EnvQos {
+        EnvQos::from_triples(&[(1.0, 10.0, 0.1), (1.0, 90.0, 0.9), (1.0, 70.0, 0.7)]).unwrap()
+    }
+
+    #[test]
+    fn paper_folding_example() {
+        // θ = a*b: l = 10·10% + 90·90% = 82, r = 91%.
+        // θ*c: l = 70·70% + 82·30% = 73.6.
+        let q = estimate_folding(&Strategy::parse("a*b*c").unwrap(), &env_3c3()).unwrap();
+        assert!((q.latency - 73.6).abs() < EPS, "latency {}", q.latency);
+        assert!((q.reliability.value() - 0.973).abs() < EPS);
+        assert!((q.cost - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn folding_overestimates_parallel_latency() {
+        let s = Strategy::parse("a*b*c").unwrap();
+        let folded = estimate_folding(&s, &env_3c3()).unwrap();
+        let exact = estimate(&s, &env_3c3()).unwrap();
+        assert!(folded.latency > exact.latency);
+    }
+
+    #[test]
+    fn folding_matches_algorithm1_on_leaves_and_pairs() {
+        // For a single leaf, a two-element Seq, and a two-element Par the
+        // folding recurrence is exact.
+        let env = EnvQos::from_triples(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.6)]).unwrap();
+        for text in ["a", "a-b", "b-a", "a*b"] {
+            let s = Strategy::parse(text).unwrap();
+            let folded = estimate_folding(&s, &env).unwrap();
+            let exact = estimate(&s, &env).unwrap();
+            assert!((folded.cost - exact.cost).abs() < EPS, "{text}");
+            assert!((folded.latency - exact.latency).abs() < EPS, "{text}");
+            assert!(
+                (folded.reliability.value() - exact.reliability.value()).abs() < EPS,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn folding_matches_reliability_always() {
+        // Reliability only depends on the set of microservices, so folding
+        // gets it right even where latency drifts.
+        let env = EnvQos::from_triples(&[
+            (50.0, 50.0, 0.6),
+            (100.0, 100.0, 0.6),
+            (150.0, 150.0, 0.7),
+            (200.0, 200.0, 0.7),
+        ])
+        .unwrap();
+        for text in ["a*b*c*d", "a-b*c-d", "(a-b)*(c-d)"] {
+            let s = Strategy::parse(text).unwrap();
+            let folded = estimate_folding(&s, &env).unwrap();
+            let exact = estimate(&s, &env).unwrap();
+            assert!(
+                (folded.reliability.value() - exact.reliability.value()).abs() < EPS,
+                "{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_folding_is_exact_for_pure_failover() {
+        // In a pure fail-over chain no sibling can short-circuit another,
+        // so folding agrees with Algorithm 1.
+        let env = EnvQos::from_triples(&[
+            (50.0, 50.0, 0.6),
+            (100.0, 100.0, 0.6),
+            (150.0, 150.0, 0.7),
+            (200.0, 200.0, 0.7),
+            (250.0, 250.0, 0.8),
+        ])
+        .unwrap();
+        let s = Strategy::parse("a-b-c-d-e").unwrap();
+        let folded = estimate_folding(&s, &env).unwrap();
+        let exact = estimate(&s, &env).unwrap();
+        assert!((folded.cost - exact.cost).abs() < EPS);
+        assert!((folded.latency - exact.latency).abs() < EPS);
+    }
+
+    #[test]
+    fn missing_entry_error() {
+        let env = EnvQos::from_triples(&[(1.0, 1.0, 0.5)]).unwrap();
+        assert!(estimate_folding(&Strategy::parse("a*b").unwrap(), &env).is_err());
+    }
+}

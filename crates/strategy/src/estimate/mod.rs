@@ -1,0 +1,20 @@
+//! QoS estimation for execution strategies (paper Section III.C).
+//!
+//! * [`timelines`] — the `GetTimelines` scheduling pass (Algorithm 1,
+//!   lines 15–33);
+//! * [`estimate`] — the paper's Algorithm 1 (average cost / latency /
+//!   reliability over repeated executions);
+//! * [`estimate_folding`] — the pairwise folding baseline from prior work
+//!   \[15\], kept for comparison benchmarks;
+//! * [`latency_mixture`] — the exact completion-time *distribution*
+//!   (Algorithm 1's mean is its first moment), enabling percentile SLAs.
+
+mod algorithm1;
+mod folding;
+mod mixture;
+mod timeline;
+
+pub use algorithm1::{estimate, estimate_from_timelines};
+pub use folding::estimate_folding;
+pub use mixture::{latency_mixture, LatencyMixture};
+pub use timeline::{timelines, Timeline};

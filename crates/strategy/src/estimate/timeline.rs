@@ -1,0 +1,214 @@
+//! Timeline construction — the `GetTimelines` function of the paper's
+//! Algorithm 1 (lines 15–33).
+//!
+//! A *timeline* `τ = (m, s, e)` assigns each microservice of a strategy its
+//! scheduled start time `s` and end time `e`, assuming average latencies and
+//! assuming execution proceeds until everything fails:
+//!
+//! * a **leaf** runs `[0, l_m)`;
+//! * a **sequential** node delays its right part by the *makespan* (largest
+//!   end time) of its left part — the right part only ever runs after every
+//!   microservice on the left has had the chance to fail;
+//! * a **parallel** node overlays its children.
+
+use crate::error::EstimateError;
+use crate::expr::{Node, Strategy};
+use crate::{EnvQos, MsId};
+
+/// Scheduled execution window of one microservice within a strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timeline {
+    /// The microservice.
+    pub ms: MsId,
+    /// Scheduled start time (0 = strategy invocation).
+    pub start: f64,
+    /// Scheduled end time (`start` + average latency).
+    pub end: f64,
+}
+
+/// Computes the timeline of every microservice in `strategy`, using the
+/// average latencies from `env`.
+///
+/// Timelines are returned in left-to-right leaf order.
+///
+/// # Errors
+///
+/// Returns [`EstimateError::MissingMicroservice`] if `env` lacks an entry
+/// for any microservice in the strategy.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::estimate::timelines;
+/// use qce_strategy::{EnvQos, Strategy};
+///
+/// let env = EnvQos::from_triples(&[
+///     (50.0, 50.0, 0.6),
+///     (100.0, 100.0, 0.6),
+///     (150.0, 150.0, 0.7),
+/// ])?;
+/// let s = Strategy::parse("a-b*c")?;
+/// let tl = timelines(&s, &env)?;
+/// // a: [0, 50); b and c start when a's window ends.
+/// assert_eq!(tl[0].start, 0.0);
+/// assert_eq!(tl[0].end, 50.0);
+/// assert!(tl.iter().all(|t| t.ms.index() == 0 || t.start == 50.0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn timelines(strategy: &Strategy, env: &EnvQos) -> Result<Vec<Timeline>, EstimateError> {
+    let mut out = Vec::with_capacity(strategy.len());
+    walk(strategy.node(), 0.0, env, &mut out)?;
+    Ok(out)
+}
+
+/// Recursively schedules `node` starting at `offset`, appending timelines to
+/// `out` and returning the subtree's makespan (largest end time).
+fn walk(
+    node: &Node,
+    offset: f64,
+    env: &EnvQos,
+    out: &mut Vec<Timeline>,
+) -> Result<f64, EstimateError> {
+    match node {
+        Node::Leaf(id) => {
+            let qos = env
+                .get(*id)
+                .ok_or(EstimateError::MissingMicroservice(*id))?;
+            let end = offset + qos.latency;
+            out.push(Timeline {
+                ms: *id,
+                start: offset,
+                end,
+            });
+            Ok(end)
+        }
+        Node::Seq(children) => {
+            let mut cursor = offset;
+            for child in children {
+                cursor = walk(child, cursor, env, out)?;
+            }
+            Ok(cursor)
+        }
+        Node::Par(children) => {
+            let mut makespan = offset;
+            for child in children {
+                let end = walk(child, offset, env, out)?;
+                makespan = makespan.max(end);
+            }
+            Ok(makespan)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Qos;
+
+    fn env5() -> EnvQos {
+        // The Section III.D fire-detection microservices a–e.
+        EnvQos::from_triples(&[
+            (50.0, 50.0, 0.6),
+            (100.0, 100.0, 0.6),
+            (150.0, 150.0, 0.7),
+            (200.0, 200.0, 0.7),
+            (250.0, 250.0, 0.8),
+        ])
+        .unwrap()
+    }
+
+    fn windows(text: &str) -> Vec<(usize, f64, f64)> {
+        let s = Strategy::parse(text).unwrap();
+        timelines(&s, &env5())
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.ms.index(), t.start, t.end))
+            .collect()
+    }
+
+    #[test]
+    fn leaf_timeline() {
+        assert_eq!(windows("a"), vec![(0, 0.0, 50.0)]);
+    }
+
+    #[test]
+    fn failover_chains_sequentially() {
+        assert_eq!(
+            windows("a-b-c-d-e"),
+            vec![
+                (0, 0.0, 50.0),
+                (1, 50.0, 150.0),
+                (2, 150.0, 300.0),
+                (3, 300.0, 500.0),
+                (4, 500.0, 750.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_overlays_children() {
+        assert_eq!(
+            windows("a*b*c"),
+            vec![(0, 0.0, 50.0), (1, 0.0, 100.0), (2, 0.0, 150.0)]
+        );
+    }
+
+    #[test]
+    fn sequential_waits_for_parallel_makespan() {
+        // a - b*c - d: d starts at max(end(b), end(c)) = 50 + 150 = 200.
+        assert_eq!(
+            windows("a-b*c-d"),
+            vec![
+                (0, 0.0, 50.0),
+                (1, 50.0, 150.0),
+                (2, 50.0, 200.0),
+                (3, 200.0, 400.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_strategy4_timelines() {
+        // c*(a*b-d*e): c runs [0,150); a [0,50); b [0,100);
+        // d and e start at max(50,100) = 100.
+        let mut got = windows("c*(a*b-d*e)");
+        got.sort_by_key(|&(id, _, _)| id);
+        assert_eq!(
+            got,
+            vec![
+                (0, 0.0, 50.0),
+                (1, 0.0, 100.0),
+                (2, 0.0, 150.0),
+                (3, 100.0, 300.0),
+                (4, 100.0, 350.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn grouped_sequential_in_parallel() {
+        // (a-b)*c: a [0,50), b [50,150), c [0,150).
+        let mut got = windows("(a-b)*c");
+        got.sort_by_key(|&(id, _, _)| id);
+        assert_eq!(got, vec![(0, 0.0, 50.0), (1, 50.0, 150.0), (2, 0.0, 150.0)]);
+    }
+
+    #[test]
+    fn missing_microservice_is_reported() {
+        let env = EnvQos::from_qos(vec![Qos::new(1.0, 1.0, 0.5).unwrap()]);
+        let s = Strategy::parse("a-b").unwrap();
+        assert_eq!(
+            timelines(&s, &env).unwrap_err(),
+            EstimateError::MissingMicroservice(MsId(1))
+        );
+    }
+
+    #[test]
+    fn zero_latency_microservice() {
+        let env = EnvQos::from_triples(&[(1.0, 0.0, 0.5), (1.0, 10.0, 0.5)]).unwrap();
+        let s = Strategy::parse("a-b").unwrap();
+        let tl = timelines(&s, &env).unwrap();
+        assert_eq!(tl[0].end, 0.0);
+        assert_eq!(tl[1].start, 0.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! Parser for the paper's textual strategy notation.
+//!
+//! Grammar (Fig. 2 of the paper, with the precedence implied by
+//! Observation 3 and the Fig. 3 examples — `*` binds tighter than `-`):
+//!
+//! ```text
+//! expr   := term ( '-' term )*
+//! term   := factor ( '*' factor )*
+//! factor := identifier | '(' expr ')'
+//! ```
+//!
+//! So `a - b * c` parses as `a - (b * c)`: execute `a` first, then `b` and
+//! `c` in parallel. Whitespace is insignificant. Identifiers default to the
+//! paper's single letters `a`–`z` (and the `ms<n>` form for larger ids);
+//! [`parse_with_names`] resolves arbitrary microservice names instead.
+
+use crate::error::ParseError;
+use crate::expr::ast::{Node, Strategy};
+use crate::MsId;
+
+impl Strategy {
+    /// Parses a strategy expression using the default microservice names
+    /// (`a`–`z`, `ms<n>`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first syntax problem, an
+    /// unknown identifier, or a structural violation (duplicate
+    /// microservice).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qce_strategy::Strategy;
+    ///
+    /// // The four example strategies of the paper's Fig. 3:
+    /// let s1 = Strategy::parse("a-b-c-d-e")?;        // fail-over
+    /// let s2 = Strategy::parse("a*b*c*d*e")?;        // speculative parallel
+    /// let s3 = Strategy::parse("a*b - c*d*e")?;      // custom
+    /// let s4 = Strategy::parse("a - (b*c) - d - e")?; // parens removable here
+    /// assert_eq!(s4, Strategy::parse("a-b*c-d-e")?);
+    /// # Ok::<(), qce_strategy::ParseError>(())
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        Self::parse_with_resolver(input, &|name| MsId::from_name(name))
+    }
+
+    /// Parses a strategy expression whose identifiers are resolved against
+    /// `names`: the identifier equal to `names[i]` maps to `MsId(i)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Strategy::parse`]; an identifier not present in
+    /// `names` yields [`ParseError::UnknownMicroservice`].
+    ///
+    /// ```
+    /// use qce_strategy::{MsId, Strategy};
+    ///
+    /// let names = ["readTempSensor", "estTemp", "readLocTemp"];
+    /// let s = Strategy::parse_with_names("readTempSensor-estTemp-readLocTemp", &names)?;
+    /// assert_eq!(s.leaves(), vec![MsId(0), MsId(1), MsId(2)]);
+    /// # Ok::<(), qce_strategy::ParseError>(())
+    /// ```
+    pub fn parse_with_names<S: AsRef<str>>(input: &str, names: &[S]) -> Result<Self, ParseError> {
+        Self::parse_with_resolver(input, &|ident| {
+            names.iter().position(|n| n.as_ref() == ident).map(MsId)
+        })
+    }
+
+    fn parse_with_resolver(
+        input: &str,
+        resolve: &dyn Fn(&str) -> Option<MsId>,
+    ) -> Result<Self, ParseError> {
+        let tokens = tokenize(input)?;
+        let mut parser = Parser {
+            tokens: &tokens,
+            pos: 0,
+            resolve,
+        };
+        let node = parser.expr()?;
+        match parser.peek() {
+            Some(&(at, Token::CloseParen)) => Err(ParseError::UnbalancedParenthesis { at }),
+            Some(&(at, _)) => Err(ParseError::TrailingInput { at }),
+            None => Ok(Strategy::from_node(node)?),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Minus,
+    Star,
+    OpenParen,
+    CloseParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                tokens.push((at, Token::Minus));
+            }
+            '*' => {
+                chars.next();
+                tokens.push((at, Token::Star));
+            }
+            '(' => {
+                chars.next();
+                tokens.push((at, Token::OpenParen));
+            }
+            ')' => {
+                chars.next();
+                tokens.push((at, Token::CloseParen));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((at, Token::Ident(ident)));
+            }
+            other => return Err(ParseError::UnexpectedChar { at, found: other }),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser<'a> {
+    tokens: &'a [(usize, Token)],
+    pos: usize,
+    resolve: &'a dyn Fn(&str) -> Option<MsId>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&(usize, Token)> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<(usize, Token)> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    /// `expr := term ( '-' term )*`
+    fn expr(&mut self) -> Result<Node, ParseError> {
+        let mut parts = vec![self.term()?];
+        while matches!(self.peek(), Some((_, Token::Minus))) {
+            self.bump();
+            parts.push(self.term()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Node::Seq(parts)
+        })
+    }
+
+    /// `term := factor ( '*' factor )*`
+    fn term(&mut self) -> Result<Node, ParseError> {
+        let mut parts = vec![self.factor()?];
+        while matches!(self.peek(), Some((_, Token::Star))) {
+            self.bump();
+            parts.push(self.factor()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("len checked")
+        } else {
+            Node::Par(parts)
+        })
+    }
+
+    /// `factor := identifier | '(' expr ')'`
+    fn factor(&mut self) -> Result<Node, ParseError> {
+        match self.bump() {
+            Some((at, Token::Ident(name))) => match (self.resolve)(&name) {
+                Some(id) => Ok(Node::Leaf(id)),
+                None => Err(ParseError::UnknownMicroservice { at, name }),
+            },
+            Some((open_at, Token::OpenParen)) => {
+                let inner = self.expr()?;
+                match self.bump() {
+                    Some((_, Token::CloseParen)) => Ok(inner),
+                    Some((at, _)) => Err(ParseError::UnbalancedParenthesis { at }),
+                    None => Err(ParseError::UnbalancedParenthesis { at: open_at }),
+                }
+            }
+            Some((at, tok @ (Token::Minus | Token::Star))) => Err(ParseError::UnexpectedChar {
+                at,
+                found: if tok == Token::Minus { '-' } else { '*' },
+            }),
+            Some((at, Token::CloseParen)) => Err(ParseError::UnbalancedParenthesis { at }),
+            None => Err(ParseError::UnexpectedEnd),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_leaf() {
+        let s = Strategy::parse("c").unwrap();
+        assert_eq!(s, Strategy::leaf(MsId(2)));
+    }
+
+    #[test]
+    fn parses_ms_prefixed_ids() {
+        let s = Strategy::parse("ms30-ms31").unwrap();
+        assert_eq!(s.leaves(), vec![MsId(30), MsId(31)]);
+    }
+
+    #[test]
+    fn star_binds_tighter_than_minus() {
+        // Paper Section III.A: "for the execution plan a - b * c, a is
+        // executed first; then b and c are executed in parallel."
+        let s = Strategy::parse("a-b*c").unwrap();
+        let expected = Strategy::seq([
+            Strategy::leaf(MsId(0)),
+            Strategy::par([Strategy::leaf(MsId(1)), Strategy::leaf(MsId(2))]).unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn parentheses_change_grouping() {
+        let grouped = Strategy::parse("(a-b)*c").unwrap();
+        let ungrouped = Strategy::parse("a-b*c").unwrap();
+        assert_ne!(grouped, ungrouped);
+        assert_eq!(Strategy::parse("a-(b*c)").unwrap(), ungrouped);
+    }
+
+    #[test]
+    fn fig3_line3_equivalence() {
+        // a*b - c*d*e  ==  b*a - c*e*d (Par commutativity)
+        let lhs = Strategy::parse("a*b-c*d*e").unwrap();
+        let rhs = Strategy::parse("b*a-c*e*d").unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn fig3_line4_equivalence() {
+        // a - b*c - d - e == a - (b*c) - d - e
+        let lhs = Strategy::parse("a-b*c-d-e").unwrap();
+        let rhs = Strategy::parse("a-(b*c)-d-e").unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn whitespace_is_insignificant() {
+        let compact = Strategy::parse("c*(a*b-d*e)").unwrap();
+        let spaced = Strategy::parse("  c * ( a * b - d * e ) ").unwrap();
+        assert_eq!(compact, spaced);
+    }
+
+    #[test]
+    fn nested_parentheses() {
+        let s = Strategy::parse("((a-b)*c)-d").unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_string(), "c*(a-b)-d");
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert_eq!(Strategy::parse("").unwrap_err(), ParseError::UnexpectedEnd);
+        assert_eq!(
+            Strategy::parse("   ").unwrap_err(),
+            ParseError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_operator() {
+        assert_eq!(
+            Strategy::parse("a-").unwrap_err(),
+            ParseError::UnexpectedEnd
+        );
+        assert_eq!(
+            Strategy::parse("a*").unwrap_err(),
+            ParseError::UnexpectedEnd
+        );
+    }
+
+    #[test]
+    fn rejects_leading_operator() {
+        assert!(matches!(
+            Strategy::parse("-a").unwrap_err(),
+            ParseError::UnexpectedChar { at: 0, found: '-' }
+        ));
+        assert!(matches!(
+            Strategy::parse("a--b").unwrap_err(),
+            ParseError::UnexpectedChar { found: '-', .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unbalanced_parens() {
+        assert!(matches!(
+            Strategy::parse("(a-b").unwrap_err(),
+            ParseError::UnbalancedParenthesis { at: 0 }
+        ));
+        assert!(matches!(
+            Strategy::parse("a-b)").unwrap_err(),
+            ParseError::UnbalancedParenthesis { .. }
+        ));
+        assert!(matches!(
+            Strategy::parse(")a").unwrap_err(),
+            ParseError::UnbalancedParenthesis { at: 0 }
+        ));
+        assert!(matches!(
+            Strategy::parse("()").unwrap_err(),
+            ParseError::UnbalancedParenthesis { at: 1 }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(matches!(
+            Strategy::parse("a+b").unwrap_err(),
+            ParseError::UnexpectedChar { at: 1, found: '+' }
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_identifier() {
+        assert!(matches!(
+            Strategy::parse("a-B1").unwrap_err(),
+            ParseError::UnknownMicroservice { at: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_adjacent_factors() {
+        assert!(matches!(
+            Strategy::parse("a b").unwrap_err(),
+            ParseError::TrailingInput { .. }
+        ));
+        assert!(matches!(
+            Strategy::parse("(a-b)(c-d)").unwrap_err(),
+            ParseError::TrailingInput { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_microservice() {
+        assert!(matches!(
+            Strategy::parse("a-b*a").unwrap_err(),
+            ParseError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn custom_names() {
+        let names = ["cam", "smoke", "flame"];
+        let s = Strategy::parse_with_names("cam*smoke-flame", &names).unwrap();
+        assert_eq!(s.leaves(), vec![MsId(0), MsId(1), MsId(2)]);
+        assert!(matches!(
+            Strategy::parse_with_names("cam-gas", &names).unwrap_err(),
+            ParseError::UnknownMicroservice { .. }
+        ));
+    }
+
+    #[test]
+    fn from_str_trait() {
+        let s: Strategy = "a*b".parse().unwrap();
+        assert_eq!(s.len(), 2);
+        assert!("a**b".parse::<Strategy>().is_err());
+    }
+
+    #[test]
+    fn underscore_identifiers_tokenize() {
+        let names = ["read_temp", "est_temp"];
+        let s = Strategy::parse_with_names("read_temp-est_temp", &names).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+}

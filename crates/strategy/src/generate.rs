@@ -1,0 +1,881 @@
+//! Execution-strategy generation (paper Section IV.D, Algorithm 2).
+//!
+//! Two generation algorithms are provided, as in the paper:
+//!
+//! * **Exhaustive search** — estimate the QoS of every strategy in `F(M)`
+//!   and pick the one with the highest utility index. Exact but exponential
+//!   in `M` (Table I), so only practical for small equivalent sets.
+//! * **Approximation heuristic** — sort the microservices by their
+//!   individual utility; start from the best one and, for each next
+//!   microservice `m`, keep the better of `es - m` (sequential append) and
+//!   `(es) * m` (parallel wrap).
+//!
+//! [`Generator`] combines them behind the paper's threshold rule: use the
+//! exhaustive search while `|M| ≤ θ`, switch to the approximation beyond.
+//! (Algorithm 2's line 1 prints the comparison inverted; we follow the
+//! prose — see `DESIGN.md`.)
+//!
+//! Two *subset* ablations discussed in the paper are also implemented:
+//! searching `F'(M)` instead of `F(M)`, and stopping the approximation as
+//! soon as including another microservice stops improving the utility. The
+//! paper advises against both in dynamic environments (microservices left
+//! out of the strategy never get fresh QoS observations), but they are
+//! useful baselines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::enumerate::{failover, for_each_full, for_each_with_subsets, speculative_parallel};
+use crate::error::GenerateError;
+use crate::estimate::estimate;
+use crate::expr::Strategy;
+use crate::qos::{EnvQos, MsId, Qos, Requirements};
+use crate::utility::UtilityIndex;
+
+/// Which algorithm produced a generated strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    /// Exhaustive search over `F(M)` (all microservices).
+    Exhaustive,
+    /// Exhaustive search over `F'(M)` (subsets allowed).
+    ExhaustiveSubsets,
+    /// Greedy approximation over all microservices (Algorithm 2).
+    Approximation,
+    /// Multi-start hill climbing over leaf swaps, seeded by the
+    /// approximation and the two predefined patterns.
+    LocalSearch,
+    /// Greedy approximation that stops early when utility stops improving.
+    ApproximationEarlyStop,
+    /// Predefined fail-over pattern (`a-b-…`), microservices ordered by
+    /// individual utility.
+    Failover,
+    /// Predefined speculative-parallel pattern (`a*b*…`).
+    SpeculativeParallel,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Method::Exhaustive => "exhaustive",
+            Method::ExhaustiveSubsets => "exhaustive-subsets",
+            Method::Approximation => "approximation",
+            Method::LocalSearch => "local-search",
+            Method::ApproximationEarlyStop => "approximation-early-stop",
+            Method::Failover => "failover",
+            Method::SpeculativeParallel => "speculative-parallel",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A generated strategy together with its estimated QoS and utility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Generated {
+    /// The synthesized execution strategy.
+    pub strategy: Strategy,
+    /// Its estimated QoS (Algorithm 1).
+    pub qos: Qos,
+    /// Its utility index against the requirements used during generation.
+    pub utility: f64,
+    /// How many candidate strategies were QoS-estimated.
+    pub evaluated: usize,
+    /// Which algorithm produced it.
+    pub method: Method,
+}
+
+impl fmt::Display for Generated {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (U={:.3}, {}, via {})",
+            self.strategy, self.utility, self.qos, self.method
+        )
+    }
+}
+
+/// Strategy generator configured with a utility index and the exhaustive /
+/// approximation threshold `θ`.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::{EnvQos, Generator, Requirements};
+///
+/// // Fire detection (Section III.D) under Qc=100, Ql=100, Qr=97%.
+/// let env = EnvQos::from_triples(&[
+///     (50.0, 50.0, 0.6),
+///     (100.0, 100.0, 0.6),
+///     (150.0, 150.0, 0.7),
+///     (200.0, 200.0, 0.7),
+///     (250.0, 250.0, 0.8),
+/// ])?;
+/// let req = Requirements::new(100.0, 100.0, 0.97)?;
+/// let best = Generator::default().generate(&env, &env.ids(), &req)?;
+/// // The custom strategy beats both predefined patterns on utility.
+/// let failover = Generator::default().failover(&env, &env.ids(), &req)?;
+/// let parallel = Generator::default().speculative_parallel(&env, &env.ids(), &req)?;
+/// assert!(best.utility >= failover.utility);
+/// assert!(best.utility >= parallel.utility);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Generator {
+    utility: UtilityIndex,
+    threshold: usize,
+}
+
+/// Default exhaustive/approximation switch-over: `F(6) = 64 743` candidates
+/// estimate in tens of milliseconds, `F(7) ≈ 1.6 M` takes seconds.
+pub const DEFAULT_THRESHOLD: usize = 6;
+
+impl Default for Generator {
+    fn default() -> Self {
+        Generator {
+            utility: UtilityIndex::default(),
+            threshold: DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+impl Generator {
+    /// Creates a generator with the given utility index and threshold `θ`.
+    #[must_use]
+    pub fn new(utility: UtilityIndex, threshold: usize) -> Self {
+        Generator { utility, threshold }
+    }
+
+    /// The configured utility index.
+    #[must_use]
+    pub fn utility_index(&self) -> UtilityIndex {
+        self.utility
+    }
+
+    /// The configured threshold `θ`.
+    #[must_use]
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Algorithm 2: exhaustive search while `|M| ≤ θ`, greedy approximation
+    /// beyond.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::NoMicroservices`] for an empty id list, or
+    /// an estimation error if `env` lacks an entry for some id.
+    pub fn generate(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        if ids.len() <= self.threshold {
+            self.exhaustive(env, ids, req)
+        } else {
+            self.approximation(env, ids, req)
+        }
+    }
+
+    /// Exhaustive search over `F(M)`: estimates every strategy that uses
+    /// all of `ids` and returns the utility-maximal one.
+    ///
+    /// Ties break deterministically: lower cost, then lower latency, then
+    /// the lexicographically smaller rendering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::NoMicroservices`] for an empty id list, or
+    /// an estimation error if `env` lacks an entry for some id.
+    pub fn exhaustive(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        self.search(env, ids, req, Method::Exhaustive)
+    }
+
+    /// Exhaustive search over `F'(M)`: like [`Generator::exhaustive`] but
+    /// candidate strategies may use any non-empty subset of `ids`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Generator::exhaustive`].
+    pub fn exhaustive_subsets(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        self.search(env, ids, req, Method::ExhaustiveSubsets)
+    }
+
+    fn search(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+        method: Method,
+    ) -> Result<Generated, GenerateError> {
+        if ids.is_empty() {
+            return Err(GenerateError::NoMicroservices);
+        }
+        // Validate availability up front so the streaming closure below can
+        // rely on successful estimation.
+        for &id in ids {
+            if env.get(id).is_none() {
+                return Err(crate::error::EstimateError::MissingMicroservice(id).into());
+            }
+        }
+        let mut best: Option<Generated> = None;
+        let mut evaluated = 0usize;
+        let mut consider = |s: Strategy| {
+            let qos = estimate(&s, env).expect("ids validated above");
+            let utility = self.utility.utility(&qos, req);
+            evaluated += 1;
+            let better = match &best {
+                None => true,
+                Some(current) => {
+                    utility > current.utility
+                        || (utility == current.utility
+                            && better_tiebreak(&s, &qos, &current.strategy, &current.qos))
+                }
+            };
+            if better {
+                best = Some(Generated {
+                    strategy: s,
+                    qos,
+                    utility,
+                    evaluated: 0,
+                    method,
+                });
+            }
+        };
+        match method {
+            Method::ExhaustiveSubsets => for_each_with_subsets(ids, &mut consider),
+            _ => for_each_full(ids, &mut consider),
+        }
+        let mut best = best.expect("non-empty id list yields at least one strategy");
+        best.evaluated = evaluated;
+        Ok(best)
+    }
+
+    /// The greedy approximation heuristic of Algorithm 2 (lines 4–13).
+    ///
+    /// Microservices are sorted by individual utility (best first); the
+    /// strategy grows one microservice at a time, keeping the better of the
+    /// sequential append `es - m` and the parallel wrap `(es) * m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::NoMicroservices`] for an empty id list, or
+    /// an estimation error if `env` lacks an entry for some id.
+    pub fn approximation(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        self.greedy(env, ids, req, false)
+    }
+
+    /// The subset variant of the approximation heuristic: stops as soon as
+    /// including the next microservice no longer improves the utility.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Generator::approximation`].
+    pub fn approximation_early_stop(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        self.greedy(env, ids, req, true)
+    }
+
+    fn greedy(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+        early_stop: bool,
+    ) -> Result<Generated, GenerateError> {
+        if ids.is_empty() {
+            return Err(GenerateError::NoMicroservices);
+        }
+        let order = self.sort_by_utility(env, ids, req)?;
+        let mut evaluated = order.len(); // individual estimates for sorting
+        let mut es = Strategy::leaf(order[0]);
+        let mut qos = estimate(&es, env)?;
+        let mut utility = self.utility.utility(&qos, req);
+        for &next in &order[1..] {
+            let seq = es
+                .clone()
+                .then(Strategy::leaf(next))
+                .expect("ids are distinct");
+            let par = es
+                .clone()
+                .race(Strategy::leaf(next))
+                .expect("ids are distinct");
+            let seq_qos = estimate(&seq, env)?;
+            let par_qos = estimate(&par, env)?;
+            let seq_u = self.utility.utility(&seq_qos, req);
+            let par_u = self.utility.utility(&par_qos, req);
+            evaluated += 2;
+            // Paper, Algorithm 2 line 8: strict '>' — ties go parallel.
+            let (cand, cand_qos, cand_u) = if seq_u > par_u {
+                (seq, seq_qos, seq_u)
+            } else {
+                (par, par_qos, par_u)
+            };
+            if early_stop && cand_u <= utility {
+                break;
+            }
+            es = cand;
+            qos = cand_qos;
+            utility = cand_u;
+        }
+        Ok(Generated {
+            strategy: es,
+            qos,
+            utility,
+            evaluated,
+            method: if early_stop {
+                Method::ApproximationEarlyStop
+            } else {
+                Method::Approximation
+            },
+        })
+    }
+
+    /// Multi-start hill climbing: an extension beyond the paper that sits
+    /// between the exhaustive search (optimal, exponential) and the greedy
+    /// approximation (fast, shape-committed).
+    ///
+    /// Starting from the approximation result, the fail-over chain, and the
+    /// speculative-parallel pattern, the search repeatedly moves to the best
+    /// *leaf-swap* neighbour (exchange the positions of two microservices in
+    /// the strategy tree) while utility improves. Leaf swaps explore
+    /// assignments of microservices to tree positions that the greedy
+    /// construction can never reach, at `O(M²)` estimates per step instead
+    /// of `F(M)`.
+    ///
+    /// The result is never worse than [`Generator::approximation`] (it is
+    /// one of the starts) and never better than [`Generator::exhaustive`]
+    /// (which scans the full space).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::NoMicroservices`] for an empty id list, or
+    /// an estimation error if `env` lacks an entry for some id.
+    pub fn local_search(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        if ids.is_empty() {
+            return Err(GenerateError::NoMicroservices);
+        }
+        let order = self.sort_by_utility(env, ids, req)?;
+        let mut evaluated = order.len();
+        let mut starts = vec![self.approximation(env, ids, req)?];
+        evaluated += starts[0].evaluated;
+        if ids.len() >= 2 {
+            starts.push(self.failover(env, ids, req)?);
+            starts.push(self.speculative_parallel(env, ids, req)?);
+            evaluated += 2;
+        }
+
+        let mut best: Option<(Strategy, Qos, f64)> = None;
+        for start in starts {
+            let mut current = (start.strategy, start.qos, start.utility);
+            // Hill climb: move to the best improving leaf-swap neighbour.
+            loop {
+                let mut improved: Option<(Strategy, Qos, f64)> = None;
+                for i in 0..ids.len() {
+                    for j in (i + 1)..ids.len() {
+                        let (a, b) = (ids[i], ids[j]);
+                        let swapped = current
+                            .0
+                            .map_ids(|id| {
+                                if id == a {
+                                    b
+                                } else if id == b {
+                                    a
+                                } else {
+                                    id
+                                }
+                            })
+                            .expect("transpositions are bijections");
+                        if swapped == current.0 {
+                            continue; // Par-sibling swap: same strategy
+                        }
+                        let qos = estimate(&swapped, env)?;
+                        let utility = self.utility.utility(&qos, req);
+                        evaluated += 1;
+                        let beats_improved = improved.as_ref().is_none_or(|(_, _, u)| utility > *u);
+                        if utility > current.2 && beats_improved {
+                            improved = Some((swapped, qos, utility));
+                        }
+                    }
+                }
+                match improved {
+                    Some(next) => current = next,
+                    None => break,
+                }
+            }
+            let better = match &best {
+                None => true,
+                Some((bs, bq, bu)) => {
+                    current.2 > *bu
+                        || (current.2 == *bu && better_tiebreak(&current.0, &current.1, bs, bq))
+                }
+            };
+            if better {
+                best = Some(current);
+            }
+        }
+        let (strategy, qos, utility) = best.expect("at least one start");
+        Ok(Generated {
+            strategy,
+            qos,
+            utility,
+            evaluated,
+            method: Method::LocalSearch,
+        })
+    }
+
+    /// The predefined fail-over pattern over `ids`, ordered by individual
+    /// utility (the priority order a MOLE script would specify), with its
+    /// estimated QoS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::NoMicroservices`] for an empty id list, or
+    /// an estimation error if `env` lacks an entry for some id.
+    pub fn failover(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        let order = self.sort_by_utility(env, ids, req)?;
+        let strategy = failover(&order).expect("ids are distinct and non-empty");
+        let qos = estimate(&strategy, env)?;
+        let utility = self.utility.utility(&qos, req);
+        Ok(Generated {
+            strategy,
+            qos,
+            utility,
+            evaluated: 1,
+            method: Method::Failover,
+        })
+    }
+
+    /// The predefined fail-over pattern in the *given* order — the chain a
+    /// MOLE script pins at development time, oblivious to the environment's
+    /// actual QoS. This is the "predefined sequential" baseline of the
+    /// paper's Fig. 6/Fig. 7 comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::NoMicroservices`] for an empty id list, or
+    /// an estimation error if `env` lacks an entry for some id.
+    pub fn failover_in_order(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        if ids.is_empty() {
+            return Err(GenerateError::NoMicroservices);
+        }
+        let strategy = failover(ids).map_err(|_| GenerateError::NoMicroservices)?;
+        let qos = estimate(&strategy, env)?;
+        let utility = self.utility.utility(&qos, req);
+        Ok(Generated {
+            strategy,
+            qos,
+            utility,
+            evaluated: 1,
+            method: Method::Failover,
+        })
+    }
+
+    /// The predefined speculative-parallel pattern over `ids`, with its
+    /// estimated QoS.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Generator::failover`].
+    pub fn speculative_parallel(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        if ids.is_empty() {
+            return Err(GenerateError::NoMicroservices);
+        }
+        let strategy = speculative_parallel(ids).expect("ids are distinct and non-empty");
+        let qos = estimate(&strategy, env)?;
+        let utility = self.utility.utility(&qos, req);
+        Ok(Generated {
+            strategy,
+            qos,
+            utility,
+            evaluated: 1,
+            method: Method::SpeculativeParallel,
+        })
+    }
+
+    /// Sorts `ids` by individual (single-microservice) utility, best first —
+    /// the `sortByUtility` step of Algorithm 2. Ties break on the id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenerateError::NoMicroservices`] for an empty id list, or
+    /// an estimation error if `env` lacks an entry for some id.
+    pub fn sort_by_utility(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Vec<MsId>, GenerateError> {
+        if ids.is_empty() {
+            return Err(GenerateError::NoMicroservices);
+        }
+        let mut scored: Vec<(MsId, f64)> = ids
+            .iter()
+            .map(|&id| {
+                let qos = estimate(&Strategy::leaf(id), env)?;
+                Ok((id, self.utility.utility(&qos, req)))
+            })
+            .collect::<Result<_, GenerateError>>()?;
+        scored.sort_by(|(id_a, u_a), (id_b, u_b)| {
+            u_b.partial_cmp(u_a)
+                .expect("utilities are finite")
+                .then_with(|| id_a.cmp(id_b))
+        });
+        Ok(scored.into_iter().map(|(id, _)| id).collect())
+    }
+}
+
+/// Deterministic tie-break for equal utilities: lower cost, then lower
+/// latency, then the lexicographically smaller rendering.
+fn better_tiebreak(s: &Strategy, qos: &Qos, cur_s: &Strategy, cur_qos: &Qos) -> bool {
+    if qos.cost != cur_qos.cost {
+        return qos.cost < cur_qos.cost;
+    }
+    if qos.latency != cur_qos.latency {
+        return qos.latency < cur_qos.latency;
+    }
+    s.to_string() < cur_s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Section III.D fire-detection environment.
+    fn env5() -> EnvQos {
+        EnvQos::from_triples(&[
+            (50.0, 50.0, 0.6),
+            (100.0, 100.0, 0.6),
+            (150.0, 150.0, 0.7),
+            (200.0, 200.0, 0.7),
+            (250.0, 250.0, 0.8),
+        ])
+        .unwrap()
+    }
+
+    fn req() -> Requirements {
+        Requirements::new(100.0, 100.0, 0.97).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_beats_predefined_patterns() {
+        let gen = Generator::default();
+        let env = env5();
+        let ids = env.ids();
+        let best = gen.exhaustive(&env, &ids, &req()).unwrap();
+        let fo = gen.failover(&env, &ids, &req()).unwrap();
+        let sp = gen.speculative_parallel(&env, &ids, &req()).unwrap();
+        assert!(best.utility >= fo.utility);
+        assert!(best.utility >= sp.utility);
+        assert_eq!(best.evaluated, 2791, "F(5) candidates");
+        assert_eq!(best.method, Method::Exhaustive);
+    }
+
+    #[test]
+    fn exhaustive_single_microservice() {
+        let gen = Generator::default();
+        let env = EnvQos::from_triples(&[(10.0, 10.0, 0.9)]).unwrap();
+        let best = gen.exhaustive(&env, &[MsId(0)], &req()).unwrap();
+        assert_eq!(best.strategy, Strategy::leaf(MsId(0)));
+        assert_eq!(best.evaluated, 1);
+    }
+
+    #[test]
+    fn exhaustive_is_optimal_by_construction() {
+        // Verify the streaming argmax against a collected argmax.
+        let gen = Generator::default();
+        let env = env5();
+        let ids: Vec<MsId> = (0..4).map(MsId).collect();
+        let best = gen.exhaustive(&env, &ids, &req()).unwrap();
+        let mut max_u = f64::NEG_INFINITY;
+        for s in crate::enumerate::enumerate_full(&ids) {
+            let qos = estimate(&s, &env).unwrap();
+            max_u = max_u.max(gen.utility_index().utility(&qos, &req()));
+        }
+        assert!((best.utility - max_u).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_subsets_at_least_as_good() {
+        let gen = Generator::default();
+        let env = env5();
+        let ids: Vec<MsId> = (0..4).map(MsId).collect();
+        let full = gen.exhaustive(&env, &ids, &req()).unwrap();
+        let subsets = gen.exhaustive_subsets(&env, &ids, &req()).unwrap();
+        assert!(subsets.utility >= full.utility);
+        assert_eq!(subsets.evaluated, 293, "F'(4) candidates");
+        assert_eq!(subsets.method, Method::ExhaustiveSubsets);
+    }
+
+    #[test]
+    fn approximation_uses_all_microservices() {
+        let gen = Generator::default();
+        let env = env5();
+        let ids = env.ids();
+        let approx = gen.approximation(&env, &ids, &req()).unwrap();
+        assert_eq!(approx.strategy.len(), 5);
+        assert_eq!(approx.method, Method::Approximation);
+    }
+
+    #[test]
+    fn approximation_never_beats_exhaustive() {
+        let gen = Generator::default();
+        let env = env5();
+        let ids = env.ids();
+        let approx = gen.approximation(&env, &ids, &req()).unwrap();
+        let exact = gen.exhaustive(&env, &ids, &req()).unwrap();
+        assert!(approx.utility <= exact.utility + 1e-12);
+    }
+
+    #[test]
+    fn approximation_at_least_matches_both_defaults_seeded_from_best_leaf() {
+        // The greedy chain explores es-m and (es)*m at each step, which
+        // includes the pure fail-over chain (all-sequential choices) and the
+        // pure parallel strategy (all-parallel choices) over the same
+        // utility-sorted order, so it can't be worse than either.
+        let gen = Generator::default();
+        let env = env5();
+        let ids = env.ids();
+        let approx = gen.approximation(&env, &ids, &req()).unwrap();
+        let fo = gen.failover(&env, &ids, &req()).unwrap();
+        let sp = gen.speculative_parallel(&env, &ids, &req()).unwrap();
+        assert!(approx.utility >= fo.utility.min(sp.utility) - 1e-12);
+    }
+
+    #[test]
+    fn early_stop_yields_subset_when_extra_ms_hurts() {
+        // One excellent microservice + one terrible one: including the bad
+        // one can only lower utility, so the early-stop variant keeps just
+        // the good one.
+        let env = EnvQos::from_triples(&[(10.0, 10.0, 0.99), (500.0, 500.0, 0.2)]).unwrap();
+        let gen = Generator::default();
+        let out = gen
+            .approximation_early_stop(&env, &env.ids(), &req())
+            .unwrap();
+        assert_eq!(out.strategy, Strategy::leaf(MsId(0)));
+        assert_eq!(out.method, Method::ApproximationEarlyStop);
+        let full = gen.approximation(&env, &env.ids(), &req()).unwrap();
+        assert_eq!(full.strategy.len(), 2, "plain approximation keeps both");
+        assert!(out.utility >= full.utility);
+    }
+
+    #[test]
+    fn generate_switches_on_threshold() {
+        let gen = Generator::new(UtilityIndex::default(), 3);
+        let env = env5();
+        let small: Vec<MsId> = (0..3).map(MsId).collect();
+        let large: Vec<MsId> = (0..5).map(MsId).collect();
+        assert_eq!(
+            gen.generate(&env, &small, &req()).unwrap().method,
+            Method::Exhaustive
+        );
+        assert_eq!(
+            gen.generate(&env, &large, &req()).unwrap().method,
+            Method::Approximation
+        );
+    }
+
+    #[test]
+    fn sort_by_utility_orders_best_first() {
+        let gen = Generator::default();
+        let env = env5();
+        let order = gen.sort_by_utility(&env, &env.ids(), &req()).unwrap();
+        // a dominates every other microservice here (cheapest, fastest; its
+        // lower reliability costs less utility than the others' overruns).
+        assert_eq!(order[0], MsId(0));
+        let utilities: Vec<f64> = order
+            .iter()
+            .map(|&id| {
+                let qos = estimate(&Strategy::leaf(id), &env).unwrap();
+                gen.utility_index().utility(&qos, &req())
+            })
+            .collect();
+        for pair in utilities.windows(2) {
+            assert!(pair[0] >= pair[1], "not sorted: {utilities:?}");
+        }
+    }
+
+    #[test]
+    fn empty_ids_rejected_everywhere() {
+        let gen = Generator::default();
+        let env = env5();
+        let r = req();
+        assert!(matches!(
+            gen.generate(&env, &[], &r),
+            Err(GenerateError::NoMicroservices)
+        ));
+        assert!(gen.exhaustive(&env, &[], &r).is_err());
+        assert!(gen.approximation(&env, &[], &r).is_err());
+        assert!(gen.failover(&env, &[], &r).is_err());
+        assert!(gen.speculative_parallel(&env, &[], &r).is_err());
+        assert!(gen.sort_by_utility(&env, &[], &r).is_err());
+    }
+
+    #[test]
+    fn missing_environment_entry_rejected() {
+        let gen = Generator::default();
+        let env = EnvQos::from_triples(&[(1.0, 1.0, 0.5)]).unwrap();
+        let ids = [MsId(0), MsId(9)];
+        assert!(matches!(
+            gen.exhaustive(&env, &ids, &req()),
+            Err(GenerateError::Estimate(_))
+        ));
+        assert!(gen.approximation(&env, &ids, &req()).is_err());
+    }
+
+    #[test]
+    fn generated_display_mentions_method() {
+        let gen = Generator::default();
+        let env = env5();
+        let out = gen.failover(&env, &env.ids(), &req()).unwrap();
+        let text = out.to_string();
+        assert!(text.contains("failover"), "{text}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = Generator::default();
+        let env = env5();
+        let a = gen.exhaustive(&env, &env.ids(), &req()).unwrap();
+        let b = gen.exhaustive(&env, &env.ids(), &req()).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod local_search_tests {
+    use super::*;
+
+    fn env5() -> EnvQos {
+        EnvQos::from_triples(&[
+            (50.0, 50.0, 0.6),
+            (100.0, 100.0, 0.6),
+            (150.0, 150.0, 0.7),
+            (200.0, 200.0, 0.7),
+            (250.0, 250.0, 0.8),
+        ])
+        .unwrap()
+    }
+
+    fn req(c: f64, l: f64) -> Requirements {
+        Requirements::new(c, l, 0.97).unwrap()
+    }
+
+    #[test]
+    fn never_worse_than_approximation_never_better_than_exhaustive() {
+        let gen = Generator::default();
+        let env = env5();
+        let ids = env.ids();
+        for requirements in [req(100.0, 100.0), req(400.0, 90.0), req(150.0, 200.0)] {
+            let approx = gen.approximation(&env, &ids, &requirements).unwrap();
+            let local = gen.local_search(&env, &ids, &requirements).unwrap();
+            let exact = gen.exhaustive(&env, &ids, &requirements).unwrap();
+            assert!(local.utility >= approx.utility - 1e-12, "{requirements}");
+            assert!(local.utility <= exact.utility + 1e-12, "{requirements}");
+            assert_eq!(local.method, Method::LocalSearch);
+        }
+    }
+
+    #[test]
+    fn improves_on_approximation_somewhere() {
+        // Across random environments, the leaf-swap search must find at
+        // least one case where it strictly beats the greedy construction —
+        // otherwise it adds nothing.
+        use rand::SeedableRng;
+        let gen = Generator::default();
+        let requirements = req(400.0, 90.0);
+        let mut improvements = 0usize;
+        for seed in 0..30u64 {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            use rand::Rng;
+            let env: EnvQos = (0..6)
+                .map(|_| {
+                    Qos::new(
+                        rng.gen_range(20.0..200.0),
+                        rng.gen_range(20.0..200.0),
+                        rng.gen_range(0.3..0.95),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let ids = env.ids();
+            let approx = gen.approximation(&env, &ids, &requirements).unwrap();
+            let local = gen.local_search(&env, &ids, &requirements).unwrap();
+            if local.utility > approx.utility + 1e-9 {
+                improvements += 1;
+            }
+        }
+        assert!(improvements > 0, "local search never improved in 30 trials");
+    }
+
+    #[test]
+    fn single_microservice_is_trivial() {
+        let gen = Generator::default();
+        let env = EnvQos::from_triples(&[(10.0, 10.0, 0.9)]).unwrap();
+        let local = gen
+            .local_search(&env, &[MsId(0)], &req(100.0, 100.0))
+            .unwrap();
+        assert_eq!(local.strategy, Strategy::leaf(MsId(0)));
+    }
+
+    #[test]
+    fn empty_ids_rejected() {
+        let gen = Generator::default();
+        assert!(matches!(
+            gen.local_search(&env5(), &[], &req(100.0, 100.0)),
+            Err(GenerateError::NoMicroservices)
+        ));
+    }
+
+    #[test]
+    fn deterministic() {
+        let gen = Generator::default();
+        let env = env5();
+        let a = gen
+            .local_search(&env, &env.ids(), &req(400.0, 90.0))
+            .unwrap();
+        let b = gen
+            .local_search(&env, &env.ids(), &req(400.0, 90.0))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

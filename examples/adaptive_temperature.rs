@@ -1,0 +1,133 @@
+//! The paper's testbed scenario (Section V.B, Table IV and Fig. 8) on the
+//! threaded runtime: three temperature microservices behind a gateway with
+//! a feedback loop, adapting to a reliability drop and recovery.
+//!
+//! Latencies are scaled from the paper's seconds to milliseconds so the
+//! example finishes quickly; the QoS *shape* (who wins, how the strategy
+//! flips) is preserved.
+//!
+//! Run with: `cargo run --example adaptive_temperature`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qce_runtime::{
+    Client, Gateway, GatewayConfig, InMemoryMarket, MsSpec, ServiceScript, SimulatedProvider,
+};
+use qce_strategy::{Qos, Requirements};
+
+const SERVICE: &str = "detect-temperature";
+const SLOT: u32 = 50;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Publish the service script to the (in-memory) cloud market.
+    let market = InMemoryMarket::new();
+    let mut script = ServiceScript::new(
+        SERVICE,
+        vec![
+            MsSpec {
+                name: "readTempSensor".into(),
+                capability: "read-temp".into(),
+                prior: Qos::new(30.0, 5.0, 0.7)?,
+            },
+            MsSpec {
+                name: "estTemp".into(),
+                capability: "est-temp".into(),
+                prior: Qos::new(50.0, 15.0, 0.7)?,
+            },
+            MsSpec {
+                name: "readLocTemp".into(),
+                capability: "loc-temp".into(),
+                prior: Qos::new(50.0, 25.0, 0.7)?,
+            },
+        ],
+        Requirements::new(100.0, 50.0, 0.97)?,
+    );
+    script.slot_size = SLOT;
+    market.publish(script)?;
+
+    // 2. Stand up the gateway; devices register their microservices.
+    let gateway = Arc::new(Gateway::new(
+        Box::new(market),
+        GatewayConfig {
+            collector_window: 60,
+            ..GatewayConfig::default()
+        },
+    ));
+    let sensor = SimulatedProvider::builder("pi/read-temp", "read-temp")
+        .cost(30.0)
+        .latency(Duration::from_millis(2))
+        .reliability(0.7)
+        .seed(1)
+        .build();
+    gateway.registry().register(Arc::clone(&sensor) as _);
+    gateway.registry().register(
+        SimulatedProvider::builder("m92p-a/est-temp", "est-temp")
+            .cost(50.0)
+            .latency(Duration::from_millis(15))
+            .reliability(0.7)
+            .seed(2)
+            .build(),
+    );
+    gateway.registry().register(
+        SimulatedProvider::builder("m92p-b/loc-temp", "loc-temp")
+            .cost(50.0)
+            .latency(Duration::from_millis(25))
+            .reliability(0.7)
+            .seed(3)
+            .build(),
+    );
+
+    let client = Client::new(Arc::clone(&gateway));
+
+    // 3. Drive time slots; drop the sensor's reliability partway through
+    //    and recover it later (the Fig. 8 schedule, scaled down).
+    println!("slot | strategy                                | succ% | avg cost | avg latency");
+    println!("-----+-----------------------------------------+-------+----------+------------");
+    let mut executed = 0u32;
+    for slot in 0..10 {
+        let mut ok = 0u32;
+        let mut cost = 0.0;
+        let mut latency = Duration::ZERO;
+        for _ in 0..SLOT {
+            // Reliability drop after 230 executions, recovery after 430.
+            if executed == 230 {
+                sensor.set_reliability(0.2);
+                println!("     | *** readTempSensor reliability drops to 20% ***");
+            }
+            if executed == 430 {
+                sensor.set_reliability(0.7);
+                println!("     | *** readTempSensor reliability recovers to 70% ***");
+            }
+            let response = client.invoke(SERVICE)?;
+            executed += 1;
+            if response.success {
+                ok += 1;
+            }
+            cost += response.cost;
+            latency += response.latency;
+        }
+        let strategy = gateway
+            .current_strategy(SERVICE)
+            .unwrap_or_else(|| "?".to_string());
+        println!(
+            "{slot:>4} | {strategy:<39} | {:>4.0}% | {:>8.1} | {:>7.1} ms",
+            f64::from(ok) / f64::from(SLOT) * 100.0,
+            cost / f64::from(SLOT),
+            latency.as_secs_f64() * 1e3 / f64::from(SLOT),
+        );
+    }
+
+    // 4. Show the planning history the gateway kept (per-slot decisions).
+    println!("\nPlanning history:");
+    for record in gateway.slot_history(SERVICE) {
+        let estimate = record
+            .estimated
+            .map_or_else(|| "-".to_string(), |q| q.to_string());
+        println!(
+            "  slot {:>2} [{}] {} est {}",
+            record.slot, record.origin, record.strategy_text, estimate
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,100 @@
+//! Quorum execution over equivalent microservices — the paper's §VII
+//! future-work scenario: "protect from malicious devices that return fake
+//! results."
+//!
+//! Four devices claim to report the ambient temperature by different means;
+//! one of them is compromised and always reports a fire-free 21 °C
+//! regardless of reality. First-success execution believes whichever device
+//! answers first; quorum-2 execution cross-checks equivalent microservices
+//! and outvotes the liar — at roughly double the cost (Assumption 2 still
+//! charges every started invocation).
+//!
+//! Run with: `cargo run --example byzantine_quorum`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qce_runtime::{
+    execute_strategy, execute_with_quorum, FnProvider, Invocation, InvokeError, Provider,
+};
+use qce_strategy::Strategy;
+
+/// The ground truth the honest sensors observe.
+const TRUE_TEMPERATURE: u8 = 58; // someone should check on the server room
+
+fn honest(id: &str, latency: Duration, cost: f64) -> Arc<dyn Provider> {
+    FnProvider::new(id, "read-temp", cost, move |_req| {
+        std::thread::sleep(latency);
+        Ok(vec![TRUE_TEMPERATURE])
+    })
+}
+
+fn compromised(id: &str, latency: Duration, cost: f64) -> Arc<dyn Provider> {
+    FnProvider::new(id, "read-temp", cost, move |_req| {
+        std::thread::sleep(latency);
+        Ok(vec![21]) // "all is well"
+    })
+}
+
+fn flaky(id: &str, cost: f64) -> Arc<dyn Provider> {
+    FnProvider::new(id, "read-temp", cost, move |_req| {
+        Err(InvokeError::ExecutionFailed {
+            reason: "sensor open-circuit".to_string(),
+        })
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // a: compromised but FAST (it wants to answer first);
+    // b, c: honest; d: broken.
+    let providers: Vec<Arc<dyn Provider>> = vec![
+        compromised("rogue-node/read-temp", Duration::from_millis(1), 10.0),
+        honest("pi/ds1820", Duration::from_millis(5), 10.0),
+        honest("desktop/cpu-estimate", Duration::from_millis(8), 15.0),
+        flaky("window-unit/ir", 5.0),
+    ];
+    let strategy = Strategy::parse("a*b-c-d")?;
+    let request = Invocation::new(1, "read-temp", vec![]);
+
+    println!("ground truth: {TRUE_TEMPERATURE} degrees (fire!)\n");
+
+    // First-success semantics: the fast liar wins the race.
+    let naive = execute_strategy(&strategy, &providers, &request, None)?;
+    println!(
+        "first-success: answered {:?} at cost {:.0} — {}",
+        naive.payload.as_deref().unwrap_or(&[]),
+        naive.cost,
+        if naive.payload.as_deref() == Some(&[TRUE_TEMPERATURE]) {
+            "correct"
+        } else {
+            "FOOLED by the rogue device"
+        }
+    );
+
+    // Quorum-2: equivalent microservices must agree.
+    let quorum = execute_with_quorum(&strategy, &providers, &request, None, 2)?;
+    println!(
+        "quorum-2     : answered {:?} with {}/{} votes at cost {:.0} — {}",
+        quorum.payload.as_deref().unwrap_or(&[]),
+        quorum.votes,
+        quorum.votes_cast,
+        quorum.cost,
+        if quorum.payload.as_deref() == Some(&[TRUE_TEMPERATURE]) {
+            "correct (liar outvoted)"
+        } else {
+            "fooled"
+        }
+    );
+    assert!(quorum.agreed);
+    assert_eq!(
+        quorum.payload.as_deref(),
+        Some([TRUE_TEMPERATURE].as_slice())
+    );
+
+    println!(
+        "\nredundancy premium: quorum cost {:.0} vs first-success {:.0} \
+         (Assumption 2 charges every started invocation)",
+        quorum.cost, naive.cost
+    );
+    Ok(())
+}

@@ -1,0 +1,172 @@
+//! A multi-stage edge service from the paper's motivating scenario
+//! (Section I/II): a personal mobile assistant that detects fire, locates
+//! its user, and plans an escape route — three stages, each fulfilled by
+//! *equivalent microservices* on unreliable edge devices.
+//!
+//! The pipeline composes three gateway services ("the dataflow of
+//! constituent microservices", Section IV.A):
+//!
+//! 1. `detect-fire` — camera smoke analysis / smoke sensor / flame sensor,
+//!    executed under **quorum 2** so a single compromised sensor cannot
+//!    fake an all-clear (§VII);
+//! 2. `locate-user` — Wi-Fi fingerprinting / camera re-identification /
+//!    motion-sensor dead reckoning (the indoor-localization equivalents
+//!    cited in the paper's introduction);
+//! 3. `plan-route` — edge-server path planner / pre-computed evacuation
+//!    map lookup.
+//!
+//! Run with: `cargo run --example escape_route`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qce_runtime::{
+    invoke_pipeline, FnProvider, Gateway, GatewayConfig, InMemoryMarket, MsSpec, ServiceScript,
+    SimulatedProvider,
+};
+use qce_strategy::compose::pipeline_qos;
+use qce_strategy::{Qos, Requirements};
+
+fn publish(
+    market: &InMemoryMarket,
+    id: &str,
+    ms: Vec<(&str, &str, f64, f64, f64)>, // name, capability, cost, latency, reliability
+    quorum: Option<usize>,
+) {
+    let mut script = ServiceScript::new(
+        id,
+        ms.into_iter()
+            .map(|(name, capability, c, l, r)| MsSpec {
+                name: name.into(),
+                capability: capability.into(),
+                prior: Qos::new(c, l, r).expect("valid"),
+            })
+            .collect(),
+        Requirements::new(200.0, 100.0, 0.95).expect("valid"),
+    );
+    script.slot_size = 25;
+    script.quorum = quorum;
+    market.publish(script).expect("valid script");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let market = InMemoryMarket::new();
+
+    publish(
+        &market,
+        "detect-fire",
+        vec![
+            ("cameraSmoke", "camera-smoke", 50.0, 10.0, 0.85),
+            ("smokeSensor", "smoke-sensor", 20.0, 4.0, 0.8),
+            ("flameSensor", "flame-sensor", 30.0, 6.0, 0.8),
+        ],
+        Some(2), // outvote a compromised sensor
+    );
+    publish(
+        &market,
+        "locate-user",
+        vec![
+            ("wifiFingerprint", "wifi-locate", 30.0, 8.0, 0.75),
+            ("cameraReId", "camera-locate", 60.0, 15.0, 0.85),
+            ("motionDeadReckon", "imu-locate", 10.0, 3.0, 0.6),
+        ],
+        None,
+    );
+    publish(
+        &market,
+        "plan-route",
+        vec![
+            ("edgePlanner", "route-plan", 40.0, 12.0, 0.9),
+            ("staticEvacMap", "route-lookup", 5.0, 2.0, 0.99),
+        ],
+        None,
+    );
+
+    let gateway = Arc::new(Gateway::new(Box::new(market), GatewayConfig::default()));
+
+    // Register device-hosted microservices. The fire sensors return a
+    // payload (1 = fire) so the quorum stage has something to vote on.
+    for (device, capability, cost, ms, rel) in [
+        ("lobby-cam", "camera-smoke", 50.0, 10u64, 0.85),
+        ("hall-unit", "smoke-sensor", 20.0, 4, 0.8),
+        ("kitchen-unit", "flame-sensor", 30.0, 6, 0.8),
+        ("ap-3f", "wifi-locate", 30.0, 8, 0.75),
+        ("lobby-cam2", "camera-locate", 60.0, 15, 0.85),
+        ("phone-imu", "imu-locate", 10.0, 3, 0.6),
+    ] {
+        gateway.registry().register(
+            SimulatedProvider::builder(format!("{device}/{capability}"), capability)
+                .cost(cost)
+                .latency(Duration::from_millis(ms))
+                .reliability(rel)
+                .response(vec![1])
+                .seed(7)
+                .build(),
+        );
+    }
+    // The route planners do real (toy) work: payload in, route out.
+    gateway.registry().register(FnProvider::new(
+        "edge-server/route-plan",
+        "route-plan",
+        40.0,
+        |req| Ok([req.payload.as_slice(), b" -> stairwell B"].concat()),
+    ));
+    gateway.registry().register(FnProvider::new(
+        "kiosk/route-lookup",
+        "route-lookup",
+        5.0,
+        |req| Ok([req.payload.as_slice(), b" -> nearest exit"].concat()),
+    ));
+
+    // Predicted end-to-end QoS from the stage priors (compose module).
+    let stage_priors = [
+        Qos::new(100.0, 10.0, 0.994)?, // detect-fire under quorum (approx.)
+        Qos::new(40.0, 8.0, 0.985)?,   // locate-user fail-over
+        Qos::new(10.0, 3.0, 0.9999)?,  // plan-route fail-over
+    ];
+    println!(
+        "predicted end-to-end (from priors): {}\n",
+        pipeline_qos(&stage_priors).expect("non-empty")
+    );
+
+    // Drive the pipeline across two time slots so stage strategies adapt.
+    let stages = ["detect-fire", "locate-user", "plan-route"];
+    let mut ok = 0u32;
+    let mut cost = 0.0;
+    let n = 60;
+    for i in 0..n {
+        let response = invoke_pipeline(&gateway, &stages, vec![])?;
+        if response.success {
+            ok += 1;
+        }
+        cost += response.cost;
+        if i == 0 || i == n - 1 {
+            println!(
+                "run {i:>2}: success={} cost={:>5.1} latency={:>6.1?} stages={}",
+                response.success,
+                response.cost,
+                response.latency,
+                response.stages.len(),
+            );
+            if let Some(route) = &response.payload {
+                println!("        route: {:?}", String::from_utf8_lossy(route));
+            }
+            if let Some((votes, cast)) = response.stages[0].votes {
+                println!("        detect-fire quorum: {votes}/{cast} sensors agree");
+            }
+        }
+    }
+    println!(
+        "\n{ok}/{n} pipeline runs succeeded, mean cost {:.1}",
+        cost / f64::from(n)
+    );
+
+    println!("\nPer-stage strategies after adaptation:");
+    for stage in stages {
+        println!(
+            "  {stage:<12} {}",
+            gateway.current_strategy(stage).unwrap_or_default()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: express, estimate, and synthesize execution strategies for
+//! equivalent microservices.
+//!
+//! Reproduces the paper's running example (Section III.D): five equivalent
+//! fire-detection microservices `a`–`e` with environment-specific QoS, and
+//! shows how customized strategies beat the two predefined patterns.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use qce_strategy::estimate::estimate;
+use qce_strategy::{EnvQos, Generator, Requirements, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Five equivalent microservices with [cost, latency, reliability]:
+    //   a: camera smoke detection        [ 50,  50, 60%]
+    //   b: smoke sensor                  [100, 100, 60%]
+    //   c: flame sensor                  [150, 150, 70%]
+    //   d: CO/CO2 gas sensor             [200, 200, 70%]
+    //   e: temperature-change detection  [250, 250, 80%]
+    let env = EnvQos::from_triples(&[
+        (50.0, 50.0, 0.6),
+        (100.0, 100.0, 0.6),
+        (150.0, 150.0, 0.7),
+        (200.0, 200.0, 0.7),
+        (250.0, 250.0, 0.8),
+    ])?;
+
+    println!("== Estimating the QoS of hand-written strategies (Table II) ==");
+    for text in ["a-b-c-d-e", "a*b*c*d*e", "a-b*c-d-e", "c*(a*b-d*e)"] {
+        let strategy = Strategy::parse(text)?;
+        let qos = estimate(&strategy, &env)?;
+        println!("  {text:<14} -> {qos}");
+    }
+
+    // The service requires cost ≤ 100, latency ≤ 100 ms, reliability ≥ 97%.
+    let requirements = Requirements::new(100.0, 100.0, 0.97)?;
+    println!("\n== Generating the best strategy for {requirements} ==");
+
+    let generator = Generator::default();
+    let ids = env.ids();
+
+    let best = generator.generate(&env, &ids, &requirements)?;
+    let failover = generator.failover(&env, &ids, &requirements)?;
+    let parallel = generator.speculative_parallel(&env, &ids, &requirements)?;
+    let approx = generator.approximation(&env, &ids, &requirements)?;
+
+    println!(
+        "  generated (exhaustive over {} candidates):",
+        best.evaluated
+    );
+    println!("      {best}");
+    println!("  approximation heuristic:");
+    println!("      {approx}");
+    println!("  predefined fail-over:");
+    println!("      {failover}");
+    println!("  predefined speculative parallel:");
+    println!("      {parallel}");
+
+    assert!(best.utility >= failover.utility);
+    assert!(best.utility >= parallel.utility);
+    println!(
+        "\nThe customized strategy improves utility by {:+.3} over fail-over \
+         and {:+.3} over speculative parallel.",
+        best.utility - failover.utility,
+        best.utility - parallel.utility
+    );
+    Ok(())
+}

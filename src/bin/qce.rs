@@ -1,0 +1,378 @@
+//! `qce` — command-line front end for the strategy algebra.
+//!
+//! ```text
+//! qce <command> [options]
+//!
+//! commands:
+//!   estimate <expr>    estimate the QoS of a strategy expression
+//!   generate           synthesize the best strategy for the environment
+//!   enumerate          list/count all strategies for the environment
+//!   simulate <expr>    Monte-Carlo-execute a strategy in virtual time
+//!   pareto             print the Pareto-optimal strategies
+//!
+//! options:
+//!   --ms c,l,r        add a microservice with cost, latency, reliability%
+//!                     (repeatable; first is `a`, second `b`, …)
+//!   --require c,l,r   QoS requirements (default 100,100,97)
+//!   --k K             utility penalty factor (default 2)
+//!   --method M        exhaustive | approximation | local-search |
+//!                     failover | parallel | auto (default auto)
+//!   --runs N          simulate: executions (default 10000)
+//!   --seed N          simulate: RNG seed (default 42)
+//!   --top N           enumerate/pareto: rows to print (default 10)
+//!
+//! examples:
+//!   qce estimate 'c*(a*b-d*e)' --ms 50,50,60 --ms 100,100,60 \
+//!       --ms 150,150,70 --ms 200,200,70 --ms 250,250,80
+//!   qce generate --ms 50,50,60 --ms 100,100,60 --ms 150,150,70
+//! ```
+
+use std::process::ExitCode;
+
+use qce::sim::{simulate, Environment};
+use qce::strategy::enumerate::{count_full, enumerate_full, paper};
+use qce::strategy::estimate::{estimate, estimate_folding};
+use qce::strategy::pareto::pareto_front;
+use qce::strategy::{EnvQos, Generator, Requirements, Strategy, UtilityIndex};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[derive(Debug)]
+struct Options {
+    triples: Vec<(f64, f64, f64)>,
+    require: (f64, f64, f64),
+    k: f64,
+    method: String,
+    runs: u32,
+    seed: u64,
+    top: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            triples: Vec::new(),
+            require: (100.0, 100.0, 97.0),
+            k: 2.0,
+            method: "auto".to_string(),
+            runs: 10_000,
+            seed: 42,
+            top: 10,
+        }
+    }
+}
+
+fn parse_triple(text: &str) -> Result<(f64, f64, f64), String> {
+    let parts: Vec<&str> = text.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!("expected cost,latency,reliability%, got {text:?}"));
+    }
+    let parse =
+        |p: &str| -> Result<f64, String> { p.trim().parse().map_err(|e| format!("{p:?}: {e}")) };
+    Ok((parse(parts[0])?, parse(parts[1])?, parse(parts[2])?))
+}
+
+fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), String> {
+    let mut command = None;
+    let mut expr = None;
+    let mut options = Options::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match arg.as_str() {
+            "--ms" => options.triples.push(parse_triple(&value("--ms")?)?),
+            "--require" => options.require = parse_triple(&value("--require")?)?,
+            "--k" => options.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--method" => options.method = value("--method")?,
+            "--runs" => {
+                options.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--top" => options.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            positional if command.is_none() => command = Some(positional.to_string()),
+            positional if expr.is_none() => expr = Some(positional.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let command = command.ok_or("no command given; try `qce generate --ms 50,50,60 …`")?;
+    Ok((command, expr, options))
+}
+
+fn build_env(options: &Options) -> Result<EnvQos, String> {
+    if options.triples.is_empty() {
+        return Err("no microservices; pass at least one --ms cost,latency,reliability%".into());
+    }
+    let triples: Vec<(f64, f64, f64)> = options
+        .triples
+        .iter()
+        .map(|&(c, l, r)| (c, l, r / 100.0))
+        .collect();
+    EnvQos::from_triples(&triples).map_err(|e| e.to_string())
+}
+
+fn requirements(options: &Options) -> Result<Requirements, String> {
+    let (c, l, r) = options.require;
+    Requirements::new(c, l, r / 100.0).map_err(|e| e.to_string())
+}
+
+fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), String> {
+    match command {
+        "estimate" => {
+            let env = build_env(options)?;
+            let text = expr.ok_or("estimate needs a strategy expression")?;
+            let strategy = Strategy::parse(text).map_err(|e| e.to_string())?;
+            let qos = estimate(&strategy, &env).map_err(|e| e.to_string())?;
+            let folded = estimate_folding(&strategy, &env).map_err(|e| e.to_string())?;
+            let req = requirements(options)?;
+            let ui = UtilityIndex::new(options.k).map_err(|e| e.to_string())?;
+            println!("strategy    : {strategy}");
+            println!("Algorithm 1 : {qos}");
+            println!("folding [15]: {folded}");
+            println!("utility     : {:+.3} against {req}", ui.utility(&qos, &req));
+            Ok(())
+        }
+        "generate" => {
+            let env = build_env(options)?;
+            let req = requirements(options)?;
+            let ui = UtilityIndex::new(options.k).map_err(|e| e.to_string())?;
+            let generator = Generator::new(ui, 6);
+            let ids = env.ids();
+            let generated = match options.method.as_str() {
+                "auto" => generator.generate(&env, &ids, &req),
+                "exhaustive" => generator.exhaustive(&env, &ids, &req),
+                "approximation" => generator.approximation(&env, &ids, &req),
+                "local-search" => generator.local_search(&env, &ids, &req),
+                "failover" => generator.failover(&env, &ids, &req),
+                "parallel" => generator.speculative_parallel(&env, &ids, &req),
+                other => return Err(format!("unknown method {other:?}")),
+            }
+            .map_err(|e| e.to_string())?;
+            println!("{generated}");
+            let violations = req.violations(&generated.qos);
+            if violations.is_empty() {
+                println!("satisfies every requirement of {req}");
+            } else {
+                println!(
+                    "advisory: misses {} requirement(s) of {req}: {}",
+                    violations.len(),
+                    violations
+                        .iter()
+                        .map(ToString::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+            Ok(())
+        }
+        "enumerate" => {
+            let env = build_env(options)?;
+            let m = env.len();
+            if m > 6 {
+                return Err(
+                    "enumerate materializes all strategies; at most 6 microservices".into(),
+                );
+            }
+            println!(
+                "{} semantically distinct strategies over {m} microservices \
+                 (the paper's Table I counts {})",
+                count_full(m),
+                paper::count_table1(m)
+            );
+            let req = requirements(options)?;
+            let ui = UtilityIndex::new(options.k).map_err(|e| e.to_string())?;
+            let mut scored: Vec<(Strategy, f64)> = enumerate_full(&env.ids())
+                .into_iter()
+                .map(|s| {
+                    let qos = estimate(&s, &env).expect("environment covers ids");
+                    let u = ui.utility(&qos, &req);
+                    (s, u)
+                })
+                .collect();
+            scored.sort_by(|(_, a), (_, b)| b.partial_cmp(a).expect("finite"));
+            println!("top {} by utility:", options.top.min(scored.len()));
+            for (s, u) in scored.iter().take(options.top) {
+                println!("  U={u:+.3}  {s}");
+            }
+            Ok(())
+        }
+        "simulate" => {
+            let env = build_env(options)?;
+            let text = expr.ok_or("simulate needs a strategy expression")?;
+            let strategy = Strategy::parse(text).map_err(|e| e.to_string())?;
+            let triples: Vec<(f64, f64, f64)> = options
+                .triples
+                .iter()
+                .map(|&(c, l, r)| (c, l, r / 100.0))
+                .collect();
+            let sim_env = Environment::from_triples(&triples).map_err(|e| e.to_string())?;
+            let estimated = estimate(&strategy, &env).map_err(|e| e.to_string())?;
+            let mut rng = ChaCha8Rng::seed_from_u64(options.seed);
+            let stats =
+                simulate(&strategy, &sim_env, options.runs, &mut rng).map_err(|e| e.to_string())?;
+            println!(
+                "strategy : {strategy}  ({} virtual executions)",
+                options.runs
+            );
+            println!("estimated: {estimated}");
+            println!(
+                "measured : [cost={:.1}, latency={:.1}, reliability={:.1}%] \
+                 (σ_latency={:.1})",
+                stats.mean_cost,
+                stats.mean_latency,
+                stats.success_rate * 100.0,
+                stats.std_latency
+            );
+            Ok(())
+        }
+        "pareto" => {
+            let env = build_env(options)?;
+            if env.len() > 6 {
+                return Err("pareto materializes all strategies; at most 6 microservices".into());
+            }
+            let scored: Vec<(Strategy, qce::strategy::Qos)> = enumerate_full(&env.ids())
+                .into_iter()
+                .map(|s| {
+                    let qos = estimate(&s, &env).expect("environment covers ids");
+                    (s, qos)
+                })
+                .collect();
+            let total = scored.len();
+            let mut front = pareto_front(scored, |(_, q)| *q);
+            front.sort_by(|(_, a), (_, b)| a.cost.partial_cmp(&b.cost).expect("finite"));
+            println!("{} Pareto-optimal strategies of {total}:", front.len());
+            for (s, q) in front.iter().take(options.top) {
+                println!("  {s:<22} {q}");
+            }
+            if front.len() > options.top {
+                println!("  … and {} more (raise --top)", front.len() - options.top);
+            }
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command {other:?}; try estimate, generate, enumerate, simulate, pareto"
+        )),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok((command, expr, options)) => match run(&command, expr.as_deref(), &options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("see `src/bin/qce.rs` header for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parse_triple_accepts_and_rejects() {
+        assert_eq!(parse_triple("50,60,70").unwrap(), (50.0, 60.0, 70.0));
+        assert_eq!(parse_triple(" 1 , 2 , 3 ").unwrap(), (1.0, 2.0, 3.0));
+        assert!(parse_triple("1,2").is_err());
+        assert!(parse_triple("1,2,x").is_err());
+    }
+
+    #[test]
+    fn parse_args_full_command() {
+        let (command, expr, options) = parse_args(&args(&[
+            "estimate",
+            "a-b",
+            "--ms",
+            "50,50,60",
+            "--ms",
+            "100,100,60",
+            "--k",
+            "3",
+            "--require",
+            "200,90,95",
+            "--top",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(command, "estimate");
+        assert_eq!(expr.as_deref(), Some("a-b"));
+        assert_eq!(options.triples.len(), 2);
+        assert_eq!(options.k, 3.0);
+        assert_eq!(options.require, (200.0, 90.0, 95.0));
+        assert_eq!(options.top, 4);
+    }
+
+    #[test]
+    fn parse_args_rejects_garbage() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["generate", "--ms"])).is_err());
+        assert!(parse_args(&args(&["generate", "--nope", "1"])).is_err());
+        assert!(parse_args(&args(&["estimate", "a", "b", "c"])).is_err());
+    }
+
+    #[test]
+    fn run_generate_end_to_end() {
+        let (_, _, mut options) = parse_args(&args(&[
+            "generate",
+            "--ms",
+            "50,50,60",
+            "--ms",
+            "100,100,60",
+        ]))
+        .unwrap();
+        assert!(run("generate", None, &options).is_ok());
+        assert!(run("enumerate", None, &options).is_ok());
+        assert!(run("pareto", None, &options).is_ok());
+        assert!(run("estimate", Some("a-b"), &options).is_ok());
+        assert!(run("estimate", Some("a-a"), &options).is_err());
+        assert!(run("estimate", None, &options).is_err());
+        options.runs = 50;
+        assert!(run("simulate", Some("a*b"), &options).is_ok());
+        assert!(run("bogus", None, &options).is_err());
+        options.triples.clear();
+        assert!(run("generate", None, &options).is_err(), "no microservices");
+    }
+
+    #[test]
+    fn run_rejects_oversized_enumeration() {
+        let options = Options {
+            triples: vec![(50.0, 50.0, 60.0); 7],
+            ..Options::default()
+        };
+        assert!(run("enumerate", None, &options).is_err());
+        assert!(run("pareto", None, &options).is_err());
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        let options = Options {
+            triples: vec![(50.0, 50.0, 60.0), (60.0, 60.0, 70.0)],
+            method: "zigzag".to_string(),
+            ..Options::default()
+        };
+        assert!(run("generate", None, &options).is_err());
+    }
+}
