@@ -1,0 +1,238 @@
+//! Vendored offline shim for the subset of `criterion` this workspace's
+//! benches use: `Criterion`, `benchmark_group`/`sample_size`,
+//! `bench_function`/`bench_with_input`, `BenchmarkId`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! external dependencies are vendored as minimal API-compatible shims (see
+//! `compat/README.md`). This harness does real timing — median of
+//! `sample_size` samples after a one-iteration warm-up, printed one line
+//! per benchmark — but no statistics, plotting, or baseline storage.
+//! Sampling is budgeted (~200 ms per benchmark) so the suite stays fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget; sampling stops early once it is spent.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(200);
+
+/// Entry point handed to every bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Registers a benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, body);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, body);
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter, for groups benchmarked over one axis.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Conversion into a display label (accepts `&str`, `String`, and
+/// [`BenchmarkId`], like upstream).
+pub trait IntoBenchmarkId {
+    /// Renders the label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timer handle passed to benchmark bodies.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to `sample_size` samples within the
+    /// time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also seeds caches the first sample would otherwise pay).
+        std::hint::black_box(routine());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t0.elapsed());
+            if budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut body: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    body(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("bench {label:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "bench {label:<50} median {median:>12.3?} ({} samples)",
+        samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions (`criterion_group!(name, fns…)`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3usize, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.finish();
+        assert!(runs >= 5, "warm-up plus samples ran the routine");
+    }
+}

@@ -1,0 +1,326 @@
+//! Vendored offline shim for the subset of `proptest` this workspace uses:
+//! the `proptest!` macro with `fn name(arg in strategy, ...)` signatures,
+//! `prop_assert!`/`prop_assert_eq!`, range and `any::<T>()` strategies, and
+//! `ProptestConfig::with_cases`.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! external dependencies are vendored as minimal API-compatible shims (see
+//! `compat/README.md`). Inputs are drawn from a ChaCha stream seeded from
+//! the test name and case index, so every run of a given binary replays the
+//! same cases (fully deterministic, no persistence files). There is no
+//! shrinking: a failing case reports its inputs' seed and case number
+//! instead.
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy abstractions: how test inputs are drawn from the case RNG.
+pub mod strategy {
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A source of random test inputs.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Always produces a clone of the given value (upstream
+    /// `proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support: unconstrained value generation.
+pub mod arbitrary {
+    use rand::{Rng, RngCore};
+
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical unconstrained strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric values; property tests here use
+            // arbitrary floats as seeds/knobs, not as edge-case probes.
+            rng.gen_range(-1e12..1e12)
+        }
+    }
+
+    /// Returns the unconstrained strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+/// Test-runner plumbing used by the expansion of [`proptest!`].
+pub mod test_runner {
+    use super::*;
+
+    /// The RNG handed to strategies for one test case.
+    pub type TestRng = ChaCha8Rng;
+
+    /// Run configuration (upstream `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// FNV-1a, for deriving a stable per-test seed from its name.
+    fn fnv1a(text: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in text.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Builds the deterministic RNG for one case of one property.
+    pub fn rng_for_case(test_name: &str, case: u32) -> TestRng {
+        let seed = fnv1a(test_name) ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng::seed_from_u64(seed)
+    }
+
+    /// Runs `body` for every case, panicking on the first failure with
+    /// enough context to replay it.
+    pub fn run_property<F>(config: &ProptestConfig, test_name: &str, body: F)
+    where
+        F: Fn(&mut TestRng) -> Result<(), String>,
+    {
+        for case in 0..config.cases {
+            let mut rng = rng_for_case(test_name, case);
+            if let Err(message) = body(&mut rng) {
+                panic!(
+                    "property `{test_name}` failed at case {case}/{}: {message}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// Everything a property-test file needs (upstream `proptest::prelude`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests. Each `fn name(arg in strategy)`
+/// expands to a `#[test]` that replays `cases` seeded inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run_property(&config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                let __outcome: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+        $crate::__proptest_impl!{ config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the whole
+/// process) with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(m in 1usize..8, x in 0.5f64..2.0, k in 3u32..=5) {
+            prop_assert!((1..8).contains(&m));
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((3..=5).contains(&k));
+        }
+
+        /// `any` produces varying values across cases.
+        #[test]
+        fn any_draws_values(seed in any::<u64>(), flag in any::<bool>()) {
+            let _ = flag;
+            prop_assert_eq!(seed, seed);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let draw = |case| {
+            let mut rng = crate::test_runner::rng_for_case("fixed", case);
+            (0u64..1000).sample(&mut rng)
+        };
+        assert_eq!(draw(3), draw(3));
+        assert_ne!((0..16).map(draw).collect::<Vec<_>>(), vec![draw(0); 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 0")]
+    fn failures_panic_with_case_context() {
+        crate::test_runner::run_property(&ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err("boom".to_string())
+        });
+    }
+}

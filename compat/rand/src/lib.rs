@@ -1,0 +1,287 @@
+//! Vendored offline shim for the subset of `rand` this workspace uses:
+//! [`RngCore`], [`Rng`] (`gen_range`, `gen_bool`), and [`SeedableRng`]
+//! (`from_seed`, `seed_from_u64`).
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! external dependencies are vendored as minimal API-compatible shims (see
+//! `compat/README.md`). The shim is deterministic by construction: all
+//! randomness flows from explicitly seeded generators (there is no
+//! `thread_rng`/OS entropy source), which is exactly what the repository's
+//! reproducible simulations and tests require.
+
+#![forbid(unsafe_code)]
+
+/// Low-level uniform bit generator.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that `Rng::gen_range` can produce uniformly from a range.
+pub trait SampleUniform: Sized + PartialOrd + Copy {
+    /// Samples uniformly from `[low, high)` (`[low, high]` when
+    /// `inclusive`).
+    fn sample_uniform(low: Self, high: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform integer in `[0, span)` via multiply-shift (span > 0).
+fn below_u64(span: u64, rng: &mut dyn RngCore) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(low: Self, high: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let lo = low as u128;
+                let hi = high as u128;
+                let span = hi - lo + u128::from(inclusive);
+                assert!(span > 0, "cannot sample from an empty range");
+                if span > u128::from(u64::MAX) {
+                    // Only reachable for the full u128-wide span of u64/u128
+                    // inclusive ranges, which the workspace never uses.
+                    return rng.next_u64() as $t;
+                }
+                (lo + u128::from(below_u64(span as u64, rng))) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for u128 {
+    fn sample_uniform(low: Self, high: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+        let span = high
+            .checked_sub(low)
+            .expect("cannot sample from an empty range")
+            .checked_add(u128::from(inclusive))
+            .expect("full-width u128 range is unsupported");
+        assert!(span > 0, "cannot sample from an empty range");
+        // Rejection sampling into the largest multiple of `span`, so the
+        // modulo below is unbiased.
+        let zone = (u128::MAX / span) * span;
+        loop {
+            let r = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+            if r < zone {
+                return low + (r % span);
+            }
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(low: Self, high: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                let lo = low as i128;
+                let hi = high as i128;
+                let span = (hi - lo) as u128 + u128::from(inclusive);
+                assert!(span > 0, "cannot sample from an empty range");
+                let offset = if span > u128::from(u64::MAX) {
+                    u128::from(rng.next_u64())
+                } else {
+                    u128::from(below_u64(span as u64, rng))
+                };
+                (lo + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(low: Self, high: Self, _inclusive: bool, rng: &mut dyn RngCore) -> Self {
+                assert!(low <= high, "cannot sample from an empty range");
+                let unit = unit_f64(rng) as $t;
+                low + (high - low) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_uniform(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// User-facing random value generation, auto-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        let mut erased = RngErased(self);
+        range.sample_from(&mut erased)
+    }
+
+    /// Returns `true` with probability `p` (clamped into `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let mut erased = RngErased(self);
+        unit_f64(&mut erased) < p
+    }
+}
+
+/// Adapter so `?Sized` trait methods can hand a `&mut dyn RngCore` to the
+/// sampling helpers.
+struct RngErased<'a, R: RngCore + ?Sized>(&'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for RngErased<'_, R> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded with SplitMix64 (the
+    /// same construction upstream `rand` uses).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiny xorshift generator for shim self-tests.
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = XorShift(42);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let f: f64 = rng.gen_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&f));
+            let u: usize = rng.gen_range(0..7usize);
+            assert!(u < 7);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = XorShift(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn gen_bool_rate_is_plausible() {
+        let mut rng = XorShift(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = XorShift(3);
+        let mut buf = [0u8; 7];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = XorShift(9);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let v = sample(dynamic);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -1,0 +1,480 @@
+//! Vendored offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` targeting the value-tree traits in the
+//! companion `serde` shim.
+//!
+//! The build environment has no network access and no crates.io mirror, so
+//! this derive is hand-rolled on bare `proc_macro` (no `syn`/`quote`): the
+//! input item is parsed by walking its `TokenTree`s, and the impl is
+//! emitted as a formatted string parsed back into a `TokenStream`.
+//!
+//! Supported shapes — exactly what the workspace uses:
+//! - named-field structs (with `#[serde(default)]` on fields)
+//! - single-field tuple structs (always treated as `transparent`)
+//! - enums with unit, newtype, and struct variants (external tagging)
+//!
+//! Generics, multi-field tuple structs, and renaming attributes are
+//! unsupported and fail with a compile-time panic naming the type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One field of a named-field struct or struct variant.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: missing input falls back to `Default::default()`.
+    default: bool,
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+/// The parsed item a derive was applied to.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    /// Single-field tuple struct, serialized transparently.
+    NewtypeStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(match &item {
+        Item::NamedStruct { name, fields } => serialize_named_struct(name, fields),
+        Item::NewtypeStruct { name } => serialize_newtype_struct(name),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    })
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(match &item {
+        Item::NamedStruct { name, fields } => deserialize_named_struct(name, fields),
+        Item::NewtypeStruct { name } => deserialize_newtype_struct(name),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    })
+}
+
+fn render(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive shim generated invalid Rust: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    pos += 1;
+
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is unsupported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(group.stream(), &name);
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(group.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde_derive shim: tuple struct `{name}` has {arity} fields; \
+                         only single-field (transparent) tuple structs are supported"
+                    );
+                }
+                Item::NewtypeStruct { name }
+            }
+            other => panic!("serde_derive shim: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(group.stream(), &name);
+                Item::Enum { name, variants }
+            }
+            other => panic!("serde_derive shim: expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Advances past attributes (`#[...]`, including doc comments) and a
+/// `pub`/`pub(...)` visibility prefix; returns whether any skipped
+/// attribute was `#[serde(default)]`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) -> bool {
+    let mut has_default = false;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(group)) = tokens.get(*pos + 1) {
+                    if attr_is_serde_default(group.stream()) {
+                        has_default = true;
+                    }
+                    *pos += 2;
+                } else {
+                    panic!("serde_derive shim: stray `#` outside an attribute");
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1;
+                }
+            }
+            _ => return has_default,
+        }
+    }
+}
+
+/// True when an attribute body (the tokens inside `#[...]`) reads
+/// `serde(default)`.
+fn attr_is_serde_default(body: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+/// Counts top-level fields of a tuple-struct body (comma-split at angle
+/// depth zero; bracketed groups are atomic tokens).
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for token in body {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                arity += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    arity + usize::from(saw_token)
+}
+
+fn parse_named_fields(body: TokenStream, type_name: &str) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let default = skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => {
+                panic!("serde_derive shim: expected field name in `{type_name}`, got {other:?}")
+            }
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!(
+                "serde_derive shim: expected `:` after field `{name}` in `{type_name}`, got {other:?}"
+            ),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Advances past a type expression up to (and over) the next top-level
+/// comma. Commas inside `<...>` or bracketed groups don't terminate.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*pos) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *pos += 1;
+                return;
+            }
+            _ => {}
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_variants(body: TokenStream, type_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            other => {
+                panic!("serde_derive shim: expected variant name in `{type_name}`, got {other:?}")
+            }
+        };
+        pos += 1;
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                let arity = tuple_arity(group.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde_derive shim: variant `{type_name}::{name}` has {arity} tuple \
+                         fields; only newtype variants are supported"
+                    );
+                }
+                VariantShape::Newtype
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Struct(parse_named_fields(group.stream(), type_name))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Optional discriminant is unsupported; next token must be `,` or end.
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            None => {}
+            other => panic!(
+                "serde_derive shim: unexpected token after variant `{type_name}::{name}`: {other:?}"
+            ),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_named_struct(name: &str, fields: &[Field]) -> String {
+    let mut inserts = String::new();
+    for field in fields {
+        inserts.push_str(&format!(
+            "map.insert(\"{f}\", ::serde::Serialize::to_value(&self.{f}));\n",
+            f = field.name
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             let mut map = ::serde::Map::new();\n\
+             {inserts}\
+             ::serde::Value::Object(map)\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn serialize_newtype_struct(name: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+            )),
+            VariantShape::Newtype => arms.push_str(&format!(
+                "{name}::{v}(inner) => {{\n\
+                   let mut map = ::serde::Map::new();\n\
+                   map.insert(\"{v}\", ::serde::Serialize::to_value(inner));\n\
+                   ::serde::Value::Object(map)\n\
+                 }}\n"
+            )),
+            VariantShape::Struct(fields) => {
+                let bindings = fields
+                    .iter()
+                    .map(|f| f.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let mut inserts = String::new();
+                for field in fields {
+                    inserts.push_str(&format!(
+                        "inner.insert(\"{f}\", ::serde::Serialize::to_value({f}));\n",
+                        f = field.name
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{v} {{ {bindings} }} => {{\n\
+                       let mut inner = ::serde::Map::new();\n\
+                       {inserts}\
+                       let mut map = ::serde::Map::new();\n\
+                       map.insert(\"{v}\", ::serde::Value::Object(inner));\n\
+                       ::serde::Value::Object(map)\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn to_value(&self) -> ::serde::Value {{\n\
+             match self {{\n\
+               {arms}\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+/// Field-extraction expression shared by struct and struct-variant
+/// deserialization; `map` must be in scope as `&serde::Map`.
+fn field_expr(type_name: &str, field: &Field) -> String {
+    if field.default {
+        format!(
+            "match map.get(\"{f}\") {{\n\
+               ::std::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+               ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }}",
+            f = field.name
+        )
+    } else {
+        format!(
+            "::serde::Deserialize::from_value(map.get(\"{f}\").ok_or_else(|| \
+               ::serde::Error::missing_field(\"{type_name}\", \"{f}\"))?)?",
+            f = field.name
+        )
+    }
+}
+
+fn deserialize_named_struct(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        inits.push_str(&format!("{}: {},\n", field.name, field_expr(name, field)));
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             let map = value.as_object().ok_or_else(|| \
+               ::serde::Error::expected(\"object for {name}\", value))?;\n\
+             ::std::result::Result::Ok({name} {{\n\
+               {inits}\
+             }})\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn deserialize_newtype_struct(name: &str) -> String {
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for variant in variants {
+        let v = &variant.name;
+        match &variant.shape {
+            VariantShape::Unit => unit_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+            )),
+            VariantShape::Newtype => tagged_arms.push_str(&format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                   ::serde::Deserialize::from_value(content)?)),\n"
+            )),
+            VariantShape::Struct(fields) => {
+                let mut inits = String::new();
+                for field in fields {
+                    inits.push_str(&format!("{}: {},\n", field.name, field_expr(name, field)));
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{v}\" => {{\n\
+                       let map = content.as_object().ok_or_else(|| \
+                         ::serde::Error::expected(\"object for {name}::{v}\", content))?;\n\
+                       ::std::result::Result::Ok({name}::{v} {{\n\
+                         {inits}\
+                       }})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             match value {{\n\
+               ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                   ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+               }},\n\
+               ::serde::Value::Object(outer) if outer.len() == 1 => {{\n\
+                 let (tag, content) = outer.iter().next().expect(\"len checked\");\n\
+                 match tag.as_str() {{\n\
+                   {tagged_arms}\
+                   other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}\n\
+               }}\n\
+               other => ::std::result::Result::Err(::serde::Error::expected(\
+                 \"externally tagged {name}\", other)),\n\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,333 @@
+//! Time as a capability: every component that waits or timestamps does so
+//! through a [`Clock`], so the whole runtime can run on either real time
+//! ([`WallClock`]) or deterministic simulated time ([`VirtualClock`]).
+//!
+//! The virtual clock makes the test suite both *fast* (no real sleeping:
+//! a 500 ms simulated latency costs microseconds) and *deterministic*
+//! (latency assertions are exact equalities, not fuzzy bounds).
+//!
+//! # The advance protocol
+//!
+//! [`VirtualClock`] coordinates real OS threads over simulated time. It
+//! tracks three counters:
+//!
+//! * **workers** — threads currently doing runtime work (the executor
+//!   registers the calling thread and every thread it spawns for a
+//!   parallel `*` node);
+//! * **sleepers** — workers (or unregistered threads) blocked in
+//!   [`Clock::sleep`], each with an absolute deadline;
+//! * **parked** — workers blocked in a *passive* wait (joining spawned
+//!   children), which make no progress on their own.
+//!
+//! Virtual time advances — jumping straight to the earliest sleeper's
+//! deadline — exactly when no worker can make progress: at least one
+//! sleeper exists and `sleepers + parked >= workers`. A thread that never
+//! registered (e.g. a test invoking a provider directly) sleeps with
+//! `workers == 0`, so its sleep advances time immediately.
+//!
+//! Registered workers must never block outside [`Clock::sleep`] without
+//! bracketing the wait in [`Clock::enter_passive`]/[`Clock::exit_passive`],
+//! or virtual time stalls and every sleeper deadlocks.
+
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A source of time and sleep for the runtime.
+///
+/// `now` is an offset from the clock's epoch (construction time for
+/// [`WallClock`], zero for [`VirtualClock`]); only differences between
+/// `now` readings of the *same* clock are meaningful.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Blocks the calling thread for `duration` of this clock's time.
+    fn sleep(&self, duration: Duration);
+
+    /// Registers the calling context as an active worker (see the module
+    /// docs). No-op for real-time clocks.
+    fn enter_worker(&self) {}
+
+    /// Deregisters one worker. No-op for real-time clocks.
+    fn exit_worker(&self) {}
+
+    /// Marks one worker as passively blocked (e.g. joining a spawned
+    /// thread). No-op for real-time clocks.
+    fn enter_passive(&self) {}
+
+    /// Clears one passive mark. No-op for real-time clocks.
+    fn exit_passive(&self) {}
+}
+
+/// Real time: `now` measures from construction, `sleep` really sleeps.
+///
+/// This is the **only** place in the crate that touches
+/// `std::time::Instant::now` and `std::thread::sleep` directly.
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose epoch is now.
+    #[must_use]
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+#[derive(Debug)]
+struct VcState {
+    now: Duration,
+    workers: usize,
+    parked: usize,
+    /// `(token, deadline)` per thread blocked in `sleep`.
+    sleepers: Vec<(u64, Duration)>,
+    next_token: u64,
+}
+
+/// Deterministic simulated time (see the module docs for the advance
+/// protocol).
+///
+/// # Examples
+///
+/// An unregistered thread's sleep advances time instantly:
+///
+/// ```
+/// use std::time::Duration;
+/// use qce_runtime::{Clock, VirtualClock};
+///
+/// let clock = VirtualClock::new();
+/// clock.sleep(Duration::from_secs(3600)); // returns immediately
+/// assert_eq!(clock.now(), Duration::from_secs(3600));
+/// ```
+#[derive(Debug)]
+pub struct VirtualClock {
+    state: Mutex<VcState>,
+    wake: Condvar,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        VirtualClock {
+            state: Mutex::new(VcState {
+                now: Duration::ZERO,
+                workers: 0,
+                parked: 0,
+                sleepers: Vec::new(),
+                next_token: 0,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Advances virtual time by `duration`, waking any sleeper whose
+    /// deadline is reached. Use this from tests to move through scheduled
+    /// fault windows without invoking anything.
+    pub fn advance(&self, duration: Duration) {
+        let mut state = self.lock();
+        state.now = state.now.saturating_add(duration);
+        self.wake.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VcState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Jumps to the earliest sleeper's deadline if no worker can make
+    /// progress. Call after any counter change that could block progress.
+    fn try_advance(&self, state: &mut VcState) {
+        if state.sleepers.is_empty() || state.sleepers.len() + state.parked < state.workers {
+            return;
+        }
+        let earliest = state
+            .sleepers
+            .iter()
+            .map(|&(_, deadline)| deadline)
+            .min()
+            .expect("sleepers is non-empty");
+        // A deadline at or before `now` belongs to a sleeper that has been
+        // woken but has not yet removed itself; it will re-trigger the
+        // advance when it next blocks or exits.
+        if earliest > state.now {
+            state.now = earliest;
+            self.wake.notify_all();
+        }
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> Self {
+        VirtualClock::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        self.lock().now
+    }
+
+    fn sleep(&self, duration: Duration) {
+        if duration.is_zero() {
+            return;
+        }
+        let mut state = self.lock();
+        let deadline = state.now.saturating_add(duration);
+        let token = state.next_token;
+        state.next_token += 1;
+        state.sleepers.push((token, deadline));
+        self.try_advance(&mut state);
+        while state.now < deadline {
+            state = self
+                .wake
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state.sleepers.retain(|&(t, _)| t != token);
+    }
+
+    fn enter_worker(&self) {
+        self.lock().workers += 1;
+    }
+
+    fn exit_worker(&self) {
+        let mut state = self.lock();
+        state.workers = state.workers.saturating_sub(1);
+        self.try_advance(&mut state);
+    }
+
+    fn enter_passive(&self) {
+        let mut state = self.lock();
+        state.parked += 1;
+        self.try_advance(&mut state);
+    }
+
+    fn exit_passive(&self) {
+        let mut state = self.lock();
+        state.parked = state.parked.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wall_clock_measures_real_time() {
+        let clock = WallClock::new();
+        let t0 = clock.now();
+        clock.sleep(Duration::from_millis(5));
+        assert!(clock.now() - t0 >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn unregistered_sleep_advances_instantly() {
+        let clock = VirtualClock::new();
+        clock.sleep(Duration::from_secs(10));
+        clock.sleep(Duration::from_secs(5));
+        assert_eq!(clock.now(), Duration::from_secs(15));
+    }
+
+    #[test]
+    fn zero_sleep_is_a_no_op() {
+        let clock = VirtualClock::new();
+        clock.sleep(Duration::ZERO);
+        assert_eq!(clock.now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn advance_moves_time_forward() {
+        let clock = VirtualClock::new();
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn registered_worker_sleep_advances_when_all_blocked() {
+        let clock = VirtualClock::new();
+        clock.enter_worker();
+        // The only worker sleeping means nothing else can run: advance.
+        clock.sleep(Duration::from_millis(30));
+        assert_eq!(clock.now(), Duration::from_millis(30));
+        clock.exit_worker();
+    }
+
+    #[test]
+    fn parallel_sleepers_wake_in_deadline_order() {
+        let clock = Arc::new(VirtualClock::new());
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            // Register both workers before spawning either, or the first
+            // sleeper could advance time while it is still alone.
+            clock.enter_worker();
+            clock.enter_worker();
+            for &(name, ms) in &[("slow", 60u64), ("fast", 2)] {
+                let clock = Arc::clone(&clock);
+                let order = Arc::clone(&order);
+                scope.spawn(move || {
+                    clock.sleep(Duration::from_millis(ms));
+                    order.lock().push((name, clock.now()));
+                    clock.exit_worker();
+                });
+            }
+        });
+        let order = order.lock();
+        assert_eq!(order[0], ("fast", Duration::from_millis(2)));
+        assert_eq!(order[1], ("slow", Duration::from_millis(60)));
+    }
+
+    #[test]
+    fn passive_parent_lets_children_advance() {
+        let clock = Arc::new(VirtualClock::new());
+        clock.enter_worker(); // the "parent" worker
+        clock.enter_worker(); // pre-register the child
+        let child = {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                clock.sleep(Duration::from_millis(40));
+                clock.exit_worker();
+            })
+        };
+        clock.enter_passive();
+        child.join().unwrap();
+        clock.exit_passive();
+        clock.exit_worker();
+        assert_eq!(clock.now(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn concurrent_unregistered_sleepers_all_wake() {
+        let clock = Arc::new(VirtualClock::new());
+        std::thread::scope(|scope| {
+            for i in 1..=8u64 {
+                let clock = Arc::clone(&clock);
+                scope.spawn(move || clock.sleep(Duration::from_millis(i)));
+            }
+        });
+        assert!(clock.now() >= Duration::from_millis(8));
+    }
+}

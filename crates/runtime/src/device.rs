@@ -5,19 +5,21 @@
 //! microservices (a DS1820 sensor read, a CPU-temperature estimator, a web
 //! lookup) with configurable latency, reliability, and cost — the same code
 //! path as a real device (a blocking invocation on the executor's thread),
-//! with `thread::sleep` standing in for sensor and network I/O.
-//! [`FnProvider`] wraps an arbitrary closure for microservices that do real
-//! computation.
+//! with a [`Clock::sleep`] standing in for sensor and network I/O. On the
+//! default [`WallClock`](crate::WallClock) that is a real sleep; on a
+//! [`VirtualClock`](crate::VirtualClock) the latency is simulated
+//! deterministically without blocking real time. [`FnProvider`] wraps an
+//! arbitrary closure for microservices that do real computation.
 
 use std::fmt;
 use std::sync::Arc;
-use std::thread;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
+use crate::clock::{Clock, WallClock};
 use crate::message::{Invocation, InvokeError};
 
 /// A microservice endpoint that the strategy executor can invoke.
@@ -90,6 +92,8 @@ pub struct SimulatedProvider {
     capability: String,
     cost: f64,
     state: Mutex<SimState>,
+    /// The clock that emulated latency sleeps on.
+    clock: Arc<dyn Clock>,
     /// Optional payload returned on success.
     response: Vec<u8>,
     /// Maximum concurrent invocations (`None` = unlimited).
@@ -128,6 +132,7 @@ impl SimulatedProvider {
             seed: 0,
             response: Vec::new(),
             capacity: None,
+            clock: None,
         }
     }
 
@@ -179,6 +184,7 @@ pub struct SimulatedProviderBuilder {
     seed: u64,
     response: Vec<u8>,
     capacity: Option<usize>,
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl SimulatedProviderBuilder {
@@ -236,6 +242,16 @@ impl SimulatedProviderBuilder {
         self
     }
 
+    /// Sets the clock the emulated latency sleeps on (default: a fresh
+    /// [`WallClock`]). Pass a shared
+    /// [`VirtualClock`](crate::VirtualClock) for deterministic
+    /// virtual-time simulation.
+    #[must_use]
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Builds the provider, wrapped in an [`Arc`] ready for registration.
     #[must_use]
     pub fn build(self) -> Arc<SimulatedProvider> {
@@ -251,6 +267,7 @@ impl SimulatedProviderBuilder {
                 rng: ChaCha8Rng::seed_from_u64(self.seed),
                 invocations: 0,
             }),
+            clock: self.clock.unwrap_or_else(|| Arc::new(WallClock::new())),
             response: self.response,
             capacity: self.capacity,
             active: std::sync::atomic::AtomicUsize::new(0),
@@ -320,7 +337,7 @@ impl Provider for SimulatedProvider {
             let success = state.rng.gen_bool(reliability);
             (Duration::from_nanos(sleep_ns), success)
         };
-        thread::sleep(sleep_for);
+        self.clock.sleep(sleep_for);
         if success {
             Ok(self.response.clone())
         } else {
@@ -407,6 +424,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
 
     #[test]
     fn simulated_provider_succeeds_and_fails_by_reliability() {
@@ -425,27 +443,29 @@ mod tests {
 
     #[test]
     fn simulated_provider_sleeps_for_latency() {
+        let clock = Arc::new(VirtualClock::new());
         let p = SimulatedProvider::builder("d/cap", "cap")
             .latency(Duration::from_millis(20))
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
             .build();
-        let req = Invocation::new(0, "cap", vec![]);
-        let t0 = std::time::Instant::now();
-        p.invoke(&req).unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(18));
+        p.invoke(&Invocation::new(0, "cap", vec![])).unwrap();
+        assert_eq!(clock.now(), Duration::from_millis(20));
     }
 
     #[test]
     fn offline_provider_fails_fast() {
+        let clock = Arc::new(VirtualClock::new());
         let p = SimulatedProvider::builder("d/cap", "cap")
             .latency(Duration::from_secs(10))
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
             .build();
         p.set_online(false);
-        let t0 = std::time::Instant::now();
         let err = p.invoke(&Invocation::new(0, "cap", vec![])).unwrap_err();
         assert_eq!(err, InvokeError::DeviceUnavailable);
-        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(clock.now(), Duration::ZERO, "offline failure never sleeps");
         p.set_online(true);
         assert!(p.invoke(&Invocation::new(0, "cap", vec![])).is_ok());
+        assert_eq!(clock.now(), Duration::from_secs(10));
     }
 
     #[test]
@@ -462,28 +482,31 @@ mod tests {
 
     #[test]
     fn latency_can_change_at_runtime() {
+        let clock = Arc::new(VirtualClock::new());
         let p = SimulatedProvider::builder("d/cap", "cap")
             .latency(Duration::ZERO)
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
             .build();
         p.set_latency(Duration::from_millis(15));
-        let t0 = std::time::Instant::now();
         p.invoke(&Invocation::new(0, "cap", vec![])).unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(13));
+        assert_eq!(clock.now(), Duration::from_millis(15));
     }
 
     #[test]
     fn jitter_varies_latency() {
+        let clock = Arc::new(VirtualClock::new());
         let p = SimulatedProvider::builder("d/cap", "cap")
             .latency(Duration::from_millis(4))
             .jitter(Duration::from_millis(4))
             .seed(5)
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
             .build();
         let req = Invocation::new(0, "cap", vec![]);
         let mut samples = Vec::new();
         for _ in 0..10 {
-            let t0 = std::time::Instant::now();
+            let t0 = clock.now();
             let _ = p.invoke(&req);
-            samples.push(t0.elapsed());
+            samples.push(clock.now() - t0);
         }
         let min = samples.iter().min().unwrap();
         let max = samples.iter().max().unwrap();
@@ -597,18 +620,22 @@ mod capacity_tests {
 
     #[test]
     fn overloaded_failure_is_instant_and_distinct() {
+        let wall = WallClock::new();
         let p = SimulatedProvider::builder("d/cap", "cap")
             .latency(Duration::from_millis(50))
             .capacity(1)
             .build();
         let p2 = Arc::clone(&p);
         let handle = std::thread::spawn(move || p2.invoke(&Invocation::new(0, "cap", vec![])));
-        std::thread::sleep(Duration::from_millis(10));
-        let t0 = std::time::Instant::now();
+        // Wait for the first invocation to claim the single slot.
+        while p.in_flight() == 0 {
+            std::thread::yield_now();
+        }
+        let t0 = wall.now();
         let err = p.invoke(&Invocation::new(1, "cap", vec![])).unwrap_err();
         assert_eq!(err, InvokeError::Overloaded);
         assert!(
-            t0.elapsed() < Duration::from_millis(20),
+            wall.now() - t0 < Duration::from_millis(20),
             "rejection is instant"
         );
         handle.join().unwrap().unwrap();

@@ -17,12 +17,13 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use qce_strategy::{Node, Strategy};
 
+use crate::clock::{Clock, WallClock};
 use crate::collector::{Collector, ExecutionRecord};
 use crate::device::Provider;
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
@@ -86,6 +87,27 @@ pub fn execute_strategy(
     request: &Invocation,
     collector: Option<&Collector>,
 ) -> Result<ServiceOutcome, RuntimeError> {
+    execute_strategy_with_clock(strategy, providers, request, collector, &WallClock::new())
+}
+
+/// [`execute_strategy`] on an explicit [`Clock`], allowing deterministic
+/// virtual-time execution (see [`VirtualClock`](crate::VirtualClock)).
+///
+/// The calling thread is registered as a clock worker for the duration of
+/// the call, and every thread spawned for a parallel node is registered
+/// before it starts, so a virtual clock only advances when the whole
+/// execution is blocked.
+///
+/// # Errors
+///
+/// As [`execute_strategy`].
+pub fn execute_strategy_with_clock(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+    request: &Invocation,
+    collector: Option<&Collector>,
+    clock: &dyn Clock,
+) -> Result<ServiceOutcome, RuntimeError> {
     for id in strategy.leaves() {
         if providers.get(id.index()).is_none() {
             return Err(RuntimeError::NoProvider {
@@ -94,24 +116,27 @@ pub fn execute_strategy(
         }
     }
 
+    clock.enter_worker();
     let ctx = Ctx {
         providers,
         request,
         collector,
+        clock,
         cancel: AtomicBool::new(false),
-        started_at: Instant::now(),
+        started_at: clock.now(),
         first_success: Mutex::new(None),
         invocations: Mutex::new(Vec::new()),
     };
 
     run_node(strategy.node(), &ctx);
+    clock.exit_worker();
 
     let first_success = ctx.first_success.into_inner();
     let invocations = ctx.invocations.into_inner();
     let cost = invocations.iter().map(|i| i.cost).sum();
     let (success, payload, latency) = match first_success {
         Some(win) => (true, Some(win.payload), win.at),
-        None => (false, None, ctx.started_at.elapsed()),
+        None => (false, None, clock.now().saturating_sub(ctx.started_at)),
     };
     Ok(ServiceOutcome {
         success,
@@ -131,8 +156,9 @@ struct Ctx<'a> {
     providers: &'a [Arc<dyn Provider>],
     request: &'a Invocation,
     collector: Option<&'a Collector>,
+    clock: &'a dyn Clock,
     cancel: AtomicBool,
-    started_at: Instant,
+    started_at: Duration,
     first_success: Mutex<Option<Win>>,
     invocations: Mutex<Vec<InvocationOutcome>>,
 }
@@ -156,9 +182,9 @@ fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
                 return NodeStatus::Cancelled;
             }
             let provider = &ctx.providers[id.index()];
-            let t0 = Instant::now();
+            let t0 = ctx.clock.now();
             let result = provider.invoke(ctx.request);
-            let latency = t0.elapsed();
+            let latency = ctx.clock.now().saturating_sub(t0);
             let success = result.is_ok();
             let outcome = InvocationOutcome {
                 provider_id: provider.id().to_string(),
@@ -181,7 +207,7 @@ fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
             ctx.invocations.lock().push(outcome);
             match result {
                 Ok(payload) => {
-                    let at = ctx.started_at.elapsed();
+                    let at = ctx.clock.now().saturating_sub(ctx.started_at);
                     let mut win = ctx.first_success.lock();
                     let earlier = win.as_ref().is_none_or(|w| at < w.at);
                     if earlier {
@@ -206,19 +232,34 @@ fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
         }
         Node::Par(children) => {
             let statuses: Vec<NodeStatus> = std::thread::scope(|scope| {
+                // Register the spawned children as clock workers *before*
+                // spawning, so a virtual clock never advances while a child
+                // is scheduled but not yet running.
+                for _ in 1..children.len() {
+                    ctx.clock.enter_worker();
+                }
                 let handles: Vec<_> = children
                     .iter()
                     .skip(1)
-                    .map(|child| scope.spawn(move || run_node(child, ctx)))
+                    .map(|child| {
+                        scope.spawn(move || {
+                            let status = run_node(child, ctx);
+                            ctx.clock.exit_worker();
+                            status
+                        })
+                    })
                     .collect();
                 // Run the first child on the current thread: a Par of n
                 // children needs only n − 1 extra threads.
                 let mut statuses = vec![run_node(&children[0], ctx)];
+                // Joining is a passive wait: losers may still be mid-sleep.
+                ctx.clock.enter_passive();
                 statuses.extend(
                     handles
                         .into_iter()
                         .map(|h| h.join().unwrap_or(NodeStatus::Failed)),
                 );
+                ctx.clock.exit_passive();
                 statuses
             });
             if statuses.contains(&NodeStatus::Succeeded) {

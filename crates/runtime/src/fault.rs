@@ -1,0 +1,411 @@
+//! Seeded fault injection for simulated devices.
+//!
+//! The paper's premise is that edge resources are *unreliable and
+//! dynamic*: devices crash and recover, network paths degrade, and
+//! (Section VII) compromised devices may return fabricated results. A
+//! [`FaultPlan`] captures one concrete misfortune schedule — a list of
+//! [`FaultEvent`]s keyed on clock time — and a [`FaultyProvider`] applies
+//! it on top of any [`SimulatedProvider`]. Plans are either hand-written
+//! (`FaultPlan::new`) or drawn reproducibly from a seed
+//! (`FaultPlan::seeded`): the same seed always produces the same schedule,
+//! so a failing test names its misfortune exactly.
+//!
+//! On a shared [`VirtualClock`](crate::VirtualClock), fault windows are hit
+//! deterministically: clock time only moves when the simulation moves it.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::clock::Clock;
+use crate::device::{Provider, SimulatedProvider};
+use crate::message::{Invocation, InvokeError};
+
+/// What goes wrong (or right again) at a scheduled instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The device crashes: invocations fail instantly with
+    /// [`InvokeError::DeviceUnavailable`].
+    Crash,
+    /// The device recovers from a crash.
+    Recover,
+    /// Every invocation pays this much extra latency (a degraded link).
+    AddLatency(Duration),
+    /// The link heals: added latency is cleared.
+    ClearLatency,
+    /// The device turns byzantine: successful invocations return this
+    /// payload instead of the true result.
+    Byzantine(Vec<u8>),
+    /// The device stops lying.
+    Honest,
+}
+
+/// One scheduled fault transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Clock time at which the transition takes effect.
+    pub at: Duration,
+    /// The transition.
+    pub kind: FaultKind,
+}
+
+/// Tunables for [`FaultPlan::seeded`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Mean healthy time between fault onsets.
+    pub mean_time_between_faults: Duration,
+    /// Mean duration of one fault window.
+    pub mean_fault_duration: Duration,
+    /// Relative weight of crash faults.
+    pub crash_weight: u32,
+    /// Relative weight of latency-spike faults.
+    pub latency_weight: u32,
+    /// Relative weight of byzantine faults.
+    pub byzantine_weight: u32,
+    /// Extra latency applied during a latency spike.
+    pub latency_spike: Duration,
+    /// Payload returned while byzantine.
+    pub byzantine_payload: Vec<u8>,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            mean_time_between_faults: Duration::from_millis(200),
+            mean_fault_duration: Duration::from_millis(50),
+            crash_weight: 2,
+            latency_weight: 1,
+            byzantine_weight: 1,
+            latency_spike: Duration::from_millis(30),
+            byzantine_payload: vec![0xBD],
+        }
+    }
+}
+
+/// A time-ordered schedule of fault transitions for one device.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Creates a plan from explicit events (sorted by time; order among
+    /// same-instant events is preserved).
+    #[must_use]
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// A plan with no faults.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Draws a reproducible schedule of non-overlapping fault windows over
+    /// `[0, horizon)`: healthy gaps and fault durations are uniform around
+    /// the profile's means, fault kinds are picked by weight. The same
+    /// `(seed, horizon, profile)` always yields the same plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight in `profile` is zero.
+    #[must_use]
+    pub fn seeded(seed: u64, horizon: Duration, profile: &FaultProfile) -> Self {
+        let total_weight = profile.crash_weight + profile.latency_weight + profile.byzantine_weight;
+        assert!(
+            total_weight > 0,
+            "fault profile must have a non-zero weight"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // Uniform in [0.5, 1.5) of `mean`.
+        fn around(rng: &mut ChaCha8Rng, mean: Duration) -> Duration {
+            mean.mul_f64(rng.gen_range(0.5..1.5))
+        }
+
+        let mut events = Vec::new();
+        let mut t = around(&mut rng, profile.mean_time_between_faults);
+        while t < horizon {
+            let (onset, clear) = match pick_weighted(
+                &mut rng,
+                &[
+                    profile.crash_weight,
+                    profile.latency_weight,
+                    profile.byzantine_weight,
+                ],
+            ) {
+                0 => (FaultKind::Crash, FaultKind::Recover),
+                1 => (
+                    FaultKind::AddLatency(profile.latency_spike),
+                    FaultKind::ClearLatency,
+                ),
+                _ => (
+                    FaultKind::Byzantine(profile.byzantine_payload.clone()),
+                    FaultKind::Honest,
+                ),
+            };
+            let duration = around(&mut rng, profile.mean_fault_duration);
+            events.push(FaultEvent { at: t, kind: onset });
+            events.push(FaultEvent {
+                at: t + duration,
+                kind: clear,
+            });
+            t += duration + around(&mut rng, profile.mean_time_between_faults);
+        }
+        FaultPlan { events }
+    }
+
+    /// The schedule, sorted by time.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+}
+
+fn pick_weighted(rng: &mut ChaCha8Rng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    let mut draw = rng.gen_range(0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if draw < w {
+            return i;
+        }
+        draw -= w;
+    }
+    unreachable!("draw is below the total weight")
+}
+
+/// The fault condition in force at some instant.
+#[derive(Debug, Default)]
+struct FaultCondition {
+    /// Index of the next unapplied event.
+    cursor: usize,
+    crashed: bool,
+    added_latency: Duration,
+    byzantine: Option<Vec<u8>>,
+}
+
+/// A [`Provider`] decorator that subjects a [`SimulatedProvider`] to a
+/// [`FaultPlan`] on a shared [`Clock`].
+///
+/// Each invocation first applies every event scheduled at or before the
+/// current clock time, then behaves accordingly: crashed devices fail
+/// instantly, degraded links sleep the added latency before the real
+/// invocation, and byzantine devices replace a successful payload with the
+/// planted one (failures stay failures — a crashed-but-byzantine device
+/// returns nothing at all).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use qce_runtime::{
+///     Clock, FaultEvent, FaultKind, FaultPlan, FaultyProvider, Invocation,
+///     Provider, SimulatedProvider, VirtualClock,
+/// };
+///
+/// let clock: Arc<VirtualClock> = Arc::new(VirtualClock::new());
+/// let inner = SimulatedProvider::builder("pi/read-temp", "read-temp")
+///     .latency(Duration::from_millis(2))
+///     .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+///     .build();
+/// let plan = FaultPlan::new(vec![
+///     FaultEvent { at: Duration::from_millis(10), kind: FaultKind::Crash },
+///     FaultEvent { at: Duration::from_millis(20), kind: FaultKind::Recover },
+/// ]);
+/// let faulty = FaultyProvider::new(inner, Arc::clone(&clock) as Arc<dyn Clock>, plan);
+///
+/// assert!(faulty.invoke(&Invocation::new(1, "read-temp", vec![])).is_ok());
+/// clock.advance(Duration::from_millis(10)); // into the crash window
+/// assert!(faulty.invoke(&Invocation::new(2, "read-temp", vec![])).is_err());
+/// clock.advance(Duration::from_millis(10)); // past the recovery
+/// assert!(faulty.invoke(&Invocation::new(3, "read-temp", vec![])).is_ok());
+/// ```
+pub struct FaultyProvider {
+    inner: Arc<SimulatedProvider>,
+    clock: Arc<dyn Clock>,
+    plan: FaultPlan,
+    condition: Mutex<FaultCondition>,
+}
+
+impl fmt::Debug for FaultyProvider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyProvider")
+            .field("inner", &self.inner)
+            .field("events", &self.plan.events().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultyProvider {
+    /// Wraps `inner`, applying `plan` against `clock` (which should be the
+    /// same clock the inner provider sleeps on).
+    #[must_use]
+    pub fn new(inner: Arc<SimulatedProvider>, clock: Arc<dyn Clock>, plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultyProvider {
+            inner,
+            clock,
+            plan,
+            condition: Mutex::new(FaultCondition::default()),
+        })
+    }
+
+    /// The wrapped provider (for reading counters or turning knobs).
+    #[must_use]
+    pub fn inner(&self) -> &Arc<SimulatedProvider> {
+        &self.inner
+    }
+
+    /// Applies every event due at `now` and returns the resulting
+    /// condition.
+    fn condition_at(&self, now: Duration) -> (bool, Duration, Option<Vec<u8>>) {
+        let mut cond = self.condition.lock();
+        while let Some(event) = self.plan.events.get(cond.cursor) {
+            if event.at > now {
+                break;
+            }
+            match &event.kind {
+                FaultKind::Crash => cond.crashed = true,
+                FaultKind::Recover => cond.crashed = false,
+                FaultKind::AddLatency(extra) => cond.added_latency = *extra,
+                FaultKind::ClearLatency => cond.added_latency = Duration::ZERO,
+                FaultKind::Byzantine(payload) => cond.byzantine = Some(payload.clone()),
+                FaultKind::Honest => cond.byzantine = None,
+            }
+            cond.cursor += 1;
+        }
+        (cond.crashed, cond.added_latency, cond.byzantine.clone())
+    }
+}
+
+impl Provider for FaultyProvider {
+    fn id(&self) -> &str {
+        self.inner.id()
+    }
+
+    fn capability(&self) -> &str {
+        self.inner.capability()
+    }
+
+    fn cost(&self) -> f64 {
+        self.inner.cost()
+    }
+
+    fn invoke(&self, request: &Invocation) -> Result<Vec<u8>, InvokeError> {
+        let (crashed, added_latency, byzantine) = self.condition_at(self.clock.now());
+        if crashed {
+            return Err(InvokeError::DeviceUnavailable);
+        }
+        if !added_latency.is_zero() {
+            self.clock.sleep(added_latency);
+        }
+        let payload = self.inner.invoke(request)?;
+        Ok(byzantine.unwrap_or(payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn at(ms: u64, kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            at: Duration::from_millis(ms),
+            kind,
+        }
+    }
+
+    fn rig(plan: FaultPlan) -> (Arc<VirtualClock>, Arc<FaultyProvider>) {
+        let clock = Arc::new(VirtualClock::new());
+        let inner = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_millis(2))
+            .response(vec![42])
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .build();
+        let faulty = FaultyProvider::new(inner, Arc::clone(&clock) as Arc<dyn Clock>, plan);
+        (clock, faulty)
+    }
+
+    #[test]
+    fn plan_sorts_events_by_time() {
+        let plan = FaultPlan::new(vec![at(30, FaultKind::Recover), at(10, FaultKind::Crash)]);
+        assert_eq!(plan.events()[0].at, Duration::from_millis(10));
+        assert_eq!(plan.events()[1].at, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn crash_window_fails_then_recovers() {
+        let (clock, p) = rig(FaultPlan::new(vec![
+            at(10, FaultKind::Crash),
+            at(30, FaultKind::Recover),
+        ]));
+        let req = Invocation::new(0, "cap", vec![]);
+        assert!(p.invoke(&req).is_ok());
+        clock.advance(Duration::from_millis(10)); // now 12 ms: crashed
+        let before = clock.now();
+        assert_eq!(p.invoke(&req).unwrap_err(), InvokeError::DeviceUnavailable);
+        assert_eq!(clock.now(), before, "crash failure is instant");
+        clock.advance(Duration::from_millis(20)); // past recovery
+        assert_eq!(p.invoke(&req).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn latency_fault_adds_exactly_the_spike() {
+        let (clock, p) = rig(FaultPlan::new(vec![at(
+            0,
+            FaultKind::AddLatency(Duration::from_millis(20)),
+        )]));
+        let t0 = clock.now();
+        p.invoke(&Invocation::new(0, "cap", vec![])).unwrap();
+        assert_eq!(clock.now() - t0, Duration::from_millis(22));
+    }
+
+    #[test]
+    fn byzantine_window_replaces_payload() {
+        let (clock, p) = rig(FaultPlan::new(vec![
+            at(5, FaultKind::Byzantine(vec![99])),
+            at(15, FaultKind::Honest),
+        ]));
+        let req = Invocation::new(0, "cap", vec![]);
+        assert_eq!(p.invoke(&req).unwrap(), vec![42], "honest before onset");
+        clock.advance(Duration::from_millis(5)); // now 7 ms: lying
+        assert_eq!(p.invoke(&req).unwrap(), vec![99]);
+        clock.advance(Duration::from_millis(10)); // past honesty
+        assert_eq!(p.invoke(&req).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_ordered() {
+        let profile = FaultProfile::default();
+        let horizon = Duration::from_secs(5);
+        let a = FaultPlan::seeded(7, horizon, &profile);
+        let b = FaultPlan::seeded(7, horizon, &profile);
+        assert_eq!(a, b);
+        assert!(!a.events().is_empty());
+        assert!(a.events().windows(2).all(|pair| pair[0].at <= pair[1].at));
+        let c = FaultPlan::seeded(8, horizon, &profile);
+        assert_ne!(a, c, "different seeds draw different misfortunes");
+    }
+
+    #[test]
+    fn seeded_plan_pairs_onset_with_clearance() {
+        let plan = FaultPlan::seeded(3, Duration::from_secs(10), &FaultProfile::default());
+        let onsets = plan
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    FaultKind::Crash | FaultKind::AddLatency(_) | FaultKind::Byzantine(_)
+                )
+            })
+            .count();
+        assert_eq!(onsets * 2, plan.events().len());
+    }
+}

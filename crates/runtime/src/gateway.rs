@@ -20,13 +20,14 @@ use parking_lot::Mutex;
 
 use qce_strategy::{Attribute, Qos, Strategy};
 
+use crate::clock::{Clock, WallClock};
 use crate::collector::Collector;
 use crate::device::Provider;
-use crate::executor::execute_strategy;
+use crate::executor::execute_strategy_with_clock;
 use crate::generator::{plan_slot, SlotPlan, StrategyOrigin};
 use crate::market::Market;
 use crate::message::{Invocation, RuntimeError};
-use crate::quorum::execute_with_quorum;
+use crate::quorum::execute_with_quorum_clock;
 use crate::registry::Registry;
 use crate::script::ServiceScript;
 
@@ -128,6 +129,7 @@ pub struct Gateway {
     market: Box<dyn Market>,
     registry: Arc<Registry>,
     collector: Arc<Collector>,
+    clock: Arc<dyn Clock>,
     config: GatewayConfig,
     services: Mutex<HashMap<String, ServiceState>>,
     next_request: AtomicU64,
@@ -143,13 +145,28 @@ impl std::fmt::Debug for Gateway {
 }
 
 impl Gateway {
-    /// Creates a gateway over a market with a fresh registry and collector.
+    /// Creates a gateway over a market with a fresh registry and collector,
+    /// running on real time.
     #[must_use]
     pub fn new(market: Box<dyn Market>, config: GatewayConfig) -> Self {
+        Gateway::with_clock(market, config, Arc::new(WallClock::new()))
+    }
+
+    /// As [`Gateway::new`], but every latency measurement and execution
+    /// runs on `clock`. Pass the same shared
+    /// [`VirtualClock`](crate::VirtualClock) as the registered providers
+    /// for deterministic virtual-time tests.
+    #[must_use]
+    pub fn with_clock(
+        market: Box<dyn Market>,
+        config: GatewayConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         Gateway {
             market,
             registry: Arc::new(Registry::new()),
             collector: Arc::new(Collector::new(config.collector_window)),
+            clock,
             config,
             services: Mutex::new(HashMap::new()),
             next_request: AtomicU64::new(1),
@@ -166,6 +183,12 @@ impl Gateway {
     #[must_use]
     pub fn collector(&self) -> &Arc<Collector> {
         &self.collector
+    }
+
+    /// The clock executions run on.
+    #[must_use]
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Invokes the service identified by `service_id` with an empty
@@ -258,8 +281,14 @@ impl Gateway {
         let request = Invocation::new(request_id, service_id.to_string(), payload);
         let (success, payload, latency, cost, votes) = match quorum {
             Some(q) if q > 1 => {
-                let outcome =
-                    execute_with_quorum(&strategy, &providers, &request, Some(&self.collector), q)?;
+                let outcome = execute_with_quorum_clock(
+                    &strategy,
+                    &providers,
+                    &request,
+                    Some(&self.collector),
+                    q,
+                    &*self.clock,
+                )?;
                 (
                     outcome.agreed,
                     outcome.payload,
@@ -269,8 +298,13 @@ impl Gateway {
                 )
             }
             _ => {
-                let outcome =
-                    execute_strategy(&strategy, &providers, &request, Some(&self.collector))?;
+                let outcome = execute_strategy_with_clock(
+                    &strategy,
+                    &providers,
+                    &request,
+                    Some(&self.collector),
+                    &*self.clock,
+                )?;
                 (
                     outcome.success,
                     outcome.payload,

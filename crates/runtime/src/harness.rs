@@ -1,0 +1,260 @@
+//! A one-line test harness: market + gateway + (possibly faulty) simulated
+//! devices, all sharing one [`VirtualClock`].
+//!
+//! Integration tests of the feedback loop keep rebuilding the same rig: an
+//! [`InMemoryMarket`] with a script, a [`Gateway`], a handful of
+//! [`SimulatedProvider`]s, and — for fault-injection scenarios — a
+//! [`FaultPlan`] per device. [`Harness::builder`] wires all of that to a
+//! single shared virtual clock so the whole simulation is deterministic
+//! and never sleeps for real.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::clock::{Clock, VirtualClock};
+use crate::device::{Provider, SimulatedProvider, SimulatedProviderBuilder};
+use crate::fault::{FaultPlan, FaultyProvider};
+use crate::gateway::{Gateway, GatewayConfig, ServiceResponse};
+use crate::market::InMemoryMarket;
+use crate::message::RuntimeError;
+use crate::script::ServiceScript;
+
+/// A fully wired virtual-time testbed.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use qce_runtime::{Clock, Harness, MsSpec, ServiceScript, SimulatedProvider};
+/// use qce_strategy::{Qos, Requirements};
+///
+/// let script = ServiceScript::new(
+///     "detect-temperature",
+///     vec![
+///         MsSpec { name: "readTempSensor".into(), capability: "read-temp".into(),
+///                  prior: Qos::new(50.0, 5.0, 0.7)? },
+///         MsSpec { name: "estTemp".into(), capability: "est-temp".into(),
+///                  prior: Qos::new(50.0, 8.0, 0.7)? },
+///     ],
+///     Requirements::new(150.0, 100.0, 0.9)?,
+/// );
+/// let harness = Harness::builder()
+///     .script(script)
+///     .provider(SimulatedProvider::builder("pi/read-temp", "read-temp")
+///         .latency(Duration::from_millis(2)).cost(50.0))
+///     .provider(SimulatedProvider::builder("m92p/est-temp", "est-temp")
+///         .latency(Duration::from_millis(15)).cost(50.0))
+///     .build();
+///
+/// let response = harness.invoke("detect-temperature")?;
+/// assert!(response.success);
+/// // Simulated time passed; real time (almost) did not.
+/// assert!(harness.clock().now() >= Duration::from_millis(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Harness {
+    clock: Arc<VirtualClock>,
+    gateway: Arc<Gateway>,
+    providers: HashMap<String, Arc<SimulatedProvider>>,
+}
+
+impl Harness {
+    /// Starts building a harness.
+    #[must_use]
+    pub fn builder() -> HarnessBuilder {
+        HarnessBuilder {
+            scripts: Vec::new(),
+            config: GatewayConfig::default(),
+            providers: Vec::new(),
+        }
+    }
+
+    /// The shared virtual clock (advance it to move through fault
+    /// windows).
+    #[must_use]
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The gateway under test.
+    #[must_use]
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// The simulated device behind `provider_id` (the inner device when
+    /// the provider was registered with a fault plan), for turning knobs
+    /// and reading counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no provider with that id was registered.
+    #[must_use]
+    pub fn provider(&self, provider_id: &str) -> &Arc<SimulatedProvider> {
+        self.providers
+            .get(provider_id)
+            .unwrap_or_else(|| panic!("harness has no provider {provider_id:?}"))
+    }
+
+    /// Invokes `service_id` through the gateway.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::invoke`].
+    pub fn invoke(&self, service_id: &str) -> Result<ServiceResponse, RuntimeError> {
+        self.gateway.invoke(service_id)
+    }
+}
+
+/// Builder for [`Harness`].
+#[derive(Debug)]
+pub struct HarnessBuilder {
+    scripts: Vec<ServiceScript>,
+    config: GatewayConfig,
+    providers: Vec<(SimulatedProviderBuilder, Option<FaultPlan>)>,
+}
+
+impl HarnessBuilder {
+    /// Publishes `script` to the harness market.
+    #[must_use]
+    pub fn script(mut self, script: ServiceScript) -> Self {
+        self.scripts.push(script);
+        self
+    }
+
+    /// Overrides the gateway configuration (default:
+    /// [`GatewayConfig::default`]).
+    #[must_use]
+    pub fn config(mut self, config: GatewayConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers a healthy simulated device. The builder's clock is
+    /// overridden with the harness clock.
+    #[must_use]
+    pub fn provider(mut self, builder: SimulatedProviderBuilder) -> Self {
+        self.providers.push((builder, None));
+        self
+    }
+
+    /// Registers a simulated device subjected to `plan` (see
+    /// [`FaultyProvider`]).
+    #[must_use]
+    pub fn faulty(mut self, builder: SimulatedProviderBuilder, plan: FaultPlan) -> Self {
+        self.providers.push((builder, Some(plan)));
+        self
+    }
+
+    /// Wires everything to one fresh [`VirtualClock`] and returns the
+    /// harness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a script fails validation (tests should fail loudly, not
+    /// propagate configuration mistakes).
+    #[must_use]
+    pub fn build(self) -> Harness {
+        let clock = Arc::new(VirtualClock::new());
+        let market = InMemoryMarket::new();
+        for script in self.scripts {
+            market
+                .publish(script)
+                .unwrap_or_else(|e| panic!("invalid harness script: {e}"));
+        }
+        let gateway = Arc::new(Gateway::with_clock(
+            Box::new(market),
+            self.config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        let mut providers = HashMap::new();
+        for (builder, plan) in self.providers {
+            let device = builder.clock(Arc::clone(&clock) as Arc<dyn Clock>).build();
+            providers.insert(device.id().to_string(), Arc::clone(&device));
+            match plan {
+                Some(plan) => gateway.registry().register(FaultyProvider::new(
+                    device,
+                    Arc::clone(&clock) as Arc<dyn Clock>,
+                    plan,
+                )),
+                None => gateway.registry().register(device),
+            }
+        }
+        Harness {
+            clock,
+            gateway,
+            providers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::MsSpec;
+    use qce_strategy::{Qos, Requirements};
+    use std::time::Duration;
+
+    fn script() -> ServiceScript {
+        ServiceScript::new(
+            "svc",
+            vec![MsSpec {
+                name: "m".into(),
+                capability: "cap".into(),
+                prior: Qos::new(1.0, 1.0, 0.9).unwrap(),
+            }],
+            Requirements::new(10.0, 10.0, 0.5).unwrap(),
+        )
+    }
+
+    #[test]
+    fn builds_and_serves_on_virtual_time() {
+        let h = Harness::builder()
+            .script(script())
+            .provider(SimulatedProvider::builder("d/cap", "cap").latency(Duration::from_millis(7)))
+            .build();
+        let response = h.invoke("svc").unwrap();
+        assert!(response.success);
+        assert_eq!(response.latency, Duration::from_millis(7));
+        assert_eq!(h.clock().now(), Duration::from_millis(7));
+        assert_eq!(h.provider("d/cap").invocations(), 1);
+    }
+
+    #[test]
+    fn faulty_provider_keeps_inner_reachable() {
+        let h = Harness::builder()
+            .script(script())
+            .faulty(
+                SimulatedProvider::builder("d/cap", "cap").latency(Duration::ZERO),
+                FaultPlan::none(),
+            )
+            .build();
+        assert!(h.invoke("svc").unwrap().success);
+        assert_eq!(h.provider("d/cap").invocations(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no provider")]
+    fn unknown_provider_panics() {
+        let h = Harness::builder().script(script()).build();
+        let _ = h.provider("ghost/cap");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid harness script")]
+    fn invalid_script_panics() {
+        let mut bad = script();
+        bad.slot_size = 0;
+        let _ = Harness::builder().script(bad).build();
+    }
+
+    #[test]
+    fn registered_providers_serve_by_capability() {
+        let h = Harness::builder()
+            .script(script())
+            .provider(SimulatedProvider::builder("a/cap", "cap").cost(5.0))
+            .build();
+        assert_eq!(h.provider("a/cap").capability(), "cap");
+    }
+}

@@ -76,11 +76,14 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod clock;
 pub mod collector;
 pub mod device;
 pub mod executor;
+pub mod fault;
 pub mod gateway;
 pub mod generator;
+pub mod harness;
 pub mod market;
 pub mod message;
 pub mod pipeline;
@@ -89,15 +92,18 @@ pub mod registry;
 pub mod script;
 
 pub use client::{AdvisoryPolicy, Client, ClientError, QosRejected};
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use collector::{Collector, ExecutionRecord, ProviderStats};
 pub use device::{FnProvider, Provider, SimulatedProvider, SimulatedProviderBuilder};
-pub use executor::{execute_strategy, ServiceOutcome};
+pub use executor::{execute_strategy, execute_strategy_with_clock, ServiceOutcome};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultyProvider};
 pub use gateway::{Gateway, GatewayConfig, QosAdvisory, ServiceResponse, SlotRecord};
 pub use generator::{assumed_env, plan_slot, SlotPlan, StrategyOrigin};
+pub use harness::{Harness, HarnessBuilder};
 pub use market::{CachingMarket, FileMarket, InMemoryMarket, Market};
 pub use message::{Invocation, InvocationOutcome, InvokeError, RuntimeError};
 pub use pipeline::{invoke_pipeline, PipelineResponse};
-pub use quorum::{execute_with_quorum, QuorumOutcome};
+pub use quorum::{execute_with_quorum, execute_with_quorum_clock, QuorumOutcome};
 pub use registry::Registry;
 pub use script::{MsSpec, ServiceScript};
 

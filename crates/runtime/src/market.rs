@@ -8,10 +8,12 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use crate::clock::{Clock, WallClock};
 use crate::message::RuntimeError;
 use crate::script::ServiceScript;
 
@@ -60,11 +62,23 @@ impl std::fmt::Debug for dyn Market {
 /// assert_eq!(market.fetch("svc")?, script);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct InMemoryMarket {
     scripts: RwLock<HashMap<String, ServiceScript>>,
     fetch_latency: Duration,
     fetches: AtomicU64,
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for InMemoryMarket {
+    fn default() -> Self {
+        InMemoryMarket {
+            scripts: RwLock::new(HashMap::new()),
+            fetch_latency: Duration::ZERO,
+            fetches: AtomicU64::new(0),
+            clock: Arc::new(WallClock::new()),
+        }
+    }
 }
 
 impl InMemoryMarket {
@@ -80,6 +94,18 @@ impl InMemoryMarket {
     pub fn with_latency(latency: Duration) -> Self {
         InMemoryMarket {
             fetch_latency: latency,
+            ..InMemoryMarket::default()
+        }
+    }
+
+    /// As [`InMemoryMarket::with_latency`], but the round-trip sleeps on
+    /// `clock` — pass a shared [`VirtualClock`](crate::VirtualClock) for
+    /// deterministic tests.
+    #[must_use]
+    pub fn with_latency_and_clock(latency: Duration, clock: Arc<dyn Clock>) -> Self {
+        InMemoryMarket {
+            fetch_latency: latency,
+            clock,
             ..InMemoryMarket::default()
         }
     }
@@ -107,17 +133,23 @@ impl InMemoryMarket {
 
 impl Market for InMemoryMarket {
     fn fetch(&self, service_id: &str) -> Result<ServiceScript, RuntimeError> {
-        if !self.fetch_latency.is_zero() {
-            std::thread::sleep(self.fetch_latency);
-        }
-        self.fetches.fetch_add(1, Ordering::Relaxed);
-        self.scripts
+        // Resolve first: only a fetch that actually downloads a script pays
+        // the cloud round-trip (an unknown id is answered from the market's
+        // index without shipping anything), and the latency must never
+        // block the caller beyond the configured clock's time.
+        let script = self
+            .scripts
             .read()
             .get(service_id)
             .cloned()
             .ok_or_else(|| RuntimeError::UnknownService {
                 service_id: service_id.to_string(),
-            })
+            })?;
+        if !self.fetch_latency.is_zero() {
+            self.clock.sleep(self.fetch_latency);
+        }
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+        Ok(script)
     }
 
     fn service_ids(&self) -> Vec<String> {
@@ -280,12 +312,13 @@ mod tests {
         market.publish(script("a")).unwrap();
         market.publish(script("b")).unwrap();
         assert_eq!(market.fetch("a").unwrap().service_id, "a");
+        assert_eq!(market.fetch("b").unwrap().service_id, "b");
         assert_eq!(market.service_ids(), vec!["a".to_string(), "b".to_string()]);
         assert!(matches!(
             market.fetch("zzz"),
             Err(RuntimeError::UnknownService { .. })
         ));
-        assert_eq!(market.fetch_count(), 2);
+        assert_eq!(market.fetch_count(), 2, "failed fetches are not counted");
     }
 
     #[test]
@@ -298,11 +331,26 @@ mod tests {
 
     #[test]
     fn fetch_latency_is_applied() {
-        let market = InMemoryMarket::with_latency(Duration::from_millis(20));
+        let clock = Arc::new(crate::clock::VirtualClock::new());
+        let market = InMemoryMarket::with_latency_and_clock(
+            Duration::from_millis(20),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
         market.publish(script("a")).unwrap();
-        let t0 = std::time::Instant::now();
         market.fetch("a").unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(18));
+        assert_eq!(clock.now(), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn unknown_service_does_not_pay_the_round_trip() {
+        let clock = Arc::new(crate::clock::VirtualClock::new());
+        let market = InMemoryMarket::with_latency_and_clock(
+            Duration::from_millis(20),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        assert!(market.fetch("nope").is_err());
+        assert_eq!(clock.now(), Duration::ZERO, "no script, no round-trip");
+        assert_eq!(market.fetch_count(), 0);
     }
 
     #[test]

@@ -18,12 +18,13 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use qce_strategy::{Node, Strategy};
 
+use crate::clock::{Clock, WallClock};
 use crate::collector::{Collector, ExecutionRecord};
 use crate::device::Provider;
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
@@ -97,6 +98,34 @@ pub fn execute_with_quorum(
     collector: Option<&Collector>,
     quorum: usize,
 ) -> Result<QuorumOutcome, RuntimeError> {
+    execute_with_quorum_clock(
+        strategy,
+        providers,
+        request,
+        collector,
+        quorum,
+        &WallClock::new(),
+    )
+}
+
+/// [`execute_with_quorum`] on an explicit [`Clock`], allowing deterministic
+/// virtual-time execution (see [`VirtualClock`](crate::VirtualClock)).
+///
+/// # Errors
+///
+/// As [`execute_with_quorum`].
+///
+/// # Panics
+///
+/// Panics if `quorum` is zero.
+pub fn execute_with_quorum_clock(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+    request: &Invocation,
+    collector: Option<&Collector>,
+    quorum: usize,
+    clock: &dyn Clock,
+) -> Result<QuorumOutcome, RuntimeError> {
     assert!(quorum >= 1, "quorum must be at least 1");
     for id in strategy.leaves() {
         if providers.get(id.index()).is_none() {
@@ -106,24 +135,29 @@ pub fn execute_with_quorum(
         }
     }
 
+    clock.enter_worker();
     let ctx = QuorumCtx {
         providers,
         request,
         collector,
         quorum,
+        clock,
         done: AtomicBool::new(false),
-        started_at: Instant::now(),
+        started_at: clock.now(),
         votes: Mutex::new(VoteBox::default()),
         invocations: Mutex::new(Vec::new()),
     };
     run_node(strategy.node(), &ctx);
+    clock.exit_worker();
 
     let votes = ctx.votes.into_inner();
     let invocations = ctx.invocations.into_inner();
     let cost = invocations.iter().map(|i| i.cost).sum();
     let (payload, winner_votes) = votes.winner();
     let agreed = winner_votes >= quorum;
-    let latency = votes.decided_at.unwrap_or_else(|| ctx.started_at.elapsed());
+    let latency = votes
+        .decided_at
+        .unwrap_or_else(|| clock.now().saturating_sub(ctx.started_at));
     Ok(QuorumOutcome {
         payload,
         votes: winner_votes,
@@ -169,8 +203,9 @@ struct QuorumCtx<'a> {
     request: &'a Invocation,
     collector: Option<&'a Collector>,
     quorum: usize,
+    clock: &'a dyn Clock,
     done: AtomicBool,
-    started_at: Instant,
+    started_at: Duration,
     votes: Mutex<VoteBox>,
     invocations: Mutex<Vec<InvocationOutcome>>,
 }
@@ -182,9 +217,9 @@ fn run_node(node: &Node, ctx: &QuorumCtx<'_>) {
                 return;
             }
             let provider = &ctx.providers[id.index()];
-            let t0 = Instant::now();
+            let t0 = ctx.clock.now();
             let result = provider.invoke(ctx.request);
-            let latency = t0.elapsed();
+            let latency = ctx.clock.now().saturating_sub(t0);
             let success = result.is_ok();
             if let Some(collector) = ctx.collector {
                 collector.record(
@@ -208,7 +243,7 @@ fn run_node(node: &Node, ctx: &QuorumCtx<'_>) {
                 let mut votes = ctx.votes.lock();
                 let count = votes.vote(payload);
                 if count >= ctx.quorum && votes.decided_at.is_none() {
-                    votes.decided_at = Some(ctx.started_at.elapsed());
+                    votes.decided_at = Some(ctx.clock.now().saturating_sub(ctx.started_at));
                     drop(votes);
                     ctx.done.store(true, Ordering::SeqCst);
                 }
@@ -226,11 +261,22 @@ fn run_node(node: &Node, ctx: &QuorumCtx<'_>) {
         }
         Node::Par(children) => {
             std::thread::scope(|scope| {
+                // Pre-register spawned children as clock workers (see the
+                // first-success executor for the rationale).
+                for _ in 1..children.len() {
+                    ctx.clock.enter_worker();
+                }
                 for child in children.iter().skip(1) {
-                    scope.spawn(move || run_node(child, ctx));
+                    scope.spawn(move || {
+                        run_node(child, ctx);
+                        ctx.clock.exit_worker();
+                    });
                 }
                 run_node(&children[0], ctx);
+                // The implicit scope join is a passive wait.
+                ctx.clock.enter_passive();
             });
+            ctx.clock.exit_passive();
         }
     }
 }

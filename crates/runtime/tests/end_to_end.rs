@@ -245,9 +245,12 @@ fn best_provider_switches_when_a_better_device_joins() {
             .reliability(0.99)
             .build(),
     );
-    // Next slots should route read-temp to the new provider; after a few
-    // slots the collector has data for it.
-    for _ in 0..20 {
+    // Next slots should route read-temp to the new provider. The switch
+    // happens once the incumbent's measured success rate converges toward
+    // its true 0.7 (its utility then drops below the newcomer's
+    // prior-based utility), so run enough slots for the estimate to
+    // settle; after that the collector has data for the newcomer.
+    for _ in 0..55 {
         tb.gateway.invoke("detect-temperature").unwrap();
     }
     let collector: &Arc<Collector> = tb.gateway.collector();

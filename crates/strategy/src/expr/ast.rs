@@ -24,8 +24,7 @@
 
 use std::collections::BTreeSet;
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::error::{BuildError, ParseError};
 use crate::MsId;
@@ -388,15 +387,15 @@ impl std::str::FromStr for Strategy {
 }
 
 impl Serialize for Strategy {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_str(self)
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for Strategy {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let text = String::deserialize(deserializer)?;
-        Strategy::parse(&text).map_err(D::Error::custom)
+impl Deserialize for Strategy {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let text = String::from_value(value)?;
+        Strategy::parse(&text).map_err(serde::Error::custom)
     }
 }
 

@@ -55,3 +55,10 @@
 pub use qce_runtime as runtime;
 pub use qce_sim as sim;
 pub use qce_strategy as strategy;
+
+/// Compiles the README's code blocks as doctests, so the examples shown
+/// there (including the `Harness` walkthrough under "Testing") can never
+/// drift from the actual API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
