@@ -1,24 +1,38 @@
 //! Vendored offline shim for the subset of `serde` this workspace uses.
 //!
 //! The build environment has no network access and no crates.io mirror, so
-//! external dependencies are vendored as minimal API-compatible shims (see
-//! `compat/README.md`). Unlike upstream serde's visitor architecture, this
-//! shim (de)serializes through an owned JSON-like [`Value`] tree:
-//! [`Serialize`] renders a value to a [`Value`], [`Deserialize`] rebuilds
-//! one from it. `#[derive(Serialize, Deserialize)]` is provided by the
-//! companion `serde_derive` shim and targets these traits; `serde_json`
-//! handles the text round-trip. External enum tagging, `transparent`
-//! newtype structs, and `#[serde(default)]` match upstream wire formats.
+//! external dependencies are vendored as minimal API-compatible shims,
+//! wired in through the workspace `[patch.crates-io]` section (see
+//! `compat/README.md`). The public trait surface matches upstream serde's
+//! signatures — [`Serialize::serialize`] is generic over a [`Serializer`],
+//! [`Deserialize::deserialize`] over a [`Deserializer`], and errors go
+//! through the [`ser::Error`]/[`de::Error`] traits — so workspace code
+//! written against this shim compiles unchanged against real serde once
+//! the patch section is removed.
+//!
+//! Internally there is exactly one serializer and one deserializer: both
+//! plumb through an owned JSON-like [`Value`] tree (the shim has no
+//! visitor machinery). Items prefixed `__` and the `Value`/`Map` tree are
+//! shim-internal plumbing for the companion `serde_derive` and
+//! `serde_json` shims; workspace library code must not use them, since
+//! upstream serde exports no such items. External enum tagging,
+//! `transparent`/newtype structs, and `#[serde(default)]` match upstream
+//! wire formats.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::time::Duration;
 
+#[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
 /// A JSON-shaped value tree: the interchange format between [`Serialize`],
 /// [`Deserialize`], and `serde_json`.
+///
+/// Shim-internal: upstream serde exports no value tree (that lives in
+/// `serde_json::Value`); workspace code reaches this type only through the
+/// `serde_json` shim's re-export.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// JSON `null`.
@@ -173,7 +187,8 @@ fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")
 }
 
-/// An insertion-ordered string-keyed map of [`Value`]s.
+/// An insertion-ordered string-keyed map of [`Value`]s (shim-internal; the
+/// workspace reaches it as `serde_json::Map`).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Map {
     entries: Vec<(String, Value)>,
@@ -224,29 +239,19 @@ impl Map {
     }
 }
 
-/// (De)serialization error: a human-readable message.
+/// The shim's single concrete (de)serialization error: a human-readable
+/// message. Implements both [`ser::Error`] and [`de::Error`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Error {
     msg: String,
 }
 
 impl Error {
-    /// Builds an error from any displayable message (upstream
-    /// `de::Error::custom` / `ser::Error::custom`).
+    /// Builds an error from any displayable message.
     pub fn custom<T: fmt::Display>(msg: T) -> Self {
         Error {
             msg: msg.to_string(),
         }
-    }
-
-    /// Standard "missing field" error.
-    pub fn missing_field(type_name: &str, field: &str) -> Self {
-        Error::custom(format!("missing field `{field}` in {type_name}"))
-    }
-
-    /// Standard "wrong shape" error.
-    pub fn expected(what: &str, got: &Value) -> Self {
-        Error::custom(format!("expected {what}, found {}", got.kind()))
     }
 }
 
@@ -258,71 +263,586 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
-/// Upstream-compatible module path for `serde::de::Error`.
-pub mod de {
-    /// Deserialization error alias (`serde::de::Error`).
-    pub use crate::Error;
-}
-
-/// Upstream-compatible module path for `serde::ser::Error`.
+/// Serialization half of the API: the [`Serializer`] trait lives here
+/// upstream alongside the `Serialize*` sub-traits and the error trait.
 pub mod ser {
-    /// Serialization error alias (`serde::ser::Error`).
-    pub use crate::Error;
-}
+    use std::fmt;
 
-/// Renders `self` into the [`Value`] interchange tree.
-pub trait Serialize {
-    /// Converts to a [`Value`].
-    fn to_value(&self) -> Value;
-}
+    pub use crate::{Serialize, Serializer};
 
-/// Rebuilds `Self` from the [`Value`] interchange tree.
-pub trait Deserialize: Sized {
-    /// Converts from a [`Value`].
-    fn from_value(value: &Value) -> Result<Self, Error>;
-}
+    /// Trait for serialization errors (`serde::ser::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
 
-impl Serialize for Value {
-    fn to_value(&self) -> Value {
-        self.clone()
+    impl Error for crate::Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            crate::Error::custom(msg)
+        }
+    }
+
+    /// Returned by [`Serializer::serialize_seq`].
+    pub trait SerializeSeq {
+        /// Output type of the parent serializer.
+        type Ok;
+        /// Error type of the parent serializer.
+        type Error: Error;
+        /// Serializes one sequence element.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Returned by [`Serializer::serialize_tuple`].
+    pub trait SerializeTuple {
+        /// Output type of the parent serializer.
+        type Ok;
+        /// Error type of the parent serializer.
+        type Error: Error;
+        /// Serializes one tuple element.
+        fn serialize_element<T: ?Sized + Serialize>(
+            &mut self,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the tuple.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Returned by [`Serializer::serialize_struct`].
+    pub trait SerializeStruct {
+        /// Output type of the parent serializer.
+        type Ok;
+        /// Error type of the parent serializer.
+        type Error: Error;
+        /// Serializes one named field.
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Returned by [`Serializer::serialize_struct_variant`].
+    pub trait SerializeStructVariant {
+        /// Output type of the parent serializer.
+        type Ok;
+        /// Error type of the parent serializer.
+        type Error: Error;
+        /// Serializes one named field of the variant.
+        fn serialize_field<T: ?Sized + Serialize>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
     }
 }
 
-impl Deserialize for Value {
-    fn from_value(value: &Value) -> Result<Self, Error> {
+/// Deserialization half of the API: the [`Deserializer`] trait lives here
+/// upstream alongside the error trait.
+pub mod de {
+    use std::fmt;
+
+    pub use crate::{Deserialize, DeserializeOwned, Deserializer};
+
+    /// Trait for deserialization errors (`serde::de::Error`).
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+
+        /// A required field was absent from the input.
+        fn missing_field(field: &'static str) -> Self {
+            Self::custom(format_args!("missing field `{field}`"))
+        }
+
+        /// An enum tag named no known variant.
+        fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+            Self::custom(format_args!(
+                "unknown variant `{variant}`, expected one of {expected:?}"
+            ))
+        }
+    }
+
+    impl Error for crate::Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            crate::Error::custom(msg)
+        }
+    }
+}
+
+/// A data structure that can be serialized (upstream `serde::Serialize`).
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization format (upstream `serde::Serializer`, the subset of
+/// methods this workspace and its derives use). The shim's only
+/// implementor is the internal value-tree serializer.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+    /// State for sequence serialization.
+    type SerializeSeq: ser::SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    /// State for tuple serialization.
+    type SerializeTuple: ser::SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    /// State for struct serialization.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    /// State for struct-variant serialization.
+    type SerializeStructVariant: ser::SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a floating-point number.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `None`.
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes `Some(value)`.
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype struct (forwards to the inner value).
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a unit enum variant (externally tagged: the name).
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Serializes a newtype enum variant (externally tagged).
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>;
+    /// Begins serializing a sequence.
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    /// Begins serializing a tuple.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    /// Begins serializing a struct.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    /// Begins serializing a struct enum variant (externally tagged).
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    /// Serializes a `Display` value as a string.
+    fn collect_str<T: ?Sized + fmt::Display>(self, value: &T) -> Result<Self::Ok, Self::Error>;
+
+    /// Shim-internal: absorbs a whole [`Value`] tree (the trait subset has
+    /// no structural map API, which only `Value::Object` needs). Does not
+    /// exist upstream; only the shim's own `Value` impl calls it.
+    #[doc(hidden)]
+    fn __shim_serialize_value(self, _value: &Value) -> Result<Self::Ok, Self::Error> {
+        Err(ser::Error::custom(
+            "this serializer cannot absorb a shim value tree",
+        ))
+    }
+}
+
+/// A data structure that can be deserialized (upstream
+/// `serde::Deserialize<'de>`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A type deserializable without borrowing from the input (upstream
+/// `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// A deserialization format (upstream `serde::Deserializer<'de>`).
+///
+/// Upstream drives deserialization through visitors; this shim instead
+/// exposes a single hidden accessor for the backing [`Value`] tree. The
+/// only implementor is the internal value-tree deserializer — workspace
+/// library code must treat this trait as opaque (use it only as a bound),
+/// exactly as it would upstream's.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+
+    /// Shim-internal: borrows the backing value tree. Does not exist
+    /// upstream; only shim-internal and derive-generated code may call it.
+    #[doc(hidden)]
+    fn __shim_value(&self) -> &Value;
+}
+
+// ---------------------------------------------------------------------------
+// The value-tree serializer (the shim's only Serializer implementor)
+// ---------------------------------------------------------------------------
+
+/// Serializes into a [`Value`] tree. Shim-internal.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValueSerializer;
+
+/// Sequence/tuple builder for [`ValueSerializer`]. Shim-internal.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct ValueSeqBuilder {
+    items: Vec<Value>,
+}
+
+/// Struct/object builder for [`ValueSerializer`]. Shim-internal.
+#[doc(hidden)]
+#[derive(Debug, Default)]
+pub struct ValueStructBuilder {
+    /// For struct variants, the external tag to wrap the object in.
+    variant: Option<&'static str>,
+    map: Map,
+}
+
+impl ser::SerializeSeq for ValueSeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.items.push(value.serialize(ValueSerializer)?);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        Ok(Value::Array(self.items))
+    }
+}
+
+impl ser::SerializeTuple for ValueSeqBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeStruct for ValueStructBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let value = value.serialize(ValueSerializer)?;
+        self.map.insert(key, value);
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        let object = Value::Object(self.map);
+        Ok(match self.variant {
+            Some(tag) => {
+                let mut outer = Map::new();
+                outer.insert(tag, object);
+                Value::Object(outer)
+            }
+            None => object,
+        })
+    }
+}
+
+impl ser::SerializeStructVariant for ValueStructBuilder {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<Value, Error> {
+        ser::SerializeStruct::end(self)
+    }
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    type SerializeSeq = ValueSeqBuilder;
+    type SerializeTuple = ValueSeqBuilder;
+    type SerializeStruct = ValueStructBuilder;
+    type SerializeStructVariant = ValueStructBuilder;
+
+    fn serialize_bool(self, v: bool) -> Result<Value, Error> {
+        Ok(Value::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Value, Error> {
+        Ok(if v >= 0 {
+            Value::UInt(v as u64)
+        } else {
+            Value::Int(v)
+        })
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::UInt(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Value, Error> {
+        Ok(Value::Float(v))
+    }
+
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_owned()))
+    }
+
+    fn serialize_none(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<Value, Error> {
+        Ok(Value::Null)
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Value, Error> {
+        Ok(Value::Str(variant.to_owned()))
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Value, Error> {
+        let mut map = Map::new();
+        map.insert(variant, value.serialize(ValueSerializer)?);
+        Ok(Value::Object(map))
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<ValueSeqBuilder, Error> {
+        Ok(ValueSeqBuilder {
+            items: Vec::with_capacity(len.unwrap_or(0)),
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<ValueSeqBuilder, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<ValueStructBuilder, Error> {
+        Ok(ValueStructBuilder {
+            variant: None,
+            map: Map::new(),
+        })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<ValueStructBuilder, Error> {
+        Ok(ValueStructBuilder {
+            variant: Some(variant),
+            map: Map::new(),
+        })
+    }
+
+    fn collect_str<T: ?Sized + fmt::Display>(self, value: &T) -> Result<Value, Error> {
+        Ok(Value::Str(value.to_string()))
+    }
+
+    fn __shim_serialize_value(self, value: &Value) -> Result<Value, Error> {
         Ok(value.clone())
     }
 }
 
-impl Serialize for bool {
-    fn to_value(&self) -> Value {
-        Value::Bool(*self)
+// ---------------------------------------------------------------------------
+// The value-tree deserializer (the shim's only Deserializer implementor)
+// ---------------------------------------------------------------------------
+
+/// Deserializes from a borrowed [`Value`] tree. Shim-internal.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub struct ValueDeserializer<'de> {
+    value: &'de Value,
+}
+
+impl<'de> ValueDeserializer<'de> {
+    /// Wraps a value for deserialization.
+    pub fn new(value: &'de Value) -> Self {
+        ValueDeserializer { value }
     }
 }
 
-impl Deserialize for bool {
-    fn from_value(value: &Value) -> Result<Self, Error> {
-        value
-            .as_bool()
-            .ok_or_else(|| Error::expected("boolean", value))
+impl<'de> Deserializer<'de> for ValueDeserializer<'de> {
+    type Error = Error;
+
+    fn __shim_value(&self) -> &Value {
+        self.value
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shim-internal helpers shared with serde_derive/serde_json
+// ---------------------------------------------------------------------------
+
+/// Renders any serializable value into the [`Value`] tree. Shim-internal.
+///
+/// # Errors
+///
+/// Propagates errors raised by the value's `Serialize` impl (the built-in
+/// impls never fail).
+#[doc(hidden)]
+pub fn __to_value<T: ?Sized + Serialize>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Rebuilds a typed value from the [`Value`] tree. Shim-internal.
+///
+/// # Errors
+///
+/// Returns an error when the tree's shape does not match `T`.
+#[doc(hidden)]
+pub fn __from_value<T: DeserializeOwned>(value: &Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+/// Builds a "wrong shape" error naming the found kind. Shim-internal.
+#[doc(hidden)]
+pub fn __expected<E: de::Error>(what: &str, got: &Value) -> E {
+    E::custom(format_args!("expected {what}, found {}", got.kind()))
+}
+
+/// Extracts and deserializes a required struct field. Shim-internal.
+///
+/// # Errors
+///
+/// Returns `missing_field` when the key is absent, or the field's own
+/// deserialization error.
+#[doc(hidden)]
+pub fn __field<T: DeserializeOwned, E: de::Error>(map: &Map, key: &'static str) -> Result<T, E> {
+    match map.get(key) {
+        Some(value) => __from_value(value).map_err(E::custom),
+        None => Err(E::missing_field(key)),
+    }
+}
+
+/// Extracts a `#[serde(default)]` struct field. Shim-internal.
+///
+/// # Errors
+///
+/// Returns the field's own deserialization error (absence is not one).
+#[doc(hidden)]
+pub fn __field_or_default<T: DeserializeOwned + Default, E: de::Error>(
+    map: &Map,
+    key: &'static str,
+) -> Result<T, E> {
+    match map.get(key) {
+        Some(value) => __from_value(value).map_err(E::custom),
+        None => Ok(T::default()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in impls (the subset the workspace uses)
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.__shim_serialize_value(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(deserializer.__shim_value().clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.__shim_value();
+        value.as_bool().ok_or_else(|| __expected("boolean", value))
     }
 }
 
 macro_rules! impl_serde_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
-            fn to_value(&self) -> Value {
-                Value::UInt(*self as u64)
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
             }
         }
 
-        impl Deserialize for $t {
-            fn from_value(value: &Value) -> Result<Self, Error> {
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.__shim_value();
                 let n = value
                     .as_u64()
-                    .ok_or_else(|| Error::expected("unsigned integer", value))?;
+                    .ok_or_else(|| __expected::<D::Error>("unsigned integer", value))?;
                 <$t>::try_from(n).map_err(|_| {
-                    Error::custom(format!(
+                    de::Error::custom(format_args!(
                         "integer {n} out of range for {}",
                         stringify!($t)
                     ))
@@ -337,26 +857,23 @@ impl_serde_uint!(u8, u16, u32, u64, usize);
 macro_rules! impl_serde_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
-            fn to_value(&self) -> Value {
-                let n = i64::from(*self);
-                if n >= 0 {
-                    Value::UInt(n as u64)
-                } else {
-                    Value::Int(n)
-                }
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(i64::from(*self))
             }
         }
 
-        impl Deserialize for $t {
-            fn from_value(value: &Value) -> Result<Self, Error> {
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.__shim_value();
                 let n: i64 = match *value {
-                    Value::UInt(u) => i64::try_from(u)
-                        .map_err(|_| Error::custom(format!("integer {u} out of range")))?,
+                    Value::UInt(u) => i64::try_from(u).map_err(|_| {
+                        <D::Error as de::Error>::custom(format_args!("integer {u} out of range"))
+                    })?,
                     Value::Int(i) => i,
-                    _ => return Err(Error::expected("integer", value)),
+                    _ => return Err(__expected("integer", value)),
                 };
                 <$t>::try_from(n).map_err(|_| {
-                    Error::custom(format!(
+                    de::Error::custom(format_args!(
                         "integer {n} out of range for {}",
                         stringify!($t)
                     ))
@@ -369,154 +886,161 @@ macro_rules! impl_serde_int {
 impl_serde_int!(i8, i16, i32, i64);
 
 impl Serialize for isize {
-    fn to_value(&self) -> Value {
-        (*self as i64).to_value()
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
     }
 }
 
-impl Deserialize for isize {
-    fn from_value(value: &Value) -> Result<Self, Error> {
-        i64::from_value(value).and_then(|n| {
-            isize::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range")))
-        })
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let n = i64::deserialize(deserializer)?;
+        isize::try_from(n)
+            .map_err(|_| de::Error::custom(format_args!("integer {n} out of range for isize")))
     }
 }
 
 impl Serialize for f64 {
-    fn to_value(&self) -> Value {
-        Value::Float(*self)
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
     }
 }
 
-impl Deserialize for f64 {
-    fn from_value(value: &Value) -> Result<Self, Error> {
-        value
-            .as_f64()
-            .ok_or_else(|| Error::expected("number", value))
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.__shim_value();
+        value.as_f64().ok_or_else(|| __expected("number", value))
     }
 }
 
 impl Serialize for f32 {
-    fn to_value(&self) -> Value {
-        Value::Float(f64::from(*self))
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
     }
 }
 
-impl Deserialize for f32 {
-    fn from_value(value: &Value) -> Result<Self, Error> {
-        value
-            .as_f64()
-            .map(|n| n as f32)
-            .ok_or_else(|| Error::expected("number", value))
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|n| n as f32)
     }
 }
 
 impl Serialize for String {
-    fn to_value(&self) -> Value {
-        Value::Str(self.clone())
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
     }
 }
 
-impl Deserialize for String {
-    fn from_value(value: &Value) -> Result<Self, Error> {
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.__shim_value();
         value
             .as_str()
             .map(str::to_owned)
-            .ok_or_else(|| Error::expected("string", value))
+            .ok_or_else(|| __expected("string", value))
     }
 }
 
 impl Serialize for str {
-    fn to_value(&self) -> Value {
-        Value::Str(self.to_owned())
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
     }
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {
-    fn to_value(&self) -> Value {
-        (**self).to_value()
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
     }
 }
 
 impl<T: Serialize> Serialize for Option<T> {
-    fn to_value(&self) -> Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         match self {
-            Some(inner) => inner.to_value(),
-            None => Value::Null,
+            Some(inner) => serializer.serialize_some(inner),
+            None => serializer.serialize_none(),
         }
     }
 }
 
-impl<T: Deserialize> Deserialize for Option<T> {
-    fn from_value(value: &Value) -> Result<Self, Error> {
-        match value {
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.__shim_value() {
             Value::Null => Ok(None),
-            other => T::from_value(other).map(Some),
+            _ => T::deserialize(deserializer).map(Some),
         }
     }
 }
 
 impl<T: Serialize> Serialize for Vec<T> {
-    fn to_value(&self) -> Value {
-        Value::Array(self.iter().map(Serialize::to_value).collect())
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeSeq as _;
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
     }
 }
 
-impl<T: Deserialize> Deserialize for Vec<T> {
-    fn from_value(value: &Value) -> Result<Self, Error> {
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.__shim_value();
         value
             .as_array()
-            .ok_or_else(|| Error::expected("array", value))?
+            .ok_or_else(|| __expected::<D::Error>("array", value))?
             .iter()
-            .map(T::from_value)
+            .map(|item| __from_value(item).map_err(de::Error::custom))
             .collect()
     }
 }
 
 impl<A: Serialize, B: Serialize> Serialize for (A, B) {
-    fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeTuple as _;
+        let mut tuple = serializer.serialize_tuple(2)?;
+        tuple.serialize_element(&self.0)?;
+        tuple.serialize_element(&self.1)?;
+        tuple.end()
     }
 }
 
-impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
-    fn from_value(value: &Value) -> Result<Self, Error> {
+impl<'de, A: DeserializeOwned, B: DeserializeOwned> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.__shim_value();
         let items = value
             .as_array()
-            .ok_or_else(|| Error::expected("2-element array", value))?;
+            .ok_or_else(|| __expected::<D::Error>("2-element array", value))?;
         if items.len() != 2 {
-            return Err(Error::custom(format!(
+            return Err(de::Error::custom(format_args!(
                 "expected 2-element array, found {} elements",
                 items.len()
             )));
         }
-        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+        Ok((
+            __from_value(&items[0]).map_err(de::Error::custom)?,
+            __from_value(&items[1]).map_err(de::Error::custom)?,
+        ))
     }
 }
 
 impl Serialize for Duration {
-    fn to_value(&self) -> Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeStruct as _;
         // Upstream serde's wire format for Duration.
-        let mut map = Map::new();
-        map.insert("secs", Value::UInt(self.as_secs()));
-        map.insert("nanos", Value::UInt(u64::from(self.subsec_nanos())));
-        Value::Object(map)
+        let mut state = serializer.serialize_struct("Duration", 2)?;
+        state.serialize_field("secs", &self.as_secs())?;
+        state.serialize_field("nanos", &self.subsec_nanos())?;
+        state.end()
     }
 }
 
-impl Deserialize for Duration {
-    fn from_value(value: &Value) -> Result<Self, Error> {
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.__shim_value();
         let map = value
             .as_object()
-            .ok_or_else(|| Error::expected("duration object", value))?;
-        let secs = u64::from_value(
-            map.get("secs")
-                .ok_or_else(|| Error::missing_field("Duration", "secs"))?,
-        )?;
-        let nanos = u32::from_value(
-            map.get("nanos")
-                .ok_or_else(|| Error::missing_field("Duration", "nanos"))?,
-        )?;
+            .ok_or_else(|| __expected::<D::Error>("duration object", value))?;
+        let secs: u64 = __field(map, "secs")?;
+        let nanos: u32 = __field(map, "nanos")?;
         Ok(Duration::new(secs, nanos))
     }
 }
@@ -525,19 +1049,27 @@ impl Deserialize for Duration {
 mod tests {
     use super::*;
 
+    fn to_value<T: Serialize>(value: &T) -> Value {
+        __to_value(value).unwrap()
+    }
+
     #[test]
     fn option_round_trip() {
-        assert_eq!(Some(3u32).to_value(), Value::UInt(3));
-        assert_eq!(None::<u32>.to_value(), Value::Null);
-        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
-        assert_eq!(Option::<u32>::from_value(&Value::UInt(3)).unwrap(), Some(3));
+        assert_eq!(to_value(&Some(3u32)), Value::UInt(3));
+        assert_eq!(to_value(&None::<u32>), Value::Null);
+        assert_eq!(__from_value::<Option<u32>>(&Value::Null).unwrap(), None);
+        assert_eq!(
+            __from_value::<Option<u32>>(&Value::UInt(3)).unwrap(),
+            Some(3)
+        );
     }
 
     #[test]
     fn duration_round_trip() {
         let d = Duration::new(3, 500_000_000);
-        let v = d.to_value();
-        assert_eq!(Duration::from_value(&v).unwrap(), d);
+        let v = to_value(&d);
+        assert_eq!(v.get("secs"), Some(&Value::UInt(3)));
+        assert_eq!(__from_value::<Duration>(&v).unwrap(), d);
     }
 
     #[test]
@@ -555,14 +1087,42 @@ mod tests {
 
     #[test]
     fn integer_range_checks() {
-        assert!(u8::from_value(&Value::UInt(300)).is_err());
-        assert_eq!(i64::from_value(&Value::Int(-5)).unwrap(), -5);
-        assert_eq!(f64::from_value(&Value::UInt(2)).unwrap(), 2.0);
+        assert!(__from_value::<u8>(&Value::UInt(300)).is_err());
+        assert_eq!(__from_value::<i64>(&Value::Int(-5)).unwrap(), -5);
+        assert_eq!(__from_value::<f64>(&Value::UInt(2)).unwrap(), 2.0);
     }
 
     #[test]
     fn tuple_pairs() {
         let pair = (1.5f64, 2.5f64);
-        assert_eq!(<(f64, f64)>::from_value(&pair.to_value()).unwrap(), pair);
+        assert_eq!(__from_value::<(f64, f64)>(&to_value(&pair)).unwrap(), pair);
+    }
+
+    #[test]
+    fn negative_i64_keeps_wire_shape() {
+        assert_eq!(to_value(&-7i32), Value::Int(-7));
+        assert_eq!(to_value(&7i32), Value::UInt(7));
+    }
+
+    #[test]
+    fn collect_str_renders_display() {
+        struct D;
+        impl fmt::Display for D {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("shown")
+            }
+        }
+        impl Serialize for D {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.collect_str(self)
+            }
+        }
+        assert_eq!(to_value(&D), Value::Str("shown".into()));
+    }
+
+    #[test]
+    fn missing_field_reports_key() {
+        let err = __from_value::<Duration>(&Value::Object(Map::new())).unwrap_err();
+        assert!(err.to_string().contains("secs"), "{err}");
     }
 }

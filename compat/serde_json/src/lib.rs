@@ -47,19 +47,19 @@ pub type Result<T> = std::result::Result<T, Error>;
 /// Serializes a value to compact JSON.
 pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
+    write_value(&mut out, &serde::__to_value(value)?, None, 0);
     Ok(out)
 }
 
 /// Serializes a value to pretty JSON (2-space indentation).
 pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0);
+    write_value(&mut out, &serde::__to_value(value)?, Some(2), 0);
     Ok(out)
 }
 
 /// Deserializes a value from JSON text.
-pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+pub fn from_str<T: serde::de::DeserializeOwned>(text: &str) -> Result<T> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
@@ -73,17 +73,17 @@ pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
             parser.pos
         )));
     }
-    T::from_value(&value).map_err(Error::from)
+    serde::__from_value(&value).map_err(Error::from)
 }
 
 /// Converts any serializable value into a [`Value`] tree.
 pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
-    Ok(value.to_value())
+    serde::__to_value(value).map_err(Error::from)
 }
 
 /// Rebuilds a typed value from a [`Value`] tree.
-pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T> {
-    T::from_value(&value).map_err(Error::from)
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    serde::__from_value(&value).map_err(Error::from)
 }
 
 // ---------------------------------------------------------------------------

@@ -134,12 +134,14 @@ mod tests {
             "strategies: {:?}",
             ms.iter().map(|m| &m.strategy).collect::<Vec<_>>()
         );
-        // Post-adaptation reliability recovers above the degraded slot's.
+        // Post-adaptation reliability recovers above the degraded slots'.
         // The sensor heals at execution 430 — mid slot 4 — so only slots 5
-        // and 6 are fully recovered; slot 4 alone is still half-degraded
-        // and its estimate is dominated by sampling noise.
+        // and 6 are fully recovered; slot 4 alone is still half-degraded.
+        // Require EVERY fully-recovered slot (min, not max) to beat the
+        // worst degraded slot, so a single lucky slot cannot mask a real
+        // adaptation regression.
         let degraded = ms[2].reliability.min(ms[3].reliability);
-        let adapted = ms[5].reliability.max(ms[6].reliability);
+        let adapted = ms[5].reliability.min(ms[6].reliability);
         assert!(
             adapted >= degraded,
             "adapted {adapted} vs degraded {degraded}"

@@ -118,6 +118,10 @@ pub fn run(reports: &Path, per_slot: u32, latency_scale: f64) -> std::io::Result
     report.note(format!("generated strategy: {}", result.generated_strategy));
     report.note("shape reproduced: generated slashes cost vs default; measured(gen) ~= est(gen)");
     report.note(
+        "measured columns use the vendored deterministic ChaCha8 shim RNG stream \
+         (compat/README.md), so they differ in the last digits from runs against upstream rand",
+    );
+    report.note(
         "paper's default latency/cost anomalies (163ms, cost 100) stem from their \
          Java thread fan-out; our executor follows Assumption 2 exactly (cost 150)",
     );

@@ -9,27 +9,44 @@
 //! # The advance protocol
 //!
 //! [`VirtualClock`] coordinates real OS threads over simulated time. It
-//! tracks three counters:
+//! tracks, per clock:
 //!
-//! * **workers** — threads currently doing runtime work (the executor
-//!   registers the calling thread and every thread it spawns for a
-//!   parallel `*` node);
-//! * **sleepers** — workers (or unregistered threads) blocked in
-//!   [`Clock::sleep`], each with an absolute deadline;
+//! * **workers** — threads currently doing runtime work. Registration is
+//!   *thread-bound*: a worker slot is reserved with
+//!   [`Clock::reserve_worker`] (or [`Clock::enter_worker`]) and bound to
+//!   an OS thread with [`Clock::adopt_worker`], so the clock knows which
+//!   threads count as workers.
+//! * **worker sleepers** — registered worker threads blocked in
+//!   [`Clock::sleep`]. Sleeps from *unregistered* threads (a market
+//!   fetch on a caller thread, a test poking a provider directly) are
+//!   tracked only for their deadlines and never count toward the advance
+//!   threshold, so virtual time cannot jump while a registered worker is
+//!   still computing just because some bystander thread went to sleep.
 //! * **parked** — workers blocked in a *passive* wait (joining spawned
 //!   children), which make no progress on their own.
 //!
-//! Virtual time advances — jumping straight to the earliest sleeper's
-//! deadline — exactly when no worker can make progress: at least one
-//! sleeper exists and `sleepers + parked >= workers`. A thread that never
-//! registered (e.g. a test invoking a provider directly) sleeps with
-//! `workers == 0`, so its sleep advances time immediately.
+//! Virtual time advances — jumping straight to the earliest sleeping
+//! deadline (registered or not) — exactly when no worker can make
+//! progress: at least one sleeper exists and
+//! `worker_sleepers + parked >= workers`. A thread that sleeps while no
+//! workers are registered advances time immediately.
 //!
 //! Registered workers must never block outside [`Clock::sleep`] without
 //! bracketing the wait in [`Clock::enter_passive`]/[`Clock::exit_passive`],
-//! or virtual time stalls and every sleeper deadlocks.
+//! or virtual time stalls and every sleeper deadlocks. Use [`WorkerGuard`]
+//! rather than calling `enter_worker`/`exit_worker` by hand: it
+//! deregisters on drop, so a panicking provider cannot leak the worker
+//! count and hang every later sleeper.
+//!
+//! Multiple top-level invocations may share one `VirtualClock` (each
+//! registers its own workers), but determinism then only extends to the
+//! set of wake-ups, not their interleaving: concurrent invocations race
+//! on OS scheduling exactly as concurrent wall-clock work would.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,11 +62,24 @@ pub trait Clock: Send + Sync + fmt::Debug {
     /// Blocks the calling thread for `duration` of this clock's time.
     fn sleep(&self, duration: Duration);
 
-    /// Registers the calling context as an active worker (see the module
-    /// docs). No-op for real-time clocks.
+    /// Registers the calling thread as an active worker — equivalent to
+    /// [`reserve_worker`](Clock::reserve_worker) followed by
+    /// [`adopt_worker`](Clock::adopt_worker). No-op for real-time clocks.
     fn enter_worker(&self) {}
 
-    /// Deregisters one worker. No-op for real-time clocks.
+    /// Reserves one worker slot *without* binding it to a thread. A parent
+    /// calls this before spawning a child thread so the slot exists before
+    /// the child runs; the child then binds itself with
+    /// [`adopt_worker`](Clock::adopt_worker). No-op for real-time clocks.
+    fn reserve_worker(&self) {}
+
+    /// Binds the calling thread to a worker slot previously created with
+    /// [`reserve_worker`](Clock::reserve_worker). No-op for real-time
+    /// clocks.
+    fn adopt_worker(&self) {}
+
+    /// Unbinds the calling thread and releases one worker slot. No-op for
+    /// real-time clocks.
     fn exit_worker(&self) {}
 
     /// Marks one worker as passively blocked (e.g. joining a spawned
@@ -58,6 +88,48 @@ pub trait Clock: Send + Sync + fmt::Debug {
 
     /// Clears one passive mark. No-op for real-time clocks.
     fn exit_passive(&self) {}
+}
+
+/// RAII worker registration: deregisters on drop, so the worker count
+/// unwinds correctly even when the guarded code panics.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use qce_runtime::{Clock, VirtualClock, WorkerGuard};
+///
+/// let clock = VirtualClock::new();
+/// {
+///     let _worker = WorkerGuard::enter(&clock);
+///     clock.sleep(Duration::from_millis(10)); // sole worker: advances
+/// } // deregistered here, panic or not
+/// assert_eq!(clock.now(), Duration::from_millis(10));
+/// ```
+#[derive(Debug)]
+pub struct WorkerGuard<'a> {
+    clock: &'a dyn Clock,
+}
+
+impl<'a> WorkerGuard<'a> {
+    /// Registers the calling thread as a new worker.
+    pub fn enter(clock: &'a dyn Clock) -> Self {
+        clock.enter_worker();
+        WorkerGuard { clock }
+    }
+
+    /// Binds the calling thread to a slot the parent already created with
+    /// [`Clock::reserve_worker`].
+    pub fn adopt(clock: &'a dyn Clock) -> Self {
+        clock.adopt_worker();
+        WorkerGuard { clock }
+    }
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        self.clock.exit_worker();
+    }
 }
 
 /// Real time: `now` measures from construction, `sleep` really sleeps.
@@ -95,12 +167,24 @@ impl Clock for WallClock {
     }
 }
 
+/// Distinguishes clocks in the per-thread worker-registration map, so two
+/// `VirtualClock`s never see each other's bindings.
+static NEXT_CLOCK_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Worker-registration depth of this thread, per clock id.
+    static WORKER_DEPTH: RefCell<HashMap<u64, usize>> = RefCell::new(HashMap::new());
+}
+
 #[derive(Debug)]
 struct VcState {
     now: Duration,
     workers: usize,
     parked: usize,
-    /// `(token, deadline)` per thread blocked in `sleep`.
+    /// Sleepers that are registered worker threads; only these count
+    /// toward the advance threshold.
+    worker_sleepers: usize,
+    /// `(token, deadline)` per thread blocked in `sleep`, worker or not.
     sleepers: Vec<(u64, Duration)>,
     next_token: u64,
 }
@@ -110,7 +194,8 @@ struct VcState {
 ///
 /// # Examples
 ///
-/// An unregistered thread's sleep advances time instantly:
+/// An unregistered thread's sleep advances time instantly when no workers
+/// are registered:
 ///
 /// ```
 /// use std::time::Duration;
@@ -122,6 +207,7 @@ struct VcState {
 /// ```
 #[derive(Debug)]
 pub struct VirtualClock {
+    id: u64,
     state: Mutex<VcState>,
     wake: Condvar,
 }
@@ -131,10 +217,12 @@ impl VirtualClock {
     #[must_use]
     pub fn new() -> Self {
         VirtualClock {
+            id: NEXT_CLOCK_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(VcState {
                 now: Duration::ZERO,
                 workers: 0,
                 parked: 0,
+                worker_sleepers: 0,
                 sleepers: Vec::new(),
                 next_token: 0,
             }),
@@ -157,10 +245,32 @@ impl VirtualClock {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Jumps to the earliest sleeper's deadline if no worker can make
+    /// True when the calling thread is currently bound as a worker of
+    /// *this* clock.
+    fn thread_is_worker(&self) -> bool {
+        WORKER_DEPTH.with(|depths| depths.borrow().get(&self.id).is_some_and(|&d| d > 0))
+    }
+
+    /// Adjusts the calling thread's registration depth for this clock.
+    fn bind_thread(&self, delta: i64) {
+        WORKER_DEPTH.with(|depths| {
+            let mut depths = depths.borrow_mut();
+            let depth = depths.entry(self.id).or_insert(0);
+            if delta >= 0 {
+                *depth += delta as usize;
+            } else {
+                *depth = depth.saturating_sub((-delta) as usize);
+            }
+            if *depth == 0 {
+                depths.remove(&self.id);
+            }
+        });
+    }
+
+    /// Jumps to the earliest sleeping deadline if no worker can make
     /// progress. Call after any counter change that could block progress.
     fn try_advance(&self, state: &mut VcState) {
-        if state.sleepers.is_empty() || state.sleepers.len() + state.parked < state.workers {
+        if state.sleepers.is_empty() || state.worker_sleepers + state.parked < state.workers {
             return;
         }
         let earliest = state
@@ -194,11 +304,15 @@ impl Clock for VirtualClock {
         if duration.is_zero() {
             return;
         }
+        let is_worker = self.thread_is_worker();
         let mut state = self.lock();
         let deadline = state.now.saturating_add(duration);
         let token = state.next_token;
         state.next_token += 1;
         state.sleepers.push((token, deadline));
+        if is_worker {
+            state.worker_sleepers += 1;
+        }
         self.try_advance(&mut state);
         while state.now < deadline {
             state = self
@@ -207,13 +321,31 @@ impl Clock for VirtualClock {
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         state.sleepers.retain(|&(t, _)| t != token);
+        if is_worker {
+            state.worker_sleepers -= 1;
+        }
+        // A woken bystander leaving the sleeper set can unblock the
+        // remaining sleepers (their earliest deadline just changed); a
+        // woken worker re-entering computation makes the condition false,
+        // so re-checking here is always safe.
+        self.try_advance(&mut state);
     }
 
     fn enter_worker(&self) {
+        self.reserve_worker();
+        self.adopt_worker();
+    }
+
+    fn reserve_worker(&self) {
         self.lock().workers += 1;
     }
 
+    fn adopt_worker(&self) {
+        self.bind_thread(1);
+    }
+
     fn exit_worker(&self) {
+        self.bind_thread(-1);
         let mut state = self.lock();
         state.workers = state.workers.saturating_sub(1);
         self.try_advance(&mut state);
@@ -281,14 +413,15 @@ mod tests {
         let clock = Arc::new(VirtualClock::new());
         let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
         std::thread::scope(|scope| {
-            // Register both workers before spawning either, or the first
+            // Reserve both slots before spawning either, or the first
             // sleeper could advance time while it is still alone.
-            clock.enter_worker();
-            clock.enter_worker();
+            clock.reserve_worker();
+            clock.reserve_worker();
             for &(name, ms) in &[("slow", 60u64), ("fast", 2)] {
                 let clock = Arc::clone(&clock);
                 let order = Arc::clone(&order);
                 scope.spawn(move || {
+                    clock.adopt_worker();
                     clock.sleep(Duration::from_millis(ms));
                     order.lock().push((name, clock.now()));
                     clock.exit_worker();
@@ -304,10 +437,11 @@ mod tests {
     fn passive_parent_lets_children_advance() {
         let clock = Arc::new(VirtualClock::new());
         clock.enter_worker(); // the "parent" worker
-        clock.enter_worker(); // pre-register the child
+        clock.reserve_worker(); // reserve the child's slot
         let child = {
             let clock = Arc::clone(&clock);
             std::thread::spawn(move || {
+                clock.adopt_worker();
                 clock.sleep(Duration::from_millis(40));
                 clock.exit_worker();
             })
@@ -329,5 +463,57 @@ mod tests {
             }
         });
         assert!(clock.now() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn bystander_sleep_does_not_advance_past_busy_worker() {
+        // An unregistered thread sleeping must not fast-forward time while
+        // a registered worker is still computing.
+        let clock = Arc::new(VirtualClock::new());
+        clock.enter_worker();
+        let bystander = {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || clock.sleep(Duration::from_millis(5)))
+        };
+        // Give the bystander ample real time to enter its sleep; virtual
+        // time must hold at zero because the worker never blocked.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(clock.now(), Duration::ZERO);
+        // Once the worker itself sleeps, time jumps to the earliest
+        // deadline — the bystander's — and then to the worker's.
+        clock.sleep(Duration::from_millis(20));
+        assert_eq!(clock.now(), Duration::from_millis(20));
+        bystander.join().unwrap();
+        clock.exit_worker();
+    }
+
+    #[test]
+    fn worker_guard_releases_on_panic() {
+        let clock = Arc::new(VirtualClock::new());
+        let result = {
+            let clock = Arc::clone(&clock);
+            std::thread::spawn(move || {
+                let _guard = WorkerGuard::enter(&*clock);
+                panic!("worker dies");
+            })
+            .join()
+        };
+        assert!(result.is_err());
+        // The guard unwound the registration: an unregistered sleep now
+        // advances instantly instead of deadlocking on a phantom worker.
+        clock.sleep(Duration::from_millis(7));
+        assert_eq!(clock.now(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn two_clocks_do_not_share_thread_bindings() {
+        let a = VirtualClock::new();
+        let b = VirtualClock::new();
+        a.enter_worker();
+        // The thread is a worker of `a` only: `b` sees an unregistered
+        // sleep and advances instantly.
+        b.sleep(Duration::from_millis(9));
+        assert_eq!(b.now(), Duration::from_millis(9));
+        a.exit_worker();
     }
 }

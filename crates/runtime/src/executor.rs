@@ -23,7 +23,7 @@ use parking_lot::Mutex;
 
 use qce_strategy::{Node, Strategy};
 
-use crate::clock::{Clock, WallClock};
+use crate::clock::{Clock, WallClock, WorkerGuard};
 use crate::collector::{Collector, ExecutionRecord};
 use crate::device::Provider;
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
@@ -116,7 +116,7 @@ pub fn execute_strategy_with_clock(
         }
     }
 
-    clock.enter_worker();
+    let worker = WorkerGuard::enter(clock);
     let ctx = Ctx {
         providers,
         request,
@@ -129,7 +129,7 @@ pub fn execute_strategy_with_clock(
     };
 
     run_node(strategy.node(), &ctx);
-    clock.exit_worker();
+    drop(worker);
 
     let first_success = ctx.first_success.into_inner();
     let invocations = ctx.invocations.into_inner();
@@ -145,6 +145,12 @@ pub fn execute_strategy_with_clock(
         cost,
         invocations,
     })
+}
+
+/// Unwraps a parallel child's result, resuming its panic on the parent
+/// thread instead of masking it as a failure.
+fn propagate(result: std::thread::Result<NodeStatus>) -> NodeStatus {
+    result.unwrap_or_else(|panic| std::panic::resume_unwind(panic))
 }
 
 struct Win {
@@ -232,34 +238,39 @@ fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
         }
         Node::Par(children) => {
             let statuses: Vec<NodeStatus> = std::thread::scope(|scope| {
-                // Register the spawned children as clock workers *before*
+                // Reserve the spawned children's worker slots *before*
                 // spawning, so a virtual clock never advances while a child
-                // is scheduled but not yet running.
+                // is scheduled but not yet running; each child binds its
+                // own thread to a slot when it starts.
                 for _ in 1..children.len() {
-                    ctx.clock.enter_worker();
+                    ctx.clock.reserve_worker();
                 }
                 let handles: Vec<_> = children
                     .iter()
                     .skip(1)
                     .map(|child| {
                         scope.spawn(move || {
-                            let status = run_node(child, ctx);
-                            ctx.clock.exit_worker();
-                            status
+                            // Release the slot even if the child panics,
+                            // or the clock counts a phantom worker forever.
+                            let _worker = WorkerGuard::adopt(ctx.clock);
+                            run_node(child, ctx)
                         })
                     })
                     .collect();
                 // Run the first child on the current thread: a Par of n
-                // children needs only n − 1 extra threads.
-                let mut statuses = vec![run_node(&children[0], ctx)];
+                // children needs only n − 1 extra threads. Catch its panic
+                // so the spawned children still get joined first.
+                let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_node(&children[0], ctx)
+                }));
                 // Joining is a passive wait: losers may still be mid-sleep.
                 ctx.clock.enter_passive();
-                statuses.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().unwrap_or(NodeStatus::Failed)),
-                );
+                let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
                 ctx.clock.exit_passive();
+                // Child panics propagate to the caller instead of being
+                // masked as ordinary microservice failures.
+                let mut statuses = vec![propagate(first)];
+                statuses.extend(joined.into_iter().map(propagate));
                 statuses
             });
             if statuses.contains(&NodeStatus::Succeeded) {
@@ -483,5 +494,42 @@ mod tests {
     fn outcome_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<ServiceOutcome>();
+    }
+
+    #[test]
+    fn panicking_provider_propagates_and_releases_the_clock() {
+        use crate::clock::VirtualClock;
+        use crate::device::FnProvider;
+
+        // a = panics immediately, b = sleeps 10 ms of virtual time. The
+        // panic must reach the caller (not be masked as a failed node) and
+        // must release the worker slot, or the next sleeper on this clock
+        // would hang forever.
+        let clock = Arc::new(VirtualClock::new());
+        let bomb: Arc<dyn Provider> = FnProvider::new(
+            "bomb",
+            "cap",
+            1.0,
+            |_| -> Result<Vec<u8>, crate::message::InvokeError> { panic!("provider exploded") },
+        );
+        let sleeper = SimulatedProvider::builder("sleeper", "cap")
+            .latency(Duration::from_millis(10))
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .build();
+        let providers: Vec<Arc<dyn Provider>> = vec![bomb, sleeper];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_strategy_with_clock(
+                &Strategy::parse("a*b").unwrap(),
+                &providers,
+                &req(),
+                None,
+                &*clock,
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // Worker accounting unwound: a fresh unregistered sleep advances
+        // instantly instead of deadlocking on a leaked worker.
+        clock.sleep(Duration::from_millis(3));
+        assert!(clock.now() >= Duration::from_millis(3));
     }
 }

@@ -92,7 +92,7 @@ pub mod registry;
 pub mod script;
 
 pub use client::{AdvisoryPolicy, Client, ClientError, QosRejected};
-pub use clock::{Clock, VirtualClock, WallClock};
+pub use clock::{Clock, VirtualClock, WallClock, WorkerGuard};
 pub use collector::{Collector, ExecutionRecord, ProviderStats};
 pub use device::{FnProvider, Provider, SimulatedProvider, SimulatedProviderBuilder};
 pub use executor::{execute_strategy, execute_strategy_with_clock, ServiceOutcome};

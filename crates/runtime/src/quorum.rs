@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 
 use qce_strategy::{Node, Strategy};
 
-use crate::clock::{Clock, WallClock};
+use crate::clock::{Clock, WallClock, WorkerGuard};
 use crate::collector::{Collector, ExecutionRecord};
 use crate::device::Provider;
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
@@ -135,7 +135,7 @@ pub fn execute_with_quorum_clock(
         }
     }
 
-    clock.enter_worker();
+    let worker = WorkerGuard::enter(clock);
     let ctx = QuorumCtx {
         providers,
         request,
@@ -148,7 +148,7 @@ pub fn execute_with_quorum_clock(
         invocations: Mutex::new(Vec::new()),
     };
     run_node(strategy.node(), &ctx);
-    clock.exit_worker();
+    drop(worker);
 
     let votes = ctx.votes.into_inner();
     let invocations = ctx.invocations.into_inner();
@@ -261,22 +261,41 @@ fn run_node(node: &Node, ctx: &QuorumCtx<'_>) {
         }
         Node::Par(children) => {
             std::thread::scope(|scope| {
-                // Pre-register spawned children as clock workers (see the
-                // first-success executor for the rationale).
+                // Reserve spawned children's worker slots before spawning
+                // (see the first-success executor for the rationale); each
+                // child binds its own thread when it starts.
                 for _ in 1..children.len() {
-                    ctx.clock.enter_worker();
+                    ctx.clock.reserve_worker();
                 }
-                for child in children.iter().skip(1) {
-                    scope.spawn(move || {
-                        run_node(child, ctx);
-                        ctx.clock.exit_worker();
-                    });
-                }
-                run_node(&children[0], ctx);
-                // The implicit scope join is a passive wait.
+                let handles: Vec<_> = children
+                    .iter()
+                    .skip(1)
+                    .map(|child| {
+                        scope.spawn(move || {
+                            // Release the slot even if the child panics.
+                            let _worker = WorkerGuard::adopt(ctx.clock);
+                            run_node(child, ctx);
+                        })
+                    })
+                    .collect();
+                // Catch the inline child's panic so the spawned children
+                // still get joined (under a passive mark) first.
+                let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_node(&children[0], ctx)
+                }));
                 ctx.clock.enter_passive();
+                let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+                ctx.clock.exit_passive();
+                // Child panics propagate instead of being swallowed.
+                if let Err(panic) = first {
+                    std::panic::resume_unwind(panic);
+                }
+                for result in joined {
+                    if let Err(panic) = result {
+                        std::panic::resume_unwind(panic);
+                    }
+                }
             });
-            ctx.clock.exit_passive();
         }
     }
 }

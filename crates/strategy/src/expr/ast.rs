@@ -24,7 +24,8 @@
 
 use std::collections::BTreeSet;
 
-use serde::{Deserialize, Serialize, Value};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
 use crate::error::{BuildError, ParseError};
 use crate::MsId;
@@ -387,15 +388,15 @@ impl std::str::FromStr for Strategy {
 }
 
 impl Serialize for Strategy {
-    fn to_value(&self) -> Value {
-        Value::Str(self.to_string())
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
     }
 }
 
-impl Deserialize for Strategy {
-    fn from_value(value: &Value) -> Result<Self, serde::Error> {
-        let text = String::from_value(value)?;
-        Strategy::parse(&text).map_err(serde::Error::custom)
+impl<'de> Deserialize<'de> for Strategy {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let text = String::deserialize(deserializer)?;
+        Strategy::parse(&text).map_err(D::Error::custom)
     }
 }
 
