@@ -14,6 +14,7 @@
 //!   fig8          Fig. 8    per-slot QoS under reliability drift
 //!   ablations     design-choice ablations (k, window, cost, latency shapes)
 //!   contention    §VII scarce-resource contention
+//!   bench-synth   synthesis engine: baseline vs pruned/parallel exhaustive search
 //!   all           everything above
 //!
 //! options:
@@ -180,12 +181,19 @@ fn run_experiment(name: &str, options: &Options) -> std::io::Result<bool> {
             qce_bench::ablation::run(reports, options.per_slot.min(50), options.latency_scale)?
         }
         "contention" => qce_bench::contention::run(reports, 6, options.per_slot.min(30))?,
+        "bench-synth" => qce_bench::synth::run(
+            reports,
+            std::path::Path::new("BENCH_synth.json"),
+            options.exhaustive_m,
+            options.services.min(10),
+            options.seed,
+        )?,
         _ => return Ok(false),
     }
     Ok(true)
 }
 
-const ALL: [&str; 10] = [
+const ALL: [&str; 11] = [
     "table1",
     "table2",
     "fig5",
@@ -196,6 +204,7 @@ const ALL: [&str; 10] = [
     "fig8",
     "ablations",
     "contention",
+    "bench-synth",
 ];
 
 fn main() -> ExitCode {
@@ -205,7 +214,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|all> [options]"
+                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|all> [options]"
             );
             return ExitCode::FAILURE;
         }
@@ -292,6 +301,6 @@ mod tests {
         for name in ALL {
             assert_ne!(name, "all");
         }
-        assert_eq!(ALL.len(), 10);
+        assert_eq!(ALL.len(), 11);
     }
 }

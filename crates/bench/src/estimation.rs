@@ -15,8 +15,8 @@ use rand_chacha::ChaCha8Rng;
 
 use qce_sim::{relative_error_pct, simulate, RandomEnvConfig};
 use qce_strategy::enumerate::StrategySampler;
-use qce_strategy::estimate::{estimate, estimate_folding};
-use qce_strategy::MsId;
+use qce_strategy::estimate::estimate_folding;
+use qce_strategy::{Algorithm1, Estimator, MsId};
 
 use crate::report::{fmt_f, Report};
 
@@ -39,6 +39,20 @@ pub struct Validation {
 /// virtual executions) against Algorithm 1 and the folding baseline.
 #[must_use]
 pub fn validate(strategies: usize, runs: u32, seed: u64) -> Vec<Validation> {
+    validate_with(&Algorithm1::new(), strategies, runs, seed)
+}
+
+/// [`validate`] parameterized over the estimator under test: the table's
+/// "Alg.1" columns report whatever `estimator` computes, so alternative
+/// [`Estimator`] implementations can be validated against the same
+/// virtual-time measurements.
+#[must_use]
+pub fn validate_with(
+    estimator: &dyn Estimator,
+    strategies: usize,
+    runs: u32,
+    seed: u64,
+) -> Vec<Validation> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(strategies);
     for i in 0..strategies {
@@ -55,7 +69,9 @@ pub fn validate(strategies: usize, runs: u32, seed: u64) -> Vec<Validation> {
         }
         .generate(&mut rng);
         let table = env.mean_qos_table();
-        let est = estimate(&strategy, &table).expect("environment covers ids");
+        let est = estimator
+            .estimate(&strategy, &table)
+            .expect("environment covers ids");
         let folded = estimate_folding(&strategy, &table).expect("environment covers ids");
         let measured = simulate(&strategy, &env, runs, &mut rng).expect("simulates");
         out.push(Validation {
@@ -180,6 +196,18 @@ mod tests {
                 x.strategy,
                 x.reliability_err
             );
+        }
+    }
+
+    #[test]
+    fn validate_with_memoizing_estimator_matches_default_path() {
+        let default = validate(6, 300, 7);
+        let explicit = validate_with(&Algorithm1::new(), 6, 300, 7);
+        assert_eq!(default.len(), explicit.len());
+        for (a, b) in default.iter().zip(&explicit) {
+            assert_eq!(a.strategy, b.strategy);
+            assert_eq!(a.latency_err_pct.to_bits(), b.latency_err_pct.to_bits());
+            assert_eq!(a.cost_err_pct.to_bits(), b.cost_err_pct.to_bits());
         }
     }
 

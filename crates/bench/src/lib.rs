@@ -18,6 +18,7 @@
 //! | [`fig8`] | Fig. 8 — per-slot QoS under reliability drift |
 //! | [`ablation`] | design-choice ablations (k, window, cost semantics, latency shapes) |
 //! | [`contention`] | §VII scarce-resource contention (capacity-limited devices) |
+//! | [`synth`] | synthesis-engine benchmark — baseline vs pruned/parallel search |
 //!
 //! Reports are printed to the console and written as TSV under `reports/`.
 //!
@@ -38,6 +39,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod report;
+pub mod synth;
 pub mod table1;
 pub mod table2;
 pub mod table4;

@@ -1,0 +1,302 @@
+//! `bench-synth` — before/after benchmark of the parallel, pruned
+//! synthesis engine in `qce-strategy`.
+//!
+//! For each `M = 3..=max_m` the harness draws seeded random environments
+//! and runs the exhaustive search four ways:
+//!
+//! * **baseline** — the pre-engine code path: plain Algorithm 1 behind the
+//!   [`Estimator`] trait with `is_algorithm1() == false`, which routes the
+//!   [`Generator`] onto the sequential enumerate-and-estimate scan the
+//!   crate shipped before the engine existed;
+//! * **engine/seq/unpruned** — the streaming engine, one worker, no
+//!   branch-and-bound;
+//! * **engine/seq** — one worker with pruning;
+//! * **engine/par** — pruning plus auto parallelism.
+//!
+//! Every engine run is checked **bit-for-bit** against the baseline
+//! (strategy, utility bits, candidate count); any divergence aborts the
+//! run with a nonzero exit, which is what the CI `bench-smoke` job keys
+//! on. Timings are written to `bench_synth.tsv` and, as machine-readable
+//! before/after numbers, to `BENCH_synth.json`.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use qce_strategy::estimate::estimate;
+use qce_strategy::{
+    EnvQos, EstimateError, Estimator, Generated, Generator, Qos, Requirements, Strategy,
+};
+
+use crate::fig5::sim_requirements;
+use crate::fig7::scaling_config;
+use crate::report::{fmt_f, Report};
+
+/// Plain (memo-free) Algorithm 1 behind the [`Estimator`] trait.
+///
+/// `is_algorithm1` deliberately keeps its default `false` answer: the
+/// [`Generator`] then cannot use the fused synthesis engine and falls back
+/// to the generic enumerate-and-estimate scan — the exact sequential
+/// search the crate shipped before this engine existed — which makes this
+/// estimator the "before" configuration of the benchmark.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LegacyBaseline;
+
+impl Estimator for LegacyBaseline {
+    fn estimate(&self, strategy: &Strategy, env: &EnvQos) -> Result<Qos, EstimateError> {
+        estimate(strategy, env)
+    }
+
+    fn name(&self) -> &'static str {
+        "legacy-baseline"
+    }
+}
+
+/// Aggregate of one `(M, configuration)` benchmark point.
+#[derive(Debug, Clone)]
+pub struct SynthPoint {
+    /// Number of equivalent microservices.
+    pub m: usize,
+    /// Configuration name.
+    pub config: &'static str,
+    /// Mean wall time per exhaustive search.
+    pub mean_time: Duration,
+    /// Candidates considered per search (estimated plus pruned; this is
+    /// `F(M)` for the full exhaustive search).
+    pub candidates: usize,
+    /// Candidates actually estimated, summed over all environments.
+    pub seen: u64,
+    /// Candidates discharged by the branch-and-bound bound, summed over
+    /// all environments.
+    pub pruned: u64,
+}
+
+/// Runs `generator.exhaustive` over every environment and returns the
+/// results plus the mean wall time per search.
+fn measure(
+    generator: &Generator,
+    envs: &[EnvQos],
+    req: &Requirements,
+) -> (Vec<Generated>, Duration) {
+    let mut total = Duration::ZERO;
+    let mut out = Vec::with_capacity(envs.len());
+    for env in envs {
+        let ids = env.ids();
+        let started = Instant::now();
+        let generated = generator
+            .exhaustive(env, &ids, req)
+            .expect("random environments are valid");
+        total += started.elapsed();
+        out.push(generated);
+    }
+    let mean = total / u32::try_from(envs.len().max(1)).unwrap_or(1);
+    (out, mean)
+}
+
+fn point(m: usize, config: &'static str, results: &[Generated], mean_time: Duration) -> SynthPoint {
+    SynthPoint {
+        m,
+        config,
+        mean_time,
+        candidates: results.first().map_or(0, |g| g.evaluated),
+        seen: results.iter().map(|g| g.report.candidates_seen).sum(),
+        pruned: results.iter().map(|g| g.report.candidates_pruned).sum(),
+    }
+}
+
+/// Verifies that an engine configuration reproduced the baseline search
+/// exactly on every environment: same strategy, same utility bits, same
+/// candidate count.
+fn check_equivalent(
+    m: usize,
+    config: &str,
+    baseline: &[Generated],
+    engine: &[Generated],
+) -> io::Result<()> {
+    for (i, (b, e)) in baseline.iter().zip(engine).enumerate() {
+        if b.strategy != e.strategy
+            || b.utility.to_bits() != e.utility.to_bits()
+            || b.evaluated != e.evaluated
+        {
+            return Err(io::Error::other(format!(
+                "EQUIVALENCE DIVERGENCE at M={m}, env #{i}, config {config}: \
+                 baseline chose {} (utility {}, {} candidates) but engine chose \
+                 {} (utility {}, {} candidates)",
+                b.strategy, b.utility, b.evaluated, e.strategy, e.utility, e.evaluated
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Runs the synthesis-engine benchmark for `M = 3..=max_m` over `services`
+/// seeded environments per point, writes `bench_synth.tsv` under `reports`
+/// and the before/after timings to `json_out`.
+///
+/// # Errors
+///
+/// Returns an error if a report cannot be written — or, deliberately, if
+/// any engine configuration diverges from the unpruned sequential baseline
+/// on any environment (the CI smoke job relies on this exit code).
+pub fn run(
+    reports: &Path,
+    json_out: &Path,
+    max_m: usize,
+    services: usize,
+    seed: u64,
+) -> io::Result<()> {
+    let max_m = max_m.max(3);
+    let services = services.max(1);
+    let requirements = sim_requirements();
+
+    let baseline_generator = Generator::builder()
+        .estimator(Arc::new(LegacyBaseline))
+        .parallelism(1)
+        .build();
+    let engine_seq_unpruned = Generator::builder().parallelism(1).pruning(false).build();
+    let engine_seq = Generator::builder().parallelism(1).pruning(true).build();
+    let engine_par = Generator::builder().parallelism(0).pruning(true).build();
+
+    let mut report = Report::new(
+        format!(
+            "bench-synth: exhaustive search, baseline vs engine \
+             ({services} environments/point)"
+        ),
+        &[
+            "M",
+            "config",
+            "mean time",
+            "speedup",
+            "candidates",
+            "estimated",
+            "pruned",
+        ],
+    );
+
+    let mut json_points = Vec::new();
+    let mut final_speedup = None;
+    for m in 3..=max_m {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((m as u64) << 32));
+        let envs: Vec<EnvQos> = (0..services)
+            .map(|_| scaling_config(m).generate(&mut rng).mean_qos_table())
+            .collect();
+
+        let (base, base_time) = measure(&baseline_generator, &envs, &requirements);
+        let (unpruned, unpruned_time) = measure(&engine_seq_unpruned, &envs, &requirements);
+        let (seq, seq_time) = measure(&engine_seq, &envs, &requirements);
+        let (par, par_time) = measure(&engine_par, &envs, &requirements);
+
+        check_equivalent(m, "engine/seq/unpruned", &base, &unpruned)?;
+        check_equivalent(m, "engine/seq", &base, &seq)?;
+        check_equivalent(m, "engine/par", &base, &par)?;
+
+        let speedup = |t: Duration| millis(base_time) / millis(t).max(1e-9);
+        let points = [
+            point(m, "baseline", &base, base_time),
+            point(m, "engine/seq/unpruned", &unpruned, unpruned_time),
+            point(m, "engine/seq", &seq, seq_time),
+            point(m, "engine/par", &par, par_time),
+        ];
+        for p in &points {
+            report.row([
+                p.m.to_string(),
+                p.config.to_string(),
+                format!("{:.3?}", p.mean_time),
+                format!("{:.1}x", speedup(p.mean_time)),
+                p.candidates.to_string(),
+                p.seen.to_string(),
+                p.pruned.to_string(),
+            ]);
+        }
+        final_speedup = Some(speedup(par_time));
+        json_points.push(format!(
+            "    {{\"m\": {m}, \"candidates\": {}, \"baseline_ms\": {}, \
+             \"engine_seq_unpruned_ms\": {}, \"engine_seq_ms\": {}, \
+             \"engine_par_ms\": {}, \"speedup_seq\": {}, \"speedup_par\": {}, \
+             \"estimated\": {}, \"pruned\": {}}}",
+            points[0].candidates,
+            fmt_f(millis(base_time), 4),
+            fmt_f(millis(unpruned_time), 4),
+            fmt_f(millis(seq_time), 4),
+            fmt_f(millis(par_time), 4),
+            fmt_f(speedup(seq_time), 2),
+            fmt_f(speedup(par_time), 2),
+            points[3].seen,
+            points[3].pruned,
+        ));
+    }
+
+    if let Some(speedup) = final_speedup {
+        report.note(format!(
+            "engine/par speedup over the pre-engine sequential scan at M={max_m}: \
+             {speedup:.1}x (target: >=5x at M=6)"
+        ));
+    }
+    report.note("every engine run verified bit-identical to the baseline search");
+    report.emit(reports, "bench_synth")?;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench-synth\",\n  \"seed\": {seed},\n  \
+         \"environments_per_point\": {services},\n  \"points\": [\n{}\n  ]\n}}\n",
+        json_points.join(",\n")
+    );
+    if let Some(parent) = json_out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(json_out, json)?;
+    println!("before/after timings written to {}", json_out.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_baseline_is_plain_algorithm1() {
+        let env = EnvQos::from_triples(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.6)]).unwrap();
+        let s = Strategy::parse("a*b").unwrap();
+        let legacy = LegacyBaseline.estimate(&s, &env).unwrap();
+        assert_eq!(legacy, estimate(&s, &env).unwrap());
+        assert!(!LegacyBaseline.is_algorithm1());
+    }
+
+    #[test]
+    fn engine_configs_match_baseline_on_small_m() {
+        let requirements = sim_requirements();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let envs: Vec<EnvQos> = (0..4)
+            .map(|_| scaling_config(4).generate(&mut rng).mean_qos_table())
+            .collect();
+        let baseline = Generator::builder()
+            .estimator(Arc::new(LegacyBaseline))
+            .parallelism(1)
+            .build();
+        let engine = Generator::builder().parallelism(2).pruning(true).build();
+        let (base, _) = measure(&baseline, &envs, &requirements);
+        let (eng, _) = measure(&engine, &envs, &requirements);
+        check_equivalent(4, "engine/par", &base, &eng).unwrap();
+        assert_eq!(base[0].evaluated, 195, "F(4)");
+    }
+
+    #[test]
+    fn run_writes_report_and_json() {
+        let dir = std::env::temp_dir().join(format!("qce-synth-{}", std::process::id()));
+        let json = dir.join("BENCH_synth.json");
+        run(&dir, &json, 4, 2, 5).unwrap();
+        assert!(dir.join("bench_synth.tsv").exists());
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"m\": 3"));
+        assert!(text.contains("\"candidates\": 19"));
+        assert!(text.contains("\"candidates\": 195"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -9,8 +9,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use qce_sim::{simulate, Environment};
-use qce_strategy::estimate::{estimate, estimate_folding};
-use qce_strategy::{EnvQos, Strategy};
+use qce_strategy::estimate::estimate_folding;
+use qce_strategy::{Algorithm1, EnvQos, Estimator, Strategy};
 
 use crate::report::{fmt_f, fmt_pct, Report};
 
@@ -45,6 +45,22 @@ pub const TABLE2_ROWS: [(&str, &str, f64, f64); 4] = [
 /// Panics if the hard-coded strategies fail to parse or estimate (they
 /// cannot).
 pub fn run(reports: &Path) -> std::io::Result<()> {
+    run_with(&Algorithm1::new(), reports)
+}
+
+/// [`run`] parameterized over the estimator that fills the "Alg.1"
+/// columns, so alternative [`Estimator`] implementations can be compared
+/// against the paper's numbers.
+///
+/// # Errors
+///
+/// Returns an I/O error if the report cannot be written.
+///
+/// # Panics
+///
+/// Panics if the hard-coded strategies fail to parse or estimate (they
+/// cannot).
+pub fn run_with(estimator: &dyn Estimator, reports: &Path) -> std::io::Result<()> {
     let env = EnvQos::from_triples(&FIRE_ENV).expect("valid QoS");
     let sim_env = Environment::from_triples(&FIRE_ENV).expect("valid QoS");
     let mut rng = ChaCha8Rng::seed_from_u64(2);
@@ -66,7 +82,9 @@ pub fn run(reports: &Path) -> std::io::Result<()> {
 
     for (id, text, paper_cost, paper_latency) in TABLE2_ROWS {
         let strategy = Strategy::parse(text).expect("valid expression");
-        let qos = estimate(&strategy, &env).expect("environment covers ids");
+        let qos = estimator
+            .estimate(&strategy, &env)
+            .expect("environment covers ids");
         let measured = simulate(&strategy, &sim_env, 30_000, &mut rng).expect("simulates");
         report.row([
             id.to_string(),
@@ -94,7 +112,7 @@ pub fn run(reports: &Path) -> std::io::Result<()> {
     let sim3 = Environment::from_triples(&[(1.0, 10.0, 0.1), (1.0, 90.0, 0.9), (1.0, 70.0, 0.7)])
         .expect("valid QoS");
     let s = Strategy::parse("a*b*c").expect("valid expression");
-    let alg1 = estimate(&s, &env3).expect("estimates");
+    let alg1 = estimator.estimate(&s, &env3).expect("estimates");
     let folded = estimate_folding(&s, &env3).expect("estimates");
     let measured = simulate(&s, &sim3, 60_000, &mut rng).expect("simulates");
     example.row(["Algorithm 1 (ours)".to_string(), fmt_f(alg1.latency, 2)]);
@@ -118,8 +136,11 @@ mod tests {
     #[test]
     fn all_table2_rows_estimate_close_to_paper() {
         let env = EnvQos::from_triples(&FIRE_ENV).unwrap();
+        let estimator = Algorithm1::new();
         for (id, text, paper_cost, paper_latency) in TABLE2_ROWS {
-            let qos = estimate(&Strategy::parse(text).unwrap(), &env).unwrap();
+            let qos = estimator
+                .estimate(&Strategy::parse(text).unwrap(), &env)
+                .unwrap();
             // Within 1.5% of the paper's rounded numbers.
             assert!(
                 (qos.cost - paper_cost).abs() / paper_cost < 0.015,

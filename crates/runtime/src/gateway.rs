@@ -24,7 +24,7 @@ use crate::clock::{Clock, WallClock};
 use crate::collector::Collector;
 use crate::device::Provider;
 use crate::executor::execute_strategy_with_clock;
-use crate::generator::{plan_slot, SlotPlan, StrategyOrigin};
+use crate::generator::{plan_slot, SlotPlan, StrategyOrigin, SynthesisSettings};
 use crate::market::Market;
 use crate::message::{Invocation, RuntimeError};
 use crate::quorum::execute_with_quorum_clock;
@@ -39,6 +39,12 @@ pub struct GatewayConfig {
     pub collector_window: usize,
     /// Exhaustive/approximation threshold `θ` for the generator.
     pub generator_threshold: usize,
+    /// Worker threads for the per-slot exhaustive search (`0` = one per
+    /// available core).
+    pub generator_parallelism: usize,
+    /// Branch-and-bound pruning for the per-slot exhaustive search.
+    /// Never changes the chosen strategy, only how fast it is found.
+    pub generator_pruning: bool,
 }
 
 impl Default for GatewayConfig {
@@ -46,6 +52,20 @@ impl Default for GatewayConfig {
         GatewayConfig {
             collector_window: 100,
             generator_threshold: qce_strategy::generate::DEFAULT_THRESHOLD,
+            generator_parallelism: 0,
+            generator_pruning: true,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// The synthesis-engine settings implied by this configuration.
+    #[must_use]
+    pub fn synthesis_settings(&self) -> SynthesisSettings {
+        SynthesisSettings {
+            threshold: self.generator_threshold,
+            parallelism: self.generator_parallelism,
+            pruning: self.generator_pruning,
         }
     }
 }
@@ -358,7 +378,7 @@ impl Gateway {
             &providers,
             &self.collector,
             state.slot,
-            self.config.generator_threshold,
+            &self.config.synthesis_settings(),
         )?;
 
         let advisory = plan.estimated.and_then(|estimated| {

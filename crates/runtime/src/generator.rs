@@ -7,6 +7,28 @@ use std::sync::Arc;
 
 use qce_strategy::{EnvQos, Generated, Generator, Requirements, Strategy, UtilityIndex};
 
+/// Synthesis-engine knobs threaded from the gateway configuration into the
+/// per-slot [`Generator`](qce_strategy::Generator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthesisSettings {
+    /// Exhaustive/approximation switch-over `θ` (Algorithm 2 line 1).
+    pub threshold: usize,
+    /// Worker threads for the exhaustive search; `0` = one per core.
+    pub parallelism: usize,
+    /// Branch-and-bound pruning (never changes the chosen strategy).
+    pub pruning: bool,
+}
+
+impl Default for SynthesisSettings {
+    fn default() -> Self {
+        SynthesisSettings {
+            threshold: qce_strategy::generate::DEFAULT_THRESHOLD,
+            parallelism: 0,
+            pruning: true,
+        }
+    }
+}
+
 use crate::collector::Collector;
 use crate::device::Provider;
 use crate::message::RuntimeError;
@@ -86,7 +108,7 @@ pub fn plan_slot(
     providers: &[Arc<dyn Provider>],
     collector: &Collector,
     slot: u64,
-    threshold: usize,
+    settings: &SynthesisSettings,
 ) -> Result<SlotPlan, RuntimeError> {
     let env = assumed_env(script, providers, collector);
     let ids = env.ids();
@@ -113,7 +135,12 @@ pub fn plan_slot(
         });
     }
 
-    let generator = Generator::new(utility, threshold);
+    let generator = Generator::builder()
+        .utility(utility)
+        .threshold(settings.threshold)
+        .parallelism(settings.parallelism)
+        .pruning(settings.pruning)
+        .build();
     let generated: Generated =
         generator
             .generate(&env, &ids, &requirements)
@@ -205,7 +232,14 @@ mod tests {
     #[test]
     fn slot_zero_runs_system_default_parallel() {
         let collector = Collector::new(10);
-        let plan = plan_slot(&script(), &providers(), &collector, 0, 6).unwrap();
+        let plan = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            0,
+            &SynthesisSettings::default(),
+        )
+        .unwrap();
         assert_eq!(plan.origin, StrategyOrigin::Default);
         assert!(plan.strategy.is_parallel());
         assert_eq!(plan.strategy.len(), 3);
@@ -217,14 +251,28 @@ mod tests {
         let mut s = script();
         s.default_strategy = Some("m0-m1-m2".to_string());
         let collector = Collector::new(10);
-        let plan = plan_slot(&s, &providers(), &collector, 0, 6).unwrap();
+        let plan = plan_slot(
+            &s,
+            &providers(),
+            &collector,
+            0,
+            &SynthesisSettings::default(),
+        )
+        .unwrap();
         assert!(plan.strategy.is_failover());
     }
 
     #[test]
     fn later_slots_generate() {
         let collector = Collector::new(10);
-        let plan = plan_slot(&script(), &providers(), &collector, 1, 6).unwrap();
+        let plan = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            1,
+            &SynthesisSettings::default(),
+        )
+        .unwrap();
         match plan.origin {
             StrategyOrigin::Generated(m) => {
                 assert_eq!(m, qce_strategy::Method::Exhaustive, "3 ≤ θ = 6");
@@ -237,7 +285,11 @@ mod tests {
     #[test]
     fn threshold_switches_to_approximation() {
         let collector = Collector::new(10);
-        let plan = plan_slot(&script(), &providers(), &collector, 1, 2).unwrap();
+        let settings = SynthesisSettings {
+            threshold: 2,
+            ..SynthesisSettings::default()
+        };
+        let plan = plan_slot(&script(), &providers(), &collector, 1, &settings).unwrap();
         assert_eq!(
             plan.origin,
             StrategyOrigin::Generated(qce_strategy::Method::Approximation)

@@ -98,7 +98,7 @@ pub use device::{FnProvider, Provider, SimulatedProvider, SimulatedProviderBuild
 pub use executor::{execute_strategy, execute_strategy_with_clock, ServiceOutcome};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultyProvider};
 pub use gateway::{Gateway, GatewayConfig, QosAdvisory, ServiceResponse, SlotRecord};
-pub use generator::{assumed_env, plan_slot, SlotPlan, StrategyOrigin};
+pub use generator::{assumed_env, plan_slot, SlotPlan, StrategyOrigin, SynthesisSettings};
 pub use harness::{Harness, HarnessBuilder};
 pub use market::{CachingMarket, FileMarket, InMemoryMarket, Market};
 pub use message::{Invocation, InvocationOutcome, InvokeError, RuntimeError};

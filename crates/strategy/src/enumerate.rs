@@ -55,10 +55,10 @@ use crate::MsId;
 pub const MAX_COUNT_M: usize = 20;
 
 /// Bitmask over positions of a microservice slice.
-type Mask = u64;
+pub(crate) type Mask = u64;
 
 /// Iterates over all submasks of `mask`, including `0` and `mask` itself.
-fn submasks(mask: Mask) -> impl Iterator<Item = Mask> {
+pub(crate) fn submasks(mask: Mask) -> impl Iterator<Item = Mask> {
     let mut sub = mask;
     let mut done = false;
     std::iter::from_fn(move || {
@@ -144,14 +144,16 @@ pub fn for_each_with_subsets(ids: &[MsId], mut visit: impl FnMut(Strategy)) {
     }
 }
 
-/// Collects `F(M)`: every distinct strategy using **all** of `ids`.
+/// Collects `F(M)`: every distinct strategy using **all** of `ids` — a
+/// `.collect()` over [`StrategyIter::full`].
 ///
-/// Practical for `M ≤ 6` (64 743 strategies); prefer [`for_each_full`]
-/// beyond that.
+/// Practical for `M ≤ 6` (64 743 strategies); prefer [`for_each_full`] or
+/// [`StrategyIter`] beyond that.
 ///
 /// # Panics
 ///
-/// Panics if `ids` contains duplicates or more than 64 entries.
+/// Panics if `ids` contains duplicates or more than [`MAX_COUNT_M`]
+/// entries.
 ///
 /// # Examples
 ///
@@ -166,12 +168,14 @@ pub fn for_each_with_subsets(ids: &[MsId], mut visit: impl FnMut(Strategy)) {
 /// ```
 #[must_use]
 pub fn enumerate_full(ids: &[MsId]) -> Vec<Strategy> {
-    let mut out = Vec::new();
-    for_each_full(ids, |s| out.push(s));
-    out
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    StrategyIter::full(ids).collect()
 }
 
-/// Collects `F'(M)`: every strategy over every non-empty subset of `ids`.
+/// Collects `F'(M)`: every strategy over every non-empty subset of `ids` —
+/// a `.collect()` over [`StrategyIter::with_subsets`].
 ///
 /// ```
 /// use qce_strategy::enumerate::enumerate_with_subsets;
@@ -180,19 +184,345 @@ pub fn enumerate_full(ids: &[MsId]) -> Vec<Strategy> {
 /// let ids: Vec<MsId> = (0..3).map(MsId).collect();
 /// assert_eq!(enumerate_with_subsets(&ids).len(), 31); // Table I (exact at M ≤ 3)
 /// ```
+///
+/// # Panics
+///
+/// Panics if `ids` contains duplicates or more than [`MAX_COUNT_M`]
+/// entries.
 #[must_use]
 pub fn enumerate_with_subsets(ids: &[MsId]) -> Vec<Strategy> {
-    let mut out = Vec::new();
-    for_each_with_subsets(ids, |s| out.push(s));
-    out
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    StrategyIter::with_subsets(ids).collect()
 }
 
-struct EnumCtx<'a> {
+// ---------------------------------------------------------------------------
+// Streaming iterator (unranking)
+// ---------------------------------------------------------------------------
+
+/// A streaming enumerator over `F(M)` or `F'(M)` that yields candidates in
+/// the same canonical order as [`for_each_full`] / [`for_each_with_subsets`]
+/// without materializing a `Vec`.
+///
+/// Internally the iterator *unranks*: it inverts the counting recurrence of
+/// [`count_full`] to map an index `k ∈ [0, F(M))` directly to the `k`-th
+/// strategy of the enumeration order. That makes the iterator **splittable**
+/// — [`split_at`](StrategyIter::split_at) and
+/// [`chunks`](StrategyIter::chunks) cut the index range into independent
+/// sub-iterators, which is what the parallel generator uses to hand disjoint
+/// chunks of the search space to worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::enumerate::{enumerate_full, StrategyIter};
+/// use qce_strategy::MsId;
+///
+/// let ids: Vec<MsId> = (0..3).map(MsId).collect();
+/// let iter = StrategyIter::full(&ids);
+/// assert_eq!(iter.remaining(), 19);
+/// let streamed: Vec<_> = iter.collect();
+/// assert_eq!(streamed, enumerate_full(&ids));
+///
+/// // Chunked splitting covers the same space in the same overall order.
+/// let parts: Vec<_> = StrategyIter::full(&ids)
+///     .chunks(4)
+///     .into_iter()
+///     .flatten()
+///     .collect();
+/// assert_eq!(parts, streamed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StrategyIter {
+    shared: std::sync::Arc<IterShared>,
+    next: u128,
+    end: u128,
+}
+
+#[derive(Debug)]
+struct IterShared {
+    ids: Vec<MsId>,
+    counts: Counts,
+    /// `(leaf mask, index of the family's first strategy)`, ascending by
+    /// index; one entry per enumerated subset.
+    families: Vec<(Mask, u128)>,
+}
+
+impl StrategyIter {
+    /// Iterates over `F(M)`: every strategy using **all** of `ids`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` contains duplicates or more than [`MAX_COUNT_M`]
+    /// entries (unranking needs exact counts).
+    #[must_use]
+    pub fn full(ids: &[MsId]) -> Self {
+        Self::over_families(ids, false)
+    }
+
+    /// Iterates over `F'(M)`: every strategy over every non-empty subset of
+    /// `ids`, subset families in the same order as
+    /// [`for_each_with_subsets`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` contains duplicates or more than [`MAX_COUNT_M`]
+    /// entries.
+    #[must_use]
+    pub fn with_subsets(ids: &[MsId]) -> Self {
+        Self::over_families(ids, true)
+    }
+
+    fn over_families(ids: &[MsId], subsets: bool) -> Self {
+        assert!(
+            ids.len() <= MAX_COUNT_M,
+            "unranking needs exact counts; at most {MAX_COUNT_M} microservices"
+        );
+        let mut sorted: Vec<MsId> = ids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "microservice ids must be distinct");
+
+        let counts = Counts::up_to(ids.len());
+        let mut families = Vec::new();
+        let mut total: u128 = 0;
+        if !ids.is_empty() {
+            let full: Mask = (1 << ids.len()) - 1;
+            if subsets {
+                for sub in submasks(full) {
+                    if sub == 0 {
+                        continue;
+                    }
+                    families.push((sub, total));
+                    total += counts.all(sub.count_ones() as usize);
+                }
+            } else {
+                families.push((full, 0));
+                total = counts.all(ids.len());
+            }
+        }
+        StrategyIter {
+            shared: std::sync::Arc::new(IterShared {
+                ids: ids.to_vec(),
+                counts,
+                families,
+            }),
+            next: 0,
+            end: total,
+        }
+    }
+
+    /// Number of strategies left to yield.
+    #[must_use]
+    pub fn remaining(&self) -> u128 {
+        self.end - self.next
+    }
+
+    /// Splits into two iterators: the first yields the next `index`
+    /// strategies (clamped to what remains), the second the rest.
+    #[must_use]
+    pub fn split_at(self, index: u128) -> (Self, Self) {
+        let mid = self.next + index.min(self.remaining());
+        let left = StrategyIter {
+            shared: self.shared.clone(),
+            next: self.next,
+            end: mid,
+        };
+        let right = StrategyIter {
+            shared: self.shared,
+            next: mid,
+            end: self.end,
+        };
+        (left, right)
+    }
+
+    /// Splits into at most `n` near-equal contiguous chunks covering the
+    /// remaining strategies in order. Empty chunks are omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn chunks(self, n: usize) -> Vec<Self> {
+        assert!(n > 0, "need at least one chunk");
+        let total = self.remaining();
+        let n_u = n as u128;
+        let base = total / n_u;
+        let extra = total % n_u;
+        let mut out = Vec::new();
+        let mut start = self.next;
+        for i in 0..n_u {
+            let len = base + u128::from(i < extra);
+            if len == 0 {
+                continue;
+            }
+            out.push(StrategyIter {
+                shared: self.shared.clone(),
+                next: start,
+                end: start + len,
+            });
+            start += len;
+        }
+        debug_assert_eq!(start, self.end);
+        out
+    }
+
+    /// Unranks the strategy at absolute index `k` (relative to the start of
+    /// the whole enumeration, not to this chunk).
+    fn unrank(&self, k: u128) -> Strategy {
+        let shared = &*self.shared;
+        // Last family whose first index is ≤ k.
+        let fam = shared
+            .families
+            .partition_point(|&(_, first)| first <= k)
+            .checked_sub(1)
+            .expect("index within enumeration range");
+        let (mask, first) = shared.families[fam];
+        let node = Unrank {
+            ids: &shared.ids,
+            counts: &shared.counts,
+        }
+        .all(mask, k - first);
+        Strategy::from_node(node).expect("unranking produces valid strategies")
+    }
+}
+
+impl Iterator for StrategyIter {
+    type Item = Strategy;
+
+    fn next(&mut self) -> Option<Strategy> {
+        if self.next >= self.end {
+            return None;
+        }
+        let s = self.unrank(self.next);
+        self.next += 1;
+        Some(s)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining()).ok();
+        (n.unwrap_or(usize::MAX), n)
+    }
+}
+
+/// Inverse of the [`EnumCtx`] recursion: maps `(mask, index)` to the node
+/// the streaming enumeration would produce at that position. The index
+/// decomposition mirrors `stream_*` exactly — outer loops become quotient
+/// digits, inner loops remainders — so iteration order is identical.
+struct Unrank<'a> {
+    ids: &'a [MsId],
+    counts: &'a Counts,
+}
+
+impl Unrank<'_> {
+    fn all(&self, mask: Mask, k: u128) -> Node {
+        let n = mask.count_ones() as usize;
+        let w_non_seq = self.counts.non_seq[n];
+        if k < w_non_seq {
+            self.non_seq(mask, k)
+        } else {
+            self.seq(mask, k - w_non_seq)
+        }
+    }
+
+    fn non_seq(&self, mask: Mask, k: u128) -> Node {
+        if mask.count_ones() == 1 {
+            debug_assert_eq!(k, 0);
+            Node::Leaf(self.ids[mask.trailing_zeros() as usize])
+        } else {
+            self.par(mask, k)
+        }
+    }
+
+    fn non_par(&self, mask: Mask, k: u128) -> Node {
+        if mask.count_ones() == 1 {
+            debug_assert_eq!(k, 0);
+            Node::Leaf(self.ids[mask.trailing_zeros() as usize])
+        } else {
+            self.seq(mask, k)
+        }
+    }
+
+    fn seq(&self, mask: Mask, mut k: u128) -> Node {
+        let n = mask.count_ones() as usize;
+        debug_assert!(n >= 2);
+        for first_mask in submasks(mask) {
+            if first_mask == 0 || first_mask == mask {
+                continue;
+            }
+            let rest_mask = mask & !first_mask;
+            let b = first_mask.count_ones() as usize;
+            let r = n - b;
+            let tails = self.counts.non_seq[r] + self.counts.seq[r];
+            let block = self.counts.non_seq[b] * tails;
+            if k >= block {
+                k -= block;
+                continue;
+            }
+            let first = self.non_seq(first_mask, k / tails);
+            let tail_idx = k % tails;
+            return if tail_idx < self.counts.non_seq[r] {
+                Node::Seq(vec![first, self.non_seq(rest_mask, tail_idx)])
+            } else {
+                let Node::Seq(tail) = self.seq(rest_mask, tail_idx - self.counts.non_seq[r]) else {
+                    unreachable!("seq unranking yields Seq nodes only")
+                };
+                let mut children = Vec::with_capacity(tail.len() + 1);
+                children.push(first);
+                children.extend(tail);
+                Node::Seq(children)
+            };
+        }
+        unreachable!("seq index out of range")
+    }
+
+    fn par(&self, mask: Mask, mut k: u128) -> Node {
+        let n = mask.count_ones() as usize;
+        debug_assert!(n >= 2);
+        let low: Mask = mask & mask.wrapping_neg();
+        let others = mask ^ low;
+        for extra in submasks(others) {
+            if extra == others {
+                continue;
+            }
+            let anchor_mask = low | extra;
+            let rest_mask = others ^ extra;
+            let b = anchor_mask.count_ones() as usize;
+            let r = n - b;
+            let tails = self.counts.non_par[r] + self.counts.par[r];
+            let block = self.counts.non_par[b] * tails;
+            if k >= block {
+                k -= block;
+                continue;
+            }
+            let anchor = self.non_par(anchor_mask, k / tails);
+            let tail_idx = k % tails;
+            let mut children = if tail_idx < self.counts.non_par[r] {
+                vec![anchor, self.non_par(rest_mask, tail_idx)]
+            } else {
+                let Node::Par(tail) = self.par(rest_mask, tail_idx - self.counts.non_par[r]) else {
+                    unreachable!("par unranking yields Par nodes only")
+                };
+                let mut children = Vec::with_capacity(tail.len() + 1);
+                children.push(anchor);
+                children.extend(tail);
+                children
+            };
+            children.sort();
+            return Node::Par(children);
+        }
+        unreachable!("par index out of range")
+    }
+}
+
+#[derive(Clone, Copy)]
+pub(crate) struct EnumCtx<'a> {
     ids: &'a [MsId],
 }
 
 impl<'a> EnumCtx<'a> {
-    fn new(ids: &'a [MsId]) -> Self {
+    pub(crate) fn new(ids: &'a [MsId]) -> Self {
         assert!(ids.len() <= 64, "at most 64 microservices supported");
         let mut sorted: Vec<MsId> = ids.to_vec();
         sorted.sort_unstable();
@@ -202,13 +532,13 @@ impl<'a> EnumCtx<'a> {
     }
 
     /// All trees over `mask`: non-seq-rooted plus seq-rooted.
-    fn stream_all(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+    pub(crate) fn stream_all(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
         self.stream_non_seq(mask, f);
         self.stream_seq(mask, f);
     }
 
     /// Trees whose root is not `Seq` (a leaf or a `Par`).
-    fn stream_non_seq(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+    pub(crate) fn stream_non_seq(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
         if mask.count_ones() == 1 {
             let idx = mask.trailing_zeros() as usize;
             f(Node::Leaf(self.ids[idx]));
@@ -265,7 +595,7 @@ impl<'a> EnumCtx<'a> {
     /// The child block containing the lowest-indexed leaf is the anchor —
     /// fixing it exploits `*`'s commutativity so each unordered set of
     /// children is produced exactly once.
-    fn stream_par(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
+    pub(crate) fn stream_par(&self, mask: Mask, f: &mut dyn FnMut(Node)) {
         if mask.count_ones() < 2 {
             return;
         }
@@ -307,21 +637,21 @@ impl<'a> EnumCtx<'a> {
 /// Size-indexed counts of the enumeration classes above. All counts are
 /// exact in `u128` for `m ≤` [`MAX_COUNT_M`].
 #[derive(Debug, Clone)]
-struct Counts {
+pub(crate) struct Counts {
     /// `non_seq[n]`: trees over `n` labeled leaves whose root is not `Seq`.
-    non_seq: Vec<u128>,
+    pub(crate) non_seq: Vec<u128>,
     /// `non_par[n]`: trees whose root is not `Par`.
-    non_par: Vec<u128>,
+    pub(crate) non_par: Vec<u128>,
     /// `seq[n]`: `Seq`-rooted trees.
-    seq: Vec<u128>,
+    pub(crate) seq: Vec<u128>,
     /// `par[n]`: `Par`-rooted trees.
-    par: Vec<u128>,
+    pub(crate) par: Vec<u128>,
     /// `binom[n][k]`.
-    binom: Vec<Vec<u128>>,
+    pub(crate) binom: Vec<Vec<u128>>,
 }
 
 impl Counts {
-    fn up_to(m: usize) -> Self {
+    pub(crate) fn up_to(m: usize) -> Self {
         assert!(
             m <= MAX_COUNT_M,
             "strategy counts overflow u128 beyond M = {MAX_COUNT_M}"
@@ -393,7 +723,7 @@ impl Counts {
         }
     }
 
-    fn all(&self, n: usize) -> u128 {
+    pub(crate) fn all(&self, n: usize) -> u128 {
         self.non_seq[n] + self.seq[n]
     }
 }
@@ -1021,6 +1351,67 @@ mod tests {
         let mut streamed = 0usize;
         for_each_with_subsets(&ids(4), |_| streamed += 1);
         assert_eq!(streamed, 293);
+    }
+
+    #[test]
+    fn iterator_matches_streaming_order_exactly() {
+        for m in 1..=5 {
+            let mut streamed = Vec::new();
+            for_each_full(&ids(m), |s| streamed.push(s));
+            let unranked: Vec<Strategy> = StrategyIter::full(&ids(m)).collect();
+            assert_eq!(unranked, streamed, "full order diverges at M={m}");
+        }
+        for m in 1..=4 {
+            let mut streamed = Vec::new();
+            for_each_with_subsets(&ids(m), |s| streamed.push(s));
+            let unranked: Vec<Strategy> = StrategyIter::with_subsets(&ids(m)).collect();
+            assert_eq!(unranked, streamed, "subset order diverges at M={m}");
+        }
+    }
+
+    #[test]
+    fn iterator_remaining_matches_counts() {
+        for m in 1..=6 {
+            assert_eq!(StrategyIter::full(&ids(m)).remaining(), count_full(m));
+            assert_eq!(
+                StrategyIter::with_subsets(&ids(m)).remaining(),
+                count_with_subsets(m)
+            );
+        }
+        assert_eq!(StrategyIter::full(&[]).remaining(), 0);
+    }
+
+    #[test]
+    fn split_at_partitions_without_overlap() {
+        let all: Vec<Strategy> = StrategyIter::full(&ids(4)).collect();
+        for cut in [0u128, 1, 97, 195, 400] {
+            let (left, right) = StrategyIter::full(&ids(4)).split_at(cut);
+            let l: Vec<Strategy> = left.collect();
+            let r: Vec<Strategy> = right.collect();
+            assert_eq!(l.len() as u128, cut.min(195));
+            let mut joined = l;
+            joined.extend(r);
+            assert_eq!(joined, all, "split at {cut} loses or reorders");
+        }
+    }
+
+    #[test]
+    fn chunks_cover_the_space_in_order() {
+        let all: Vec<Strategy> = StrategyIter::with_subsets(&ids(4)).collect();
+        for n in [1usize, 2, 3, 7, 64, 1000] {
+            let chunks = StrategyIter::with_subsets(&ids(4)).chunks(n);
+            assert!(chunks.len() <= n);
+            let joined: Vec<Strategy> = chunks.into_iter().flatten().collect();
+            assert_eq!(joined, all, "chunks({n}) loses or reorders");
+        }
+    }
+
+    #[test]
+    fn iterator_size_hint_is_exact() {
+        let mut iter = StrategyIter::full(&ids(3));
+        assert_eq!(iter.size_hint(), (19, Some(19)));
+        iter.next();
+        assert_eq!(iter.size_hint(), (18, Some(18)));
     }
 
     #[test]

@@ -33,6 +33,13 @@ use crate::qos::{EnvQos, Qos, Reliability};
 /// environment whose per-microservice QoS is `env` (the paper's
 /// Algorithm 1).
 ///
+/// **Deprecated** in favour of the [`Estimator`](crate::estimate::Estimator)
+/// trait: construct an [`Algorithm1`](crate::estimate::Algorithm1) (which
+/// additionally memoizes per environment) and call
+/// [`estimate`](crate::estimate::Estimator::estimate) on it. This free
+/// function is kept as a thin, stable wrapper; no `#[deprecated]` attribute
+/// is attached so existing builds stay warning-free.
+///
 /// # Errors
 ///
 /// Returns [`EstimateError::MissingMicroservice`] if `env` lacks an entry

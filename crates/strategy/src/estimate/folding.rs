@@ -27,6 +27,11 @@ use crate::qos::{EnvQos, Qos, Reliability};
 /// Prefer [`estimate`](crate::estimate::estimate) (the paper's Algorithm 1)
 /// for accurate numbers; this exists as a comparison baseline.
 ///
+/// **Deprecated** in favour of the [`Estimator`](crate::estimate::Estimator)
+/// trait: use the [`Folding`](crate::estimate::Folding) implementation. This
+/// free function is kept as a thin, stable wrapper; no `#[deprecated]`
+/// attribute is attached so existing builds stay warning-free.
+///
 /// # Errors
 ///
 /// Returns [`EstimateError::MissingMicroservice`] if `env` lacks an entry

@@ -2,19 +2,28 @@
 //!
 //! * [`timelines`] — the `GetTimelines` scheduling pass (Algorithm 1,
 //!   lines 15–33);
+//! * [`Estimator`] — the estimation trait; [`Algorithm1`] (memoizing) and
+//!   [`Folding`] are the built-in implementations;
 //! * [`estimate`] — the paper's Algorithm 1 (average cost / latency /
 //!   reliability over repeated executions);
 //! * [`estimate_folding`] — the pairwise folding baseline from prior work
 //!   \[15\], kept for comparison benchmarks;
 //! * [`latency_mixture`] — the exact completion-time *distribution*
 //!   (Algorithm 1's mean is its first moment), enabling percentile SLAs.
+//!
+//! New code should prefer the [`Estimator`] trait over the free functions:
+//! the free [`estimate`]/[`estimate_folding`] wrappers are kept for
+//! backwards compatibility and doc-deprecated in place.
 
 mod algorithm1;
+mod estimator;
 mod folding;
 mod mixture;
 mod timeline;
 
 pub use algorithm1::{estimate, estimate_from_timelines};
+pub use estimator::{Algorithm1, Estimator, Folding};
 pub use folding::estimate_folding;
 pub use mixture::{latency_mixture, LatencyMixture};
+pub(crate) use timeline::walk;
 pub use timeline::{timelines, Timeline};

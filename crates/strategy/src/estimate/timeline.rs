@@ -63,7 +63,11 @@ pub fn timelines(strategy: &Strategy, env: &EnvQos) -> Result<Vec<Timeline>, Est
 
 /// Recursively schedules `node` starting at `offset`, appending timelines to
 /// `out` and returning the subtree's makespan (largest end time).
-fn walk(
+///
+/// `pub(crate)` so the branch-and-bound engine in [`crate::synth`] can
+/// schedule a candidate's final block onto an already-walked chain prefix
+/// with bit-identical arithmetic.
+pub(crate) fn walk(
     node: &Node,
     offset: f64,
     env: &EnvQos,

@@ -21,16 +21,34 @@
 //! paper advises against both in dynamic environments (microservices left
 //! out of the strategy never get fresh QoS observations), but they are
 //! useful baselines.
+//!
+//! ## The synthesis engine
+//!
+//! Generators are configured through [`GeneratorBuilder`]. When the
+//! configured [`Estimator`] is the paper's Algorithm 1 (the default), the
+//! exhaustive searches run on the branch-and-bound engine in `synth`:
+//! utility-bound pruning plus a work-stealing thread pool, with results —
+//! winning strategy, QoS bits, utility, and tie-breaks — provably
+//! identical to the plain sequential scan. Any other estimator falls back
+//! to a generic scan (optionally chunk-parallel over [`StrategyIter`]).
+//! Either way [`Generated::report`] records how many candidates were
+//! estimated, how many the bounds pruned, and the wall-clock time.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::enumerate::{failover, for_each_full, for_each_with_subsets, speculative_parallel};
+use crate::enumerate::{
+    failover, for_each_full, for_each_with_subsets, speculative_parallel, StrategyIter, MAX_COUNT_M,
+};
 use crate::error::GenerateError;
-use crate::estimate::estimate;
+use crate::estimate::{Algorithm1, Estimator};
 use crate::expr::Strategy;
 use crate::qos::{EnvQos, MsId, Qos, Requirements};
+use crate::synth;
 use crate::utility::UtilityIndex;
 
 /// Which algorithm produced a generated strategy.
@@ -69,8 +87,24 @@ impl fmt::Display for Method {
     }
 }
 
+/// How a [`Generated`] strategy was found: candidate counts and timing.
+///
+/// For the exhaustive methods `candidates_seen + candidates_pruned` always
+/// equals the full search-space size (`F(M)` or `F'(M)`) — pruning skips
+/// estimation work, never candidates' consideration. Heuristic methods
+/// report their estimate count as `candidates_seen` with zero pruned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Candidates whose QoS was actually estimated.
+    pub candidates_seen: u64,
+    /// Candidates skipped by branch-and-bound utility bounds.
+    pub candidates_pruned: u64,
+    /// Wall-clock time of the generation call.
+    pub elapsed: Duration,
+}
+
 /// A generated strategy together with its estimated QoS and utility.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Generated {
     /// The synthesized execution strategy.
     pub strategy: Strategy,
@@ -78,10 +112,28 @@ pub struct Generated {
     pub qos: Qos,
     /// Its utility index against the requirements used during generation.
     pub utility: f64,
-    /// How many candidate strategies were QoS-estimated.
+    /// How many candidate strategies were *considered* (estimated plus
+    /// pruned) — stable across pruning/parallelism settings, matching the
+    /// historical "every candidate was estimated" semantics.
     pub evaluated: usize,
     /// Which algorithm produced it.
     pub method: Method,
+    /// Counts and timing of the synthesis run.
+    #[serde(default)]
+    pub report: SynthesisReport,
+}
+
+/// Equality ignores [`Generated::report`]: two runs that pick the same
+/// strategy with the same QoS are the same result even when their timings
+/// (or pruning ratios, across different settings) differ.
+impl PartialEq for Generated {
+    fn eq(&self, other: &Self) -> bool {
+        self.strategy == other.strategy
+            && self.qos == other.qos
+            && self.utility == other.utility
+            && self.evaluated == other.evaluated
+            && self.method == other.method
+    }
 }
 
 impl fmt::Display for Generated {
@@ -117,13 +169,34 @@ impl fmt::Display for Generated {
 /// let parallel = Generator::default().speculative_parallel(&env, &env.ids(), &req)?;
 /// assert!(best.utility >= failover.utility);
 /// assert!(best.utility >= parallel.utility);
+///
+/// // Tuning the engine goes through the builder:
+/// let tuned = Generator::builder()
+///     .threshold(6)
+///     .parallelism(2)
+///     .pruning(true)
+///     .build();
+/// assert_eq!(tuned.generate(&env, &env.ids(), &req)?.strategy, best.strategy);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Generator {
     utility: UtilityIndex,
     threshold: usize,
+    parallelism: usize,
+    pruning: bool,
+    estimator: Arc<dyn Estimator>,
+    /// Environment-independent candidate-tree caches for the synthesis
+    /// engine, keyed by the searched id list and shared across searches
+    /// (and across clones of this generator). See [`synth::NodeCache`].
+    caches: Arc<Mutex<HashMap<Vec<MsId>, Arc<synth::NodeCache>>>>,
 }
+
+/// How many distinct id lists [`Generator`] keeps candidate-tree caches
+/// for. Runtimes search the same equivalent set over and over, so a small
+/// cap suffices; searches past the cap still run (with a private,
+/// single-search cache) — they just rebuild the trees next time.
+const NODE_CACHE_LISTS: usize = 8;
 
 /// Default exhaustive/approximation switch-over: `F(6) = 64 743` candidates
 /// estimate in tens of milliseconds, `F(7) ≈ 1.6 M` takes seconds.
@@ -131,18 +204,127 @@ pub const DEFAULT_THRESHOLD: usize = 6;
 
 impl Default for Generator {
     fn default() -> Self {
-        Generator {
+        GeneratorBuilder::default().build()
+    }
+}
+
+/// Builder for [`Generator`] — the one place to configure the utility
+/// index, the exhaustive/approximation threshold, and the synthesis
+/// engine's parallelism, pruning, and estimator.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::{Generator, UtilityIndex};
+///
+/// let gen = Generator::builder()
+///     .utility(UtilityIndex::default())
+///     .threshold(6)
+///     .parallelism(0) // 0 = one worker per available core
+///     .pruning(true)
+///     .build();
+/// assert_eq!(gen.threshold(), 6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneratorBuilder {
+    utility: UtilityIndex,
+    threshold: usize,
+    parallelism: usize,
+    pruning: bool,
+    estimator: Option<Arc<dyn Estimator>>,
+}
+
+impl Default for GeneratorBuilder {
+    fn default() -> Self {
+        GeneratorBuilder {
             utility: UtilityIndex::default(),
             threshold: DEFAULT_THRESHOLD,
+            parallelism: 0,
+            pruning: true,
+            estimator: None,
+        }
+    }
+}
+
+impl GeneratorBuilder {
+    /// The utility index that ranks candidate strategies (Equation 1).
+    #[must_use]
+    pub fn utility(mut self, utility: UtilityIndex) -> Self {
+        self.utility = utility;
+        self
+    }
+
+    /// The exhaustive/approximation switch-over `θ` (Algorithm 2 line 1).
+    #[must_use]
+    pub fn threshold(mut self, threshold: usize) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Worker threads for the exhaustive searches; `0` (the default)
+    /// resolves to the number of available cores at search time.
+    #[must_use]
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers;
+        self
+    }
+
+    /// Enables (default) or disables branch-and-bound pruning. Pruning
+    /// never changes the generated strategy, its QoS bits, or
+    /// [`Generated::evaluated`] — only how many candidates are actually
+    /// estimated ([`SynthesisReport::candidates_seen`]).
+    #[must_use]
+    pub fn pruning(mut self, enabled: bool) -> Self {
+        self.pruning = enabled;
+        self
+    }
+
+    /// The QoS estimator. Defaults to a fresh memoizing
+    /// [`Algorithm1`]; supplying anything that is not bit-for-bit
+    /// Algorithm 1 routes the exhaustive searches through the generic
+    /// (unpruned) scan.
+    #[must_use]
+    pub fn estimator(mut self, estimator: Arc<dyn Estimator>) -> Self {
+        self.estimator = Some(estimator);
+        self
+    }
+
+    /// Builds the configured [`Generator`].
+    #[must_use]
+    pub fn build(self) -> Generator {
+        Generator {
+            utility: self.utility,
+            threshold: self.threshold,
+            parallelism: self.parallelism,
+            pruning: self.pruning,
+            estimator: self
+                .estimator
+                .unwrap_or_else(|| Arc::new(Algorithm1::new())),
+            caches: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 }
 
 impl Generator {
-    /// Creates a generator with the given utility index and threshold `θ`.
+    /// Creates a generator with the given utility index and threshold `θ`,
+    /// with default parallelism (auto), pruning (on), and estimator
+    /// (Algorithm 1).
+    ///
+    /// **Deprecated** in favour of [`Generator::builder`], which exposes
+    /// the remaining knobs; kept as a thin stable wrapper (without a
+    /// `#[deprecated]` attribute, so existing builds stay warning-free).
     #[must_use]
     pub fn new(utility: UtilityIndex, threshold: usize) -> Self {
-        Generator { utility, threshold }
+        Generator::builder()
+            .utility(utility)
+            .threshold(threshold)
+            .build()
+    }
+
+    /// Starts building a generator; see [`GeneratorBuilder`].
+    #[must_use]
+    pub fn builder() -> GeneratorBuilder {
+        GeneratorBuilder::default()
     }
 
     /// The configured utility index.
@@ -155,6 +337,41 @@ impl Generator {
     #[must_use]
     pub fn threshold(&self) -> usize {
         self.threshold
+    }
+
+    /// The configured worker count (`0` = auto).
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Whether branch-and-bound pruning is enabled.
+    #[must_use]
+    pub fn pruning(&self) -> bool {
+        self.pruning
+    }
+
+    /// The configured estimator.
+    #[must_use]
+    pub fn estimator(&self) -> &Arc<dyn Estimator> {
+        &self.estimator
+    }
+
+    /// Estimates through the configured estimator; ids are pre-validated
+    /// by every public entry point, but custom estimators may still fail.
+    fn est(&self, s: &Strategy, env: &EnvQos) -> Result<Qos, GenerateError> {
+        Ok(self.estimator.estimate(s, env)?)
+    }
+
+    /// `parallelism` with `0` resolved to the available cores.
+    fn resolved_parallelism(&self) -> usize {
+        if self.parallelism != 0 {
+            self.parallelism
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
     }
 
     /// Algorithm 2: exhaustive search while `|M| ≤ θ`, greedy approximation
@@ -221,44 +438,179 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
-        // Validate availability up front so the streaming closure below can
-        // rely on successful estimation.
+        // Validate availability up front so the scan paths below can rely
+        // on successful estimation.
         for &id in ids {
             if env.get(id).is_none() {
                 return Err(crate::error::EstimateError::MissingMicroservice(id).into());
             }
         }
-        let mut best: Option<Generated> = None;
-        let mut evaluated = 0usize;
-        let mut consider = |s: Strategy| {
-            let qos = estimate(&s, env).expect("ids validated above");
-            let utility = self.utility.utility(&qos, req);
-            evaluated += 1;
+        let start = Instant::now();
+        let subsets = method == Method::ExhaustiveSubsets;
+        let workers = self.resolved_parallelism();
+        let (strategy, qos, utility, seen, pruned) =
+            if self.estimator.is_algorithm1() && ids.len() <= MAX_COUNT_M {
+                let initial_bound = if self.pruning {
+                    self.seed_bound(env, ids, req)?
+                } else {
+                    f64::NEG_INFINITY
+                };
+                let cache = self.node_cache(ids);
+                let outcome = synth::search(&synth::SearchSpec {
+                    env,
+                    ids,
+                    req,
+                    utility: self.utility,
+                    subsets,
+                    pruning: self.pruning,
+                    parallelism: workers,
+                    initial_bound,
+                    cache: &cache,
+                });
+                (
+                    outcome.strategy,
+                    outcome.qos,
+                    outcome.utility,
+                    outcome.seen,
+                    outcome.pruned,
+                )
+            } else {
+                self.generic_scan(env, ids, req, subsets, workers)?
+            };
+        Ok(Generated {
+            strategy,
+            qos,
+            utility,
+            evaluated: usize::try_from(seen + pruned).unwrap_or(usize::MAX),
+            method,
+            report: SynthesisReport {
+                candidates_seen: seen,
+                candidates_pruned: pruned,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+
+    /// The shared candidate-tree cache for `ids`, created on first use.
+    /// Candidate trees depend only on the id list — not on the environment
+    /// — so one cache serves every search (and every worker) over the same
+    /// equivalent set. Past [`NODE_CACHE_LISTS`] distinct lists a fresh
+    /// single-search cache is handed out instead of growing the map.
+    fn node_cache(&self, ids: &[MsId]) -> Arc<synth::NodeCache> {
+        let mut caches = self
+            .caches
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(cache) = caches.get(ids) {
+            return Arc::clone(cache);
+        }
+        let cache = Arc::new(synth::NodeCache::new(ids.len()));
+        if caches.len() < NODE_CACHE_LISTS {
+            caches.insert(ids.to_vec(), Arc::clone(&cache));
+        }
+        cache
+    }
+
+    /// Utility of the best *seed* candidate — the greedy approximation and
+    /// the two predefined patterns, all of which are members of `F(M)`
+    /// (and hence of `F'(M)`) — used as the engine's initial pruning bar.
+    /// Seed estimates are not counted in [`Generated::evaluated`].
+    fn seed_bound(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<f64, GenerateError> {
+        let mut bound = self.failover(env, ids, req)?.utility;
+        if ids.len() >= 2 {
+            bound = bound.max(self.speculative_parallel(env, ids, req)?.utility);
+        }
+        bound = bound.max(self.approximation(env, ids, req)?.utility);
+        Ok(bound)
+    }
+
+    /// Exhaustive scan through an arbitrary estimator: no pruning (the
+    /// branch-and-bound bounds are only admissible against Algorithm 1's
+    /// formulas), optionally chunked across worker threads with
+    /// [`StrategyIter`]. The winner is identical for any worker count
+    /// because the per-candidate comparison is a strict total order.
+    fn generic_scan(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+        subsets: bool,
+        workers: usize,
+    ) -> Result<(Strategy, Qos, f64, u64, u64), GenerateError> {
+        type Local = (Option<(Strategy, Qos, f64)>, u64);
+        let merge = |best: &mut Option<(Strategy, Qos, f64)>, s: Strategy, qos: Qos, u: f64| {
             let better = match &best {
                 None => true,
-                Some(current) => {
-                    utility > current.utility
-                        || (utility == current.utility
-                            && better_tiebreak(&s, &qos, &current.strategy, &current.qos))
-                }
+                Some((bs, bq, bu)) => u > *bu || (u == *bu && better_tiebreak(&s, &qos, bs, bq)),
             };
             if better {
-                best = Some(Generated {
-                    strategy: s,
-                    qos,
-                    utility,
-                    evaluated: 0,
-                    method,
-                });
+                *best = Some((s, qos, u));
             }
         };
-        match method {
-            Method::ExhaustiveSubsets => for_each_with_subsets(ids, &mut consider),
-            _ => for_each_full(ids, &mut consider),
+        let consider = |best: &mut Option<(Strategy, Qos, f64)>, seen: &mut u64, s: Strategy| {
+            let qos = self
+                .estimator
+                .estimate_uncached(&s, env)
+                .expect("ids validated above");
+            let u = self.utility.utility(&qos, req);
+            *seen += 1;
+            merge(best, s, qos, u);
+        };
+        let locals: Vec<Local> = if workers > 1 && ids.len() <= MAX_COUNT_M {
+            let iter = if subsets {
+                StrategyIter::with_subsets(ids)
+            } else {
+                StrategyIter::full(ids)
+            };
+            let consider = &consider;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = iter
+                    .chunks(workers)
+                    .into_iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let mut best = None;
+                            let mut seen = 0u64;
+                            for s in chunk {
+                                consider(&mut best, &mut seen, s);
+                            }
+                            (best, seen)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scan worker panicked"))
+                    .collect()
+            })
+        } else {
+            // `for_each_*` has no `MAX_COUNT_M` ceiling, so very large id
+            // lists still scan (sequentially), exactly as before.
+            let mut best = None;
+            let mut seen = 0u64;
+            let mut visit = |s: Strategy| consider(&mut best, &mut seen, s);
+            if subsets {
+                for_each_with_subsets(ids, &mut visit);
+            } else {
+                for_each_full(ids, &mut visit);
+            }
+            vec![(best, seen)]
+        };
+        let mut seen = 0u64;
+        let mut best: Option<(Strategy, Qos, f64)> = None;
+        for (local, n) in locals {
+            seen += n;
+            if let Some((s, qos, u)) = local {
+                merge(&mut best, s, qos, u);
+            }
         }
-        let mut best = best.expect("non-empty id list yields at least one strategy");
-        best.evaluated = evaluated;
-        Ok(best)
+        let (strategy, qos, u) = best.expect("non-empty id list yields at least one strategy");
+        Ok((strategy, qos, u, seen, 0))
     }
 
     /// The greedy approximation heuristic of Algorithm 2 (lines 4–13).
@@ -305,10 +657,11 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        let start = Instant::now();
         let order = self.sort_by_utility(env, ids, req)?;
         let mut evaluated = order.len(); // individual estimates for sorting
         let mut es = Strategy::leaf(order[0]);
-        let mut qos = estimate(&es, env)?;
+        let mut qos = self.est(&es, env)?;
         let mut utility = self.utility.utility(&qos, req);
         for &next in &order[1..] {
             let seq = es
@@ -319,8 +672,8 @@ impl Generator {
                 .clone()
                 .race(Strategy::leaf(next))
                 .expect("ids are distinct");
-            let seq_qos = estimate(&seq, env)?;
-            let par_qos = estimate(&par, env)?;
+            let seq_qos = self.est(&seq, env)?;
+            let par_qos = self.est(&par, env)?;
             let seq_u = self.utility.utility(&seq_qos, req);
             let par_u = self.utility.utility(&par_qos, req);
             evaluated += 2;
@@ -346,6 +699,11 @@ impl Generator {
                 Method::ApproximationEarlyStop
             } else {
                 Method::Approximation
+            },
+            report: SynthesisReport {
+                candidates_seen: evaluated as u64,
+                candidates_pruned: 0,
+                elapsed: start.elapsed(),
             },
         })
     }
@@ -379,6 +737,7 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        let start_time = Instant::now();
         let order = self.sort_by_utility(env, ids, req)?;
         let mut evaluated = order.len();
         let mut starts = vec![self.approximation(env, ids, req)?];
@@ -413,7 +772,7 @@ impl Generator {
                         if swapped == current.0 {
                             continue; // Par-sibling swap: same strategy
                         }
-                        let qos = estimate(&swapped, env)?;
+                        let qos = self.est(&swapped, env)?;
                         let utility = self.utility.utility(&qos, req);
                         evaluated += 1;
                         let beats_improved = improved.as_ref().is_none_or(|(_, _, u)| utility > *u);
@@ -445,6 +804,11 @@ impl Generator {
             utility,
             evaluated,
             method: Method::LocalSearch,
+            report: SynthesisReport {
+                candidates_seen: evaluated as u64,
+                candidates_pruned: 0,
+                elapsed: start_time.elapsed(),
+            },
         })
     }
 
@@ -462,9 +826,10 @@ impl Generator {
         ids: &[MsId],
         req: &Requirements,
     ) -> Result<Generated, GenerateError> {
+        let start = Instant::now();
         let order = self.sort_by_utility(env, ids, req)?;
         let strategy = failover(&order).expect("ids are distinct and non-empty");
-        let qos = estimate(&strategy, env)?;
+        let qos = self.est(&strategy, env)?;
         let utility = self.utility.utility(&qos, req);
         Ok(Generated {
             strategy,
@@ -472,6 +837,11 @@ impl Generator {
             utility,
             evaluated: 1,
             method: Method::Failover,
+            report: SynthesisReport {
+                candidates_seen: 1,
+                candidates_pruned: 0,
+                elapsed: start.elapsed(),
+            },
         })
     }
 
@@ -493,8 +863,9 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        let start = Instant::now();
         let strategy = failover(ids).map_err(|_| GenerateError::NoMicroservices)?;
-        let qos = estimate(&strategy, env)?;
+        let qos = self.est(&strategy, env)?;
         let utility = self.utility.utility(&qos, req);
         Ok(Generated {
             strategy,
@@ -502,6 +873,11 @@ impl Generator {
             utility,
             evaluated: 1,
             method: Method::Failover,
+            report: SynthesisReport {
+                candidates_seen: 1,
+                candidates_pruned: 0,
+                elapsed: start.elapsed(),
+            },
         })
     }
 
@@ -520,8 +896,9 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        let start = Instant::now();
         let strategy = speculative_parallel(ids).expect("ids are distinct and non-empty");
-        let qos = estimate(&strategy, env)?;
+        let qos = self.est(&strategy, env)?;
         let utility = self.utility.utility(&qos, req);
         Ok(Generated {
             strategy,
@@ -529,6 +906,11 @@ impl Generator {
             utility,
             evaluated: 1,
             method: Method::SpeculativeParallel,
+            report: SynthesisReport {
+                candidates_seen: 1,
+                candidates_pruned: 0,
+                elapsed: start.elapsed(),
+            },
         })
     }
 
@@ -551,7 +933,7 @@ impl Generator {
         let mut scored: Vec<(MsId, f64)> = ids
             .iter()
             .map(|&id| {
-                let qos = estimate(&Strategy::leaf(id), env)?;
+                let qos = self.est(&Strategy::leaf(id), env)?;
                 Ok((id, self.utility.utility(&qos, req)))
             })
             .collect::<Result<_, GenerateError>>()?;
@@ -566,7 +948,12 @@ impl Generator {
 
 /// Deterministic tie-break for equal utilities: lower cost, then lower
 /// latency, then the lexicographically smaller rendering.
-fn better_tiebreak(s: &Strategy, qos: &Qos, cur_s: &Strategy, cur_qos: &Qos) -> bool {
+///
+/// Together with the utility this is a *strict total order* on distinct
+/// canonical strategies (the rendering is injective), which is what lets
+/// the parallel engine in [`crate::synth`] merge per-worker maxima in any
+/// order and still reproduce the sequential scan's winner.
+pub(crate) fn better_tiebreak(s: &Strategy, qos: &Qos, cur_s: &Strategy, cur_qos: &Qos) -> bool {
     if qos.cost != cur_qos.cost {
         return qos.cost < cur_qos.cost;
     }
@@ -579,6 +966,7 @@ fn better_tiebreak(s: &Strategy, qos: &Qos, cur_s: &Strategy, cur_qos: &Qos) -> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimate::estimate;
 
     /// The Section III.D fire-detection environment.
     fn env5() -> EnvQos {
@@ -877,5 +1265,221 @@ mod local_search_tests {
             .local_search(&env, &env.ids(), &req(400.0, 90.0))
             .unwrap();
         assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod engine_equivalence_tests {
+    use super::*;
+    use crate::error::EstimateError;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Algorithm 1 *not* advertising itself as such: forces the generic
+    /// scan path, which is the pre-engine sequential code path.
+    #[derive(Debug)]
+    struct PlainAlg1;
+
+    impl Estimator for PlainAlg1 {
+        fn estimate(&self, s: &Strategy, env: &EnvQos) -> Result<Qos, EstimateError> {
+            crate::estimate::estimate(s, env)
+        }
+
+        fn name(&self) -> &'static str {
+            "plain-algorithm1"
+        }
+    }
+
+    fn random_env(rng: &mut ChaCha8Rng, m: usize) -> EnvQos {
+        (0..m)
+            .map(|_| {
+                Qos::new(
+                    rng.gen_range(10.0..300.0),
+                    rng.gen_range(10.0..300.0),
+                    rng.gen_range(0.05..0.99),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &Generated, b: &Generated, what: &str) {
+        assert_eq!(a.strategy, b.strategy, "{what}: strategy");
+        assert_eq!(
+            a.qos.cost.to_bits(),
+            b.qos.cost.to_bits(),
+            "{what}: cost bits"
+        );
+        assert_eq!(
+            a.qos.latency.to_bits(),
+            b.qos.latency.to_bits(),
+            "{what}: latency bits"
+        );
+        assert_eq!(
+            a.qos.reliability.value().to_bits(),
+            b.qos.reliability.value().to_bits(),
+            "{what}: reliability bits"
+        );
+        assert_eq!(a.utility.to_bits(), b.utility.to_bits(), "{what}: utility");
+        assert_eq!(a.evaluated, b.evaluated, "{what}: evaluated");
+    }
+
+    /// Satellite (d): the pruned, parallel engine returns exactly the same
+    /// result — strategy, QoS bits, utility, evaluated count — as the
+    /// unpruned sequential scan, for every seeded environment at M ≤ 4,
+    /// in both `F(M)` and `F'(M)` modes; and `seen + pruned` always covers
+    /// the whole space.
+    #[test]
+    fn pruned_parallel_engine_matches_unpruned_sequential_scan() {
+        let requirements = Requirements::new(150.0, 150.0, 0.95).unwrap();
+        let ground_truth = Generator::builder()
+            .estimator(Arc::new(PlainAlg1))
+            .parallelism(1)
+            .build();
+        let configs: Vec<(&str, Generator)> = vec![
+            (
+                "engine unpruned sequential",
+                Generator::builder().pruning(false).parallelism(1).build(),
+            ),
+            (
+                "engine pruned sequential",
+                Generator::builder().pruning(true).parallelism(1).build(),
+            ),
+            (
+                "engine pruned parallel",
+                Generator::builder().pruning(true).parallelism(4).build(),
+            ),
+            (
+                "generic parallel scan",
+                Generator::builder()
+                    .estimator(Arc::new(PlainAlg1))
+                    .parallelism(3)
+                    .build(),
+            ),
+        ];
+        for m in 1..=4usize {
+            for seed in 0..10u64 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed * 37 + m as u64);
+                let env = random_env(&mut rng, m);
+                let ids = env.ids();
+                for subsets in [false, true] {
+                    let run = |g: &Generator| {
+                        if subsets {
+                            g.exhaustive_subsets(&env, &ids, &requirements).unwrap()
+                        } else {
+                            g.exhaustive(&env, &ids, &requirements).unwrap()
+                        }
+                    };
+                    let truth = run(&ground_truth);
+                    assert_eq!(truth.report.candidates_pruned, 0);
+                    for (name, g) in &configs {
+                        let out = run(g);
+                        let what = format!("m={m} seed={seed} subsets={subsets} config={name}");
+                        assert_bit_identical(&truth, &out, &what);
+                        assert_eq!(
+                            out.report.candidates_seen + out.report.candidates_pruned,
+                            truth.report.candidates_seen,
+                            "{what}: seen+pruned must cover the space"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pruning does real work on the paper's fire-detection environment:
+    /// with the seeded bar a solid chunk of `F(5)` never gets estimated.
+    /// (The engine only bothers bounding families of at least
+    /// `MIN_PRUNE_COUNT` candidates — bounding tiny families costs more
+    /// than enumerating them — so the pruned count is deliberately far
+    /// from the theoretical maximum.)
+    #[test]
+    fn pruning_skips_most_of_the_space_yet_counts_everything() {
+        let env = EnvQos::from_triples(&[
+            (50.0, 50.0, 0.6),
+            (100.0, 100.0, 0.6),
+            (150.0, 150.0, 0.7),
+            (200.0, 200.0, 0.7),
+            (250.0, 250.0, 0.8),
+        ])
+        .unwrap();
+        let requirements = Requirements::new(100.0, 100.0, 0.97).unwrap();
+        let gen = Generator::builder().pruning(true).parallelism(1).build();
+        let out = gen.exhaustive(&env, &env.ids(), &requirements).unwrap();
+        assert_eq!(out.evaluated, 2791, "F(5) candidates considered");
+        assert_eq!(
+            out.report.candidates_seen + out.report.candidates_pruned,
+            2791
+        );
+        assert!(
+            out.report.candidates_pruned > 500,
+            "bounds should prune a solid fraction, pruned only {}",
+            out.report.candidates_pruned
+        );
+    }
+
+    /// Zero-latency leaves void the bound derivation; the engine must
+    /// detect that and fall back to an unpruned (still correct) scan.
+    #[test]
+    fn zero_latency_disables_pruning_but_stays_correct() {
+        let env = EnvQos::from_triples(&[(10.0, 0.0, 0.6), (20.0, 30.0, 0.7), (30.0, 40.0, 0.8)])
+            .unwrap();
+        let requirements = Requirements::new(50.0, 50.0, 0.9).unwrap();
+        let truth = Generator::builder()
+            .estimator(Arc::new(PlainAlg1))
+            .parallelism(1)
+            .build()
+            .exhaustive(&env, &env.ids(), &requirements)
+            .unwrap();
+        let out = Generator::builder()
+            .pruning(true)
+            .parallelism(2)
+            .build()
+            .exhaustive(&env, &env.ids(), &requirements)
+            .unwrap();
+        assert_bit_identical(&truth, &out, "zero-latency env");
+        assert_eq!(out.report.candidates_pruned, 0, "pruning must disengage");
+    }
+
+    /// A non-Algorithm-1 estimator must never enter the pruned fast path:
+    /// the folding estimator's winner can differ from Algorithm 1's, and
+    /// the scan must faithfully optimize the configured estimator.
+    #[test]
+    fn folding_estimator_routes_through_generic_scan() {
+        let env =
+            EnvQos::from_triples(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.6), (150.0, 150.0, 0.7)])
+                .unwrap();
+        let requirements = Requirements::new(100.0, 100.0, 0.97).unwrap();
+        let gen = Generator::builder()
+            .estimator(Arc::new(crate::estimate::Folding::new()))
+            .parallelism(1)
+            .build();
+        let out = gen.exhaustive(&env, &env.ids(), &requirements).unwrap();
+        assert_eq!(out.report.candidates_pruned, 0);
+        assert_eq!(out.evaluated, 19, "F(3)");
+        // The reported QoS is the folding estimate of the winner.
+        assert_eq!(
+            out.qos,
+            crate::estimate::estimate_folding(&out.strategy, &env).unwrap()
+        );
+    }
+
+    /// The builder's knobs round-trip and `Generator::new` still works.
+    #[test]
+    fn builder_configures_and_legacy_constructor_still_works() {
+        let gen = Generator::builder()
+            .utility(UtilityIndex::default())
+            .threshold(4)
+            .parallelism(8)
+            .pruning(false)
+            .build();
+        assert_eq!(gen.threshold(), 4);
+        assert_eq!(gen.parallelism(), 8);
+        assert!(!gen.pruning());
+        assert_eq!(gen.estimator().name(), "algorithm1");
+        let legacy = Generator::new(UtilityIndex::default(), 4);
+        assert_eq!(legacy.threshold(), 4);
+        assert_eq!(legacy.parallelism(), 0, "legacy constructor: auto");
+        assert!(legacy.pruning(), "legacy constructor: pruning on");
     }
 }

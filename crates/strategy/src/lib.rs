@@ -74,11 +74,14 @@ pub mod expr;
 pub mod generate;
 pub mod pareto;
 pub mod qos;
+mod synth;
 pub mod utility;
 
+pub use enumerate::StrategyIter;
 pub use error::{BuildError, EstimateError, GenerateError, ParseError, QosError};
+pub use estimate::{Algorithm1, Estimator, Folding};
 pub use expr::{Node, Strategy};
-pub use generate::{Generated, Generator, Method};
+pub use generate::{Generated, Generator, GeneratorBuilder, Method, SynthesisReport};
 pub use qos::{Attribute, EnvQos, MsId, Polarity, Qos, Reliability, Requirements};
 pub use utility::UtilityIndex;
 
@@ -97,6 +100,11 @@ mod tests {
         assert_send_sync::<UtilityIndex>();
         assert_send_sync::<Generator>();
         assert_send_sync::<Generated>();
+        assert_send_sync::<GeneratorBuilder>();
+        assert_send_sync::<SynthesisReport>();
+        assert_send_sync::<StrategyIter>();
+        assert_send_sync::<Algorithm1>();
+        assert_send_sync::<Folding>();
     }
 
     #[test]

@@ -5,7 +5,11 @@
 //! utility index then ranks the Pareto-optimal candidates against the QoS
 //! requirements.
 
-use crate::qos::Qos;
+use crate::enumerate::StrategyIter;
+use crate::error::EstimateError;
+use crate::estimate::Estimator;
+use crate::expr::Strategy;
+use crate::qos::{EnvQos, MsId, Qos};
 use crate::utility::dominates;
 
 /// Returns the indices of the Pareto-optimal entries of `candidates`
@@ -83,9 +87,53 @@ pub fn pareto_front<T>(items: Vec<T>, qos_of: impl Fn(&T) -> Qos) -> Vec<T> {
         .collect()
 }
 
+/// Streams every strategy over **all** of `ids` through `estimator` and
+/// returns the Pareto-optimal `(strategy, QoS)` pairs.
+///
+/// Built on the lazy [`StrategyIter`] enumerator, so the full `F(M)` space
+/// is never materialized — only the surviving front is collected. Uses
+/// [`Estimator::estimate_uncached`] to avoid flooding a memoizing
+/// estimator's cache with `F(M)` one-shot entries.
+///
+/// # Errors
+///
+/// Returns the estimator's error (e.g.
+/// [`EstimateError::MissingMicroservice`]) if `env` does not cover `ids`.
+///
+/// # Panics
+///
+/// Panics if `ids` contains duplicates or more than
+/// [`MAX_COUNT_M`](crate::enumerate::MAX_COUNT_M) entries.
+///
+/// # Examples
+///
+/// ```
+/// use qce_strategy::pareto::pareto_strategies;
+/// use qce_strategy::{Algorithm1, EnvQos};
+///
+/// let env = EnvQos::from_triples(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.6)])?;
+/// let front = pareto_strategies(&env, &env.ids(), &Algorithm1::new())?;
+/// // F(2) = 3 candidates (a-b, b-a, a*b); none dominates all others.
+/// assert!(!front.is_empty() && front.len() <= 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn pareto_strategies(
+    env: &EnvQos,
+    ids: &[MsId],
+    estimator: &dyn Estimator,
+) -> Result<Vec<(Strategy, Qos)>, EstimateError> {
+    let mut items = Vec::new();
+    for strategy in StrategyIter::full(ids) {
+        let qos = estimator.estimate_uncached(&strategy, env)?;
+        items.push((strategy, qos));
+    }
+    Ok(pareto_front(items, |(_, qos)| *qos))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::estimate::{estimate, Algorithm1};
 
     fn q(c: f64, l: f64, r: f64) -> Qos {
         Qos::new(c, l, r).unwrap()
@@ -161,5 +209,39 @@ mod tests {
         let front = pareto_front(items, |(_, qos)| *qos);
         assert_eq!(front.len(), 1);
         assert_eq!(front[0].0, "better");
+    }
+
+    #[test]
+    fn pareto_strategies_matches_materialized_front() {
+        let env =
+            EnvQos::from_triples(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.6), (150.0, 150.0, 0.7)])
+                .unwrap();
+        let ids = env.ids();
+        let streamed = pareto_strategies(&env, &ids, &Algorithm1::new()).unwrap();
+
+        // Reference: materialize all F(3) = 19 candidates, then filter.
+        let all: Vec<(Strategy, Qos)> = StrategyIter::full(&ids)
+            .map(|s| {
+                let qos = estimate(&s, &env).unwrap();
+                (s, qos)
+            })
+            .collect();
+        assert_eq!(all.len(), 19);
+        let reference = pareto_front(all, |(_, qos)| *qos);
+
+        assert_eq!(streamed.len(), reference.len());
+        for ((s1, q1), (s2, q2)) in streamed.iter().zip(&reference) {
+            assert_eq!(s1, s2);
+            assert_eq!(q1, q2);
+        }
+        // The front is never empty and never the whole space here.
+        assert!(!streamed.is_empty() && streamed.len() < 19);
+    }
+
+    #[test]
+    fn pareto_strategies_reports_missing_microservice() {
+        let env = EnvQos::from_triples(&[(50.0, 50.0, 0.6)]).unwrap();
+        let err = pareto_strategies(&env, &[MsId(0), MsId(7)], &Algorithm1::new());
+        assert!(matches!(err, Err(EstimateError::MissingMicroservice(_))));
     }
 }

@@ -1,0 +1,938 @@
+//! Parallel branch-and-bound search engine behind
+//! [`Generator`](crate::Generator)'s exhaustive paths.
+//!
+//! The pre-existing exhaustive search streams every candidate of `F(M)`
+//! (or `F'(M)`), materializes it as a [`Strategy`], re-walks its timelines
+//! from scratch, and estimates it with Algorithm 1. This engine keeps the
+//! result **bit-for-bit identical** (same winning strategy, same `Qos`,
+//! same utility) while doing strictly less work:
+//!
+//! * **Shared chain prefixes** — sequential candidates are explored as a
+//!   chain recursion; the timelines of the already-fixed blocks are walked
+//!   once and reused for every extension, with the same absolute-offset
+//!   arithmetic as [`timelines`](crate::estimate::timelines), so the final
+//!   per-candidate QoS (via
+//!   [`estimate_from_timelines`](crate::estimate::estimate_from_timelines))
+//!   is bit-identical to the sequential path.
+//! * **Utility-bound pruning** — before descending into a family of
+//!   candidates, an *admissible* upper bound on the utility any member can
+//!   reach is compared against the best utility found so far (shared
+//!   across workers through an atomic). See `DESIGN.md` ("Synthesis
+//!   engine") for the bound derivation; the one-line summary:
+//!   reliability is exact per leaf set (`1 − Π(1−rᵢ)`), the latency bound
+//!   applies Algorithm 1's latency formula to pointwise-earliest virtual
+//!   end times, and the cost bound charges each not-yet-placed leaf only
+//!   with the failure product of the leaves that *must* gate it. Pruning
+//!   uses a `1e-9` safety margin, so candidates tying the optimum are
+//!   never pruned and the chosen strategy stays deterministic under any
+//!   thread interleaving.
+//! * **Work-stealing jobs** — the search space is cut into jobs (one
+//!   par-rooted family plus one job per first-block choice, per leaf
+//!   subset); workers claim jobs off an atomic counter. The per-candidate
+//!   tie-break is a strict total order, so the merged winner is
+//!   independent of worker count and scheduling.
+//!
+//! Pruning is disabled (the engine still runs, unpruned) when any leaf has
+//! a non-positive average latency: the cost bound's admissibility argument
+//! requires every already-fixed leaf to *strictly* precede the leaves of
+//! later blocks.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::enumerate::{submasks, Counts, EnumCtx, Mask, MAX_COUNT_M};
+use crate::estimate::{estimate_from_timelines, walk, Timeline};
+use crate::expr::{Node, Strategy};
+use crate::generate::better_tiebreak;
+use crate::qos::{EnvQos, MsId, Qos, Reliability, Requirements};
+use crate::utility::UtilityIndex;
+
+/// Pruning safety margin: a family is skipped only when its utility upper
+/// bound is below the incumbent by more than this. Absorbs ulp-level
+/// differences between the bound arithmetic and the exact per-candidate
+/// arithmetic, and keeps exact-utility ties alive so the tie-break sees
+/// every maximal candidate.
+const PRUNE_MARGIN: f64 = 1e-9;
+
+/// Minimum number of candidates a family must contain before the engine
+/// bothers computing its utility bound. Evaluating a bound costs about as
+/// much as estimating one candidate, and bounds are recomputed per
+/// concrete chain prefix — for tiny families (deep in the chain
+/// recursion, where most contexts live) enumerating is cheaper than
+/// bounding. Pure performance knob: gated families are enumerated
+/// normally, so the search result is unaffected.
+const MIN_PRUNE_COUNT: u128 = 32;
+
+/// Largest non-seq family (tree count) a worker will materialize into its
+/// node cache. The chain recursion revisits the same remainder mask once
+/// per concrete prefix, and rebuilding the candidate trees each time
+/// dominated the engine's profile; caching replays the family from a
+/// slice instead. Families above this limit (reachable only far beyond
+/// the paper's exhaustive threshold) fall back to streaming, keeping
+/// worker memory bounded.
+const NODE_CACHE_MAX: u128 = 1 << 17;
+
+/// Masks wider than this are never cached (the cache is a dense
+/// mask-indexed table of `2^M` slots).
+const NODE_CACHE_MAX_M: usize = 14;
+
+/// Environment-independent node families shared by every worker of every
+/// search over the same `ids` slice (the [`Generator`](crate::Generator)
+/// keeps one per id list): `slots[mask]` lazily materializes every
+/// non-seq-rooted tree over `mask` in canonical streaming order. The
+/// candidate *trees* depend only on the id list, so rebuilding them per
+/// environment — which dominated the engine's profile — is pure waste.
+#[derive(Debug)]
+pub(crate) struct NodeCache {
+    slots: Vec<OnceLock<Vec<Node>>>,
+}
+
+impl NodeCache {
+    pub(crate) fn new(m: usize) -> Self {
+        NodeCache {
+            slots: (0..1usize << m.min(NODE_CACHE_MAX_M))
+                .map(|_| OnceLock::new())
+                .collect(),
+        }
+    }
+
+    /// The non-seq family over `mask`, materialized on first use; `None`
+    /// when the family is too large to cache (see [`NODE_CACHE_MAX`]) and
+    /// the caller must stream instead.
+    fn family(&self, ctx: EnumCtx<'_>, counts: &Counts, mask: Mask) -> Option<&[Node]> {
+        let slot = self.slots.get(mask as usize)?;
+        let n = mask.count_ones() as usize;
+        if counts.non_seq[n] > NODE_CACHE_MAX {
+            return None;
+        }
+        Some(slot.get_or_init(|| {
+            let mut nodes = Vec::with_capacity(to_u64(counts.non_seq[n]) as usize);
+            ctx.stream_non_seq(mask, &mut |node| nodes.push(node));
+            nodes
+        }))
+    }
+}
+
+/// Input to the engine. `ids` must be non-empty, distinct, fully covered
+/// by `env`, and at most [`MAX_COUNT_M`] long; `parallelism` must already
+/// be resolved to a concrete worker count (≥ 1).
+pub(crate) struct SearchSpec<'a> {
+    pub env: &'a EnvQos,
+    pub ids: &'a [MsId],
+    pub req: &'a Requirements,
+    pub utility: UtilityIndex,
+    /// Search `F'(M)` (subset families) instead of `F(M)`.
+    pub subsets: bool,
+    pub pruning: bool,
+    pub parallelism: usize,
+    /// Utility of the best *member of the search space* known before the
+    /// search (seed candidates), or `f64::NEG_INFINITY`. Used only to
+    /// tighten the initial pruning bar — the winner is always re-derived
+    /// from the search itself.
+    pub initial_bound: f64,
+    /// Shared environment-independent candidate-tree cache for this `ids`
+    /// slice (must have been created with `NodeCache::new(ids.len())`).
+    pub cache: &'a NodeCache,
+}
+
+/// What the engine found.
+pub(crate) struct SearchOutcome {
+    pub strategy: Strategy,
+    pub qos: Qos,
+    pub utility: f64,
+    /// Candidates actually estimated.
+    pub seen: u64,
+    /// Candidates skipped by pruning. `seen + pruned` always equals the
+    /// full space size (`F(M)` or `F'(M)`).
+    pub pruned: u64,
+}
+
+/// One unit of work-stealing: a slice of one leaf subset's strategy family.
+enum Job {
+    /// All non-seq-rooted trees over `mask` (the single leaf, or every
+    /// par-rooted tree).
+    NonSeq { mask: Mask },
+    /// All seq-rooted trees over `mask` whose first block is exactly
+    /// `first`.
+    SeqPartition { mask: Mask, first: Mask },
+}
+
+/// Per-leaf and per-mask precomputation shared by every worker.
+struct Tables {
+    /// Per leaf position: average latency and reliability.
+    lat: Vec<f64>,
+    rel: Vec<f64>,
+    /// Per mask: product of failure probabilities.
+    fail: Vec<f64>,
+    /// Per mask: maximum leaf latency.
+    maxl: Vec<f64>,
+    /// Per mask: `Σ_{i∈mask} cᵢ · fail[mask∖i]` — a lower bound on the
+    /// total expected cost of the mask's leaves when each can only be
+    /// gated by the mask's other leaves.
+    costlb1: Vec<f64>,
+}
+
+impl Tables {
+    fn build(env: &EnvQos, ids: &[MsId]) -> Tables {
+        let m = ids.len();
+        let per: Vec<Qos> = ids
+            .iter()
+            .map(|&id| *env.get(id).expect("caller validated coverage"))
+            .collect();
+        let cost: Vec<f64> = per.iter().map(|q| q.cost).collect();
+        let lat: Vec<f64> = per.iter().map(|q| q.latency).collect();
+        let rel: Vec<f64> = per.iter().map(|q| q.reliability.value()).collect();
+        let size = 1usize << m;
+        let mut fail = vec![1.0f64; size];
+        let mut maxl = vec![0.0f64; size];
+        for mask in 1..size {
+            let i = mask.trailing_zeros() as usize;
+            let rest = mask & (mask - 1);
+            fail[mask] = fail[rest] * (1.0 - rel[i]);
+            maxl[mask] = maxl[rest].max(lat[i]);
+        }
+        let mut costlb1 = vec![0.0f64; size];
+        for (mask, slot) in costlb1.iter_mut().enumerate().skip(1) {
+            let mut sum = 0.0;
+            let mut bits = mask;
+            while bits != 0 {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                sum += cost[i] * fail[mask & !(1 << i)];
+            }
+            *slot = sum;
+        }
+        Tables {
+            lat,
+            rel,
+            fail,
+            maxl,
+            costlb1,
+        }
+    }
+
+    fn fail_of(&self, mask: Mask) -> f64 {
+        self.fail[mask as usize]
+    }
+
+    fn maxl_of(&self, mask: Mask) -> f64 {
+        self.maxl[mask as usize]
+    }
+
+    fn costlb1_of(&self, mask: Mask) -> f64 {
+        self.costlb1[mask as usize]
+    }
+}
+
+/// Read-only state shared by all workers.
+struct Shared<'a> {
+    env: &'a EnvQos,
+    ids: &'a [MsId],
+    req: &'a Requirements,
+    utility: UtilityIndex,
+    tables: Tables,
+    counts: Counts,
+    prune: bool,
+    /// Use the incremental per-candidate evaluator (prefix reliability and
+    /// cost contributions accumulated once, in the exact floating-point
+    /// operation order of [`estimate_from_timelines`]). Requires strictly
+    /// positive latencies — with a zero-latency leaf, a later chain block
+    /// could finish at (hence gate) an earlier leaf's start time, and
+    /// prefix cost contributions would no longer be final.
+    fast_eval: bool,
+    /// Best utility found so far across all workers, in the ordered-bits
+    /// `f64` encoding (see [`to_ordered`]). Monotonically raised with
+    /// `fetch_max`; always the utility of some actual candidate.
+    bar: AtomicU64,
+    /// Shared candidate-tree cache (see [`NodeCache`]).
+    cache: &'a NodeCache,
+}
+
+/// Order-preserving `f64 → u64` encoding: `a < b ⇔ enc(a) < enc(b)`, so
+/// `AtomicU64::fetch_max` implements a lock-free floating-point maximum.
+fn to_ordered(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+fn from_ordered(enc: u64) -> f64 {
+    if enc >> 63 == 1 {
+        f64::from_bits(enc & !(1 << 63))
+    } else {
+        f64::from_bits(!enc)
+    }
+}
+
+/// A worker-local incumbent.
+struct Cand {
+    strategy: Strategy,
+    qos: Qos,
+    utility: f64,
+}
+
+/// Runs the search and returns the utility-maximal strategy under the
+/// deterministic tie-break of the sequential exhaustive path.
+pub(crate) fn search(spec: &SearchSpec<'_>) -> SearchOutcome {
+    let m = spec.ids.len();
+    assert!(m >= 1, "caller rejects empty id lists");
+    assert!(m <= MAX_COUNT_M, "search space counts overflow");
+    let tables = Tables::build(spec.env, spec.ids);
+    // The cost bound's admissibility argument and the incremental
+    // evaluator both need strictly positive latencies (later chain blocks
+    // must end strictly after earlier leaves start); fall back to the
+    // unpruned, full-reestimation scan otherwise.
+    let positive_latencies = tables.lat.iter().all(|&l| l > 0.0);
+    let prune = spec.pruning && positive_latencies;
+    let shared = Shared {
+        env: spec.env,
+        ids: spec.ids,
+        req: spec.req,
+        utility: spec.utility,
+        tables,
+        counts: Counts::up_to(m),
+        prune,
+        fast_eval: positive_latencies,
+        bar: AtomicU64::new(to_ordered(spec.initial_bound)),
+        cache: spec.cache,
+    };
+
+    let full: Mask = (1 << m) - 1;
+    let mut jobs: Vec<Job> = Vec::new();
+    let push_family = |jobs: &mut Vec<Job>, mask: Mask| {
+        jobs.push(Job::NonSeq { mask });
+        if mask.count_ones() >= 2 {
+            for first in submasks(mask) {
+                if first != 0 && first != mask {
+                    jobs.push(Job::SeqPartition { mask, first });
+                }
+            }
+        }
+    };
+    if spec.subsets {
+        for sub in submasks(full) {
+            if sub != 0 {
+                push_family(&mut jobs, sub);
+            }
+        }
+    } else {
+        push_family(&mut jobs, full);
+    }
+
+    let workers = spec.parallelism.clamp(1, jobs.len());
+    let next = AtomicUsize::new(0);
+    let run_all = |runner: &mut JobRunner<'_>| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(job) = jobs.get(i) else { break };
+        runner.run_job(job);
+    };
+
+    let mut results: Vec<(Option<Cand>, u64, u64)> = Vec::new();
+    if workers <= 1 {
+        let mut runner = JobRunner::new(&shared);
+        run_all(&mut runner);
+        results.push(runner.finish());
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut runner = JobRunner::new(&shared);
+                        run_all(&mut runner);
+                        runner.finish()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.push(handle.join().expect("search worker panicked"));
+            }
+        });
+    }
+
+    let mut best: Option<Cand> = None;
+    let mut seen = 0u64;
+    let mut pruned = 0u64;
+    // `better_tiebreak` extends `utility` into a strict total order over
+    // candidates, so folding worker maxima in any order yields the same
+    // winner as the sequential scan.
+    for (cand, job_seen, job_pruned) in results {
+        seen += job_seen;
+        pruned += job_pruned;
+        if let Some(c) = cand {
+            let replace = match &best {
+                None => true,
+                Some(cur) => {
+                    c.utility > cur.utility
+                        || (c.utility == cur.utility
+                            && better_tiebreak(&c.strategy, &c.qos, &cur.strategy, &cur.qos))
+                }
+            };
+            if replace {
+                best = Some(c);
+            }
+        }
+    }
+    let best = best.expect("the utility-maximal family is never pruned");
+    SearchOutcome {
+        strategy: best.strategy,
+        qos: best.qos,
+        utility: best.utility,
+        seen,
+        pruned,
+    }
+}
+
+/// Per-timeline QoS values resolved once per walk (parallel to
+/// `JobRunner::scratch`), so per-candidate evaluation never goes back to
+/// the environment table.
+#[derive(Clone, Copy)]
+struct Meta {
+    rel: f64,
+    fail: f64,
+    cost: f64,
+}
+
+/// Per-worker mutable state.
+struct JobRunner<'a> {
+    shared: &'a Shared<'a>,
+    ctx: EnumCtx<'a>,
+    /// Timelines of the fixed chain prefix plus the block currently being
+    /// evaluated, in canonical walk order.
+    scratch: Vec<Timeline>,
+    /// Reliability/failure/cost of each `scratch` entry, same order.
+    meta: Vec<Meta>,
+    /// `(end, reliability)` scratch for latency bound evaluation.
+    bentries: Vec<(f64, f64)>,
+    /// `(end, reliability)` of the fixed chain prefix, stable-sorted by
+    /// end time. Because every block's entries end strictly after every
+    /// earlier block's (positive latencies), the full estimator's stable
+    /// end-sort factorizes into per-level stable sorts concatenated in
+    /// chain order — so this list, plus a per-candidate sort of just the
+    /// final block, reproduces the full sort's exact permutation.
+    lsorted: Vec<(f64, f64)>,
+    /// Canonical nodes of the fixed chain prefix blocks.
+    prefix: Vec<Node>,
+    /// `1 − fail[mask]` of the family currently being searched.
+    family_rel: f64,
+    best: Option<Cand>,
+    seen: u64,
+    pruned: u64,
+}
+
+impl<'a> JobRunner<'a> {
+    fn new(shared: &'a Shared<'a>) -> Self {
+        JobRunner {
+            shared,
+            ctx: EnumCtx::new(shared.ids),
+            scratch: Vec::new(),
+            meta: Vec::new(),
+            bentries: Vec::new(),
+            lsorted: Vec::new(),
+            prefix: Vec::new(),
+            family_rel: 0.0,
+            best: None,
+            seen: 0,
+            pruned: 0,
+        }
+    }
+
+    fn finish(self) -> (Option<Cand>, u64, u64) {
+        (self.best, self.seen, self.pruned)
+    }
+
+    fn run_job(&mut self, job: &Job) {
+        let mask = match job {
+            Job::NonSeq { mask } | Job::SeqPartition { mask, .. } => *mask,
+        };
+        self.family_rel = 1.0 - self.shared.tables.fail_of(mask);
+        self.scratch.clear();
+        self.meta.clear();
+        self.prefix.clear();
+        self.lsorted.clear();
+        match job {
+            Job::NonSeq { mask } => self.run_non_seq_family(*mask),
+            Job::SeqPartition { mask, first } => self.run_seq_partition(*mask, *first),
+        }
+    }
+
+    /// All non-seq-rooted trees over `mask` (leaf or par-rooted).
+    fn run_non_seq_family(&mut self, mask: Mask) {
+        let n = mask.count_ones() as usize;
+        if self.shared.prune && self.shared.counts.non_seq[n] >= MIN_PRUNE_COUNT {
+            // Bound: every leaf starts at 0, so ends are at least the leaf
+            // latencies and every leaf is unconditionally chargeable only
+            // down to the one-block cost bound.
+            self.bentries.clear();
+            self.push_virtual_entries(mask, 0.0);
+            let cost_lb = self.shared.tables.costlb1_of(mask);
+            if self.prunable(cost_lb) {
+                self.pruned += to_u64(self.shared.counts.non_seq[n]);
+                return;
+            }
+        }
+        self.for_each_non_seq(mask, &mut |runner, node| runner.eval_block(node, 0.0));
+    }
+
+    /// Runs `f` once per non-seq-rooted tree over `mask`, in the canonical
+    /// streaming emission order.
+    ///
+    /// Small families are materialized into the shared [`NodeCache`] on
+    /// first use and replayed from the cached slice afterwards — the chain
+    /// recursion revisits the same remainder mask once per concrete
+    /// prefix, and rebuilding the trees each time dominated the engine's
+    /// profile. The cache only depends on `ids`, so it is shared across
+    /// environments, searches, and workers. Oversized families stream
+    /// exactly as before.
+    fn for_each_non_seq(&mut self, mask: Mask, f: &mut impl FnMut(&mut Self, &Node)) {
+        let shared = self.shared;
+        match shared.cache.family(self.ctx, &shared.counts, mask) {
+            Some(nodes) => {
+                for node in nodes {
+                    f(self, node);
+                }
+            }
+            None => {
+                let ctx = self.ctx;
+                ctx.stream_non_seq(mask, &mut |node| f(self, &node));
+            }
+        }
+    }
+
+    /// Walks `node` onto `scratch`, resolving per-leaf QoS into `meta`.
+    fn walk_tracked(&mut self, node: &Node, offset: f64) -> f64 {
+        let mark = self.scratch.len();
+        let end = walk(node, offset, self.shared.env, &mut self.scratch)
+            .expect("caller validated coverage");
+        for t in &self.scratch[mark..] {
+            let qos = self
+                .shared
+                .env
+                .get(t.ms)
+                .expect("caller validated coverage");
+            self.meta.push(Meta {
+                rel: qos.reliability.value(),
+                fail: qos.reliability.failure_probability(),
+                cost: qos.cost,
+            });
+        }
+        end
+    }
+
+    fn truncate_to(&mut self, mark: usize) {
+        self.scratch.truncate(mark);
+        self.meta.truncate(mark);
+    }
+
+    /// QoS of the complete candidate currently in `scratch`, whose final
+    /// block is `scratch[mark..]`.
+    ///
+    /// `fail_pre`/`cost_base`/`lat_partial`/`pf` are the reliability
+    /// product, expected cost, r-weighted latency partial sum, and latency
+    /// prefix-failure product accumulated over `scratch[..mark]` (the
+    /// fixed chain prefix) in the exact floating-point operation sequence
+    /// of [`estimate_from_timelines`]; the fast path extends each over the
+    /// final block only — same multiply order for the failure product,
+    /// same left-to-right accumulation for cost and latency, same stable
+    /// end-sorted permutation — so the result is bit-identical.
+    fn qos_of_final(
+        &mut self,
+        mark: usize,
+        fail_pre: f64,
+        cost_base: f64,
+        lat_partial: f64,
+        pf: f64,
+    ) -> Qos {
+        if !self.shared.fast_eval {
+            return estimate_from_timelines(&self.scratch, self.shared.env);
+        }
+        let all_fail = self.mul_fails_onto(mark, fail_pre);
+        let cost = self.added_cost_block(mark, cost_base, fail_pre);
+        let latency = self.latency_with_final(mark, lat_partial, pf);
+        let qos = Qos {
+            cost,
+            latency,
+            reliability: Reliability::clamped(1.0 - all_fail),
+        };
+        debug_assert_eq!(qos, estimate_from_timelines(&self.scratch, self.shared.env));
+        qos
+    }
+
+    /// Failure product of `scratch[mark..]` accumulated onto `base`,
+    /// multiplying in walk order (matching `Iterator::product` over the
+    /// full timeline list when chained from the prefix's own product).
+    fn mul_fails_onto(&self, mark: usize, base: f64) -> f64 {
+        let mut p = base;
+        for meta in &self.meta[mark..] {
+            p *= meta.fail;
+        }
+        p
+    }
+
+    /// Appends the stable-sorted `(end, reliability)` entries of
+    /// `scratch[mark..]` to `lsorted` as one chain level and extends the
+    /// latency accumulators over them, returning the updated
+    /// `(lat_partial, pf)`. Every entry is r-weighted — correct because
+    /// the chain always continues past a non-final level, so none of these
+    /// entries can be the overall-last of any completed candidate.
+    fn push_sorted_level(&mut self, mark: usize, lat_partial: f64, pf: f64) -> (f64, f64) {
+        let lmark = self.lsorted.len();
+        for (t, meta) in self.scratch[mark..].iter().zip(&self.meta[mark..]) {
+            self.lsorted.push((t.end, meta.rel));
+        }
+        self.lsorted[lmark..]
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("latency must not be NaN"));
+        let mut lp = lat_partial;
+        let mut p = pf;
+        for &(end, r) in &self.lsorted[lmark..] {
+            lp += p * r * end;
+            p *= 1.0 - r;
+        }
+        (lp, p)
+    }
+
+    /// Exact expected latency of the complete candidate in `scratch`:
+    /// Algorithm 1 lines 3–7. Only the final block `scratch[mark..]` is
+    /// sorted and accumulated here; the prefix's contribution arrives
+    /// pre-reduced as `lat_partial`/`pf` (see [`Self::push_sorted_level`]
+    /// and the factorization note on [`Self::lsorted`]).
+    fn latency_with_final(&mut self, mark: usize, lat_partial: f64, mut pf: f64) -> f64 {
+        let lmark = self.lsorted.len();
+        for (t, meta) in self.scratch[mark..].iter().zip(&self.meta[mark..]) {
+            self.lsorted.push((t.end, meta.rel));
+        }
+        self.lsorted[lmark..]
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("latency must not be NaN"));
+        let mut latency = lat_partial;
+        let n = self.lsorted.len();
+        for i in lmark..n {
+            let (end, r) = self.lsorted[i];
+            if i + 1 == n {
+                latency += pf * end;
+            } else {
+                latency += pf * r * end;
+                pf *= 1.0 - r;
+            }
+        }
+        self.lsorted.truncate(lmark);
+        latency
+    }
+
+    /// Evaluates one complete non-seq candidate rooted at time 0.
+    fn eval_block(&mut self, node: &Node, offset: f64) {
+        debug_assert!(self.scratch.is_empty() && self.prefix.is_empty());
+        self.walk_tracked(node, offset);
+        let qos = self.qos_of_final(0, 1.0, 0.0, 0.0, 1.0);
+        self.consider(qos, |_| node.clone());
+        self.truncate_to(0);
+    }
+
+    /// All seq-rooted trees over `mask` whose first block is `first`.
+    fn run_seq_partition(&mut self, mask: Mask, first: Mask) {
+        let rest = mask & !first;
+        if self.shared.prune
+            && self.seq_partition_count(first, rest) >= MIN_PRUNE_COUNT
+            && self.partition_prunable(1.0, 0.0, 0.0, first, rest)
+        {
+            self.pruned += to_u64(self.seq_partition_count(first, rest));
+            return;
+        }
+        self.for_each_non_seq(first, &mut |runner, node| {
+            debug_assert!(runner.scratch.is_empty() && runner.prefix.is_empty());
+            let t0 = runner.walk_tracked(node, 0.0);
+            let cost_fixed = runner.added_cost_block(0, 0.0, 1.0);
+            let fail_first = runner.mul_fails_onto(0, 1.0);
+            let (lat_partial, pf) = runner.push_sorted_level(0, 0.0, 1.0);
+            runner.prefix.push(node.clone());
+            runner.chain_rest(rest, t0, fail_first, cost_fixed, lat_partial, pf);
+            runner.prefix.pop();
+            runner.lsorted.clear();
+            runner.truncate_to(0);
+        });
+    }
+
+    /// Number of seq-rooted trees with first block `first` and remainder
+    /// `rest` (either a single non-seq block or a longer chain).
+    fn seq_partition_count(&self, first: Mask, rest: Mask) -> u128 {
+        let counts = &self.shared.counts;
+        let b = first.count_ones() as usize;
+        let r = rest.count_ones() as usize;
+        counts.non_seq[b] * (counts.non_seq[r] + counts.seq[r])
+    }
+
+    /// Extends the fixed chain (timelines in `scratch`, blocks in
+    /// `prefix`) over the remaining leaves `rem`, starting at time `t0`.
+    ///
+    /// `fail_pre` is the walk-order failure product of every fixed leaf;
+    /// `cost_fixed` is the exact expected-cost contribution of the fixed
+    /// leaves (later blocks can never gate them, so this term is final);
+    /// `lat_partial`/`pf` are the latency accumulators over the sorted
+    /// prefix (see [`Self::push_sorted_level`]). All carry the
+    /// accumulation order of the full estimator, so the fast evaluator can
+    /// extend them bit-exactly.
+    fn chain_rest(
+        &mut self,
+        rem: Mask,
+        t0: f64,
+        fail_pre: f64,
+        cost_fixed: f64,
+        lat_partial: f64,
+        pf: f64,
+    ) {
+        let counts = &self.shared.counts;
+        let r = rem.count_ones() as usize;
+        // Option A — finish the chain with `rem` as one non-seq block.
+        let mut enumerate_final = true;
+        if self.shared.prune && counts.non_seq[r] >= MIN_PRUNE_COUNT {
+            self.bentries.clear();
+            self.push_fixed_entries();
+            self.push_virtual_entries(rem, t0);
+            let cost_lb = cost_fixed + fail_pre * self.shared.tables.costlb1_of(rem);
+            if self.prunable(cost_lb) {
+                self.pruned += to_u64(counts.non_seq[r]);
+                enumerate_final = false;
+            }
+        }
+        if enumerate_final {
+            self.for_each_non_seq(rem, &mut |runner, node| {
+                runner.eval_chain_final(node, t0, fail_pre, cost_fixed, lat_partial, pf);
+            });
+        }
+        // Option B — place a proper sub-block next and keep chaining.
+        if r < 2 {
+            return;
+        }
+        for next_block in submasks(rem) {
+            if next_block == 0 || next_block == rem {
+                continue;
+            }
+            let tail = rem & !next_block;
+            if self.shared.prune
+                && self.seq_partition_count(next_block, tail) >= MIN_PRUNE_COUNT
+                && self.partition_prunable(fail_pre, cost_fixed, t0, next_block, tail)
+            {
+                self.pruned += to_u64(self.seq_partition_count(next_block, tail));
+                continue;
+            }
+            self.for_each_non_seq(next_block, &mut |runner, node| {
+                let mark = runner.scratch.len();
+                let lmark = runner.lsorted.len();
+                let t1 = runner.walk_tracked(node, t0);
+                let cost_now = runner.added_cost_block(mark, cost_fixed, fail_pre);
+                let fail_now = runner.mul_fails_onto(mark, fail_pre);
+                let (lat_now, pf_now) = runner.push_sorted_level(mark, lat_partial, pf);
+                runner.prefix.push(node.clone());
+                runner.chain_rest(tail, t1, fail_now, cost_now, lat_now, pf_now);
+                runner.prefix.pop();
+                runner.lsorted.truncate(lmark);
+                runner.truncate_to(mark);
+            });
+        }
+    }
+
+    /// Evaluates one chain candidate: fixed prefix (already in `scratch`)
+    /// plus `block` as the final element.
+    fn eval_chain_final(
+        &mut self,
+        block: &Node,
+        t0: f64,
+        fail_pre: f64,
+        cost_fixed: f64,
+        lat_partial: f64,
+        pf: f64,
+    ) {
+        let mark = self.scratch.len();
+        self.walk_tracked(block, t0);
+        let qos = self.qos_of_final(mark, fail_pre, cost_fixed, lat_partial, pf);
+        self.consider(qos, |prefix| {
+            let mut children: Vec<Node> = Vec::with_capacity(prefix.len() + 1);
+            children.extend(prefix.iter().cloned());
+            children.push(block.clone());
+            Node::Seq(children)
+        });
+        self.truncate_to(mark);
+    }
+
+    /// Records an estimated candidate. `make` builds the candidate's
+    /// canonical node from the fixed prefix blocks — only invoked when the
+    /// candidate might become the worker-local incumbent.
+    fn consider(&mut self, qos: Qos, make: impl FnOnce(&[Node]) -> Node) {
+        self.seen += 1;
+        let u = self.shared.utility.utility(&qos, self.shared.req);
+        // Global screen: a candidate strictly below the shared bar can be
+        // neither the maximum nor one of its ties (the bar is always some
+        // candidate's exact utility, hence ≤ the maximum).
+        if u < from_ordered(self.shared.bar.load(Ordering::Relaxed)) {
+            return;
+        }
+        if let Some(cur) = &self.best {
+            if u < cur.utility {
+                return;
+            }
+        }
+        let strategy =
+            Strategy::from_node(make(&self.prefix)).expect("engine produces valid strategies");
+        let replace = match &self.best {
+            None => true,
+            Some(cur) => {
+                u > cur.utility
+                    || (u == cur.utility
+                        && better_tiebreak(&strategy, &qos, &cur.strategy, &cur.qos))
+            }
+        };
+        if replace {
+            self.shared.bar.fetch_max(to_ordered(u), Ordering::Relaxed);
+            self.best = Some(Cand {
+                strategy,
+                qos,
+                utility: u,
+            });
+        }
+    }
+
+    /// Bound check for continuing the chain with next block `block` and
+    /// remainder `tail`, given the current fixed context.
+    fn partition_prunable(
+        &mut self,
+        fail_pre: f64,
+        cost_fixed: f64,
+        t0: f64,
+        block: Mask,
+        tail: Mask,
+    ) -> bool {
+        let tables = &self.shared.tables;
+        self.bentries.clear();
+        self.push_fixed_entries();
+        self.push_virtual_entries(block, t0);
+        self.push_virtual_entries(tail, t0 + tables.maxl_of(block));
+        let cost_lb = cost_fixed
+            + fail_pre
+                * (tables.costlb1_of(block) + tables.fail_of(block) * tables.costlb1_of(tail));
+        self.prunable(cost_lb)
+    }
+
+    /// Evaluates the utility upper bound from `self.bentries` (latency)
+    /// and `cost_lb`, against the shared bar.
+    fn prunable(&mut self, cost_lb: f64) -> bool {
+        let lat_lb = expected_latency(&mut self.bentries);
+        let bound_qos = Qos {
+            cost: cost_lb,
+            latency: lat_lb,
+            reliability: Reliability::clamped(self.family_rel),
+        };
+        let ub = self.shared.utility.utility(&bound_qos, self.shared.req);
+        ub < from_ordered(self.shared.bar.load(Ordering::Relaxed)) - PRUNE_MARGIN
+    }
+
+    /// Pushes `(end, reliability)` of every fixed timeline in `scratch`,
+    /// reading the reliabilities already resolved into `meta`.
+    fn push_fixed_entries(&mut self) {
+        for (t, meta) in self.scratch.iter().zip(&self.meta) {
+            self.bentries.push((t.end, meta.rel));
+        }
+    }
+
+    /// Pushes the pointwise-earliest virtual end times of `mask`'s leaves,
+    /// all relaxed to start at `offset`.
+    fn push_virtual_entries(&mut self, mask: Mask, offset: f64) {
+        let tables = &self.shared.tables;
+        let mut bits = mask;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.bentries.push((offset + tables.lat[i], tables.rel[i]));
+        }
+    }
+
+    /// Exact expected-cost contribution of `scratch[mark..]` accumulated
+    /// onto `base`, each entry gated per Algorithm 1's `e ≤ s` rule.
+    ///
+    /// Every prefix entry ends at or before the current block's offset and
+    /// every block entry starts at or after it (positive latencies), so
+    /// the prefix *always* gates the block — and its walk-order gating
+    /// product is exactly `fail_pre`, the same multiply sequence from
+    /// `1.0` the full estimator performs. Only gating *within* the block
+    /// still needs the pairwise check. Accumulating onto the prefix total
+    /// — rather than summing separately and adding — preserves the full
+    /// estimator's left-to-right addition order, hence its exact bits.
+    fn added_cost_block(&self, mark: usize, base: f64, fail_pre: f64) -> f64 {
+        let mut cost = base;
+        let block = &self.scratch[mark..];
+        let meta = &self.meta[mark..];
+        for (idx, t) in block.iter().enumerate() {
+            let mut p = fail_pre;
+            for (jdx, u) in block.iter().enumerate() {
+                if jdx != idx && u.end <= t.start {
+                    p *= meta[jdx].fail;
+                }
+            }
+            cost += p * meta[idx].cost;
+        }
+        cost
+    }
+}
+
+/// Algorithm 1's latency formula applied to `(end, reliability)` pairs:
+/// the expected value of "the earliest successful end, or the last end if
+/// everything fails". Monotone in every end time, so applying it to
+/// pointwise-earliest virtual ends lower-bounds the latency of any
+/// concrete schedule over the same leaves.
+fn expected_latency(entries: &mut [(f64, f64)]) -> f64 {
+    entries.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("latency must not be NaN"));
+    let mut latency = 0.0;
+    let mut prefix_fail = 1.0;
+    for (i, &(end, r)) in entries.iter().enumerate() {
+        if i + 1 == entries.len() {
+            latency += prefix_fail * end;
+        } else {
+            latency += prefix_fail * r * end;
+            prefix_fail *= 1.0 - r;
+        }
+    }
+    latency
+}
+
+fn to_u64(x: u128) -> u64 {
+    u64::try_from(x).expect("pruned-family count exceeds u64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_f64_encoding_is_monotone() {
+        let values = [
+            f64::NEG_INFINITY,
+            -1.0e308,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            2.5,
+            1.0e308,
+            f64::INFINITY,
+        ];
+        for pair in values.windows(2) {
+            assert!(
+                to_ordered(pair[0]) <= to_ordered(pair[1]),
+                "{} vs {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        for v in values {
+            assert_eq!(from_ordered(to_ordered(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn expected_latency_matches_algorithm1_on_parallel() {
+        // a*b*c with l=(10,90,70), r=(10%,90%,70%) — Section III.C.3.
+        let mut entries = vec![(10.0, 0.1), (90.0, 0.9), (70.0, 0.7)];
+        let lat = expected_latency(&mut entries);
+        assert!((lat - 69.4).abs() < 1e-9, "got {lat}");
+    }
+}

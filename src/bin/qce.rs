@@ -17,6 +17,8 @@
 //!   --k K             utility penalty factor (default 2)
 //!   --method M        exhaustive | approximation | local-search |
 //!                     failover | parallel | auto (default auto)
+//!   --parallelism N   generate: search worker threads (0 = auto, default)
+//!   --no-pruning      generate: disable branch-and-bound pruning
 //!   --runs N          simulate: executions (default 10000)
 //!   --seed N          simulate: RNG seed (default 42)
 //!   --top N           enumerate/pareto: rows to print (default 10)
@@ -44,6 +46,8 @@ struct Options {
     require: (f64, f64, f64),
     k: f64,
     method: String,
+    parallelism: usize,
+    pruning: bool,
     runs: u32,
     seed: u64,
     top: usize,
@@ -56,6 +60,8 @@ impl Default for Options {
             require: (100.0, 100.0, 97.0),
             k: 2.0,
             method: "auto".to_string(),
+            parallelism: 0,
+            pruning: true,
             runs: 10_000,
             seed: 42,
             top: 10,
@@ -89,6 +95,12 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
             "--require" => options.require = parse_triple(&value("--require")?)?,
             "--k" => options.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--method" => options.method = value("--method")?,
+            "--parallelism" => {
+                options.parallelism = value("--parallelism")?
+                    .parse()
+                    .map_err(|e| format!("--parallelism: {e}"))?
+            }
+            "--no-pruning" => options.pruning = false,
             "--runs" => {
                 options.runs = value("--runs")?
                     .parse()
@@ -147,7 +159,12 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
             let env = build_env(options)?;
             let req = requirements(options)?;
             let ui = UtilityIndex::new(options.k).map_err(|e| e.to_string())?;
-            let generator = Generator::new(ui, 6);
+            let generator = Generator::builder()
+                .utility(ui)
+                .threshold(6)
+                .parallelism(options.parallelism)
+                .pruning(options.pruning)
+                .build();
             let ids = env.ids();
             let generated = match options.method.as_str() {
                 "auto" => generator.generate(&env, &ids, &req),
@@ -160,6 +177,14 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
             }
             .map_err(|e| e.to_string())?;
             println!("{generated}");
+            let report = generated.report;
+            println!(
+                "search   : {} estimated + {} pruned of {} candidates in {:.3} ms",
+                report.candidates_seen,
+                report.candidates_pruned,
+                generated.evaluated,
+                report.elapsed.as_secs_f64() * 1e3
+            );
             let violations = req.violations(&generated.qos);
             if violations.is_empty() {
                 println!("satisfies every requirement of {req}");
@@ -364,6 +389,25 @@ mod tests {
         };
         assert!(run("enumerate", None, &options).is_err());
         assert!(run("pareto", None, &options).is_err());
+    }
+
+    #[test]
+    fn parse_args_engine_flags() {
+        let (_, _, options) = parse_args(&args(&[
+            "generate",
+            "--ms",
+            "50,50,60",
+            "--ms",
+            "100,100,60",
+            "--parallelism",
+            "2",
+            "--no-pruning",
+        ]))
+        .unwrap();
+        assert_eq!(options.parallelism, 2);
+        assert!(!options.pruning);
+        assert!(run("generate", None, &options).is_ok());
+        assert!(parse_args(&args(&["generate", "--parallelism", "x"])).is_err());
     }
 
     #[test]
