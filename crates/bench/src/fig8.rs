@@ -43,6 +43,22 @@ pub struct SlotMeasurement {
 #[must_use]
 pub fn measure(slots: u32, per_slot: u32, latency_scale: f64) -> Vec<SlotMeasurement> {
     let tb: Testbed = testbed::build(per_slot, latency_scale);
+    measure_on(&tb, slots, per_slot, latency_scale)
+}
+
+/// As [`measure`], but on a caller-provided testbed — so the caller keeps
+/// access to the gateway (and its telemetry) after the run.
+///
+/// # Panics
+///
+/// Panics if the testbed fails to serve requests (cannot happen).
+#[must_use]
+pub fn measure_on(
+    tb: &Testbed,
+    slots: u32,
+    per_slot: u32,
+    latency_scale: f64,
+) -> Vec<SlotMeasurement> {
     // The paper's thresholds assume 100-execution slots; scale them.
     let drop_at = 230 * u64::from(per_slot) / 100;
     let recover_at = 430 * u64::from(per_slot) / 100;
@@ -86,13 +102,15 @@ pub fn measure(slots: u32, per_slot: u32, latency_scale: f64) -> Vec<SlotMeasure
     out
 }
 
-/// Runs the Fig. 8 reproduction and writes `fig8.tsv`.
+/// Runs the Fig. 8 reproduction and writes `fig8.tsv`, plus the gateway's
+/// telemetry snapshot as `fig8_telemetry.json`.
 ///
 /// # Errors
 ///
 /// Returns an I/O error if the report cannot be written.
 pub fn run(reports: &Path, slots: u32, per_slot: u32, latency_scale: f64) -> std::io::Result<()> {
-    let measurements = measure(slots, per_slot, latency_scale);
+    let tb: Testbed = testbed::build(per_slot, latency_scale);
+    let measurements = measure_on(&tb, slots, per_slot, latency_scale);
     let mut report = Report::new(
         format!(
             "Fig. 8: average QoS per slot under reliability drift \
@@ -112,6 +130,7 @@ pub fn run(reports: &Path, slots: u32, per_slot: u32, latency_scale: f64) -> std
     report.note("expected: degradation around the drop slot, demotion of readTempSensor,");
     report.note("recovery of per-slot QoS, and eventual re-promotion after the sensor heals");
     report.emit(reports, "fig8")?;
+    crate::report::emit_telemetry(reports, "fig8", &tb.gateway.telemetry().snapshot())?;
     Ok(())
 }
 
@@ -152,5 +171,18 @@ mod tests {
     fn slot_zero_is_default_parallel() {
         let ms = measure(2, 30, 0.01);
         assert!(ms[0].strategy.contains('*') || ms[1].strategy.contains('-'));
+    }
+
+    #[test]
+    fn run_emits_report_and_telemetry_snapshot() {
+        let dir = std::env::temp_dir().join(format!("qce-fig8-{}", std::process::id()));
+        run(&dir, 2, 20, 0.01).unwrap();
+        assert!(dir.join("fig8.tsv").exists());
+        let text = std::fs::read_to_string(dir.join("fig8_telemetry.json")).unwrap();
+        let parsed: qce_runtime::MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        let svc = parsed.service(testbed::SERVICE).unwrap();
+        assert_eq!(svc.invocations, 40, "2 slots x 20 executions");
+        assert_eq!(svc.replans, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -102,6 +102,27 @@ impl Report {
     }
 }
 
+/// Writes a gateway telemetry snapshot as pretty JSON to
+/// `<dir>/<name>_telemetry.json`, next to the TSV report of the same name,
+/// so every gateway-driven report ships with the exact runtime accounting
+/// (per-service and per-provider counters, re-plan events) behind it.
+///
+/// # Errors
+///
+/// Returns an I/O error if the snapshot file cannot be written.
+pub fn emit_telemetry(
+    dir: &Path,
+    name: &str,
+    snapshot: &qce_runtime::MetricsSnapshot,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}_telemetry.json"));
+    let json = serde_json::to_string_pretty(snapshot)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 /// Formats a float with a fixed number of decimals.
 #[must_use]
 pub fn fmt_f(value: f64, decimals: usize) -> String {
@@ -155,5 +176,27 @@ mod tests {
     fn formatters() {
         assert_eq!(fmt_f(1.23456, 2), "1.23");
         assert_eq!(fmt_pct(0.973), "97.3%");
+    }
+
+    #[test]
+    fn emit_telemetry_writes_parseable_json() {
+        use std::sync::Arc;
+        let dir = std::env::temp_dir().join(format!("qce-telemetry-{}", std::process::id()));
+        let clock: Arc<dyn qce_runtime::Clock> = Arc::new(qce_runtime::VirtualClock::new());
+        let telemetry = qce_runtime::Telemetry::new(clock, 16);
+        telemetry.record_request(
+            "svc",
+            true,
+            std::time::Duration::from_millis(3),
+            50.0,
+            false,
+            None,
+        );
+        let path = emit_telemetry(&dir, "demo", &telemetry.snapshot()).unwrap();
+        assert!(path.ends_with("demo_telemetry.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: qce_runtime::MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.service("svc").unwrap().invocations, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -46,8 +46,19 @@ pub struct Table4Result {
 #[must_use]
 pub fn measure(per_slot: u32, latency_scale: f64) -> Table4Result {
     let tb = testbed::build(per_slot, latency_scale);
-    let default_measured = testbed::run_slot(&tb, per_slot);
-    let generated_measured = testbed::run_slot(&tb, per_slot);
+    measure_on(&tb, per_slot, latency_scale)
+}
+
+/// As [`measure`], but on a caller-provided testbed — so the caller keeps
+/// access to the gateway (and its telemetry) after the run.
+///
+/// # Panics
+///
+/// Panics if the testbed fails to serve requests (cannot happen).
+#[must_use]
+pub fn measure_on(tb: &testbed::Testbed, per_slot: u32, latency_scale: f64) -> Table4Result {
+    let default_measured = testbed::run_slot(tb, per_slot);
+    let generated_measured = testbed::run_slot(tb, per_slot);
     let history = tb.gateway.slot_history(testbed::SERVICE);
     assert!(history.len() >= 2, "two slots were executed");
     let generated_estimate = history[1].estimated.map(|q| {
@@ -65,13 +76,15 @@ pub fn measure(per_slot: u32, latency_scale: f64) -> Table4Result {
     }
 }
 
-/// Runs the Table IV reproduction and writes `table4.tsv`.
+/// Runs the Table IV reproduction and writes `table4.tsv`, plus the
+/// gateway's telemetry snapshot as `table4_telemetry.json`.
 ///
 /// # Errors
 ///
 /// Returns an I/O error if the report cannot be written.
 pub fn run(reports: &Path, per_slot: u32, latency_scale: f64) -> std::io::Result<()> {
-    let result = measure(per_slot, latency_scale);
+    let tb = testbed::build(per_slot, latency_scale);
+    let result = measure_on(&tb, per_slot, latency_scale);
     let mut report = Report::new(
         format!(
             "Table IV: testbed execution results ({per_slot} invocations/slot, \
@@ -126,6 +139,7 @@ pub fn run(reports: &Path, per_slot: u32, latency_scale: f64) -> std::io::Result
          Java thread fan-out; our executor follows Assumption 2 exactly (cost 150)",
     );
     report.emit(reports, "table4")?;
+    crate::report::emit_telemetry(reports, "table4", &tb.gateway.telemetry().snapshot())?;
     Ok(())
 }
 
@@ -175,6 +189,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("qce-table4-{}", std::process::id()));
         run(&dir, 20, 0.02).unwrap();
         assert!(dir.join("table4.tsv").exists());
+        let text = std::fs::read_to_string(dir.join("table4_telemetry.json")).unwrap();
+        let parsed: qce_runtime::MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            parsed.service(testbed::SERVICE).unwrap().invocations,
+            40,
+            "two slots of 20"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -6,7 +6,7 @@
 //! lookup) with configurable latency, reliability, and cost — the same code
 //! path as a real device (a blocking invocation on the executor's thread),
 //! with a [`Clock::sleep`] standing in for sensor and network I/O. On the
-//! default [`WallClock`](crate::WallClock) that is a real sleep; on a
+//! default [`WallClock`] that is a real sleep; on a
 //! [`VirtualClock`](crate::VirtualClock) the latency is simulated
 //! deterministically without blocking real time. [`FnProvider`] wraps an
 //! arbitrary closure for microservices that do real computation.

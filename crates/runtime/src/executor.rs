@@ -27,6 +27,7 @@ use crate::clock::{Clock, WallClock, WorkerGuard};
 use crate::collector::{Collector, ExecutionRecord};
 use crate::device::Provider;
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
+use crate::telemetry::Telemetry;
 
 /// The observable result of executing a strategy for one service request.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +109,26 @@ pub fn execute_strategy_with_clock(
     collector: Option<&Collector>,
     clock: &dyn Clock,
 ) -> Result<ServiceOutcome, RuntimeError> {
+    execute_strategy_instrumented(strategy, providers, request, collector, clock, None)
+}
+
+/// [`execute_strategy_with_clock`] that additionally records every
+/// completed invocation (per-provider counters and latency/cost
+/// histograms) into `telemetry` when provided. Recording is a handful of
+/// relaxed atomic increments on the invocation's own thread — no lock is
+/// held across provider calls.
+///
+/// # Errors
+///
+/// As [`execute_strategy`].
+pub fn execute_strategy_instrumented(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+    request: &Invocation,
+    collector: Option<&Collector>,
+    clock: &dyn Clock,
+    telemetry: Option<&Telemetry>,
+) -> Result<ServiceOutcome, RuntimeError> {
     for id in strategy.leaves() {
         if providers.get(id.index()).is_none() {
             return Err(RuntimeError::NoProvider {
@@ -122,6 +143,7 @@ pub fn execute_strategy_with_clock(
         request,
         collector,
         clock,
+        telemetry,
         cancel: AtomicBool::new(false),
         started_at: clock.now(),
         first_success: Mutex::new(None),
@@ -163,6 +185,7 @@ struct Ctx<'a> {
     request: &'a Invocation,
     collector: Option<&'a Collector>,
     clock: &'a dyn Clock,
+    telemetry: Option<&'a Telemetry>,
     cancel: AtomicBool,
     started_at: Duration,
     first_success: Mutex<Option<Win>>,
@@ -209,6 +232,9 @@ fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
                         cost: provider.cost(),
                     },
                 );
+            }
+            if let Some(telemetry) = ctx.telemetry {
+                telemetry.record_invocation(provider.id(), success, latency, provider.cost());
             }
             ctx.invocations.lock().push(outcome);
             match result {

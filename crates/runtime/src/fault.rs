@@ -24,6 +24,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::clock::Clock;
 use crate::device::{Provider, SimulatedProvider};
 use crate::message::{Invocation, InvokeError};
+use crate::telemetry::Telemetry;
 
 /// What goes wrong (or right again) at a scheduled instant.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -231,6 +232,7 @@ pub struct FaultyProvider {
     clock: Arc<dyn Clock>,
     plan: FaultPlan,
     condition: Mutex<FaultCondition>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl fmt::Debug for FaultyProvider {
@@ -252,6 +254,27 @@ impl FaultyProvider {
             clock,
             plan,
             condition: Mutex::new(FaultCondition::default()),
+            telemetry: None,
+        })
+    }
+
+    /// Like [`FaultyProvider::new`], but every invocation that lands inside
+    /// an active fault window is also counted as a
+    /// [fault-window hit](crate::telemetry::EventKind::FaultWindowHit) on
+    /// `telemetry`.
+    #[must_use]
+    pub fn with_telemetry(
+        inner: Arc<SimulatedProvider>,
+        clock: Arc<dyn Clock>,
+        plan: FaultPlan,
+        telemetry: Arc<Telemetry>,
+    ) -> Arc<Self> {
+        Arc::new(FaultyProvider {
+            inner,
+            clock,
+            plan,
+            condition: Mutex::new(FaultCondition::default()),
+            telemetry: Some(telemetry),
         })
     }
 
@@ -298,6 +321,17 @@ impl Provider for FaultyProvider {
 
     fn invoke(&self, request: &Invocation) -> Result<Vec<u8>, InvokeError> {
         let (crashed, added_latency, byzantine) = self.condition_at(self.clock.now());
+        if let Some(telemetry) = &self.telemetry {
+            if crashed {
+                telemetry.record_fault_window(self.id(), "crash");
+            }
+            if !added_latency.is_zero() {
+                telemetry.record_fault_window(self.id(), "latency");
+            }
+            if byzantine.is_some() {
+                telemetry.record_fault_window(self.id(), "byzantine");
+            }
+        }
         if crashed {
             return Err(InvokeError::DeviceUnavailable);
         }
@@ -391,6 +425,35 @@ mod tests {
         assert!(a.events().windows(2).all(|pair| pair[0].at <= pair[1].at));
         let c = FaultPlan::seeded(8, horizon, &profile);
         assert_ne!(a, c, "different seeds draw different misfortunes");
+    }
+
+    #[test]
+    fn fault_window_hits_are_counted() {
+        use crate::telemetry::EventKind;
+        let clock = Arc::new(VirtualClock::new());
+        let telemetry = Telemetry::new(Arc::clone(&clock) as Arc<dyn Clock>, 8);
+        let inner = SimulatedProvider::builder("d/cap", "cap")
+            .latency(Duration::from_millis(2))
+            .response(vec![42])
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .build();
+        let p = FaultyProvider::with_telemetry(
+            inner,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            FaultPlan::new(vec![at(10, FaultKind::Crash), at(30, FaultKind::Recover)]),
+            Arc::clone(&telemetry),
+        );
+        let req = Invocation::new(0, "cap", vec![]);
+        assert!(p.invoke(&req).is_ok(), "healthy invocation records no hit");
+        clock.advance(Duration::from_millis(10));
+        assert!(p.invoke(&req).is_err());
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.provider("d/cap").unwrap().fault_window_hits, 1);
+        assert!(telemetry.events().iter().any(|e| matches!(
+            &e.kind,
+            EventKind::FaultWindowHit { provider, fault }
+                if provider == "d/cap" && fault == "crash"
+        )));
     }
 
     #[test]

@@ -11,25 +11,26 @@
 //! later slot runs the strategy generated from the previous slot's data,
 //! so the system self-adapts to dissimilar and drifting environments.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use qce_strategy::{Attribute, Qos, Strategy};
 
 use crate::clock::{Clock, WallClock};
 use crate::collector::Collector;
 use crate::device::Provider;
-use crate::executor::execute_strategy_with_clock;
+use crate::executor::execute_strategy_instrumented;
 use crate::generator::{plan_slot, SlotPlan, StrategyOrigin, SynthesisSettings};
 use crate::market::Market;
 use crate::message::{Invocation, RuntimeError};
-use crate::quorum::execute_with_quorum_clock;
+use crate::quorum::execute_with_quorum_instrumented;
 use crate::registry::Registry;
 use crate::script::ServiceScript;
+use crate::telemetry::Telemetry;
 
 /// Gateway configuration knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +46,11 @@ pub struct GatewayConfig {
     /// Branch-and-bound pruning for the per-slot exhaustive search.
     /// Never changes the chosen strategy, only how fast it is found.
     pub generator_pruning: bool,
+    /// Maximum [`SlotRecord`]s kept per service; older records are evicted
+    /// (and counted in telemetry) so long-running services don't leak.
+    pub history_limit: usize,
+    /// Capacity of the telemetry event ring.
+    pub telemetry_events: usize,
 }
 
 impl Default for GatewayConfig {
@@ -54,6 +60,8 @@ impl Default for GatewayConfig {
             generator_threshold: qce_strategy::generate::DEFAULT_THRESHOLD,
             generator_parallelism: 0,
             generator_pruning: true,
+            history_limit: 1024,
+            telemetry_events: 1024,
         }
     }
 }
@@ -136,8 +144,13 @@ struct ServiceState {
     slot: u64,
     invocations_in_slot: u32,
     active: Option<ActivePlan>,
-    history: Vec<SlotRecord>,
+    history: VecDeque<SlotRecord>,
 }
+
+/// A service's state cell: `None` until the script has been fetched and
+/// validated. Each service has its own lock so one service's (potentially
+/// expensive) slot re-plan never blocks invocations of another.
+type ServiceCell = Arc<Mutex<Option<ServiceState>>>;
 
 /// The edge gateway.
 ///
@@ -151,7 +164,8 @@ pub struct Gateway {
     collector: Arc<Collector>,
     clock: Arc<dyn Clock>,
     config: GatewayConfig,
-    services: Mutex<HashMap<String, ServiceState>>,
+    telemetry: Arc<Telemetry>,
+    services: RwLock<HashMap<String, ServiceCell>>,
     next_request: AtomicU64,
 }
 
@@ -182,13 +196,15 @@ impl Gateway {
         config: GatewayConfig,
         clock: Arc<dyn Clock>,
     ) -> Self {
+        let telemetry = Telemetry::new(Arc::clone(&clock), config.telemetry_events);
         Gateway {
             market,
             registry: Arc::new(Registry::new()),
             collector: Arc::new(Collector::new(config.collector_window)),
             clock,
             config,
-            services: Mutex::new(HashMap::new()),
+            telemetry,
+            services: RwLock::new(HashMap::new()),
             next_request: AtomicU64::new(1),
         }
     }
@@ -209,6 +225,13 @@ impl Gateway {
     #[must_use]
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The gateway's telemetry hub (counters, histograms, and the event
+    /// ring — see [`Telemetry`]).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Invokes the service identified by `service_id` with an empty
@@ -238,45 +261,83 @@ impl Gateway {
         payload: Vec<u8>,
     ) -> Result<ServiceResponse, RuntimeError> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let cell = self.service_cell(service_id);
 
-        // Plan (or reuse) the slot's strategy under the service lock, then
-        // execute outside it so concurrent requests don't serialize.
+        // Fetch/validate the script and plan (or reuse) the slot's strategy
+        // under the *per-service* lock only — the global map lock above is
+        // held just long enough to find the cell, so one service's
+        // exhaustive re-plan never blocks invocations of other services.
+        // Execution then happens outside every lock.
         let (strategy, providers, names, slot, origin, advisory, quorum) = {
-            let mut services = self.services.lock();
-            let state = match services.get_mut(service_id) {
-                Some(state) => state,
-                None => {
-                    let script = self.market.fetch(service_id)?;
+            let mut guard = cell.lock();
+            if guard.is_none() {
+                let t0 = self.clock.now();
+                let fetched = self.market.fetch(service_id);
+                self.telemetry
+                    .record_market_fetch(self.clock.now().saturating_sub(t0), fetched.is_ok());
+                let initialised = fetched.and_then(|script| {
                     script.validate()?;
-                    services.insert(
-                        service_id.to_string(),
-                        ServiceState {
+                    Ok(script)
+                });
+                match initialised {
+                    Ok(script) => {
+                        *guard = Some(ServiceState {
                             script,
                             slot: 0,
                             invocations_in_slot: 0,
                             active: None,
-                            history: Vec::new(),
-                        },
-                    );
-                    services.get_mut(service_id).expect("just inserted")
+                            history: VecDeque::new(),
+                        });
+                    }
+                    Err(error) => {
+                        drop(guard);
+                        self.discard_uninitialised(service_id, &cell);
+                        return Err(error);
+                    }
                 }
-            };
+            }
+            let state = guard.as_mut().expect("initialised above");
 
             if state.active.is_none() || state.invocations_in_slot >= state.script.slot_size {
                 if state.active.is_some() {
                     state.slot += 1;
                     state.invocations_in_slot = 0;
+                    // Clear the previous slot's plan *before* planning: if
+                    // plan() fails (e.g. a provider departed), the stale
+                    // plan must not keep serving the new slot — the next
+                    // invocation retries planning instead.
+                    state.active = None;
                 }
-                let active = self.plan(state)?;
-                state.history.push(SlotRecord {
+                let active = match self.plan(state) {
+                    Ok(active) => active,
+                    Err(error) => {
+                        self.telemetry
+                            .record_plan_failure(service_id, state.slot, &error);
+                        return Err(error);
+                    }
+                };
+                let strategy_text = active
+                    .plan
+                    .strategy
+                    .to_string_with_names(&state.script.ms_names());
+                self.telemetry.record_replan(
+                    service_id,
+                    state.slot,
+                    &active.plan.origin.to_string(),
+                    &strategy_text,
+                    active.plan.report.as_ref(),
+                );
+                state.history.push_back(SlotRecord {
                     slot: state.slot,
-                    strategy_text: active
-                        .plan
-                        .strategy
-                        .to_string_with_names(&state.script.ms_names()),
+                    strategy_text,
                     origin: active.plan.origin.clone(),
                     estimated: active.plan.estimated,
                 });
+                let limit = self.config.history_limit.max(1);
+                while state.history.len() > limit {
+                    state.history.pop_front();
+                    self.telemetry.record_history_evicted(service_id, 1);
+                }
                 state.active = Some(active);
             }
 
@@ -301,13 +362,14 @@ impl Gateway {
         let request = Invocation::new(request_id, service_id.to_string(), payload);
         let (success, payload, latency, cost, votes) = match quorum {
             Some(q) if q > 1 => {
-                let outcome = execute_with_quorum_clock(
+                let outcome = execute_with_quorum_instrumented(
                     &strategy,
                     &providers,
                     &request,
                     Some(&self.collector),
                     q,
                     &*self.clock,
+                    Some(&self.telemetry),
                 )?;
                 (
                     outcome.agreed,
@@ -318,12 +380,13 @@ impl Gateway {
                 )
             }
             _ => {
-                let outcome = execute_strategy_with_clock(
+                let outcome = execute_strategy_instrumented(
                     &strategy,
                     &providers,
                     &request,
                     Some(&self.collector),
                     &*self.clock,
+                    Some(&self.telemetry),
                 )?;
                 (
                     outcome.success,
@@ -334,6 +397,15 @@ impl Gateway {
                 )
             }
         };
+
+        self.telemetry.record_request(
+            service_id,
+            success,
+            latency,
+            cost,
+            advisory.is_some(),
+            votes,
+        );
 
         Ok(ServiceResponse {
             request_id,
@@ -348,6 +420,34 @@ impl Gateway {
             advisory,
             votes,
         })
+    }
+
+    /// Returns the state cell of `service_id`, inserting an uninitialised
+    /// one if needed. Holds the global map lock only for the lookup.
+    fn service_cell(&self, service_id: &str) -> ServiceCell {
+        if let Some(cell) = self.services.read().get(service_id) {
+            return Arc::clone(cell);
+        }
+        let mut services = self.services.write();
+        Arc::clone(
+            services
+                .entry(service_id.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(None))),
+        )
+    }
+
+    /// Removes `cell` from the map if it is still the registered,
+    /// never-initialised cell for `service_id`, so failed fetches don't
+    /// accumulate empty entries. A cell another thread initialised in the
+    /// meantime is left alone.
+    fn discard_uninitialised(&self, service_id: &str, cell: &ServiceCell) {
+        let mut services = self.services.write();
+        if let Some(existing) = services.get(service_id) {
+            let discard = Arc::ptr_eq(existing, cell) && existing.lock().is_none();
+            if discard {
+                services.remove(service_id);
+            }
+        }
     }
 
     /// Plans the current slot for `state`: resolve providers, then generate
@@ -379,6 +479,7 @@ impl Gateway {
             &self.collector,
             state.slot,
             &self.config.synthesis_settings(),
+            Some(&self.telemetry),
         )?;
 
         let advisory = plan.estimated.and_then(|estimated| {
@@ -403,7 +504,11 @@ impl Gateway {
     /// Forces the next invocation of `service_id` to re-plan its strategy,
     /// as if a slot boundary had been reached.
     pub fn end_slot(&self, service_id: &str) {
-        if let Some(state) = self.services.lock().get_mut(service_id) {
+        let Some(cell) = self.services.read().get(service_id).map(Arc::clone) else {
+            return;
+        };
+        let mut guard = cell.lock();
+        if let Some(state) = guard.as_mut() {
             if state.active.is_some() {
                 state.slot += 1;
                 state.invocations_in_slot = 0;
@@ -413,13 +518,18 @@ impl Gateway {
     }
 
     /// The per-slot planning history of `service_id` (empty if the service
-    /// has not been invoked yet).
+    /// has not been invoked yet). Bounded by
+    /// [`GatewayConfig::history_limit`]; evictions are counted in
+    /// telemetry.
     #[must_use]
     pub fn slot_history(&self, service_id: &str) -> Vec<SlotRecord> {
-        self.services
-            .lock()
-            .get(service_id)
-            .map(|s| s.history.clone())
+        let Some(cell) = self.services.read().get(service_id).map(Arc::clone) else {
+            return Vec::new();
+        };
+        let guard = cell.lock();
+        guard
+            .as_ref()
+            .map(|state| state.history.iter().cloned().collect())
             .unwrap_or_default()
     }
 
@@ -427,8 +537,9 @@ impl Gateway {
     /// names.
     #[must_use]
     pub fn current_strategy(&self, service_id: &str) -> Option<String> {
-        let services = self.services.lock();
-        let state = services.get(service_id)?;
+        let cell = self.services.read().get(service_id).map(Arc::clone)?;
+        let guard = cell.lock();
+        let state = guard.as_ref()?;
         let active = state.active.as_ref()?;
         Some(
             active
@@ -441,7 +552,7 @@ impl Gateway {
     /// Drops the cached script and planning state of `service_id` (e.g.
     /// after publishing an updated script to the market).
     pub fn evict_service(&self, service_id: &str) {
-        self.services.lock().remove(service_id);
+        self.services.write().remove(service_id);
     }
 }
 
@@ -641,5 +752,88 @@ mod tests {
         assert!(!response.success);
         assert!(response.payload.is_none());
         assert_eq!(response.cost, 150.0, "all three tried and failed");
+    }
+
+    #[test]
+    fn failed_replan_does_not_serve_stale_plan() {
+        // Regression: a provider departs right at a slot boundary. plan()
+        // fails after the slot counter was bumped; the previous slot's plan
+        // must NOT keep serving the new slot once planning becomes possible
+        // again.
+        let gateway = Gateway::new(market_with(script(2)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        gateway.invoke("temp").unwrap();
+        gateway.invoke("temp").unwrap(); // slot 0 exhausted
+
+        assert!(gateway.registry().deregister("dev0/read-temp"));
+        let error = gateway.invoke("temp").unwrap_err();
+        assert!(matches!(error, RuntimeError::NoProvider { .. }));
+
+        // The device comes back; the very next invocation must re-plan for
+        // slot 1 instead of replaying slot 0's strategy.
+        gateway.registry().register(
+            SimulatedProvider::builder("dev0/read-temp", "read-temp")
+                .cost(50.0)
+                .latency(Duration::from_millis(2))
+                .reliability(1.0)
+                .build(),
+        );
+        let response = gateway.invoke("temp").unwrap();
+        assert_eq!(response.slot, 1);
+        assert!(
+            matches!(response.origin, StrategyOrigin::Generated(_)),
+            "slot 1 must be freshly planned, got {:?}",
+            response.origin
+        );
+        let history = gateway.slot_history("temp");
+        assert_eq!(history.len(), 2, "one record per planned slot");
+        assert_eq!(history[1].slot, 1);
+
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("temp").unwrap();
+        assert_eq!(svc.plan_failures, 1);
+        assert!(gateway.telemetry().events().iter().any(|e| matches!(
+            &e.kind,
+            crate::telemetry::EventKind::ProviderResolutionFailed { service, slot, .. }
+                if service == "temp" && *slot == 1
+        )));
+    }
+
+    #[test]
+    fn history_is_bounded_and_evictions_are_counted() {
+        let config = GatewayConfig {
+            history_limit: 3,
+            ..GatewayConfig::default()
+        };
+        let gateway = Gateway::new(market_with(script(1)), config);
+        register_devices(&gateway, 1.0);
+        for _ in 0..10 {
+            gateway.invoke("temp").unwrap();
+        }
+        let history = gateway.slot_history("temp");
+        assert_eq!(history.len(), 3, "ring keeps only the newest records");
+        let slots: Vec<u64> = history.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![7, 8, 9], "oldest slots were evicted first");
+        let snapshot = gateway.telemetry().snapshot();
+        assert_eq!(snapshot.service("temp").unwrap().history_evicted, 7);
+    }
+
+    #[test]
+    fn telemetry_counts_requests_and_replans() {
+        let gateway = Gateway::new(market_with(script(3)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        for _ in 0..7 {
+            gateway.invoke("temp").unwrap();
+        }
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("temp").unwrap();
+        assert_eq!(svc.invocations, 7);
+        assert_eq!(svc.successes, 7);
+        assert_eq!(svc.replans, 3, "slots 0, 1 and 2 were each planned once");
+        assert_eq!(svc.latency_ms.count, 7);
+        assert_eq!(
+            snapshot.market.fetches, 1,
+            "script fetched once, then cached"
+        );
     }
 }

@@ -5,10 +5,12 @@
 
 use std::sync::Arc;
 
-use qce_strategy::{EnvQos, Generated, Generator, Requirements, Strategy, UtilityIndex};
+use qce_strategy::{
+    EnvQos, Generated, Generator, Requirements, Strategy, SynthesisReport, UtilityIndex,
+};
 
 /// Synthesis-engine knobs threaded from the gateway configuration into the
-/// per-slot [`Generator`](qce_strategy::Generator).
+/// per-slot [`Generator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SynthesisSettings {
     /// Exhaustive/approximation switch-over `θ` (Algorithm 2 line 1).
@@ -33,6 +35,7 @@ use crate::collector::Collector;
 use crate::device::Provider;
 use crate::message::RuntimeError;
 use crate::script::ServiceScript;
+use crate::telemetry::Telemetry;
 
 /// How the active strategy for a slot was chosen.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +69,9 @@ pub struct SlotPlan {
     /// The estimated QoS of the strategy under `assumed_env` (`None` only
     /// if estimation failed, which cannot happen for well-formed plans).
     pub estimated: Option<qce_strategy::Qos>,
+    /// The generator's search report (`None` for the default strategy of
+    /// slot 0, which is not searched).
+    pub report: Option<SynthesisReport>,
 }
 
 /// Builds the QoS table the generator should assume for this script: for
@@ -96,7 +102,9 @@ pub fn assumed_env(
 ///
 /// Slot 0 executes the default strategy (collecting initial observations);
 /// later slots run the paper's Algorithm 2 (exhaustive below the threshold,
-/// approximation above it) against the assumed QoS table.
+/// approximation above it) against the assumed QoS table. When `telemetry`
+/// is provided, the generator's search effort (candidates seen/pruned,
+/// elapsed time) is accumulated into the service's counters.
 ///
 /// # Errors
 ///
@@ -109,6 +117,7 @@ pub fn plan_slot(
     collector: &Collector,
     slot: u64,
     settings: &SynthesisSettings,
+    telemetry: Option<&Telemetry>,
 ) -> Result<SlotPlan, RuntimeError> {
     let env = assumed_env(script, providers, collector);
     let ids = env.ids();
@@ -132,6 +141,7 @@ pub fn plan_slot(
             origin: StrategyOrigin::Default,
             assumed_env: env,
             estimated,
+            report: None,
         });
     }
 
@@ -147,11 +157,15 @@ pub fn plan_slot(
             .map_err(|e| RuntimeError::Generation {
                 reason: e.to_string(),
             })?;
+    if let Some(telemetry) = telemetry {
+        telemetry.record_synthesis(&script.service_id, &generated.report);
+    }
     Ok(SlotPlan {
         strategy: generated.strategy,
         origin: StrategyOrigin::Generated(generated.method),
         assumed_env: env,
         estimated: Some(generated.qos),
+        report: Some(generated.report),
     })
 }
 
@@ -238,6 +252,7 @@ mod tests {
             &collector,
             0,
             &SynthesisSettings::default(),
+            None,
         )
         .unwrap();
         assert_eq!(plan.origin, StrategyOrigin::Default);
@@ -257,6 +272,7 @@ mod tests {
             &collector,
             0,
             &SynthesisSettings::default(),
+            None,
         )
         .unwrap();
         assert!(plan.strategy.is_failover());
@@ -271,6 +287,7 @@ mod tests {
             &collector,
             1,
             &SynthesisSettings::default(),
+            None,
         )
         .unwrap();
         match plan.origin {
@@ -289,7 +306,7 @@ mod tests {
             threshold: 2,
             ..SynthesisSettings::default()
         };
-        let plan = plan_slot(&script(), &providers(), &collector, 1, &settings).unwrap();
+        let plan = plan_slot(&script(), &providers(), &collector, 1, &settings, None).unwrap();
         assert_eq!(
             plan.origin,
             StrategyOrigin::Generated(qce_strategy::Method::Approximation)
@@ -303,5 +320,157 @@ mod tests {
             StrategyOrigin::Generated(qce_strategy::Method::Exhaustive).to_string(),
             "generated(exhaustive)"
         );
+    }
+
+    #[test]
+    fn all_failure_window_flows_through_planning() {
+        // A provider whose entire observation window failed has
+        // success_rate (and so assumed reliability) exactly 0.0; that must
+        // flow through ProviderStats::as_qos → plan_slot without panicking.
+        let collector = Collector::new(10);
+        for _ in 0..5 {
+            collector.record(
+                "d0/c0",
+                ExecutionRecord {
+                    success: false,
+                    latency: Duration::from_millis(4),
+                    cost: 50.0,
+                },
+            );
+        }
+        let stats = collector.stats("d0/c0").unwrap();
+        assert_eq!(stats.success_rate, 0.0);
+        assert_eq!(stats.as_qos().reliability.value(), 0.0);
+        let plan = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            1,
+            &SynthesisSettings::default(),
+            None,
+        )
+        .unwrap();
+        assert!(matches!(plan.origin, StrategyOrigin::Generated(_)));
+        assert_eq!(
+            plan.assumed_env
+                .get(qce_strategy::MsId(0))
+                .unwrap()
+                .reliability
+                .value(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn zero_latency_window_flows_through_planning() {
+        // On a virtual clock an invocation can complete in exactly zero
+        // time. The resulting latency-0 QoS must not panic in as_qos and
+        // must not trip the synth engine's non-positive-latency pruning
+        // guard: pruned and unpruned searches still agree.
+        let collector = Collector::new(10);
+        for _ in 0..5 {
+            collector.record(
+                "d0/c0",
+                ExecutionRecord {
+                    success: true,
+                    latency: Duration::ZERO,
+                    cost: 50.0,
+                },
+            );
+        }
+        assert_eq!(collector.stats("d0/c0").unwrap().as_qos().latency, 0.0);
+        let pruned = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            1,
+            &SynthesisSettings::default(),
+            None,
+        )
+        .unwrap();
+        assert!(pruned.estimated.is_some());
+        let unpruned = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            1,
+            &SynthesisSettings {
+                pruning: false,
+                ..SynthesisSettings::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            pruned.strategy, unpruned.strategy,
+            "pruning never changes the winner"
+        );
+    }
+
+    #[test]
+    fn all_failure_and_zero_latency_combined() {
+        // The harshest corner: a window that is all failures *and* all
+        // zero-latency (crash-style instant failures on a virtual clock).
+        let collector = Collector::new(10);
+        for _ in 0..3 {
+            collector.record(
+                "d0/c0",
+                ExecutionRecord {
+                    success: false,
+                    latency: Duration::ZERO,
+                    cost: 50.0,
+                },
+            );
+        }
+        let plan = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            1,
+            &SynthesisSettings::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(plan.strategy.len(), 3);
+    }
+
+    #[test]
+    fn plan_slot_records_synthesis_effort() {
+        use crate::clock::VirtualClock;
+        let telemetry = Telemetry::new(
+            Arc::new(VirtualClock::new()) as Arc<dyn crate::clock::Clock>,
+            8,
+        );
+        let collector = Collector::new(10);
+        let plan = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            1,
+            &SynthesisSettings::default(),
+            Some(&telemetry),
+        )
+        .unwrap();
+        let report = plan.report.expect("generated slots carry a report");
+        assert!(report.candidates_seen > 0);
+        let snap = telemetry.snapshot();
+        let svc = snap.service("svc").unwrap();
+        assert_eq!(svc.candidates_seen, report.candidates_seen);
+        assert_eq!(svc.candidates_pruned, report.candidates_pruned);
+    }
+
+    #[test]
+    fn slot_zero_carries_no_report() {
+        let collector = Collector::new(10);
+        let plan = plan_slot(
+            &script(),
+            &providers(),
+            &collector,
+            0,
+            &SynthesisSettings::default(),
+            None,
+        )
+        .unwrap();
+        assert!(plan.report.is_none());
     }
 }

@@ -83,6 +83,13 @@ impl Harness {
         &self.gateway
     }
 
+    /// The gateway's telemetry (shorthand for
+    /// [`Gateway::telemetry`](crate::Gateway::telemetry)).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<crate::telemetry::Telemetry> {
+        self.gateway.telemetry()
+    }
+
     /// The simulated device behind `provider_id` (the inner device when
     /// the provider was registered with a fault plan), for turning knobs
     /// and reading counters.
@@ -173,10 +180,11 @@ impl HarnessBuilder {
             let device = builder.clock(Arc::clone(&clock) as Arc<dyn Clock>).build();
             providers.insert(device.id().to_string(), Arc::clone(&device));
             match plan {
-                Some(plan) => gateway.registry().register(FaultyProvider::new(
+                Some(plan) => gateway.registry().register(FaultyProvider::with_telemetry(
                     device,
                     Arc::clone(&clock) as Arc<dyn Clock>,
                     plan,
+                    Arc::clone(gateway.telemetry()),
                 )),
                 None => gateway.registry().register(device),
             }

@@ -90,12 +90,15 @@ pub mod pipeline;
 pub mod quorum;
 pub mod registry;
 pub mod script;
+pub mod telemetry;
 
 pub use client::{AdvisoryPolicy, Client, ClientError, QosRejected};
 pub use clock::{Clock, VirtualClock, WallClock, WorkerGuard};
 pub use collector::{Collector, ExecutionRecord, ProviderStats};
 pub use device::{FnProvider, Provider, SimulatedProvider, SimulatedProviderBuilder};
-pub use executor::{execute_strategy, execute_strategy_with_clock, ServiceOutcome};
+pub use executor::{
+    execute_strategy, execute_strategy_instrumented, execute_strategy_with_clock, ServiceOutcome,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultyProvider};
 pub use gateway::{Gateway, GatewayConfig, QosAdvisory, ServiceResponse, SlotRecord};
 pub use generator::{assumed_env, plan_slot, SlotPlan, StrategyOrigin, SynthesisSettings};
@@ -103,9 +106,16 @@ pub use harness::{Harness, HarnessBuilder};
 pub use market::{CachingMarket, FileMarket, InMemoryMarket, Market};
 pub use message::{Invocation, InvocationOutcome, InvokeError, RuntimeError};
 pub use pipeline::{invoke_pipeline, PipelineResponse};
-pub use quorum::{execute_with_quorum, execute_with_quorum_clock, QuorumOutcome};
+pub use qce_strategy::SynthesisReport;
+pub use quorum::{
+    execute_with_quorum, execute_with_quorum_clock, execute_with_quorum_instrumented, QuorumOutcome,
+};
 pub use registry::Registry;
 pub use script::{MsSpec, ServiceScript};
+pub use telemetry::{
+    EventKind, EventRingSnapshot, HistogramBucket, HistogramSnapshot, MarketSnapshot,
+    MetricsSnapshot, ProviderSnapshot, ServiceSnapshot, Telemetry, TelemetryEvent,
+};
 
 #[cfg(test)]
 mod tests {

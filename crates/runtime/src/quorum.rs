@@ -28,6 +28,7 @@ use crate::clock::{Clock, WallClock, WorkerGuard};
 use crate::collector::{Collector, ExecutionRecord};
 use crate::device::Provider;
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
+use crate::telemetry::Telemetry;
 
 /// Result of a quorum execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +127,29 @@ pub fn execute_with_quorum_clock(
     quorum: usize,
     clock: &dyn Clock,
 ) -> Result<QuorumOutcome, RuntimeError> {
+    execute_with_quorum_instrumented(strategy, providers, request, collector, quorum, clock, None)
+}
+
+/// [`execute_with_quorum_clock`] that additionally records every completed
+/// invocation into `telemetry` when provided (see
+/// [`execute_strategy_instrumented`](crate::executor::execute_strategy_instrumented)).
+///
+/// # Errors
+///
+/// As [`execute_with_quorum`].
+///
+/// # Panics
+///
+/// Panics if `quorum` is zero.
+pub fn execute_with_quorum_instrumented(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+    request: &Invocation,
+    collector: Option<&Collector>,
+    quorum: usize,
+    clock: &dyn Clock,
+    telemetry: Option<&Telemetry>,
+) -> Result<QuorumOutcome, RuntimeError> {
     assert!(quorum >= 1, "quorum must be at least 1");
     for id in strategy.leaves() {
         if providers.get(id.index()).is_none() {
@@ -142,6 +166,7 @@ pub fn execute_with_quorum_clock(
         collector,
         quorum,
         clock,
+        telemetry,
         done: AtomicBool::new(false),
         started_at: clock.now(),
         votes: Mutex::new(VoteBox::default()),
@@ -204,6 +229,7 @@ struct QuorumCtx<'a> {
     collector: Option<&'a Collector>,
     quorum: usize,
     clock: &'a dyn Clock,
+    telemetry: Option<&'a Telemetry>,
     done: AtomicBool,
     started_at: Duration,
     votes: Mutex<VoteBox>,
@@ -230,6 +256,9 @@ fn run_node(node: &Node, ctx: &QuorumCtx<'_>) {
                         cost: provider.cost(),
                     },
                 );
+            }
+            if let Some(telemetry) = ctx.telemetry {
+                telemetry.record_invocation(provider.id(), success, latency, provider.cost());
             }
             ctx.invocations.lock().push(InvocationOutcome {
                 provider_id: provider.id().to_string(),

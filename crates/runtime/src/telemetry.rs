@@ -1,0 +1,951 @@
+//! Runtime telemetry: lock-cheap counters, latency/cost histograms, and a
+//! bounded ring of structured events.
+//!
+//! The paper's feedback loop (Section IV.B) is only trustworthy if its
+//! adaptation is *observable*: which strategy served each slot, what the
+//! generator searched, which providers failed, where the time went. The
+//! [`Telemetry`] subsystem answers those questions without slowing the hot
+//! path down:
+//!
+//! * **Counters and histograms** are plain atomics, updated with relaxed
+//!   stores on every request/invocation — no lock is held while a provider
+//!   executes.
+//! * **Events** ([`TelemetryEvent`]) are rare (slot boundaries, failures)
+//!   and go through a short mutex into a bounded ring; when the ring is
+//!   full the oldest event is dropped and counted, never blocking the
+//!   emitter.
+//! * **Snapshots** ([`Telemetry::snapshot`]) copy everything into a plain
+//!   serde-serializable [`MetricsSnapshot`] — sorted `Vec`s, not maps — so
+//!   dumps are deterministic and diffable.
+//!
+//! All timestamps come from the shared [`Clock`], so a virtual-time test
+//! can assert *exact* telemetry values.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+
+use qce_strategy::SynthesisReport;
+
+use crate::clock::Clock;
+use crate::message::RuntimeError;
+
+/// Upper bucket edges of the latency histograms, in microseconds
+/// (1 ms … 1 s; slower invocations land in the overflow bucket).
+const LATENCY_EDGES_US: [u64; 10] = [
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+];
+
+/// Upper bucket edges of the cost histograms, in milli-cost-units
+/// (cost 10 … 2000).
+const COST_EDGES_MILLI: [u64; 8] = [
+    10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000, 2_000_000,
+];
+
+/// A fixed-bucket histogram over `u64` raw units (microseconds or
+/// milli-cost), updated with relaxed atomics.
+struct Histogram {
+    edges: &'static [u64],
+    buckets: Box<[AtomicU64]>,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    /// Sum of raw units (microseconds / milli-cost).
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(edges: &'static [u64]) -> Self {
+        Histogram {
+            edges,
+            buckets: edges.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, raw: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(raw, Ordering::Relaxed);
+        match self.edges.iter().position(|&edge| raw <= edge) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Snapshot with raw units divided by `unit` (e.g. 1000.0 to render
+    /// microseconds as milliseconds).
+    fn snapshot(&self, unit: f64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: to_f64(self.sum.load(Ordering::Relaxed)) / unit,
+            overflow: self.overflow.load(Ordering::Relaxed),
+            buckets: self
+                .edges
+                .iter()
+                .zip(self.buckets.iter())
+                .map(|(&edge, bucket)| HistogramBucket {
+                    le: to_f64(edge) / unit,
+                    count: bucket.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Lossless for every value a histogram can realistically accumulate
+/// (below 2^53 raw units).
+#[allow(clippy::cast_precision_loss)]
+fn to_f64(raw: u64) -> f64 {
+    raw as f64
+}
+
+fn micros(duration: Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn milli_cost(cost: f64) -> u64 {
+    if cost.is_finite() && cost > 0.0 {
+        // In-range by the guard; fractional milli-cost rounds down.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        {
+            (cost * 1000.0).min(to_f64(u64::MAX)) as u64
+        }
+    } else {
+        0
+    }
+}
+
+/// Per-service counters (all relaxed atomics).
+struct ServiceMetrics {
+    invocations: AtomicU64,
+    successes: AtomicU64,
+    advisories: AtomicU64,
+    quorum_votes_cast: AtomicU64,
+    quorum_votes_agreed: AtomicU64,
+    replans: AtomicU64,
+    strategy_switches: AtomicU64,
+    plan_failures: AtomicU64,
+    history_evicted: AtomicU64,
+    candidates_seen: AtomicU64,
+    candidates_pruned: AtomicU64,
+    synthesis_micros: AtomicU64,
+    latency: Histogram,
+    cost: Histogram,
+    /// Strategy text of the last planned slot, for switch detection.
+    last_strategy: Mutex<Option<String>>,
+}
+
+impl ServiceMetrics {
+    fn new() -> Self {
+        ServiceMetrics {
+            invocations: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            advisories: AtomicU64::new(0),
+            quorum_votes_cast: AtomicU64::new(0),
+            quorum_votes_agreed: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+            strategy_switches: AtomicU64::new(0),
+            plan_failures: AtomicU64::new(0),
+            history_evicted: AtomicU64::new(0),
+            candidates_seen: AtomicU64::new(0),
+            candidates_pruned: AtomicU64::new(0),
+            synthesis_micros: AtomicU64::new(0),
+            latency: Histogram::new(&LATENCY_EDGES_US),
+            cost: Histogram::new(&COST_EDGES_MILLI),
+            last_strategy: Mutex::new(None),
+        }
+    }
+}
+
+/// Per-provider counters (all relaxed atomics).
+struct ProviderMetrics {
+    invocations: AtomicU64,
+    successes: AtomicU64,
+    fault_window_hits: AtomicU64,
+    latency: Histogram,
+    cost: Histogram,
+}
+
+impl ProviderMetrics {
+    fn new() -> Self {
+        ProviderMetrics {
+            invocations: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            fault_window_hits: AtomicU64::new(0),
+            latency: Histogram::new(&LATENCY_EDGES_US),
+            cost: Histogram::new(&COST_EDGES_MILLI),
+        }
+    }
+}
+
+/// A structured, timestamped telemetry event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryEvent {
+    /// Monotonic sequence number (counts every emitted event, including
+    /// ones since evicted from the ring).
+    pub seq: u64,
+    /// Clock time of emission.
+    pub at: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The event payloads recorded by the runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A slot boundary re-planned a service's strategy. The synthesis
+    /// counters come from the generator's [`SynthesisReport`] and are zero
+    /// for the default (slot 0) strategy, which is not searched.
+    SlotReplanned {
+        /// Service id.
+        service: String,
+        /// Zero-based slot the plan serves.
+        slot: u64,
+        /// How the strategy was chosen (`default` / `generated(..)`).
+        origin: String,
+        /// The strategy, rendered with script microservice names.
+        strategy: String,
+        /// Candidates whose QoS the generator estimated.
+        candidates_seen: u64,
+        /// Candidates skipped by branch-and-bound pruning.
+        candidates_pruned: u64,
+        /// Time the generation call took.
+        elapsed: Duration,
+    },
+    /// A re-plan chose a different strategy than the previous slot's.
+    StrategySwitched {
+        /// Service id.
+        service: String,
+        /// Slot of the new strategy.
+        slot: u64,
+        /// The previous slot's strategy text.
+        from: String,
+        /// The new strategy text.
+        to: String,
+    },
+    /// Planning a slot failed (the slot stays unplanned and the next
+    /// invocation retries).
+    PlanFailed {
+        /// Service id.
+        service: String,
+        /// Slot that could not be planned.
+        slot: u64,
+        /// The error, rendered.
+        reason: String,
+    },
+    /// Planning failed because a capability has no registered provider.
+    ProviderResolutionFailed {
+        /// Service id.
+        service: String,
+        /// Slot that could not be planned.
+        slot: u64,
+        /// The capability with no provider.
+        capability: String,
+    },
+    /// An invocation landed inside an active fault window of a
+    /// [`FaultyProvider`](crate::FaultyProvider).
+    FaultWindowHit {
+        /// Provider id.
+        provider: String,
+        /// The fault in force (`crash` / `latency` / `byzantine`).
+        fault: String,
+    },
+}
+
+/// Snapshot of one latency or cost histogram. Bucket counts are
+/// per-bucket (not cumulative); `le` edges and `sum` are in display units
+/// (milliseconds for latency, cost units for cost).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations, in display units.
+    pub sum: f64,
+    /// Observations above the largest bucket edge.
+    pub overflow: u64,
+    /// Per-bucket observation counts.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+/// One histogram bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Upper (inclusive) edge of the bucket, in display units.
+    pub le: f64,
+    /// Observations in `(previous edge, le]`.
+    pub count: u64,
+}
+
+/// Snapshot of one service's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Service id.
+    pub service: String,
+    /// Service requests served (success or failure).
+    pub invocations: u64,
+    /// Requests that succeeded (under quorum: that reached agreement).
+    pub successes: u64,
+    /// Requests served under an active QoS advisory.
+    pub advisories: u64,
+    /// Quorum votes cast (successful invocations) across all requests.
+    pub quorum_votes_cast: u64,
+    /// Quorum votes received by each request's winning payload, summed.
+    pub quorum_votes_agreed: u64,
+    /// Slot re-plans performed.
+    pub replans: u64,
+    /// Re-plans that chose a different strategy than the previous slot.
+    pub strategy_switches: u64,
+    /// Slot-planning failures.
+    pub plan_failures: u64,
+    /// Slot records evicted from the bounded history ring.
+    pub history_evicted: u64,
+    /// Synthesis candidates estimated across all re-plans.
+    pub candidates_seen: u64,
+    /// Synthesis candidates pruned across all re-plans.
+    pub candidates_pruned: u64,
+    /// Total time spent in strategy generation.
+    pub synthesis_elapsed: Duration,
+    /// Request latency histogram (milliseconds).
+    pub latency_ms: HistogramSnapshot,
+    /// Request cost histogram (cost units).
+    pub cost: HistogramSnapshot,
+}
+
+/// Snapshot of one provider's counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProviderSnapshot {
+    /// Provider id.
+    pub provider: String,
+    /// Microservice invocations executed on the provider.
+    pub invocations: u64,
+    /// Invocations that succeeded.
+    pub successes: u64,
+    /// Invocations that landed inside an active fault window.
+    pub fault_window_hits: u64,
+    /// Invocation latency histogram (milliseconds).
+    pub latency_ms: HistogramSnapshot,
+    /// Invocation cost histogram (cost units).
+    pub cost: HistogramSnapshot,
+}
+
+/// Snapshot of market interactions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketSnapshot {
+    /// Successful script fetches.
+    pub fetches: u64,
+    /// Failed script fetches (unknown service, I/O error).
+    pub fetch_failures: u64,
+    /// Total time spent fetching scripts.
+    pub fetch_elapsed: Duration,
+}
+
+/// Snapshot of the event ring's accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRingSnapshot {
+    /// Events emitted since startup (including evicted ones).
+    pub emitted: u64,
+    /// Events evicted from the full ring.
+    pub dropped: u64,
+    /// Ring capacity.
+    pub capacity: u64,
+}
+
+/// A serializable copy of every counter, histogram, and buffered event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Clock time the snapshot was taken.
+    pub at: Duration,
+    /// Per-service counters, sorted by service id.
+    pub services: Vec<ServiceSnapshot>,
+    /// Per-provider counters, sorted by provider id.
+    pub providers: Vec<ProviderSnapshot>,
+    /// Market interaction counters.
+    pub market: MarketSnapshot,
+    /// Event ring accounting.
+    pub events: EventRingSnapshot,
+    /// The events still buffered in the ring, oldest first.
+    pub recent_events: Vec<TelemetryEvent>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot of `service`, if it has been observed.
+    #[must_use]
+    pub fn service(&self, service: &str) -> Option<&ServiceSnapshot> {
+        self.services.iter().find(|s| s.service == service)
+    }
+
+    /// The snapshot of `provider`, if it has been observed.
+    #[must_use]
+    pub fn provider(&self, provider: &str) -> Option<&ProviderSnapshot> {
+        self.providers.iter().find(|p| p.provider == provider)
+    }
+}
+
+type EventSink = Box<dyn Fn(&TelemetryEvent) + Send + Sync>;
+
+/// The runtime's telemetry hub. One instance per [`Gateway`](crate::Gateway)
+/// (shared via `Arc` with the executor, quorum executor, generator, and
+/// fault-injection layers).
+pub struct Telemetry {
+    clock: Arc<dyn Clock>,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    events: Mutex<VecDeque<TelemetryEvent>>,
+    services: RwLock<HashMap<String, Arc<ServiceMetrics>>>,
+    providers: RwLock<HashMap<String, Arc<ProviderMetrics>>>,
+    market_fetches: AtomicU64,
+    market_fetch_failures: AtomicU64,
+    market_fetch_micros: AtomicU64,
+    sink: RwLock<Option<EventSink>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("capacity", &self.capacity)
+            .field("emitted", &self.seq.load(Ordering::Relaxed))
+            .field("services", &self.services.read().len())
+            .field("providers", &self.providers.read().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// Creates a telemetry hub timing on `clock`, buffering up to
+    /// `event_capacity` events.
+    #[must_use]
+    pub fn new(clock: Arc<dyn Clock>, event_capacity: usize) -> Arc<Self> {
+        Arc::new(Telemetry {
+            clock,
+            capacity: event_capacity,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            events: Mutex::new(VecDeque::new()),
+            services: RwLock::new(HashMap::new()),
+            providers: RwLock::new(HashMap::new()),
+            market_fetches: AtomicU64::new(0),
+            market_fetch_failures: AtomicU64::new(0),
+            market_fetch_micros: AtomicU64::new(0),
+            sink: RwLock::new(None),
+        })
+    }
+
+    fn service(&self, name: &str) -> Arc<ServiceMetrics> {
+        if let Some(metrics) = self.services.read().get(name) {
+            return Arc::clone(metrics);
+        }
+        let mut map = self.services.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(ServiceMetrics::new())),
+        )
+    }
+
+    fn provider(&self, name: &str) -> Arc<ProviderMetrics> {
+        if let Some(metrics) = self.providers.read().get(name) {
+            return Arc::clone(metrics);
+        }
+        let mut map = self.providers.write();
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(ProviderMetrics::new())),
+        )
+    }
+
+    fn emit(&self, kind: EventKind) {
+        let event = TelemetryEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at: self.clock.now(),
+            kind,
+        };
+        if let Some(sink) = self.sink.read().as_ref() {
+            sink(&event);
+        }
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut ring = self.events.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Installs a streaming event sink, called synchronously (before ring
+    /// insertion) for every event — e.g. `qce run --trace` printing JSON
+    /// lines. Replaces any previous sink.
+    pub fn set_sink(&self, sink: impl Fn(&TelemetryEvent) + Send + Sync + 'static) {
+        *self.sink.write() = Some(Box::new(sink));
+    }
+
+    /// Removes the streaming event sink, if any.
+    pub fn clear_sink(&self) {
+        *self.sink.write() = None;
+    }
+
+    /// Records a completed service request (gateway level).
+    pub fn record_request(
+        &self,
+        service: &str,
+        success: bool,
+        latency: Duration,
+        cost: f64,
+        advisory: bool,
+        votes: Option<(usize, usize)>,
+    ) {
+        let metrics = self.service(service);
+        metrics.invocations.fetch_add(1, Ordering::Relaxed);
+        if success {
+            metrics.successes.fetch_add(1, Ordering::Relaxed);
+        }
+        if advisory {
+            metrics.advisories.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some((agreed, cast)) = votes {
+            metrics
+                .quorum_votes_agreed
+                .fetch_add(agreed as u64, Ordering::Relaxed);
+            metrics
+                .quorum_votes_cast
+                .fetch_add(cast as u64, Ordering::Relaxed);
+        }
+        metrics.latency.record(micros(latency));
+        metrics.cost.record(milli_cost(cost));
+    }
+
+    /// Records one microservice invocation on a provider (executor level).
+    pub fn record_invocation(&self, provider: &str, success: bool, latency: Duration, cost: f64) {
+        let metrics = self.provider(provider);
+        metrics.invocations.fetch_add(1, Ordering::Relaxed);
+        if success {
+            metrics.successes.fetch_add(1, Ordering::Relaxed);
+        }
+        metrics.latency.record(micros(latency));
+        metrics.cost.record(milli_cost(cost));
+    }
+
+    /// Records the generator's search effort for one re-plan of `service`
+    /// (called by [`plan_slot`](crate::plan_slot)).
+    pub fn record_synthesis(&self, service: &str, report: &SynthesisReport) {
+        let metrics = self.service(service);
+        metrics
+            .candidates_seen
+            .fetch_add(report.candidates_seen, Ordering::Relaxed);
+        metrics
+            .candidates_pruned
+            .fetch_add(report.candidates_pruned, Ordering::Relaxed);
+        metrics
+            .synthesis_micros
+            .fetch_add(micros(report.elapsed), Ordering::Relaxed);
+    }
+
+    /// Records a successful slot re-plan, emitting a
+    /// [`EventKind::SlotReplanned`] event (and a
+    /// [`EventKind::StrategySwitched`] event when the strategy text changed
+    /// from the previous slot's).
+    pub fn record_replan(
+        &self,
+        service: &str,
+        slot: u64,
+        origin: &str,
+        strategy_text: &str,
+        report: Option<&SynthesisReport>,
+    ) {
+        let metrics = self.service(service);
+        metrics.replans.fetch_add(1, Ordering::Relaxed);
+        let previous = {
+            let mut last = metrics.last_strategy.lock();
+            last.replace(strategy_text.to_string())
+        };
+        let default = SynthesisReport::default();
+        let report = report.copied().unwrap_or(default);
+        self.emit(EventKind::SlotReplanned {
+            service: service.to_string(),
+            slot,
+            origin: origin.to_string(),
+            strategy: strategy_text.to_string(),
+            candidates_seen: report.candidates_seen,
+            candidates_pruned: report.candidates_pruned,
+            elapsed: report.elapsed,
+        });
+        if let Some(previous) = previous {
+            if previous != strategy_text {
+                metrics.strategy_switches.fetch_add(1, Ordering::Relaxed);
+                self.emit(EventKind::StrategySwitched {
+                    service: service.to_string(),
+                    slot,
+                    from: previous,
+                    to: strategy_text.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Records a failed slot plan, emitting
+    /// [`EventKind::ProviderResolutionFailed`] for missing providers and
+    /// [`EventKind::PlanFailed`] for everything else.
+    pub fn record_plan_failure(&self, service: &str, slot: u64, error: &RuntimeError) {
+        self.service(service)
+            .plan_failures
+            .fetch_add(1, Ordering::Relaxed);
+        match error {
+            RuntimeError::NoProvider { capability } => {
+                self.emit(EventKind::ProviderResolutionFailed {
+                    service: service.to_string(),
+                    slot,
+                    capability: capability.clone(),
+                });
+            }
+            other => self.emit(EventKind::PlanFailed {
+                service: service.to_string(),
+                slot,
+                reason: other.to_string(),
+            }),
+        }
+    }
+
+    /// Records slot records evicted from a service's bounded history.
+    pub fn record_history_evicted(&self, service: &str, evicted: u64) {
+        self.service(service)
+            .history_evicted
+            .fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Records a market script fetch.
+    pub fn record_market_fetch(&self, elapsed: Duration, success: bool) {
+        if success {
+            self.market_fetches.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.market_fetch_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.market_fetch_micros
+            .fetch_add(micros(elapsed), Ordering::Relaxed);
+    }
+
+    /// Records an invocation landing inside a provider's active fault
+    /// window, emitting an [`EventKind::FaultWindowHit`] event.
+    pub fn record_fault_window(&self, provider: &str, fault: &str) {
+        self.provider(provider)
+            .fault_window_hits
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::FaultWindowHit {
+            provider: provider.to_string(),
+            fault: fault.to_string(),
+        });
+    }
+
+    /// The events currently buffered in the ring, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Copies every counter, histogram, and buffered event into a
+    /// serializable [`MetricsSnapshot`]. Services and providers are sorted
+    /// by id, so snapshots are deterministic.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut services: Vec<ServiceSnapshot> = self
+            .services
+            .read()
+            .iter()
+            .map(|(name, m)| ServiceSnapshot {
+                service: name.clone(),
+                invocations: m.invocations.load(Ordering::Relaxed),
+                successes: m.successes.load(Ordering::Relaxed),
+                advisories: m.advisories.load(Ordering::Relaxed),
+                quorum_votes_cast: m.quorum_votes_cast.load(Ordering::Relaxed),
+                quorum_votes_agreed: m.quorum_votes_agreed.load(Ordering::Relaxed),
+                replans: m.replans.load(Ordering::Relaxed),
+                strategy_switches: m.strategy_switches.load(Ordering::Relaxed),
+                plan_failures: m.plan_failures.load(Ordering::Relaxed),
+                history_evicted: m.history_evicted.load(Ordering::Relaxed),
+                candidates_seen: m.candidates_seen.load(Ordering::Relaxed),
+                candidates_pruned: m.candidates_pruned.load(Ordering::Relaxed),
+                synthesis_elapsed: Duration::from_micros(
+                    m.synthesis_micros.load(Ordering::Relaxed),
+                ),
+                latency_ms: m.latency.snapshot(1000.0),
+                cost: m.cost.snapshot(1000.0),
+            })
+            .collect();
+        services.sort_by(|a, b| a.service.cmp(&b.service));
+
+        let mut providers: Vec<ProviderSnapshot> = self
+            .providers
+            .read()
+            .iter()
+            .map(|(name, m)| ProviderSnapshot {
+                provider: name.clone(),
+                invocations: m.invocations.load(Ordering::Relaxed),
+                successes: m.successes.load(Ordering::Relaxed),
+                fault_window_hits: m.fault_window_hits.load(Ordering::Relaxed),
+                latency_ms: m.latency.snapshot(1000.0),
+                cost: m.cost.snapshot(1000.0),
+            })
+            .collect();
+        providers.sort_by(|a, b| a.provider.cmp(&b.provider));
+
+        MetricsSnapshot {
+            at: self.clock.now(),
+            services,
+            providers,
+            market: MarketSnapshot {
+                fetches: self.market_fetches.load(Ordering::Relaxed),
+                fetch_failures: self.market_fetch_failures.load(Ordering::Relaxed),
+                fetch_elapsed: Duration::from_micros(
+                    self.market_fetch_micros.load(Ordering::Relaxed),
+                ),
+            },
+            events: EventRingSnapshot {
+                emitted: self.seq.load(Ordering::Relaxed),
+                dropped: self.dropped.load(Ordering::Relaxed),
+                capacity: self.capacity as u64,
+            },
+            recent_events: self.events(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{VirtualClock, WallClock};
+
+    fn telemetry(capacity: usize) -> (Arc<VirtualClock>, Arc<Telemetry>) {
+        let clock = Arc::new(VirtualClock::new());
+        let t = Telemetry::new(Arc::clone(&clock) as Arc<dyn Clock>, capacity);
+        (clock, t)
+    }
+
+    #[test]
+    fn request_counters_accumulate() {
+        let (_, t) = telemetry(8);
+        t.record_request("svc", true, Duration::from_millis(3), 50.0, false, None);
+        t.record_request(
+            "svc",
+            false,
+            Duration::from_millis(7),
+            150.0,
+            true,
+            Some((2, 3)),
+        );
+        let snap = t.snapshot();
+        let svc = snap.service("svc").unwrap();
+        assert_eq!(svc.invocations, 2);
+        assert_eq!(svc.successes, 1);
+        assert_eq!(svc.advisories, 1);
+        assert_eq!(svc.quorum_votes_agreed, 2);
+        assert_eq!(svc.quorum_votes_cast, 3);
+        assert_eq!(svc.latency_ms.count, 2);
+        assert!((svc.latency_ms.sum - 10.0).abs() < 1e-9);
+        assert!((svc.cost.sum - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invocation_counters_accumulate_per_provider() {
+        let (_, t) = telemetry(8);
+        t.record_invocation("d1/x", true, Duration::from_millis(2), 10.0);
+        t.record_invocation("d1/x", false, Duration::from_millis(4), 10.0);
+        t.record_invocation("d2/y", true, Duration::from_millis(1), 5.0);
+        let snap = t.snapshot();
+        assert_eq!(snap.providers.len(), 2);
+        // Sorted by id.
+        assert_eq!(snap.providers[0].provider, "d1/x");
+        assert_eq!(snap.providers[0].invocations, 2);
+        assert_eq!(snap.providers[0].successes, 1);
+        assert_eq!(snap.provider("d2/y").unwrap().invocations, 1);
+    }
+
+    #[test]
+    fn histogram_buckets_by_latency() {
+        let h = Histogram::new(&LATENCY_EDGES_US);
+        h.record(500); // ≤ 1 ms
+        h.record(1_500); // ≤ 2 ms
+        h.record(2_000_000); // overflow (> 1 s)
+        let snap = h.snapshot(1000.0);
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0].count, 1);
+        assert_eq!(snap.buckets[1].count, 1);
+        assert_eq!(snap.overflow, 1);
+        assert!((snap.buckets[0].le - 1.0).abs() < 1e-9, "edges in ms");
+    }
+
+    #[test]
+    fn replan_detects_strategy_switches() {
+        let (_, t) = telemetry(8);
+        t.record_replan("svc", 0, "default", "a*b", None);
+        let report = SynthesisReport {
+            candidates_seen: 10,
+            candidates_pruned: 3,
+            elapsed: Duration::from_micros(250),
+        };
+        t.record_replan("svc", 1, "generated(exhaustive)", "a-b", Some(&report));
+        t.record_replan("svc", 2, "generated(exhaustive)", "a-b", Some(&report));
+        let snap = t.snapshot();
+        let svc = snap.service("svc").unwrap();
+        assert_eq!(svc.replans, 3);
+        assert_eq!(svc.strategy_switches, 1, "a*b → a-b, then unchanged");
+        let switches: Vec<_> = snap
+            .recent_events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::StrategySwitched { .. }))
+            .collect();
+        assert_eq!(switches.len(), 1);
+        match &switches[0].kind {
+            EventKind::StrategySwitched { from, to, slot, .. } => {
+                assert_eq!(from, "a*b");
+                assert_eq!(to, "a-b");
+                assert_eq!(*slot, 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replan_event_carries_synthesis_report() {
+        let (_, t) = telemetry(8);
+        let report = SynthesisReport {
+            candidates_seen: 42,
+            candidates_pruned: 7,
+            elapsed: Duration::from_micros(99),
+        };
+        t.record_replan("svc", 1, "generated(exhaustive)", "a-b", Some(&report));
+        match &t.events()[0].kind {
+            EventKind::SlotReplanned {
+                candidates_seen,
+                candidates_pruned,
+                elapsed,
+                ..
+            } => {
+                assert_eq!(*candidates_seen, 42);
+                assert_eq!(*candidates_pruned, 7);
+                assert_eq!(*elapsed, Duration::from_micros(99));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_failure_distinguishes_missing_provider() {
+        let (_, t) = telemetry(8);
+        t.record_plan_failure(
+            "svc",
+            3,
+            &RuntimeError::NoProvider {
+                capability: "read-temp".into(),
+            },
+        );
+        t.record_plan_failure(
+            "svc",
+            4,
+            &RuntimeError::Generation {
+                reason: "boom".into(),
+            },
+        );
+        let events = t.events();
+        assert!(matches!(
+            &events[0].kind,
+            EventKind::ProviderResolutionFailed { capability, .. } if capability == "read-temp"
+        ));
+        assert!(matches!(
+            &events[1].kind,
+            EventKind::PlanFailed { reason, .. } if reason.contains("boom")
+        ));
+        assert_eq!(t.snapshot().service("svc").unwrap().plan_failures, 2);
+    }
+
+    #[test]
+    fn event_ring_is_bounded_and_counts_drops() {
+        let (_, t) = telemetry(2);
+        for i in 0..5 {
+            t.record_fault_window(&format!("d{i}"), "crash");
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.recent_events.len(), 2);
+        assert_eq!(snap.events.emitted, 5);
+        assert_eq!(snap.events.dropped, 3);
+        assert_eq!(snap.events.capacity, 2);
+        // The ring keeps the newest events.
+        assert_eq!(snap.recent_events[0].seq, 3);
+        assert_eq!(snap.recent_events[1].seq, 4);
+    }
+
+    #[test]
+    fn events_are_stamped_with_clock_time() {
+        let (clock, t) = telemetry(8);
+        clock.advance(Duration::from_millis(25));
+        t.record_fault_window("d", "latency");
+        assert_eq!(t.events()[0].at, Duration::from_millis(25));
+    }
+
+    #[test]
+    fn sink_sees_every_event_even_when_ring_drops() {
+        use std::sync::atomic::AtomicUsize;
+        let (_, t) = telemetry(1);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&seen);
+        t.set_sink(move |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..4 {
+            t.record_fault_window("d", "crash");
+        }
+        assert_eq!(seen.load(Ordering::Relaxed), 4);
+        t.clear_sink();
+        t.record_fault_window("d", "crash");
+        assert_eq!(seen.load(Ordering::Relaxed), 4, "sink removed");
+    }
+
+    #[test]
+    fn snapshot_serializes_and_round_trips() {
+        let (_, t) = telemetry(4);
+        t.record_request("svc", true, Duration::from_millis(3), 50.0, false, None);
+        t.record_invocation("d/x", true, Duration::from_millis(2), 25.0);
+        t.record_replan("svc", 0, "default", "a*b", None);
+        t.record_market_fetch(Duration::from_millis(1), true);
+        let snap = t.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"svc\""));
+        assert!(json.contains("SlotReplanned"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn zero_capacity_ring_still_counts() {
+        let (_, t) = telemetry(0);
+        t.record_fault_window("d", "crash");
+        let snap = t.snapshot();
+        assert!(snap.recent_events.is_empty());
+        assert_eq!(snap.events.emitted, 1);
+        assert_eq!(snap.events.dropped, 1);
+    }
+
+    #[test]
+    fn market_counters_accumulate() {
+        let (_, t) = telemetry(4);
+        t.record_market_fetch(Duration::from_millis(2), true);
+        t.record_market_fetch(Duration::from_millis(3), false);
+        let market = t.snapshot().market;
+        assert_eq!(market.fetches, 1);
+        assert_eq!(market.fetch_failures, 1);
+        assert_eq!(market.fetch_elapsed, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn works_on_wall_clock_too() {
+        let t = Telemetry::new(Arc::new(WallClock::new()), 4);
+        t.record_request("svc", true, Duration::from_millis(1), 1.0, false, None);
+        assert_eq!(t.snapshot().service("svc").unwrap().invocations, 1);
+    }
+}

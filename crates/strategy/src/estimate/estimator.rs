@@ -77,7 +77,7 @@ const ENV_CAPACITY: usize = 64;
 /// plus a dense environment index. A cached hit returns the very `Qos`
 /// produced by the original call, so memoization is bit-for-bit transparent.
 ///
-/// The cache is bounded ([`MEMO_CAPACITY`] entries) and cleared wholesale
+/// The cache is bounded (`MEMO_CAPACITY` entries) and cleared wholesale
 /// when full — per-slot replanning re-estimates a handful of deployed
 /// strategies per environment, which fits comfortably.
 #[derive(Debug, Default)]

@@ -9,6 +9,8 @@
 //!   enumerate          list/count all strategies for the environment
 //!   simulate <expr>    Monte-Carlo-execute a strategy in virtual time
 //!   pareto             print the Pareto-optimal strategies
+//!   run                drive the full gateway feedback loop in virtual time
+//!   stats              like run, then print the telemetry snapshot as JSON
 //!
 //! options:
 //!   --ms c,l,r        add a microservice with cost, latency, reliability%
@@ -20,17 +22,25 @@
 //!   --parallelism N   generate: search worker threads (0 = auto, default)
 //!   --no-pruning      generate: disable branch-and-bound pruning
 //!   --runs N          simulate: executions (default 10000)
-//!   --seed N          simulate: RNG seed (default 42)
+//!   --seed N          simulate/run/stats: RNG seed (default 42)
 //!   --top N           enumerate/pareto: rows to print (default 10)
+//!   --invocations N   run/stats: service requests to issue (default 20)
+//!   --slot-size N     run/stats: requests per time slot (default 5)
+//!   --quorum Q        run/stats: require Q agreeing results (§VII)
+//!   --trace           run: stream telemetry events as JSON lines
 //!
 //! examples:
 //!   qce estimate 'c*(a*b-d*e)' --ms 50,50,60 --ms 100,100,60 \
 //!       --ms 150,150,70 --ms 200,200,70 --ms 250,250,80
 //!   qce generate --ms 50,50,60 --ms 100,100,60 --ms 150,150,70
+//!   qce run --ms 50,5,90 --ms 50,8,90 --trace
+//!   qce stats --ms 50,5,90 --ms 50,8,90 --invocations 30
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
+use qce::runtime::{Clock, Harness, MsSpec, ServiceScript, SimulatedProvider};
 use qce::sim::{simulate, Environment};
 use qce::strategy::enumerate::{count_full, enumerate_full, paper};
 use qce::strategy::estimate::{estimate, estimate_folding};
@@ -51,6 +61,10 @@ struct Options {
     runs: u32,
     seed: u64,
     top: usize,
+    invocations: u32,
+    slot_size: u32,
+    quorum: Option<usize>,
+    trace: bool,
 }
 
 impl Default for Options {
@@ -65,6 +79,10 @@ impl Default for Options {
             runs: 10_000,
             seed: 42,
             top: 10,
+            invocations: 20,
+            slot_size: 5,
+            quorum: None,
+            trace: false,
         }
     }
 }
@@ -112,6 +130,24 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--top" => options.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--invocations" => {
+                options.invocations = value("--invocations")?
+                    .parse()
+                    .map_err(|e| format!("--invocations: {e}"))?
+            }
+            "--slot-size" => {
+                options.slot_size = value("--slot-size")?
+                    .parse()
+                    .map_err(|e| format!("--slot-size: {e}"))?
+            }
+            "--quorum" => {
+                options.quorum = Some(
+                    value("--quorum")?
+                        .parse()
+                        .map_err(|e| format!("--quorum: {e}"))?,
+                )
+            }
+            "--trace" => options.trace = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             positional if command.is_none() => command = Some(positional.to_string()),
             positional if expr.is_none() => expr = Some(positional.to_string()),
@@ -137,6 +173,79 @@ fn build_env(options: &Options) -> Result<EnvQos, String> {
 fn requirements(options: &Options) -> Result<Requirements, String> {
     let (c, l, r) = options.require;
     Requirements::new(c, l, r / 100.0).map_err(|e| e.to_string())
+}
+
+/// The name the i-th `--ms` microservice gets in scripts and strategy
+/// text: `a`, `b`, … like the strategy algebra's own rendering.
+fn ms_name(index: usize) -> String {
+    if index < 26 {
+        char::from(b'a' + index as u8).to_string()
+    } else {
+        format!("m{index}")
+    }
+}
+
+/// Builds the `run`/`stats` scenario: one gateway service
+/// (`cli-service`) whose i-th microservice is hosted by one simulated
+/// device with exactly the advertised cost/latency/reliability, all wired
+/// to a shared virtual clock by [`Harness`].
+fn build_harness(options: &Options) -> Result<Harness, String> {
+    if options.triples.is_empty() {
+        return Err("no microservices; pass at least one --ms cost,latency,reliability%".into());
+    }
+    if options.slot_size == 0 {
+        return Err("--slot-size must be at least 1".into());
+    }
+    let requirements = requirements(options)?;
+    let mut specs = Vec::new();
+    let mut builder = Harness::builder();
+    for (i, &(cost, latency, reliability)) in options.triples.iter().enumerate() {
+        let capability = format!("cap{i}");
+        specs.push(MsSpec {
+            name: ms_name(i),
+            capability: capability.clone(),
+            prior: qce::strategy::Qos::new(cost, latency, reliability / 100.0)
+                .map_err(|e| format!("--ms #{}: {e}", i + 1))?,
+        });
+        builder = builder.provider(
+            SimulatedProvider::builder(format!("dev{i}/{capability}"), capability)
+                .cost(cost)
+                .latency(Duration::from_secs_f64(latency / 1e3))
+                .reliability(reliability / 100.0)
+                .seed(options.seed.wrapping_add(i as u64)),
+        );
+    }
+    let mut script = ServiceScript::new("cli-service", specs, requirements);
+    script.penalty_k = options.k;
+    script.slot_size = options.slot_size;
+    script.quorum = options.quorum;
+    script.validate().map_err(|e| e.to_string())?;
+    Ok(builder.script(script).build())
+}
+
+/// Drives `--invocations` requests through the harness gateway; with
+/// `trace`, every telemetry event is streamed to stdout as one JSON line.
+fn drive_gateway(options: &Options, trace: bool) -> Result<(Harness, u32), String> {
+    let harness = build_harness(options)?;
+    if trace {
+        harness.telemetry().set_sink(|event| {
+            println!(
+                "{}",
+                serde_json::to_string(event).expect("telemetry events serialize")
+            );
+        });
+    }
+    let mut successes = 0;
+    for _ in 0..options.invocations {
+        let response = harness.invoke("cli-service").map_err(|e| e.to_string())?;
+        if response.success {
+            successes += 1;
+        }
+    }
+    if trace {
+        harness.telemetry().clear_sink();
+    }
+    Ok((harness, successes))
 }
 
 fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), String> {
@@ -285,8 +394,42 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
             }
             Ok(())
         }
+        "run" => {
+            let (harness, successes) = drive_gateway(options, options.trace)?;
+            let snapshot = harness.telemetry().snapshot();
+            let service = snapshot
+                .service("cli-service")
+                .ok_or("no requests were recorded")?;
+            println!(
+                "served   : {successes}/{} requests over {} slot(s) of {} \
+                 ({} virtual ms)",
+                options.invocations,
+                harness.gateway().slot_history("cli-service").len(),
+                options.slot_size,
+                harness.clock().now().as_millis()
+            );
+            println!(
+                "planning : {} re-plan(s), {} strategy switch(es), \
+                 {} candidate(s) searched",
+                service.replans, service.strategy_switches, service.candidates_seen
+            );
+            if let Some(strategy) = harness.gateway().current_strategy("cli-service") {
+                println!("strategy : {strategy}");
+            }
+            Ok(())
+        }
+        "stats" => {
+            let (harness, _) = drive_gateway(options, false)?;
+            let snapshot = harness.telemetry().snapshot();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
         other => Err(format!(
-            "unknown command {other:?}; try estimate, generate, enumerate, simulate, pareto"
+            "unknown command {other:?}; try estimate, generate, enumerate, \
+             simulate, pareto, run, stats"
         )),
     }
 }
@@ -418,5 +561,97 @@ mod tests {
             ..Options::default()
         };
         assert!(run("generate", None, &options).is_err());
+    }
+
+    #[test]
+    fn parse_args_gateway_flags() {
+        let (command, _, options) = parse_args(&args(&[
+            "run",
+            "--ms",
+            "50,5,90",
+            "--invocations",
+            "12",
+            "--slot-size",
+            "4",
+            "--quorum",
+            "2",
+            "--trace",
+        ]))
+        .unwrap();
+        assert_eq!(command, "run");
+        assert_eq!(options.invocations, 12);
+        assert_eq!(options.slot_size, 4);
+        assert_eq!(options.quorum, Some(2));
+        assert!(options.trace);
+        assert!(parse_args(&args(&["run", "--invocations", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "--quorum"])).is_err());
+    }
+
+    #[test]
+    fn run_and_stats_drive_the_gateway() {
+        let options = Options {
+            triples: vec![(50.0, 5.0, 95.0), (50.0, 8.0, 95.0)],
+            require: (200.0, 100.0, 50.0),
+            invocations: 12,
+            slot_size: 4,
+            ..Options::default()
+        };
+        assert!(run("run", None, &options).is_ok());
+        assert!(run("stats", None, &options).is_ok());
+    }
+
+    #[test]
+    fn gateway_run_is_deterministic_and_counted() {
+        let options = Options {
+            triples: vec![(50.0, 5.0, 90.0), (50.0, 8.0, 90.0)],
+            require: (200.0, 100.0, 50.0),
+            invocations: 12,
+            slot_size: 4,
+            ..Options::default()
+        };
+        let snapshots: Vec<String> = (0..2)
+            .map(|_| {
+                let (harness, _) = drive_gateway(&options, false).unwrap();
+                let mut snapshot = harness.telemetry().snapshot();
+                let service = snapshot.service("cli-service").unwrap();
+                assert_eq!(service.invocations, 12);
+                assert_eq!(service.replans, 3);
+                // The generator measures its search time on the wall clock,
+                // so elapsed fields are the one nondeterministic part.
+                for service in &mut snapshot.services {
+                    service.synthesis_elapsed = Duration::ZERO;
+                }
+                for event in &mut snapshot.recent_events {
+                    if let qce::runtime::EventKind::SlotReplanned { elapsed, .. } = &mut event.kind
+                    {
+                        *elapsed = Duration::ZERO;
+                    }
+                }
+                serde_json::to_string(&snapshot).unwrap()
+            })
+            .collect();
+        assert_eq!(
+            snapshots[0], snapshots[1],
+            "same seed, same virtual-time run, same snapshot"
+        );
+    }
+
+    #[test]
+    fn gateway_run_rejects_bad_scenarios() {
+        let mut options = Options::default();
+        assert!(build_harness(&options).is_err(), "no microservices");
+        options.triples = vec![(50.0, 5.0, 90.0)];
+        options.slot_size = 0;
+        assert!(build_harness(&options).is_err(), "zero slot size");
+        options.slot_size = 5;
+        options.quorum = Some(0);
+        assert!(build_harness(&options).is_err(), "zero quorum");
+    }
+
+    #[test]
+    fn ms_names_follow_the_algebra() {
+        assert_eq!(ms_name(0), "a");
+        assert_eq!(ms_name(25), "z");
+        assert_eq!(ms_name(26), "m26");
     }
 }
