@@ -15,6 +15,7 @@
 //!   ablations     design-choice ablations (k, window, cost, latency shapes)
 //!   contention    §VII scarce-resource contention
 //!   bench-synth   synthesis engine: baseline vs pruned/parallel exhaustive search
+//!   bench-replan  slot re-planning: cold vs warm-start vs plan-cache
 //!   all           everything above
 //!
 //! options:
@@ -24,7 +25,7 @@
 //!   --max-m N         largest M for fig7                   (default 10)
 //!   --exhaustive-m N  largest M searched exhaustively      (default 6)
 //!   --per-slot N      invocations per slot, table4/fig8    (default 100)
-//!   --slots N         slots for fig8                       (default 8)
+//!   --slots N         slots for fig8/bench-replan          (default 8)
 //!   --latency-scale F testbed latency multiplier           (default 0.05)
 //!   --seed N          RNG seed                             (default 2020)
 //!   --reports DIR     report directory                     (default reports)
@@ -188,12 +189,19 @@ fn run_experiment(name: &str, options: &Options) -> std::io::Result<bool> {
             options.services.min(10),
             options.seed,
         )?,
+        "bench-replan" => qce_bench::replan::run(
+            reports,
+            std::path::Path::new("BENCH_replan.json"),
+            options.exhaustive_m,
+            options.slots as usize,
+            options.seed,
+        )?,
         _ => return Ok(false),
     }
     Ok(true)
 }
 
-const ALL: [&str; 11] = [
+const ALL: [&str; 12] = [
     "table1",
     "table2",
     "fig5",
@@ -205,6 +213,7 @@ const ALL: [&str; 11] = [
     "ablations",
     "contention",
     "bench-synth",
+    "bench-replan",
 ];
 
 fn main() -> ExitCode {
@@ -214,7 +223,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|all> [options]"
+                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|bench-replan|all> [options]"
             );
             return ExitCode::FAILURE;
         }
@@ -301,6 +310,6 @@ mod tests {
         for name in ALL {
             assert_ne!(name, "all");
         }
-        assert_eq!(ALL.len(), 11);
+        assert_eq!(ALL.len(), 12);
     }
 }

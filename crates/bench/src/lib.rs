@@ -19,6 +19,7 @@
 //! | [`ablation`] | design-choice ablations (k, window, cost semantics, latency shapes) |
 //! | [`contention`] | §VII scarce-resource contention (capacity-limited devices) |
 //! | [`synth`] | synthesis-engine benchmark — baseline vs pruned/parallel search |
+//! | [`replan`] | slot re-planning benchmark — cold vs warm-start vs plan-cache |
 //!
 //! Reports are printed to the console and written as TSV under `reports/`.
 //!
@@ -38,6 +39,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod replan;
 pub mod report;
 pub mod synth;
 pub mod table1;

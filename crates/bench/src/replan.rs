@@ -1,0 +1,302 @@
+//! `bench-replan` — before/after benchmark of slot re-planning with the
+//! warm-start plan cache in `qce-strategy`.
+//!
+//! The gateway re-plans once per time slot, and real deployments cycle
+//! through a small set of recurring environment regimes (day/night load,
+//! the same devices flapping in and out). The harness models that with
+//! `phases` seeded environments visited round-robin over `slots` slots,
+//! and times the same exhaustive search three ways:
+//!
+//! * **cold** — the pre-cache code path: every slot runs the full
+//!   branch-and-bound search from scratch;
+//! * **warm-start** — the previous slot's winner seeds the
+//!   branch-and-bound bar, so pruning bites from the first candidate
+//!   (no cache, works on never-repeating environments too);
+//! * **cached** — warm-start plus a [`PlanCache`]: a slot whose quantized
+//!   environment was already solved returns the memoized winner without
+//!   searching at all.
+//!
+//! Every warm-start and cached slot is checked **bit-for-bit** against the
+//! cold search (strategy, utility bits, candidate count); any divergence
+//! aborts with a nonzero exit, which is what the CI `bench-smoke` job keys
+//! on. Per-slot medians go to `bench_replan.tsv` and, as machine-readable
+//! before/after numbers, to `BENCH_replan.json`.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use qce_strategy::{EnvQos, Generated, Generator, PlanCache, PlanCacheConfig, Requirements};
+
+use crate::fig5::sim_requirements;
+use crate::fig7::scaling_config;
+use crate::report::{fmt_f, Report};
+
+/// How many distinct environment regimes the slot sequence cycles through.
+const PHASES: usize = 4;
+
+/// Per-slot timings of one configuration over the whole slot sequence.
+#[derive(Debug, Clone)]
+struct Timed {
+    results: Vec<Generated>,
+    per_slot: Vec<Duration>,
+}
+
+/// Runs `generator.exhaustive` once per slot over the cycling environments
+/// and records each slot's wall time. The generator is reused across
+/// slots, which is exactly what lets warm-start and the cache help.
+fn drive(generator: &Generator, envs: &[EnvQos], slots: usize, req: &Requirements) -> Timed {
+    let mut results = Vec::with_capacity(slots);
+    let mut per_slot = Vec::with_capacity(slots);
+    for slot in 0..slots {
+        let env = &envs[slot % envs.len()];
+        let ids = env.ids();
+        let started = Instant::now();
+        let generated = generator
+            .exhaustive(env, &ids, req)
+            .expect("random environments are valid");
+        per_slot.push(started.elapsed());
+        results.push(generated);
+    }
+    Timed { results, per_slot }
+}
+
+/// Median of the per-slot wall times (mean of the middle two for even
+/// lengths, [`Duration::ZERO`] for empty input).
+fn median(samples: &[Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    }
+}
+
+/// Verifies that a warm configuration reproduced the cold search exactly
+/// on every slot: same strategy, same utility bits, same candidate count.
+fn check_equivalent(
+    m: usize,
+    config: &str,
+    cold: &[Generated],
+    warm: &[Generated],
+) -> io::Result<()> {
+    for (slot, (c, w)) in cold.iter().zip(warm).enumerate() {
+        if c.strategy != w.strategy
+            || c.utility.to_bits() != w.utility.to_bits()
+            || c.evaluated != w.evaluated
+        {
+            return Err(io::Error::other(format!(
+                "EQUIVALENCE DIVERGENCE at M={m}, slot #{slot}, config {config}: \
+                 cold search chose {} (utility {}, {} candidates) but {config} \
+                 chose {} (utility {}, {} candidates)",
+                c.strategy, c.utility, c.evaluated, w.strategy, w.utility, w.evaluated
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Runs the re-planning benchmark for `M = 4..=max_m` over `slots` slots
+/// cycling through `PHASES` (4) recurring environments per point, writes
+/// `bench_replan.tsv` under `reports` and the before/after medians to
+/// `json_out`.
+///
+/// # Errors
+///
+/// Returns an error if a report cannot be written — or, deliberately, if
+/// a warm-start or cached slot diverges bit-for-bit from the cold search
+/// (the CI smoke job relies on this exit code).
+pub fn run(
+    reports: &Path,
+    json_out: &Path,
+    max_m: usize,
+    slots: usize,
+    seed: u64,
+) -> io::Result<()> {
+    let max_m = max_m.max(4);
+    // At least one full revisit of every phase, so the cache gets to hit.
+    let slots = slots.max(2 * PHASES);
+    let requirements = sim_requirements();
+
+    let mut report = Report::new(
+        format!(
+            "bench-replan: slot re-planning, cold vs warm-start vs plan-cache \
+             ({slots} slots over {PHASES} recurring environments)"
+        ),
+        &[
+            "M",
+            "config",
+            "median/slot",
+            "speedup",
+            "hits",
+            "misses",
+            "hit rate",
+        ],
+    );
+
+    let mut json_points = Vec::new();
+    let mut final_speedup = None;
+    for m in 4..=max_m {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ ((m as u64) << 32));
+        let envs: Vec<EnvQos> = (0..PHASES)
+            .map(|_| scaling_config(m).generate(&mut rng).mean_qos_table())
+            .collect();
+
+        // Single-worker searches throughout: the speedups below are then
+        // purely algorithmic (tighter bound, memoized winners), not thread
+        // scaling, and the medians are stable enough for a smoke gate.
+        let cold_generator = Generator::builder().parallelism(1).build();
+        let warm_generator = Generator::builder().parallelism(1).warm_start(true).build();
+        let cache = Arc::new(PlanCache::new(PlanCacheConfig::default()));
+        let cached_generator = Generator::builder()
+            .parallelism(1)
+            .warm_start(true)
+            .plan_cache(Arc::clone(&cache))
+            .build();
+
+        let cold = drive(&cold_generator, &envs, slots, &requirements);
+        let warm = drive(&warm_generator, &envs, slots, &requirements);
+        let cached = drive(&cached_generator, &envs, slots, &requirements);
+
+        check_equivalent(m, "warm-start", &cold.results, &warm.results)?;
+        check_equivalent(m, "cached", &cold.results, &cached.results)?;
+
+        let stats = cache.stats();
+        let lookups = stats.hits + stats.misses;
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / lookups as f64
+        };
+
+        let cold_median = median(&cold.per_slot);
+        let warm_median = median(&warm.per_slot);
+        let cached_median = median(&cached.per_slot);
+        let speedup = |t: Duration| millis(cold_median) / millis(t).max(1e-9);
+
+        let rows = [
+            ("cold", cold_median, 0, 0, None),
+            ("warm-start", warm_median, 0, 0, None),
+            (
+                "cached",
+                cached_median,
+                stats.hits,
+                stats.misses,
+                Some(hit_rate),
+            ),
+        ];
+        for (config, time, hits, misses, rate) in rows {
+            report.row([
+                m.to_string(),
+                config.to_string(),
+                format!("{time:.3?}"),
+                format!("{:.1}x", speedup(time)),
+                hits.to_string(),
+                misses.to_string(),
+                rate.map_or_else(|| "-".to_string(), |r| format!("{:.0}%", r * 100.0)),
+            ]);
+        }
+        final_speedup = Some(speedup(cached_median));
+        json_points.push(format!(
+            "    {{\"m\": {m}, \"candidates\": {}, \"cold_median_ms\": {}, \
+             \"warm_start_median_ms\": {}, \"cached_median_ms\": {}, \
+             \"speedup_warm_start\": {}, \"speedup_cached\": {}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {}, \
+             \"winners_identical\": true}}",
+            cold.results.first().map_or(0, |g| g.evaluated),
+            fmt_f(millis(cold_median), 4),
+            fmt_f(millis(warm_median), 4),
+            fmt_f(millis(cached_median), 4),
+            fmt_f(speedup(warm_median), 2),
+            fmt_f(speedup(cached_median), 2),
+            stats.hits,
+            stats.misses,
+            fmt_f(hit_rate, 3),
+        ));
+    }
+
+    if let Some(speedup) = final_speedup {
+        report.note(format!(
+            "plan-cache speedup over the cold per-slot search at M={max_m}: \
+             {speedup:.1}x (target: >=2x median)"
+        ));
+    }
+    report.note("every warm-start and cached slot verified bit-identical to the cold search");
+    report.emit(reports, "bench_replan")?;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench-replan\",\n  \"seed\": {seed},\n  \
+         \"slots\": {slots},\n  \"phases\": {PHASES},\n  \"points\": [\n{}\n  ]\n}}\n",
+        json_points.join(",\n")
+    );
+    if let Some(parent) = json_out.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(json_out, json)?;
+    println!(
+        "before/after re-planning medians written to {}",
+        json_out.display()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        let ms = Duration::from_millis;
+        assert_eq!(median(&[]), Duration::ZERO);
+        assert_eq!(median(&[ms(7)]), ms(7));
+        assert_eq!(median(&[ms(9), ms(1), ms(5)]), ms(5));
+        assert_eq!(median(&[ms(1), ms(9), ms(5), ms(3)]), ms(4));
+    }
+
+    #[test]
+    fn cached_slots_hit_after_the_first_cycle() {
+        let requirements = sim_requirements();
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let envs: Vec<EnvQos> = (0..PHASES)
+            .map(|_| scaling_config(4).generate(&mut rng).mean_qos_table())
+            .collect();
+        let cache = Arc::new(PlanCache::new(PlanCacheConfig::default()));
+        let generator = Generator::builder()
+            .parallelism(1)
+            .warm_start(true)
+            .plan_cache(Arc::clone(&cache))
+            .build();
+        let slots = 3 * PHASES;
+        let timed = drive(&generator, &envs, slots, &requirements);
+        assert_eq!(timed.results.len(), slots);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, PHASES as u64, "first cycle misses");
+        assert_eq!(stats.hits, (slots - PHASES) as u64, "revisits all hit");
+    }
+
+    #[test]
+    fn run_writes_report_and_json() {
+        let dir = std::env::temp_dir().join(format!("qce-replan-{}", std::process::id()));
+        let json = dir.join("BENCH_replan.json");
+        run(&dir, &json, 4, 8, 5).unwrap();
+        assert!(dir.join("bench_replan.tsv").exists());
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"m\": 4"));
+        assert!(text.contains("\"candidates\": 195"));
+        assert!(text.contains("\"winners_identical\": true"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

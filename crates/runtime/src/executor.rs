@@ -254,6 +254,15 @@ fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
         }
         Node::Seq(children) => {
             for child in children {
+                // Re-check the short-circuit between sequential legs: a leaf
+                // leg would notice on its own, but a parallel leg reserves
+                // worker slots and spawns threads before any of its leaves
+                // looks at the flag — pure overhead once the strategy is
+                // already won (in-flight legs are still charged in full per
+                // Assumption 2; this only stops legs that have not started).
+                if ctx.cancel.load(Ordering::SeqCst) {
+                    return NodeStatus::Cancelled;
+                }
                 match run_node(child, ctx) {
                     NodeStatus::Succeeded => return NodeStatus::Succeeded,
                     NodeStatus::Cancelled => return NodeStatus::Cancelled,
@@ -520,6 +529,103 @@ mod tests {
     fn outcome_is_send() {
         fn assert_send<T: Send>() {}
         assert_send::<ServiceOutcome>();
+    }
+
+    /// Regression test: once the strategy is won, a `Seq` chain must not
+    /// descend into its remaining legs. A leaf leg would notice the cancel
+    /// flag itself, but a `Par` leg used to reserve virtual-clock worker
+    /// slots and spawn threads first — observable as extra
+    /// [`Clock::reserve_worker`] calls. Pre-fix this test sees 2 reserves
+    /// and fails; post-fix exactly 1 (for the top-level `Par`), and the
+    /// loser's unreached legs are never invoked or charged.
+    #[test]
+    fn cancelled_seq_leg_never_descends_into_parallel_legs() {
+        use crate::clock::VirtualClock;
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Debug)]
+        struct ReserveSpy {
+            inner: Arc<VirtualClock>,
+            reserves: AtomicUsize,
+        }
+
+        impl Clock for ReserveSpy {
+            fn now(&self) -> Duration {
+                self.inner.now()
+            }
+            fn sleep(&self, duration: Duration) {
+                self.inner.sleep(duration);
+            }
+            fn enter_worker(&self) {
+                self.inner.enter_worker();
+            }
+            fn reserve_worker(&self) {
+                self.reserves.fetch_add(1, Ordering::SeqCst);
+                self.inner.reserve_worker();
+            }
+            fn adopt_worker(&self) {
+                self.inner.adopt_worker();
+            }
+            fn exit_worker(&self) {
+                self.inner.exit_worker();
+            }
+            fn enter_passive(&self) {
+                self.inner.enter_passive();
+            }
+            fn exit_passive(&self) {
+                self.inner.exit_passive();
+            }
+        }
+
+        let clock = Arc::new(VirtualClock::new());
+        let spy = ReserveSpy {
+            inner: Arc::clone(&clock),
+            reserves: AtomicUsize::new(0),
+        };
+        // (a-(b*c))*d in virtual time: d wins at t=2 ms, a fails at
+        // t=30 ms. By the time the Seq leg moves past a, the strategy is
+        // won — b*c must not start.
+        let timed = |id: &str, latency_ms: u64, reliability: f64, cost: f64| -> Arc<dyn Provider> {
+            SimulatedProvider::builder(id, id)
+                .latency(Duration::from_millis(latency_ms))
+                .reliability(reliability)
+                .cost(cost)
+                .seed(1)
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build()
+        };
+        let providers = vec![
+            timed("a", 30, 0.0, 10.0),
+            timed("b", 1, 1.0, 99.0),
+            timed("c", 1, 1.0, 99.0),
+            timed("d", 2, 1.0, 20.0),
+        ];
+        let out = execute_strategy_with_clock(
+            &Strategy::parse("(a-(b*c))*d").unwrap(),
+            &providers,
+            &req(),
+            None,
+            &spy,
+        )
+        .unwrap();
+        assert!(out.success);
+        assert_eq!(
+            out.cost, 30.0,
+            "only a and d charged; the unreached b*c leg costs nothing"
+        );
+        assert_eq!(out.invocations.len(), 2);
+        assert!(
+            out.invocations
+                .iter()
+                .all(|i| i.provider_id != "b" && i.provider_id != "c"),
+            "unreached legs must never be invoked"
+        );
+        assert_eq!(
+            spy.reserves.load(Ordering::SeqCst),
+            1,
+            "only the top-level Par reserves a worker slot; the cancelled \
+             Seq leg must not reserve slots for b*c"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::clock::{Clock, WallClock};
 use crate::collector::Collector;
 use crate::device::Provider;
 use crate::executor::execute_strategy_instrumented;
-use crate::generator::{plan_slot, SlotPlan, StrategyOrigin, SynthesisSettings};
+use crate::generator::{Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 use crate::market::Market;
 use crate::message::{Invocation, RuntimeError};
 use crate::quorum::execute_with_quorum_instrumented;
@@ -33,7 +33,7 @@ use crate::script::ServiceScript;
 use crate::telemetry::Telemetry;
 
 /// Gateway configuration knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GatewayConfig {
     /// Sliding-window size of the QoS collector (observations per
     /// provider).
@@ -46,6 +46,20 @@ pub struct GatewayConfig {
     /// Branch-and-bound pruning for the per-slot exhaustive search.
     /// Never changes the chosen strategy, only how fast it is found.
     pub generator_pruning: bool,
+    /// Warm-start each slot's search with the previous slot's winner as
+    /// the initial pruning bar. Never changes the chosen strategy, only
+    /// how fast it is found.
+    pub generator_warm_start: bool,
+    /// Cache winning plans per service, keyed by the search inputs, so a
+    /// slot whose environment is unchanged skips the search entirely.
+    pub plan_cache: bool,
+    /// Plan-cache capacity (entries per service) when `plan_cache` is on.
+    pub plan_cache_capacity: usize,
+    /// Plan-cache key quantization step. `0.0` (the default) keys on exact
+    /// bit patterns, making cache hits provably bit-identical to a fresh
+    /// search; positive steps trade that exactness for more hits under
+    /// small environment drift.
+    pub plan_quantize: f64,
     /// Maximum [`SlotRecord`]s kept per service; older records are evicted
     /// (and counted in telemetry) so long-running services don't leak.
     pub history_limit: usize,
@@ -60,6 +74,10 @@ impl Default for GatewayConfig {
             generator_threshold: qce_strategy::generate::DEFAULT_THRESHOLD,
             generator_parallelism: 0,
             generator_pruning: true,
+            generator_warm_start: false,
+            plan_cache: false,
+            plan_cache_capacity: 64,
+            plan_quantize: 0.0,
             history_limit: 1024,
             telemetry_events: 1024,
         }
@@ -74,6 +92,10 @@ impl GatewayConfig {
             threshold: self.generator_threshold,
             parallelism: self.generator_parallelism,
             pruning: self.generator_pruning,
+            warm_start: self.generator_warm_start,
+            plan_cache: self.plan_cache,
+            plan_cache_capacity: self.plan_cache_capacity,
+            plan_quantize: self.plan_quantize,
         }
     }
 }
@@ -141,6 +163,9 @@ struct ActivePlan {
 
 struct ServiceState {
     script: ServiceScript,
+    /// Persistent per-service planner: keeps the warm-start incumbent and
+    /// the plan cache alive across slot boundaries.
+    planner: Planner,
     slot: u64,
     invocations_in_slot: u32,
     active: Option<ActivePlan>,
@@ -277,12 +302,14 @@ impl Gateway {
                     .record_market_fetch(self.clock.now().saturating_sub(t0), fetched.is_ok());
                 let initialised = fetched.and_then(|script| {
                     script.validate()?;
-                    Ok(script)
+                    let planner = Planner::new(&script, &self.config.synthesis_settings())?;
+                    Ok((script, planner))
                 });
                 match initialised {
-                    Ok(script) => {
+                    Ok((script, planner)) => {
                         *guard = Some(ServiceState {
                             script,
+                            planner,
                             slot: 0,
                             invocations_in_slot: 0,
                             active: None,
@@ -326,6 +353,7 @@ impl Gateway {
                     &active.plan.origin.to_string(),
                     &strategy_text,
                     active.plan.report.as_ref(),
+                    active.plan.source,
                 );
                 state.history.push_back(SlotRecord {
                     slot: state.slot,
@@ -473,12 +501,11 @@ impl Gateway {
             })
             .collect::<Result<_, _>>()?;
 
-        let plan = plan_slot(
+        let plan = state.planner.plan_slot(
             &state.script,
             &providers,
             &self.collector,
             state.slot,
-            &self.config.synthesis_settings(),
             Some(&self.telemetry),
         )?;
 
@@ -550,9 +577,21 @@ impl Gateway {
     }
 
     /// Drops the cached script and planning state of `service_id` (e.g.
-    /// after publishing an updated script to the market).
+    /// after publishing an updated script to the market). Any cached plans
+    /// were computed for the evicted script, so the planner's cache is
+    /// invalidated first and the dropped entries are surfaced as stale in
+    /// telemetry.
     pub fn evict_service(&self, service_id: &str) {
-        self.services.write().remove(service_id);
+        let cell = self.services.write().remove(service_id);
+        if let Some(cell) = cell {
+            let guard = cell.lock();
+            if let Some(state) = guard.as_ref() {
+                state.planner.invalidate();
+                if let Some(stats) = state.planner.cache_stats() {
+                    self.telemetry.record_plan_cache(service_id, &stats);
+                }
+            }
+        }
     }
 }
 
@@ -816,6 +855,72 @@ mod tests {
         assert_eq!(slots, vec![7, 8, 9], "oldest slots were evicted first");
         let snapshot = gateway.telemetry().snapshot();
         assert_eq!(snapshot.service("temp").unwrap().history_evicted, 7);
+    }
+
+    #[test]
+    fn plan_cache_and_warm_start_surface_in_telemetry() {
+        use crate::clock::VirtualClock;
+        use crate::telemetry::EventKind;
+        use qce_strategy::PlanSource;
+
+        // Virtual time makes provider latencies exactly reproducible, so
+        // the collector means — and with them the assumed environment —
+        // are bit-identical from slot to slot: the plan cache must hit.
+        let clock = Arc::new(VirtualClock::new());
+        let config = GatewayConfig {
+            generator_warm_start: true,
+            plan_cache: true,
+            ..GatewayConfig::default()
+        };
+        let gateway = Gateway::with_clock(
+            market_with(script(1)),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        for (i, (cap, ms)) in [("read-temp", 2u64), ("est-temp", 3), ("loc-temp", 5)]
+            .iter()
+            .enumerate()
+        {
+            gateway.registry().register(
+                SimulatedProvider::builder(format!("dev{i}/{cap}"), *cap)
+                    .cost(50.0)
+                    .latency(Duration::from_millis(*ms))
+                    .reliability(1.0)
+                    .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                    .build(),
+            );
+        }
+        for _ in 0..6 {
+            assert!(gateway.invoke("temp").unwrap().success);
+        }
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("temp").unwrap();
+        assert_eq!(svc.replans, 6, "slot_size 1: one re-plan per invocation");
+        assert_eq!(svc.plans_cold, 1, "slot 1 is the first real search");
+        assert_eq!(
+            svc.plans_cached, 4,
+            "slots 2-5 see a bit-identical environment"
+        );
+        assert_eq!(svc.plan_cache_hits, 4);
+        assert_eq!(svc.plan_cache_misses, 1);
+        // The replan events carry the provenance (None for slot 0's
+        // unsearched default).
+        let sources: Vec<Option<PlanSource>> = snapshot
+            .recent_events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::SlotReplanned { source, .. } => Some(*source),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sources[0], None);
+        assert_eq!(sources[1], Some(PlanSource::Cold));
+        assert!(sources[2..].iter().all(|s| *s == Some(PlanSource::Cached)));
+        // Eviction invalidates the cache and surfaces the drop as stale.
+        gateway.evict_service("temp");
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("temp").unwrap();
+        assert!(svc.plan_cache_stale >= 1, "evicted entries counted stale");
     }
 
     #[test]

@@ -6,12 +6,13 @@
 use std::sync::Arc;
 
 use qce_strategy::{
-    EnvQos, Generated, Generator, Requirements, Strategy, SynthesisReport, UtilityIndex,
+    EnvQos, Generated, Generator, PlanCache, PlanCacheConfig, PlanCacheStats, PlanSource,
+    Requirements, Strategy, SynthesisReport, UtilityIndex,
 };
 
 /// Synthesis-engine knobs threaded from the gateway configuration into the
 /// per-slot [`Generator`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SynthesisSettings {
     /// Exhaustive/approximation switch-over `θ` (Algorithm 2 line 1).
     pub threshold: usize,
@@ -19,6 +20,19 @@ pub struct SynthesisSettings {
     pub parallelism: usize,
     /// Branch-and-bound pruning (never changes the chosen strategy).
     pub pruning: bool,
+    /// Warm-start each slot's search with the previous slot's winner as
+    /// the initial pruning bar (never changes the chosen strategy).
+    pub warm_start: bool,
+    /// Memoize winning plans in a per-service [`PlanCache`] keyed by the
+    /// search inputs, so an unchanged environment skips the search.
+    pub plan_cache: bool,
+    /// Plan-cache capacity (entries) when `plan_cache` is on.
+    pub plan_cache_capacity: usize,
+    /// Plan-cache key quantization step for environment QoS attributes;
+    /// `0.0` keys on exact bit patterns (cache hits are then guaranteed
+    /// bit-identical to a fresh search), positive values trade exactness
+    /// for more hits under small drift.
+    pub plan_quantize: f64,
 }
 
 impl Default for SynthesisSettings {
@@ -27,6 +41,10 @@ impl Default for SynthesisSettings {
             threshold: qce_strategy::generate::DEFAULT_THRESHOLD,
             parallelism: 0,
             pruning: true,
+            warm_start: false,
+            plan_cache: false,
+            plan_cache_capacity: 64,
+            plan_quantize: 0.0,
         }
     }
 }
@@ -72,6 +90,9 @@ pub struct SlotPlan {
     /// The generator's search report (`None` for the default strategy of
     /// slot 0, which is not searched).
     pub report: Option<SynthesisReport>,
+    /// How the plan was obtained — cold search, warm-started search, or
+    /// plan-cache hit (`None` for the unsearched default strategy).
+    pub source: Option<PlanSource>,
 }
 
 /// Builds the QoS table the generator should assume for this script: for
@@ -119,54 +140,126 @@ pub fn plan_slot(
     settings: &SynthesisSettings,
     telemetry: Option<&Telemetry>,
 ) -> Result<SlotPlan, RuntimeError> {
-    let env = assumed_env(script, providers, collector);
-    let ids = env.ids();
-    let requirements: Requirements = script.requirements;
-    let utility = UtilityIndex::new(script.penalty_k).map_err(|e| RuntimeError::InvalidScript {
-        reason: e.to_string(),
-    })?;
+    Planner::new(script, settings)?.plan_slot(script, providers, collector, slot, telemetry)
+}
 
-    if slot == 0 {
-        let strategy = match script.parsed_default_strategy()? {
-            Some(s) => s,
-            None => qce_strategy::enumerate::speculative_parallel(&ids).map_err(|e| {
-                RuntimeError::Generation {
-                    reason: e.to_string(),
-                }
-            })?,
-        };
-        let estimated = qce_strategy::estimate::estimate(&strategy, &env).ok();
-        return Ok(SlotPlan {
-            strategy,
-            origin: StrategyOrigin::Default,
-            assumed_env: env,
-            estimated,
-            report: None,
-        });
-    }
+/// A persistent per-service planner: one [`Generator`] (and, when enabled,
+/// one [`PlanCache`]) that lives across slot boundaries, so warm-start
+/// incumbents and cached plans survive from one re-plan to the next.
+///
+/// The free-standing [`plan_slot`] builds a throwaway `Planner` per call
+/// and therefore never benefits from either optimization; the gateway
+/// keeps one `Planner` per service instead.
+#[derive(Debug)]
+pub struct Planner {
+    generator: Generator,
+    cache: Option<Arc<PlanCache>>,
+}
 
-    let generator = Generator::builder()
-        .utility(utility)
-        .threshold(settings.threshold)
-        .parallelism(settings.parallelism)
-        .pruning(settings.pruning)
-        .build();
-    let generated: Generated =
-        generator
-            .generate(&env, &ids, &requirements)
-            .map_err(|e| RuntimeError::Generation {
+impl Planner {
+    /// Builds the planner for `script` under `settings`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidScript`] if the script's utility
+    /// penalty is invalid.
+    pub fn new(script: &ServiceScript, settings: &SynthesisSettings) -> Result<Self, RuntimeError> {
+        let utility =
+            UtilityIndex::new(script.penalty_k).map_err(|e| RuntimeError::InvalidScript {
                 reason: e.to_string(),
             })?;
-    if let Some(telemetry) = telemetry {
-        telemetry.record_synthesis(&script.service_id, &generated.report);
+        let cache = settings.plan_cache.then(|| {
+            Arc::new(PlanCache::new(PlanCacheConfig {
+                capacity: settings.plan_cache_capacity,
+                quantum: settings.plan_quantize,
+            }))
+        });
+        let mut builder = Generator::builder()
+            .utility(utility)
+            .threshold(settings.threshold)
+            .parallelism(settings.parallelism)
+            .pruning(settings.pruning)
+            .warm_start(settings.warm_start);
+        if let Some(cache) = &cache {
+            builder = builder.plan_cache(Arc::clone(cache));
+        }
+        Ok(Planner {
+            generator: builder.build(),
+            cache,
+        })
     }
-    Ok(SlotPlan {
-        strategy: generated.strategy,
-        origin: StrategyOrigin::Generated(generated.method),
-        assumed_env: env,
-        estimated: Some(generated.qos),
-        report: Some(generated.report),
-    })
+
+    /// Counter snapshot of the plan cache, if one is enabled.
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<PlanCacheStats> {
+        self.cache.as_ref().map(|cache| cache.stats())
+    }
+
+    /// Drops every cached plan (call when the service script is evicted or
+    /// replaced — the cached winners were computed for the old script).
+    /// Returns how many entries were dropped; `0` with no cache.
+    pub fn invalidate(&self) -> usize {
+        self.cache.as_ref().map_or(0, |cache| cache.invalidate())
+    }
+
+    /// Plans the strategy for a time slot (see [`plan_slot`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`plan_slot`].
+    pub fn plan_slot(
+        &self,
+        script: &ServiceScript,
+        providers: &[Arc<dyn Provider>],
+        collector: &Collector,
+        slot: u64,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<SlotPlan, RuntimeError> {
+        let env = assumed_env(script, providers, collector);
+        let ids = env.ids();
+        let requirements: Requirements = script.requirements;
+
+        if slot == 0 {
+            let strategy = match script.parsed_default_strategy()? {
+                Some(s) => s,
+                None => qce_strategy::enumerate::speculative_parallel(&ids).map_err(|e| {
+                    RuntimeError::Generation {
+                        reason: e.to_string(),
+                    }
+                })?,
+            };
+            let estimated = qce_strategy::estimate::estimate(&strategy, &env).ok();
+            return Ok(SlotPlan {
+                strategy,
+                origin: StrategyOrigin::Default,
+                assumed_env: env,
+                estimated,
+                report: None,
+                source: None,
+            });
+        }
+
+        let generated: Generated =
+            self.generator
+                .generate(&env, &ids, &requirements)
+                .map_err(|e| RuntimeError::Generation {
+                    reason: e.to_string(),
+                })?;
+        if let Some(telemetry) = telemetry {
+            telemetry.record_synthesis(&script.service_id, &generated.report);
+            if let Some(stats) = self.cache_stats() {
+                telemetry.record_plan_cache(&script.service_id, &stats);
+            }
+        }
+        Ok(SlotPlan {
+            strategy: generated.strategy,
+            origin: StrategyOrigin::Generated(generated.method),
+            assumed_env: env,
+            estimated: Some(generated.qos),
+            report: Some(generated.report),
+            source: Some(generated.source),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +550,59 @@ mod tests {
         let svc = snap.service("svc").unwrap();
         assert_eq!(svc.candidates_seen, report.candidates_seen);
         assert_eq!(svc.candidates_pruned, report.candidates_pruned);
+    }
+
+    #[test]
+    fn persistent_planner_caches_and_warm_starts() {
+        use qce_strategy::PlanSource;
+        let collector = Collector::new(10);
+        let settings = SynthesisSettings {
+            plan_cache: true,
+            warm_start: true,
+            ..SynthesisSettings::default()
+        };
+        let planner = Planner::new(&script(), &settings).unwrap();
+        // No collector data: the assumed env is the (constant) priors, so
+        // consecutive slots present identical search inputs.
+        let first = planner
+            .plan_slot(&script(), &providers(), &collector, 1, None)
+            .unwrap();
+        assert_eq!(first.source, Some(PlanSource::Cold));
+        let second = planner
+            .plan_slot(&script(), &providers(), &collector, 2, None)
+            .unwrap();
+        assert_eq!(second.source, Some(PlanSource::Cached));
+        assert_eq!(second.strategy, first.strategy);
+        let stats = planner.cache_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        // Invalidation (script eviction) drops the entries; the next plan
+        // re-searches, warm-started by the remembered incumbent.
+        assert_eq!(planner.invalidate(), stats.entries);
+        let third = planner
+            .plan_slot(&script(), &providers(), &collector, 3, None)
+            .unwrap();
+        assert_eq!(third.source, Some(PlanSource::WarmStart));
+        assert_eq!(third.strategy, first.strategy);
+    }
+
+    #[test]
+    fn throwaway_plan_slot_never_caches() {
+        let collector = Collector::new(10);
+        let settings = SynthesisSettings {
+            plan_cache: true,
+            warm_start: true,
+            ..SynthesisSettings::default()
+        };
+        for slot in [1, 2] {
+            let plan =
+                plan_slot(&script(), &providers(), &collector, slot, &settings, None).unwrap();
+            assert_eq!(
+                plan.source,
+                Some(qce_strategy::PlanSource::Cold),
+                "a fresh Planner per call has nothing to reuse"
+            );
+        }
     }
 
     #[test]

@@ -101,7 +101,7 @@ pub use executor::{
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultyProvider};
 pub use gateway::{Gateway, GatewayConfig, QosAdvisory, ServiceResponse, SlotRecord};
-pub use generator::{assumed_env, plan_slot, SlotPlan, StrategyOrigin, SynthesisSettings};
+pub use generator::{assumed_env, plan_slot, Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 pub use harness::{Harness, HarnessBuilder};
 pub use market::{CachingMarket, FileMarket, InMemoryMarket, Market};
 pub use message::{Invocation, InvocationOutcome, InvokeError, RuntimeError};

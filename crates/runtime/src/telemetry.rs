@@ -30,7 +30,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
-use qce_strategy::SynthesisReport;
+use qce_strategy::{PlanCacheStats, PlanSource, SynthesisReport};
 
 use crate::clock::Clock;
 use crate::message::RuntimeError;
@@ -71,7 +71,15 @@ impl Histogram {
 
     fn record(&self, raw: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(raw, Ordering::Relaxed);
+        // Saturate, don't wrap: `micros` clamps out-of-range durations to
+        // `u64::MAX`, and a single such observation through `fetch_add`
+        // would wrap the running sum around to garbage. The sample itself
+        // still lands in the overflow bucket below.
+        self.sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |sum| {
+                Some(sum.saturating_add(raw))
+            })
+            .ok();
         match self.edges.iter().position(|&edge| raw <= edge) {
             Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
             None => self.overflow.fetch_add(1, Ordering::Relaxed),
@@ -129,6 +137,14 @@ struct ServiceMetrics {
     quorum_votes_cast: AtomicU64,
     quorum_votes_agreed: AtomicU64,
     replans: AtomicU64,
+    plans_cold: AtomicU64,
+    plans_warm_start: AtomicU64,
+    plans_cached: AtomicU64,
+    /// Plan-cache gauges: absolute values of the service planner's
+    /// [`PlanCacheStats`], stored (not accumulated) on every re-plan.
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    plan_cache_stale: AtomicU64,
     strategy_switches: AtomicU64,
     plan_failures: AtomicU64,
     history_evicted: AtomicU64,
@@ -150,6 +166,12 @@ impl ServiceMetrics {
             quorum_votes_cast: AtomicU64::new(0),
             quorum_votes_agreed: AtomicU64::new(0),
             replans: AtomicU64::new(0),
+            plans_cold: AtomicU64::new(0),
+            plans_warm_start: AtomicU64::new(0),
+            plans_cached: AtomicU64::new(0),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            plan_cache_stale: AtomicU64::new(0),
             strategy_switches: AtomicU64::new(0),
             plan_failures: AtomicU64::new(0),
             history_evicted: AtomicU64::new(0),
@@ -217,6 +239,10 @@ pub enum EventKind {
         candidates_pruned: u64,
         /// Time the generation call took.
         elapsed: Duration,
+        /// How the plan was obtained (cold search, warm-started search, or
+        /// plan-cache hit); `None` for the unsearched default strategy.
+        #[serde(default)]
+        source: Option<PlanSource>,
     },
     /// A re-plan chose a different strategy than the previous slot's.
     StrategySwitched {
@@ -299,6 +325,26 @@ pub struct ServiceSnapshot {
     pub quorum_votes_agreed: u64,
     /// Slot re-plans performed.
     pub replans: u64,
+    /// Re-plans served by a full cold synthesis run.
+    #[serde(default)]
+    pub plans_cold: u64,
+    /// Re-plans served by a warm-started (incumbent-seeded) search.
+    #[serde(default)]
+    pub plans_warm_start: u64,
+    /// Re-plans served straight from the plan cache.
+    #[serde(default)]
+    pub plans_cached: u64,
+    /// Plan-cache lookups that hit (absolute gauge from the planner's
+    /// cache, captured at the last re-plan).
+    #[serde(default)]
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that missed (absolute gauge).
+    #[serde(default)]
+    pub plan_cache_misses: u64,
+    /// Plan-cache entries dropped before reuse — capacity evictions plus
+    /// invalidations on script eviction (absolute gauge).
+    #[serde(default)]
+    pub plan_cache_stale: u64,
     /// Re-plans that chose a different strategy than the previous slot.
     pub strategy_switches: u64,
     /// Slot-planning failures.
@@ -559,9 +605,16 @@ impl Telemetry {
         origin: &str,
         strategy_text: &str,
         report: Option<&SynthesisReport>,
+        source: Option<PlanSource>,
     ) {
         let metrics = self.service(service);
         metrics.replans.fetch_add(1, Ordering::Relaxed);
+        match source {
+            Some(PlanSource::Cold) => metrics.plans_cold.fetch_add(1, Ordering::Relaxed),
+            Some(PlanSource::WarmStart) => metrics.plans_warm_start.fetch_add(1, Ordering::Relaxed),
+            Some(PlanSource::Cached) => metrics.plans_cached.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
         let previous = {
             let mut last = metrics.last_strategy.lock();
             last.replace(strategy_text.to_string())
@@ -576,6 +629,7 @@ impl Telemetry {
             candidates_seen: report.candidates_seen,
             candidates_pruned: report.candidates_pruned,
             elapsed: report.elapsed,
+            source,
         });
         if let Some(previous) = previous {
             if previous != strategy_text {
@@ -611,6 +665,20 @@ impl Telemetry {
                 reason: other.to_string(),
             }),
         }
+    }
+
+    /// Records the current state of a service planner's plan cache. The
+    /// values are absolute gauges (the cache owns the authoritative
+    /// counters), so this *stores* rather than accumulates.
+    pub fn record_plan_cache(&self, service: &str, stats: &PlanCacheStats) {
+        let metrics = self.service(service);
+        metrics.plan_cache_hits.store(stats.hits, Ordering::Relaxed);
+        metrics
+            .plan_cache_misses
+            .store(stats.misses, Ordering::Relaxed);
+        metrics
+            .plan_cache_stale
+            .store(stats.stale, Ordering::Relaxed);
     }
 
     /// Records slot records evicted from a service's bounded history.
@@ -666,6 +734,12 @@ impl Telemetry {
                 quorum_votes_cast: m.quorum_votes_cast.load(Ordering::Relaxed),
                 quorum_votes_agreed: m.quorum_votes_agreed.load(Ordering::Relaxed),
                 replans: m.replans.load(Ordering::Relaxed),
+                plans_cold: m.plans_cold.load(Ordering::Relaxed),
+                plans_warm_start: m.plans_warm_start.load(Ordering::Relaxed),
+                plans_cached: m.plans_cached.load(Ordering::Relaxed),
+                plan_cache_hits: m.plan_cache_hits.load(Ordering::Relaxed),
+                plan_cache_misses: m.plan_cache_misses.load(Ordering::Relaxed),
+                plan_cache_stale: m.plan_cache_stale.load(Ordering::Relaxed),
                 strategy_switches: m.strategy_switches.load(Ordering::Relaxed),
                 plan_failures: m.plan_failures.load(Ordering::Relaxed),
                 history_evicted: m.history_evicted.load(Ordering::Relaxed),
@@ -780,17 +854,127 @@ mod tests {
         assert!((snap.buckets[0].le - 1.0).abs() < 1e-9, "edges in ms");
     }
 
+    /// Regression test: a saturated raw observation (`micros` clamps
+    /// out-of-range durations to `u64::MAX`) must not wrap the running sum
+    /// — pre-fix, `fetch_add` left `sum` at `raw − 1` after one more
+    /// sample, silently losing every accumulated count.
+    #[test]
+    fn saturated_observation_does_not_wrap_the_sum() {
+        let h = Histogram::new(&LATENCY_EDGES_US);
+        h.record(1_000);
+        h.record(u64::MAX); // e.g. a Duration beyond u64 microseconds
+        h.record(1_000);
+        let snap = h.snapshot(1000.0);
+        assert_eq!(snap.count, 3, "every sample is counted");
+        assert_eq!(snap.overflow, 1, "the saturated sample lands in overflow");
+        assert!(
+            snap.sum >= to_f64(u64::MAX) / 1000.0,
+            "sum must saturate, not wrap: {}",
+            snap.sum
+        );
+    }
+
+    /// An out-of-range sample must survive a snapshot serde round-trip
+    /// intact: counted, summed (saturating), and in the overflow bucket.
+    #[test]
+    fn out_of_range_sample_round_trips_through_snapshot() {
+        let (_, t) = telemetry(4);
+        // 1 hour ≫ the 1 s top latency edge; cost 5000 ≫ the 2000 top edge.
+        t.record_request("svc", true, Duration::from_secs(3600), 5_000.0, false, None);
+        let snap = t.snapshot();
+        let svc = snap.service("svc").unwrap();
+        assert_eq!(svc.latency_ms.count, 1);
+        assert_eq!(svc.latency_ms.overflow, 1);
+        assert!(svc.latency_ms.buckets.iter().all(|b| b.count == 0));
+        assert_eq!(svc.cost.overflow, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let back_svc = back.service("svc").unwrap();
+        assert_eq!(back_svc.latency_ms.overflow, 1);
+        assert!((back_svc.latency_ms.sum - 3_600_000.0).abs() < 1e-6);
+    }
+
+    /// Plan provenance counters accumulate per source, and the cache
+    /// gauges store absolute values.
+    #[test]
+    fn plan_source_counters_and_cache_gauges() {
+        let (_, t) = telemetry(8);
+        t.record_replan("svc", 0, "default", "a*b", None, None);
+        t.record_replan("svc", 1, "generated", "a-b", None, Some(PlanSource::Cold));
+        t.record_replan(
+            "svc",
+            2,
+            "generated",
+            "a-b",
+            None,
+            Some(PlanSource::WarmStart),
+        );
+        t.record_replan("svc", 3, "generated", "a-b", None, Some(PlanSource::Cached));
+        t.record_replan("svc", 4, "generated", "a-b", None, Some(PlanSource::Cached));
+        let stats = PlanCacheStats {
+            hits: 2,
+            misses: 3,
+            stale: 1,
+            entries: 3,
+        };
+        t.record_plan_cache("svc", &stats);
+        t.record_plan_cache("svc", &stats); // stores, must not double
+        let snap = t.snapshot();
+        let svc = snap.service("svc").unwrap();
+        assert_eq!(svc.replans, 5);
+        assert_eq!(svc.plans_cold, 1);
+        assert_eq!(svc.plans_warm_start, 1);
+        assert_eq!(svc.plans_cached, 2);
+        assert_eq!(svc.plan_cache_hits, 2);
+        assert_eq!(svc.plan_cache_misses, 3);
+        assert_eq!(svc.plan_cache_stale, 1);
+        // The event stream carries the provenance too.
+        let sources: Vec<_> = snap
+            .recent_events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::SlotReplanned { source, .. } => Some(*source),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            sources,
+            vec![
+                None,
+                Some(PlanSource::Cold),
+                Some(PlanSource::WarmStart),
+                Some(PlanSource::Cached),
+                Some(PlanSource::Cached),
+            ]
+        );
+    }
+
     #[test]
     fn replan_detects_strategy_switches() {
         let (_, t) = telemetry(8);
-        t.record_replan("svc", 0, "default", "a*b", None);
+        t.record_replan("svc", 0, "default", "a*b", None, None);
         let report = SynthesisReport {
             candidates_seen: 10,
             candidates_pruned: 3,
             elapsed: Duration::from_micros(250),
         };
-        t.record_replan("svc", 1, "generated(exhaustive)", "a-b", Some(&report));
-        t.record_replan("svc", 2, "generated(exhaustive)", "a-b", Some(&report));
+        t.record_replan(
+            "svc",
+            1,
+            "generated(exhaustive)",
+            "a-b",
+            Some(&report),
+            Some(PlanSource::Cold),
+        );
+        t.record_replan(
+            "svc",
+            2,
+            "generated(exhaustive)",
+            "a-b",
+            Some(&report),
+            Some(PlanSource::WarmStart),
+        );
         let snap = t.snapshot();
         let svc = snap.service("svc").unwrap();
         assert_eq!(svc.replans, 3);
@@ -819,7 +1003,14 @@ mod tests {
             candidates_pruned: 7,
             elapsed: Duration::from_micros(99),
         };
-        t.record_replan("svc", 1, "generated(exhaustive)", "a-b", Some(&report));
+        t.record_replan(
+            "svc",
+            1,
+            "generated(exhaustive)",
+            "a-b",
+            Some(&report),
+            Some(PlanSource::Cold),
+        );
         match &t.events()[0].kind {
             EventKind::SlotReplanned {
                 candidates_seen,
@@ -911,7 +1102,7 @@ mod tests {
         let (_, t) = telemetry(4);
         t.record_request("svc", true, Duration::from_millis(3), 50.0, false, None);
         t.record_invocation("d/x", true, Duration::from_millis(2), 25.0);
-        t.record_replan("svc", 0, "default", "a*b", None);
+        t.record_replan("svc", 0, "default", "a*b", None, None);
         t.record_market_fetch(Duration::from_millis(1), true);
         let snap = t.snapshot();
         let json = serde_json::to_string(&snap).unwrap();

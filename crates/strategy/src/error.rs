@@ -74,6 +74,16 @@ pub enum ParseError {
         /// Byte offset where the trailing input starts.
         at: usize,
     },
+    /// Parentheses were nested deeper than the parser's recursion limit.
+    ///
+    /// The recursive-descent parser bounds its depth so adversarial input
+    /// (`((((…`) cannot overflow the stack.
+    TooDeep {
+        /// Byte offset of the parenthesis that exceeded the limit.
+        at: usize,
+        /// The maximum permitted nesting depth.
+        limit: usize,
+    },
     /// The parsed expression violates a structural invariant.
     Invalid(BuildError),
 }
@@ -93,6 +103,12 @@ impl fmt::Display for ParseError {
             }
             ParseError::TrailingInput { at } => {
                 write!(f, "trailing input at offset {at}")
+            }
+            ParseError::TooDeep { at, limit } => {
+                write!(
+                    f,
+                    "parentheses nested deeper than {limit} levels at offset {at}"
+                )
             }
             ParseError::Invalid(err) => write!(f, "invalid strategy: {err}"),
         }
@@ -177,7 +193,7 @@ impl fmt::Display for EstimateError {
 impl StdError for EstimateError {}
 
 /// Error produced by strategy generation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum GenerateError {
     /// Generation needs at least one microservice to work with.
@@ -185,6 +201,10 @@ pub enum GenerateError {
     /// A microservice referenced by the generator is missing from the
     /// environment.
     Estimate(EstimateError),
+    /// The QoS requirements are degenerate (zero, negative, or non-finite
+    /// attributes): Equation 1 divides by each requirement, so such inputs
+    /// would produce NaN/∞ utilities that poison the ranking.
+    InvalidRequirements(QosError),
 }
 
 impl fmt::Display for GenerateError {
@@ -194,6 +214,9 @@ impl fmt::Display for GenerateError {
                 write!(f, "cannot generate a strategy for zero microservices")
             }
             GenerateError::Estimate(err) => write!(f, "estimation failed: {err}"),
+            GenerateError::InvalidRequirements(err) => {
+                write!(f, "invalid QoS requirements: {err}")
+            }
         }
     }
 }
@@ -202,6 +225,7 @@ impl StdError for GenerateError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             GenerateError::Estimate(err) => Some(err),
+            GenerateError::InvalidRequirements(err) => Some(err),
             GenerateError::NoMicroservices => None,
         }
     }

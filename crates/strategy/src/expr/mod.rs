@@ -11,3 +11,4 @@ mod display;
 mod parser;
 
 pub use ast::{Node, Strategy};
+pub use parser::MAX_NESTING_DEPTH;

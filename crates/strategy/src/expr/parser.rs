@@ -18,6 +18,14 @@ use crate::error::ParseError;
 use crate::expr::ast::{Node, Strategy};
 use crate::MsId;
 
+/// Maximum parenthesis nesting depth the parser accepts.
+///
+/// The parser is recursive descent, and recursion only deepens through
+/// `'(' expr ')'`, so bounding the parenthesis depth bounds the stack.
+/// Exceeding the limit yields [`ParseError::TooDeep`] instead of a stack
+/// overflow on adversarial input like `((((…`.
+pub const MAX_NESTING_DEPTH: usize = 64;
+
 impl Strategy {
     /// Parses a strategy expression using the default microservice names
     /// (`a`–`z`, `ms<n>`).
@@ -75,6 +83,7 @@ impl Strategy {
         let mut parser = Parser {
             tokens: &tokens,
             pos: 0,
+            depth: 0,
             resolve,
         };
         let node = parser.expr()?;
@@ -140,6 +149,9 @@ fn tokenize(input: &str) -> Result<Vec<(usize, Token)>, ParseError> {
 struct Parser<'a> {
     tokens: &'a [(usize, Token)],
     pos: usize,
+    /// Current parenthesis nesting depth, bounded by
+    /// [`MAX_NESTING_DEPTH`].
+    depth: usize,
     resolve: &'a dyn Fn(&str) -> Option<MsId>,
 }
 
@@ -192,7 +204,15 @@ impl Parser<'_> {
                 None => Err(ParseError::UnknownMicroservice { at, name }),
             },
             Some((open_at, Token::OpenParen)) => {
+                if self.depth >= MAX_NESTING_DEPTH {
+                    return Err(ParseError::TooDeep {
+                        at: open_at,
+                        limit: MAX_NESTING_DEPTH,
+                    });
+                }
+                self.depth += 1;
                 let inner = self.expr()?;
+                self.depth -= 1;
                 match self.bump() {
                     Some((_, Token::CloseParen)) => Ok(inner),
                     Some((at, _)) => Err(ParseError::UnbalancedParenthesis { at }),
@@ -381,6 +401,43 @@ mod tests {
         let s: Strategy = "a*b".parse().unwrap();
         assert_eq!(s.len(), 2);
         assert!("a**b".parse::<Strategy>().is_err());
+    }
+
+    /// Builds `"("×depth ++ "a-b" ++ ")"×depth`: a valid expression wrapped
+    /// in `depth` redundant parenthesis levels.
+    fn nested(depth: usize) -> String {
+        let mut s = "(".repeat(depth);
+        s.push_str("a-b");
+        s.push_str(&")".repeat(depth));
+        s
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses() {
+        let s = Strategy::parse(&nested(MAX_NESTING_DEPTH)).unwrap();
+        assert_eq!(s, Strategy::parse("a-b").unwrap());
+    }
+
+    #[test]
+    fn nesting_over_the_limit_is_rejected_not_a_stack_overflow() {
+        // Regression test for the unbounded recursive descent: pre-fix this
+        // parsed fine at limit+1 (and overflowed the stack for inputs a few
+        // thousand levels deep); post-fix it reports a typed error naming
+        // the offending offset.
+        assert_eq!(
+            Strategy::parse(&nested(MAX_NESTING_DEPTH + 1)).unwrap_err(),
+            ParseError::TooDeep {
+                at: MAX_NESTING_DEPTH,
+                limit: MAX_NESTING_DEPTH
+            }
+        );
+        // Adversarial input far past the limit errors the same way instead
+        // of exhausting the stack.
+        let hostile = "(".repeat(100_000);
+        assert!(matches!(
+            Strategy::parse(&hostile).unwrap_err(),
+            ParseError::TooDeep { .. }
+        ));
     }
 
     #[test]

@@ -47,6 +47,7 @@ use crate::enumerate::{
 use crate::error::GenerateError;
 use crate::estimate::{Algorithm1, Estimator};
 use crate::expr::Strategy;
+use crate::plan_cache::{PlanCache, PlanSource};
 use crate::qos::{EnvQos, MsId, Qos, Requirements};
 use crate::synth;
 use crate::utility::UtilityIndex;
@@ -121,11 +122,16 @@ pub struct Generated {
     /// Counts and timing of the synthesis run.
     #[serde(default)]
     pub report: SynthesisReport,
+    /// Whether this result came from a cold search, a warm-started search,
+    /// or the plan cache.
+    #[serde(default)]
+    pub source: PlanSource,
 }
 
-/// Equality ignores [`Generated::report`]: two runs that pick the same
-/// strategy with the same QoS are the same result even when their timings
-/// (or pruning ratios, across different settings) differ.
+/// Equality ignores [`Generated::report`] and [`Generated::source`]: two
+/// runs that pick the same strategy with the same QoS are the same result
+/// even when their timings (or pruning ratios / plan provenance, across
+/// different settings) differ.
 impl PartialEq for Generated {
     fn eq(&self, other: &Self) -> bool {
         self.strategy == other.strategy
@@ -185,12 +191,27 @@ pub struct Generator {
     threshold: usize,
     parallelism: usize,
     pruning: bool,
+    warm_start: bool,
     estimator: Arc<dyn Estimator>,
     /// Environment-independent candidate-tree caches for the synthesis
     /// engine, keyed by the searched id list and shared across searches
     /// (and across clones of this generator). See [`synth::NodeCache`].
     caches: Arc<Mutex<HashMap<Vec<MsId>, Arc<synth::NodeCache>>>>,
+    /// Cross-slot plan memo, consulted before searching and filled after.
+    plan_cache: Option<Arc<PlanCache>>,
+    /// Last winner per `(ids, subsets)` searched — the warm-start
+    /// incumbents, shared across clones like [`Generator::caches`].
+    incumbents: Arc<Mutex<IncumbentMap>>,
 }
+
+/// Warm-start incumbent memo: the last winner per searched `(ids,
+/// subsets)` pair.
+type IncumbentMap = HashMap<(Vec<MsId>, bool), Strategy>;
+
+/// How many `(ids, subsets)` keys the warm-start incumbent memo retains.
+/// Like [`NODE_CACHE_LISTS`], runtimes re-search the same few equivalent
+/// sets; past the cap an arbitrary entry is replaced.
+const INCUMBENT_LISTS: usize = 16;
 
 /// How many distinct id lists [`Generator`] keeps candidate-tree caches
 /// for. Runtimes search the same equivalent set over and over, so a small
@@ -231,7 +252,9 @@ pub struct GeneratorBuilder {
     threshold: usize,
     parallelism: usize,
     pruning: bool,
+    warm_start: bool,
     estimator: Option<Arc<dyn Estimator>>,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for GeneratorBuilder {
@@ -241,7 +264,9 @@ impl Default for GeneratorBuilder {
             threshold: DEFAULT_THRESHOLD,
             parallelism: 0,
             pruning: true,
+            warm_start: false,
             estimator: None,
+            plan_cache: None,
         }
     }
 }
@@ -279,6 +304,32 @@ impl GeneratorBuilder {
         self
     }
 
+    /// Enables incumbent warm-starting (off by default): each exhaustive
+    /// search re-estimates the *previous* winner over the same `(ids,
+    /// subsets)` under the current environment and seeds the
+    /// branch-and-bound bar with its utility, so pruning bites from the
+    /// first candidate. The winner stays bit-identical to a cold search —
+    /// the bound is the exact utility of a member of the search space (see
+    /// `DESIGN.md` §11) — only [`SynthesisReport::candidates_seen`]
+    /// shrinks. No effect when pruning is disabled or the estimator routes
+    /// through the generic scan.
+    #[must_use]
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+
+    /// Installs a shared [`PlanCache`] (none by default): exhaustive
+    /// searches first look up the winner memoized for these exact (or,
+    /// with a positive quantum, near-identical quantized) inputs, and
+    /// store their result on a miss. See the [`crate::plan_cache`] module
+    /// docs for the keying and staleness rules.
+    #[must_use]
+    pub fn plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
     /// The QoS estimator. Defaults to a fresh memoizing
     /// [`Algorithm1`]; supplying anything that is not bit-for-bit
     /// Algorithm 1 routes the exhaustive searches through the generic
@@ -297,10 +348,13 @@ impl GeneratorBuilder {
             threshold: self.threshold,
             parallelism: self.parallelism,
             pruning: self.pruning,
+            warm_start: self.warm_start,
             estimator: self
                 .estimator
                 .unwrap_or_else(|| Arc::new(Algorithm1::new())),
             caches: Arc::new(Mutex::new(HashMap::new())),
+            plan_cache: self.plan_cache,
+            incumbents: Arc::new(Mutex::new(HashMap::new())),
         }
     }
 }
@@ -349,6 +403,18 @@ impl Generator {
     #[must_use]
     pub fn pruning(&self) -> bool {
         self.pruning
+    }
+
+    /// Whether incumbent warm-starting is enabled.
+    #[must_use]
+    pub fn warm_start(&self) -> bool {
+        self.warm_start
+    }
+
+    /// The installed plan cache, if any.
+    #[must_use]
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
     }
 
     /// The configured estimator.
@@ -438,6 +504,7 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        req.validate().map_err(GenerateError::InvalidRequirements)?;
         // Validate availability up front so the scan paths below can rely
         // on successful estimation.
         for &id in ids {
@@ -447,11 +514,38 @@ impl Generator {
         }
         let start = Instant::now();
         let subsets = method == Method::ExhaustiveSubsets;
+        if let Some(cache) = &self.plan_cache {
+            if let Some(mut hit) = cache.lookup(
+                env,
+                ids,
+                req,
+                subsets,
+                self.utility.k(),
+                self.estimator.name(),
+            ) {
+                // The stored winner (and its `evaluated` space size) is
+                // what a fresh search over these keyed inputs would have
+                // produced; only the effort counters describe *this* call.
+                hit.source = PlanSource::Cached;
+                hit.report = SynthesisReport {
+                    candidates_seen: 0,
+                    candidates_pruned: 0,
+                    elapsed: start.elapsed(),
+                };
+                return Ok(hit);
+            }
+        }
         let workers = self.resolved_parallelism();
+        let mut source = PlanSource::Cold;
         let (strategy, qos, utility, seen, pruned) =
             if self.estimator.is_algorithm1() && ids.len() <= MAX_COUNT_M {
                 let initial_bound = if self.pruning {
-                    self.seed_bound(env, ids, req)?
+                    let mut bound = self.seed_bound(env, ids, req)?;
+                    if let Some(incumbent) = self.incumbent_utility(env, ids, req, subsets) {
+                        bound = synth::fold_incumbent(bound, incumbent);
+                        source = PlanSource::WarmStart;
+                    }
+                    bound
                 } else {
                     f64::NEG_INFINITY
                 };
@@ -477,7 +571,7 @@ impl Generator {
             } else {
                 self.generic_scan(env, ids, req, subsets, workers)?
             };
-        Ok(Generated {
+        let generated = Generated {
             strategy,
             qos,
             utility,
@@ -488,7 +582,69 @@ impl Generator {
                 candidates_pruned: pruned,
                 elapsed: start.elapsed(),
             },
-        })
+            source,
+        };
+        if self.warm_start {
+            self.remember_incumbent(ids, subsets, &generated.strategy);
+        }
+        if let Some(cache) = &self.plan_cache {
+            cache.store(
+                env,
+                ids,
+                req,
+                subsets,
+                self.utility.k(),
+                self.estimator.name(),
+                &generated,
+            );
+        }
+        Ok(generated)
+    }
+
+    /// The warm-start incumbent bound: the previous winner over the same
+    /// `(ids, subsets)`, re-estimated under the *current* environment and
+    /// requirements. The previous winner is by construction a member of
+    /// the current search space, so its exact utility is an admissible
+    /// initial bar (see [`synth::fold_incumbent`]).
+    fn incumbent_utility(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+        subsets: bool,
+    ) -> Option<f64> {
+        if !self.warm_start {
+            return None;
+        }
+        let previous = {
+            let incumbents = self
+                .incumbents
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            incumbents.get(&(ids.to_vec(), subsets)).cloned()?
+        };
+        // The incumbent's leaves are a subset of `ids`, all validated
+        // against `env` by the caller, so estimation cannot fail — but a
+        // custom estimator may still object; a bound is optional, so any
+        // failure just degrades to a cold search.
+        let qos = self.est(&previous, env).ok()?;
+        Some(self.utility.utility(&qos, req))
+    }
+
+    /// Records `winner` as the warm-start incumbent for `(ids, subsets)`.
+    fn remember_incumbent(&self, ids: &[MsId], subsets: bool, winner: &Strategy) {
+        let mut incumbents = self
+            .incumbents
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let key = (ids.to_vec(), subsets);
+        if incumbents.len() >= INCUMBENT_LISTS && !incumbents.contains_key(&key) {
+            let victim = incumbents.keys().next().cloned();
+            if let Some(victim) = victim {
+                incumbents.remove(&victim);
+            }
+        }
+        incumbents.insert(key, winner.clone());
     }
 
     /// The shared candidate-tree cache for `ids`, created on first use.
@@ -705,6 +861,7 @@ impl Generator {
                 candidates_pruned: 0,
                 elapsed: start.elapsed(),
             },
+            source: PlanSource::Cold,
         })
     }
 
@@ -809,6 +966,7 @@ impl Generator {
                 candidates_pruned: 0,
                 elapsed: start_time.elapsed(),
             },
+            source: PlanSource::Cold,
         })
     }
 
@@ -842,6 +1000,7 @@ impl Generator {
                 candidates_pruned: 0,
                 elapsed: start.elapsed(),
             },
+            source: PlanSource::Cold,
         })
     }
 
@@ -863,6 +1022,7 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        req.validate().map_err(GenerateError::InvalidRequirements)?;
         let start = Instant::now();
         let strategy = failover(ids).map_err(|_| GenerateError::NoMicroservices)?;
         let qos = self.est(&strategy, env)?;
@@ -878,6 +1038,7 @@ impl Generator {
                 candidates_pruned: 0,
                 elapsed: start.elapsed(),
             },
+            source: PlanSource::Cold,
         })
     }
 
@@ -896,6 +1057,7 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        req.validate().map_err(GenerateError::InvalidRequirements)?;
         let start = Instant::now();
         let strategy = speculative_parallel(ids).expect("ids are distinct and non-empty");
         let qos = self.est(&strategy, env)?;
@@ -911,6 +1073,7 @@ impl Generator {
                 candidates_pruned: 0,
                 elapsed: start.elapsed(),
             },
+            source: PlanSource::Cold,
         })
     }
 
@@ -930,6 +1093,7 @@ impl Generator {
         if ids.is_empty() {
             return Err(GenerateError::NoMicroservices);
         }
+        req.validate().map_err(GenerateError::InvalidRequirements)?;
         let mut scored: Vec<(MsId, f64)> = ids
             .iter()
             .map(|&id| {
@@ -937,11 +1101,10 @@ impl Generator {
                 Ok((id, self.utility.utility(&qos, req)))
             })
             .collect::<Result<_, GenerateError>>()?;
-        scored.sort_by(|(id_a, u_a), (id_b, u_b)| {
-            u_b.partial_cmp(u_a)
-                .expect("utilities are finite")
-                .then_with(|| id_a.cmp(id_b))
-        });
+        // `total_cmp`, not `partial_cmp`: validated requirements keep
+        // utilities finite, but ranking must stay a total order even if a
+        // custom estimator smuggles a NaN through.
+        scored.sort_by(|(id_a, u_a), (id_b, u_b)| u_b.total_cmp(u_a).then_with(|| id_a.cmp(id_b)));
         Ok(scored.into_iter().map(|(id, _)| id).collect())
     }
 }
@@ -1272,6 +1435,7 @@ mod local_search_tests {
 mod engine_equivalence_tests {
     use super::*;
     use crate::error::EstimateError;
+    use crate::plan_cache::PlanCacheConfig;
     use rand::{Rng, SeedableRng};
     use rand_chacha::ChaCha8Rng;
 
@@ -1462,6 +1626,222 @@ mod engine_equivalence_tests {
             out.qos,
             crate::estimate::estimate_folding(&out.strategy, &env).unwrap()
         );
+    }
+
+    /// Tentpole property test: a *persistent* generator with the plan
+    /// cache and warm-start both enabled selects a winner bit-identical to
+    /// a fresh, cold, unpruned exhaustive search at every slot of every
+    /// seeded slot sequence — in both `F(M)` and `F'(M)` modes. Slot
+    /// sequences cycle through a few exact-repeat environments so cache
+    /// hits genuinely occur (`quantum = 0` ⇒ exact-match keys).
+    #[test]
+    fn plan_cache_and_warm_start_match_cold_exhaustive_search() {
+        let requirements = Requirements::new(150.0, 150.0, 0.95).unwrap();
+        for m in 1..=4usize {
+            for seed in 0..4u64 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed * 101 + m as u64);
+                let phases: Vec<EnvQos> = (0..3).map(|_| random_env(&mut rng, m)).collect();
+                for subsets in [false, true] {
+                    let cache = Arc::new(PlanCache::new(PlanCacheConfig::default()));
+                    let warm = Generator::builder()
+                        .pruning(true)
+                        .parallelism(2)
+                        .warm_start(true)
+                        .plan_cache(Arc::clone(&cache))
+                        .build();
+                    for slot in 0..9usize {
+                        let env = &phases[slot % phases.len()];
+                        let ids = env.ids();
+                        let run = |g: &Generator| {
+                            if subsets {
+                                g.exhaustive_subsets(env, &ids, &requirements).unwrap()
+                            } else {
+                                g.exhaustive(env, &ids, &requirements).unwrap()
+                            }
+                        };
+                        // Fresh cold ground truth every slot: generic
+                        // unpruned sequential scan.
+                        let truth = run(&Generator::builder()
+                            .estimator(Arc::new(PlainAlg1))
+                            .parallelism(1)
+                            .build());
+                        let out = run(&warm);
+                        let what =
+                            format!("m={m} seed={seed} subsets={subsets} slot={slot} (cache+warm)");
+                        assert_bit_identical(&truth, &out, &what);
+                        if slot >= phases.len() {
+                            // Every environment repeats exactly from the
+                            // second cycle on, so the plan must come
+                            // straight from the cache.
+                            assert_eq!(out.source, PlanSource::Cached, "{what}: source");
+                            assert_eq!(out.report.candidates_seen, 0, "{what}: no search work");
+                        }
+                    }
+                    let stats = cache.stats();
+                    assert_eq!(stats.hits, 6, "two full repeat cycles hit");
+                    assert_eq!(stats.misses, 3, "one miss per distinct env");
+                }
+            }
+        }
+    }
+
+    /// Warm-start alone (no cache) must also stay bit-identical to a cold
+    /// search, and later slots over the same id list must actually report
+    /// `WarmStart` provenance.
+    #[test]
+    fn warm_start_without_cache_matches_cold_search() {
+        let requirements = Requirements::new(150.0, 150.0, 0.95).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let warm = Generator::builder()
+            .pruning(true)
+            .parallelism(1)
+            .warm_start(true)
+            .build();
+        for slot in 0..6usize {
+            let env = random_env(&mut rng, 4);
+            let ids = env.ids();
+            let truth = Generator::builder()
+                .estimator(Arc::new(PlainAlg1))
+                .parallelism(1)
+                .build()
+                .exhaustive(&env, &ids, &requirements)
+                .unwrap();
+            let out = warm.exhaustive(&env, &ids, &requirements).unwrap();
+            assert_bit_identical(&truth, &out, &format!("warm-only slot={slot}"));
+            if slot == 0 {
+                assert_eq!(out.source, PlanSource::Cold, "no incumbent yet");
+            } else {
+                assert_eq!(out.source, PlanSource::WarmStart, "slot={slot}");
+            }
+        }
+    }
+
+    /// Satellite: with `quantum = 0` the cache keys on exact bit patterns —
+    /// perturbing a single environment attribute by one ULP forces a miss,
+    /// and the re-search still matches a cold search of the perturbed env.
+    #[test]
+    fn quantum_zero_cache_misses_on_one_ulp_perturbation() {
+        let requirements = Requirements::new(150.0, 150.0, 0.95).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let env = random_env(&mut rng, 3);
+        let ids = env.ids();
+        let cache = Arc::new(PlanCache::new(PlanCacheConfig::default()));
+        let gen = Generator::builder()
+            .pruning(true)
+            .parallelism(1)
+            .plan_cache(Arc::clone(&cache))
+            .build();
+        let first = gen.exhaustive(&env, &ids, &requirements).unwrap();
+        assert_eq!(first.source, PlanSource::Cold);
+        let repeat = gen.exhaustive(&env, &ids, &requirements).unwrap();
+        assert_eq!(repeat.source, PlanSource::Cached, "exact repeat must hit");
+        assert_bit_identical(&first, &repeat, "cached repeat");
+
+        let mut perturbed = env.clone();
+        let old = perturbed.get(ids[0]).unwrap();
+        let nudged = Qos::new(
+            f64::from_bits(old.cost.to_bits() + 1),
+            old.latency,
+            old.reliability.value(),
+        )
+        .unwrap();
+        perturbed.set(ids[0], nudged);
+        let out = gen.exhaustive(&perturbed, &ids, &requirements).unwrap();
+        assert_ne!(out.source, PlanSource::Cached, "one ULP apart must miss");
+        let truth = Generator::builder()
+            .estimator(Arc::new(PlainAlg1))
+            .parallelism(1)
+            .build()
+            .exhaustive(&perturbed, &ids, &requirements)
+            .unwrap();
+        assert_bit_identical(&truth, &out, "post-perturbation re-search");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// Satellite: a zero (or otherwise degenerate) requirement used to
+    /// reach the utility index and divide by zero, poisoning the ranking
+    /// with NaN. It must now surface as a typed error from every entry
+    /// point that ranks by utility.
+    #[test]
+    fn degenerate_requirements_are_a_typed_error_not_nan_poison() {
+        let env =
+            EnvQos::from_triples(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.6), (150.0, 150.0, 0.7)])
+                .unwrap();
+        let ids = env.ids();
+        let gen = Generator::builder().parallelism(1).build();
+        // `Requirements`' fields are public, so a zero cost requirement can
+        // bypass the validating constructor (e.g. via deserialization).
+        let zero_cost = Requirements {
+            cost: 0.0,
+            latency: 150.0,
+            reliability: crate::qos::Reliability::new(0.95).unwrap(),
+        };
+        let inf_latency = Requirements {
+            cost: 150.0,
+            latency: f64::INFINITY,
+            reliability: crate::qos::Reliability::new(0.95).unwrap(),
+        };
+        for req in [&zero_cost, &inf_latency] {
+            assert!(matches!(
+                gen.exhaustive(&env, &ids, req),
+                Err(GenerateError::InvalidRequirements(_))
+            ));
+            assert!(matches!(
+                gen.generate(&env, &ids, req),
+                Err(GenerateError::InvalidRequirements(_))
+            ));
+            assert!(matches!(
+                gen.sort_by_utility(&env, &ids, req),
+                Err(GenerateError::InvalidRequirements(_))
+            ));
+            assert!(matches!(
+                gen.failover_in_order(&env, &ids, req),
+                Err(GenerateError::InvalidRequirements(_))
+            ));
+            assert!(matches!(
+                gen.speculative_parallel(&env, &ids, req),
+                Err(GenerateError::InvalidRequirements(_))
+            ));
+        }
+        // And the validating constructor refuses them outright.
+        assert!(Requirements::new(0.0, 150.0, 0.95).is_err());
+        assert!(Requirements::new(150.0, f64::INFINITY, 0.95).is_err());
+        assert!(Requirements::new(150.0, 150.0, 0.0).is_err());
+    }
+
+    /// Satellite: when *nothing* in the environment can meet the
+    /// requirements every utility is negative, but the ranking stays a
+    /// total order and the winner still matches the cold ground truth.
+    #[test]
+    fn all_infeasible_environment_still_ranks_totally() {
+        let env = EnvQos::from_triples(&[
+            (900.0, 900.0, 0.10),
+            (800.0, 950.0, 0.15),
+            (700.0, 990.0, 0.05),
+        ])
+        .unwrap();
+        let requirements = Requirements::new(10.0, 10.0, 0.999).unwrap();
+        let ids = env.ids();
+        let truth = Generator::builder()
+            .estimator(Arc::new(PlainAlg1))
+            .parallelism(1)
+            .build()
+            .exhaustive(&env, &ids, &requirements)
+            .unwrap();
+        let out = Generator::builder()
+            .pruning(true)
+            .parallelism(2)
+            .build()
+            .exhaustive(&env, &ids, &requirements)
+            .unwrap();
+        assert_bit_identical(&truth, &out, "all-infeasible env");
+        assert!(out.utility.is_finite());
+        assert!(out.utility < 0.0, "everything violates the requirements");
+        let ranked = Generator::default()
+            .sort_by_utility(&env, &ids, &requirements)
+            .unwrap();
+        assert_eq!(ranked.len(), ids.len());
     }
 
     /// The builder's knobs round-trip and `Generator::new` still works.

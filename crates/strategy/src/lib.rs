@@ -73,6 +73,7 @@ pub mod estimate;
 pub mod expr;
 pub mod generate;
 pub mod pareto;
+pub mod plan_cache;
 pub mod qos;
 mod synth;
 pub mod utility;
@@ -82,6 +83,7 @@ pub use error::{BuildError, EstimateError, GenerateError, ParseError, QosError};
 pub use estimate::{Algorithm1, Estimator, Folding};
 pub use expr::{Node, Strategy};
 pub use generate::{Generated, Generator, GeneratorBuilder, Method, SynthesisReport};
+pub use plan_cache::{PlanCache, PlanCacheConfig, PlanCacheStats, PlanSource};
 pub use qos::{Attribute, EnvQos, MsId, Polarity, Qos, Reliability, Requirements};
 pub use utility::UtilityIndex;
 

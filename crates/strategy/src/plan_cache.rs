@@ -1,0 +1,462 @@
+//! Cross-slot plan caching for the generator.
+//!
+//! The gateway re-synthesizes an execution strategy at every slot boundary,
+//! but consecutive slots see highly correlated environments: most of the
+//! time the collector window moved barely at all, and often it did not move
+//! in any way the search can observe. [`PlanCache`] exploits that by
+//! memoizing the winning [`Generated`] strategy keyed by the *search
+//! inputs* — the id list, the requirements, the utility penalty, the
+//! estimator, and a (configurably quantized) per-microservice QoS vector.
+//!
+//! ## Key quantization
+//!
+//! With a quantization step `q > 0`, each environment attribute `x` maps to
+//! the cell index `round(x / q)`, so environments within roughly `q/2` of
+//! each other share a key and the cached winner is reused even though the
+//! inputs are not bit-identical — an approximation the operator opts into,
+//! sized by `q`. With `q = 0` (the default) keys use the exact bit patterns
+//! of every input: a hit then guarantees the search inputs are identical,
+//! so the cached winner is **bit-identical** to what a fresh search would
+//! return (the search is deterministic).
+//!
+//! ## Staleness
+//!
+//! Entries never expire by time; they are dropped by capacity eviction
+//! (least-recently-used) or by [`PlanCache::invalidate`], which the runtime
+//! calls when a service script is evicted or replaced. Both paths count
+//! into the `stale` statistic so operators can distinguish "the cache is
+//! too small / invalidated often" from a plain low hit rate.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::generate::Generated;
+use crate::qos::{EnvQos, MsId, Requirements};
+
+/// How a plan was obtained: from scratch, from a warm-started search, or
+/// straight from the [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlanSource {
+    /// A full synthesis run with no prior-slot information.
+    #[default]
+    Cold,
+    /// A full synthesis run whose incumbent bar was seeded with the
+    /// previous winner's utility re-estimated under the current
+    /// environment (cache miss, but pruning bites from the first
+    /// candidate).
+    WarmStart,
+    /// Returned directly from the plan cache without searching.
+    Cached,
+}
+
+impl fmt::Display for PlanSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlanSource::Cold => "cold",
+            PlanSource::WarmStart => "warm-start",
+            PlanSource::Cached => "cached",
+        })
+    }
+}
+
+/// Configuration for a [`PlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCacheConfig {
+    /// Maximum number of cached plans; the least-recently-used entry is
+    /// evicted past this. Zero disables storing entirely.
+    pub capacity: usize,
+    /// Quantization step applied to every environment QoS attribute when
+    /// forming cache keys. `0` (the default) keys on exact bit patterns.
+    pub quantum: f64,
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        PlanCacheConfig {
+            capacity: 64,
+            quantum: 0.0,
+        }
+    }
+}
+
+/// A point-in-time view of a [`PlanCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a cached plan.
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Entries dropped before reuse: capacity evictions plus explicit
+    /// invalidations (script eviction/replacement).
+    pub stale: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+/// The full identity of a search: any difference in these inputs can
+/// change the winner, so all of them key the cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    ids: Vec<MsId>,
+    subsets: bool,
+    /// `(cost, latency, reliability)` requirement bit patterns.
+    req: [u64; 3],
+    /// Utility penalty `k` bit pattern.
+    penalty: u64,
+    /// Estimator identity ([`Estimator::name`](crate::Estimator::name)).
+    estimator: &'static str,
+    /// Quantized `(r, l, c)` cells per microservice (exact bit patterns
+    /// when the quantum is zero).
+    env: Vec<[i64; 3]>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    stamp: u64,
+    generated: Generated,
+}
+
+/// A bounded, thread-safe memo of synthesized plans. See the module docs
+/// for keying and staleness semantics.
+///
+/// Construct one, share it via `Arc`, and hand it to
+/// [`GeneratorBuilder::plan_cache`](crate::GeneratorBuilder::plan_cache);
+/// the generator consults it on every exhaustive search.
+#[derive(Debug)]
+pub struct PlanCache {
+    config: PlanCacheConfig,
+    entries: Mutex<HashMap<Key, Entry>>,
+    /// Monotone access stamp driving LRU eviction.
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache with the given configuration.
+    #[must_use]
+    pub fn new(config: PlanCacheConfig) -> Self {
+        PlanCache {
+            config,
+            entries: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured quantization step.
+    #[must_use]
+    pub fn quantum(&self) -> f64 {
+        self.config.quantum
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.config.capacity
+    }
+
+    /// Current counter values and entry count.
+    #[must_use]
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+            entries: self.lock().len(),
+        }
+    }
+
+    /// Drops every entry (the runtime calls this when the service script
+    /// backing the cached plans is evicted or replaced), counting each into
+    /// the `stale` statistic. Returns how many entries were dropped.
+    pub fn invalidate(&self) -> usize {
+        let mut entries = self.lock();
+        let dropped = entries.len();
+        entries.clear();
+        self.stale.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    pub(crate) fn lookup(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+        subsets: bool,
+        penalty: f64,
+        estimator: &'static str,
+    ) -> Option<Generated> {
+        let key = self.key(env, ids, req, subsets, penalty, estimator)?;
+        let mut entries = self.lock();
+        match entries.get_mut(&key) {
+            Some(entry) => {
+                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.generated.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    // One argument per key component, mirroring `lookup` and `key`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn store(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+        subsets: bool,
+        penalty: f64,
+        estimator: &'static str,
+        generated: &Generated,
+    ) {
+        if self.config.capacity == 0 {
+            return;
+        }
+        let Some(key) = self.key(env, ids, req, subsets, penalty, estimator) else {
+            return;
+        };
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.lock();
+        if entries.len() >= self.config.capacity && !entries.contains_key(&key) {
+            if let Some(oldest) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                entries.remove(&oldest);
+                self.stale.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entries.insert(
+            key,
+            Entry {
+                stamp,
+                generated: generated.clone(),
+            },
+        );
+    }
+
+    /// Builds the cache key, or `None` when some id has no environment
+    /// entry (the generator validates that before calling, but a bare
+    /// lookup must not panic).
+    fn key(
+        &self,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+        subsets: bool,
+        penalty: f64,
+        estimator: &'static str,
+    ) -> Option<Key> {
+        let env = ids
+            .iter()
+            .map(|&id| {
+                env.get(id).map(|q| {
+                    [
+                        self.cell(q.reliability.value()),
+                        self.cell(q.latency),
+                        self.cell(q.cost),
+                    ]
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(Key {
+            ids: ids.to_vec(),
+            subsets,
+            req: [
+                req.cost.to_bits(),
+                req.latency.to_bits(),
+                req.reliability.value().to_bits(),
+            ],
+            penalty: penalty.to_bits(),
+            estimator,
+            env,
+        })
+    }
+
+    /// Maps one QoS attribute value to its key cell: the nearest multiple
+    /// of the quantum, or the exact bit pattern when the quantum is zero.
+    fn cell(&self, value: f64) -> i64 {
+        if self.config.quantum > 0.0 {
+            // Saturating float→int cast; inputs are validated finite.
+            (value / self.config.quantum).round() as i64
+        } else {
+            // Bit pattern as a (bijective) i64 so both modes share a type.
+            value.to_bits() as i64
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Entry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::Generator;
+    use crate::qos::{EnvQos, Requirements};
+
+    fn env(triples: &[(f64, f64, f64)]) -> EnvQos {
+        EnvQos::from_triples(triples).unwrap()
+    }
+
+    fn req() -> Requirements {
+        Requirements::new(100.0, 100.0, 0.9).unwrap()
+    }
+
+    fn plan(env: &EnvQos) -> Generated {
+        Generator::default()
+            .exhaustive(env, &env.ids(), &req())
+            .unwrap()
+    }
+
+    #[test]
+    fn quantum_zero_degenerates_to_exact_match_keys() {
+        let cache = PlanCache::new(PlanCacheConfig::default());
+        let e1 = env(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.7)]);
+        let g = plan(&e1);
+        let ids = e1.ids();
+        cache.store(&e1, &ids, &req(), false, 2.0, "algorithm1", &g);
+        assert!(cache
+            .lookup(&e1, &ids, &req(), false, 2.0, "algorithm1")
+            .is_some());
+
+        // One ulp of drift in a single attribute must miss.
+        let mut e2 = e1.clone();
+        let mut q = *e2.get(crate::MsId(0)).unwrap();
+        q.cost = f64::from_bits(q.cost.to_bits() + 1);
+        e2.set(crate::MsId(0), q);
+        assert!(cache
+            .lookup(&e2, &ids, &req(), false, 2.0, "algorithm1")
+            .is_none());
+
+        // So must any change to requirements, subsets mode, penalty, or
+        // estimator identity.
+        let other_req = Requirements::new(100.0, 100.0, 0.91).unwrap();
+        assert!(cache
+            .lookup(&e1, &ids, &other_req, false, 2.0, "algorithm1")
+            .is_none());
+        assert!(cache
+            .lookup(&e1, &ids, &req(), true, 2.0, "algorithm1")
+            .is_none());
+        assert!(cache
+            .lookup(&e1, &ids, &req(), false, 3.0, "algorithm1")
+            .is_none());
+        assert!(cache
+            .lookup(&e1, &ids, &req(), false, 2.0, "folding")
+            .is_none());
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn positive_quantum_coalesces_nearby_environments() {
+        let cache = PlanCache::new(PlanCacheConfig {
+            capacity: 8,
+            quantum: 1.0,
+        });
+        let e1 = env(&[(50.0, 50.0, 0.6)]);
+        let ids = e1.ids();
+        let g = plan(&e1);
+        cache.store(&e1, &ids, &req(), false, 2.0, "algorithm1", &g);
+        // 50.3 rounds into the same 1.0-wide cell as 50.0 …
+        let near = env(&[(50.3, 49.8, 0.6)]);
+        assert!(cache
+            .lookup(&near, &ids, &req(), false, 2.0, "algorithm1")
+            .is_some());
+        // … but 50.6 does not.
+        let far = env(&[(50.6, 50.0, 0.6)]);
+        assert!(cache
+            .lookup(&far, &ids, &req(), false, 2.0, "algorithm1")
+            .is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used_and_counts_stale() {
+        let cache = PlanCache::new(PlanCacheConfig {
+            capacity: 2,
+            quantum: 0.0,
+        });
+        let envs: Vec<EnvQos> = (0..3)
+            .map(|i| env(&[(50.0 + f64::from(i), 50.0, 0.6)]))
+            .collect();
+        let ids = envs[0].ids();
+        let g = plan(&envs[0]);
+        cache.store(&envs[0], &ids, &req(), false, 2.0, "a1", &g);
+        cache.store(&envs[1], &ids, &req(), false, 2.0, "a1", &g);
+        // Touch entry 0 so entry 1 is the LRU victim.
+        assert!(cache
+            .lookup(&envs[0], &ids, &req(), false, 2.0, "a1")
+            .is_some());
+        cache.store(&envs[2], &ids, &req(), false, 2.0, "a1", &g);
+        assert!(cache
+            .lookup(&envs[0], &ids, &req(), false, 2.0, "a1")
+            .is_some());
+        assert!(cache
+            .lookup(&envs[1], &ids, &req(), false, 2.0, "a1")
+            .is_none());
+        assert!(cache
+            .lookup(&envs[2], &ids, &req(), false, 2.0, "a1")
+            .is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.stale, 1, "one capacity eviction");
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn invalidate_drops_everything_into_stale() {
+        let cache = PlanCache::new(PlanCacheConfig::default());
+        let e1 = env(&[(50.0, 50.0, 0.6)]);
+        let ids = e1.ids();
+        let g = plan(&e1);
+        cache.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
+        assert_eq!(cache.invalidate(), 1);
+        assert!(cache.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.stale, 1);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let cache = PlanCache::new(PlanCacheConfig {
+            capacity: 0,
+            quantum: 0.0,
+        });
+        let e1 = env(&[(50.0, 50.0, 0.6)]);
+        let ids = e1.ids();
+        let g = plan(&e1);
+        cache.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
+        assert!(cache.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn plan_source_display_and_default() {
+        assert_eq!(PlanSource::Cold.to_string(), "cold");
+        assert_eq!(PlanSource::WarmStart.to_string(), "warm-start");
+        assert_eq!(PlanSource::Cached.to_string(), "cached");
+        assert_eq!(PlanSource::default(), PlanSource::Cold);
+        let json = serde_json::to_string(&PlanSource::WarmStart).unwrap();
+        let back: PlanSource = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, PlanSource::WarmStart);
+    }
+}

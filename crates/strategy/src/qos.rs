@@ -375,20 +375,41 @@ impl Requirements {
     /// (they are used as normalization denominators in Equation 1), or if
     /// reliability lies outside `(0, 1]`.
     pub fn new(cost: f64, latency: f64, reliability: f64) -> Result<Self, QosError> {
-        if !cost.is_finite() || cost <= 0.0 {
-            return Err(QosError::InvalidRequirement(cost));
-        }
-        if !latency.is_finite() || latency <= 0.0 {
-            return Err(QosError::InvalidRequirement(latency));
-        }
         if reliability <= 0.0 || reliability.is_nan() {
             return Err(QosError::InvalidRequirement(reliability));
         }
-        Ok(Requirements {
+        let req = Requirements {
             cost,
             latency,
             reliability: Reliability::new(reliability)?,
-        })
+        };
+        req.validate()?;
+        Ok(req)
+    }
+
+    /// Re-checks the invariants [`Requirements::new`] establishes: cost and
+    /// latency finite and positive, reliability in `(0, 1]`.
+    ///
+    /// The fields are public (and reachable through deserialization), so
+    /// consumers that divide by a requirement — Equation 1 normalizes every
+    /// attribute by it — should validate before trusting a value they did
+    /// not construct themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QosError::InvalidRequirement`] naming the first offending
+    /// attribute value.
+    pub fn validate(&self) -> Result<(), QosError> {
+        if !self.cost.is_finite() || self.cost <= 0.0 {
+            return Err(QosError::InvalidRequirement(self.cost));
+        }
+        if !self.latency.is_finite() || self.latency <= 0.0 {
+            return Err(QosError::InvalidRequirement(self.latency));
+        }
+        if self.reliability.value() <= 0.0 {
+            return Err(QosError::InvalidRequirement(self.reliability.value()));
+        }
+        Ok(())
     }
 
     /// Returns the requirement for the given attribute (reliability as a

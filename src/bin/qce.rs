@@ -27,6 +27,11 @@
 //!   --invocations N   run/stats: service requests to issue (default 20)
 //!   --slot-size N     run/stats: requests per time slot (default 5)
 //!   --quorum Q        run/stats: require Q agreeing results (§VII)
+//!   --plan-cache      run/stats: cache winning plans per quantized
+//!                     environment and warm-start re-planning from the
+//!                     previous slot's winner
+//!   --quantize Q      run/stats: plan-cache key quantization step for
+//!                     observed QoS values (default 0 = exact match)
 //!   --trace           run: stream telemetry events as JSON lines
 //!
 //! examples:
@@ -40,7 +45,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use qce::runtime::{Clock, Harness, MsSpec, ServiceScript, SimulatedProvider};
+use qce::runtime::{Clock, GatewayConfig, Harness, MsSpec, ServiceScript, SimulatedProvider};
 use qce::sim::{simulate, Environment};
 use qce::strategy::enumerate::{count_full, enumerate_full, paper};
 use qce::strategy::estimate::{estimate, estimate_folding};
@@ -64,6 +69,8 @@ struct Options {
     invocations: u32,
     slot_size: u32,
     quorum: Option<usize>,
+    plan_cache: bool,
+    quantize: f64,
     trace: bool,
 }
 
@@ -82,6 +89,8 @@ impl Default for Options {
             invocations: 20,
             slot_size: 5,
             quorum: None,
+            plan_cache: false,
+            quantize: 0.0,
             trace: false,
         }
     }
@@ -147,6 +156,12 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
                         .map_err(|e| format!("--quorum: {e}"))?,
                 )
             }
+            "--plan-cache" => options.plan_cache = true,
+            "--quantize" => {
+                options.quantize = value("--quantize")?
+                    .parse()
+                    .map_err(|e| format!("--quantize: {e}"))?
+            }
             "--trace" => options.trace = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             positional if command.is_none() => command = Some(positional.to_string()),
@@ -196,6 +211,9 @@ fn build_harness(options: &Options) -> Result<Harness, String> {
     if options.slot_size == 0 {
         return Err("--slot-size must be at least 1".into());
     }
+    if !options.quantize.is_finite() || options.quantize < 0.0 {
+        return Err("--quantize must be a finite value >= 0".into());
+    }
     let requirements = requirements(options)?;
     let mut specs = Vec::new();
     let mut builder = Harness::builder();
@@ -220,7 +238,13 @@ fn build_harness(options: &Options) -> Result<Harness, String> {
     script.slot_size = options.slot_size;
     script.quorum = options.quorum;
     script.validate().map_err(|e| e.to_string())?;
-    Ok(builder.script(script).build())
+    let config = GatewayConfig {
+        generator_warm_start: options.plan_cache,
+        plan_cache: options.plan_cache,
+        plan_quantize: options.quantize,
+        ..GatewayConfig::default()
+    };
+    Ok(builder.config(config).script(script).build())
 }
 
 /// Drives `--invocations` requests through the harness gateway; with
@@ -413,6 +437,18 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
                  {} candidate(s) searched",
                 service.replans, service.strategy_switches, service.candidates_seen
             );
+            if options.plan_cache {
+                println!(
+                    "caching  : {} cold / {} warm-start / {} cached plan(s); \
+                     {} hit(s), {} miss(es), {} stale",
+                    service.plans_cold,
+                    service.plans_warm_start,
+                    service.plans_cached,
+                    service.plan_cache_hits,
+                    service.plan_cache_misses,
+                    service.plan_cache_stale
+                );
+            }
             if let Some(strategy) = harness.gateway().current_strategy("cli-service") {
                 println!("strategy : {strategy}");
             }
@@ -588,6 +624,58 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_plan_cache_flags() {
+        let (_, _, options) = parse_args(&args(&[
+            "run",
+            "--ms",
+            "50,5,90",
+            "--plan-cache",
+            "--quantize",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(options.plan_cache);
+        assert_eq!(options.quantize, 0.5);
+        let (_, _, options) = parse_args(&args(&["run", "--ms", "50,5,90"])).unwrap();
+        assert!(!options.plan_cache, "caching is opt-in");
+        assert_eq!(options.quantize, 0.0);
+        assert!(parse_args(&args(&["run", "--quantize", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "--quantize"])).is_err());
+    }
+
+    #[test]
+    fn cached_run_serves_like_a_cold_run() {
+        let mut options = Options {
+            triples: vec![(50.0, 5.0, 95.0), (50.0, 8.0, 95.0)],
+            require: (200.0, 100.0, 50.0),
+            invocations: 12,
+            slot_size: 4,
+            ..Options::default()
+        };
+        let (cold, cold_ok) = drive_gateway(&options, false).unwrap();
+        options.plan_cache = true;
+        let (warm, warm_ok) = drive_gateway(&options, false).unwrap();
+        assert_eq!(cold_ok, warm_ok, "same virtual run, same outcomes");
+        assert_eq!(
+            cold.gateway()
+                .current_strategy("cli-service")
+                .map(|s| s.to_string()),
+            warm.gateway()
+                .current_strategy("cli-service")
+                .map(|s| s.to_string()),
+        );
+        let snapshot = warm.telemetry().snapshot();
+        let service = snapshot.service("cli-service").unwrap();
+        assert_eq!(
+            service.plan_cache_hits + service.plan_cache_misses,
+            service.replans - 1,
+            "every synthesized plan consults the cache when --plan-cache is \
+             on (slot 0 takes the script default without searching)"
+        );
+        assert!(run("run", None, &options).is_ok(), "prints the cache line");
+    }
+
+    #[test]
     fn run_and_stats_drive_the_gateway() {
         let options = Options {
             triples: vec![(50.0, 5.0, 95.0), (50.0, 8.0, 95.0)],
@@ -646,6 +734,11 @@ mod tests {
         options.slot_size = 5;
         options.quorum = Some(0);
         assert!(build_harness(&options).is_err(), "zero quorum");
+        options.quorum = None;
+        options.quantize = -0.5;
+        assert!(build_harness(&options).is_err(), "negative quantum");
+        options.quantize = f64::NAN;
+        assert!(build_harness(&options).is_err(), "non-finite quantum");
     }
 
     #[test]
