@@ -16,6 +16,7 @@
 //!   contention    §VII scarce-resource contention
 //!   bench-synth   synthesis engine: baseline vs pruned/parallel exhaustive search
 //!   bench-replan  slot re-planning: cold vs warm-start vs plan-cache
+//!   bench-throughput  gateway concurrency: N clients, admission control, worker pool
 //!   all           everything above
 //!
 //! options:
@@ -196,12 +197,15 @@ fn run_experiment(name: &str, options: &Options) -> std::io::Result<bool> {
             options.slots as usize,
             options.seed,
         )?,
+        "bench-throughput" => {
+            qce_bench::throughput::run(reports, std::path::Path::new("BENCH_throughput.json"), 8)?
+        }
         _ => return Ok(false),
     }
     Ok(true)
 }
 
-const ALL: [&str; 12] = [
+const ALL: [&str; 13] = [
     "table1",
     "table2",
     "fig5",
@@ -214,6 +218,7 @@ const ALL: [&str; 12] = [
     "contention",
     "bench-synth",
     "bench-replan",
+    "bench-throughput",
 ];
 
 fn main() -> ExitCode {
@@ -223,7 +228,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|bench-replan|all> [options]"
+                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|bench-replan|bench-throughput|all> [options]"
             );
             return ExitCode::FAILURE;
         }
@@ -310,6 +315,6 @@ mod tests {
         for name in ALL {
             assert_ne!(name, "all");
         }
-        assert_eq!(ALL.len(), 12);
+        assert_eq!(ALL.len(), 13);
     }
 }

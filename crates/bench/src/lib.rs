@@ -20,6 +20,7 @@
 //! | [`contention`] | §VII scarce-resource contention (capacity-limited devices) |
 //! | [`synth`] | synthesis-engine benchmark — baseline vs pruned/parallel search |
 //! | [`replan`] | slot re-planning benchmark — cold vs warm-start vs plan-cache |
+//! | [`throughput`] | gateway throughput — concurrent clients, admission control, worker pool |
 //!
 //! Reports are printed to the console and written as TSV under `reports/`.
 //!
@@ -46,3 +47,4 @@ pub mod table1;
 pub mod table2;
 pub mod table4;
 pub mod testbed;
+pub mod throughput;

@@ -1,0 +1,450 @@
+//! `bench-throughput`: the gateway's concurrency story under load.
+//!
+//! N concurrent clients hammer *one* service whose Par-heavy strategy
+//! (`a*b*c`) runs on the gateway's shared [`ExecutionEngine`] worker pool,
+//! with microservice `a` under a fault plan (crashed from `t = 0`, so every
+//! request is charged a failing leg). Three phases on fresh virtual-time
+//! harnesses:
+//!
+//! 1. **sequential baseline** — one client issues all requests
+//!    back-to-back; its per-request outcomes are the ground truth.
+//! 2. **concurrent, unbounded admission** — N clients issue the same
+//!    requests at once. The bench *fails* (non-zero exit, for CI) unless
+//!    (a) nothing was shed at this low load, (b) every per-request outcome
+//!    (success, payload, cost, latency, slot, votes, strategy) is
+//!    bit-identical to the baseline's, and (c) the concurrent makespan is
+//!    below 2x one request's makespan — i.e. same-service requests really
+//!    ran in parallel.
+//! 3. **concurrent, bounded admission** — `max_in_flight = 2` with a
+//!    2-deep admission queue sheds the overflow; the report shows the shed
+//!    rate, client-observed p50/p99 latency (queueing included), and
+//!    worker-pool occupancy.
+//!
+//! All three phases are deterministic in *outcome* because the providers
+//! are time-independent (reliability 0 or 1, constant fault condition):
+//! thread interleaving can stagger virtual start times but can never
+//! change what a request returns.
+//!
+//! [`ExecutionEngine`]: qce_runtime::ExecutionEngine
+
+use std::io;
+use std::path::Path;
+use std::sync::Barrier;
+use std::time::Duration;
+
+use qce_runtime::{
+    Clock, FaultEvent, FaultKind, FaultPlan, GatewayConfig, Harness, MsSpec, PoolStats,
+    RuntimeError, ServiceResponse, ServiceScript, SimulatedProvider, WorkerGuard,
+};
+use qce_strategy::{Qos, Requirements};
+
+use crate::report::{fmt_f, fmt_pct, Report};
+
+/// The one service every client invokes.
+const SERVICE: &str = "relay";
+/// The forced slot-0 strategy: all three legs race.
+const STRATEGY: &str = "a*b*c";
+/// The winning leg's latency (microservice `b`).
+const WINNER_MS: u64 = 4;
+/// The slowest leg's latency (microservice `c`): one request's makespan.
+const SLOWEST_MS: u64 = 8;
+
+/// Everything that identifies one request's outcome. Two runs are
+/// equivalent iff they produce the same multiset of keys.
+type OutcomeKey = (
+    bool,
+    Option<Vec<u8>>,
+    u64,
+    Duration,
+    Option<(usize, usize)>,
+    u64,
+    String,
+);
+
+fn key(response: &ServiceResponse) -> OutcomeKey {
+    (
+        response.success,
+        response.payload.clone(),
+        response.cost.to_bits(),
+        response.latency,
+        response.votes,
+        response.slot,
+        response.strategy_text.clone(),
+    )
+}
+
+fn script() -> ServiceScript {
+    let prior = Qos::new(10.0, 10.0, 0.9).expect("valid prior");
+    let spec = |name: &str| MsSpec {
+        name: name.into(),
+        capability: format!("cap-{name}"),
+        prior,
+    };
+    let mut script = ServiceScript::new(
+        SERVICE,
+        vec![spec("a"), spec("b"), spec("c")],
+        Requirements::new(1000.0, 1000.0, 0.5).expect("valid requirements"),
+    );
+    // Pin the slot-0 plan so every request in every phase runs the same
+    // Par-heavy strategy, and make the slot outlast the whole bench so the
+    // generator never re-plans mid-run.
+    script.default_strategy = Some(STRATEGY.into());
+    script.slot_size = 1_000;
+    script
+}
+
+/// A fresh virtual-time rig: `a` crashed from `t = 0` (fails instantly,
+/// still charged), `b` the 4 ms winner, `c` an 8 ms charged loser.
+fn rig(config: GatewayConfig) -> Harness {
+    let crashed_forever = FaultPlan::new(vec![FaultEvent {
+        at: Duration::ZERO,
+        kind: FaultKind::Crash,
+    }]);
+    let device = |name: &str, ms: u64| {
+        SimulatedProvider::builder(format!("dev-{name}/cap-{name}"), format!("cap-{name}"))
+            .latency(Duration::from_millis(ms))
+            .cost(10.0)
+            .reliability(1.0)
+            .response(name.as_bytes().to_vec())
+    };
+    Harness::builder()
+        .script(script())
+        .config(config)
+        .faulty(device("a", 2), crashed_forever)
+        .provider(device("b", WINNER_MS))
+        .provider(device("c", SLOWEST_MS))
+        .build()
+}
+
+/// What one phase measured.
+struct Phase {
+    clients: usize,
+    requests: usize,
+    ok: usize,
+    shed: u64,
+    makespan: Duration,
+    /// Client-observed latencies of successful requests (admission wait
+    /// included), sorted ascending.
+    latencies: Vec<Duration>,
+    keys: Vec<OutcomeKey>,
+    pool: PoolStats,
+    queue_peak: u64,
+}
+
+impl Phase {
+    fn row(&self, name: &str, report: &mut Report) {
+        report.row([
+            name.to_string(),
+            self.clients.to_string(),
+            self.requests.to_string(),
+            self.ok.to_string(),
+            self.shed.to_string(),
+            fmt_f(millis(self.makespan), 3),
+            fmt_f(millis(percentile(&self.latencies, 50.0)), 3),
+            fmt_f(millis(percentile(&self.latencies, 99.0)), 3),
+            self.pool.peak_running.to_string(),
+            self.pool.spilled.to_string(),
+            self.queue_peak.to_string(),
+        ]);
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"clients\": {}, \"requests\": {}, \"ok\": {}, \"shed\": {}, \
+             \"shed_rate\": {}, \"makespan_ms\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+             \"pool\": {{\"capacity\": {}, \"peak_running\": {}, \"submitted\": {}, \
+             \"spilled\": {}}}, \"queue_peak\": {}}}",
+            self.clients,
+            self.requests,
+            self.ok,
+            self.shed,
+            fmt_f(self.shed as f64 / self.requests.max(1) as f64, 4),
+            fmt_f(millis(self.makespan), 3),
+            fmt_f(millis(percentile(&self.latencies, 50.0)), 3),
+            fmt_f(millis(percentile(&self.latencies, 99.0)), 3),
+            self.pool.capacity,
+            self.pool.peak_running,
+            self.pool.submitted,
+            self.pool.spilled,
+            self.queue_peak,
+        )
+    }
+}
+
+fn millis(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Collects a finished harness + per-client results into a [`Phase`].
+fn collect(
+    harness: &Harness,
+    clients: usize,
+    results: Vec<(Duration, Result<ServiceResponse, RuntimeError>)>,
+) -> Phase {
+    let requests = results.len();
+    let mut latencies = Vec::new();
+    let mut keys = Vec::new();
+    let mut ok = 0;
+    for (observed, result) in results {
+        match result {
+            Ok(response) => {
+                ok += 1;
+                latencies.push(observed);
+                keys.push(key(&response));
+            }
+            Err(RuntimeError::Overloaded { .. }) => {}
+            Err(other) => panic!("bench-throughput: unexpected gateway error: {other}"),
+        }
+    }
+    latencies.sort();
+    keys.sort();
+    let snapshot = harness.telemetry().snapshot();
+    let service = snapshot.service(SERVICE);
+    Phase {
+        clients,
+        requests,
+        ok,
+        shed: service.map_or(0, |s| s.requests_shed),
+        makespan: harness.clock().now(),
+        latencies,
+        keys,
+        pool: harness.gateway().pool_stats(),
+        queue_peak: service.map_or(0, |s| s.admission_queue_peak),
+    }
+}
+
+/// One client, `requests` invocations back-to-back.
+fn sequential_phase(requests: usize) -> Phase {
+    let harness = rig(GatewayConfig::default());
+    let results = (0..requests)
+        .map(|_| {
+            let t0 = harness.clock().now();
+            let result = harness.invoke(SERVICE);
+            (harness.clock().now().saturating_sub(t0), result)
+        })
+        .collect();
+    collect(&harness, 1, results)
+}
+
+/// `clients` threads, one invocation each, released together.
+///
+/// Each client registers itself as a worker of the harness clock *before*
+/// the barrier, so virtual time cannot advance until every client is
+/// clock-visibly blocked: a client the OS is slow to schedule can no
+/// longer start its request at a later virtual instant than its peers
+/// (which would stagger the phase and inflate the makespan). The engine
+/// runs the request inline on the already-registered thread, and the
+/// admission gate parks a registered waiter passively, so the extra
+/// registration composes with both the unbounded and bounded phases.
+fn concurrent_phase(clients: usize, config: GatewayConfig) -> Phase {
+    let harness = rig(config);
+    let barrier = Barrier::new(clients);
+    let results: Vec<(Duration, Result<ServiceResponse, RuntimeError>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let harness = &harness;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        let _worker = WorkerGuard::enter(harness.clock().as_ref());
+                        barrier.wait();
+                        let t0 = harness.clock().now();
+                        let result = harness.invoke(SERVICE);
+                        (harness.clock().now().saturating_sub(t0), result)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("client thread panicked"))
+                .collect()
+        });
+    collect(&harness, clients, results)
+}
+
+/// Runs the three phases and writes `reports/bench_throughput.tsv` plus
+/// `json_out` (committed as `BENCH_throughput.json`).
+///
+/// # Errors
+///
+/// Returns an I/O error if a report cannot be written — or, so CI can key
+/// on the exit code, if the unbounded concurrent phase shed a request,
+/// diverged from the sequential baseline, or failed to overlap same-service
+/// requests (makespan at or above 2x one request's).
+pub fn run(reports: &Path, json_out: &Path, clients: usize) -> io::Result<()> {
+    let clients = clients.max(1);
+
+    let baseline = sequential_phase(clients);
+    let single_request = Duration::from_millis(SLOWEST_MS);
+    let unbounded = concurrent_phase(clients, GatewayConfig::default());
+    let bounded = concurrent_phase(
+        clients,
+        GatewayConfig {
+            max_in_flight: 2,
+            admission_queue: 2,
+            ..GatewayConfig::default()
+        },
+    );
+
+    // The CI-keyed checks (see module docs).
+    if unbounded.shed > 0 {
+        return Err(io::Error::other(format!(
+            "bench-throughput: {} request(s) shed with unlimited admission",
+            unbounded.shed
+        )));
+    }
+    if unbounded.keys != baseline.keys {
+        return Err(io::Error::other(
+            "bench-throughput: concurrent per-request outcomes diverge from the \
+             sequential baseline",
+        ));
+    }
+    if unbounded.makespan >= 2 * single_request {
+        return Err(io::Error::other(format!(
+            "bench-throughput: {} concurrent requests took {:.3} ms, expected under \
+             {:.3} ms (2x one request) — same-service requests did not overlap",
+            clients,
+            millis(unbounded.makespan),
+            millis(2 * single_request),
+        )));
+    }
+    let speedup = baseline.makespan.as_secs_f64() / unbounded.makespan.as_secs_f64().max(1e-9);
+
+    let mut report = Report::new(
+        format!("bench-throughput: {clients} clients x 1 request, strategy {STRATEGY}"),
+        &[
+            "phase",
+            "clients",
+            "requests",
+            "ok",
+            "shed",
+            "makespan_ms",
+            "p50_ms",
+            "p99_ms",
+            "pool_peak",
+            "pool_spilled",
+            "queue_peak",
+        ],
+    );
+    baseline.row("sequential-baseline", &mut report);
+    unbounded.row("concurrent-unbounded", &mut report);
+    bounded.row("concurrent-bounded", &mut report);
+    report.note(format!(
+        "outcomes bit-identical to baseline; speedup {} over sequential ({} vs {} ms)",
+        fmt_f(speedup, 2),
+        fmt_f(millis(unbounded.makespan), 3),
+        fmt_f(millis(baseline.makespan), 3),
+    ));
+    report.note(format!(
+        "bounded phase: max_in_flight=2, admission_queue=2 -> shed rate {}",
+        fmt_pct(bounded.shed as f64 / bounded.requests.max(1) as f64),
+    ));
+    report.note(
+        "latencies are client-observed virtual time (admission wait included); \
+         microservice a is crashed from t=0 by its fault plan",
+    );
+    report.emit(reports, "bench_throughput")?;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench-throughput\",\n  \"service\": \"{SERVICE}\",\n  \
+         \"strategy\": \"{STRATEGY}\",\n  \"clients\": {clients},\n  \
+         \"single_request_ms\": {},\n  \"speedup_vs_sequential\": {},\n  \
+         \"outcomes_match_baseline\": true,\n  \"sequential_baseline\": {},\n  \
+         \"concurrent_unbounded\": {},\n  \"concurrent_bounded\": {}\n}}\n",
+        fmt_f(millis(single_request), 3),
+        fmt_f(speedup, 2),
+        baseline.json(),
+        unbounded.json(),
+        bounded.json(),
+    );
+    if let Some(parent) = json_out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(json_out, json)?;
+    println!("bench-throughput: wrote {}", json_out.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let ms: Vec<Duration> = [1u64, 2, 3, 4, 10].map(Duration::from_millis).into();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(3));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(10));
+        assert_eq!(percentile(&ms, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn sequential_phase_matches_the_rigged_arithmetic() {
+        let phase = sequential_phase(3);
+        assert_eq!(phase.ok, 3);
+        assert_eq!(phase.shed, 0);
+        // Each request holds the walk until c completes at 8 ms.
+        assert_eq!(phase.makespan, Duration::from_millis(3 * SLOWEST_MS));
+        // Gateway latency is the decision instant: b's 4 ms win.
+        assert!(phase
+            .keys
+            .iter()
+            .all(|k| k.0 && k.3 == Duration::from_millis(WINNER_MS)));
+        // a (crashed) + b + c all started: 30.0 charged per request.
+        assert!(phase.keys.iter().all(|k| f64::from_bits(k.2) == 30.0));
+    }
+
+    #[test]
+    fn concurrent_unbounded_matches_baseline_and_overlaps() {
+        let baseline = sequential_phase(4);
+        let concurrent = concurrent_phase(4, GatewayConfig::default());
+        assert_eq!(concurrent.shed, 0);
+        assert_eq!(concurrent.keys, baseline.keys);
+        assert!(
+            concurrent.makespan < baseline.makespan,
+            "4 overlapped requests must beat 4 sequential ones ({:?} vs {:?})",
+            concurrent.makespan,
+            baseline.makespan
+        );
+    }
+
+    #[test]
+    fn bounded_phase_sheds_nothing_when_capacity_covers_the_clients() {
+        // 2 in flight + 2 queued covers 4 clients: nobody is shed.
+        let phase = concurrent_phase(
+            4,
+            GatewayConfig {
+                max_in_flight: 2,
+                admission_queue: 2,
+                ..GatewayConfig::default()
+            },
+        );
+        assert_eq!(phase.shed, 0);
+        assert_eq!(phase.ok, 4);
+    }
+
+    #[test]
+    fn run_writes_report_and_json() {
+        let dir = std::env::temp_dir().join(format!("qce-throughput-{}", std::process::id()));
+        let json = dir.join("BENCH_throughput.json");
+        run(&dir, &json, 4).unwrap();
+        let tsv = std::fs::read_to_string(dir.join("bench_throughput.tsv")).unwrap();
+        assert!(tsv.contains("concurrent-unbounded"));
+        assert!(tsv.contains("queue_peak"));
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"outcomes_match_baseline\": true"));
+        assert!(text.contains("\"concurrent_bounded\""));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -38,6 +38,20 @@
 //! deregisters on drop, so a panicking provider cannot leak the worker
 //! count and hang every later sleeper.
 //!
+//! A parked parent is indistinguishable from a blocked one, so if the
+//! *last* child a parent is joining released its own slot on exit, there
+//! would be a window — children done, parent notified but not yet
+//! rescheduled — where `worker_sleepers + parked >= workers` holds
+//! spuriously and time skips past the parent's pending continuation.
+//! The slot-handoff rule closes it: a completing leg unbinds with
+//! [`Clock::disown_worker`], and the last leg to finish *while the
+//! parent is parked* leaves its slot counted for the parent to release
+//! ([`Clock::release_worker`]) after [`Clock::exit_passive`], once it is
+//! demonstrably running again. Every other leg — siblings outstanding,
+//! or parent still active on its inline child — releases its own slot,
+//! since a kept slot would then block the sleeps that legitimately drive
+//! time forward.
+//!
 //! Multiple top-level invocations may share one `VirtualClock` (each
 //! registers its own workers), but determinism then only extends to the
 //! set of wake-ups, not their interleaving: concurrent invocations race
@@ -82,12 +96,38 @@ pub trait Clock: Send + Sync + fmt::Debug {
     /// real-time clocks.
     fn exit_worker(&self) {}
 
+    /// Unbinds the calling thread from its worker slot *without* releasing
+    /// the slot: the slot keeps counting toward the advance threshold until
+    /// someone calls [`release_worker`](Clock::release_worker) for it. A
+    /// completed parallel leg uses this to hand its slot to the joining
+    /// parent, so virtual time cannot advance in the window between the
+    /// leg's completion and the parent resuming from its passive wait.
+    /// No-op for real-time clocks.
+    fn disown_worker(&self) {}
+
+    /// Releases one worker slot that is not bound to the calling thread —
+    /// the counterpart of [`disown_worker`](Clock::disown_worker), called
+    /// by whichever thread the slot was handed to. No-op for real-time
+    /// clocks.
+    fn release_worker(&self) {}
+
     /// Marks one worker as passively blocked (e.g. joining a spawned
     /// thread). No-op for real-time clocks.
     fn enter_passive(&self) {}
 
     /// Clears one passive mark. No-op for real-time clocks.
     fn exit_passive(&self) {}
+
+    /// True when the calling thread is currently bound to a worker slot of
+    /// *this* clock. Layers that may be entered by either registered or
+    /// unregistered threads use this to compose: the engine skips its own
+    /// registration for a caller that is already a worker, and the
+    /// gateway's admission gate marks a registered caller's queue wait
+    /// passive so it does not stall virtual time. Always `false` for
+    /// real-time clocks (registration is a no-op there).
+    fn thread_is_worker(&self) -> bool {
+        false
+    }
 }
 
 /// RAII worker registration: deregisters on drop, so the worker count
@@ -245,12 +285,6 @@ impl VirtualClock {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// True when the calling thread is currently bound as a worker of
-    /// *this* clock.
-    fn thread_is_worker(&self) -> bool {
-        WORKER_DEPTH.with(|depths| depths.borrow().get(&self.id).is_some_and(|&d| d > 0))
-    }
-
     /// Adjusts the calling thread's registration depth for this clock.
     fn bind_thread(&self, delta: i64) {
         WORKER_DEPTH.with(|depths| {
@@ -351,6 +385,16 @@ impl Clock for VirtualClock {
         self.try_advance(&mut state);
     }
 
+    fn disown_worker(&self) {
+        self.bind_thread(-1);
+    }
+
+    fn release_worker(&self) {
+        let mut state = self.lock();
+        state.workers = state.workers.saturating_sub(1);
+        self.try_advance(&mut state);
+    }
+
     fn enter_passive(&self) {
         let mut state = self.lock();
         state.parked += 1;
@@ -360,6 +404,10 @@ impl Clock for VirtualClock {
     fn exit_passive(&self) {
         let mut state = self.lock();
         state.parked = state.parked.saturating_sub(1);
+    }
+
+    fn thread_is_worker(&self) -> bool {
+        WORKER_DEPTH.with(|depths| depths.borrow().get(&self.id).is_some_and(|&d| d > 0))
     }
 }
 
@@ -396,6 +444,23 @@ mod tests {
         let clock = VirtualClock::new();
         clock.advance(Duration::from_millis(250));
         assert_eq!(clock.now(), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn thread_is_worker_tracks_binding_per_clock() {
+        let a = VirtualClock::new();
+        let b = VirtualClock::new();
+        assert!(!a.thread_is_worker());
+        a.enter_worker();
+        assert!(a.thread_is_worker(), "bound after enter");
+        assert!(!b.thread_is_worker(), "binding is per clock");
+        assert!(
+            !std::thread::scope(|s| s.spawn(|| a.thread_is_worker()).join().unwrap()),
+            "binding is per thread"
+        );
+        a.disown_worker();
+        assert!(!a.thread_is_worker(), "disown unbinds without releasing");
+        a.release_worker();
     }
 
     #[test]

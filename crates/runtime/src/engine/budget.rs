@@ -1,0 +1,170 @@
+//! Per-request execution budgets: a cancellation flag (optionally chained
+//! to a parent flag, e.g. a service's eviction flag) plus an optional
+//! absolute deadline on the execution clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qce_strategy::exec::PruneReason;
+
+use crate::clock::Clock;
+
+/// The execution budget of one service request.
+///
+/// A budget is checked at every point the engine's walker already checks
+/// the global short-circuit flag — before starting a leaf invocation and
+/// between sequential legs — so a tripped budget prunes exactly the legs
+/// that have not started yet. Legs already in flight run to completion and
+/// are charged in full, preserving the paper's Assumption 2.
+///
+/// Budgets are cheap to clone (two `Arc`s and a `Copy` deadline); clones
+/// share the same cancellation flag.
+///
+/// # Examples
+///
+/// ```
+/// use qce_runtime::engine::Budget;
+///
+/// let budget = Budget::unlimited();
+/// assert!(!budget.is_cancelled());
+/// budget.cancel();
+/// assert!(budget.is_cancelled());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Absolute deadline on the execution clock (`clock.now() >= deadline`
+    /// prunes), or `None` for no deadline.
+    deadline: Option<Duration>,
+    /// This request's own cancellation flag.
+    cancel: Arc<AtomicBool>,
+    /// An upstream cancellation flag shared with other requests (e.g. the
+    /// owning service's eviction flag); either flag cancels the budget.
+    parent: Option<Arc<AtomicBool>>,
+}
+
+impl Budget {
+    /// A budget with no deadline and no upstream cancellation source.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Budget {
+            deadline: None,
+            cancel: Arc::new(AtomicBool::new(false)),
+            parent: None,
+        }
+    }
+
+    /// Sets an absolute deadline (a [`Clock::now`] reading at or past
+    /// `deadline` prunes all not-yet-started legs).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Chains an upstream cancellation flag: the budget counts as
+    /// cancelled when either its own flag or `parent` is set.
+    #[must_use]
+    pub fn with_parent_flag(mut self, parent: Arc<AtomicBool>) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// The absolute deadline, if any.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Cancels the request: every leg that has not started yet is pruned.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether this budget (or its upstream parent) has been cancelled.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::SeqCst)
+            || self
+                .parent
+                .as_ref()
+                .is_some_and(|p| p.load(Ordering::SeqCst))
+    }
+
+    /// Why the budget would prune right now, if it would. The clock is
+    /// only consulted when a deadline is set, so unlimited budgets add no
+    /// clock traffic to the walk.
+    #[must_use]
+    pub fn prune(&self, clock: &dyn Clock) -> Option<PruneReason> {
+        if self.is_cancelled() {
+            return Some(PruneReason::Cancelled);
+        }
+        match self.deadline {
+            Some(deadline) if clock.now() >= deadline => Some(PruneReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    #[test]
+    fn unlimited_budget_never_prunes() {
+        let clock = VirtualClock::new();
+        let budget = Budget::unlimited();
+        assert_eq!(budget.prune(&clock), None);
+        clock.advance(Duration::from_secs(3600));
+        assert_eq!(budget.prune(&clock), None);
+    }
+
+    #[test]
+    fn cancel_prunes_immediately() {
+        let clock = VirtualClock::new();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        assert_eq!(budget.prune(&clock), Some(PruneReason::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_the_cancel_flag() {
+        let budget = Budget::unlimited();
+        let clone = budget.clone();
+        clone.cancel();
+        assert!(budget.is_cancelled());
+    }
+
+    #[test]
+    fn parent_flag_cancels_all_children() {
+        let clock = VirtualClock::new();
+        let evicted = Arc::new(AtomicBool::new(false));
+        let a = Budget::unlimited().with_parent_flag(Arc::clone(&evicted));
+        let b = Budget::unlimited().with_parent_flag(Arc::clone(&evicted));
+        assert_eq!(a.prune(&clock), None);
+        evicted.store(true, Ordering::SeqCst);
+        assert_eq!(a.prune(&clock), Some(PruneReason::Cancelled));
+        assert_eq!(b.prune(&clock), Some(PruneReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_prunes_at_and_after_the_instant() {
+        let clock = VirtualClock::new();
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(10));
+        assert_eq!(budget.prune(&clock), None);
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(budget.prune(&clock), Some(PruneReason::DeadlineExceeded));
+        clock.advance(Duration::from_millis(5));
+        assert_eq!(budget.prune(&clock), Some(PruneReason::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancellation_outranks_the_deadline() {
+        let clock = VirtualClock::new();
+        let budget = Budget::unlimited().with_deadline(Duration::ZERO);
+        budget.cancel();
+        clock.advance(Duration::from_millis(1));
+        assert_eq!(budget.prune(&clock), Some(PruneReason::Cancelled));
+    }
+}

@@ -1,0 +1,302 @@
+//! The unified execution engine: one Seq/Par strategy walker serving both
+//! first-success and quorum semantics, with bounded worker-pool
+//! parallelism and per-request budgets.
+//!
+//! Two entry points share the walker core:
+//!
+//! * [`execute_scoped`] — borrows everything, runs parallel legs on scoped
+//!   OS threads. This is what [`execute_strategy`](crate::execute_strategy)
+//!   and [`execute_with_quorum`](crate::execute_with_quorum) delegate to;
+//!   with an unlimited [`Budget`] its behaviour is bit-for-bit the
+//!   pre-engine executors'.
+//! * [`ExecutionEngine::execute`] — owns its inputs ([`ExecSpec`]), runs
+//!   parallel legs on the engine's bounded, reusable worker pool. This is
+//!   what the [`Gateway`](crate::Gateway) uses, so concurrent requests
+//!   share a capped set of threads instead of spawning per leg. A
+//!   saturated pool spills legs to one-shot threads rather than queueing
+//!   them behind their own parents, so capacity never deadlocks an
+//!   execution (see [`PoolStats`] for the observable counters).
+//!
+//! Both honour the paper's semantics: Assumption-2 cost accounting (every
+//! started invocation is charged in full), global short-circuit, and the
+//! reserve-before-spawn virtual-clock discipline that keeps
+//! [`VirtualClock`](crate::VirtualClock) executions deterministic.
+//! Budgets add deadline/cancel pruning at exactly the points the
+//! short-circuit is already checked, so a pruned leg is always one that
+//! had not started.
+
+mod budget;
+mod policy;
+pub(crate) mod pool;
+mod walker;
+
+pub use budget::Budget;
+pub use policy::Completion;
+pub use pool::PoolStats;
+pub use qce_strategy::{CompletionPolicy, PruneReason};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use qce_strategy::Strategy;
+
+use crate::clock::{Clock, WorkerGuard};
+use crate::collector::Collector;
+use crate::device::Provider;
+use crate::message::{Invocation, InvocationOutcome, RuntimeError};
+use crate::telemetry::Telemetry;
+
+use policy::PolicyState;
+use pool::WorkerPool;
+use walker::{run_node, Ctx, OwnedExec, ScopedSpawner};
+
+/// The result of one engine execution, common to both completion
+/// policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// How the execution completed (first-success outcome or quorum
+    /// votes).
+    pub completion: Completion,
+    /// Time from request start to the policy's decision instant (first
+    /// success / quorum agreement), or to the completion of the last
+    /// invocation when no decision was reached.
+    pub latency: Duration,
+    /// Total cost charged across all started invocations (Assumption 2).
+    pub cost: f64,
+    /// Every invocation that started, in completion order.
+    pub invocations: Vec<InvocationOutcome>,
+    /// Why the walk stopped early, when the request's [`Budget`] tripped
+    /// (`None` for a walk the policy completed on its own).
+    pub pruned: Option<PruneReason>,
+}
+
+/// Owned inputs for [`ExecutionEngine::execute`].
+pub struct ExecSpec {
+    /// The strategy to execute.
+    pub strategy: Strategy,
+    /// Resolved providers, indexed by [`MsId`](qce_strategy::MsId).
+    pub providers: Vec<Arc<dyn Provider>>,
+    /// The client request.
+    pub request: Invocation,
+    /// Records completed invocations when provided.
+    pub collector: Option<Arc<Collector>>,
+    /// Records per-provider counters/histograms when provided.
+    pub telemetry: Option<Arc<Telemetry>>,
+    /// The clock the execution runs on.
+    pub clock: Arc<dyn Clock>,
+    /// Deadline/cancellation budget for this request.
+    pub budget: Budget,
+    /// When is the execution complete.
+    pub policy: CompletionPolicy,
+}
+
+impl std::fmt::Debug for ExecSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecSpec")
+            .field("strategy", &self.strategy)
+            .field("providers", &self.providers.len())
+            .field("request", &self.request.request_id)
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Rejects strategies that reference an unresolved provider index.
+fn validate(strategy: &Strategy, providers: &[Arc<dyn Provider>]) -> Result<(), RuntimeError> {
+    for id in strategy.leaves() {
+        if providers.get(id.index()).is_none() {
+            return Err(RuntimeError::NoProvider {
+                capability: format!("strategy operand {id}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Executes `strategy` with borrowed inputs, running parallel legs on
+/// scoped OS threads (one per leg). The behaviour with
+/// [`Budget::unlimited`] is bit-for-bit the pre-engine
+/// [`execute_strategy_with_clock`](crate::execute_strategy_with_clock) /
+/// [`execute_with_quorum_clock`](crate::execute_with_quorum_clock).
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::NoProvider`] if the strategy references an
+/// index with no resolved provider.
+///
+/// # Panics
+///
+/// Panics if `policy` is a quorum of zero, or if a provider panics (the
+/// leg's panic is propagated, with clock worker accounting unwound).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_scoped(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+    request: &Invocation,
+    collector: Option<&Collector>,
+    clock: &dyn Clock,
+    telemetry: Option<&Telemetry>,
+    budget: &Budget,
+    policy: CompletionPolicy,
+) -> Result<EngineOutcome, RuntimeError> {
+    validate(strategy, providers)?;
+    let policy = PolicyState::new(policy);
+
+    // A caller already registered as a worker of this clock (e.g. a load
+    // generator driving many concurrent requests) keeps its own slot; the
+    // walk runs inline on its thread, so registering again would double-
+    // count it and stall the virtual clock.
+    let worker = (!clock.thread_is_worker()).then(|| WorkerGuard::enter(clock));
+    let invocations = Mutex::new(Vec::new());
+    let pruned = Mutex::new(None);
+    let ctx = Ctx {
+        providers,
+        request,
+        collector,
+        telemetry,
+        clock,
+        budget,
+        started_at: clock.now(),
+        policy: &policy,
+        invocations: &invocations,
+        pruned: &pruned,
+        spawn: &ScopedSpawner,
+    };
+    let started_at = ctx.started_at;
+    run_node(strategy.node(), &[], &ctx);
+    drop(worker);
+
+    let invocations = invocations.into_inner();
+    let cost = invocations.iter().map(|i| i.cost).sum();
+    let fallback = clock.now().saturating_sub(started_at);
+    let (completion, latency) = policy.finish(fallback);
+    Ok(EngineOutcome {
+        completion,
+        latency,
+        cost,
+        invocations,
+        pruned: pruned.into_inner(),
+    })
+}
+
+/// The unified execution engine: a bounded worker pool plus the shared
+/// strategy walker. One engine (and so one pool) is meant to be shared by
+/// many concurrent executions — the [`Gateway`](crate::Gateway) owns one.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use qce_runtime::engine::{Budget, CompletionPolicy, ExecSpec, ExecutionEngine};
+/// use qce_runtime::{Clock, Invocation, Provider, SimulatedProvider, VirtualClock};
+/// use qce_strategy::Strategy;
+///
+/// let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+/// let providers: Vec<Arc<dyn Provider>> = ["a", "b"]
+///     .iter()
+///     .map(|id| {
+///         SimulatedProvider::builder(*id, *id)
+///             .latency(Duration::from_millis(5))
+///             .cost(10.0)
+///             .clock(Arc::clone(&clock))
+///             .build() as Arc<dyn Provider>
+///     })
+///     .collect();
+///
+/// let engine = ExecutionEngine::new(4);
+/// let outcome = engine.execute(ExecSpec {
+///     strategy: Strategy::parse("a*b")?,
+///     providers,
+///     request: Invocation::new(1, "", vec![]),
+///     collector: None,
+///     telemetry: None,
+///     clock,
+///     budget: Budget::unlimited(),
+///     policy: CompletionPolicy::FirstSuccess,
+/// })?;
+/// assert!(outcome.completion.is_success());
+/// assert_eq!(outcome.cost, 20.0); // both started: both charged
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ExecutionEngine {
+    pool: Arc<WorkerPool>,
+}
+
+impl ExecutionEngine {
+    /// Creates an engine whose pool keeps up to `capacity` persistent
+    /// worker threads (`0` = no persistent workers; every parallel leg
+    /// runs on a one-shot thread, the pre-engine behaviour).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        ExecutionEngine {
+            pool: Arc::new(WorkerPool::new(capacity)),
+        }
+    }
+
+    /// Current worker-pool occupancy counters.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Executes `spec` with parallel legs on the engine's worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NoProvider`] if the strategy references an
+    /// index with no resolved provider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.policy` is a quorum of zero, or if a provider
+    /// panics (propagated to the caller).
+    pub fn execute(&self, spec: ExecSpec) -> Result<EngineOutcome, RuntimeError> {
+        validate(&spec.strategy, &spec.providers)?;
+        let policy = PolicyState::new(spec.policy);
+
+        let clock = Arc::clone(&spec.clock);
+        // See `execute_scoped`: an already-registered caller keeps its slot.
+        let worker = (!clock.thread_is_worker()).then(|| WorkerGuard::enter(&*clock));
+        let exec = Arc::new_cyclic(|me| OwnedExec {
+            strategy: spec.strategy,
+            providers: spec.providers,
+            request: spec.request,
+            collector: spec.collector,
+            telemetry: spec.telemetry,
+            clock: spec.clock,
+            budget: spec.budget,
+            policy,
+            started_at: clock.now(),
+            invocations: Mutex::new(Vec::new()),
+            pruned: Mutex::new(None),
+            pool: Arc::downgrade(&self.pool),
+            me: me.clone(),
+        });
+        {
+            let ctx = exec.ctx();
+            run_node(exec.strategy.node(), &[], &ctx);
+        }
+        drop(worker);
+
+        // Every pooled leg was joined before the walk returned, so the
+        // shared state is quiescent — but a finished leg's thread may not
+        // have dropped its `Arc` clone yet, so drain by reference instead
+        // of unwrapping the `Arc`.
+        let invocations = std::mem::take(&mut *exec.invocations.lock());
+        let cost = invocations.iter().map(|i| i.cost).sum();
+        let fallback = clock.now().saturating_sub(exec.started_at);
+        let (completion, latency) = exec.policy.finish(fallback);
+        let pruned = *exec.pruned.lock();
+        Ok(EngineOutcome {
+            completion,
+            latency,
+            cost,
+            invocations,
+            pruned,
+        })
+    }
+}

@@ -1,0 +1,293 @@
+//! Completion-policy state: the per-request mutable state behind a
+//! [`CompletionPolicy`](qce_strategy::CompletionPolicy) — the first-success
+//! winner slot, or the quorum vote tally.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use qce_strategy::CompletionPolicy;
+
+/// The earliest successful invocation under first-success semantics.
+#[derive(Debug)]
+pub(crate) struct Win {
+    pub at: Duration,
+    pub payload: Vec<u8>,
+}
+
+/// Byte-equality vote tally for quorum execution.
+#[derive(Debug, Default)]
+pub(crate) struct VoteBox {
+    /// payload → (votes, first-seen order)
+    tally: HashMap<Vec<u8>, (usize, usize)>,
+    pub total: usize,
+    pub decided_at: Option<Duration>,
+}
+
+impl VoteBox {
+    /// Registers a vote; returns the new count for this payload.
+    pub fn vote(&mut self, payload: Vec<u8>) -> usize {
+        let order = self.tally.len();
+        let entry = self.tally.entry(payload).or_insert((0, order));
+        entry.0 += 1;
+        self.total += 1;
+        entry.0
+    }
+
+    /// The plurality payload (ties broken by first-seen order).
+    pub fn winner(&self) -> (Option<Vec<u8>>, usize) {
+        self.tally
+            .iter()
+            .max_by(|(_, (va, oa)), (_, (vb, ob))| va.cmp(vb).then(ob.cmp(oa)))
+            .map_or((None, 0), |(payload, (votes, _))| {
+                (Some(payload.clone()), *votes)
+            })
+    }
+}
+
+/// The mutable per-request state of a completion policy: shared by every
+/// leg of one execution, it decides when the walk halts and assembles the
+/// final [`Completion`].
+#[derive(Debug)]
+pub(crate) enum PolicyState {
+    /// First success ends the strategy (paper Section III.A).
+    FirstSuccess {
+        done: AtomicBool,
+        win: Mutex<Option<Win>>,
+    },
+    /// Execution continues until `quorum` byte-equal payloads agree
+    /// (paper Section VII).
+    Quorum {
+        quorum: usize,
+        done: AtomicBool,
+        votes: Mutex<VoteBox>,
+    },
+}
+
+/// How an execution completed, per policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Completion {
+    /// First-success semantics: did any invocation succeed, and with what.
+    First {
+        /// Whether any microservice succeeded.
+        success: bool,
+        /// Payload of the earliest successful invocation.
+        payload: Option<Vec<u8>>,
+    },
+    /// Quorum semantics: the vote outcome.
+    Agreement {
+        /// The payload that reached quorum (or the plurality payload).
+        payload: Option<Vec<u8>>,
+        /// Votes received by the winning payload.
+        votes: usize,
+        /// Total successful invocations (votes cast).
+        votes_cast: usize,
+        /// Whether the required quorum was reached.
+        agreed: bool,
+    },
+}
+
+impl Completion {
+    /// Whether the execution counts as successful: a success under
+    /// first-success semantics, agreement under quorum semantics.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        match self {
+            Completion::First { success, .. } => *success,
+            Completion::Agreement { agreed, .. } => *agreed,
+        }
+    }
+
+    /// The winning payload, if any.
+    #[must_use]
+    pub fn payload(&self) -> Option<&Vec<u8>> {
+        match self {
+            Completion::First { payload, .. } | Completion::Agreement { payload, .. } => {
+                payload.as_ref()
+            }
+        }
+    }
+}
+
+impl PolicyState {
+    pub fn new(policy: CompletionPolicy) -> Self {
+        match policy {
+            CompletionPolicy::FirstSuccess => PolicyState::FirstSuccess {
+                done: AtomicBool::new(false),
+                win: Mutex::new(None),
+            },
+            CompletionPolicy::Quorum { quorum } => {
+                assert!(quorum >= 1, "quorum must be at least 1");
+                PolicyState::Quorum {
+                    quorum,
+                    done: AtomicBool::new(false),
+                    votes: Mutex::new(VoteBox::default()),
+                }
+            }
+        }
+    }
+
+    /// Whether the walk has globally halted (strategy won / quorum met).
+    pub fn halted(&self) -> bool {
+        match self {
+            PolicyState::FirstSuccess { done, .. } | PolicyState::Quorum { done, .. } => {
+                done.load(Ordering::SeqCst)
+            }
+        }
+    }
+
+    /// Whether a Seq node returns as soon as a child succeeds.
+    pub fn seq_absorbs_success(&self) -> bool {
+        matches!(self, PolicyState::FirstSuccess { .. })
+    }
+
+    /// Registers a successful invocation that completed `at` after the
+    /// execution started.
+    pub fn on_success(&self, payload: Vec<u8>, at: Duration) {
+        match self {
+            PolicyState::FirstSuccess { done, win } => {
+                let mut win = win.lock();
+                let earlier = win.as_ref().is_none_or(|w| at < w.at);
+                if earlier {
+                    *win = Some(Win { at, payload });
+                }
+                drop(win);
+                done.store(true, Ordering::SeqCst);
+            }
+            PolicyState::Quorum {
+                quorum,
+                done,
+                votes,
+            } => {
+                let mut votes = votes.lock();
+                let count = votes.vote(payload);
+                if count >= *quorum && votes.decided_at.is_none() {
+                    votes.decided_at = Some(at);
+                    drop(votes);
+                    done.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Assembles the completion and latency once the walk has finished.
+    /// `fallback_latency` (start-to-now) is reported when the policy never
+    /// decided — total failure, or quorum not reached.
+    pub fn finish(&self, fallback_latency: Duration) -> (Completion, Duration) {
+        match self {
+            PolicyState::FirstSuccess { win, .. } => match &*win.lock() {
+                Some(win) => (
+                    Completion::First {
+                        success: true,
+                        payload: Some(win.payload.clone()),
+                    },
+                    win.at,
+                ),
+                None => (
+                    Completion::First {
+                        success: false,
+                        payload: None,
+                    },
+                    fallback_latency,
+                ),
+            },
+            PolicyState::Quorum { quorum, votes, .. } => {
+                let votes = votes.lock();
+                let (payload, winner_votes) = votes.winner();
+                let agreed = winner_votes >= *quorum;
+                let latency = votes.decided_at.unwrap_or(fallback_latency);
+                (
+                    Completion::Agreement {
+                        payload,
+                        votes: winner_votes,
+                        votes_cast: votes.total,
+                        agreed,
+                    },
+                    latency,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_keeps_the_earliest_win() {
+        let state = PolicyState::new(CompletionPolicy::FirstSuccess);
+        assert!(!state.halted());
+        state.on_success(vec![2], Duration::from_millis(8));
+        assert!(state.halted());
+        // A slower success that finished later must not displace it.
+        state.on_success(vec![9], Duration::from_millis(20));
+        // An earlier completion (raced in) must.
+        state.on_success(vec![1], Duration::from_millis(3));
+        let (completion, latency) = state.finish(Duration::from_millis(99));
+        assert_eq!(
+            completion,
+            Completion::First {
+                success: true,
+                payload: Some(vec![1])
+            }
+        );
+        assert_eq!(latency, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn first_success_failure_uses_fallback_latency() {
+        let state = PolicyState::new(CompletionPolicy::FirstSuccess);
+        let (completion, latency) = state.finish(Duration::from_millis(42));
+        assert!(!completion.is_success());
+        assert_eq!(latency, Duration::from_millis(42));
+    }
+
+    #[test]
+    fn quorum_decides_at_kth_agreeing_vote() {
+        let state = PolicyState::new(CompletionPolicy::Quorum { quorum: 2 });
+        state.on_success(vec![7], Duration::from_millis(1));
+        assert!(!state.halted());
+        state.on_success(vec![8], Duration::from_millis(2));
+        assert!(!state.halted(), "disagreeing vote does not decide");
+        state.on_success(vec![7], Duration::from_millis(5));
+        assert!(state.halted());
+        let (completion, latency) = state.finish(Duration::from_millis(99));
+        assert_eq!(
+            completion,
+            Completion::Agreement {
+                payload: Some(vec![7]),
+                votes: 2,
+                votes_cast: 3,
+                agreed: true
+            }
+        );
+        assert_eq!(latency, Duration::from_millis(5));
+    }
+
+    #[test]
+    fn quorum_plurality_tie_breaks_on_first_seen() {
+        let state = PolicyState::new(CompletionPolicy::Quorum { quorum: 3 });
+        state.on_success(vec![1], Duration::from_millis(1));
+        state.on_success(vec![2], Duration::from_millis(2));
+        let (completion, latency) = state.finish(Duration::from_millis(10));
+        assert_eq!(
+            completion,
+            Completion::Agreement {
+                payload: Some(vec![1]),
+                votes: 1,
+                votes_cast: 2,
+                agreed: false
+            }
+        );
+        assert_eq!(latency, Duration::from_millis(10), "undecided: fallback");
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn zero_quorum_rejected() {
+        let _ = PolicyState::new(CompletionPolicy::Quorum { quorum: 0 });
+    }
+}

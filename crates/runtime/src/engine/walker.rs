@@ -1,0 +1,517 @@
+//! The single Seq/Par strategy walker shared by first-success and quorum
+//! execution, with pluggable parallel-leg spawning.
+//!
+//! The walk itself is policy-agnostic: leaves invoke providers and report
+//! successes to the [`PolicyState`]; Seq chains stop early per the policy;
+//! Par nodes fan their children out through a [`LegSpawner`]. Two spawners
+//! exist:
+//!
+//! * [`ScopedSpawner`] — `std::thread::scope`, one OS thread per leg,
+//!   byte-for-byte the pre-engine executor/quorum behaviour. Used by the
+//!   borrowing [`execute_scoped`](super::execute_scoped) entry point.
+//! * [`OwnedExec`] — legs run as `'static` jobs on the engine's bounded
+//!   [`WorkerPool`](super::pool::WorkerPool), re-deriving their node from
+//!   the owned strategy via a child-index path. Used by
+//!   [`ExecutionEngine::execute`](super::ExecutionEngine::execute).
+//!
+//! Both spawners follow the same virtual-clock discipline as the original
+//! executors: reserve one worker slot per spawned leg *before* it is
+//! scheduled, adopt the slot on the leg's thread, run the first leg inline
+//! on the parent, and join under a passive mark so the clock can advance
+//! while the parent blocks. The slot of the last leg to finish *while the
+//! parent is parked* is handed to the parent rather than released by the
+//! leg (see [`SlotHandoff`] and the advance-protocol notes in
+//! [`crate::clock`]), so virtual time cannot skip past the parent's
+//! continuation while it is still parked. Leg panics are caught and
+//! re-raised on the parent — inline leg first, then spawned legs in
+//! order.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use qce_strategy::{Node, Strategy};
+
+use crate::clock::Clock;
+use crate::collector::{Collector, ExecutionRecord};
+use crate::device::Provider;
+use crate::message::{Invocation, InvocationOutcome};
+use crate::telemetry::Telemetry;
+
+use super::budget::Budget;
+use super::policy::PolicyState;
+use super::pool::WorkerPool;
+
+/// Per-subtree walk status (identical to the pre-engine executor's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NodeStatus {
+    /// At least one microservice in the subtree succeeded.
+    Succeeded,
+    /// Every started microservice failed and nothing remains to try.
+    Failed,
+    /// The subtree stopped before starting all its legs: the policy
+    /// halted the walk, or the budget was cancelled / its deadline passed.
+    Cancelled,
+}
+
+/// Everything a leg needs to run, borrowed for the leg's lifetime.
+pub(crate) struct Ctx<'a> {
+    pub providers: &'a [Arc<dyn Provider>],
+    pub request: &'a Invocation,
+    pub collector: Option<&'a Collector>,
+    pub telemetry: Option<&'a Telemetry>,
+    pub clock: &'a dyn Clock,
+    pub budget: &'a Budget,
+    pub started_at: Duration,
+    pub policy: &'a PolicyState,
+    pub invocations: &'a Mutex<Vec<InvocationOutcome>>,
+    /// First budget-prune reason observed during the walk, for reporting.
+    pub pruned: &'a Mutex<Option<qce_strategy::PruneReason>>,
+    pub spawn: &'a dyn LegSpawner,
+}
+
+impl Ctx<'_> {
+    /// The global stop check, applied before starting any leg: the policy
+    /// has halted the walk, or the budget prunes. A budget prune is
+    /// recorded (first reason wins) so the engine can report it.
+    fn stopped(&self) -> bool {
+        if self.policy.halted() {
+            return true;
+        }
+        if let Some(reason) = self.budget.prune(self.clock) {
+            let mut pruned = self.pruned.lock();
+            if pruned.is_none() {
+                *pruned = Some(reason);
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// How a Par node runs its children. `path` is the child-index path of the
+/// Par node itself within the strategy tree; implementations return one
+/// status per child, in child order.
+pub(crate) trait LegSpawner: Sync {
+    fn run_par(&self, ctx: &Ctx<'_>, children: &[Node], path: &[usize]) -> Vec<NodeStatus>;
+}
+
+/// Unwraps a parallel child's result, resuming its panic on the parent
+/// thread instead of masking it as a failure.
+fn propagate(result: std::thread::Result<NodeStatus>) -> NodeStatus {
+    result.unwrap_or_else(|panic| resume_unwind(panic))
+}
+
+/// The walker: one node, any policy, any spawner.
+pub(crate) fn run_node(node: &Node, path: &[usize], ctx: &Ctx<'_>) -> NodeStatus {
+    match node {
+        Node::Leaf(id) => {
+            // The short-circuit: once the policy halts (strategy won /
+            // quorum met) or the budget trips, new invocations never start
+            // (and are never charged).
+            if ctx.stopped() {
+                return NodeStatus::Cancelled;
+            }
+            let provider = &ctx.providers[id.index()];
+            let t0 = ctx.clock.now();
+            let result = provider.invoke(ctx.request);
+            let latency = ctx.clock.now().saturating_sub(t0);
+            let success = result.is_ok();
+            let outcome = InvocationOutcome {
+                provider_id: provider.id().to_string(),
+                capability: provider.capability().to_string(),
+                payload: result.as_ref().ok().cloned(),
+                latency,
+                cost: provider.cost(),
+                success,
+            };
+            if let Some(collector) = ctx.collector {
+                collector.record(
+                    provider.id(),
+                    ExecutionRecord {
+                        success,
+                        latency,
+                        cost: provider.cost(),
+                    },
+                );
+            }
+            if let Some(telemetry) = ctx.telemetry {
+                telemetry.record_invocation(provider.id(), success, latency, provider.cost());
+            }
+            ctx.invocations.lock().push(outcome);
+            match result {
+                Ok(payload) => {
+                    let at = ctx.clock.now().saturating_sub(ctx.started_at);
+                    ctx.policy.on_success(payload, at);
+                    NodeStatus::Succeeded
+                }
+                Err(_) => NodeStatus::Failed,
+            }
+        }
+        Node::Seq(children) => {
+            for (i, child) in children.iter().enumerate() {
+                // Re-check the stop condition between sequential legs: a
+                // leaf leg would notice on its own, but a parallel leg
+                // reserves worker slots and spawns threads before any of
+                // its leaves looks at the flag — pure overhead once the
+                // walk has stopped (in-flight legs are still charged in
+                // full per Assumption 2; this only stops legs that have
+                // not started).
+                if ctx.stopped() {
+                    return NodeStatus::Cancelled;
+                }
+                let mut child_path = path.to_vec();
+                child_path.push(i);
+                match run_node(child, &child_path, ctx) {
+                    // Under first-success semantics a succeeding fail-over
+                    // leg absorbs the chain; under quorum every stage still
+                    // runs so it can contribute votes.
+                    NodeStatus::Succeeded if ctx.policy.seq_absorbs_success() => {
+                        return NodeStatus::Succeeded
+                    }
+                    NodeStatus::Cancelled => return NodeStatus::Cancelled,
+                    NodeStatus::Succeeded | NodeStatus::Failed => {}
+                }
+            }
+            NodeStatus::Failed
+        }
+        Node::Par(children) => {
+            let statuses = ctx.spawn.run_par(ctx, children, path);
+            if statuses.contains(&NodeStatus::Succeeded) {
+                NodeStatus::Succeeded
+            } else if statuses.contains(&NodeStatus::Cancelled) {
+                NodeStatus::Cancelled
+            } else {
+                NodeStatus::Failed
+            }
+        }
+    }
+}
+
+/// Coordinates the worker-slot handoff between a `Par` node's spawned
+/// legs and the joining parent.
+///
+/// The hazard: once the parent is passively parked, the *last* leg
+/// releasing its own slot opens a window — legs done, parent notified but
+/// not yet rescheduled — in which `worker_sleepers + parked >= workers`
+/// holds spuriously and virtual time skips past the parent's pending
+/// continuation (e.g. a quorum decides before a Seq's next leg starts).
+/// So a leg that finishes last *while the parent is parked* keeps its
+/// slot counted and the parent releases it after `exit_passive`, once it
+/// is demonstrably running again. A leg that finishes while the parent is
+/// still active (running the inline first child, possibly asleep) must
+/// release its own slot instead, or that sleep could never advance time.
+/// Both decisions and the parent's park transition share one mutex, so
+/// they cannot interleave.
+struct SlotHandoff {
+    state: StdMutex<HandoffState>,
+}
+
+struct HandoffState {
+    outstanding: usize,
+    parent_parked: bool,
+    kept: bool,
+}
+
+impl SlotHandoff {
+    fn new(legs: usize) -> Self {
+        SlotHandoff {
+            state: StdMutex::new(HandoffState {
+                outstanding: legs,
+                parent_parked: false,
+                kept: false,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HandoffState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A leg finished (slot already unbound): true if the leg releases its
+    /// own slot, false if it leaves the slot to the parked parent.
+    fn leg_done(&self) -> bool {
+        let mut state = self.lock();
+        state.outstanding -= 1;
+        if state.outstanding == 0 && state.parent_parked {
+            state.kept = true;
+            false
+        } else {
+            true
+        }
+    }
+
+    /// The parent is about to wait: marks it parked unless every leg has
+    /// already finished (in which case parking would be the very window
+    /// this type exists to close).
+    fn park_parent(&self) -> bool {
+        let mut state = self.lock();
+        if state.outstanding == 0 {
+            false
+        } else {
+            state.parent_parked = true;
+            true
+        }
+    }
+
+    /// After the wait: whether the last leg left its slot for the parent
+    /// to release.
+    fn take_kept(&self) -> bool {
+        let mut state = self.lock();
+        state.parent_parked = false;
+        std::mem::replace(&mut state.kept, false)
+    }
+}
+
+/// RAII for one spawned leg's worker slot: binds the calling thread to
+/// the slot its parent reserved; on drop — panic or not — unbinds and
+/// settles the handoff (see [`SlotHandoff`]).
+struct LegSlot<'a> {
+    clock: &'a dyn Clock,
+    handoff: &'a SlotHandoff,
+}
+
+impl<'a> LegSlot<'a> {
+    fn adopt(clock: &'a dyn Clock, handoff: &'a SlotHandoff) -> Self {
+        clock.adopt_worker();
+        LegSlot { clock, handoff }
+    }
+}
+
+impl Drop for LegSlot<'_> {
+    fn drop(&mut self) {
+        self.clock.disown_worker();
+        if self.handoff.leg_done() {
+            self.clock.release_worker();
+        }
+    }
+}
+
+/// One scoped OS thread per spawned leg — the pre-engine behaviour.
+pub(crate) struct ScopedSpawner;
+
+impl LegSpawner for ScopedSpawner {
+    fn run_par(&self, ctx: &Ctx<'_>, children: &[Node], path: &[usize]) -> Vec<NodeStatus> {
+        let spawned = children.len() - 1;
+        let handoff = SlotHandoff::new(spawned);
+        std::thread::scope(|scope| {
+            // Reserve the spawned children's worker slots *before*
+            // spawning, so a virtual clock never advances while a child
+            // is scheduled but not yet running; each child binds its
+            // own thread to a slot when it starts.
+            for _ in 0..spawned {
+                ctx.clock.reserve_worker();
+            }
+            let handles: Vec<_> = children
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, child)| {
+                    let mut child_path = path.to_vec();
+                    child_path.push(i);
+                    let handoff = &handoff;
+                    scope.spawn(move || {
+                        // The drop side runs even if the child panics, or
+                        // the clock counts a phantom worker forever.
+                        let _slot = LegSlot::adopt(ctx.clock, handoff);
+                        run_node(child, &child_path, ctx)
+                    })
+                })
+                .collect();
+            // Run the first child on the current thread: a Par of n
+            // children needs only n − 1 extra threads. Catch its panic
+            // so the spawned children still get joined first.
+            let mut first_path = path.to_vec();
+            first_path.push(0);
+            let first = catch_unwind(AssertUnwindSafe(|| {
+                run_node(&children[0], &first_path, ctx)
+            }));
+            // Joining is a passive wait: losers may still be mid-sleep.
+            // (If every leg already finished, the joins return without
+            // blocking on anything virtual-time-dependent and parking
+            // would itself open the spurious-advance window.)
+            let parked = handoff.park_parent();
+            if parked {
+                ctx.clock.enter_passive();
+            }
+            let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+            if parked {
+                ctx.clock.exit_passive();
+            }
+            if handoff.take_kept() {
+                // The last leg handed its slot to us (see SlotHandoff).
+                ctx.clock.release_worker();
+            }
+            // Child panics propagate to the caller instead of being
+            // masked as ordinary microservice failures.
+            let mut statuses = vec![propagate(first)];
+            statuses.extend(joined.into_iter().map(propagate));
+            statuses
+        })
+    }
+}
+
+/// Completion rendezvous for pooled legs: slot results plus a count of
+/// outstanding legs the parent waits on.
+struct LegJoin {
+    state: StdMutex<JoinState>,
+    done: Condvar,
+}
+
+struct JoinState {
+    remaining: usize,
+    results: Vec<Option<std::thread::Result<NodeStatus>>>,
+}
+
+impl LegJoin {
+    fn new(legs: usize) -> Self {
+        LegJoin {
+            state: StdMutex::new(JoinState {
+                remaining: legs,
+                results: (0..legs).map(|_| None).collect(),
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, slot: usize, result: std::thread::Result<NodeStatus>) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.results[slot] = Some(result);
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Vec<std::thread::Result<NodeStatus>> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while state.remaining > 0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state
+            .results
+            .iter_mut()
+            .map(|slot| slot.take().expect("every leg completed"))
+            .collect()
+    }
+}
+
+/// The owned execution state behind [`ExecutionEngine::execute`]
+/// (`super`): everything a `'static` pooled leg needs, shared via `Arc`.
+/// Doubles as the pooled [`LegSpawner`].
+pub(crate) struct OwnedExec {
+    pub strategy: Strategy,
+    pub providers: Vec<Arc<dyn Provider>>,
+    pub request: Invocation,
+    pub collector: Option<Arc<Collector>>,
+    pub telemetry: Option<Arc<Telemetry>>,
+    pub clock: Arc<dyn Clock>,
+    pub budget: Budget,
+    pub policy: PolicyState,
+    pub started_at: Duration,
+    pub invocations: Mutex<Vec<InvocationOutcome>>,
+    pub pruned: Mutex<Option<qce_strategy::PruneReason>>,
+    /// Weak so a leg job's `Arc<OwnedExec>` clone never keeps the pool
+    /// alive: otherwise a worker thread dropping the last clone after the
+    /// engine is gone would run the pool's `Drop` — and join itself.
+    /// Upgrading is safe mid-walk because `ExecutionEngine::execute`
+    /// borrows the engine (and so the pool) until every leg has joined.
+    pub pool: Weak<WorkerPool>,
+    /// Self-reference (set via `Arc::new_cyclic`) so `run_par` can hand
+    /// owning clones to `'static` pool jobs.
+    pub me: Weak<OwnedExec>,
+}
+
+impl OwnedExec {
+    /// Borrows a walker context off the owned state.
+    pub fn ctx(&self) -> Ctx<'_> {
+        Ctx {
+            providers: &self.providers,
+            request: &self.request,
+            collector: self.collector.as_deref(),
+            telemetry: self.telemetry.as_deref(),
+            clock: &*self.clock,
+            budget: &self.budget,
+            started_at: self.started_at,
+            policy: &self.policy,
+            invocations: &self.invocations,
+            pruned: &self.pruned,
+            spawn: self,
+        }
+    }
+
+    /// Resolves a child-index path to its node in the owned strategy.
+    fn node_at(&self, path: &[usize]) -> &Node {
+        let mut node = self.strategy.node();
+        for &index in path {
+            node = match node {
+                Node::Seq(children) | Node::Par(children) => &children[index],
+                Node::Leaf(_) => unreachable!("paths never descend into leaves"),
+            };
+        }
+        node
+    }
+}
+
+impl LegSpawner for OwnedExec {
+    fn run_par(&self, ctx: &Ctx<'_>, children: &[Node], path: &[usize]) -> Vec<NodeStatus> {
+        let exec = self
+            .me
+            .upgrade()
+            .expect("execution state outlives its walk");
+        let pool = self.pool.upgrade().expect("engine outlives its walk");
+        let spawned = children.len() - 1;
+        let join = Arc::new(LegJoin::new(spawned));
+        let handoff = Arc::new(SlotHandoff::new(spawned));
+        // Same clock discipline as the scoped spawner: reserve before
+        // scheduling, adopt on the leg's thread.
+        for _ in 0..spawned {
+            ctx.clock.reserve_worker();
+        }
+        for index in 1..children.len() {
+            let exec = Arc::clone(&exec);
+            let join = Arc::clone(&join);
+            let handoff = Arc::clone(&handoff);
+            let mut child_path = path.to_vec();
+            child_path.push(index);
+            pool.submit(Box::new(move || {
+                let result = {
+                    // The drop side runs even if the leg panics — and
+                    // *before* signalling completion, so the handoff is
+                    // settled by the time the parent can resume.
+                    let _slot = LegSlot::adopt(&*exec.clock, &handoff);
+                    let ctx = exec.ctx();
+                    let node = exec.node_at(&child_path);
+                    catch_unwind(AssertUnwindSafe(|| run_node(node, &child_path, &ctx)))
+                };
+                join.complete(index - 1, result);
+            }));
+        }
+        let mut first_path = path.to_vec();
+        first_path.push(0);
+        let first = catch_unwind(AssertUnwindSafe(|| {
+            run_node(&children[0], &first_path, ctx)
+        }));
+        // See the scoped spawner: park only while legs are outstanding.
+        let parked = handoff.park_parent();
+        if parked {
+            ctx.clock.enter_passive();
+        }
+        let joined = join.wait();
+        if parked {
+            ctx.clock.exit_passive();
+        }
+        if handoff.take_kept() {
+            // The last leg handed its slot to us (see SlotHandoff).
+            ctx.clock.release_worker();
+        }
+        let mut statuses = vec![propagate(first)];
+        statuses.extend(joined.into_iter().map(propagate));
+        statuses
+    }
+}

@@ -14,18 +14,24 @@
 //! accounting and collector state are complete and race-free when the
 //! caller sees the outcome; the reported `latency` is the instant the
 //! winning invocation completed, not the join time.
+//!
+//! Since the unification of the strategy walkers, these entry points are
+//! thin wrappers over [`engine::execute_scoped`](crate::engine): the
+//! engine walks the same tree with [`CompletionPolicy::FirstSuccess`] and
+//! an unlimited [`Budget`], which is bit-for-bit
+//! the historical behaviour. Deadline- or cancellation-scoped execution,
+//! and pooled (rather than per-leg scoped) threading, are available
+//! through [`ExecutionEngine`](crate::engine::ExecutionEngine).
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use qce_strategy::{CompletionPolicy, Strategy};
 
-use qce_strategy::{Node, Strategy};
-
-use crate::clock::{Clock, WallClock, WorkerGuard};
-use crate::collector::{Collector, ExecutionRecord};
+use crate::clock::{Clock, WallClock};
+use crate::collector::Collector;
 use crate::device::Provider;
+use crate::engine::{self, Budget, Completion};
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
 use crate::telemetry::Telemetry;
 
@@ -43,6 +49,24 @@ pub struct ServiceOutcome {
     pub cost: f64,
     /// Every invocation that started, in completion order.
     pub invocations: Vec<InvocationOutcome>,
+}
+
+impl From<engine::EngineOutcome> for ServiceOutcome {
+    fn from(outcome: engine::EngineOutcome) -> Self {
+        let (success, payload) = match outcome.completion {
+            Completion::First { success, payload } => (success, payload),
+            Completion::Agreement {
+                agreed, payload, ..
+            } => (agreed, payload),
+        };
+        ServiceOutcome {
+            success,
+            payload,
+            latency: outcome.latency,
+            cost: outcome.cost,
+            invocations: outcome.invocations,
+        }
+    }
 }
 
 /// Executes `strategy` over `providers` (indexed by
@@ -129,194 +153,17 @@ pub fn execute_strategy_instrumented(
     clock: &dyn Clock,
     telemetry: Option<&Telemetry>,
 ) -> Result<ServiceOutcome, RuntimeError> {
-    for id in strategy.leaves() {
-        if providers.get(id.index()).is_none() {
-            return Err(RuntimeError::NoProvider {
-                capability: format!("strategy operand {id}"),
-            });
-        }
-    }
-
-    let worker = WorkerGuard::enter(clock);
-    let ctx = Ctx {
+    engine::execute_scoped(
+        strategy,
         providers,
         request,
         collector,
         clock,
         telemetry,
-        cancel: AtomicBool::new(false),
-        started_at: clock.now(),
-        first_success: Mutex::new(None),
-        invocations: Mutex::new(Vec::new()),
-    };
-
-    run_node(strategy.node(), &ctx);
-    drop(worker);
-
-    let first_success = ctx.first_success.into_inner();
-    let invocations = ctx.invocations.into_inner();
-    let cost = invocations.iter().map(|i| i.cost).sum();
-    let (success, payload, latency) = match first_success {
-        Some(win) => (true, Some(win.payload), win.at),
-        None => (false, None, clock.now().saturating_sub(ctx.started_at)),
-    };
-    Ok(ServiceOutcome {
-        success,
-        payload,
-        latency,
-        cost,
-        invocations,
-    })
-}
-
-/// Unwraps a parallel child's result, resuming its panic on the parent
-/// thread instead of masking it as a failure.
-fn propagate(result: std::thread::Result<NodeStatus>) -> NodeStatus {
-    result.unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-}
-
-struct Win {
-    at: Duration,
-    payload: Vec<u8>,
-}
-
-struct Ctx<'a> {
-    providers: &'a [Arc<dyn Provider>],
-    request: &'a Invocation,
-    collector: Option<&'a Collector>,
-    clock: &'a dyn Clock,
-    telemetry: Option<&'a Telemetry>,
-    cancel: AtomicBool,
-    started_at: Duration,
-    first_success: Mutex<Option<Win>>,
-    invocations: Mutex<Vec<InvocationOutcome>>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NodeStatus {
-    /// At least one microservice in the subtree succeeded.
-    Succeeded,
-    /// Every started microservice failed and nothing remains to try.
-    Failed,
-    /// The subtree stopped because the strategy was already won elsewhere.
-    Cancelled,
-}
-
-fn run_node(node: &Node, ctx: &Ctx<'_>) -> NodeStatus {
-    match node {
-        Node::Leaf(id) => {
-            // The short-circuit: once a success is recorded anywhere, new
-            // invocations never start (and are never charged).
-            if ctx.cancel.load(Ordering::SeqCst) {
-                return NodeStatus::Cancelled;
-            }
-            let provider = &ctx.providers[id.index()];
-            let t0 = ctx.clock.now();
-            let result = provider.invoke(ctx.request);
-            let latency = ctx.clock.now().saturating_sub(t0);
-            let success = result.is_ok();
-            let outcome = InvocationOutcome {
-                provider_id: provider.id().to_string(),
-                capability: provider.capability().to_string(),
-                payload: result.as_ref().ok().cloned(),
-                latency,
-                cost: provider.cost(),
-                success,
-            };
-            if let Some(collector) = ctx.collector {
-                collector.record(
-                    provider.id(),
-                    ExecutionRecord {
-                        success,
-                        latency,
-                        cost: provider.cost(),
-                    },
-                );
-            }
-            if let Some(telemetry) = ctx.telemetry {
-                telemetry.record_invocation(provider.id(), success, latency, provider.cost());
-            }
-            ctx.invocations.lock().push(outcome);
-            match result {
-                Ok(payload) => {
-                    let at = ctx.clock.now().saturating_sub(ctx.started_at);
-                    let mut win = ctx.first_success.lock();
-                    let earlier = win.as_ref().is_none_or(|w| at < w.at);
-                    if earlier {
-                        *win = Some(Win { at, payload });
-                    }
-                    drop(win);
-                    ctx.cancel.store(true, Ordering::SeqCst);
-                    NodeStatus::Succeeded
-                }
-                Err(_) => NodeStatus::Failed,
-            }
-        }
-        Node::Seq(children) => {
-            for child in children {
-                // Re-check the short-circuit between sequential legs: a leaf
-                // leg would notice on its own, but a parallel leg reserves
-                // worker slots and spawns threads before any of its leaves
-                // looks at the flag — pure overhead once the strategy is
-                // already won (in-flight legs are still charged in full per
-                // Assumption 2; this only stops legs that have not started).
-                if ctx.cancel.load(Ordering::SeqCst) {
-                    return NodeStatus::Cancelled;
-                }
-                match run_node(child, ctx) {
-                    NodeStatus::Succeeded => return NodeStatus::Succeeded,
-                    NodeStatus::Cancelled => return NodeStatus::Cancelled,
-                    NodeStatus::Failed => {}
-                }
-            }
-            NodeStatus::Failed
-        }
-        Node::Par(children) => {
-            let statuses: Vec<NodeStatus> = std::thread::scope(|scope| {
-                // Reserve the spawned children's worker slots *before*
-                // spawning, so a virtual clock never advances while a child
-                // is scheduled but not yet running; each child binds its
-                // own thread to a slot when it starts.
-                for _ in 1..children.len() {
-                    ctx.clock.reserve_worker();
-                }
-                let handles: Vec<_> = children
-                    .iter()
-                    .skip(1)
-                    .map(|child| {
-                        scope.spawn(move || {
-                            // Release the slot even if the child panics,
-                            // or the clock counts a phantom worker forever.
-                            let _worker = WorkerGuard::adopt(ctx.clock);
-                            run_node(child, ctx)
-                        })
-                    })
-                    .collect();
-                // Run the first child on the current thread: a Par of n
-                // children needs only n − 1 extra threads. Catch its panic
-                // so the spawned children still get joined first.
-                let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_node(&children[0], ctx)
-                }));
-                // Joining is a passive wait: losers may still be mid-sleep.
-                ctx.clock.enter_passive();
-                let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-                ctx.clock.exit_passive();
-                // Child panics propagate to the caller instead of being
-                // masked as ordinary microservice failures.
-                let mut statuses = vec![propagate(first)];
-                statuses.extend(joined.into_iter().map(propagate));
-                statuses
-            });
-            if statuses.contains(&NodeStatus::Succeeded) {
-                NodeStatus::Succeeded
-            } else if statuses.contains(&NodeStatus::Cancelled) {
-                NodeStatus::Cancelled
-            } else {
-                NodeStatus::Failed
-            }
-        }
-    }
+        &Budget::unlimited(),
+        CompletionPolicy::FirstSuccess,
+    )
+    .map(ServiceOutcome::from)
 }
 
 #[cfg(test)]
@@ -324,6 +171,7 @@ mod tests {
     use super::*;
     use crate::device::SimulatedProvider;
     use qce_strategy::Strategy;
+    use std::sync::atomic::Ordering;
 
     fn provider(id: &str, latency_ms: u64, reliability: f64, cost: f64) -> Arc<dyn Provider> {
         SimulatedProvider::builder(id, id)

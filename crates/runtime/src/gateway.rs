@@ -12,8 +12,8 @@
 //! so the system self-adapts to dissimilar and drifting environments.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
@@ -23,11 +23,12 @@ use qce_strategy::{Attribute, Qos, Strategy};
 use crate::clock::{Clock, WallClock};
 use crate::collector::Collector;
 use crate::device::Provider;
-use crate::executor::execute_strategy_instrumented;
+use crate::engine::{
+    Budget, Completion, CompletionPolicy, ExecSpec, ExecutionEngine, PoolStats, PruneReason,
+};
 use crate::generator::{Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 use crate::market::Market;
 use crate::message::{Invocation, RuntimeError};
-use crate::quorum::execute_with_quorum_instrumented;
 use crate::registry::Registry;
 use crate::script::ServiceScript;
 use crate::telemetry::Telemetry;
@@ -65,6 +66,20 @@ pub struct GatewayConfig {
     pub history_limit: usize,
     /// Capacity of the telemetry event ring.
     pub telemetry_events: usize,
+    /// Maximum concurrent invocations per service (`0` = unlimited).
+    /// Requests beyond the limit wait in the admission queue.
+    pub max_in_flight: usize,
+    /// Admission-queue capacity per service. When a service is at its
+    /// in-flight limit *and* this many requests are already queued, further
+    /// requests are shed with [`RuntimeError::Overloaded`].
+    pub admission_queue: usize,
+    /// Per-request deadline, measured from admission. Legs of the strategy
+    /// that have not started when the deadline passes are pruned; legs
+    /// already in flight complete and are charged (Assumption 2).
+    pub request_deadline: Option<Duration>,
+    /// Persistent worker threads in the execution engine's pool (`0` = no
+    /// pool; every parallel leg runs on its own one-shot thread).
+    pub worker_pool: usize,
 }
 
 impl Default for GatewayConfig {
@@ -80,6 +95,10 @@ impl Default for GatewayConfig {
             plan_quantize: 0.0,
             history_limit: 1024,
             telemetry_events: 1024,
+            max_in_flight: 0,
+            admission_queue: 16,
+            request_deadline: None,
+            worker_pool: 8,
         }
     }
 }
@@ -139,6 +158,11 @@ pub struct ServiceResponse {
     /// `(votes for the answer, votes cast)` when the script requests quorum
     /// execution (§VII); `None` under first-success semantics.
     pub votes: Option<(usize, usize)>,
+    /// Present when the request's budget stopped the walk early: the
+    /// deadline passed, or the service was evicted mid-request. Legs that
+    /// had not started were skipped; the reported outcome covers only the
+    /// legs that ran.
+    pub pruned: Option<PruneReason>,
 }
 
 /// Record of one time slot's planning decision, kept for diagnostics and
@@ -172,10 +196,122 @@ struct ServiceState {
     history: VecDeque<SlotRecord>,
 }
 
-/// A service's state cell: `None` until the script has been fetched and
-/// validated. Each service has its own lock so one service's (potentially
-/// expensive) slot re-plan never blocks invocations of another.
-type ServiceCell = Arc<Mutex<Option<ServiceState>>>;
+/// Per-service admission control: a bounded in-flight limit plus a bounded
+/// wait queue. Requests beyond both bounds are shed immediately
+/// ([`RuntimeError::Overloaded`]) instead of piling up unboundedly.
+///
+/// Waiters block on a plain OS condvar, *not* on the execution clock. An
+/// *unregistered* caller's wait stays invisible to
+/// [`VirtualClock`](crate::VirtualClock) accounting (the clock only
+/// advances over registered workers' sleeps); a caller that **is** a
+/// registered clock worker (e.g. a load generator that registers its
+/// client threads so virtual time cannot advance past them before they
+/// issue their request) is marked passive for the duration of the wait,
+/// so a queued worker never stalls the in-flight requests it is waiting
+/// on.
+struct AdmissionGate {
+    /// In-flight limit (`0` = unlimited).
+    limit: usize,
+    /// Queue capacity once the limit is reached.
+    max_queue: usize,
+    state: StdMutex<GateState>,
+    freed: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    in_flight: usize,
+    waiting: usize,
+}
+
+/// Why a request could not be admitted.
+struct Shed {
+    in_flight: u64,
+    queued: u64,
+}
+
+impl AdmissionGate {
+    fn new(limit: usize, max_queue: usize) -> Self {
+        AdmissionGate {
+            limit,
+            max_queue,
+            state: StdMutex::new(GateState::default()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Admits the caller, blocking in the queue when the service is at its
+    /// in-flight limit. `on_queue_depth` is called with the new queue depth
+    /// whenever this caller enters or leaves the queue. A caller registered
+    /// as a worker of `clock` is marked passive while queued (see the type
+    /// docs).
+    fn admit<'a>(
+        &'a self,
+        clock: &dyn Clock,
+        on_queue_depth: impl Fn(u64),
+    ) -> Result<AdmissionPermit<'a>, Shed> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.limit > 0 && state.in_flight >= self.limit {
+            if state.waiting >= self.max_queue {
+                return Err(Shed {
+                    in_flight: state.in_flight as u64,
+                    queued: state.waiting as u64,
+                });
+            }
+            state.waiting += 1;
+            on_queue_depth(state.waiting as u64);
+            let registered = clock.thread_is_worker();
+            if registered {
+                clock.enter_passive();
+            }
+            while state.in_flight >= self.limit {
+                state = self
+                    .freed
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            if registered {
+                clock.exit_passive();
+            }
+            state.waiting -= 1;
+            on_queue_depth(state.waiting as u64);
+        }
+        state.in_flight += 1;
+        Ok(AdmissionPermit { gate: self })
+    }
+}
+
+/// RAII admission slot: dropping it releases the in-flight slot and wakes
+/// one queued waiter.
+struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut state = self
+            .gate
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        state.in_flight -= 1;
+        drop(state);
+        self.gate.freed.notify_one();
+    }
+}
+
+/// One service's entry in the gateway: its state cell (`None` until the
+/// script has been fetched and validated), its admission gate, and the
+/// eviction flag chained into every in-flight request's [`Budget`]. Each
+/// service has its own lock so one service's (potentially expensive) slot
+/// re-plan never blocks invocations of another.
+struct ServiceEntry {
+    cell: Mutex<Option<ServiceState>>,
+    gate: AdmissionGate,
+    evicted: Arc<AtomicBool>,
+}
+
+type ServiceCell = Arc<ServiceEntry>;
 
 /// The edge gateway.
 ///
@@ -190,6 +326,7 @@ pub struct Gateway {
     clock: Arc<dyn Clock>,
     config: GatewayConfig,
     telemetry: Arc<Telemetry>,
+    engine: ExecutionEngine,
     services: RwLock<HashMap<String, ServiceCell>>,
     next_request: AtomicU64,
 }
@@ -227,6 +364,7 @@ impl Gateway {
             registry: Arc::new(Registry::new()),
             collector: Arc::new(Collector::new(config.collector_window)),
             clock,
+            engine: ExecutionEngine::new(config.worker_pool),
             config,
             telemetry,
             services: RwLock::new(HashMap::new()),
@@ -266,35 +404,66 @@ impl Gateway {
     ///
     /// See [`Gateway::invoke_with_payload`].
     pub fn invoke(&self, service_id: &str) -> Result<ServiceResponse, RuntimeError> {
-        self.invoke_with_payload(service_id, Vec::new())
+        self.invoke_inner(service_id, Vec::new())
     }
 
     /// Invokes the service identified by `service_id`.
     ///
     /// On the first invocation the script is fetched from the market and
     /// cached. Each slot boundary re-plans the strategy from collector
-    /// data.
+    /// data. Concurrent invocations of the same service execute in
+    /// parallel (planning is serialized per service; execution is not),
+    /// bounded by [`GatewayConfig::max_in_flight`].
     ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::UnknownService`] if the market has no such
     /// script, [`RuntimeError::NoProvider`] if a capability has no
-    /// registered provider, or an invalid-script/generation error.
+    /// registered provider, [`RuntimeError::Overloaded`] if the service is
+    /// at its in-flight limit with a full admission queue, or an
+    /// invalid-script/generation error.
     pub fn invoke_with_payload(
         &self,
         service_id: &str,
         payload: Vec<u8>,
     ) -> Result<ServiceResponse, RuntimeError> {
+        self.invoke_inner(service_id, payload)
+    }
+
+    /// The single invocation path behind [`Gateway::invoke`] and
+    /// [`Gateway::invoke_with_payload`]: admission, script fetch/planning,
+    /// engine execution, telemetry.
+    fn invoke_inner(
+        &self,
+        service_id: &str,
+        payload: Vec<u8>,
+    ) -> Result<ServiceResponse, RuntimeError> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
-        let cell = self.service_cell(service_id);
+        let entry = self.service_entry(service_id);
+
+        // Admission first: it bounds everything the request does from here
+        // on (planning included). Shedding here keeps an overloaded
+        // service's queue — and the gateway's thread usage — bounded.
+        let _permit = match entry.gate.admit(&*self.clock, |depth| {
+            self.telemetry.record_admission_queue(service_id, depth)
+        }) {
+            Ok(permit) => permit,
+            Err(shed) => {
+                self.telemetry
+                    .record_shed(service_id, shed.in_flight, shed.queued);
+                return Err(RuntimeError::Overloaded {
+                    service_id: service_id.to_string(),
+                });
+            }
+        };
 
         // Fetch/validate the script and plan (or reuse) the slot's strategy
         // under the *per-service* lock only — the global map lock above is
-        // held just long enough to find the cell, so one service's
+        // held just long enough to find the entry, so one service's
         // exhaustive re-plan never blocks invocations of other services.
         // Execution then happens outside every lock.
         let (strategy, providers, names, slot, origin, advisory, quorum) = {
-            let mut guard = cell.lock();
+            let mut guard = entry.cell.lock();
             if guard.is_none() {
                 let t0 = self.clock.now();
                 let fetched = self.market.fetch(service_id);
@@ -318,7 +487,7 @@ impl Gateway {
                     }
                     Err(error) => {
                         drop(guard);
-                        self.discard_uninitialised(service_id, &cell);
+                        self.discard_uninitialised(service_id, &entry);
                         return Err(error);
                     }
                 }
@@ -388,42 +557,40 @@ impl Gateway {
         };
 
         let request = Invocation::new(request_id, service_id.to_string(), payload);
-        let (success, payload, latency, cost, votes) = match quorum {
-            Some(q) if q > 1 => {
-                let outcome = execute_with_quorum_instrumented(
-                    &strategy,
-                    &providers,
-                    &request,
-                    Some(&self.collector),
-                    q,
-                    &*self.clock,
-                    Some(&self.telemetry),
-                )?;
-                (
-                    outcome.agreed,
-                    outcome.payload,
-                    outcome.latency,
-                    outcome.cost,
-                    Some((outcome.votes, outcome.votes_cast)),
-                )
-            }
-            _ => {
-                let outcome = execute_strategy_instrumented(
-                    &strategy,
-                    &providers,
-                    &request,
-                    Some(&self.collector),
-                    &*self.clock,
-                    Some(&self.telemetry),
-                )?;
-                (
-                    outcome.success,
-                    outcome.payload,
-                    outcome.latency,
-                    outcome.cost,
-                    None,
-                )
-            }
+        let mut budget = Budget::unlimited().with_parent_flag(Arc::clone(&entry.evicted));
+        if let Some(deadline) = self.config.request_deadline {
+            budget = budget.with_deadline(self.clock.now() + deadline);
+        }
+        let policy = match quorum {
+            Some(q) if q > 1 => CompletionPolicy::Quorum { quorum: q },
+            _ => CompletionPolicy::FirstSuccess,
+        };
+        let outcome = self.engine.execute(ExecSpec {
+            strategy: strategy.clone(),
+            providers,
+            request,
+            collector: Some(Arc::clone(&self.collector)),
+            telemetry: Some(Arc::clone(&self.telemetry)),
+            clock: Arc::clone(&self.clock),
+            budget,
+            policy,
+        })?;
+
+        let pruned = outcome.pruned;
+        if pruned == Some(PruneReason::DeadlineExceeded) {
+            self.telemetry
+                .record_deadline_exceeded(service_id, request_id);
+        }
+        let latency = outcome.latency;
+        let cost = outcome.cost;
+        let (success, payload, votes) = match outcome.completion {
+            Completion::First { success, payload } => (success, payload, None),
+            Completion::Agreement {
+                payload,
+                votes,
+                votes_cast,
+                agreed,
+            } => (agreed, payload, Some((votes, votes_cast))),
         };
 
         self.telemetry.record_request(
@@ -447,31 +614,42 @@ impl Gateway {
             origin,
             advisory,
             votes,
+            pruned,
         })
     }
 
-    /// Returns the state cell of `service_id`, inserting an uninitialised
-    /// one if needed. Holds the global map lock only for the lookup.
-    fn service_cell(&self, service_id: &str) -> ServiceCell {
-        if let Some(cell) = self.services.read().get(service_id) {
-            return Arc::clone(cell);
-        }
-        let mut services = self.services.write();
-        Arc::clone(
-            services
-                .entry(service_id.to_string())
-                .or_insert_with(|| Arc::new(Mutex::new(None))),
-        )
+    /// Current occupancy counters of the engine's worker pool (capacity,
+    /// live/idle/running threads, spill count).
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.engine.pool_stats()
     }
 
-    /// Removes `cell` from the map if it is still the registered,
-    /// never-initialised cell for `service_id`, so failed fetches don't
-    /// accumulate empty entries. A cell another thread initialised in the
+    /// Returns the entry of `service_id`, inserting an uninitialised one if
+    /// needed. Holds the global map lock only for the lookup.
+    fn service_entry(&self, service_id: &str) -> ServiceCell {
+        if let Some(entry) = self.services.read().get(service_id) {
+            return Arc::clone(entry);
+        }
+        let mut services = self.services.write();
+        let config = &self.config;
+        Arc::clone(services.entry(service_id.to_string()).or_insert_with(|| {
+            Arc::new(ServiceEntry {
+                cell: Mutex::new(None),
+                gate: AdmissionGate::new(config.max_in_flight, config.admission_queue),
+                evicted: Arc::new(AtomicBool::new(false)),
+            })
+        }))
+    }
+
+    /// Removes `entry` from the map if it is still the registered,
+    /// never-initialised entry for `service_id`, so failed fetches don't
+    /// accumulate empty entries. An entry another thread initialised in the
     /// meantime is left alone.
-    fn discard_uninitialised(&self, service_id: &str, cell: &ServiceCell) {
+    fn discard_uninitialised(&self, service_id: &str, entry: &ServiceCell) {
         let mut services = self.services.write();
         if let Some(existing) = services.get(service_id) {
-            let discard = Arc::ptr_eq(existing, cell) && existing.lock().is_none();
+            let discard = Arc::ptr_eq(existing, entry) && existing.cell.lock().is_none();
             if discard {
                 services.remove(service_id);
             }
@@ -531,10 +709,10 @@ impl Gateway {
     /// Forces the next invocation of `service_id` to re-plan its strategy,
     /// as if a slot boundary had been reached.
     pub fn end_slot(&self, service_id: &str) {
-        let Some(cell) = self.services.read().get(service_id).map(Arc::clone) else {
+        let Some(entry) = self.services.read().get(service_id).map(Arc::clone) else {
             return;
         };
-        let mut guard = cell.lock();
+        let mut guard = entry.cell.lock();
         if let Some(state) = guard.as_mut() {
             if state.active.is_some() {
                 state.slot += 1;
@@ -550,10 +728,10 @@ impl Gateway {
     /// telemetry.
     #[must_use]
     pub fn slot_history(&self, service_id: &str) -> Vec<SlotRecord> {
-        let Some(cell) = self.services.read().get(service_id).map(Arc::clone) else {
+        let Some(entry) = self.services.read().get(service_id).map(Arc::clone) else {
             return Vec::new();
         };
-        let guard = cell.lock();
+        let guard = entry.cell.lock();
         guard
             .as_ref()
             .map(|state| state.history.iter().cloned().collect())
@@ -564,8 +742,8 @@ impl Gateway {
     /// names.
     #[must_use]
     pub fn current_strategy(&self, service_id: &str) -> Option<String> {
-        let cell = self.services.read().get(service_id).map(Arc::clone)?;
-        let guard = cell.lock();
+        let entry = self.services.read().get(service_id).map(Arc::clone)?;
+        let guard = entry.cell.lock();
         let state = guard.as_ref()?;
         let active = state.active.as_ref()?;
         Some(
@@ -581,11 +759,20 @@ impl Gateway {
     /// were computed for the evicted script, so the planner's cache is
     /// invalidated first and the dropped entries are surfaced as stale in
     /// telemetry.
+    ///
+    /// Requests in flight at eviction time are cancelled through their
+    /// budgets: every strategy leg that has not started is pruned, the
+    /// request completes with whatever its started legs produced, and its
+    /// response carries [`PruneReason::Cancelled`]. The planning state is
+    /// *taken* out of the entry (not merely dropped with it), so the cache
+    /// invalidation and its telemetry flush happen exactly once even when
+    /// in-flight requests still hold the entry.
     pub fn evict_service(&self, service_id: &str) {
-        let cell = self.services.write().remove(service_id);
-        if let Some(cell) = cell {
-            let guard = cell.lock();
-            if let Some(state) = guard.as_ref() {
+        let entry = self.services.write().remove(service_id);
+        if let Some(entry) = entry {
+            entry.evicted.store(true, Ordering::SeqCst);
+            let state = entry.cell.lock().take();
+            if let Some(state) = state {
                 state.planner.invalidate();
                 if let Some(stats) = state.planner.cache_stats() {
                     self.telemetry.record_plan_cache(service_id, &stats);
@@ -921,6 +1108,374 @@ mod tests {
         let snapshot = gateway.telemetry().snapshot();
         let svc = snapshot.service("temp").unwrap();
         assert!(svc.plan_cache_stale >= 1, "evicted entries counted stale");
+    }
+
+    /// A gate the tests use to hold a provider open until released, with a
+    /// count of how many invocations have entered it.
+    struct TestGate {
+        state: StdMutex<(bool, u32)>,
+        cond: Condvar,
+    }
+
+    impl TestGate {
+        fn new() -> Arc<Self> {
+            Arc::new(TestGate {
+                state: StdMutex::new((false, 0)),
+                cond: Condvar::new(),
+            })
+        }
+
+        /// Blocks the calling provider until [`TestGate::open`], counting it
+        /// as entered first.
+        fn enter(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.1 += 1;
+            self.cond.notify_all();
+            while !state.0 {
+                state = self.cond.wait(state).unwrap();
+            }
+        }
+
+        /// Waits until `n` provider invocations are blocked inside the gate.
+        fn await_entered(&self, n: u32) {
+            let mut state = self.state.lock().unwrap();
+            while state.1 < n {
+                state = self.cond.wait(state).unwrap();
+            }
+        }
+
+        fn open(&self) {
+            let mut state = self.state.lock().unwrap();
+            state.0 = true;
+            self.cond.notify_all();
+        }
+    }
+
+    fn one_ms_script() -> ServiceScript {
+        let mut s = ServiceScript::new(
+            "svc",
+            vec![MsSpec {
+                name: "a".into(),
+                capability: "cap-a".into(),
+                prior: Qos::new(50.0, 5.0, 0.9).unwrap(),
+            }],
+            Requirements::new(1000.0, 1000.0, 0.5).unwrap(),
+        );
+        s.slot_size = 100;
+        s
+    }
+
+    /// Two microservices with the sequential fail-over default `a-b`, so a
+    /// budget tripping between the legs has something left to prune.
+    fn seq_script() -> ServiceScript {
+        let mut s = ServiceScript::new(
+            "svc",
+            vec![
+                MsSpec {
+                    name: "a".into(),
+                    capability: "cap-a".into(),
+                    prior: Qos::new(50.0, 5.0, 0.9).unwrap(),
+                },
+                MsSpec {
+                    name: "b".into(),
+                    capability: "cap-b".into(),
+                    prior: Qos::new(50.0, 5.0, 0.9).unwrap(),
+                },
+            ],
+            Requirements::new(1000.0, 1000.0, 0.5).unwrap(),
+        );
+        s.default_strategy = Some("a-b".to_string());
+        s.slot_size = 100;
+        s
+    }
+
+    #[test]
+    fn concurrent_invocations_of_one_service_run_in_parallel() {
+        use std::sync::Barrier;
+
+        let gateway = Gateway::new(market_with(one_ms_script()), GatewayConfig::default());
+        // Both invocations must be inside the provider at the same moment,
+        // or the barrier never releases and the test hangs.
+        let rendezvous = Arc::new(Barrier::new(2));
+        let barrier = Arc::clone(&rendezvous);
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            10.0,
+            move |_| {
+                barrier.wait();
+                Ok(vec![1])
+            },
+        ));
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| gateway.invoke("svc").unwrap());
+            let b = scope.spawn(|| gateway.invoke("svc").unwrap());
+            assert!(a.join().unwrap().success);
+            assert!(b.join().unwrap().success);
+        });
+        let snapshot = gateway.telemetry().snapshot();
+        assert_eq!(snapshot.service("svc").unwrap().invocations, 2);
+    }
+
+    #[test]
+    fn admission_sheds_past_the_queue_and_counts_it() {
+        let config = GatewayConfig {
+            max_in_flight: 1,
+            admission_queue: 0,
+            ..GatewayConfig::default()
+        };
+        let gateway = Gateway::new(market_with(one_ms_script()), config);
+        let gate = TestGate::new();
+        let provider_gate = Arc::clone(&gate);
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            10.0,
+            move |_| {
+                provider_gate.enter();
+                Ok(vec![1])
+            },
+        ));
+        std::thread::scope(|scope| {
+            let running = scope.spawn(|| gateway.invoke("svc").unwrap());
+            gate.await_entered(1);
+            // The service is at its limit with no queue: shed immediately.
+            let shed = gateway.invoke("svc");
+            assert!(matches!(shed, Err(RuntimeError::Overloaded { .. })));
+            gate.open();
+            assert!(running.join().unwrap().success);
+        });
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.requests_shed, 1);
+        assert_eq!(svc.invocations, 1, "the shed request never executed");
+        assert!(gateway.telemetry().events().iter().any(|e| matches!(
+            &e.kind,
+            crate::telemetry::EventKind::RequestShed {
+                service,
+                in_flight,
+                queued,
+            } if service == "svc" && *in_flight == 1 && *queued == 0
+        )));
+    }
+
+    #[test]
+    fn queued_request_waits_for_a_slot_and_proceeds() {
+        let config = GatewayConfig {
+            max_in_flight: 1,
+            admission_queue: 4,
+            ..GatewayConfig::default()
+        };
+        let gateway = Gateway::new(market_with(one_ms_script()), config);
+        let gate = TestGate::new();
+        let provider_gate = Arc::clone(&gate);
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            10.0,
+            move |_| {
+                provider_gate.enter();
+                Ok(vec![1])
+            },
+        ));
+        std::thread::scope(|scope| {
+            let first = scope.spawn(|| gateway.invoke("svc").unwrap());
+            gate.await_entered(1);
+            let queued = scope.spawn(|| gateway.invoke("svc").unwrap());
+            // Wait until the second request is visibly parked in the
+            // admission queue before releasing the first.
+            while gateway
+                .telemetry()
+                .snapshot()
+                .service("svc")
+                .map_or(0, |s| s.admission_queue_peak)
+                < 1
+            {
+                std::thread::yield_now();
+            }
+            gate.open();
+            assert!(first.join().unwrap().success);
+            assert!(queued.join().unwrap().success);
+        });
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.requests_shed, 0, "the queue absorbed the burst");
+        assert_eq!(svc.admission_queue_peak, 1);
+        assert_eq!(svc.admission_queue_depth, 0, "queue drained");
+        assert_eq!(svc.invocations, 2);
+    }
+
+    /// A caller that is already a registered clock worker (a load
+    /// generator that pins its clients to virtual time) must park
+    /// *passively* while queued for admission: if its condvar wait counted
+    /// as an active worker, virtual time could never advance over the
+    /// in-flight request it is waiting on, and the gateway would deadlock.
+    #[test]
+    fn registered_caller_queues_passively_without_stalling_virtual_time() {
+        use crate::clock::{VirtualClock, WorkerGuard};
+
+        let clock = Arc::new(VirtualClock::new());
+        let config = GatewayConfig {
+            max_in_flight: 1,
+            admission_queue: 4,
+            ..GatewayConfig::default()
+        };
+        let gateway = Gateway::with_clock(
+            market_with(one_ms_script()),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let gate = TestGate::new();
+        let provider_gate = Arc::clone(&gate);
+        let provider_clock = Arc::clone(&clock);
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            10.0,
+            move |_| {
+                provider_gate.enter();
+                provider_clock.sleep(Duration::from_millis(8));
+                Ok(vec![1])
+            },
+        ));
+        std::thread::scope(|scope| {
+            let first = scope.spawn(|| {
+                let _worker = WorkerGuard::enter(&*clock);
+                gateway.invoke("svc").unwrap()
+            });
+            gate.await_entered(1);
+            let queued = scope.spawn(|| {
+                let _worker = WorkerGuard::enter(&*clock);
+                gateway.invoke("svc").unwrap()
+            });
+            // The second caller must be parked in the admission queue
+            // before the first is released, or it would be admitted
+            // directly and never exercise the passive wait.
+            while gateway
+                .telemetry()
+                .snapshot()
+                .service("svc")
+                .map_or(0, |s| s.admission_queue_peak)
+                < 1
+            {
+                std::thread::yield_now();
+            }
+            gate.open();
+            assert!(first.join().unwrap().success);
+            assert!(queued.join().unwrap().success);
+        });
+        // Each request slept 8 virtual ms, strictly serialised by the
+        // in-flight limit of one.
+        assert_eq!(clock.now(), Duration::from_millis(16));
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.requests_shed, 0);
+        assert_eq!(svc.admission_queue_peak, 1);
+        assert_eq!(svc.invocations, 2);
+    }
+
+    #[test]
+    fn deadline_prunes_unstarted_legs_and_is_counted() {
+        use crate::clock::VirtualClock;
+
+        let clock = Arc::new(VirtualClock::new());
+        let config = GatewayConfig {
+            request_deadline: Some(Duration::from_millis(8)),
+            ..GatewayConfig::default()
+        };
+        let gateway = Gateway::with_clock(
+            market_with(seq_script()),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        // Leg `a` fails after 16 virtual ms — past the 8 ms deadline — so
+        // fail-over leg `b` must be pruned, not started.
+        for (cap, reliability, ms) in [("cap-a", 0.0, 16u64), ("cap-b", 1.0, 1)] {
+            gateway.registry().register(
+                SimulatedProvider::builder(format!("dev/{cap}"), cap)
+                    .cost(50.0)
+                    .latency(Duration::from_millis(ms))
+                    .reliability(reliability)
+                    .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                    .build(),
+            );
+        }
+        let response = gateway.invoke("svc").unwrap();
+        assert!(!response.success);
+        assert_eq!(response.pruned, Some(PruneReason::DeadlineExceeded));
+        assert_eq!(response.cost, 50.0, "leg b never started, never charged");
+        let snapshot = gateway.telemetry().snapshot();
+        assert_eq!(snapshot.service("svc").unwrap().deadline_exceeded, 1);
+        assert!(gateway.telemetry().events().iter().any(|e| matches!(
+            &e.kind,
+            crate::telemetry::EventKind::DeadlineExceeded { service, .. } if service == "svc"
+        )));
+    }
+
+    #[test]
+    fn evict_during_in_flight_cancels_the_request_and_flushes_once() {
+        use std::sync::atomic::AtomicU32;
+
+        use crate::clock::VirtualClock;
+
+        let clock = Arc::new(VirtualClock::new());
+        let gateway = Gateway::with_clock(
+            market_with(seq_script()),
+            GatewayConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let gate = TestGate::new();
+        let provider_gate = Arc::clone(&gate);
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            50.0,
+            move |_| {
+                provider_gate.enter();
+                Err(crate::message::InvokeError::ExecutionFailed {
+                    reason: "noisy".to_string(),
+                })
+            },
+        ));
+        let b_calls = Arc::new(AtomicU32::new(0));
+        let b_counter = Arc::clone(&b_calls);
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-b",
+            "cap-b",
+            50.0,
+            move |_| {
+                b_counter.fetch_add(1, Ordering::SeqCst);
+                Ok(vec![2])
+            },
+        ));
+        std::thread::scope(|scope| {
+            let in_flight = scope.spawn(|| gateway.invoke("svc").unwrap());
+            // The request is mid-leg-`a` when the service is evicted.
+            gate.await_entered(1);
+            gateway.evict_service("svc");
+            assert!(gateway.slot_history("svc").is_empty(), "state dropped");
+            // A second eviction finds nothing left to invalidate or flush.
+            gateway.evict_service("svc");
+            gate.open();
+            let response = in_flight.join().unwrap();
+            assert!(!response.success);
+            assert_eq!(response.pruned, Some(PruneReason::Cancelled));
+            assert_eq!(response.cost, 50.0, "only leg a was charged");
+        });
+        assert_eq!(
+            b_calls.load(Ordering::SeqCst),
+            0,
+            "fail-over leg b was pruned by the eviction"
+        );
+        // The service restarts cleanly: a fresh invocation re-fetches the
+        // script and, with the gate now open, fails over from a to b.
+        let response = gateway.invoke("svc").unwrap();
+        assert!(response.success);
+        assert_eq!(response.slot, 0, "fresh state");
+        assert_eq!(response.pruned, None);
+        assert_eq!(b_calls.load(Ordering::SeqCst), 1);
+        let snapshot = gateway.telemetry().snapshot();
+        assert_eq!(snapshot.market.fetches, 2, "evicted script re-fetched");
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub mod client;
 pub mod clock;
 pub mod collector;
 pub mod device;
+pub mod engine;
 pub mod executor;
 pub mod fault;
 pub mod gateway;
@@ -96,6 +97,10 @@ pub use client::{AdvisoryPolicy, Client, ClientError, QosRejected};
 pub use clock::{Clock, VirtualClock, WallClock, WorkerGuard};
 pub use collector::{Collector, ExecutionRecord, ProviderStats};
 pub use device::{FnProvider, Provider, SimulatedProvider, SimulatedProviderBuilder};
+pub use engine::{
+    Budget, Completion, CompletionPolicy, EngineOutcome, ExecSpec, ExecutionEngine, PoolStats,
+    PruneReason,
+};
 pub use executor::{
     execute_strategy, execute_strategy_instrumented, execute_strategy_with_clock, ServiceOutcome,
 };

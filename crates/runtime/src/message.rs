@@ -115,6 +115,12 @@ pub enum RuntimeError {
         /// Description of the problem.
         reason: String,
     },
+    /// The gateway shed the request: the service was at its in-flight
+    /// limit and its admission queue was full.
+    Overloaded {
+        /// The service whose admission queue rejected the request.
+        service_id: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -132,6 +138,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Generation { reason } => {
                 write!(f, "strategy generation failed: {reason}")
+            }
+            RuntimeError::Overloaded { service_id } => {
+                write!(f, "service {service_id:?} overloaded: request shed")
             }
         }
     }
@@ -191,6 +200,11 @@ mod tests {
         }
         .to_string()
         .contains("none"));
+        assert!(RuntimeError::Overloaded {
+            service_id: "svc".into()
+        }
+        .to_string()
+        .contains("shed"));
     }
 
     #[test]

@@ -14,19 +14,22 @@
 //! in full, so quorum execution makes the reliability/cost trade-off
 //! explicit — a quorum of 2 over a fail-over chain costs roughly twice a
 //! single-success run.
+//!
+//! Since the unification of the strategy walkers, these entry points are
+//! thin wrappers over [`engine::execute_scoped`](crate::engine) with
+//! [`CompletionPolicy::Quorum`]: the same walker serves first-success and
+//! quorum execution, differing only in when a Seq chain advances and when
+//! the walk halts.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use qce_strategy::{CompletionPolicy, Strategy};
 
-use qce_strategy::{Node, Strategy};
-
-use crate::clock::{Clock, WallClock, WorkerGuard};
-use crate::collector::{Collector, ExecutionRecord};
+use crate::clock::{Clock, WallClock};
+use crate::collector::Collector;
 use crate::device::Provider;
+use crate::engine::{self, Budget, Completion};
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
 use crate::telemetry::Telemetry;
 
@@ -48,6 +51,32 @@ pub struct QuorumOutcome {
     pub cost: f64,
     /// Every invocation that started.
     pub invocations: Vec<InvocationOutcome>,
+}
+
+impl From<engine::EngineOutcome> for QuorumOutcome {
+    fn from(outcome: engine::EngineOutcome) -> Self {
+        let (payload, votes, votes_cast, agreed) = match outcome.completion {
+            Completion::Agreement {
+                payload,
+                votes,
+                votes_cast,
+                agreed,
+            } => (payload, votes, votes_cast, agreed),
+            Completion::First { success, payload } => {
+                let votes = usize::from(success);
+                (payload, votes, votes, success)
+            }
+        };
+        QuorumOutcome {
+            payload,
+            votes,
+            votes_cast,
+            agreed,
+            latency: outcome.latency,
+            cost: outcome.cost,
+            invocations: outcome.invocations,
+        }
+    }
 }
 
 /// Executes `strategy` until `quorum` distinct microservices return the
@@ -151,182 +180,17 @@ pub fn execute_with_quorum_instrumented(
     telemetry: Option<&Telemetry>,
 ) -> Result<QuorumOutcome, RuntimeError> {
     assert!(quorum >= 1, "quorum must be at least 1");
-    for id in strategy.leaves() {
-        if providers.get(id.index()).is_none() {
-            return Err(RuntimeError::NoProvider {
-                capability: format!("strategy operand {id}"),
-            });
-        }
-    }
-
-    let worker = WorkerGuard::enter(clock);
-    let ctx = QuorumCtx {
+    engine::execute_scoped(
+        strategy,
         providers,
         request,
         collector,
-        quorum,
         clock,
         telemetry,
-        done: AtomicBool::new(false),
-        started_at: clock.now(),
-        votes: Mutex::new(VoteBox::default()),
-        invocations: Mutex::new(Vec::new()),
-    };
-    run_node(strategy.node(), &ctx);
-    drop(worker);
-
-    let votes = ctx.votes.into_inner();
-    let invocations = ctx.invocations.into_inner();
-    let cost = invocations.iter().map(|i| i.cost).sum();
-    let (payload, winner_votes) = votes.winner();
-    let agreed = winner_votes >= quorum;
-    let latency = votes
-        .decided_at
-        .unwrap_or_else(|| clock.now().saturating_sub(ctx.started_at));
-    Ok(QuorumOutcome {
-        payload,
-        votes: winner_votes,
-        votes_cast: votes.total,
-        agreed,
-        latency,
-        cost,
-        invocations,
-    })
-}
-
-#[derive(Default)]
-struct VoteBox {
-    /// payload → (votes, first-seen order)
-    tally: HashMap<Vec<u8>, (usize, usize)>,
-    total: usize,
-    decided_at: Option<Duration>,
-}
-
-impl VoteBox {
-    /// Registers a vote; returns the new count for this payload.
-    fn vote(&mut self, payload: Vec<u8>) -> usize {
-        let order = self.tally.len();
-        let entry = self.tally.entry(payload).or_insert((0, order));
-        entry.0 += 1;
-        self.total += 1;
-        entry.0
-    }
-
-    /// The plurality payload (ties broken by first-seen order).
-    fn winner(&self) -> (Option<Vec<u8>>, usize) {
-        self.tally
-            .iter()
-            .max_by(|(_, (va, oa)), (_, (vb, ob))| va.cmp(vb).then(ob.cmp(oa)))
-            .map_or((None, 0), |(payload, (votes, _))| {
-                (Some(payload.clone()), *votes)
-            })
-    }
-}
-
-struct QuorumCtx<'a> {
-    providers: &'a [Arc<dyn Provider>],
-    request: &'a Invocation,
-    collector: Option<&'a Collector>,
-    quorum: usize,
-    clock: &'a dyn Clock,
-    telemetry: Option<&'a Telemetry>,
-    done: AtomicBool,
-    started_at: Duration,
-    votes: Mutex<VoteBox>,
-    invocations: Mutex<Vec<InvocationOutcome>>,
-}
-
-fn run_node(node: &Node, ctx: &QuorumCtx<'_>) {
-    match node {
-        Node::Leaf(id) => {
-            if ctx.done.load(Ordering::SeqCst) {
-                return;
-            }
-            let provider = &ctx.providers[id.index()];
-            let t0 = ctx.clock.now();
-            let result = provider.invoke(ctx.request);
-            let latency = ctx.clock.now().saturating_sub(t0);
-            let success = result.is_ok();
-            if let Some(collector) = ctx.collector {
-                collector.record(
-                    provider.id(),
-                    ExecutionRecord {
-                        success,
-                        latency,
-                        cost: provider.cost(),
-                    },
-                );
-            }
-            if let Some(telemetry) = ctx.telemetry {
-                telemetry.record_invocation(provider.id(), success, latency, provider.cost());
-            }
-            ctx.invocations.lock().push(InvocationOutcome {
-                provider_id: provider.id().to_string(),
-                capability: provider.capability().to_string(),
-                payload: result.as_ref().ok().cloned(),
-                latency,
-                cost: provider.cost(),
-                success,
-            });
-            if let Ok(payload) = result {
-                let mut votes = ctx.votes.lock();
-                let count = votes.vote(payload);
-                if count >= ctx.quorum && votes.decided_at.is_none() {
-                    votes.decided_at = Some(ctx.clock.now().saturating_sub(ctx.started_at));
-                    drop(votes);
-                    ctx.done.store(true, Ordering::SeqCst);
-                }
-            }
-        }
-        Node::Seq(children) => {
-            // Under quorum semantics every stage runs (successes no longer
-            // absorb the chain) until the quorum is globally reached.
-            for child in children {
-                if ctx.done.load(Ordering::SeqCst) {
-                    return;
-                }
-                run_node(child, ctx);
-            }
-        }
-        Node::Par(children) => {
-            std::thread::scope(|scope| {
-                // Reserve spawned children's worker slots before spawning
-                // (see the first-success executor for the rationale); each
-                // child binds its own thread when it starts.
-                for _ in 1..children.len() {
-                    ctx.clock.reserve_worker();
-                }
-                let handles: Vec<_> = children
-                    .iter()
-                    .skip(1)
-                    .map(|child| {
-                        scope.spawn(move || {
-                            // Release the slot even if the child panics.
-                            let _worker = WorkerGuard::adopt(ctx.clock);
-                            run_node(child, ctx);
-                        })
-                    })
-                    .collect();
-                // Catch the inline child's panic so the spawned children
-                // still get joined (under a passive mark) first.
-                let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_node(&children[0], ctx)
-                }));
-                ctx.clock.enter_passive();
-                let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
-                ctx.clock.exit_passive();
-                // Child panics propagate instead of being swallowed.
-                if let Err(panic) = first {
-                    std::panic::resume_unwind(panic);
-                }
-                for result in joined {
-                    if let Err(panic) = result {
-                        std::panic::resume_unwind(panic);
-                    }
-                }
-            });
-        }
-    }
+        &Budget::unlimited(),
+        CompletionPolicy::Quorum { quorum },
+    )
+    .map(QuorumOutcome::from)
 }
 
 #[cfg(test)]

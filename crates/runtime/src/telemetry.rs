@@ -148,6 +148,12 @@ struct ServiceMetrics {
     strategy_switches: AtomicU64,
     plan_failures: AtomicU64,
     history_evicted: AtomicU64,
+    requests_shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    /// Gauge: requests waiting in the admission queue right now.
+    admission_queue_depth: AtomicU64,
+    /// High-water mark of `admission_queue_depth`.
+    admission_queue_peak: AtomicU64,
     candidates_seen: AtomicU64,
     candidates_pruned: AtomicU64,
     synthesis_micros: AtomicU64,
@@ -175,6 +181,10 @@ impl ServiceMetrics {
             strategy_switches: AtomicU64::new(0),
             plan_failures: AtomicU64::new(0),
             history_evicted: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            admission_queue_depth: AtomicU64::new(0),
+            admission_queue_peak: AtomicU64::new(0),
             candidates_seen: AtomicU64::new(0),
             candidates_pruned: AtomicU64::new(0),
             synthesis_micros: AtomicU64::new(0),
@@ -282,6 +292,24 @@ pub enum EventKind {
         /// The fault in force (`crash` / `latency` / `byzantine`).
         fault: String,
     },
+    /// The gateway's admission layer shed a request: the service was at
+    /// its in-flight limit and the admission queue was full.
+    RequestShed {
+        /// Service id.
+        service: String,
+        /// Requests executing when the shed happened.
+        in_flight: u64,
+        /// Requests waiting in the admission queue when the shed happened.
+        queued: u64,
+    },
+    /// A request's deadline expired mid-execution; its remaining legs were
+    /// pruned (in-flight legs ran to completion per Assumption 2).
+    DeadlineExceeded {
+        /// Service id.
+        service: String,
+        /// The request whose deadline expired.
+        request_id: u64,
+    },
 }
 
 /// Snapshot of one latency or cost histogram. Bucket counts are
@@ -351,6 +379,19 @@ pub struct ServiceSnapshot {
     pub plan_failures: u64,
     /// Slot records evicted from the bounded history ring.
     pub history_evicted: u64,
+    /// Requests shed by the admission layer (in-flight limit reached and
+    /// queue full).
+    #[serde(default)]
+    pub requests_shed: u64,
+    /// Requests whose deadline expired mid-execution.
+    #[serde(default)]
+    pub deadline_exceeded: u64,
+    /// Requests waiting in the admission queue at snapshot time (gauge).
+    #[serde(default)]
+    pub admission_queue_depth: u64,
+    /// High-water mark of the admission queue depth.
+    #[serde(default)]
+    pub admission_queue_peak: u64,
     /// Synthesis candidates estimated across all re-plans.
     pub candidates_seen: u64,
     /// Synthesis candidates pruned across all re-plans.
@@ -688,6 +729,46 @@ impl Telemetry {
             .fetch_add(evicted, Ordering::Relaxed);
     }
 
+    /// Records a shed request (admission queue full), emitting an
+    /// [`EventKind::RequestShed`] event. The counter is incremented before
+    /// the event enters the ring, so shed accounting stays gap-free even
+    /// when ring overflow drops the event itself.
+    pub fn record_shed(&self, service: &str, in_flight: u64, queued: u64) {
+        self.service(service)
+            .requests_shed
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::RequestShed {
+            service: service.to_string(),
+            in_flight,
+            queued,
+        });
+    }
+
+    /// Records a request whose deadline expired mid-execution, emitting an
+    /// [`EventKind::DeadlineExceeded`] event (counter first, same gap-free
+    /// guarantee as [`record_shed`](Self::record_shed)).
+    pub fn record_deadline_exceeded(&self, service: &str, request_id: u64) {
+        self.service(service)
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::DeadlineExceeded {
+            service: service.to_string(),
+            request_id,
+        });
+    }
+
+    /// Records the admission queue depth of `service` (absolute gauge),
+    /// tracking the high-water mark.
+    pub fn record_admission_queue(&self, service: &str, depth: u64) {
+        let metrics = self.service(service);
+        metrics
+            .admission_queue_depth
+            .store(depth, Ordering::Relaxed);
+        metrics
+            .admission_queue_peak
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Records a market script fetch.
     pub fn record_market_fetch(&self, elapsed: Duration, success: bool) {
         if success {
@@ -743,6 +824,10 @@ impl Telemetry {
                 strategy_switches: m.strategy_switches.load(Ordering::Relaxed),
                 plan_failures: m.plan_failures.load(Ordering::Relaxed),
                 history_evicted: m.history_evicted.load(Ordering::Relaxed),
+                requests_shed: m.requests_shed.load(Ordering::Relaxed),
+                deadline_exceeded: m.deadline_exceeded.load(Ordering::Relaxed),
+                admission_queue_depth: m.admission_queue_depth.load(Ordering::Relaxed),
+                admission_queue_peak: m.admission_queue_peak.load(Ordering::Relaxed),
                 candidates_seen: m.candidates_seen.load(Ordering::Relaxed),
                 candidates_pruned: m.candidates_pruned.load(Ordering::Relaxed),
                 synthesis_elapsed: Duration::from_micros(
@@ -823,6 +908,39 @@ mod tests {
         assert_eq!(svc.latency_ms.count, 2);
         assert!((svc.latency_ms.sum - 10.0).abs() < 1e-9);
         assert!((svc.cost.sum - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shed_and_deadline_counters_survive_ring_overflow() {
+        // Ring of 2 slots, 10 + 5 events: 13 events evicted, but the
+        // per-service counters must stay gap-free because the counter is
+        // incremented before the event enters the ring.
+        let (_, t) = telemetry(2);
+        for i in 0..10 {
+            t.record_shed("svc", 4, i);
+        }
+        for i in 0..5 {
+            t.record_deadline_exceeded("svc", i);
+        }
+        let snap = t.snapshot();
+        let svc = snap.service("svc").unwrap();
+        assert_eq!(svc.requests_shed, 10);
+        assert_eq!(svc.deadline_exceeded, 5);
+        assert_eq!(snap.events.emitted, 15);
+        assert_eq!(snap.events.dropped, 13);
+        assert_eq!(snap.recent_events.len(), 2);
+    }
+
+    #[test]
+    fn admission_queue_gauge_tracks_peak() {
+        let (_, t) = telemetry(4);
+        t.record_admission_queue("svc", 3);
+        t.record_admission_queue("svc", 7);
+        t.record_admission_queue("svc", 1);
+        let snap = t.snapshot();
+        let svc = snap.service("svc").unwrap();
+        assert_eq!(svc.admission_queue_depth, 1, "gauge holds the last value");
+        assert_eq!(svc.admission_queue_peak, 7, "peak is the high-water mark");
     }
 
     #[test]

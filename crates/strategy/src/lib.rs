@@ -70,6 +70,7 @@ pub mod compose;
 pub mod enumerate;
 pub mod error;
 pub mod estimate;
+pub mod exec;
 pub mod expr;
 pub mod generate;
 pub mod pareto;
@@ -81,6 +82,7 @@ pub mod utility;
 pub use enumerate::StrategyIter;
 pub use error::{BuildError, EstimateError, GenerateError, ParseError, QosError};
 pub use estimate::{Algorithm1, Estimator, Folding};
+pub use exec::{CompletionPolicy, PruneReason};
 pub use expr::{Node, Strategy};
 pub use generate::{Generated, Generator, GeneratorBuilder, Method, SynthesisReport};
 pub use plan_cache::{PlanCache, PlanCacheConfig, PlanCacheStats, PlanSource};

@@ -32,6 +32,11 @@
 //!                     previous slot's winner
 //!   --quantize Q      run/stats: plan-cache key quantization step for
 //!                     observed QoS values (default 0 = exact match)
+//!   --max-in-flight N run/stats: concurrent requests per service
+//!                     (default 0 = unlimited); extras queue, then shed
+//!   --deadline-ms D   run/stats: per-request deadline in virtual
+//!                     milliseconds; strategy legs not yet started when it
+//!                     passes are pruned
 //!   --trace           run: stream telemetry events as JSON lines
 //!
 //! examples:
@@ -71,6 +76,8 @@ struct Options {
     quorum: Option<usize>,
     plan_cache: bool,
     quantize: f64,
+    max_in_flight: usize,
+    deadline_ms: Option<u64>,
     trace: bool,
 }
 
@@ -91,6 +98,8 @@ impl Default for Options {
             quorum: None,
             plan_cache: false,
             quantize: 0.0,
+            max_in_flight: 0,
+            deadline_ms: None,
             trace: false,
         }
     }
@@ -162,6 +171,18 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
                     .parse()
                     .map_err(|e| format!("--quantize: {e}"))?
             }
+            "--max-in-flight" => {
+                options.max_in_flight = value("--max-in-flight")?
+                    .parse()
+                    .map_err(|e| format!("--max-in-flight: {e}"))?
+            }
+            "--deadline-ms" => {
+                options.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("--deadline-ms: {e}"))?,
+                )
+            }
             "--trace" => options.trace = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             positional if command.is_none() => command = Some(positional.to_string()),
@@ -214,6 +235,9 @@ fn build_harness(options: &Options) -> Result<Harness, String> {
     if !options.quantize.is_finite() || options.quantize < 0.0 {
         return Err("--quantize must be a finite value >= 0".into());
     }
+    if options.deadline_ms == Some(0) {
+        return Err("--deadline-ms must be at least 1".into());
+    }
     let requirements = requirements(options)?;
     let mut specs = Vec::new();
     let mut builder = Harness::builder();
@@ -242,6 +266,8 @@ fn build_harness(options: &Options) -> Result<Harness, String> {
         generator_warm_start: options.plan_cache,
         plan_cache: options.plan_cache,
         plan_quantize: options.quantize,
+        max_in_flight: options.max_in_flight,
+        request_deadline: options.deadline_ms.map(Duration::from_millis),
         ..GatewayConfig::default()
     };
     Ok(builder.config(config).script(script).build())
@@ -624,6 +650,56 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_admission_flags() {
+        let (_, _, options) = parse_args(&args(&[
+            "run",
+            "--ms",
+            "50,5,90",
+            "--max-in-flight",
+            "2",
+            "--deadline-ms",
+            "25",
+        ]))
+        .unwrap();
+        assert_eq!(options.max_in_flight, 2);
+        assert_eq!(options.deadline_ms, Some(25));
+        let (_, _, options) = parse_args(&args(&["run", "--ms", "50,5,90"])).unwrap();
+        assert_eq!(options.max_in_flight, 0, "unlimited by default");
+        assert_eq!(options.deadline_ms, None, "no deadline by default");
+        assert!(parse_args(&args(&["run", "--max-in-flight", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "--max-in-flight"])).is_err());
+        assert!(parse_args(&args(&["run", "--deadline-ms", "1.5"])).is_err());
+        assert!(parse_args(&args(&["run", "--deadline-ms"])).is_err());
+    }
+
+    #[test]
+    fn bounded_gateway_run_still_serves() {
+        // With admission bounds and a generous deadline the sequential CLI
+        // driver never queues or sheds: the run is identical to unbounded.
+        let options = Options {
+            triples: vec![(50.0, 5.0, 95.0), (50.0, 8.0, 95.0)],
+            require: (200.0, 100.0, 50.0),
+            invocations: 12,
+            slot_size: 4,
+            max_in_flight: 1,
+            deadline_ms: Some(1_000),
+            ..Options::default()
+        };
+        let (harness, successes) = drive_gateway(&options, false).unwrap();
+        let unbounded = Options {
+            max_in_flight: 0,
+            deadline_ms: None,
+            ..options
+        };
+        let (_, baseline) = drive_gateway(&unbounded, false).unwrap();
+        assert_eq!(successes, baseline);
+        let snapshot = harness.telemetry().snapshot();
+        let service = snapshot.service("cli-service").unwrap();
+        assert_eq!(service.requests_shed, 0);
+        assert_eq!(service.deadline_exceeded, 0);
+    }
+
+    #[test]
     fn parse_args_plan_cache_flags() {
         let (_, _, options) = parse_args(&args(&[
             "run",
@@ -739,6 +815,9 @@ mod tests {
         assert!(build_harness(&options).is_err(), "negative quantum");
         options.quantize = f64::NAN;
         assert!(build_harness(&options).is_err(), "non-finite quantum");
+        options.quantize = 0.0;
+        options.deadline_ms = Some(0);
+        assert!(build_harness(&options).is_err(), "zero deadline");
     }
 
     #[test]
