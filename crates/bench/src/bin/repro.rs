@@ -17,6 +17,7 @@
 //!   bench-synth   synthesis engine: baseline vs pruned/parallel exhaustive search
 //!   bench-replan  slot re-planning: cold vs warm-start vs plan-cache
 //!   bench-throughput  gateway concurrency: N clients, admission control, worker pool
+//!   bench-scenarios   adversarial scenario pack: storms, flash crowds, churn + QoS gate
 //!   all           everything above
 //!
 //! options:
@@ -200,12 +201,17 @@ fn run_experiment(name: &str, options: &Options) -> std::io::Result<bool> {
         "bench-throughput" => {
             qce_bench::throughput::run(reports, std::path::Path::new("BENCH_throughput.json"), 8)?
         }
+        "bench-scenarios" => qce_bench::scenarios::run(
+            reports,
+            std::path::Path::new("BENCH_scenarios.json"),
+            options.per_slot / 2,
+        )?,
         _ => return Ok(false),
     }
     Ok(true)
 }
 
-const ALL: [&str; 13] = [
+const ALL: [&str; 14] = [
     "table1",
     "table2",
     "fig5",
@@ -219,6 +225,7 @@ const ALL: [&str; 13] = [
     "bench-synth",
     "bench-replan",
     "bench-throughput",
+    "bench-scenarios",
 ];
 
 fn main() -> ExitCode {
@@ -228,7 +235,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|bench-replan|bench-throughput|all> [options]"
+                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|bench-replan|bench-throughput|bench-scenarios|all> [options]"
             );
             return ExitCode::FAILURE;
         }
@@ -315,6 +322,6 @@ mod tests {
         for name in ALL {
             assert_ne!(name, "all");
         }
-        assert_eq!(ALL.len(), 13);
+        assert_eq!(ALL.len(), 14);
     }
 }

@@ -21,6 +21,7 @@
 //! | [`synth`] | synthesis-engine benchmark — baseline vs pruned/parallel search |
 //! | [`replan`] | slot re-planning benchmark — cold vs warm-start vs plan-cache |
 //! | [`throughput`] | gateway throughput — concurrent clients, admission control, worker pool |
+//! | [`scenarios`] | adversarial scenario pack — storms, flash crowds, churn + QoS-consistency gate |
 //!
 //! Reports are printed to the console and written as TSV under `reports/`.
 //!
@@ -42,6 +43,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod replan;
 pub mod report;
+pub mod scenarios;
 pub mod synth;
 pub mod table1;
 pub mod table2;

@@ -1,0 +1,622 @@
+//! `bench-scenarios`: the adversarial scenario pack and its
+//! QoS-consistency gate.
+//!
+//! A curated pack of five scenarios — diurnal load, a flash crowd against
+//! bounded admission, a correlated total-blackout storm, device churn, and
+//! a heterogeneous three-service market — is replayed through the
+//! [`scenario`](qce_runtime::scenario) runner on virtual time (zero real
+//! sleeps). For each scenario the bench reports per-slot requirement
+//! satisfaction rate, shed rate, p99 latency, and post-storm adaptation
+//! lag, then enforces committed floors:
+//!
+//! * every scenario is run **twice** and must produce identical outcomes
+//!   (the determinism gate: same seed ⇒ same per-slot metrics);
+//! * per-scenario metric floors (minimum satisfaction, maximum shed rate,
+//!   maximum adaptation lag in slots, maximum p99) must hold.
+//!
+//! Artifacts — `reports/bench_scenarios.tsv` and the committed
+//! `BENCH_scenarios.json` — are written *before* the gate is evaluated, so
+//! a failing run still leaves the evidence on disk; the gate then returns
+//! a non-zero exit for CI.
+//!
+//! `QCE_SCENARIOS_MIN_SATISFACTION` overrides every scenario's minimum
+//! overall satisfaction floor (CI uses an impossible `1.1` to prove the
+//! gate trips).
+
+use std::io;
+use std::path::Path;
+
+use qce_runtime::scenario::{
+    run_scenario, Churn, GatewayKnobs, LoadPhase, MsDef, Require, Scenario, ScenarioOutcome,
+    ServiceDef, Storm,
+};
+
+use crate::report::{fmt_f, fmt_pct, Report};
+
+/// The satisfaction level a storm must recover to, and within how many
+/// slots of the storm clearing (the adaptation-lag gate).
+const RECOVERY_FLOOR: f64 = 0.8;
+const MAX_ADAPTATION_LAG: u32 = 2;
+
+/// One scenario plus the floors its outcome must clear.
+struct Case {
+    scenario: Scenario,
+    /// Minimum overall requirement-satisfaction rate.
+    min_satisfaction: f64,
+    /// Maximum overall shed rate.
+    max_shed_rate: f64,
+    /// Maximum per-slot p99 latency (virtual ms) across non-storm slots.
+    max_p99_ms: f64,
+}
+
+fn ms(name: &str, cost: f64, latency_ms: f64, reliability: f64) -> MsDef {
+    MsDef {
+        name: name.to_string(),
+        cost,
+        latency_ms,
+        reliability,
+    }
+}
+
+fn service(
+    name: &str,
+    microservices: Vec<MsDef>,
+    require: Require,
+    quorum: Option<usize>,
+) -> ServiceDef {
+    ServiceDef {
+        name: name.to_string(),
+        microservices,
+        require,
+        penalty_k: None,
+        quorum,
+    }
+}
+
+/// Diurnal curve: a lull, a daytime peak at 2x, an evening tail. Strictly
+/// sequential issue (burst 0), fractional reliabilities allowed.
+///
+/// Slot lengths throughout the pack scale with `rps`: the replayer issues
+/// sequential requests back to back on virtual time, so a slot must be
+/// long enough to *hold* its own load (peak requests x worst join
+/// latency) or the tail drifts into the next slot's wall-clock window and
+/// storm alignment is lost.
+fn diurnal(rps: u32) -> Case {
+    Case {
+        scenario: Scenario {
+            name: "diurnal".to_string(),
+            seed: 11,
+            slots: 12,
+            slot_ms: u64::from(rps) * 16,
+            requests_per_slot: rps,
+            load: vec![
+                LoadPhase {
+                    from_slot: 0,
+                    to_slot: 4,
+                    multiplier: 0.5,
+                    burst: 0,
+                },
+                LoadPhase {
+                    from_slot: 4,
+                    to_slot: 9,
+                    multiplier: 2.0,
+                    burst: 0,
+                },
+                LoadPhase {
+                    from_slot: 9,
+                    to_slot: 12,
+                    multiplier: 0.75,
+                    burst: 0,
+                },
+            ],
+            services: vec![service(
+                "temp",
+                vec![
+                    ms("read", 20.0, 2.0, 0.95),
+                    ms("est", 10.0, 4.0, 0.9),
+                    ms("loc", 5.0, 8.0, 0.85),
+                ],
+                Require {
+                    cost: 60.0,
+                    latency_ms: 40.0,
+                    reliability: 0.8,
+                },
+                None,
+            )],
+            storms: Vec::new(),
+            churn: Vec::new(),
+            background: None,
+            gateway: GatewayKnobs::default(),
+        },
+        min_satisfaction: 0.95,
+        max_shed_rate: 0.0,
+        max_p99_ms: 40.0,
+    }
+}
+
+/// Flash crowd: 4x load issued in concurrent batches of 8 against a
+/// 2-in-flight / 2-deep admission gate, so every batch sheds exactly its
+/// overflow (burst phases require 0/1 reliabilities).
+fn flash_crowd(rps: u32) -> Case {
+    Case {
+        scenario: Scenario {
+            name: "flash-crowd".to_string(),
+            seed: 23,
+            slots: 6,
+            slot_ms: u64::from(rps) * 8,
+            requests_per_slot: rps,
+            load: vec![LoadPhase {
+                from_slot: 2,
+                to_slot: 4,
+                multiplier: 4.0,
+                burst: 8,
+            }],
+            services: vec![service(
+                "relay",
+                vec![ms("fast", 10.0, 2.0, 1.0), ms("slow", 5.0, 6.0, 1.0)],
+                Require {
+                    cost: 40.0,
+                    latency_ms: 30.0,
+                    reliability: 0.9,
+                },
+                None,
+            )],
+            storms: Vec::new(),
+            churn: Vec::new(),
+            background: None,
+            gateway: GatewayKnobs {
+                max_in_flight: Some(2),
+                admission_queue: Some(2),
+                ..GatewayKnobs::default()
+            },
+        },
+        min_satisfaction: 0.5,
+        max_shed_rate: 0.5,
+        max_p99_ms: 30.0,
+    }
+}
+
+/// Correlated total blackout: both providers of the service share a radio
+/// link that dies for slots 2–3. The gate is the adaptation lag — once
+/// the storm clears, satisfaction must recover within
+/// [`MAX_ADAPTATION_LAG`] slots.
+fn storm_blackout(rps: u32) -> Case {
+    let slot_ms = u64::from(rps) * 8;
+    Case {
+        scenario: Scenario {
+            name: "storm-blackout".to_string(),
+            seed: 37,
+            slots: 8,
+            slot_ms,
+            requests_per_slot: rps,
+            load: Vec::new(),
+            services: vec![service(
+                "sense",
+                vec![ms("a", 10.0, 2.0, 1.0), ms("b", 20.0, 4.0, 1.0)],
+                Require {
+                    cost: 60.0,
+                    latency_ms: 30.0,
+                    reliability: 0.9,
+                },
+                None,
+            )],
+            storms: vec![Storm {
+                name: "radio-outage".to_string(),
+                group: vec!["sense/a".to_string(), "sense/b".to_string()],
+                from_ms: 2 * slot_ms,
+                to_ms: 4 * slot_ms,
+            }],
+            churn: Vec::new(),
+            background: None,
+            gateway: GatewayKnobs {
+                collector_window: Some(20),
+                ..GatewayKnobs::default()
+            },
+        },
+        min_satisfaction: 0.5,
+        max_shed_rate: 0.0,
+        max_p99_ms: 30.0,
+    }
+}
+
+/// Device churn: the cheap provider leaves mid-run and re-joins two slots
+/// later; the service must degrade to the survivor, not fail.
+fn churn(rps: u32) -> Case {
+    let slot_ms = u64::from(rps) * 8;
+    Case {
+        scenario: Scenario {
+            name: "churn".to_string(),
+            seed: 41,
+            slots: 6,
+            slot_ms,
+            requests_per_slot: rps,
+            load: Vec::new(),
+            services: vec![service(
+                "track",
+                vec![ms("cheap", 5.0, 3.0, 0.95), ms("dear", 25.0, 2.0, 0.99)],
+                Require {
+                    cost: 40.0,
+                    latency_ms: 30.0,
+                    reliability: 0.9,
+                },
+                None,
+            )],
+            storms: Vec::new(),
+            churn: vec![Churn {
+                provider: "track/cheap".to_string(),
+                leave_ms: 3 * slot_ms / 2,
+                rejoin_ms: Some(7 * slot_ms / 2),
+            }],
+            background: None,
+            gateway: GatewayKnobs::default(),
+        },
+        min_satisfaction: 0.7,
+        max_shed_rate: 0.0,
+        max_p99_ms: 30.0,
+    }
+}
+
+/// Heterogeneous market: three services with different M, mixed QoS
+/// envelopes, and one quorum service, all sharing the gateway.
+fn heterogeneous(rps: u32) -> Case {
+    Case {
+        scenario: Scenario {
+            name: "heterogeneous".to_string(),
+            seed: 53,
+            slots: 6,
+            slot_ms: u64::from(rps) * 32,
+            requests_per_slot: rps,
+            load: Vec::new(),
+            services: vec![
+                service(
+                    "thin",
+                    vec![ms("only", 10.0, 2.0, 0.95)],
+                    Require {
+                        cost: 20.0,
+                        latency_ms: 20.0,
+                        reliability: 0.9,
+                    },
+                    None,
+                ),
+                service(
+                    "wide",
+                    vec![
+                        ms("w0", 5.0, 2.0, 0.9),
+                        ms("w1", 10.0, 4.0, 0.9),
+                        ms("w2", 15.0, 6.0, 0.9),
+                        ms("w3", 20.0, 8.0, 0.9),
+                    ],
+                    Require {
+                        cost: 80.0,
+                        latency_ms: 40.0,
+                        reliability: 0.85,
+                    },
+                    None,
+                ),
+                service(
+                    "agree",
+                    vec![
+                        ms("q0", 10.0, 2.0, 1.0),
+                        ms("q1", 10.0, 4.0, 1.0),
+                        ms("q2", 10.0, 6.0, 1.0),
+                    ],
+                    Require {
+                        cost: 60.0,
+                        latency_ms: 30.0,
+                        reliability: 0.9,
+                    },
+                    Some(2),
+                ),
+            ],
+            storms: Vec::new(),
+            churn: Vec::new(),
+            background: None,
+            gateway: GatewayKnobs::default(),
+        },
+        min_satisfaction: 0.85,
+        max_shed_rate: 0.0,
+        max_p99_ms: 40.0,
+    }
+}
+
+fn pack(rps: u32) -> Vec<Case> {
+    vec![
+        diurnal(rps),
+        flash_crowd(rps),
+        storm_blackout(rps),
+        churn(rps),
+        heterogeneous(rps),
+    ]
+}
+
+/// Worst (largest) per-slot p99 across slots outside every storm span.
+fn worst_calm_p99(outcome: &ScenarioOutcome) -> f64 {
+    outcome
+        .per_slot
+        .iter()
+        .filter(|m| m.requests > 0 && !outcome.is_storm_slot(m.slot))
+        .map(|m| m.p99_latency_ms)
+        .fold(0.0, f64::max)
+}
+
+fn outcome_json(outcome: &ScenarioOutcome) -> String {
+    let lags: Vec<String> = outcome
+        .adaptation_lags(RECOVERY_FLOOR)
+        .into_iter()
+        .map(|(storm, lag)| {
+            format!(
+                "{{\"storm\": \"{storm}\", \"lag_slots\": {}}}",
+                lag.map_or_else(|| "null".to_string(), |l| l.to_string())
+            )
+        })
+        .collect();
+    let slots: Vec<String> = outcome
+        .per_slot
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"slot\": {}, \"requests\": {}, \"satisfied\": {}, \"shed\": {}, \
+                 \"failed\": {}, \"satisfaction\": {}, \"p99_ms\": {}, \"mean_cost\": {}, \
+                 \"storm\": {}}}",
+                m.slot,
+                m.requests,
+                m.satisfied,
+                m.shed,
+                m.failed,
+                fmt_f(m.satisfaction_rate, 4),
+                fmt_f(m.p99_latency_ms, 3),
+                fmt_f(m.mean_cost, 3),
+                outcome.is_storm_slot(m.slot),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n    \"name\": \"{}\",\n    \"requests\": {},\n    \"satisfied\": {},\n    \
+         \"shed\": {},\n    \"failed\": {},\n    \"satisfaction_rate\": {},\n    \
+         \"shed_rate\": {},\n    \"worst_calm_p99_ms\": {},\n    \
+         \"adaptation_lags\": [{}],\n    \"per_slot\": [\n      {}\n    ]\n  }}",
+        outcome.name,
+        outcome.total_requests,
+        outcome.total_satisfied,
+        outcome.total_shed,
+        outcome.total_failed,
+        fmt_f(outcome.satisfaction_rate(), 4),
+        fmt_f(outcome.shed_rate(), 4),
+        fmt_f(worst_calm_p99(outcome), 3),
+        lags.join(", "),
+        slots.join(",\n      "),
+    )
+}
+
+/// Checks one outcome against its case's floors, appending any violation.
+fn check_floors(case: &Case, outcome: &ScenarioOutcome, violations: &mut Vec<String>) {
+    let name = &outcome.name;
+    let min_satisfaction = std::env::var("QCE_SCENARIOS_MIN_SATISFACTION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(case.min_satisfaction);
+    if outcome.satisfaction_rate() < min_satisfaction {
+        violations.push(format!(
+            "{name}: satisfaction {} below floor {}",
+            fmt_f(outcome.satisfaction_rate(), 4),
+            fmt_f(min_satisfaction, 4)
+        ));
+    }
+    if outcome.shed_rate() > case.max_shed_rate {
+        violations.push(format!(
+            "{name}: shed rate {} above ceiling {}",
+            fmt_f(outcome.shed_rate(), 4),
+            fmt_f(case.max_shed_rate, 4)
+        ));
+    }
+    let p99 = worst_calm_p99(outcome);
+    if p99 > case.max_p99_ms {
+        violations.push(format!(
+            "{name}: calm-slot p99 {} ms above ceiling {} ms",
+            fmt_f(p99, 3),
+            fmt_f(case.max_p99_ms, 3)
+        ));
+    }
+    for (storm, lag) in outcome.adaptation_lags(RECOVERY_FLOOR) {
+        match lag {
+            Some(lag) if lag <= MAX_ADAPTATION_LAG => {}
+            Some(lag) => violations.push(format!(
+                "{name}: storm {storm} adaptation lag {lag} slots exceeds {MAX_ADAPTATION_LAG}"
+            )),
+            None => violations.push(format!(
+                "{name}: satisfaction never recovered to {RECOVERY_FLOOR} after storm {storm}"
+            )),
+        }
+    }
+}
+
+/// Replays the scenario pack (each scenario twice, checking determinism),
+/// writes `reports/bench_scenarios.tsv` plus `json_out` (committed as
+/// `BENCH_scenarios.json`).
+///
+/// `rps` scales the base `requests_per_slot` of every scenario; the
+/// committed artifact uses the default 50 (≈ 2 900 requests across the
+/// pack).
+///
+/// # Errors
+///
+/// Returns an I/O error if an artifact cannot be written — or, so CI can
+/// key on the exit code, if a replay was non-deterministic or a metric
+/// floor was violated. Floors are evaluated *after* the artifacts are
+/// written.
+pub fn run(reports: &Path, json_out: &Path, rps: u32) -> io::Result<()> {
+    let rps = rps.max(1);
+    let cases = pack(rps);
+
+    let mut outcomes = Vec::with_capacity(cases.len());
+    let mut violations = Vec::new();
+    for case in &cases {
+        let first = run_scenario(&case.scenario)
+            .map_err(|e| io::Error::other(format!("{}: {e}", case.scenario.name)))?
+            .outcome;
+        let second = run_scenario(&case.scenario)
+            .map_err(|e| io::Error::other(format!("{}: {e}", case.scenario.name)))?
+            .outcome;
+        if first != second {
+            violations.push(format!(
+                "{}: replay diverged between two runs of the same seed",
+                case.scenario.name
+            ));
+        }
+        outcomes.push(first);
+    }
+
+    let mut report = Report::new(
+        format!("bench-scenarios: adversarial pack, {rps} base requests/slot"),
+        &[
+            "scenario",
+            "slot",
+            "requests",
+            "satisfied",
+            "shed",
+            "failed",
+            "satisfaction",
+            "p99_ms",
+            "mean_cost",
+            "storm",
+        ],
+    );
+    for outcome in &outcomes {
+        for m in &outcome.per_slot {
+            report.row([
+                outcome.name.clone(),
+                m.slot.to_string(),
+                m.requests.to_string(),
+                m.satisfied.to_string(),
+                m.shed.to_string(),
+                m.failed.to_string(),
+                fmt_f(m.satisfaction_rate, 4),
+                fmt_f(m.p99_latency_ms, 3),
+                fmt_f(m.mean_cost, 3),
+                outcome.is_storm_slot(m.slot).to_string(),
+            ]);
+        }
+    }
+    for (case, outcome) in cases.iter().zip(&outcomes) {
+        report.note(format!(
+            "{}: {} requests, satisfaction {} (floor {}), shed {} (ceiling {})",
+            outcome.name,
+            outcome.total_requests,
+            fmt_pct(outcome.satisfaction_rate()),
+            fmt_pct(case.min_satisfaction),
+            fmt_pct(outcome.shed_rate()),
+            fmt_pct(case.max_shed_rate),
+        ));
+    }
+    report.note(format!(
+        "determinism gate: every scenario replayed twice with identical outcomes; \
+         adaptation-lag gate: recovery to {RECOVERY_FLOOR} within {MAX_ADAPTATION_LAG} \
+         slots of each storm clearing"
+    ));
+    report.emit(reports, "bench_scenarios")?;
+
+    let total: u64 = outcomes.iter().map(|o| o.total_requests).sum();
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench-scenarios\",\n  \"base_requests_per_slot\": {rps},\n  \
+         \"total_requests\": {total},\n  \"recovery_floor\": {},\n  \
+         \"max_adaptation_lag_slots\": {MAX_ADAPTATION_LAG},\n  \"scenarios\": [\n  {}\n  ]\n}}\n",
+        fmt_f(RECOVERY_FLOOR, 2),
+        outcomes
+            .iter()
+            .map(outcome_json)
+            .collect::<Vec<_>>()
+            .join(",\n  "),
+    );
+    if let Some(parent) = json_out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(json_out, json)?;
+    println!("bench-scenarios: wrote {}", json_out.display());
+
+    for (case, outcome) in cases.iter().zip(&outcomes) {
+        check_floors(case, outcome, &mut violations);
+    }
+    if !violations.is_empty() {
+        return Err(io::Error::other(format!(
+            "bench-scenarios: {} gate violation(s): {}",
+            violations.len(),
+            violations.join("; ")
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_is_valid_and_big_enough() {
+        for case in pack(50) {
+            case.scenario
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", case.scenario.name));
+        }
+        // The default pack drives >= 10^3 virtual clients end to end.
+        let total: u64 = pack(50)
+            .iter()
+            .map(|c| {
+                (0..c.scenario.slots)
+                    .map(|s| u64::from(c.scenario.requests_in_slot(s)))
+                    .sum::<u64>()
+                    * c.scenario.services.len() as u64
+            })
+            .sum();
+        assert!(total >= 1_000, "pack too small: {total}");
+    }
+
+    #[test]
+    fn storm_case_recovers_within_the_lag_gate() {
+        let case = storm_blackout(10);
+        let outcome = run_scenario(&case.scenario).unwrap().outcome;
+        let lags = outcome.adaptation_lags(RECOVERY_FLOOR);
+        assert_eq!(lags.len(), 1);
+        assert!(
+            matches!(lags[0].1, Some(lag) if lag <= MAX_ADAPTATION_LAG),
+            "storm must clear within the gate: {lags:?}"
+        );
+        let mut violations = Vec::new();
+        check_floors(&case, &outcome, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn run_writes_artifacts_and_passes_floors() {
+        let dir = std::env::temp_dir().join(format!("qce-scenarios-{}", std::process::id()));
+        let json = dir.join("BENCH_scenarios.json");
+        run(&dir, &json, 6).unwrap();
+        let tsv = std::fs::read_to_string(dir.join("bench_scenarios.tsv")).unwrap();
+        assert!(tsv.contains("flash-crowd"));
+        assert!(tsv.contains("storm-blackout"));
+        let first = std::fs::read_to_string(&json).unwrap();
+        assert!(first.contains("\"adaptation_lags\""));
+        // Same seed, same pack: the JSON artifact is byte-identical.
+        run(&dir, &json, 6).unwrap();
+        let second = std::fs::read_to_string(&json).unwrap();
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn impossible_floor_trips_the_gate() {
+        let case = churn(4);
+        let outcome = run_scenario(&case.scenario).unwrap().outcome;
+        let strict = Case {
+            min_satisfaction: 1.1,
+            ..case
+        };
+        let mut violations = Vec::new();
+        check_floors(&strict, &outcome, &mut violations);
+        assert!(
+            violations.iter().any(|v| v.contains("below floor")),
+            "{violations:?}"
+        );
+    }
+}

@@ -45,12 +45,44 @@ impl ProviderStats {
     ///
     /// # Panics
     ///
-    /// Panics if the recorded values are out of domain, which cannot happen
-    /// for stats produced by a [`Collector`].
+    /// Panics if the recorded values are out of domain. Prefer
+    /// [`ProviderStats::checked_qos`] anywhere a degenerate window (e.g. a
+    /// provider that advertised a non-finite cost) must not take the
+    /// gateway down.
     #[must_use]
     pub fn as_qos(&self) -> Qos {
-        Qos::new(self.mean_cost, self.mean_latency_ms, self.success_rate)
+        self.checked_qos()
             .expect("recorded statistics are in domain")
+    }
+
+    /// Converts the stats into the estimator's QoS representation, or
+    /// `None` when the window's aggregates are out of the QoS domain
+    /// (non-finite or negative mean cost/latency).
+    ///
+    /// A window can be degenerate even though every [`ExecutionRecord`] was
+    /// accepted: records carry raw `f64` costs, so one invocation of a
+    /// provider advertising `NaN` poisons the mean. Planning must treat
+    /// such a window like "no history" rather than panic or leak `NaN`
+    /// into `plan_slot` and the plan-cache quantizer.
+    #[must_use]
+    pub fn checked_qos(&self) -> Option<Qos> {
+        Qos::new(self.mean_cost, self.mean_latency_ms, self.success_rate).ok()
+    }
+}
+
+/// The QoS to assume for a provider with no (usable) history: the script's
+/// prior with the provider's advertised cost substituted — but only when
+/// that advertised cost is in the QoS domain. Devices self-report costs, so
+/// a hostile or buggy registration (`NaN`, `-1.0`, `∞`) must not bypass
+/// [`Qos::new`] validation via struct-update and reach the planner.
+pub(crate) fn prior_with_advertised_cost(prior: &Qos, advertised: f64) -> Qos {
+    if advertised.is_finite() && advertised >= 0.0 {
+        Qos {
+            cost: advertised,
+            ..*prior
+        }
+    } else {
+        *prior
     }
 }
 
@@ -137,10 +169,14 @@ impl Collector {
 
     /// The QoS the generator should assume for `provider_id`: windowed
     /// measurements when available, the script's `prior` otherwise.
+    ///
+    /// Total: a degenerate window (see [`ProviderStats::checked_qos`])
+    /// falls back to the prior instead of panicking, so a total-blackout
+    /// slot or a poisoned cost can never abort planning.
     #[must_use]
     pub fn qos_or_prior(&self, provider_id: &str, prior: &Qos) -> Qos {
         self.stats(provider_id)
-            .map(|s| s.as_qos())
+            .and_then(|s| s.checked_qos())
             .unwrap_or(*prior)
     }
 
@@ -268,6 +304,36 @@ mod tests {
         assert!(c.stats("q").is_some());
         c.reset_all();
         assert!(c.provider_ids().is_empty());
+    }
+
+    #[test]
+    fn poisoned_cost_window_falls_back_to_prior() {
+        // Regression (scenario suite): a provider that advertises a NaN
+        // cost gets that cost recorded verbatim by the engine; the window
+        // mean is then NaN. `qos_or_prior` used to call the panicking
+        // `as_qos()` here, taking the whole planning path down during a
+        // blackout-storm slot. It must fall back to the prior instead.
+        let c = Collector::new(10);
+        let prior = Qos::new(50.0, 60.0, 0.7).unwrap();
+        c.record("p", rec(false, 0, f64::NAN));
+        let s = c.stats("p").unwrap();
+        assert!(s.mean_cost.is_nan());
+        assert!(s.checked_qos().is_none());
+        assert_eq!(c.qos_or_prior("p", &prior), prior);
+
+        // Same for an infinite advertised cost.
+        c.reset("p");
+        c.record("p", rec(true, 5, f64::INFINITY));
+        assert_eq!(c.qos_or_prior("p", &prior), prior);
+    }
+
+    #[test]
+    fn advertised_cost_substitution_is_validated() {
+        let prior = Qos::new(50.0, 60.0, 0.7).unwrap();
+        assert_eq!(prior_with_advertised_cost(&prior, 5.0).cost, 5.0);
+        assert_eq!(prior_with_advertised_cost(&prior, f64::NAN).cost, 50.0);
+        assert_eq!(prior_with_advertised_cost(&prior, -1.0).cost, 50.0);
+        assert_eq!(prior_with_advertised_cost(&prior, f64::INFINITY).cost, 50.0);
     }
 
     #[test]

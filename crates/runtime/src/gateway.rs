@@ -30,7 +30,7 @@ use crate::generator::{Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 use crate::market::Market;
 use crate::message::{Invocation, RuntimeError};
 use crate::registry::Registry;
-use crate::script::ServiceScript;
+use crate::script::{MsSpec, ServiceScript};
 use crate::telemetry::Telemetry;
 
 /// Gateway configuration knobs.
@@ -182,6 +182,11 @@ pub struct SlotRecord {
 struct ActivePlan {
     plan: SlotPlan,
     providers: Vec<Arc<dyn Provider>>,
+    /// Names of the microservices the plan was synthesized over, aligned
+    /// with the strategy's indices. Usually the script's full name list,
+    /// but a subset when providers for some capabilities were missing at
+    /// planning time (the slot plans over what it has).
+    names: Vec<String>,
     advisory: Option<QosAdvisory>,
 }
 
@@ -512,10 +517,7 @@ impl Gateway {
                         return Err(error);
                     }
                 };
-                let strategy_text = active
-                    .plan
-                    .strategy
-                    .to_string_with_names(&state.script.ms_names());
+                let strategy_text = active.plan.strategy.to_string_with_names(&active.names);
                 self.telemetry.record_replan(
                     service_id,
                     state.slot,
@@ -543,12 +545,7 @@ impl Gateway {
             (
                 active.plan.strategy.clone(),
                 active.providers.clone(),
-                state
-                    .script
-                    .ms_names()
-                    .iter()
-                    .map(|s| (*s).to_string())
-                    .collect::<Vec<_>>(),
+                active.names.clone(),
                 state.slot,
                 active.plan.origin.clone(),
                 active.advisory.clone(),
@@ -664,23 +661,50 @@ impl Gateway {
                 reason: e.to_string(),
             }
         })?;
-        let providers: Vec<Arc<dyn Provider>> = state
-            .script
-            .microservices
-            .iter()
-            .map(|spec| {
-                self.registry.best_provider(
-                    &spec.capability,
-                    &spec.prior,
-                    &self.collector,
-                    utility,
-                    &state.script.requirements,
-                )
-            })
-            .collect::<Result<_, _>>()?;
+        // Resolve each equivalent microservice to its best provider.
+        // Capabilities with no live provider (device churn) are dropped
+        // from this slot's plan instead of failing the whole service — the
+        // gateway plans over what it has, as long as anything survives.
+        let mut specs: Vec<MsSpec> = Vec::with_capacity(state.script.microservices.len());
+        let mut providers: Vec<Arc<dyn Provider>> =
+            Vec::with_capacity(state.script.microservices.len());
+        let mut missing: Option<RuntimeError> = None;
+        for spec in &state.script.microservices {
+            match self.registry.best_provider(
+                &spec.capability,
+                &spec.prior,
+                &self.collector,
+                utility,
+                &state.script.requirements,
+            ) {
+                Ok(provider) => {
+                    specs.push(spec.clone());
+                    providers.push(provider);
+                }
+                Err(error @ RuntimeError::NoProvider { .. }) => {
+                    if missing.is_none() {
+                        missing = Some(error);
+                    }
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        if providers.is_empty() {
+            return Err(missing.expect("no providers implies a missing capability"));
+        }
+        let reduced_script;
+        let script = if specs.len() == state.script.microservices.len() {
+            &state.script
+        } else {
+            reduced_script = ServiceScript {
+                microservices: specs,
+                ..state.script.clone()
+            };
+            &reduced_script
+        };
 
         let plan = state.planner.plan_slot(
-            &state.script,
+            script,
             &providers,
             &self.collector,
             state.slot,
@@ -700,6 +724,7 @@ impl Gateway {
         });
 
         Ok(ActivePlan {
+            names: script.ms_names().iter().map(|s| (*s).to_string()).collect(),
             plan,
             providers,
             advisory,
@@ -746,12 +771,7 @@ impl Gateway {
         let guard = entry.cell.lock();
         let state = guard.as_ref()?;
         let active = state.active.as_ref()?;
-        Some(
-            active
-                .plan
-                .strategy
-                .to_string_with_names(&state.script.ms_names()),
-        )
+        Some(active.plan.strategy.to_string_with_names(&active.names))
     }
 
     /// Drops the cached script and planning state of `service_id` (e.g.
@@ -779,6 +799,38 @@ impl Gateway {
                 }
             }
         }
+    }
+
+    /// Device churn: a provider left the environment mid-run. It is
+    /// deregistered and its collector window is reset (stale observations
+    /// must not outlive the device — when it later re-joins, its history
+    /// starts fresh). Requests already holding the provider keep their
+    /// `Arc` and run to completion per Assumption 2; subsequent slots
+    /// re-resolve providers and will no longer select it.
+    ///
+    /// Returns `true` if the provider was registered. Emits an
+    /// [`EventKind::ProviderLeft`](crate::EventKind::ProviderLeft) marker
+    /// only when something was actually removed, so repeated departures
+    /// are not double-counted.
+    pub fn provider_left(&self, provider_id: &str) -> bool {
+        let removed = self.registry.deregister(provider_id);
+        if removed {
+            self.collector.reset(provider_id);
+            self.telemetry.record_provider_left(provider_id);
+        }
+        removed
+    }
+
+    /// Device churn: a provider joined (or re-joined) the environment. It
+    /// becomes eligible at the next provider resolution — in-flight
+    /// requests keep the providers their plan resolved. The collector
+    /// window is reset so decisions about the re-joined device start from
+    /// its advertised prior rather than pre-departure history.
+    pub fn provider_joined(&self, provider: Arc<dyn Provider>) {
+        let id = provider.id().to_string();
+        self.collector.reset(&id);
+        self.registry.register(provider);
+        self.telemetry.record_provider_rejoined(&id);
     }
 }
 
@@ -982,18 +1034,34 @@ mod tests {
 
     #[test]
     fn failed_replan_does_not_serve_stale_plan() {
-        // Regression: a provider departs right at a slot boundary. plan()
-        // fails after the slot counter was bumped; the previous slot's plan
-        // must NOT keep serving the new slot once planning becomes possible
-        // again.
+        // Regression: every provider departs right at a slot boundary.
+        // plan() fails after the slot counter was bumped; the previous
+        // slot's plan must NOT keep serving the new slot once planning
+        // becomes possible again.
         let gateway = Gateway::new(market_with(script(2)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
         gateway.invoke("temp").unwrap();
         gateway.invoke("temp").unwrap(); // slot 0 exhausted
 
         assert!(gateway.registry().deregister("dev0/read-temp"));
+        assert!(gateway.registry().deregister("dev1/est-temp"));
+        assert!(gateway.registry().deregister("dev2/loc-temp"));
         let error = gateway.invoke("temp").unwrap_err();
         assert!(matches!(error, RuntimeError::NoProvider { .. }));
+        gateway.registry().register(
+            SimulatedProvider::builder("dev1/est-temp", "est-temp")
+                .cost(50.0)
+                .latency(Duration::from_millis(3))
+                .reliability(1.0)
+                .build(),
+        );
+        gateway.registry().register(
+            SimulatedProvider::builder("dev2/loc-temp", "loc-temp")
+                .cost(50.0)
+                .latency(Duration::from_millis(5))
+                .reliability(1.0)
+                .build(),
+        );
 
         // The device comes back; the very next invocation must re-plan for
         // slot 1 instead of replaying slot 0's strategy.
@@ -1023,6 +1091,49 @@ mod tests {
             crate::telemetry::EventKind::ProviderResolutionFailed { service, slot, .. }
                 if service == "temp" && *slot == 1
         )));
+    }
+
+    #[test]
+    fn plan_degrades_to_surviving_microservices_when_one_capability_is_gone() {
+        // Device churn: losing one capability must not take the whole
+        // service down — the next slot plans over what it still has.
+        let gateway = Gateway::new(market_with(script(2)), GatewayConfig::default());
+        register_devices(&gateway, 1.0);
+        gateway.invoke("temp").unwrap();
+        gateway.invoke("temp").unwrap(); // slot 0 exhausted
+
+        assert!(gateway.provider_left("dev0/read-temp"));
+        let response = gateway.invoke("temp").unwrap();
+        assert!(response.success);
+        assert_eq!(response.slot, 1);
+        assert!(
+            !response.strategy_text.contains("readTempSensor"),
+            "departed capability must not appear in the plan: {}",
+            response.strategy_text
+        );
+        assert!(
+            response.strategy_text.contains("estTemp")
+                || response.strategy_text.contains("readLocTemp"),
+            "plan must use surviving microservices: {}",
+            response.strategy_text
+        );
+
+        // The device rejoins; the following slot may use it again.
+        gateway.provider_joined(
+            SimulatedProvider::builder("dev0/read-temp", "read-temp")
+                .cost(50.0)
+                .latency(Duration::from_millis(2))
+                .reliability(1.0)
+                .build(),
+        );
+        gateway.invoke("temp").unwrap(); // slot 1 exhausted
+        let response = gateway.invoke("temp").unwrap();
+        assert!(response.success);
+        assert_eq!(response.slot, 2);
+        let snapshot = gateway.telemetry().snapshot();
+        let provider = snapshot.provider("dev0/read-temp").unwrap();
+        assert_eq!(provider.departures, 1);
+        assert_eq!(provider.rejoins, 1);
     }
 
     #[test]

@@ -110,10 +110,10 @@ pub fn assumed_env(
         .iter()
         .zip(providers)
         .map(|(spec, provider)| {
-            let prior = qce_strategy::Qos {
-                cost: provider.cost(),
-                ..spec.prior
-            };
+            // Advertised costs are self-reported; validate before
+            // substituting so a NaN/∞ registration cannot leak into the
+            // estimator or the plan-cache quantizer key.
+            let prior = crate::collector::prior_with_advertised_cost(&spec.prior, provider.cost());
             collector.qos_or_prior(provider.id(), &prior)
         })
         .collect()
@@ -334,6 +334,45 @@ mod tests {
         assert!((q.latency - 123.0).abs() < 1.0);
         assert_eq!(q.cost, 9.0);
         assert_eq!(q.reliability.value(), 1.0);
+    }
+
+    #[test]
+    fn assumed_env_rejects_non_finite_advertised_cost() {
+        // Regression (scenario suite): the struct-update substitution
+        // `Qos { cost: provider.cost(), .. }` bypassed validation, so a
+        // provider registering a NaN cost put NaN into the assumed QoS
+        // table — from there it reached `plan_slot` and, with quantization
+        // enabled, collapsed onto quantized bucket 0 in the `PlanCache`
+        // key (silent cache collisions). The prior's cost must win.
+        let collector = Collector::new(10);
+        let providers: Vec<Arc<dyn Provider>> = [f64::NAN, f64::INFINITY, -3.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &cost)| {
+                SimulatedProvider::builder(format!("d{i}/c{i}"), format!("c{i}"))
+                    .cost(cost)
+                    .latency(Duration::from_millis(1))
+                    .build() as Arc<dyn Provider>
+            })
+            .collect();
+        let env = assumed_env(&script(), &providers, &collector);
+        for id in 0..3 {
+            let q = env.get(qce_strategy::MsId(id)).unwrap();
+            assert_eq!(q.cost, 50.0, "prior cost substitutes for bad ms{id}");
+        }
+        // And planning over that table stays well-defined.
+        let plan = plan_slot(
+            &script(),
+            &providers,
+            &collector,
+            1,
+            &SynthesisSettings::default(),
+            None,
+        )
+        .unwrap();
+        let estimated = plan.estimated.expect("generated slots carry estimates");
+        assert!(estimated.cost.is_finite());
+        assert!(estimated.latency.is_finite());
     }
 
     #[test]

@@ -29,7 +29,11 @@
 //! * [`execute_with_quorum`] — the paper's future-work extension: require
 //!   `q` agreeing results to outvote malicious devices;
 //! * [`Gateway`] — ties it all together with per-time-slot strategy
-//!   regeneration; [`Client`] adds the Section IV.C advisory protocol.
+//!   regeneration; [`Client`] adds the Section IV.C advisory protocol;
+//! * [`scenario`] — the adversarial scenario suite: a declarative DSL for
+//!   trace-driven workloads (load curves, correlated failure storms,
+//!   device churn), compiled to fault plans and replayed deterministically
+//!   on virtual time.
 //!
 //! ## Quick start
 //!
@@ -90,6 +94,7 @@ pub mod message;
 pub mod pipeline;
 pub mod quorum;
 pub mod registry;
+pub mod scenario;
 pub mod script;
 pub mod telemetry;
 

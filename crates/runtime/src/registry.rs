@@ -110,17 +110,18 @@ impl Registry {
         candidates
             .into_iter()
             .map(|p| {
-                let assumed = collector.stats(p.id()).map_or_else(
-                    || {
-                        // No history: use the script prior but the provider's
-                        // advertised cost (devices register their costs).
-                        Qos {
-                            cost: p.cost(),
-                            ..*prior
-                        }
-                    },
-                    |s| s.as_qos(),
-                );
+                // No (usable) history: use the script prior but the
+                // provider's advertised cost (devices register their
+                // costs). Both the advertised cost and the windowed
+                // aggregates are validated before use — a provider
+                // registering a NaN cost must not produce a NaN utility
+                // and abort selection below.
+                let assumed = collector
+                    .stats(p.id())
+                    .and_then(|s| s.checked_qos())
+                    .unwrap_or_else(|| {
+                        crate::collector::prior_with_advertised_cost(prior, p.cost())
+                    });
                 let score = utility.utility(&assumed, requirements);
                 (p, score)
             })
@@ -261,6 +262,60 @@ mod tests {
             )
             .unwrap();
         assert_eq!(best.id(), "fast/x");
+    }
+
+    #[test]
+    fn nan_advertised_cost_does_not_poison_selection() {
+        // Regression (scenario suite): without history the prior
+        // substitution used struct-update (`Qos { cost: p.cost(), .. }`),
+        // bypassing `Qos::new` validation. A provider registering a NaN
+        // cost then produced a NaN utility and `best_provider` panicked on
+        // `partial_cmp().expect("utilities are finite")` — exactly when a
+        // blackout storm had emptied the collector window.
+        let registry = Registry::new();
+        registry.register(provider("evil/x", "x", f64::NAN));
+        registry.register(provider("good/x", "x", 10.0));
+        let collector = Collector::new(10);
+        let prior = Qos::new(50.0, 50.0, 0.7).unwrap();
+        let best = registry
+            .best_provider(
+                "x",
+                &prior,
+                &collector,
+                UtilityIndex::default(),
+                &requirements(),
+            )
+            .unwrap();
+        assert_eq!(best.id(), "good/x", "finite advertised cost wins");
+    }
+
+    #[test]
+    fn poisoned_window_falls_back_to_prior_in_selection() {
+        // A NaN cost that made it into the window (recorded from a
+        // poisoned invocation) must be treated as "no history", not crash
+        // the gateway's planning path.
+        let registry = Registry::new();
+        registry.register(provider("p1/x", "x", 10.0));
+        let collector = Collector::new(10);
+        collector.record(
+            "p1/x",
+            ExecutionRecord {
+                success: true,
+                latency: Duration::from_millis(5),
+                cost: f64::NAN,
+            },
+        );
+        let prior = Qos::new(50.0, 50.0, 0.7).unwrap();
+        let best = registry
+            .best_provider(
+                "x",
+                &prior,
+                &collector,
+                UtilityIndex::default(),
+                &requirements(),
+            )
+            .unwrap();
+        assert_eq!(best.id(), "p1/x");
     }
 
     #[test]

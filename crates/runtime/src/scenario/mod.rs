@@ -1,0 +1,55 @@
+//! Adversarial scenario suite: a declarative DSL for trace-driven
+//! workloads, its compiler, and a deterministic virtual-time replayer.
+//!
+//! The paper's evaluation (Section V) drives the gateway with hand-rolled
+//! scripts; this module replaces those with a data-driven pipeline:
+//!
+//! 1. [`model`] — the [`Scenario`] DSL: diurnal load curves and flash
+//!    crowds, correlated failure storms, device churn, background fault
+//!    noise, and a heterogeneous service market, all serde-round-trippable
+//!    JSON with typed [`ScenarioError`] validation;
+//! 2. [`compile`](mod@self::compile) — turns a scenario into per-provider
+//!    [`FaultPlan`](crate::FaultPlan)s (storm windows unioned with seeded
+//!    background crash windows) plus a time-ordered virtual-clock
+//!    schedule;
+//! 3. [`runner`] — replays the schedule through a [`Harness`](crate::Harness)
+//!    with zero real sleeps and aggregates per-slot QoS-consistency
+//!    metrics: requirement satisfaction rate, shed rate, p99 latency, and
+//!    post-storm adaptation lag.
+//!
+//! Same scenario + same seed ⇒ byte-identical outcome; see DESIGN.md §13
+//! for the determinism argument (including why burst phases constrain
+//! microservice reliabilities to {0, 1}).
+//!
+//! # Examples
+//!
+//! ```
+//! use qce_runtime::scenario::{run_scenario, Scenario};
+//!
+//! let scenario = Scenario::from_json(r#"{
+//!     "name": "smoke", "seed": 7,
+//!     "slots": 2, "slot_ms": 100, "requests_per_slot": 4,
+//!     "services": [{
+//!         "name": "svc",
+//!         "microservices": [
+//!             {"name": "a", "cost": 10.0, "latency_ms": 4.0, "reliability": 1.0}
+//!         ],
+//!         "require": {"cost": 100.0, "latency_ms": 50.0, "reliability": 0.9}
+//!     }]
+//! }"#)?;
+//! let run = run_scenario(&scenario)?;
+//! assert_eq!(run.outcome.total_requests, 8);
+//! assert_eq!(run.outcome.satisfaction_rate(), 1.0);
+//! # Ok::<(), qce_runtime::scenario::ScenarioError>(())
+//! ```
+
+pub mod compile;
+pub mod model;
+pub mod runner;
+
+pub use compile::{compile, merge_crash_windows, Action, CompiledScenario, ScheduledEvent};
+pub use model::{
+    BackgroundFaults, Churn, GatewayKnobs, LoadPhase, MsDef, Require, Scenario, ScenarioError,
+    ServiceDef, Storm, DEFAULT_PENALTY_K,
+};
+pub use runner::{run_scenario, ScenarioOutcome, ScenarioRun, SlotMetrics, StormSpan};

@@ -200,6 +200,8 @@ struct ProviderMetrics {
     invocations: AtomicU64,
     successes: AtomicU64,
     fault_window_hits: AtomicU64,
+    departures: AtomicU64,
+    rejoins: AtomicU64,
     latency: Histogram,
     cost: Histogram,
 }
@@ -210,6 +212,8 @@ impl ProviderMetrics {
             invocations: AtomicU64::new(0),
             successes: AtomicU64::new(0),
             fault_window_hits: AtomicU64::new(0),
+            departures: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
             latency: Histogram::new(&LATENCY_EDGES_US),
             cost: Histogram::new(&COST_EDGES_MILLI),
         }
@@ -309,6 +313,34 @@ pub enum EventKind {
         service: String,
         /// The request whose deadline expired.
         request_id: u64,
+    },
+    /// A correlated-failure storm began: every provider in the named
+    /// failure domain crashed at once (scenario replay marker).
+    StormOnset {
+        /// Failure-domain name (e.g. the shared radio link).
+        storm: String,
+        /// Providers taken down together.
+        providers: Vec<String>,
+    },
+    /// A correlated-failure storm ended; its providers are reachable
+    /// again. Adaptation lag is measured from this marker.
+    StormRecovered {
+        /// Failure-domain name.
+        storm: String,
+        /// Providers restored together.
+        providers: Vec<String>,
+    },
+    /// A provider left the environment mid-run (device churn): it was
+    /// deregistered and its collector window was reset.
+    ProviderLeft {
+        /// Provider id.
+        provider: String,
+    },
+    /// A previously-seen provider re-joined the environment (device
+    /// churn). Its collector history starts fresh.
+    ProviderRejoined {
+        /// Provider id.
+        provider: String,
     },
 }
 
@@ -415,6 +447,12 @@ pub struct ProviderSnapshot {
     pub successes: u64,
     /// Invocations that landed inside an active fault window.
     pub fault_window_hits: u64,
+    /// Times the provider left the environment (device churn).
+    #[serde(default)]
+    pub departures: u64,
+    /// Times the provider re-joined after leaving (device churn).
+    #[serde(default)]
+    pub rejoins: u64,
     /// Invocation latency histogram (milliseconds).
     pub latency_ms: HistogramSnapshot,
     /// Invocation cost histogram (cost units).
@@ -430,6 +468,15 @@ pub struct MarketSnapshot {
     pub fetch_failures: u64,
     /// Total time spent fetching scripts.
     pub fetch_elapsed: Duration,
+}
+
+/// Snapshot of correlated-failure storm markers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StormSnapshot {
+    /// Storms that began ([`EventKind::StormOnset`] markers).
+    pub onsets: u64,
+    /// Storms that ended ([`EventKind::StormRecovered`] markers).
+    pub recoveries: u64,
 }
 
 /// Snapshot of the event ring's accounting.
@@ -454,6 +501,9 @@ pub struct MetricsSnapshot {
     pub providers: Vec<ProviderSnapshot>,
     /// Market interaction counters.
     pub market: MarketSnapshot,
+    /// Correlated-failure storm markers.
+    #[serde(default)]
+    pub storms: StormSnapshot,
     /// Event ring accounting.
     pub events: EventRingSnapshot,
     /// The events still buffered in the ring, oldest first.
@@ -490,6 +540,8 @@ pub struct Telemetry {
     market_fetches: AtomicU64,
     market_fetch_failures: AtomicU64,
     market_fetch_micros: AtomicU64,
+    storm_onsets: AtomicU64,
+    storm_recoveries: AtomicU64,
     sink: RwLock<Option<EventSink>>,
 }
 
@@ -520,6 +572,8 @@ impl Telemetry {
             market_fetches: AtomicU64::new(0),
             market_fetch_failures: AtomicU64::new(0),
             market_fetch_micros: AtomicU64::new(0),
+            storm_onsets: AtomicU64::new(0),
+            storm_recoveries: AtomicU64::new(0),
             sink: RwLock::new(None),
         })
     }
@@ -792,6 +846,50 @@ impl Telemetry {
         });
     }
 
+    /// Records the onset of a correlated-failure storm, emitting an
+    /// [`EventKind::StormOnset`] event (counter first, same gap-free
+    /// guarantee as [`record_shed`](Self::record_shed)).
+    pub fn record_storm_onset(&self, storm: &str, providers: &[String]) {
+        self.storm_onsets.fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::StormOnset {
+            storm: storm.to_string(),
+            providers: providers.to_vec(),
+        });
+    }
+
+    /// Records the end of a correlated-failure storm, emitting an
+    /// [`EventKind::StormRecovered`] event. Adaptation lag is measured
+    /// from this marker.
+    pub fn record_storm_recovered(&self, storm: &str, providers: &[String]) {
+        self.storm_recoveries.fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::StormRecovered {
+            storm: storm.to_string(),
+            providers: providers.to_vec(),
+        });
+    }
+
+    /// Records a provider leaving the environment (device churn), emitting
+    /// an [`EventKind::ProviderLeft`] event.
+    pub fn record_provider_left(&self, provider: &str) {
+        self.provider(provider)
+            .departures
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::ProviderLeft {
+            provider: provider.to_string(),
+        });
+    }
+
+    /// Records a provider re-joining the environment (device churn),
+    /// emitting an [`EventKind::ProviderRejoined`] event.
+    pub fn record_provider_rejoined(&self, provider: &str) {
+        self.provider(provider)
+            .rejoins
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::ProviderRejoined {
+            provider: provider.to_string(),
+        });
+    }
+
     /// The events currently buffered in the ring, oldest first.
     #[must_use]
     pub fn events(&self) -> Vec<TelemetryEvent> {
@@ -848,6 +946,8 @@ impl Telemetry {
                 invocations: m.invocations.load(Ordering::Relaxed),
                 successes: m.successes.load(Ordering::Relaxed),
                 fault_window_hits: m.fault_window_hits.load(Ordering::Relaxed),
+                departures: m.departures.load(Ordering::Relaxed),
+                rejoins: m.rejoins.load(Ordering::Relaxed),
                 latency_ms: m.latency.snapshot(1000.0),
                 cost: m.cost.snapshot(1000.0),
             })
@@ -864,6 +964,10 @@ impl Telemetry {
                 fetch_elapsed: Duration::from_micros(
                     self.market_fetch_micros.load(Ordering::Relaxed),
                 ),
+            },
+            storms: StormSnapshot {
+                onsets: self.storm_onsets.load(Ordering::Relaxed),
+                recoveries: self.storm_recoveries.load(Ordering::Relaxed),
             },
             events: EventRingSnapshot {
                 emitted: self.seq.load(Ordering::Relaxed),
@@ -1226,6 +1330,30 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         assert!(json.contains("\"svc\""));
         assert!(json.contains("SlotReplanned"));
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn storm_and_churn_markers_accumulate_and_round_trip() {
+        let (_, t) = telemetry(8);
+        let group = vec!["d0/c0".to_string(), "d1/c1".to_string()];
+        t.record_storm_onset("radio", &group);
+        t.record_provider_left("d0/c0");
+        t.record_provider_rejoined("d0/c0");
+        t.record_storm_recovered("radio", &group);
+        let snap = t.snapshot();
+        assert_eq!(snap.storms.onsets, 1);
+        assert_eq!(snap.storms.recoveries, 1);
+        let p = snap.provider("d0/c0").unwrap();
+        assert_eq!(p.departures, 1);
+        assert_eq!(p.rejoins, 1);
+        assert!(matches!(
+            snap.recent_events[0].kind,
+            EventKind::StormOnset { ref storm, ref providers }
+                if storm == "radio" && providers.len() == 2
+        ));
+        let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
     }

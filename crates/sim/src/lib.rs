@@ -20,7 +20,10 @@
 //!   drop/recovery);
 //! * [`SharedHost`] — correlated (shared-fate) failures for microservices
 //!   co-located on one device, quantifying when Algorithm 1's independence
-//!   assumption breaks.
+//!   assumption breaks;
+//! * [`FailureDomain`] — scheduled correlated *outages* (failure storms): a
+//!   shared radio link or power domain whose down-windows crash every
+//!   member at once, the adversarial-scenario counterpart of `SharedHost`.
 //!
 //! ## Quick start
 //!
@@ -58,7 +61,10 @@ pub mod microservice;
 pub mod montecarlo;
 pub mod trace;
 
-pub use correlation::{execute_with_shared_fate, preserve_marginals, SharedHost};
+pub use correlation::{
+    execute_with_outages, execute_with_shared_fate, measure_reliability_over, preserve_marginals,
+    FailureDomain, SharedHost,
+};
 pub use device::{environment_from_placements, Availability, Device, DeviceKind};
 pub use dynamics::{ChangeKind, DynamicEnvironment, QosChange};
 pub use environment::{table3_configurations, Environment, RandomEnvConfig};

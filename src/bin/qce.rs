@@ -12,6 +12,12 @@
 //!   run                drive the full gateway feedback loop in virtual time
 //!   stats              like run, then print the telemetry snapshot as JSON
 //!
+//! With `--scenario FILE`, `run` and `stats` replay an adversarial
+//! scenario JSON file (load curves, correlated failure storms, device
+//! churn — see the `qce::runtime::scenario` module) instead of the
+//! `--ms`-built service, reporting per-slot satisfaction, shed rate, p99
+//! latency, and post-storm adaptation lag.
+//!
 //! options:
 //!   --ms c,l,r        add a microservice with cost, latency, reliability%
 //!                     (repeatable; first is `a`, second `b`, …)
@@ -38,6 +44,8 @@
 //!                     milliseconds; strategy legs not yet started when it
 //!                     passes are pruned
 //!   --trace           run: stream telemetry events as JSON lines
+//!   --scenario FILE   run/stats: replay a scenario JSON file instead of
+//!                     the --ms service (ignores the other run options)
 //!
 //! examples:
 //!   qce estimate 'c*(a*b-d*e)' --ms 50,50,60 --ms 100,100,60 \
@@ -79,6 +87,7 @@ struct Options {
     max_in_flight: usize,
     deadline_ms: Option<u64>,
     trace: bool,
+    scenario: Option<String>,
 }
 
 impl Default for Options {
@@ -101,6 +110,7 @@ impl Default for Options {
             max_in_flight: 0,
             deadline_ms: None,
             trace: false,
+            scenario: None,
         }
     }
 }
@@ -184,6 +194,7 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
                 )
             }
             "--trace" => options.trace = true,
+            "--scenario" => options.scenario = Some(value("--scenario")?),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             positional if command.is_none() => command = Some(positional.to_string()),
             positional if expr.is_none() => expr = Some(positional.to_string()),
@@ -296,6 +307,45 @@ fn drive_gateway(options: &Options, trace: bool) -> Result<(Harness, u32), Strin
         harness.telemetry().clear_sink();
     }
     Ok((harness, successes))
+}
+
+/// Loads and replays a `--scenario FILE` on virtual time.
+fn replay_scenario(path: &str) -> Result<qce::runtime::scenario::ScenarioRun, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read scenario {path}: {e}"))?;
+    let scenario = qce::runtime::scenario::Scenario::from_json(&text).map_err(|e| e.to_string())?;
+    qce::runtime::scenario::run_scenario(&scenario).map_err(|e| e.to_string())
+}
+
+/// Prints the per-slot QoS-consistency table of a scenario replay.
+fn print_scenario_outcome(outcome: &qce::runtime::scenario::ScenarioOutcome) {
+    println!(
+        "scenario : {} ({} requests, satisfaction {:.1}%, shed {:.1}%)",
+        outcome.name,
+        outcome.total_requests,
+        outcome.satisfaction_rate() * 100.0,
+        outcome.shed_rate() * 100.0
+    );
+    println!("slot  requests  satisfied  shed  failed  satisfaction  p99_ms  storm");
+    for m in &outcome.per_slot {
+        println!(
+            "{:<4}  {:<8}  {:<9}  {:<4}  {:<6}  {:<12.4}  {:<6.3}  {}",
+            m.slot,
+            m.requests,
+            m.satisfied,
+            m.shed,
+            m.failed,
+            m.satisfaction_rate,
+            m.p99_latency_ms,
+            outcome.is_storm_slot(m.slot)
+        );
+    }
+    for (storm, lag) in outcome.adaptation_lags(0.8) {
+        match lag {
+            Some(lag) => println!("storm    : {storm} — recovered to 0.8 within {lag} slot(s)"),
+            None => println!("storm    : {storm} — satisfaction never recovered to 0.8"),
+        }
+    }
 }
 
 fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), String> {
@@ -445,6 +495,11 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
             Ok(())
         }
         "run" => {
+            if let Some(path) = &options.scenario {
+                let run = replay_scenario(path)?;
+                print_scenario_outcome(&run.outcome);
+                return Ok(());
+            }
             let (harness, successes) = drive_gateway(options, options.trace)?;
             let snapshot = harness.telemetry().snapshot();
             let service = snapshot
@@ -481,6 +536,16 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
             Ok(())
         }
         "stats" => {
+            if let Some(path) = &options.scenario {
+                let run = replay_scenario(path)?;
+                print_scenario_outcome(&run.outcome);
+                let snapshot = run.harness.telemetry().snapshot();
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&snapshot).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
             let (harness, _) = drive_gateway(options, false)?;
             let snapshot = harness.telemetry().snapshot();
             println!(
@@ -818,6 +883,48 @@ mod tests {
         options.quantize = 0.0;
         options.deadline_ms = Some(0);
         assert!(build_harness(&options).is_err(), "zero deadline");
+    }
+
+    #[test]
+    fn scenario_flag_replays_a_file() {
+        let (_, _, options) = parse_args(&args(&["run", "--scenario", "pack/calm.json"])).unwrap();
+        assert_eq!(options.scenario.as_deref(), Some("pack/calm.json"));
+        assert!(parse_args(&args(&["run", "--scenario"])).is_err());
+
+        let dir = std::env::temp_dir().join(format!("qce-cli-scenario-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("calm.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "name": "cli-smoke", "seed": 5,
+                "slots": 2, "slot_ms": 100, "requests_per_slot": 4,
+                "services": [{
+                    "name": "svc",
+                    "microservices": [
+                        {"name": "a", "cost": 10.0, "latency_ms": 4.0, "reliability": 1.0}
+                    ],
+                    "require": {"cost": 100.0, "latency_ms": 50.0, "reliability": 0.9}
+                }]
+            }"#,
+        )
+        .unwrap();
+        let options = Options {
+            scenario: Some(path.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        assert!(run("run", None, &options).is_ok());
+        assert!(run("stats", None, &options).is_ok());
+
+        // Missing files and malformed scenarios are reported, not panicked.
+        let missing = Options {
+            scenario: Some(dir.join("nope.json").to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        assert!(run("run", None, &missing).is_err());
+        std::fs::write(&path, "{}").unwrap();
+        assert!(run("run", None, &options).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
