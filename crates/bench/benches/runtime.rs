@@ -13,7 +13,7 @@ use std::hint::black_box;
 
 use qce_runtime::{
     execute_strategy, Collector, ExecutionRecord, Gateway, GatewayConfig, InMemoryMarket,
-    Invocation, MsSpec, Provider, ServiceScript, SimulatedProvider,
+    Invocation, MsSpec, Provider, Request, ServiceScript, SimulatedProvider,
 };
 use qce_strategy::{Qos, Requirements, Strategy};
 
@@ -99,8 +99,8 @@ fn bench_gateway_invoke(c: &mut Criterion) {
             for provider in providers(m) {
                 gateway.registry().register(provider);
             }
-            gateway.invoke("svc").unwrap(); // warm up: fetch + plan
-            b.iter(|| gateway.invoke(black_box("svc")).unwrap());
+            gateway.submit(Request::new("svc")).unwrap(); // warm up: fetch + plan
+            b.iter(|| gateway.submit(Request::new(black_box("svc"))).unwrap());
         });
     }
     group.finish();

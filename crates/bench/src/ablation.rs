@@ -155,15 +155,12 @@ struct DriftOutcome {
 }
 
 fn run_drift_with_window(window: usize, per_slot: u32, latency_scale: f64) -> DriftOutcome {
-    use qce_runtime::GatewayConfig;
+    use qce_runtime::{GatewayConfig, Request};
     // Rebuild the testbed with a custom collector window.
     let tb = crate::testbed::build_with_config(
         per_slot,
         latency_scale,
-        GatewayConfig {
-            collector_window: window,
-            ..GatewayConfig::default()
-        },
+        GatewayConfig::builder().collector_window(window).build(),
     );
     let drop_at = u64::from(per_slot) * 2; // drop at the start of slot 2
     let mut executed = 0u64;
@@ -177,7 +174,7 @@ fn run_drift_with_window(window: usize, per_slot: u32, latency_scale: f64) -> Dr
             }
             let response = tb
                 .gateway
-                .invoke(crate::testbed::SERVICE)
+                .submit(Request::new(crate::testbed::SERVICE))
                 .expect("providers registered");
             executed += 1;
             if slot >= 2 {

@@ -15,6 +15,8 @@
 
 use std::path::Path;
 
+use qce_runtime::Request;
+
 use crate::report::{fmt_f, fmt_pct, Report};
 use crate::testbed::{self, Testbed};
 
@@ -78,7 +80,7 @@ pub fn measure_on(
             }
             let response = tb
                 .gateway
-                .invoke(testbed::SERVICE)
+                .submit(Request::new(testbed::SERVICE))
                 .expect("testbed providers are registered");
             executed += 1;
             if response.success {

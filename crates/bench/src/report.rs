@@ -186,6 +186,7 @@ mod tests {
         let telemetry = qce_runtime::Telemetry::new(clock, 16);
         telemetry.record_request(
             "svc",
+            qce_runtime::QosClass::Interactive,
             true,
             std::time::Duration::from_millis(3),
             50.0,

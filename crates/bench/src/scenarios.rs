@@ -1,18 +1,22 @@
 //! `bench-scenarios`: the adversarial scenario pack and its
 //! QoS-consistency gate.
 //!
-//! A curated pack of five scenarios — diurnal load, a flash crowd against
-//! bounded admission, a correlated total-blackout storm, device churn, and
-//! a heterogeneous three-service market — is replayed through the
-//! [`scenario`](qce_runtime::scenario) runner on virtual time (zero real
-//! sleeps). For each scenario the bench reports per-slot requirement
-//! satisfaction rate, shed rate, p99 latency, and post-storm adaptation
-//! lag, then enforces committed floors:
+//! A curated pack of six scenarios — diurnal load, a flash crowd against
+//! bounded admission, a correlated total-blackout storm, device churn, a
+//! heterogeneous three-service market, and a mixed-class overload — is
+//! replayed through the [`scenario`](qce_runtime::scenario) runner on
+//! virtual time (zero real sleeps). For each scenario the bench reports
+//! per-slot requirement satisfaction rate, shed rate, p99 latency, and
+//! post-storm adaptation lag, then enforces committed floors:
 //!
 //! * every scenario is run **twice** and must produce identical outcomes
 //!   (the determinism gate: same seed ⇒ same per-slot metrics);
 //! * per-scenario metric floors (minimum satisfaction, maximum shed rate,
-//!   maximum adaptation lag in slots, maximum p99) must hold.
+//!   maximum adaptation lag in slots, maximum p99) must hold;
+//! * class-gated scenarios additionally enforce per-class floors: under 2x
+//!   overload, Critical-class satisfaction and p99 must hold their
+//!   calm-phase floors while the Scavenger tier absorbs at least 80% of
+//!   the sheds.
 //!
 //! Artifacts — `reports/bench_scenarios.tsv` and the committed
 //! `BENCH_scenarios.json` — are written *before* the gate is evaluated, so
@@ -20,8 +24,9 @@
 //! a non-zero exit for CI.
 //!
 //! `QCE_SCENARIOS_MIN_SATISFACTION` overrides every scenario's minimum
-//! overall satisfaction floor (CI uses an impossible `1.1` to prove the
-//! gate trips).
+//! overall satisfaction floor, and `QCE_CLASSES_CRITICAL_MIN_SATISFACTION`
+//! overrides the Critical-class floor of class-gated scenarios (CI uses an
+//! impossible `1.1` on both to prove each gate trips).
 
 use std::io;
 use std::path::Path;
@@ -30,6 +35,7 @@ use qce_runtime::scenario::{
     run_scenario, Churn, GatewayKnobs, LoadPhase, MsDef, Require, Scenario, ScenarioOutcome,
     ServiceDef, Storm,
 };
+use qce_runtime::QosClass;
 
 use crate::report::{fmt_f, fmt_pct, Report};
 
@@ -47,6 +53,23 @@ struct Case {
     max_shed_rate: f64,
     /// Maximum per-slot p99 latency (virtual ms) across non-storm slots.
     max_p99_ms: f64,
+    /// Per-class floors for mixed-class scenarios; `None` skips the class
+    /// gate.
+    class_floors: Option<ClassFloors>,
+}
+
+/// The multi-class QoS gate: what the tiers owe their traffic even under
+/// overload.
+struct ClassFloors {
+    /// Minimum whole-run Critical satisfaction rate (overridable via
+    /// `QCE_CLASSES_CRITICAL_MIN_SATISFACTION`).
+    critical_min_satisfaction: f64,
+    /// Maximum per-slot Critical p99 (virtual ms) across *all* slots —
+    /// overload slots included, which is the point: Critical latency must
+    /// hold its calm-phase ceiling while the gate sheds around it.
+    critical_max_p99_ms: f64,
+    /// Minimum fraction of all shed requests that were Scavenger-class.
+    scavenger_min_shed_share: f64,
 }
 
 fn ms(name: &str, cost: f64, latency_ms: f64, reliability: f64) -> MsDef {
@@ -70,6 +93,7 @@ fn service(
         require,
         penalty_k: None,
         quorum,
+        class: None,
     }
 }
 
@@ -95,18 +119,21 @@ fn diurnal(rps: u32) -> Case {
                     to_slot: 4,
                     multiplier: 0.5,
                     burst: 0,
+                    classes: Vec::new(),
                 },
                 LoadPhase {
                     from_slot: 4,
                     to_slot: 9,
                     multiplier: 2.0,
                     burst: 0,
+                    classes: Vec::new(),
                 },
                 LoadPhase {
                     from_slot: 9,
                     to_slot: 12,
                     multiplier: 0.75,
                     burst: 0,
+                    classes: Vec::new(),
                 },
             ],
             services: vec![service(
@@ -131,6 +158,7 @@ fn diurnal(rps: u32) -> Case {
         min_satisfaction: 0.95,
         max_shed_rate: 0.0,
         max_p99_ms: 40.0,
+        class_floors: None,
     }
 }
 
@@ -150,6 +178,7 @@ fn flash_crowd(rps: u32) -> Case {
                 to_slot: 4,
                 multiplier: 4.0,
                 burst: 8,
+                classes: Vec::new(),
             }],
             services: vec![service(
                 "relay",
@@ -173,6 +202,7 @@ fn flash_crowd(rps: u32) -> Case {
         min_satisfaction: 0.5,
         max_shed_rate: 0.5,
         max_p99_ms: 30.0,
+        class_floors: None,
     }
 }
 
@@ -216,6 +246,7 @@ fn storm_blackout(rps: u32) -> Case {
         min_satisfaction: 0.5,
         max_shed_rate: 0.0,
         max_p99_ms: 30.0,
+        class_floors: None,
     }
 }
 
@@ -253,6 +284,7 @@ fn churn(rps: u32) -> Case {
         min_satisfaction: 0.7,
         max_shed_rate: 0.0,
         max_p99_ms: 30.0,
+        class_floors: None,
     }
 }
 
@@ -316,6 +348,81 @@ fn heterogeneous(rps: u32) -> Case {
         min_satisfaction: 0.85,
         max_shed_rate: 0.0,
         max_p99_ms: 40.0,
+        class_floors: None,
+    }
+}
+
+/// Mixed-class overload: every burst group carries 2 Critical + 6
+/// Scavenger requests against a 2-in-flight / 2-deep admission gate. The
+/// overload phase doubles the calm load; the class gate demands that
+/// Critical traffic keeps its calm-phase satisfaction and p99 while the
+/// Scavenger tier absorbs at least
+/// [`scavenger_min_shed_share`](ClassFloors::scavenger_min_shed_share) of
+/// the sheds.
+fn mixed_class_overload(rps: u32) -> Case {
+    let tiered = vec![
+        QosClass::Critical,
+        QosClass::Scavenger,
+        QosClass::Scavenger,
+        QosClass::Scavenger,
+    ];
+    Case {
+        scenario: Scenario {
+            name: "mixed-class-overload".to_string(),
+            seed: 61,
+            slots: 6,
+            slot_ms: u64::from(rps) * 8,
+            requests_per_slot: rps,
+            load: vec![
+                LoadPhase {
+                    from_slot: 0,
+                    to_slot: 2,
+                    multiplier: 1.0,
+                    burst: 0,
+                    classes: tiered.clone(),
+                },
+                LoadPhase {
+                    from_slot: 2,
+                    to_slot: 4,
+                    multiplier: 2.0,
+                    burst: 8,
+                    classes: tiered.clone(),
+                },
+                LoadPhase {
+                    from_slot: 4,
+                    to_slot: 6,
+                    multiplier: 1.0,
+                    burst: 0,
+                    classes: tiered,
+                },
+            ],
+            services: vec![service(
+                "tiered",
+                vec![ms("fast", 10.0, 2.0, 1.0), ms("slow", 5.0, 6.0, 1.0)],
+                Require {
+                    cost: 40.0,
+                    latency_ms: 30.0,
+                    reliability: 0.9,
+                },
+                None,
+            )],
+            storms: Vec::new(),
+            churn: Vec::new(),
+            background: None,
+            gateway: GatewayKnobs {
+                max_in_flight: Some(2),
+                admission_queue: Some(2),
+                ..GatewayKnobs::default()
+            },
+        },
+        min_satisfaction: 0.7,
+        max_shed_rate: 0.25,
+        max_p99_ms: 30.0,
+        class_floors: Some(ClassFloors {
+            critical_min_satisfaction: 1.0,
+            critical_max_p99_ms: 30.0,
+            scavenger_min_shed_share: 0.8,
+        }),
     }
 }
 
@@ -326,6 +433,7 @@ fn pack(rps: u32) -> Vec<Case> {
         storm_blackout(rps),
         churn(rps),
         heterogeneous(rps),
+        mixed_class_overload(rps),
     ]
 }
 
@@ -337,6 +445,38 @@ fn worst_calm_p99(outcome: &ScenarioOutcome) -> f64 {
         .filter(|m| m.requests > 0 && !outcome.is_storm_slot(m.slot))
         .map(|m| m.p99_latency_ms)
         .fold(0.0, f64::max)
+}
+
+/// Worst (largest) per-slot Critical-class p99 across *every* slot —
+/// overload slots included.
+fn worst_critical_p99(outcome: &ScenarioOutcome) -> f64 {
+    outcome
+        .per_slot
+        .iter()
+        .filter_map(|m| m.class(QosClass::Critical))
+        .map(|c| c.p99_latency_ms)
+        .fold(0.0, f64::max)
+}
+
+fn classes_json(outcome: &ScenarioOutcome) -> String {
+    outcome
+        .classes
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"class\": \"{}\", \"requests\": {}, \"satisfied\": {}, \"shed\": {}, \
+                 \"failed\": {}, \"satisfaction\": {}, \"p99_ms\": {}}}",
+                c.class,
+                c.requests,
+                c.satisfied,
+                c.shed,
+                c.failed,
+                fmt_f(c.satisfaction_rate, 4),
+                fmt_f(c.p99_latency_ms, 3),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn outcome_json(outcome: &ScenarioOutcome) -> String {
@@ -374,6 +514,7 @@ fn outcome_json(outcome: &ScenarioOutcome) -> String {
         "{{\n    \"name\": \"{}\",\n    \"requests\": {},\n    \"satisfied\": {},\n    \
          \"shed\": {},\n    \"failed\": {},\n    \"satisfaction_rate\": {},\n    \
          \"shed_rate\": {},\n    \"worst_calm_p99_ms\": {},\n    \
+         \"scavenger_shed_share\": {},\n    \"classes\": [{}],\n    \
          \"adaptation_lags\": [{}],\n    \"per_slot\": [\n      {}\n    ]\n  }}",
         outcome.name,
         outcome.total_requests,
@@ -383,6 +524,8 @@ fn outcome_json(outcome: &ScenarioOutcome) -> String {
         fmt_f(outcome.satisfaction_rate(), 4),
         fmt_f(outcome.shed_rate(), 4),
         fmt_f(worst_calm_p99(outcome), 3),
+        fmt_f(outcome.shed_share(QosClass::Scavenger), 4),
+        classes_json(outcome),
         lags.join(", "),
         slots.join(",\n      "),
     )
@@ -426,6 +569,38 @@ fn check_floors(case: &Case, outcome: &ScenarioOutcome, violations: &mut Vec<Str
             None => violations.push(format!(
                 "{name}: satisfaction never recovered to {RECOVERY_FLOOR} after storm {storm}"
             )),
+        }
+    }
+    if let Some(floors) = &case.class_floors {
+        let critical_floor = std::env::var("QCE_CLASSES_CRITICAL_MIN_SATISFACTION")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(floors.critical_min_satisfaction);
+        let critical_satisfaction = outcome
+            .class(QosClass::Critical)
+            .map_or(1.0, |c| c.satisfaction_rate);
+        if critical_satisfaction < critical_floor {
+            violations.push(format!(
+                "{name}: critical satisfaction {} below floor {}",
+                fmt_f(critical_satisfaction, 4),
+                fmt_f(critical_floor, 4)
+            ));
+        }
+        let critical_p99 = worst_critical_p99(outcome);
+        if critical_p99 > floors.critical_max_p99_ms {
+            violations.push(format!(
+                "{name}: critical p99 {} ms above ceiling {} ms",
+                fmt_f(critical_p99, 3),
+                fmt_f(floors.critical_max_p99_ms, 3)
+            ));
+        }
+        let share = outcome.shed_share(QosClass::Scavenger);
+        if share < floors.scavenger_min_shed_share {
+            violations.push(format!(
+                "{name}: scavenger shed share {} below floor {}",
+                fmt_f(share, 4),
+                fmt_f(floors.scavenger_min_shed_share, 4)
+            ));
         }
     }
 }
@@ -507,6 +682,23 @@ pub fn run(reports: &Path, json_out: &Path, rps: u32) -> io::Result<()> {
             fmt_pct(outcome.shed_rate()),
             fmt_pct(case.max_shed_rate),
         ));
+        if let Some(floors) = &case.class_floors {
+            report.note(format!(
+                "{}: class gate — critical satisfaction {} (floor {}), critical p99 {} ms \
+                 (ceiling {} ms), scavenger shed share {} (floor {})",
+                outcome.name,
+                fmt_pct(
+                    outcome
+                        .class(QosClass::Critical)
+                        .map_or(1.0, |c| c.satisfaction_rate)
+                ),
+                fmt_pct(floors.critical_min_satisfaction),
+                fmt_f(worst_critical_p99(outcome), 3),
+                fmt_f(floors.critical_max_p99_ms, 3),
+                fmt_pct(outcome.shed_share(QosClass::Scavenger)),
+                fmt_pct(floors.scavenger_min_shed_share),
+            ));
+        }
     }
     report.note(format!(
         "determinism gate: every scenario replayed twice with identical outcomes; \
@@ -616,6 +808,44 @@ mod tests {
         check_floors(&strict, &outcome, &mut violations);
         assert!(
             violations.iter().any(|v| v.contains("below floor")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn mixed_class_case_holds_critical_floors_while_scavengers_absorb_sheds() {
+        let case = mixed_class_overload(8);
+        let first = run_scenario(&case.scenario).unwrap().outcome;
+        let second = run_scenario(&case.scenario).unwrap().outcome;
+        assert_eq!(first, second, "mixed-class replay must be deterministic");
+        assert!(first.total_shed > 0, "the overload phase must shed");
+        let critical = first.class(QosClass::Critical).unwrap();
+        assert_eq!(critical.shed, 0);
+        assert_eq!(critical.satisfaction_rate, 1.0);
+        assert_eq!(first.shed_share(QosClass::Scavenger), 1.0);
+        let mut violations = Vec::new();
+        check_floors(&case, &first, &mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn impossible_critical_floor_trips_the_class_gate() {
+        let case = mixed_class_overload(8);
+        let outcome = run_scenario(&case.scenario).unwrap().outcome;
+        let strict = Case {
+            class_floors: Some(ClassFloors {
+                critical_min_satisfaction: 1.1,
+                critical_max_p99_ms: 30.0,
+                scavenger_min_shed_share: 0.8,
+            }),
+            ..case
+        };
+        let mut violations = Vec::new();
+        check_floors(&strict, &outcome, &mut violations);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("critical satisfaction") && v.contains("below floor")),
             "{violations:?}"
         );
     }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qce_runtime::{
-    Gateway, GatewayConfig, InMemoryMarket, MsSpec, ServiceScript, SimulatedProvider,
+    Gateway, GatewayConfig, InMemoryMarket, MsSpec, Request, ServiceScript, SimulatedProvider,
 };
 use qce_strategy::{Qos, Requirements};
 
@@ -65,10 +65,7 @@ pub fn build(slot_size: u32, latency_scale: f64) -> Testbed {
     build_with_config(
         slot_size,
         latency_scale,
-        GatewayConfig {
-            collector_window: 100,
-            ..GatewayConfig::default()
-        },
+        GatewayConfig::builder().collector_window(100).build(),
     )
 }
 
@@ -154,7 +151,7 @@ pub fn run_slot(testbed: &Testbed, n: u32) -> SlotQos {
     for _ in 0..n {
         let response = testbed
             .gateway
-            .invoke(SERVICE)
+            .submit(Request::new(SERVICE))
             .expect("testbed providers are registered");
         if response.success {
             ok += 1;
@@ -184,7 +181,7 @@ mod tests {
     #[test]
     fn slot_zero_uses_parallel_default() {
         let tb = build(100, 0.02);
-        let response = tb.gateway.invoke(SERVICE).unwrap();
+        let response = tb.gateway.submit(Request::new(SERVICE)).unwrap();
         assert!(response.strategy.is_parallel());
         assert_eq!(response.strategy_text, "readTempSensor*estTemp*readLocTemp");
     }
@@ -195,9 +192,9 @@ mod tests {
         // readTempSensor-estTemp-readLocTemp.
         let tb = build(30, 0.02);
         for _ in 0..30 {
-            tb.gateway.invoke(SERVICE).unwrap();
+            tb.gateway.submit(Request::new(SERVICE)).unwrap();
         }
-        let response = tb.gateway.invoke(SERVICE).unwrap();
+        let response = tb.gateway.submit(Request::new(SERVICE)).unwrap();
         assert_eq!(response.strategy_text, "readTempSensor-estTemp-readLocTemp");
     }
 

@@ -288,11 +288,10 @@ pub fn run(reports: &Path, json_out: &Path, clients: usize) -> io::Result<()> {
     let unbounded = concurrent_phase(clients, GatewayConfig::default());
     let bounded = concurrent_phase(
         clients,
-        GatewayConfig {
-            max_in_flight: 2,
-            admission_queue: 2,
-            ..GatewayConfig::default()
-        },
+        GatewayConfig::builder()
+            .max_in_flight(2)
+            .admission_queue(2)
+            .build(),
     );
 
     // The CI-keyed checks (see module docs).
@@ -424,11 +423,10 @@ mod tests {
         // 2 in flight + 2 queued covers 4 clients: nobody is shed.
         let phase = concurrent_phase(
             4,
-            GatewayConfig {
-                max_in_flight: 2,
-                admission_queue: 2,
-                ..GatewayConfig::default()
-            },
+            GatewayConfig::builder()
+                .max_in_flight(2)
+                .admission_queue(2)
+                .build(),
         );
         assert_eq!(phase.shed, 0);
         assert_eq!(phase.ok, 4);

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use crate::gateway::{Gateway, QosAdvisory, ServiceResponse};
 use crate::message::RuntimeError;
+use crate::request::Request;
 
 /// What a client does when the gateway warns that requirements cannot be
 /// met.
@@ -112,7 +113,7 @@ impl Client {
     /// [`AdvisoryPolicy::Abort`] and the gateway expects the requirements
     /// to be missed.
     pub fn invoke(&self, service_id: &str) -> Result<ServiceResponse, ClientError> {
-        self.invoke_with_payload(service_id, Vec::new())
+        self.submit(Request::new(service_id))
     }
 
     /// Invokes an edge service by id.
@@ -125,7 +126,17 @@ impl Client {
         service_id: &str,
         payload: Vec<u8>,
     ) -> Result<ServiceResponse, ClientError> {
-        let response = self.gateway.invoke_with_payload(service_id, payload)?;
+        self.submit(Request::new(service_id).payload(payload))
+    }
+
+    /// Submits a typed [`Request`], applying the client's advisory policy
+    /// to the response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::invoke`].
+    pub fn submit(&self, request: Request) -> Result<ServiceResponse, ClientError> {
+        let response = self.gateway.submit(request)?;
         if let (AdvisoryPolicy::Abort, Some(advisory)) = (self.policy, &response.advisory) {
             return Err(ClientError::Rejected(QosRejected {
                 advisory: advisory.clone(),
@@ -193,7 +204,7 @@ mod tests {
         let gw = gateway(Requirements::new(1.0, 1.0, 0.999).unwrap(), 0.5);
         let client = Client::new(Arc::clone(&gw)).with_policy(AdvisoryPolicy::Abort);
         for _ in 0..4 {
-            let _ = gw.invoke("svc");
+            let _ = gw.submit(Request::new("svc"));
         }
         let err = client.invoke("svc").unwrap_err();
         match err {

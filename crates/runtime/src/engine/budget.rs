@@ -9,6 +9,29 @@ use std::time::Duration;
 use qce_strategy::exec::PruneReason;
 
 use crate::clock::Clock;
+use crate::request::QosClass;
+
+/// Full attribution of a budget prune: *why* the walk stopped early,
+/// *which traffic class* the request carried, and *how much deadline
+/// budget remained* at the instant the prune fired.
+///
+/// A bare [`PruneReason`] is ambiguous in telemetry: a `Cancelled` with
+/// most of its deadline left is an eviction; a `Cancelled` that raced a
+/// nearly-expired deadline tells a different story. Recording the
+/// remaining budget at prune time makes deadline-vs-cancel attribution
+/// unambiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneDetail {
+    /// Why the budget pruned (cancellation outranks the deadline).
+    pub reason: PruneReason,
+    /// Traffic class of the pruned request.
+    pub class: QosClass,
+    /// Deadline budget remaining when the prune fired: `None` when the
+    /// budget had no deadline, `Some(ZERO)` when the deadline itself
+    /// tripped, and a positive remainder when a cancellation cut in ahead
+    /// of the deadline.
+    pub remaining: Option<Duration>,
+}
 
 /// The execution budget of one service request.
 ///
@@ -36,6 +59,9 @@ pub struct Budget {
     /// Absolute deadline on the execution clock (`clock.now() >= deadline`
     /// prunes), or `None` for no deadline.
     deadline: Option<Duration>,
+    /// Traffic class of the request this budget belongs to, attached to
+    /// every prune for attribution.
+    class: QosClass,
     /// This request's own cancellation flag.
     cancel: Arc<AtomicBool>,
     /// An upstream cancellation flag shared with other requests (e.g. the
@@ -49,9 +75,24 @@ impl Budget {
     pub fn unlimited() -> Self {
         Budget {
             deadline: None,
+            class: QosClass::default(),
             cancel: Arc::new(AtomicBool::new(false)),
             parent: None,
         }
+    }
+
+    /// Tags the budget with the request's traffic class, carried into
+    /// every [`PruneDetail`] this budget produces.
+    #[must_use]
+    pub fn with_class(mut self, class: QosClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// The traffic class of the request this budget belongs to.
+    #[must_use]
+    pub fn class(&self) -> QosClass {
+        self.class
     }
 
     /// Sets an absolute deadline (a [`Clock::now`] reading at or past
@@ -96,11 +137,27 @@ impl Budget {
     /// clock traffic to the walk.
     #[must_use]
     pub fn prune(&self, clock: &dyn Clock) -> Option<PruneReason> {
+        self.prune_detail(clock).map(|detail| detail.reason)
+    }
+
+    /// As [`Budget::prune`], with full attribution: the reason, the
+    /// request's class, and the deadline budget remaining at the instant
+    /// the prune fired.
+    #[must_use]
+    pub fn prune_detail(&self, clock: &dyn Clock) -> Option<PruneDetail> {
         if self.is_cancelled() {
-            return Some(PruneReason::Cancelled);
+            return Some(PruneDetail {
+                reason: PruneReason::Cancelled,
+                class: self.class,
+                remaining: self.deadline.map(|d| d.saturating_sub(clock.now())),
+            });
         }
         match self.deadline {
-            Some(deadline) if clock.now() >= deadline => Some(PruneReason::DeadlineExceeded),
+            Some(deadline) if clock.now() >= deadline => Some(PruneDetail {
+                reason: PruneReason::DeadlineExceeded,
+                class: self.class,
+                remaining: Some(Duration::ZERO),
+            }),
             _ => None,
         }
     }
@@ -166,5 +223,46 @@ mod tests {
         budget.cancel();
         clock.advance(Duration::from_millis(1));
         assert_eq!(budget.prune(&clock), Some(PruneReason::Cancelled));
+    }
+
+    #[test]
+    fn prune_detail_attributes_class_and_remaining_budget() {
+        let clock = VirtualClock::new();
+        let budget = Budget::unlimited()
+            .with_class(QosClass::Critical)
+            .with_deadline(Duration::from_millis(10));
+        clock.advance(Duration::from_millis(4));
+        budget.cancel();
+        let detail = budget.prune_detail(&clock).unwrap();
+        assert_eq!(detail.reason, PruneReason::Cancelled);
+        assert_eq!(detail.class, QosClass::Critical);
+        assert_eq!(
+            detail.remaining,
+            Some(Duration::from_millis(6)),
+            "a cancellation records how much deadline budget was left"
+        );
+    }
+
+    #[test]
+    fn deadline_prune_detail_reports_zero_remaining() {
+        let clock = VirtualClock::new();
+        let budget = Budget::unlimited()
+            .with_class(QosClass::Scavenger)
+            .with_deadline(Duration::from_millis(3));
+        clock.advance(Duration::from_millis(5));
+        let detail = budget.prune_detail(&clock).unwrap();
+        assert_eq!(detail.reason, PruneReason::DeadlineExceeded);
+        assert_eq!(detail.class, QosClass::Scavenger);
+        assert_eq!(detail.remaining, Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn cancelled_unlimited_budget_has_no_remaining() {
+        let clock = VirtualClock::new();
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let detail = budget.prune_detail(&clock).unwrap();
+        assert_eq!(detail.remaining, None, "no deadline, no remainder");
+        assert_eq!(detail.class, QosClass::Interactive, "default class");
     }
 }

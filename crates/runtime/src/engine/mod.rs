@@ -30,7 +30,7 @@ mod policy;
 pub(crate) mod pool;
 mod walker;
 
-pub use budget::Budget;
+pub use budget::{Budget, PruneDetail};
 pub use policy::Completion;
 pub use pool::PoolStats;
 pub use qce_strategy::{CompletionPolicy, PruneReason};
@@ -70,6 +70,10 @@ pub struct EngineOutcome {
     /// Why the walk stopped early, when the request's [`Budget`] tripped
     /// (`None` for a walk the policy completed on its own).
     pub pruned: Option<PruneReason>,
+    /// Full attribution of the first prune (reason, traffic class, and
+    /// remaining deadline budget at the prune instant). Always present
+    /// when [`EngineOutcome::pruned`] is.
+    pub prune_detail: Option<PruneDetail>,
 }
 
 /// Owned inputs for [`ExecutionEngine::execute`].
@@ -172,12 +176,14 @@ pub fn execute_scoped(
     let cost = invocations.iter().map(|i| i.cost).sum();
     let fallback = clock.now().saturating_sub(started_at);
     let (completion, latency) = policy.finish(fallback);
+    let prune_detail = pruned.into_inner();
     Ok(EngineOutcome {
         completion,
         latency,
         cost,
         invocations,
-        pruned: pruned.into_inner(),
+        pruned: prune_detail.map(|d| d.reason),
+        prune_detail,
     })
 }
 
@@ -290,13 +296,14 @@ impl ExecutionEngine {
         let cost = invocations.iter().map(|i| i.cost).sum();
         let fallback = clock.now().saturating_sub(exec.started_at);
         let (completion, latency) = exec.policy.finish(fallback);
-        let pruned = *exec.pruned.lock();
+        let prune_detail = *exec.pruned.lock();
         Ok(EngineOutcome {
             completion,
             latency,
             cost,
             invocations,
-            pruned,
+            pruned: prune_detail.map(|d| d.reason),
+            prune_detail,
         })
     }
 }

@@ -68,7 +68,7 @@ pub(crate) struct Ctx<'a> {
     pub policy: &'a PolicyState,
     pub invocations: &'a Mutex<Vec<InvocationOutcome>>,
     /// First budget-prune reason observed during the walk, for reporting.
-    pub pruned: &'a Mutex<Option<qce_strategy::PruneReason>>,
+    pub pruned: &'a Mutex<Option<super::PruneDetail>>,
     pub spawn: &'a dyn LegSpawner,
 }
 
@@ -80,10 +80,10 @@ impl Ctx<'_> {
         if self.policy.halted() {
             return true;
         }
-        if let Some(reason) = self.budget.prune(self.clock) {
+        if let Some(detail) = self.budget.prune_detail(self.clock) {
             let mut pruned = self.pruned.lock();
             if pruned.is_none() {
-                *pruned = Some(reason);
+                *pruned = Some(detail);
             }
             return true;
         }
@@ -415,7 +415,7 @@ pub(crate) struct OwnedExec {
     pub policy: PolicyState,
     pub started_at: Duration,
     pub invocations: Mutex<Vec<InvocationOutcome>>,
-    pub pruned: Mutex<Option<qce_strategy::PruneReason>>,
+    pub pruned: Mutex<Option<super::PruneDetail>>,
     /// Weak so a leg job's `Arc<OwnedExec>` clone never keeps the pool
     /// alive: otherwise a worker thread dropping the last clone after the
     /// engine is gone would run the pool's `Drop` — and join itself.

@@ -18,23 +18,30 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
-use qce_strategy::{Attribute, Qos, Strategy};
+use qce_strategy::{Attribute, Qos, Requirements, Strategy};
 
 use crate::clock::{Clock, WallClock};
 use crate::collector::Collector;
 use crate::device::Provider;
 use crate::engine::{
-    Budget, Completion, CompletionPolicy, ExecSpec, ExecutionEngine, PoolStats, PruneReason,
+    Budget, Completion, CompletionPolicy, ExecSpec, ExecutionEngine, PoolStats, PruneDetail,
+    PruneReason,
 };
 use crate::generator::{Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 use crate::market::Market;
 use crate::message::{Invocation, RuntimeError};
 use crate::registry::Registry;
+use crate::request::{QosClass, Request, CLASS_COUNT};
 use crate::script::{MsSpec, ServiceScript};
 use crate::telemetry::Telemetry;
 
 /// Gateway configuration knobs.
+///
+/// Construct with [`GatewayConfig::builder`] (the struct is
+/// `#[non_exhaustive]`, so literal construction outside the crate does not
+/// compile — new knobs must never be a breaking change again).
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct GatewayConfig {
     /// Sliding-window size of the QoS collector (observations per
     /// provider).
@@ -104,6 +111,12 @@ impl Default for GatewayConfig {
 }
 
 impl GatewayConfig {
+    /// Starts a builder seeded with the default configuration.
+    #[must_use]
+    pub fn builder() -> GatewayConfigBuilder {
+        GatewayConfigBuilder::new()
+    }
+
     /// The synthesis-engine settings implied by this configuration.
     #[must_use]
     pub fn synthesis_settings(&self) -> SynthesisSettings {
@@ -116,6 +129,86 @@ impl GatewayConfig {
             plan_cache_capacity: self.plan_cache_capacity,
             plan_quantize: self.plan_quantize,
         }
+    }
+}
+
+/// Builder for [`GatewayConfig`]: every knob starts at its default and is
+/// overridden fluently.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use qce_runtime::GatewayConfig;
+///
+/// let config = GatewayConfig::builder()
+///     .max_in_flight(4)
+///     .admission_queue(8)
+///     .request_deadline(Some(Duration::from_millis(100)))
+///     .build();
+/// assert_eq!(config.max_in_flight, 4);
+/// assert_eq!(config.collector_window, 100, "untouched knobs keep defaults");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GatewayConfigBuilder {
+    config: GatewayConfig,
+}
+
+macro_rules! config_setters {
+    ($($(#[$doc:meta])* $field:ident: $ty:ty),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            #[must_use]
+            pub fn $field(mut self, $field: $ty) -> Self {
+                self.config.$field = $field;
+                self
+            }
+        )*
+    };
+}
+
+impl GatewayConfigBuilder {
+    /// A builder seeded with [`GatewayConfig::default`].
+    #[must_use]
+    pub fn new() -> Self {
+        GatewayConfigBuilder::default()
+    }
+
+    config_setters! {
+        /// See [`GatewayConfig::collector_window`].
+        collector_window: usize,
+        /// See [`GatewayConfig::generator_threshold`].
+        generator_threshold: usize,
+        /// See [`GatewayConfig::generator_parallelism`].
+        generator_parallelism: usize,
+        /// See [`GatewayConfig::generator_pruning`].
+        generator_pruning: bool,
+        /// See [`GatewayConfig::generator_warm_start`].
+        generator_warm_start: bool,
+        /// See [`GatewayConfig::plan_cache`].
+        plan_cache: bool,
+        /// See [`GatewayConfig::plan_cache_capacity`].
+        plan_cache_capacity: usize,
+        /// See [`GatewayConfig::plan_quantize`].
+        plan_quantize: f64,
+        /// See [`GatewayConfig::history_limit`].
+        history_limit: usize,
+        /// See [`GatewayConfig::telemetry_events`].
+        telemetry_events: usize,
+        /// See [`GatewayConfig::max_in_flight`].
+        max_in_flight: usize,
+        /// See [`GatewayConfig::admission_queue`].
+        admission_queue: usize,
+        /// See [`GatewayConfig::request_deadline`].
+        request_deadline: Option<Duration>,
+        /// See [`GatewayConfig::worker_pool`].
+        worker_pool: usize,
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> GatewayConfig {
+        self.config
     }
 }
 
@@ -136,6 +229,10 @@ pub struct QosAdvisory {
 pub struct ServiceResponse {
     /// Correlates with the client request.
     pub request_id: u64,
+    /// The traffic class the request was admitted under, after resolving
+    /// the request's explicit class against the service's live override
+    /// and the [`QosClass::default`] fallback.
+    pub class: QosClass,
     /// Whether any equivalent microservice succeeded.
     pub success: bool,
     /// Payload of the winning microservice, if any.
@@ -163,6 +260,10 @@ pub struct ServiceResponse {
     /// had not started were skipped; the reported outcome covers only the
     /// legs that ran.
     pub pruned: Option<PruneReason>,
+    /// Full attribution of the prune (reason, class, remaining deadline
+    /// budget at the prune instant). Always present when
+    /// [`ServiceResponse::pruned`] is.
+    pub prune_detail: Option<PruneDetail>,
 }
 
 /// Record of one time slot's planning decision, kept for diagnostics and
@@ -187,7 +288,6 @@ struct ActivePlan {
     /// but a subset when providers for some capabilities were missing at
     /// planning time (the slot plans over what it has).
     names: Vec<String>,
-    advisory: Option<QosAdvisory>,
 }
 
 struct ServiceState {
@@ -201,9 +301,20 @@ struct ServiceState {
     history: VecDeque<SlotRecord>,
 }
 
-/// Per-service admission control: a bounded in-flight limit plus a bounded
-/// wait queue. Requests beyond both bounds are shed immediately
-/// ([`RuntimeError::Overloaded`]) instead of piling up unboundedly.
+/// Per-service admission control: a bounded in-flight limit plus a
+/// bounded, **class-aware** wait queue. Requests beyond both bounds are
+/// shed ([`RuntimeError::Overloaded`]) instead of piling up unboundedly.
+///
+/// The queue is one FIFO per [`QosClass`]. A freed in-flight slot is
+/// handed to the next waiter by smooth weighted round-robin over the
+/// nonempty class queues ([`pick_class`]), so a backlogged service serves
+/// classes in proportion to [`QosClass::weight`] without ever starving a
+/// nonempty queue. When every queue slot is taken, an arriving request may
+/// *preempt* the newest waiter of the lowest queued class
+/// ([`AdmissionGate::preemption_victim`]): Scavenger waiters shed first to
+/// any higher class, and Critical arrivals preempt any lower class. The
+/// preempted waiter wakes and is shed exactly as if it had never been
+/// queued.
 ///
 /// Waiters block on a plain OS condvar, *not* on the execution clock. An
 /// *unregistered* caller's wait stays invisible to
@@ -217,7 +328,7 @@ struct ServiceState {
 struct AdmissionGate {
     /// In-flight limit (`0` = unlimited).
     limit: usize,
-    /// Queue capacity once the limit is reached.
+    /// Total queue capacity (across all classes) once the limit is reached.
     max_queue: usize,
     state: StdMutex<GateState>,
     freed: Condvar,
@@ -226,7 +337,46 @@ struct AdmissionGate {
 #[derive(Default)]
 struct GateState {
     in_flight: usize,
-    waiting: usize,
+    /// FIFO of waiter tickets per class, indexed by [`QosClass::index`].
+    waiting: [VecDeque<u64>; CLASS_COUNT],
+    /// Smooth weighted-round-robin accumulators, one per class.
+    wrr: [i64; CLASS_COUNT],
+    /// Tickets whose waiters have been handed a freed in-flight slot.
+    granted: Vec<u64>,
+    /// Tickets preempted out of their queue slot by a higher class.
+    preempted: Vec<u64>,
+    next_ticket: u64,
+}
+
+impl GateState {
+    fn queued(&self) -> usize {
+        self.waiting.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// Picks which class dequeues next by smooth weighted round-robin (the
+/// nginx variant): every nonempty class gains its weight, the largest
+/// accumulator wins (ties to the higher-priority class) and pays back the
+/// total gained. Admissions interleave proportionally to the weights, and
+/// a class whose queue stays nonempty is picked at least once every
+/// `total_weight` picks — no nonempty class is ever starved.
+fn pick_class(wrr: &mut [i64; CLASS_COUNT], nonempty: [bool; CLASS_COUNT]) -> Option<usize> {
+    let mut total = 0i64;
+    let mut best: Option<usize> = None;
+    for (index, has_waiters) in nonempty.iter().enumerate() {
+        if !has_waiters {
+            continue;
+        }
+        let weight = i64::from(QosClass::ALL[index].weight());
+        wrr[index] += weight;
+        total += weight;
+        if best.is_none_or(|b| wrr[index] > wrr[b]) {
+            best = Some(index);
+        }
+    }
+    let winner = best?;
+    wrr[winner] -= total;
+    Some(winner)
 }
 
 /// Why a request could not be admitted.
@@ -245,49 +395,105 @@ impl AdmissionGate {
         }
     }
 
-    /// Admits the caller, blocking in the queue when the service is at its
-    /// in-flight limit. `on_queue_depth` is called with the new queue depth
-    /// whenever this caller enters or leaves the queue. A caller registered
-    /// as a worker of `clock` is marked passive while queued (see the type
-    /// docs).
+    /// The class index an arriving request of `class` may preempt a waiter
+    /// from: the lowest-priority nonempty queue, and only when that queue
+    /// is strictly lower priority than the arrival *and* either the victim
+    /// is Scavenger (sheds first, to anyone higher) or the arrival is
+    /// Critical (preempts every lower class).
+    fn preemption_victim(state: &GateState, class: QosClass) -> Option<usize> {
+        let victim = (0..CLASS_COUNT)
+            .rev()
+            .find(|&i| !state.waiting[i].is_empty())?;
+        let lower = victim > class.index();
+        let eligible = victim == QosClass::Scavenger.index() || class == QosClass::Critical;
+        (lower && eligible).then_some(victim)
+    }
+
+    /// Admits the caller, blocking in its class's queue when the service
+    /// is at its in-flight limit. `on_queue_depth` is called with
+    /// `(class, class depth, total depth)` whenever this caller enters or
+    /// leaves the queue. A caller registered as a worker of `clock` is
+    /// marked passive while queued (see the type docs).
     fn admit<'a>(
         &'a self,
+        class: QosClass,
         clock: &dyn Clock,
-        on_queue_depth: impl Fn(u64),
+        on_queue_depth: impl Fn(QosClass, u64, u64),
     ) -> Result<AdmissionPermit<'a>, Shed> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if self.limit > 0 && state.in_flight >= self.limit {
-            if state.waiting >= self.max_queue {
-                return Err(Shed {
-                    in_flight: state.in_flight as u64,
-                    queued: state.waiting as u64,
-                });
+            if state.queued() >= self.max_queue {
+                // Queue full. Either a lower-class waiter gives up its
+                // slot to this arrival, or the arrival itself is shed.
+                match Self::preemption_victim(&state, class) {
+                    Some(victim_class) => {
+                        let ticket = state.waiting[victim_class]
+                            .pop_back()
+                            .expect("victim class has waiters");
+                        state.preempted.push(ticket);
+                        self.freed.notify_all();
+                    }
+                    None => {
+                        return Err(Shed {
+                            in_flight: state.in_flight as u64,
+                            queued: state.queued() as u64,
+                        });
+                    }
+                }
             }
-            state.waiting += 1;
-            on_queue_depth(state.waiting as u64);
+            let ticket = state.next_ticket;
+            state.next_ticket += 1;
+            let index = class.index();
+            state.waiting[index].push_back(ticket);
+            on_queue_depth(
+                class,
+                state.waiting[index].len() as u64,
+                state.queued() as u64,
+            );
             let registered = clock.thread_is_worker();
             if registered {
                 clock.enter_passive();
             }
-            while state.in_flight >= self.limit {
+            let admitted = loop {
+                if let Some(pos) = state.granted.iter().position(|&t| t == ticket) {
+                    state.granted.swap_remove(pos);
+                    break true;
+                }
+                if let Some(pos) = state.preempted.iter().position(|&t| t == ticket) {
+                    state.preempted.swap_remove(pos);
+                    break false;
+                }
                 state = self
                     .freed
                     .wait(state)
                     .unwrap_or_else(PoisonError::into_inner);
-            }
+            };
             if registered {
                 clock.exit_passive();
             }
-            state.waiting -= 1;
-            on_queue_depth(state.waiting as u64);
+            on_queue_depth(
+                class,
+                state.waiting[index].len() as u64,
+                state.queued() as u64,
+            );
+            if !admitted {
+                return Err(Shed {
+                    in_flight: state.in_flight as u64,
+                    queued: state.queued() as u64,
+                });
+            }
+            // The releasing permit transferred its in-flight slot with the
+            // grant, so `in_flight` already counts this request.
+            return Ok(AdmissionPermit { gate: self });
         }
         state.in_flight += 1;
         Ok(AdmissionPermit { gate: self })
     }
 }
 
-/// RAII admission slot: dropping it releases the in-flight slot and wakes
-/// one queued waiter.
+/// RAII admission slot: dropping it hands the slot to the next queued
+/// waiter (weighted pick across the class queues) or, with nobody
+/// waiting, releases it.
 struct AdmissionPermit<'a> {
     gate: &'a AdmissionGate,
 }
@@ -299,20 +505,42 @@ impl Drop for AdmissionPermit<'_> {
             .state
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        state.in_flight -= 1;
-        drop(state);
-        self.gate.freed.notify_one();
+        let nonempty = std::array::from_fn(|i| !state.waiting[i].is_empty());
+        // Hand the slot straight to the chosen waiter instead of freeing
+        // it, so a racing new arrival cannot barge past the queue.
+        if let Some(class) = pick_class(&mut state.wrr, nonempty) {
+            let ticket = state.waiting[class].pop_front().expect("class is nonempty");
+            state.granted.push(ticket);
+            drop(state);
+            self.gate.freed.notify_all();
+        } else {
+            state.in_flight -= 1;
+            drop(state);
+            self.gate.freed.notify_one();
+        }
     }
 }
 
+/// Live per-service overrides set through [`GatewayControl`]. Applied to
+/// every subsequent request that does not set the field explicitly,
+/// without re-planning the slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServiceOverrides {
+    class: Option<QosClass>,
+    deadline: Option<Duration>,
+    requirement: Option<Requirements>,
+}
+
 /// One service's entry in the gateway: its state cell (`None` until the
-/// script has been fetched and validated), its admission gate, and the
-/// eviction flag chained into every in-flight request's [`Budget`]. Each
-/// service has its own lock so one service's (potentially expensive) slot
-/// re-plan never blocks invocations of another.
+/// script has been fetched and validated), its admission gate, its live
+/// control-plane overrides, and the eviction flag chained into every
+/// in-flight request's [`Budget`]. Each service has its own lock so one
+/// service's (potentially expensive) slot re-plan never blocks
+/// invocations of another.
 struct ServiceEntry {
     cell: Mutex<Option<ServiceState>>,
     gate: AdmissionGate,
+    overrides: Mutex<ServiceOverrides>,
     evicted: Arc<AtomicBool>,
 }
 
@@ -407,57 +635,83 @@ impl Gateway {
     ///
     /// # Errors
     ///
-    /// See [`Gateway::invoke_with_payload`].
+    /// See [`Gateway::submit`].
+    #[deprecated(note = "build a typed request with `Request::new(service)` \
+                         and submit it through `Gateway::submit`")]
     pub fn invoke(&self, service_id: &str) -> Result<ServiceResponse, RuntimeError> {
-        self.invoke_inner(service_id, Vec::new())
+        self.invoke_inner(Request::new(service_id))
     }
 
-    /// Invokes the service identified by `service_id`.
-    ///
-    /// On the first invocation the script is fetched from the market and
-    /// cached. Each slot boundary re-plans the strategy from collector
-    /// data. Concurrent invocations of the same service execute in
-    /// parallel (planning is serialized per service; execution is not),
-    /// bounded by [`GatewayConfig::max_in_flight`].
+    /// Invokes the service identified by `service_id` with `payload`.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::UnknownService`] if the market has no such
-    /// script, [`RuntimeError::NoProvider`] if a capability has no
-    /// registered provider, [`RuntimeError::Overloaded`] if the service is
-    /// at its in-flight limit with a full admission queue, or an
-    /// invalid-script/generation error.
+    /// See [`Gateway::submit`].
+    #[deprecated(note = "build a typed request with \
+                         `Request::new(service).payload(..)` and submit it \
+                         through `Gateway::submit`")]
     pub fn invoke_with_payload(
         &self,
         service_id: &str,
         payload: Vec<u8>,
     ) -> Result<ServiceResponse, RuntimeError> {
-        self.invoke_inner(service_id, payload)
+        self.invoke_inner(Request::new(service_id).payload(payload))
     }
 
-    /// The single invocation path behind [`Gateway::invoke`] and
-    /// [`Gateway::invoke_with_payload`]: admission, script fetch/planning,
-    /// engine execution, telemetry.
-    fn invoke_inner(
-        &self,
-        service_id: &str,
-        payload: Vec<u8>,
-    ) -> Result<ServiceResponse, RuntimeError> {
+    /// Submits a typed [`Request`] to its service.
+    ///
+    /// On the first invocation the script is fetched from the market and
+    /// cached. Each slot boundary re-plans the strategy from collector
+    /// data. Concurrent invocations of the same service execute in
+    /// parallel (planning is serialized per service; execution is not),
+    /// bounded by [`GatewayConfig::max_in_flight`] with class-aware
+    /// queueing (see [`QosClass`]).
+    ///
+    /// Unset request fields resolve in order: request explicit value →
+    /// service live override ([`Gateway::control`]) → gateway
+    /// configuration → class default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownService`] if the market has no such
+    /// script, [`RuntimeError::NoProvider`] if a capability has no
+    /// registered provider, [`RuntimeError::Overloaded`] if the request
+    /// was shed (queue full, or preempted out of its queue slot by a
+    /// higher class), or an invalid-script/generation error.
+    pub fn submit(&self, request: Request) -> Result<ServiceResponse, RuntimeError> {
+        self.invoke_inner(request)
+    }
+
+    /// The single invocation path behind [`Gateway::submit`] (and the
+    /// deprecated `invoke`/`invoke_with_payload` shims): admission, script
+    /// fetch/planning, engine execution, telemetry.
+    fn invoke_inner(&self, request: Request) -> Result<ServiceResponse, RuntimeError> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (service_id, explicit_class, explicit_deadline, explicit_requirement, payload) =
+            request.into_parts();
+        let service_id = service_id.as_str();
         let entry = self.service_entry(service_id);
+        let overrides = *entry.overrides.lock();
+        let class = explicit_class.or(overrides.class).unwrap_or_default();
 
         // Admission first: it bounds everything the request does from here
         // on (planning included). Shedding here keeps an overloaded
         // service's queue — and the gateway's thread usage — bounded.
-        let _permit = match entry.gate.admit(&*self.clock, |depth| {
-            self.telemetry.record_admission_queue(service_id, depth)
-        }) {
+        let _permit = match entry
+            .gate
+            .admit(class, &*self.clock, |c, class_depth, total| {
+                self.telemetry.record_admission_queue(service_id, total);
+                self.telemetry
+                    .record_class_queue_depth(service_id, c, class_depth);
+            }) {
             Ok(permit) => permit,
             Err(shed) => {
                 self.telemetry
-                    .record_shed(service_id, shed.in_flight, shed.queued);
+                    .record_shed(service_id, class, shed.in_flight, shed.queued);
                 return Err(RuntimeError::Overloaded {
                     service_id: service_id.to_string(),
+                    class,
+                    queue_depth: shed.queued,
                 });
             }
         };
@@ -467,7 +721,7 @@ impl Gateway {
         // held just long enough to find the entry, so one service's
         // exhaustive re-plan never blocks invocations of other services.
         // Execution then happens outside every lock.
-        let (strategy, providers, names, slot, origin, advisory, quorum) = {
+        let (strategy, providers, names, slot, origin, estimated, base_requirements, quorum) = {
             let mut guard = entry.cell.lock();
             if guard.is_none() {
                 let t0 = self.clock.now();
@@ -548,14 +802,40 @@ impl Gateway {
                 active.names.clone(),
                 state.slot,
                 active.plan.origin.clone(),
-                active.advisory.clone(),
+                active.plan.estimated,
+                state.script.requirements,
                 state.script.quorum,
             )
         };
 
+        // The advisory judges the slot's estimated QoS against *this
+        // request's* effective requirement (explicit → live override →
+        // class default over the script's requirements), so a Scavenger
+        // probe does not raise alarms calibrated for interactive clients.
+        let requirement = explicit_requirement
+            .or(overrides.requirement)
+            .unwrap_or_else(|| class.default_requirement(&base_requirements));
+        let advisory = estimated.and_then(|estimated| {
+            let violations = requirement.violations(&estimated);
+            if violations.is_empty() {
+                None
+            } else {
+                Some(QosAdvisory {
+                    estimated,
+                    violations,
+                })
+            }
+        });
+
         let request = Invocation::new(request_id, service_id.to_string(), payload);
-        let mut budget = Budget::unlimited().with_parent_flag(Arc::clone(&entry.evicted));
-        if let Some(deadline) = self.config.request_deadline {
+        let mut budget = Budget::unlimited()
+            .with_class(class)
+            .with_parent_flag(Arc::clone(&entry.evicted));
+        let deadline = explicit_deadline
+            .or(overrides.deadline)
+            .or(self.config.request_deadline)
+            .or_else(|| class.default_deadline());
+        if let Some(deadline) = deadline {
             budget = budget.with_deadline(self.clock.now() + deadline);
         }
         let policy = match quorum {
@@ -574,9 +854,10 @@ impl Gateway {
         })?;
 
         let pruned = outcome.pruned;
+        let prune_detail = outcome.prune_detail;
         if pruned == Some(PruneReason::DeadlineExceeded) {
             self.telemetry
-                .record_deadline_exceeded(service_id, request_id);
+                .record_deadline_exceeded(service_id, request_id, class);
         }
         let latency = outcome.latency;
         let cost = outcome.cost;
@@ -592,6 +873,7 @@ impl Gateway {
 
         self.telemetry.record_request(
             service_id,
+            class,
             success,
             latency,
             cost,
@@ -601,6 +883,7 @@ impl Gateway {
 
         Ok(ServiceResponse {
             request_id,
+            class,
             success,
             payload,
             latency,
@@ -612,7 +895,18 @@ impl Gateway {
             advisory,
             votes,
             pruned,
+            prune_detail,
         })
+    }
+
+    /// The gateway's runtime control plane: retunes a live service's
+    /// traffic class, deadline, or requirement without re-planning its
+    /// slot. Every applied override is recorded as exactly one
+    /// [`EventKind::OverrideApplied`](crate::EventKind::OverrideApplied)
+    /// telemetry event and takes effect at the next admission decision.
+    #[must_use]
+    pub fn control(&self) -> GatewayControl<'_> {
+        GatewayControl { gateway: self }
     }
 
     /// Current occupancy counters of the engine's worker pool (capacity,
@@ -634,6 +928,7 @@ impl Gateway {
             Arc::new(ServiceEntry {
                 cell: Mutex::new(None),
                 gate: AdmissionGate::new(config.max_in_flight, config.admission_queue),
+                overrides: Mutex::new(ServiceOverrides::default()),
                 evicted: Arc::new(AtomicBool::new(false)),
             })
         }))
@@ -711,23 +1006,10 @@ impl Gateway {
             Some(&self.telemetry),
         )?;
 
-        let advisory = plan.estimated.and_then(|estimated| {
-            let violations = state.script.requirements.violations(&estimated);
-            if violations.is_empty() {
-                None
-            } else {
-                Some(QosAdvisory {
-                    estimated,
-                    violations,
-                })
-            }
-        });
-
         Ok(ActivePlan {
             names: script.ms_names().iter().map(|s| (*s).to_string()).collect(),
             plan,
             providers,
-            advisory,
         })
     }
 
@@ -834,6 +1116,64 @@ impl Gateway {
     }
 }
 
+/// Handle for live per-service overrides, obtained from
+/// [`Gateway::control`].
+///
+/// Overrides retune a service mid-slot — no re-plan, no re-fetch. They
+/// fill request fields that were not set explicitly (see the resolution
+/// order on [`Gateway::submit`]) and apply from the next admission
+/// decision on; requests already admitted are unaffected. Each setter
+/// records exactly one telemetry event, so an operator replaying the
+/// event ring can reconstruct the full override history.
+///
+/// # Examples
+///
+/// ```no_run
+/// use qce_runtime::{Gateway, GatewayConfig, InMemoryMarket, QosClass};
+///
+/// let gateway = Gateway::new(Box::new(InMemoryMarket::new()), GatewayConfig::default());
+/// gateway.control().set_class("temp", QosClass::Critical);
+/// ```
+#[derive(Debug)]
+pub struct GatewayControl<'a> {
+    gateway: &'a Gateway,
+}
+
+impl GatewayControl<'_> {
+    /// Overrides the traffic class of `service_id` for every subsequent
+    /// request that does not set one explicitly.
+    pub fn set_class(&self, service_id: &str, class: QosClass) {
+        let entry = self.gateway.service_entry(service_id);
+        entry.overrides.lock().class = Some(class);
+        self.gateway
+            .telemetry
+            .record_override(service_id, "class", &class.to_string());
+    }
+
+    /// Overrides the per-request deadline of `service_id` (`None` clears a
+    /// previous override, falling back to the gateway configuration and
+    /// the class default).
+    pub fn set_deadline(&self, service_id: &str, deadline: Option<Duration>) {
+        let entry = self.gateway.service_entry(service_id);
+        entry.overrides.lock().deadline = deadline;
+        let value = deadline.map_or_else(|| "none".to_string(), |d| format!("{}ms", d.as_millis()));
+        self.gateway
+            .telemetry
+            .record_override(service_id, "deadline", &value);
+    }
+
+    /// Overrides the QoS requirement requests of `service_id` are judged
+    /// against (the response advisory reports violations of this
+    /// requirement instead of the script's).
+    pub fn set_requirement(&self, service_id: &str, requirement: Requirements) {
+        let entry = self.gateway.service_entry(service_id);
+        entry.overrides.lock().requirement = Some(requirement);
+        self.gateway
+            .telemetry
+            .record_override(service_id, "requirement", &requirement.to_string());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -894,7 +1234,7 @@ mod tests {
     fn unknown_service_is_reported() {
         let gateway = Gateway::new(Box::new(InMemoryMarket::new()), GatewayConfig::default());
         assert!(matches!(
-            gateway.invoke("nope"),
+            gateway.submit(Request::new("nope")),
             Err(RuntimeError::UnknownService { .. })
         ));
     }
@@ -903,7 +1243,7 @@ mod tests {
     fn missing_provider_is_reported() {
         let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
         assert!(matches!(
-            gateway.invoke("temp"),
+            gateway.submit(Request::new("temp")),
             Err(RuntimeError::NoProvider { .. })
         ));
     }
@@ -912,7 +1252,7 @@ mod tests {
     fn first_slot_runs_speculative_parallel_default() {
         let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert!(response.success);
         assert_eq!(response.slot, 0);
         assert_eq!(response.origin, StrategyOrigin::Default);
@@ -926,9 +1266,9 @@ mod tests {
         let gateway = Gateway::new(market_with(script(5)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
         for _ in 0..5 {
-            gateway.invoke("temp").unwrap();
+            gateway.submit(Request::new("temp")).unwrap();
         }
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert_eq!(response.slot, 1);
         assert!(matches!(response.origin, StrategyOrigin::Generated(_)));
         // With perfectly reliable observed providers, fail-over on the best
@@ -944,7 +1284,7 @@ mod tests {
         let gateway = Gateway::new(market_with(script(3)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
         let slots: Vec<u64> = (0..7)
-            .map(|_| gateway.invoke("temp").unwrap().slot)
+            .map(|_| gateway.submit(Request::new("temp")).unwrap().slot)
             .collect();
         assert_eq!(slots, vec![0, 0, 0, 1, 1, 1, 2]);
     }
@@ -953,10 +1293,10 @@ mod tests {
     fn end_slot_forces_replan() {
         let gateway = Gateway::new(market_with(script(100)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
-        gateway.invoke("temp").unwrap();
+        gateway.submit(Request::new("temp")).unwrap();
         assert_eq!(gateway.slot_history("temp").len(), 1);
         gateway.end_slot("temp");
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert_eq!(response.slot, 1);
         assert_eq!(gateway.slot_history("temp").len(), 2);
     }
@@ -970,9 +1310,9 @@ mod tests {
         let gateway = Gateway::new(market_with(s), GatewayConfig::default());
         register_devices(&gateway, 0.5);
         for _ in 0..5 {
-            let _ = gateway.invoke("temp").unwrap();
+            let _ = gateway.submit(Request::new("temp")).unwrap();
         }
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         let advisory = response.advisory.expect("requirements cannot be met");
         assert!(!advisory.violations.is_empty());
     }
@@ -982,7 +1322,7 @@ mod tests {
         let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
         assert!(gateway.current_strategy("temp").is_none());
-        gateway.invoke("temp").unwrap();
+        gateway.submit(Request::new("temp")).unwrap();
         let text = gateway.current_strategy("temp").unwrap();
         assert!(text.contains("readTempSensor"), "{text}");
     }
@@ -993,10 +1333,10 @@ mod tests {
         market.publish(script(10)).unwrap();
         let gateway = Gateway::new(Box::new(market), GatewayConfig::default());
         register_devices(&gateway, 1.0);
-        gateway.invoke("temp").unwrap();
+        gateway.submit(Request::new("temp")).unwrap();
         gateway.evict_service("temp");
         assert!(gateway.slot_history("temp").is_empty());
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert_eq!(response.slot, 0, "state restarted");
     }
 
@@ -1004,7 +1344,7 @@ mod tests {
     fn collector_fills_during_first_slot() {
         let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
-        gateway.invoke("temp").unwrap();
+        gateway.submit(Request::new("temp")).unwrap();
         // The parallel default invoked every provider once.
         assert_eq!(gateway.collector().provider_ids().len(), 3);
     }
@@ -1015,7 +1355,7 @@ mod tests {
         s.quorum = Some(2);
         let gateway = Gateway::new(market_with(s), GatewayConfig::default());
         register_devices(&gateway, 1.0);
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert!(response.success);
         let (votes, cast) = response.votes.expect("quorum execution reports votes");
         assert!(votes >= 2, "votes {votes}");
@@ -1026,7 +1366,7 @@ mod tests {
     fn failed_request_still_reports() {
         let gateway = Gateway::new(market_with(script(10)), GatewayConfig::default());
         register_devices(&gateway, 0.0);
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert!(!response.success);
         assert!(response.payload.is_none());
         assert_eq!(response.cost, 150.0, "all three tried and failed");
@@ -1040,13 +1380,13 @@ mod tests {
         // becomes possible again.
         let gateway = Gateway::new(market_with(script(2)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
-        gateway.invoke("temp").unwrap();
-        gateway.invoke("temp").unwrap(); // slot 0 exhausted
+        gateway.submit(Request::new("temp")).unwrap();
+        gateway.submit(Request::new("temp")).unwrap(); // slot 0 exhausted
 
         assert!(gateway.registry().deregister("dev0/read-temp"));
         assert!(gateway.registry().deregister("dev1/est-temp"));
         assert!(gateway.registry().deregister("dev2/loc-temp"));
-        let error = gateway.invoke("temp").unwrap_err();
+        let error = gateway.submit(Request::new("temp")).unwrap_err();
         assert!(matches!(error, RuntimeError::NoProvider { .. }));
         gateway.registry().register(
             SimulatedProvider::builder("dev1/est-temp", "est-temp")
@@ -1072,7 +1412,7 @@ mod tests {
                 .reliability(1.0)
                 .build(),
         );
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert_eq!(response.slot, 1);
         assert!(
             matches!(response.origin, StrategyOrigin::Generated(_)),
@@ -1099,11 +1439,11 @@ mod tests {
         // service down — the next slot plans over what it still has.
         let gateway = Gateway::new(market_with(script(2)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
-        gateway.invoke("temp").unwrap();
-        gateway.invoke("temp").unwrap(); // slot 0 exhausted
+        gateway.submit(Request::new("temp")).unwrap();
+        gateway.submit(Request::new("temp")).unwrap(); // slot 0 exhausted
 
         assert!(gateway.provider_left("dev0/read-temp"));
-        let response = gateway.invoke("temp").unwrap();
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert!(response.success);
         assert_eq!(response.slot, 1);
         assert!(
@@ -1126,8 +1466,8 @@ mod tests {
                 .reliability(1.0)
                 .build(),
         );
-        gateway.invoke("temp").unwrap(); // slot 1 exhausted
-        let response = gateway.invoke("temp").unwrap();
+        gateway.submit(Request::new("temp")).unwrap(); // slot 1 exhausted
+        let response = gateway.submit(Request::new("temp")).unwrap();
         assert!(response.success);
         assert_eq!(response.slot, 2);
         let snapshot = gateway.telemetry().snapshot();
@@ -1138,14 +1478,11 @@ mod tests {
 
     #[test]
     fn history_is_bounded_and_evictions_are_counted() {
-        let config = GatewayConfig {
-            history_limit: 3,
-            ..GatewayConfig::default()
-        };
+        let config = GatewayConfig::builder().history_limit(3).build();
         let gateway = Gateway::new(market_with(script(1)), config);
         register_devices(&gateway, 1.0);
         for _ in 0..10 {
-            gateway.invoke("temp").unwrap();
+            gateway.submit(Request::new("temp")).unwrap();
         }
         let history = gateway.slot_history("temp");
         assert_eq!(history.len(), 3, "ring keeps only the newest records");
@@ -1165,11 +1502,10 @@ mod tests {
         // the collector means — and with them the assumed environment —
         // are bit-identical from slot to slot: the plan cache must hit.
         let clock = Arc::new(VirtualClock::new());
-        let config = GatewayConfig {
-            generator_warm_start: true,
-            plan_cache: true,
-            ..GatewayConfig::default()
-        };
+        let config = GatewayConfig::builder()
+            .generator_warm_start(true)
+            .plan_cache(true)
+            .build();
         let gateway = Gateway::with_clock(
             market_with(script(1)),
             config,
@@ -1189,7 +1525,7 @@ mod tests {
             );
         }
         for _ in 0..6 {
-            assert!(gateway.invoke("temp").unwrap().success);
+            assert!(gateway.submit(Request::new("temp")).unwrap().success);
         }
         let snapshot = gateway.telemetry().snapshot();
         let svc = snapshot.service("temp").unwrap();
@@ -1319,8 +1655,8 @@ mod tests {
             },
         ));
         std::thread::scope(|scope| {
-            let a = scope.spawn(|| gateway.invoke("svc").unwrap());
-            let b = scope.spawn(|| gateway.invoke("svc").unwrap());
+            let a = scope.spawn(|| gateway.submit(Request::new("svc")).unwrap());
+            let b = scope.spawn(|| gateway.submit(Request::new("svc")).unwrap());
             assert!(a.join().unwrap().success);
             assert!(b.join().unwrap().success);
         });
@@ -1330,11 +1666,10 @@ mod tests {
 
     #[test]
     fn admission_sheds_past_the_queue_and_counts_it() {
-        let config = GatewayConfig {
-            max_in_flight: 1,
-            admission_queue: 0,
-            ..GatewayConfig::default()
-        };
+        let config = GatewayConfig::builder()
+            .max_in_flight(1)
+            .admission_queue(0)
+            .build();
         let gateway = Gateway::new(market_with(one_ms_script()), config);
         let gate = TestGate::new();
         let provider_gate = Arc::clone(&gate);
@@ -1348,10 +1683,10 @@ mod tests {
             },
         ));
         std::thread::scope(|scope| {
-            let running = scope.spawn(|| gateway.invoke("svc").unwrap());
+            let running = scope.spawn(|| gateway.submit(Request::new("svc")).unwrap());
             gate.await_entered(1);
             // The service is at its limit with no queue: shed immediately.
-            let shed = gateway.invoke("svc");
+            let shed = gateway.submit(Request::new("svc"));
             assert!(matches!(shed, Err(RuntimeError::Overloaded { .. })));
             gate.open();
             assert!(running.join().unwrap().success);
@@ -1364,19 +1699,22 @@ mod tests {
             &e.kind,
             crate::telemetry::EventKind::RequestShed {
                 service,
+                class,
                 in_flight,
                 queued,
-            } if service == "svc" && *in_flight == 1 && *queued == 0
+            } if service == "svc"
+                && *class == QosClass::Interactive
+                && *in_flight == 1
+                && *queued == 0
         )));
     }
 
     #[test]
     fn queued_request_waits_for_a_slot_and_proceeds() {
-        let config = GatewayConfig {
-            max_in_flight: 1,
-            admission_queue: 4,
-            ..GatewayConfig::default()
-        };
+        let config = GatewayConfig::builder()
+            .max_in_flight(1)
+            .admission_queue(4)
+            .build();
         let gateway = Gateway::new(market_with(one_ms_script()), config);
         let gate = TestGate::new();
         let provider_gate = Arc::clone(&gate);
@@ -1390,9 +1728,9 @@ mod tests {
             },
         ));
         std::thread::scope(|scope| {
-            let first = scope.spawn(|| gateway.invoke("svc").unwrap());
+            let first = scope.spawn(|| gateway.submit(Request::new("svc")).unwrap());
             gate.await_entered(1);
-            let queued = scope.spawn(|| gateway.invoke("svc").unwrap());
+            let queued = scope.spawn(|| gateway.submit(Request::new("svc")).unwrap());
             // Wait until the second request is visibly parked in the
             // admission queue before releasing the first.
             while gateway
@@ -1426,11 +1764,10 @@ mod tests {
         use crate::clock::{VirtualClock, WorkerGuard};
 
         let clock = Arc::new(VirtualClock::new());
-        let config = GatewayConfig {
-            max_in_flight: 1,
-            admission_queue: 4,
-            ..GatewayConfig::default()
-        };
+        let config = GatewayConfig::builder()
+            .max_in_flight(1)
+            .admission_queue(4)
+            .build();
         let gateway = Gateway::with_clock(
             market_with(one_ms_script()),
             config,
@@ -1452,12 +1789,12 @@ mod tests {
         std::thread::scope(|scope| {
             let first = scope.spawn(|| {
                 let _worker = WorkerGuard::enter(&*clock);
-                gateway.invoke("svc").unwrap()
+                gateway.submit(Request::new("svc")).unwrap()
             });
             gate.await_entered(1);
             let queued = scope.spawn(|| {
                 let _worker = WorkerGuard::enter(&*clock);
-                gateway.invoke("svc").unwrap()
+                gateway.submit(Request::new("svc")).unwrap()
             });
             // The second caller must be parked in the admission queue
             // before the first is released, or it would be admitted
@@ -1490,10 +1827,9 @@ mod tests {
         use crate::clock::VirtualClock;
 
         let clock = Arc::new(VirtualClock::new());
-        let config = GatewayConfig {
-            request_deadline: Some(Duration::from_millis(8)),
-            ..GatewayConfig::default()
-        };
+        let config = GatewayConfig::builder()
+            .request_deadline(Some(Duration::from_millis(8)))
+            .build();
         let gateway = Gateway::with_clock(
             market_with(seq_script()),
             config,
@@ -1511,7 +1847,7 @@ mod tests {
                     .build(),
             );
         }
-        let response = gateway.invoke("svc").unwrap();
+        let response = gateway.submit(Request::new("svc")).unwrap();
         assert!(!response.success);
         assert_eq!(response.pruned, Some(PruneReason::DeadlineExceeded));
         assert_eq!(response.cost, 50.0, "leg b never started, never charged");
@@ -1560,7 +1896,7 @@ mod tests {
             },
         ));
         std::thread::scope(|scope| {
-            let in_flight = scope.spawn(|| gateway.invoke("svc").unwrap());
+            let in_flight = scope.spawn(|| gateway.submit(Request::new("svc")).unwrap());
             // The request is mid-leg-`a` when the service is evicted.
             gate.await_entered(1);
             gateway.evict_service("svc");
@@ -1580,7 +1916,7 @@ mod tests {
         );
         // The service restarts cleanly: a fresh invocation re-fetches the
         // script and, with the gate now open, fails over from a to b.
-        let response = gateway.invoke("svc").unwrap();
+        let response = gateway.submit(Request::new("svc")).unwrap();
         assert!(response.success);
         assert_eq!(response.slot, 0, "fresh state");
         assert_eq!(response.pruned, None);
@@ -1589,12 +1925,323 @@ mod tests {
         assert_eq!(snapshot.market.fetches, 2, "evicted script re-fetched");
     }
 
+    /// Satellite property test: smooth weighted round-robin never starves
+    /// a queue that stays nonempty, whatever the (seeded pseudo-random)
+    /// pattern of nonempty classes around it.
+    #[test]
+    fn weighted_dequeue_never_starves_a_nonempty_class() {
+        let total_weight: i64 = QosClass::ALL.iter().map(|c| i64::from(c.weight())).sum();
+
+        // With every queue backlogged, picks match the weights exactly.
+        let mut wrr = [0i64; CLASS_COUNT];
+        let mut picks = [0usize; CLASS_COUNT];
+        for _ in 0..10 * total_weight {
+            let picked = pick_class(&mut wrr, [true; CLASS_COUNT]).unwrap();
+            picks[picked] += 1;
+        }
+        assert_eq!(picks, [80, 40, 20, 10], "10 cycles of 8/4/2/1");
+
+        // Seeded LCG → deterministic "random" nonempty patterns.
+        let mut seed: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rand = move || {
+            seed = seed
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (seed >> 33) as usize
+        };
+        let bound = (4 * total_weight) as usize;
+        let mut wrr = [0i64; CLASS_COUNT];
+        let mut unserved = [0usize; CLASS_COUNT];
+        for round in 0..10_000 {
+            let mask = (rand() & 0xF).max(1); // nonempty subset of the 4 classes
+            let nonempty: [bool; CLASS_COUNT] = std::array::from_fn(|i| mask & (1 << i) != 0);
+            let picked = pick_class(&mut wrr, nonempty).expect("subset is nonempty");
+            assert!(nonempty[picked], "picked an empty queue in round {round}");
+            for (class, gap) in unserved.iter_mut().enumerate() {
+                if !nonempty[class] || class == picked {
+                    // An empty queue cannot be starved; a served one isn't.
+                    *gap = 0;
+                } else {
+                    *gap += 1;
+                    assert!(
+                        *gap <= bound,
+                        "class {class} went {gap} picks unserved while nonempty (round {round})"
+                    );
+                }
+            }
+        }
+        assert_eq!(pick_class(&mut wrr, [false; CLASS_COUNT]), None);
+    }
+
+    #[test]
+    fn preemption_sheds_scavengers_first_and_lets_critical_preempt() {
+        let victim = AdmissionGate::preemption_victim;
+        let mut state = GateState::default();
+        assert_eq!(victim(&state, QosClass::Critical), None, "empty queue");
+
+        state.waiting[QosClass::Scavenger.index()].push_back(1);
+        assert_eq!(
+            victim(&state, QosClass::Bulk),
+            Some(QosClass::Scavenger.index()),
+            "a Scavenger slot sheds to any higher class"
+        );
+        assert_eq!(victim(&state, QosClass::Scavenger), None, "not to a peer");
+
+        state.waiting[QosClass::Scavenger.index()].clear();
+        state.waiting[QosClass::Bulk.index()].push_back(2);
+        assert_eq!(
+            victim(&state, QosClass::Interactive),
+            None,
+            "only Critical preempts non-Scavenger classes"
+        );
+        assert_eq!(
+            victim(&state, QosClass::Critical),
+            Some(QosClass::Bulk.index())
+        );
+
+        state.waiting[QosClass::Interactive.index()].push_back(3);
+        assert_eq!(
+            victim(&state, QosClass::Critical),
+            Some(QosClass::Bulk.index()),
+            "the lowest queued class is the victim"
+        );
+        state.waiting[QosClass::Bulk.index()].clear();
+        assert_eq!(
+            victim(&state, QosClass::Critical),
+            Some(QosClass::Interactive.index())
+        );
+
+        state.waiting[QosClass::Interactive.index()].clear();
+        state.waiting[QosClass::Critical.index()].push_back(4);
+        assert_eq!(
+            victim(&state, QosClass::Critical),
+            None,
+            "Critical never preempts Critical"
+        );
+    }
+
+    #[test]
+    fn critical_preempts_a_queued_scavenger_slot() {
+        let config = GatewayConfig::builder()
+            .max_in_flight(1)
+            .admission_queue(1)
+            .build();
+        let gateway = Gateway::new(market_with(one_ms_script()), config);
+        let gate = TestGate::new();
+        let provider_gate = Arc::clone(&gate);
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            10.0,
+            move |_| {
+                provider_gate.enter();
+                Ok(vec![1])
+            },
+        ));
+        std::thread::scope(|scope| {
+            let running = scope.spawn(|| gateway.submit(Request::new("svc")).unwrap());
+            gate.await_entered(1);
+            let scavenger =
+                scope.spawn(|| gateway.submit(Request::new("svc").class(QosClass::Scavenger)));
+            // The scavenger must be visibly parked in the (single-slot)
+            // queue before the Critical arrival.
+            while gateway
+                .telemetry()
+                .snapshot()
+                .service("svc")
+                .map_or(0, |s| s.admission_queue_peak)
+                < 1
+            {
+                std::thread::yield_now();
+            }
+            let critical = scope.spawn(|| {
+                gateway
+                    .submit(Request::new("svc").class(QosClass::Critical))
+                    .unwrap()
+            });
+            match scavenger.join().unwrap() {
+                Err(RuntimeError::Overloaded {
+                    service_id, class, ..
+                }) => {
+                    assert_eq!(service_id, "svc");
+                    assert_eq!(class, QosClass::Scavenger, "the waiter was preempted");
+                }
+                other => panic!("scavenger should have been shed, got {other:?}"),
+            }
+            gate.open();
+            assert!(running.join().unwrap().success);
+            let response = critical.join().unwrap();
+            assert!(response.success);
+            assert_eq!(response.class, QosClass::Critical);
+        });
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.requests_shed, 1);
+        assert_eq!(svc.class(QosClass::Scavenger).unwrap().shed, 1);
+        assert_eq!(svc.class(QosClass::Critical).unwrap().shed, 0);
+        assert_eq!(svc.class(QosClass::Critical).unwrap().requests, 1);
+    }
+
+    /// Satellite regression test: every `control()` override emits exactly
+    /// one telemetry event and applies from the next admission decision.
+    #[test]
+    fn control_override_emits_one_event_and_applies_to_the_next_request() {
+        use crate::telemetry::EventKind;
+
+        let gateway = Gateway::new(market_with(one_ms_script()), GatewayConfig::default());
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            10.0,
+            |_| Ok(vec![1]),
+        ));
+        let before = gateway.submit(Request::new("svc")).unwrap();
+        assert_eq!(before.class, QosClass::Interactive, "default class");
+
+        gateway.control().set_class("svc", QosClass::Bulk);
+        let override_events = gateway
+            .telemetry()
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.kind,
+                    EventKind::OverrideApplied { service, field, value }
+                        if service == "svc" && field == "class" && value == "bulk"
+                )
+            })
+            .count();
+        assert_eq!(override_events, 1, "exactly one event per override");
+
+        let after = gateway.submit(Request::new("svc")).unwrap();
+        assert_eq!(
+            after.class,
+            QosClass::Bulk,
+            "override applied to the next admission decision"
+        );
+        let explicit = gateway
+            .submit(Request::new("svc").class(QosClass::Critical))
+            .unwrap();
+        assert_eq!(
+            explicit.class,
+            QosClass::Critical,
+            "an explicit request class outranks the override"
+        );
+
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.overrides, 1);
+        assert_eq!(svc.class(QosClass::Interactive).unwrap().requests, 1);
+        assert_eq!(svc.class(QosClass::Bulk).unwrap().requests, 1);
+        assert_eq!(svc.class(QosClass::Critical).unwrap().requests, 1);
+    }
+
+    #[test]
+    fn requirement_override_retunes_the_advisory_without_replanning() {
+        let gateway = Gateway::new(market_with(one_ms_script()), GatewayConfig::default());
+        gateway.registry().register(
+            SimulatedProvider::builder("dev/cap-a", "cap-a")
+                .cost(50.0)
+                .latency(Duration::from_millis(1))
+                .reliability(1.0)
+                .build(),
+        );
+        gateway.submit(Request::new("svc")).unwrap();
+        gateway.end_slot("svc");
+        let calm = gateway.submit(Request::new("svc")).unwrap();
+        assert_eq!(calm.slot, 1);
+        assert!(calm.advisory.is_none(), "requirements are easily met");
+        let replans_before = gateway
+            .telemetry()
+            .snapshot()
+            .service("svc")
+            .unwrap()
+            .replans;
+
+        // An (unmeetable) requirement override flips the advisory on the
+        // very next request of the same slot — no re-plan involved.
+        gateway
+            .control()
+            .set_requirement("svc", Requirements::new(0.01, 0.001, 0.9999).unwrap());
+        let judged = gateway.submit(Request::new("svc")).unwrap();
+        assert_eq!(judged.slot, 1, "same slot");
+        assert!(
+            judged.advisory.is_some(),
+            "estimated QoS violates the overridden requirement"
+        );
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.replans, replans_before, "no re-plan happened");
+        assert_eq!(svc.overrides, 1);
+    }
+
+    #[test]
+    fn critical_class_applies_its_default_deadline() {
+        use crate::clock::VirtualClock;
+
+        let clock = Arc::new(VirtualClock::new());
+        let gateway = Gateway::with_clock(
+            market_with(seq_script()),
+            GatewayConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        // Leg `a` fails after 300 virtual ms — past Critical's 250 ms
+        // default — so a Critical request prunes fail-over leg `b`, while
+        // an Interactive request (no default deadline) fails over fine.
+        for (cap, reliability, ms) in [("cap-a", 0.0, 300u64), ("cap-b", 1.0, 1)] {
+            gateway.registry().register(
+                SimulatedProvider::builder(format!("dev/{cap}"), cap)
+                    .cost(50.0)
+                    .latency(Duration::from_millis(ms))
+                    .reliability(reliability)
+                    .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                    .build(),
+            );
+        }
+        let critical = gateway
+            .submit(Request::new("svc").class(QosClass::Critical))
+            .unwrap();
+        assert!(!critical.success);
+        assert_eq!(critical.pruned, Some(PruneReason::DeadlineExceeded));
+        let detail = critical.prune_detail.expect("always present when pruned");
+        assert_eq!(detail.class, QosClass::Critical);
+        assert_eq!(detail.remaining, Some(Duration::ZERO));
+
+        let interactive = gateway.submit(Request::new("svc")).unwrap();
+        assert!(interactive.success, "no default deadline: fail-over runs");
+        assert_eq!(interactive.pruned, None);
+
+        assert!(gateway.telemetry().events().iter().any(|e| matches!(
+            &e.kind,
+            crate::telemetry::EventKind::DeadlineExceeded { service, class, .. }
+                if service == "svc" && *class == QosClass::Critical
+        )));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_invoke_shims_delegate_to_submit() {
+        let gateway = Gateway::new(market_with(one_ms_script()), GatewayConfig::default());
+        gateway.registry().register(crate::device::FnProvider::new(
+            "dev-a",
+            "cap-a",
+            10.0,
+            |_| Ok(vec![1]),
+        ));
+        let bare = gateway.invoke("svc").unwrap();
+        assert!(bare.success);
+        assert_eq!(bare.class, QosClass::Interactive, "shims stay classless");
+        let with_payload = gateway.invoke_with_payload("svc", vec![9]).unwrap();
+        assert!(with_payload.success);
+        assert_eq!(with_payload.class, QosClass::Interactive);
+    }
+
     #[test]
     fn telemetry_counts_requests_and_replans() {
         let gateway = Gateway::new(market_with(script(3)), GatewayConfig::default());
         register_devices(&gateway, 1.0);
         for _ in 0..7 {
-            gateway.invoke("temp").unwrap();
+            gateway.submit(Request::new("temp")).unwrap();
         }
         let snapshot = gateway.telemetry().snapshot();
         let svc = snapshot.service("temp").unwrap();

@@ -17,6 +17,7 @@ use crate::fault::{FaultPlan, FaultyProvider};
 use crate::gateway::{Gateway, GatewayConfig, ServiceResponse};
 use crate::market::InMemoryMarket;
 use crate::message::RuntimeError;
+use crate::request::Request;
 use crate::script::ServiceScript;
 
 /// A fully wired virtual-time testbed.
@@ -104,13 +105,23 @@ impl Harness {
             .unwrap_or_else(|| panic!("harness has no provider {provider_id:?}"))
     }
 
-    /// Invokes `service_id` through the gateway.
+    /// Invokes `service_id` through the gateway with a bare (classless)
+    /// request.
     ///
     /// # Errors
     ///
-    /// As [`Gateway::invoke`].
+    /// As [`Gateway::submit`].
     pub fn invoke(&self, service_id: &str) -> Result<ServiceResponse, RuntimeError> {
-        self.gateway.invoke(service_id)
+        self.gateway.submit(Request::new(service_id))
+    }
+
+    /// Submits a typed [`Request`] through the gateway.
+    ///
+    /// # Errors
+    ///
+    /// As [`Gateway::submit`].
+    pub fn submit(&self, request: Request) -> Result<ServiceResponse, RuntimeError> {
+        self.gateway.submit(request)
     }
 }
 

@@ -94,6 +94,7 @@ pub mod message;
 pub mod pipeline;
 pub mod quorum;
 pub mod registry;
+pub mod request;
 pub mod scenario;
 pub mod script;
 pub mod telemetry;
@@ -104,13 +105,16 @@ pub use collector::{Collector, ExecutionRecord, ProviderStats};
 pub use device::{FnProvider, Provider, SimulatedProvider, SimulatedProviderBuilder};
 pub use engine::{
     Budget, Completion, CompletionPolicy, EngineOutcome, ExecSpec, ExecutionEngine, PoolStats,
-    PruneReason,
+    PruneDetail, PruneReason,
 };
 pub use executor::{
     execute_strategy, execute_strategy_instrumented, execute_strategy_with_clock, ServiceOutcome,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultyProvider};
-pub use gateway::{Gateway, GatewayConfig, QosAdvisory, ServiceResponse, SlotRecord};
+pub use gateway::{
+    Gateway, GatewayConfig, GatewayConfigBuilder, GatewayControl, QosAdvisory, ServiceResponse,
+    SlotRecord,
+};
 pub use generator::{assumed_env, plan_slot, Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 pub use harness::{Harness, HarnessBuilder};
 pub use market::{CachingMarket, FileMarket, InMemoryMarket, Market};
@@ -121,10 +125,11 @@ pub use quorum::{
     execute_with_quorum, execute_with_quorum_clock, execute_with_quorum_instrumented, QuorumOutcome,
 };
 pub use registry::Registry;
+pub use request::{QosClass, Request, CLASS_COUNT};
 pub use script::{MsSpec, ServiceScript};
 pub use telemetry::{
-    EventKind, EventRingSnapshot, HistogramBucket, HistogramSnapshot, MarketSnapshot,
-    MetricsSnapshot, ProviderSnapshot, ServiceSnapshot, Telemetry, TelemetryEvent,
+    ClassSnapshot, EventKind, EventRingSnapshot, HistogramBucket, HistogramSnapshot,
+    MarketSnapshot, MetricsSnapshot, ProviderSnapshot, ServiceSnapshot, Telemetry, TelemetryEvent,
 };
 
 #[cfg(test)]

@@ -116,10 +116,18 @@ pub enum RuntimeError {
         reason: String,
     },
     /// The gateway shed the request: the service was at its in-flight
-    /// limit and its admission queue was full.
+    /// limit and its admission queue was full (or the request was
+    /// preempted out of a queue slot by a higher class). Carries the
+    /// request's class and the queue depth at shed time so callers can
+    /// react per class — back off a Scavenger, retry a Critical —
+    /// without string matching.
     Overloaded {
         /// The service whose admission queue rejected the request.
         service_id: String,
+        /// Traffic class of the shed request.
+        class: crate::request::QosClass,
+        /// Requests waiting in the admission queue when the shed happened.
+        queue_depth: u64,
     },
 }
 
@@ -139,8 +147,16 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Generation { reason } => {
                 write!(f, "strategy generation failed: {reason}")
             }
-            RuntimeError::Overloaded { service_id } => {
-                write!(f, "service {service_id:?} overloaded: request shed")
+            RuntimeError::Overloaded {
+                service_id,
+                class,
+                queue_depth,
+            } => {
+                write!(
+                    f,
+                    "service {service_id:?} overloaded: {class} request shed \
+                     ({queue_depth} queued)"
+                )
             }
         }
     }
@@ -200,11 +216,15 @@ mod tests {
         }
         .to_string()
         .contains("none"));
-        assert!(RuntimeError::Overloaded {
-            service_id: "svc".into()
+        let overloaded = RuntimeError::Overloaded {
+            service_id: "svc".into(),
+            class: crate::request::QosClass::Scavenger,
+            queue_depth: 3,
         }
-        .to_string()
-        .contains("shed"));
+        .to_string();
+        assert!(overloaded.contains("shed"), "{overloaded}");
+        assert!(overloaded.contains("scavenger"), "{overloaded}");
+        assert!(overloaded.contains('3'), "{overloaded}");
     }
 
     #[test]

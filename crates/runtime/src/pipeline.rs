@@ -16,6 +16,7 @@ use std::time::Duration;
 
 use crate::gateway::{Gateway, ServiceResponse};
 use crate::message::RuntimeError;
+use crate::request::Request;
 
 /// The outcome of one pipeline invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,7 +75,7 @@ pub fn invoke_pipeline(
     let mut cost = 0.0;
     let mut latency = Duration::ZERO;
     for (i, service_id) in service_ids.iter().enumerate() {
-        let response = gateway.invoke_with_payload(service_id, current.clone())?;
+        let response = gateway.submit(Request::new(*service_id).payload(current.clone()))?;
         cost += response.cost;
         latency += response.latency;
         let succeeded = response.success;

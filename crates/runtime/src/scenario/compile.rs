@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile};
+use crate::request::QosClass;
 
 use super::model::{Scenario, ScenarioError};
 
@@ -52,6 +53,12 @@ pub enum Action {
     Request {
         /// Service id to invoke.
         service: String,
+        /// Traffic class stamped at compile time: the covering phase's
+        /// [`classes`](super::model::LoadPhase::classes) pattern when
+        /// non-empty, else the service's
+        /// [`class`](super::model::ServiceDef::class), else
+        /// [`QosClass::Interactive`].
+        class: QosClass,
     },
 }
 
@@ -292,7 +299,9 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
         if n == 0 {
             continue;
         }
-        let burst = scenario.phase_for(slot).map_or(0, |p| p.burst).max(1);
+        let phase = scenario.phase_for(slot);
+        let burst = phase.map_or(0, |p| p.burst).max(1);
+        let pattern = phase.map_or(&[] as &[QosClass], |p| p.classes.as_slice());
         let groups = n.div_ceil(burst);
         let slot_start = u128::from(u64::from(slot) * scenario.slot_ms) * 1_000_000;
         let slot_nanos = u128::from(scenario.slot_ms) * 1_000_000;
@@ -304,11 +313,17 @@ pub fn compile(scenario: &Scenario) -> Result<CompiledScenario, ScenarioError> {
                 // issues them concurrently.
                 let group = i / burst;
                 let at_nanos = slot_start + slot_nanos * u128::from(group) / u128::from(groups);
+                let class = if pattern.is_empty() {
+                    service.class.unwrap_or_default()
+                } else {
+                    pattern[i as usize % pattern.len()]
+                };
                 schedule.push(ScheduledEvent {
                     at: Duration::from_nanos(at_nanos as u64),
                     slot,
                     action: Action::Request {
                         service: service.name.clone(),
+                        class,
                     },
                 });
             }
@@ -347,6 +362,7 @@ mod tests {
                 to_slot: 2,
                 multiplier: 2.0,
                 burst: 4,
+                classes: Vec::new(),
             }],
             services: vec![ServiceDef {
                 name: "svc".to_string(),
@@ -371,6 +387,7 @@ mod tests {
                 },
                 penalty_k: None,
                 quorum: None,
+                class: None,
             }],
             storms: vec![Storm {
                 name: "radio".to_string(),
@@ -486,6 +503,52 @@ mod tests {
             }
             assert_eq!(depth, 0, "all crash windows must close");
         }
+    }
+
+    #[test]
+    fn classes_stamp_from_phase_pattern_then_service_default() {
+        let mut s = scenario();
+        s.services[0].class = Some(QosClass::Bulk);
+        s.load[0].classes = vec![
+            QosClass::Critical,
+            QosClass::Scavenger,
+            QosClass::Scavenger,
+            QosClass::Scavenger,
+        ];
+        let compiled = compile(&s).unwrap();
+        let classes_in = |slot: u32| -> Vec<QosClass> {
+            compiled
+                .schedule
+                .iter()
+                .filter(|e| e.slot == slot)
+                .filter_map(|e| match &e.action {
+                    Action::Request { class, .. } => Some(*class),
+                    _ => None,
+                })
+                .collect()
+        };
+        // Slot 0 has no phase: the service default applies.
+        assert_eq!(classes_in(0), vec![QosClass::Bulk; 4]);
+        // Slot 1's phase pattern cycles over the 8 scaled requests.
+        assert_eq!(
+            classes_in(1),
+            vec![
+                QosClass::Critical,
+                QosClass::Scavenger,
+                QosClass::Scavenger,
+                QosClass::Scavenger,
+                QosClass::Critical,
+                QosClass::Scavenger,
+                QosClass::Scavenger,
+                QosClass::Scavenger,
+            ]
+        );
+        // No class anywhere: everything is Interactive.
+        let bare = compile(&scenario()).unwrap();
+        assert!(bare.schedule.iter().all(|e| match &e.action {
+            Action::Request { class, .. } => *class == QosClass::Interactive,
+            _ => true,
+        }));
     }
 
     #[test]

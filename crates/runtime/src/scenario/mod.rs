@@ -52,4 +52,6 @@ pub use model::{
     BackgroundFaults, Churn, GatewayKnobs, LoadPhase, MsDef, Require, Scenario, ScenarioError,
     ServiceDef, Storm, DEFAULT_PENALTY_K,
 };
-pub use runner::{run_scenario, ScenarioOutcome, ScenarioRun, SlotMetrics, StormSpan};
+pub use runner::{
+    run_scenario, ClassMetrics, ScenarioOutcome, ScenarioRun, SlotMetrics, StormSpan,
+};

@@ -21,6 +21,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::request::QosClass;
+
 /// Penalty factor `k` used when a [`ServiceDef`] does not override it.
 pub const DEFAULT_PENALTY_K: f64 = 2.0;
 
@@ -81,6 +83,12 @@ pub struct LoadPhase {
     /// 0.0 or 1.0, keeping replay deterministic (see DESIGN.md §13).
     #[serde(default)]
     pub burst: u32,
+    /// Traffic-class pattern for requests issued during this phase: request
+    /// `i` of a slot (per service) is stamped `classes[i % classes.len()]`.
+    /// Empty (the default) falls back to the service's
+    /// [`class`](ServiceDef::class).
+    #[serde(default)]
+    pub classes: Vec<QosClass>,
 }
 
 /// One service in the market.
@@ -100,6 +108,12 @@ pub struct ServiceDef {
     /// first-success semantics.
     #[serde(default)]
     pub quorum: Option<usize>,
+    /// Traffic class stamped on this service's requests when the covering
+    /// load phase declares no [`classes`](LoadPhase::classes) pattern.
+    /// `None` issues bare (classless) requests, which the gateway treats
+    /// as [`QosClass::Interactive`].
+    #[serde(default)]
+    pub class: Option<QosClass>,
 }
 
 /// One equivalent microservice and the simulated device providing it.
@@ -649,6 +663,7 @@ mod tests {
                 to_slot: 3,
                 multiplier: 2.0,
                 burst: 0,
+                classes: Vec::new(),
             }],
             services: vec![ServiceDef {
                 name: "svc".to_string(),
@@ -673,6 +688,7 @@ mod tests {
                 },
                 penalty_k: None,
                 quorum: None,
+                class: None,
             }],
             storms: vec![Storm {
                 name: "radio".to_string(),
@@ -765,6 +781,38 @@ mod tests {
             s.validate(),
             Err(ScenarioError::NondeterministicBurst { microservice }) if microservice == "svc/a"
         ));
+    }
+
+    #[test]
+    fn classes_round_trip_and_pre_class_json_still_parses() {
+        // Pre-class scenario files carry no class keys; they must parse
+        // with every request defaulting to bare/Interactive.
+        let parsed = Scenario::from_json(
+            r#"{
+                "name": "legacy", "seed": 1,
+                "slots": 1, "slot_ms": 100, "requests_per_slot": 1,
+                "load": [{"from_slot": 0, "to_slot": 1, "multiplier": 1.0}],
+                "services": [{
+                    "name": "svc",
+                    "microservices": [
+                        {"name": "a", "cost": 1.0, "latency_ms": 1.0, "reliability": 1.0}
+                    ],
+                    "require": {"cost": 10.0, "latency_ms": 10.0, "reliability": 0.5}
+                }]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(parsed.services[0].class, None);
+        assert!(parsed.load[0].classes.is_empty());
+
+        let mut s = small();
+        s.services[0].class = Some(QosClass::Bulk);
+        s.load[0].classes = vec![QosClass::Critical, QosClass::Scavenger];
+        let text = s.to_json();
+        assert!(text.contains("\"bulk\""));
+        assert!(text.contains("\"critical\""));
+        let back = Scenario::from_json(&text).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::fault::FaultPlan;
 use crate::gateway::{GatewayConfig, ServiceResponse};
 use crate::harness::Harness;
 use crate::message::RuntimeError;
+use crate::request::{QosClass, Request};
 use crate::script::{MsSpec, ServiceScript};
 
 use super::compile::{compile, provider_seed, Action, CompiledScenario, ScheduledEvent};
@@ -49,6 +50,38 @@ pub struct SlotMetrics {
     pub p99_latency_ms: f64,
     /// Mean cost over completed requests (0.0 when nothing completed).
     pub mean_cost: f64,
+    /// Per-class breakout, highest priority first; only classes that saw
+    /// requests appear (empty for a classless scenario's all-Interactive
+    /// traffic is *not* elided — Interactive still appears).
+    pub classes: Vec<ClassMetrics>,
+}
+
+impl SlotMetrics {
+    /// The slot's breakout for `class`, if that class saw requests.
+    #[must_use]
+    pub fn class(&self, class: QosClass) -> Option<&ClassMetrics> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+}
+
+/// One traffic class's slice of the metrics (per slot or whole-run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMetrics {
+    /// The traffic class.
+    pub class: QosClass,
+    /// Requests of this class (including shed ones).
+    pub requests: u64,
+    /// Requests satisfied within their service's requirements.
+    pub satisfied: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests failing with a non-shed error.
+    pub failed: u64,
+    /// `satisfied / requests` for this class.
+    pub satisfaction_rate: f64,
+    /// Nearest-rank p99 latency over this class's completed requests, in
+    /// virtual milliseconds (0.0 when nothing completed).
+    pub p99_latency_ms: f64,
 }
 
 /// The slots a storm touches (inclusive on both ends).
@@ -79,9 +112,30 @@ pub struct ScenarioOutcome {
     pub total_shed: u64,
     /// Total requests failing with a non-shed error.
     pub total_failed: u64,
+    /// Whole-run per-class breakout, highest priority first; only classes
+    /// that saw requests appear.
+    pub classes: Vec<ClassMetrics>,
 }
 
 impl ScenarioOutcome {
+    /// The run's breakout for `class`, if that class saw requests.
+    #[must_use]
+    pub fn class(&self, class: QosClass) -> Option<&ClassMetrics> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// The fraction of all shed requests that belonged to `class`
+    /// (defined as 1.0 when nothing was shed, so "Scavenger absorbed the
+    /// sheds" holds vacuously on a calm run).
+    #[must_use]
+    pub fn shed_share(&self, class: QosClass) -> f64 {
+        if self.total_shed == 0 {
+            1.0
+        } else {
+            self.class(class).map_or(0, |c| c.shed) as f64 / self.total_shed as f64
+        }
+    }
+
     /// Overall requirement-satisfaction rate (1.0 for an empty run).
     #[must_use]
     pub fn satisfaction_rate(&self) -> f64 {
@@ -147,6 +201,7 @@ pub struct ScenarioRun {
 struct RequestRecord {
     slot: u32,
     service: String,
+    class: QosClass,
     /// 0 = completed ok, 1 = completed with failure, 2 = shed, 3 = error.
     kind: u8,
     latency_ms: f64,
@@ -157,6 +212,7 @@ struct RequestRecord {
 fn classify(
     slot: u32,
     service: &str,
+    class: QosClass,
     require: &Require,
     result: &Result<ServiceResponse, RuntimeError>,
 ) -> RequestRecord {
@@ -169,6 +225,7 @@ fn classify(
             RequestRecord {
                 slot,
                 service: service.to_string(),
+                class,
                 kind: u8::from(!response.success),
                 latency_ms,
                 cost: response.cost,
@@ -178,6 +235,7 @@ fn classify(
         Err(RuntimeError::Overloaded { .. }) => RequestRecord {
             slot,
             service: service.to_string(),
+            class,
             kind: 2,
             latency_ms: 0.0,
             cost: 0.0,
@@ -186,6 +244,7 @@ fn classify(
         Err(_) => RequestRecord {
             slot,
             service: service.to_string(),
+            class,
             kind: 3,
             latency_ms: 0.0,
             cost: 0.0,
@@ -195,22 +254,22 @@ fn classify(
 }
 
 fn build_harness(scenario: &Scenario, compiled: &CompiledScenario) -> Harness {
-    let mut config = GatewayConfig::default();
     let knobs = &scenario.gateway;
+    let mut config = GatewayConfig::builder();
     if let Some(v) = knobs.collector_window {
-        config.collector_window = v as usize;
+        config = config.collector_window(v as usize);
     }
     if let Some(v) = knobs.max_in_flight {
-        config.max_in_flight = v as usize;
+        config = config.max_in_flight(v as usize);
     }
     if let Some(v) = knobs.admission_queue {
-        config.admission_queue = v as usize;
+        config = config.admission_queue(v as usize);
     }
     if let Some(v) = knobs.worker_pool {
-        config.worker_pool = v as usize;
+        config = config.worker_pool(v as usize);
     }
 
-    let mut builder = Harness::builder().config(config);
+    let mut builder = Harness::builder().config(config.build());
     for service in &scenario.services {
         let specs = service
             .microservices
@@ -269,12 +328,17 @@ fn run_batch<'a>(
             .map(|event| {
                 let barrier = &barrier;
                 scope.spawn(move || {
-                    let Action::Request { service } = &event.action else {
+                    let Action::Request { service, class } = &event.action else {
                         unreachable!("request batches only hold requests");
                     };
                     let _worker = WorkerGuard::enter(harness.clock().as_ref());
                     barrier.wait();
-                    (event, harness.gateway().invoke(service))
+                    (
+                        event,
+                        harness
+                            .gateway()
+                            .submit(Request::new(service).class(*class)),
+                    )
                 })
             })
             .collect();
@@ -285,6 +349,48 @@ fn run_batch<'a>(
     })
 }
 
+/// Nearest-rank p99 over the completed (kind <= 1) records of `slice`.
+fn p99_of(slice: &[&RequestRecord]) -> f64 {
+    let mut latencies: Vec<f64> = slice
+        .iter()
+        .filter(|r| r.kind <= 1)
+        .map(|r| r.latency_ms)
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    if latencies.is_empty() {
+        0.0
+    } else {
+        let rank = ((0.99 * latencies.len() as f64).ceil() as usize).max(1);
+        latencies[rank - 1]
+    }
+}
+
+/// Per-class breakout of `slice`, highest priority first; classes without
+/// requests are omitted.
+fn class_breakout(slice: &[&RequestRecord]) -> Vec<ClassMetrics> {
+    QosClass::ALL
+        .iter()
+        .filter_map(|&class| {
+            let of_class: Vec<&RequestRecord> =
+                slice.iter().filter(|r| r.class == class).copied().collect();
+            if of_class.is_empty() {
+                return None;
+            }
+            let requests = of_class.len() as u64;
+            let satisfied = of_class.iter().filter(|r| r.satisfied).count() as u64;
+            Some(ClassMetrics {
+                class,
+                requests,
+                satisfied,
+                shed: of_class.iter().filter(|r| r.kind == 2).count() as u64,
+                failed: of_class.iter().filter(|r| r.kind == 3).count() as u64,
+                satisfaction_rate: satisfied as f64 / requests as f64,
+                p99_latency_ms: p99_of(&of_class),
+            })
+        })
+        .collect()
+}
+
 fn aggregate(scenario: &Scenario, mut records: Vec<RequestRecord>) -> ScenarioOutcome {
     // Total order before any float is summed: aggregation must not depend
     // on which thread finished first inside a burst.
@@ -292,6 +398,7 @@ fn aggregate(scenario: &Scenario, mut records: Vec<RequestRecord>) -> ScenarioOu
         a.slot
             .cmp(&b.slot)
             .then_with(|| a.service.cmp(&b.service))
+            .then(a.class.cmp(&b.class))
             .then(a.kind.cmp(&b.kind))
             .then(a.latency_ms.total_cmp(&b.latency_ms))
             .then(a.cost.total_cmp(&b.cost))
@@ -305,14 +412,7 @@ fn aggregate(scenario: &Scenario, mut records: Vec<RequestRecord>) -> ScenarioOu
         let shed = slice.iter().filter(|r| r.kind == 2).count() as u64;
         let failed = slice.iter().filter(|r| r.kind == 3).count() as u64;
         let completed: Vec<&&RequestRecord> = slice.iter().filter(|r| r.kind <= 1).collect();
-        let mut latencies: Vec<f64> = completed.iter().map(|r| r.latency_ms).collect();
-        latencies.sort_by(f64::total_cmp);
-        let p99_latency_ms = if latencies.is_empty() {
-            0.0
-        } else {
-            let rank = ((0.99 * latencies.len() as f64).ceil() as usize).max(1);
-            latencies[rank - 1]
-        };
+        let p99_latency_ms = p99_of(&slice);
         let mean_cost = if completed.is_empty() {
             0.0
         } else {
@@ -331,6 +431,7 @@ fn aggregate(scenario: &Scenario, mut records: Vec<RequestRecord>) -> ScenarioOu
             },
             p99_latency_ms,
             mean_cost,
+            classes: class_breakout(&slice),
         });
     }
 
@@ -345,12 +446,14 @@ fn aggregate(scenario: &Scenario, mut records: Vec<RequestRecord>) -> ScenarioOu
         })
         .collect();
 
+    let all: Vec<&RequestRecord> = records.iter().collect();
     ScenarioOutcome {
         name: scenario.name.clone(),
         total_requests: records.len() as u64,
         total_satisfied: records.iter().filter(|r| r.satisfied).count() as u64,
         total_shed: records.iter().filter(|r| r.kind == 2).count() as u64,
         total_failed: records.iter().filter(|r| r.kind == 3).count() as u64,
+        classes: class_breakout(&all),
         per_slot,
         storms,
     }
@@ -414,7 +517,7 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, ScenarioError> {
                     gateway.provider_joined(Arc::clone(arc));
                 }
             }
-            Action::Request { service } => {
+            Action::Request { service, class } => {
                 let mut j = i;
                 while j < compiled.schedule.len()
                     && compiled.schedule[j].at == event.at
@@ -425,15 +528,15 @@ pub fn run_scenario(scenario: &Scenario) -> Result<ScenarioRun, ScenarioError> {
                 let batch = &compiled.schedule[i..j];
                 if batch.len() == 1 {
                     let require = requires[service.as_str()];
-                    let result = gateway.invoke(service);
-                    records.push(classify(event.slot, service, require, &result));
+                    let result = gateway.submit(Request::new(service).class(*class));
+                    records.push(classify(event.slot, service, *class, require, &result));
                 } else {
                     for (batched, result) in run_batch(&harness, batch) {
-                        let Action::Request { service } = &batched.action else {
+                        let Action::Request { service, class } = &batched.action else {
                             unreachable!("request batches only hold requests");
                         };
                         let require = requires[service.as_str()];
-                        records.push(classify(batched.slot, service, require, &result));
+                        records.push(classify(batched.slot, service, *class, require, &result));
                     }
                 }
                 i = j;
@@ -490,6 +593,7 @@ mod tests {
                 },
                 penalty_k: None,
                 quorum: None,
+                class: None,
             }],
             storms: Vec::new(),
             churn: Vec::new(),
@@ -587,6 +691,7 @@ mod tests {
             to_slot: 3,
             multiplier: 2.0,
             burst: 8,
+            classes: Vec::new(),
         });
         s.gateway.max_in_flight = Some(2);
         s.gateway.admission_queue = Some(2);
@@ -595,6 +700,63 @@ mod tests {
         assert_eq!(a, b, "burst replay must be deterministic");
         assert!(a.total_shed > 0, "tight admission limits must shed bursts");
         assert!(a.shed_rate() > 0.0);
+    }
+
+    #[test]
+    fn classless_traffic_aggregates_as_interactive() {
+        let outcome = run_scenario(&base()).unwrap().outcome;
+        assert_eq!(outcome.classes.len(), 1);
+        let interactive = outcome.class(QosClass::Interactive).unwrap();
+        assert_eq!(interactive.requests, outcome.total_requests);
+        assert_eq!(interactive.satisfaction_rate, 1.0);
+        assert_eq!(outcome.shed_share(QosClass::Scavenger), 1.0, "vacuous");
+        for slot in &outcome.per_slot {
+            assert!(slot.class(QosClass::Interactive).is_some());
+            assert!(slot.class(QosClass::Critical).is_none());
+        }
+    }
+
+    #[test]
+    fn mixed_class_bursts_shed_scavengers_and_spare_criticals() {
+        // 16 requests/slot issued in bursts of 8 against a 2-in-flight /
+        // 2-deep gate, each group carrying 2 Critical + 6 Scavenger: every
+        // full group must shed exactly 4 Scavengers and zero Criticals,
+        // regardless of thread interleaving.
+        let mut s = base();
+        s.requests_per_slot = 16;
+        s.load.push(LoadPhase {
+            from_slot: 1,
+            to_slot: 3,
+            multiplier: 1.0,
+            burst: 8,
+            classes: vec![
+                QosClass::Critical,
+                QosClass::Scavenger,
+                QosClass::Scavenger,
+                QosClass::Scavenger,
+            ],
+        });
+        s.gateway.max_in_flight = Some(2);
+        s.gateway.admission_queue = Some(2);
+        let a = run_scenario(&s).unwrap().outcome;
+        let b = run_scenario(&s).unwrap().outcome;
+        assert_eq!(a, b, "mixed-class burst replay must be deterministic");
+
+        let critical = a.class(QosClass::Critical).unwrap();
+        assert_eq!(critical.shed, 0, "criticals preempt, they are never shed");
+        assert_eq!(critical.satisfaction_rate, 1.0);
+        let scavenger = a.class(QosClass::Scavenger).unwrap();
+        // Two burst slots, two groups each, 4 Scavengers shed per group.
+        assert_eq!(scavenger.shed, 16);
+        assert_eq!(a.total_shed, 16);
+        assert_eq!(a.shed_share(QosClass::Scavenger), 1.0);
+        for slot in &a.per_slot[1..3] {
+            assert_eq!(
+                slot.class(QosClass::Critical).unwrap().satisfaction_rate,
+                1.0
+            );
+            assert_eq!(slot.class(QosClass::Scavenger).unwrap().shed, 8);
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ use qce_strategy::{PlanCacheStats, PlanSource, SynthesisReport};
 
 use crate::clock::Clock;
 use crate::message::RuntimeError;
+use crate::request::{QosClass, CLASS_COUNT};
 
 /// Upper bucket edges of the latency histograms, in microseconds
 /// (1 ms … 1 s; slower invocations land in the overflow bucket).
@@ -129,6 +130,32 @@ fn milli_cost(cost: f64) -> u64 {
     }
 }
 
+/// Per-class counters of one service (all relaxed atomics): the
+/// shed/queue-depth/latency breakout behind [`ClassSnapshot`].
+struct ClassMetrics {
+    requests: AtomicU64,
+    successes: AtomicU64,
+    shed: AtomicU64,
+    /// Gauge: requests of this class waiting in the admission queue.
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    queue_peak: AtomicU64,
+    latency: Histogram,
+}
+
+impl ClassMetrics {
+    fn new() -> Self {
+        ClassMetrics {
+            requests: AtomicU64::new(0),
+            successes: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            latency: Histogram::new(&LATENCY_EDGES_US),
+        }
+    }
+}
+
 /// Per-service counters (all relaxed atomics).
 struct ServiceMetrics {
     invocations: AtomicU64,
@@ -157,8 +184,12 @@ struct ServiceMetrics {
     candidates_seen: AtomicU64,
     candidates_pruned: AtomicU64,
     synthesis_micros: AtomicU64,
+    /// Live-override applications via the gateway's control handle.
+    overrides: AtomicU64,
     latency: Histogram,
     cost: Histogram,
+    /// Per-class breakout, indexed by [`QosClass::index`].
+    classes: [ClassMetrics; CLASS_COUNT],
     /// Strategy text of the last planned slot, for switch detection.
     last_strategy: Mutex<Option<String>>,
 }
@@ -188,10 +219,16 @@ impl ServiceMetrics {
             candidates_seen: AtomicU64::new(0),
             candidates_pruned: AtomicU64::new(0),
             synthesis_micros: AtomicU64::new(0),
+            overrides: AtomicU64::new(0),
             latency: Histogram::new(&LATENCY_EDGES_US),
             cost: Histogram::new(&COST_EDGES_MILLI),
+            classes: std::array::from_fn(|_| ClassMetrics::new()),
             last_strategy: Mutex::new(None),
         }
+    }
+
+    fn class(&self, class: QosClass) -> &ClassMetrics {
+        &self.classes[class.index()]
     }
 }
 
@@ -297,10 +334,15 @@ pub enum EventKind {
         fault: String,
     },
     /// The gateway's admission layer shed a request: the service was at
-    /// its in-flight limit and the admission queue was full.
+    /// its in-flight limit and the admission queue was full (or a higher
+    /// class preempted the request's queue slot).
     RequestShed {
         /// Service id.
         service: String,
+        /// Traffic class of the shed request (pre-class events
+        /// deserialize as [`QosClass::Interactive`]).
+        #[serde(default)]
+        class: QosClass,
         /// Requests executing when the shed happened.
         in_flight: u64,
         /// Requests waiting in the admission queue when the shed happened.
@@ -313,6 +355,22 @@ pub enum EventKind {
         service: String,
         /// The request whose deadline expired.
         request_id: u64,
+        /// Traffic class of the request (pre-class events deserialize as
+        /// [`QosClass::Interactive`]).
+        #[serde(default)]
+        class: QosClass,
+    },
+    /// A live override was applied through the gateway's control handle
+    /// ([`Gateway::control`](crate::Gateway::control)): exactly one event
+    /// per applied override.
+    OverrideApplied {
+        /// Service the override retunes.
+        service: String,
+        /// Which knob was overridden (`class` / `deadline` /
+        /// `requirement`).
+        field: String,
+        /// The new value, rendered (`"none"` for a cleared override).
+        value: String,
     },
     /// A correlated-failure storm began: every provider in the named
     /// failure domain crashed at once (scenario replay marker).
@@ -359,6 +417,29 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<HistogramBucket>,
 }
 
+impl HistogramSnapshot {
+    /// Upper-edge estimate of the `q`-quantile (`0.0 < q <= 1.0`): the
+    /// smallest bucket edge at or below which at least `ceil(q * count)`
+    /// observations fall, or `None` when the histogram is empty or the
+    /// quantile lands in the overflow bucket. Conservative (never
+    /// under-reports), which is the right bias for latency SLO checks.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let rank = (q * to_f64(self.count)).ceil().max(1.0);
+        let mut seen = 0.0;
+        for bucket in &self.buckets {
+            seen += to_f64(bucket.count);
+            if seen >= rank {
+                return Some(bucket.le);
+            }
+        }
+        None
+    }
+}
+
 /// One histogram bucket.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HistogramBucket {
@@ -366,6 +447,27 @@ pub struct HistogramBucket {
     pub le: f64,
     /// Observations in `(previous edge, le]`.
     pub count: u64,
+}
+
+/// Per-class breakout of one service's counters: requests, sheds, queue
+/// occupancy, and the latency histogram (from which per-class p99 is
+/// read via [`HistogramSnapshot::quantile`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSnapshot {
+    /// The traffic class.
+    pub class: QosClass,
+    /// Requests of this class served (success or failure).
+    pub requests: u64,
+    /// Requests of this class that succeeded.
+    pub successes: u64,
+    /// Requests of this class shed by the admission layer.
+    pub shed: u64,
+    /// Requests of this class waiting in the admission queue (gauge).
+    pub queue_depth: u64,
+    /// High-water mark of this class's queue depth.
+    pub queue_peak: u64,
+    /// Latency histogram of this class's served requests (milliseconds).
+    pub latency_ms: HistogramSnapshot,
 }
 
 /// Snapshot of one service's counters.
@@ -430,10 +532,26 @@ pub struct ServiceSnapshot {
     pub candidates_pruned: u64,
     /// Total time spent in strategy generation.
     pub synthesis_elapsed: Duration,
+    /// Live overrides applied via the gateway's control handle.
+    #[serde(default)]
+    pub overrides: u64,
     /// Request latency histogram (milliseconds).
     pub latency_ms: HistogramSnapshot,
     /// Request cost histogram (cost units).
     pub cost: HistogramSnapshot,
+    /// Per-class breakout (one entry per [`QosClass`], priority order).
+    /// Empty when deserializing pre-class snapshots.
+    #[serde(default)]
+    pub classes: Vec<ClassSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// The per-class breakout for `class` (`None` on pre-class
+    /// snapshots).
+    #[must_use]
+    pub fn class(&self, class: QosClass) -> Option<&ClassSnapshot> {
+        self.classes.iter().find(|c| c.class == class)
+    }
 }
 
 /// Snapshot of one provider's counters.
@@ -633,10 +751,13 @@ impl Telemetry {
         *self.sink.write() = None;
     }
 
-    /// Records a completed service request (gateway level).
+    /// Records a completed service request (gateway level), attributed to
+    /// the request's traffic class.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_request(
         &self,
         service: &str,
+        class: QosClass,
         success: bool,
         latency: Duration,
         cost: f64,
@@ -661,6 +782,12 @@ impl Telemetry {
         }
         metrics.latency.record(micros(latency));
         metrics.cost.record(milli_cost(cost));
+        let per_class = metrics.class(class);
+        per_class.requests.fetch_add(1, Ordering::Relaxed);
+        if success {
+            per_class.successes.fetch_add(1, Ordering::Relaxed);
+        }
+        per_class.latency.record(micros(latency));
     }
 
     /// Records one microservice invocation on a provider (executor level).
@@ -787,12 +914,13 @@ impl Telemetry {
     /// [`EventKind::RequestShed`] event. The counter is incremented before
     /// the event enters the ring, so shed accounting stays gap-free even
     /// when ring overflow drops the event itself.
-    pub fn record_shed(&self, service: &str, in_flight: u64, queued: u64) {
-        self.service(service)
-            .requests_shed
-            .fetch_add(1, Ordering::Relaxed);
+    pub fn record_shed(&self, service: &str, class: QosClass, in_flight: u64, queued: u64) {
+        let metrics = self.service(service);
+        metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+        metrics.class(class).shed.fetch_add(1, Ordering::Relaxed);
         self.emit(EventKind::RequestShed {
             service: service.to_string(),
+            class,
             in_flight,
             queued,
         });
@@ -801,13 +929,14 @@ impl Telemetry {
     /// Records a request whose deadline expired mid-execution, emitting an
     /// [`EventKind::DeadlineExceeded`] event (counter first, same gap-free
     /// guarantee as [`record_shed`](Self::record_shed)).
-    pub fn record_deadline_exceeded(&self, service: &str, request_id: u64) {
+    pub fn record_deadline_exceeded(&self, service: &str, request_id: u64, class: QosClass) {
         self.service(service)
             .deadline_exceeded
             .fetch_add(1, Ordering::Relaxed);
         self.emit(EventKind::DeadlineExceeded {
             service: service.to_string(),
             request_id,
+            class,
         });
     }
 
@@ -821,6 +950,30 @@ impl Telemetry {
         metrics
             .admission_queue_peak
             .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one class's admission queue depth for `service` (absolute
+    /// gauge), tracking the per-class high-water mark.
+    pub fn record_class_queue_depth(&self, service: &str, class: QosClass, depth: u64) {
+        let metrics = self.service(service);
+        let per_class = metrics.class(class);
+        per_class.queue_depth.store(depth, Ordering::Relaxed);
+        per_class.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records a live override applied through the gateway's control
+    /// handle, emitting exactly one [`EventKind::OverrideApplied`] event
+    /// (counter first, same gap-free guarantee as
+    /// [`record_shed`](Self::record_shed)).
+    pub fn record_override(&self, service: &str, field: &str, value: &str) {
+        self.service(service)
+            .overrides
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::OverrideApplied {
+            service: service.to_string(),
+            field: field.to_string(),
+            value: value.to_string(),
+        });
     }
 
     /// Records a market script fetch.
@@ -931,8 +1084,24 @@ impl Telemetry {
                 synthesis_elapsed: Duration::from_micros(
                     m.synthesis_micros.load(Ordering::Relaxed),
                 ),
+                overrides: m.overrides.load(Ordering::Relaxed),
                 latency_ms: m.latency.snapshot(1000.0),
                 cost: m.cost.snapshot(1000.0),
+                classes: QosClass::ALL
+                    .iter()
+                    .map(|&class| {
+                        let c = m.class(class);
+                        ClassSnapshot {
+                            class,
+                            requests: c.requests.load(Ordering::Relaxed),
+                            successes: c.successes.load(Ordering::Relaxed),
+                            shed: c.shed.load(Ordering::Relaxed),
+                            queue_depth: c.queue_depth.load(Ordering::Relaxed),
+                            queue_peak: c.queue_peak.load(Ordering::Relaxed),
+                            latency_ms: c.latency.snapshot(1000.0),
+                        }
+                    })
+                    .collect(),
             })
             .collect();
         services.sort_by(|a, b| a.service.cmp(&b.service));
@@ -993,9 +1162,18 @@ mod tests {
     #[test]
     fn request_counters_accumulate() {
         let (_, t) = telemetry(8);
-        t.record_request("svc", true, Duration::from_millis(3), 50.0, false, None);
         t.record_request(
             "svc",
+            QosClass::Interactive,
+            true,
+            Duration::from_millis(3),
+            50.0,
+            false,
+            None,
+        );
+        t.record_request(
+            "svc",
+            QosClass::Bulk,
             false,
             Duration::from_millis(7),
             150.0,
@@ -1012,6 +1190,13 @@ mod tests {
         assert_eq!(svc.latency_ms.count, 2);
         assert!((svc.latency_ms.sum - 10.0).abs() < 1e-9);
         assert!((svc.cost.sum - 200.0).abs() < 1e-9);
+        let interactive = svc.class(QosClass::Interactive).unwrap();
+        assert_eq!(interactive.requests, 1);
+        assert_eq!(interactive.successes, 1);
+        let bulk = svc.class(QosClass::Bulk).unwrap();
+        assert_eq!(bulk.requests, 1);
+        assert_eq!(bulk.successes, 0);
+        assert_eq!(svc.class(QosClass::Critical).unwrap().requests, 0);
     }
 
     #[test]
@@ -1021,15 +1206,17 @@ mod tests {
         // incremented before the event enters the ring.
         let (_, t) = telemetry(2);
         for i in 0..10 {
-            t.record_shed("svc", 4, i);
+            t.record_shed("svc", QosClass::Scavenger, 4, i);
         }
         for i in 0..5 {
-            t.record_deadline_exceeded("svc", i);
+            t.record_deadline_exceeded("svc", i, QosClass::Interactive);
         }
         let snap = t.snapshot();
         let svc = snap.service("svc").unwrap();
         assert_eq!(svc.requests_shed, 10);
         assert_eq!(svc.deadline_exceeded, 5);
+        assert_eq!(svc.class(QosClass::Scavenger).unwrap().shed, 10);
+        assert_eq!(svc.class(QosClass::Critical).unwrap().shed, 0);
         assert_eq!(snap.events.emitted, 15);
         assert_eq!(snap.events.dropped, 13);
         assert_eq!(snap.recent_events.len(), 2);
@@ -1102,7 +1289,15 @@ mod tests {
     fn out_of_range_sample_round_trips_through_snapshot() {
         let (_, t) = telemetry(4);
         // 1 hour ≫ the 1 s top latency edge; cost 5000 ≫ the 2000 top edge.
-        t.record_request("svc", true, Duration::from_secs(3600), 5_000.0, false, None);
+        t.record_request(
+            "svc",
+            QosClass::Interactive,
+            true,
+            Duration::from_secs(3600),
+            5_000.0,
+            false,
+            None,
+        );
         let snap = t.snapshot();
         let svc = snap.service("svc").unwrap();
         assert_eq!(svc.latency_ms.count, 1);
@@ -1322,7 +1517,15 @@ mod tests {
     #[test]
     fn snapshot_serializes_and_round_trips() {
         let (_, t) = telemetry(4);
-        t.record_request("svc", true, Duration::from_millis(3), 50.0, false, None);
+        t.record_request(
+            "svc",
+            QosClass::Critical,
+            true,
+            Duration::from_millis(3),
+            50.0,
+            false,
+            None,
+        );
         t.record_invocation("d/x", true, Duration::from_millis(2), 25.0);
         t.record_replan("svc", 0, "default", "a*b", None, None);
         t.record_market_fetch(Duration::from_millis(1), true);
@@ -1382,7 +1585,70 @@ mod tests {
     #[test]
     fn works_on_wall_clock_too() {
         let t = Telemetry::new(Arc::new(WallClock::new()), 4);
-        t.record_request("svc", true, Duration::from_millis(1), 1.0, false, None);
+        t.record_request(
+            "svc",
+            QosClass::Interactive,
+            true,
+            Duration::from_millis(1),
+            1.0,
+            false,
+            None,
+        );
         assert_eq!(t.snapshot().service("svc").unwrap().invocations, 1);
+    }
+
+    #[test]
+    fn class_queue_gauges_and_overrides_accumulate() {
+        let (_, t) = telemetry(4);
+        t.record_class_queue_depth("svc", QosClass::Bulk, 2);
+        t.record_class_queue_depth("svc", QosClass::Bulk, 5);
+        t.record_class_queue_depth("svc", QosClass::Bulk, 1);
+        t.record_override("svc", "class", "critical");
+        let snap = t.snapshot();
+        let svc = snap.service("svc").unwrap();
+        let bulk = svc.class(QosClass::Bulk).unwrap();
+        assert_eq!(bulk.queue_depth, 1, "gauge holds the last value");
+        assert_eq!(bulk.queue_peak, 5, "peak is the high-water mark");
+        assert_eq!(svc.overrides, 1);
+        assert!(matches!(
+            &snap.recent_events[0].kind,
+            EventKind::OverrideApplied { service, field, value }
+                if service == "svc" && field == "class" && value == "critical"
+        ));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn histogram_quantile_reads_upper_edges() {
+        let h = Histogram::new(&LATENCY_EDGES_US);
+        for _ in 0..99 {
+            h.record(900); // ≤ 1 ms
+        }
+        h.record(40_000); // ≤ 50 ms
+        let snap = h.snapshot(1000.0);
+        assert_eq!(snap.quantile(0.5), Some(1.0), "median in the 1 ms bucket");
+        assert_eq!(snap.quantile(0.99), Some(1.0));
+        assert_eq!(snap.quantile(1.0), Some(50.0), "max in the 50 ms bucket");
+        assert_eq!(snap.quantile(0.0), None);
+        let empty = Histogram::new(&LATENCY_EDGES_US).snapshot(1000.0);
+        assert_eq!(empty.quantile(0.99), None);
+    }
+
+    /// Pre-class events (no `class` field) must still deserialize, with
+    /// the class defaulting to Interactive.
+    #[test]
+    fn pre_class_shed_event_deserializes_with_default_class() {
+        let json = r#"{"seq":0,"at":{"secs":0,"nanos":0},
+            "kind":{"RequestShed":{"service":"svc","in_flight":1,"queued":0}}}"#;
+        let event: TelemetryEvent = serde_json::from_str(json).unwrap();
+        assert!(matches!(
+            event.kind,
+            EventKind::RequestShed {
+                class: QosClass::Interactive,
+                ..
+            }
+        ));
     }
 }

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use qce_runtime::{
     CachingMarket, Client, Collector, Gateway, GatewayConfig, InMemoryMarket, Market, MsSpec,
-    Registry, ServiceScript, SimulatedProvider, StrategyOrigin,
+    Registry, Request, ServiceScript, SimulatedProvider, StrategyOrigin,
 };
 use qce_strategy::{Qos, Requirements};
 
@@ -50,10 +50,7 @@ fn testbed(slot_size: u32, reliability: f64) -> Testbed {
     // A small collector window keeps the feedback loop responsive: a
     // demoted microservice is only observed on fail-over fallthrough, so a
     // large window would take many slots to notice its recovery.
-    let config = GatewayConfig {
-        collector_window: 60,
-        ..GatewayConfig::default()
-    };
+    let config = GatewayConfig::builder().collector_window(60).build();
     let gateway = Arc::new(Gateway::new(Box::new(market), config));
     // The sensor is markedly cheaper and faster than the alternatives so
     // that, when healthy, it robustly leads the generated strategy.
@@ -89,9 +86,14 @@ fn generated_strategy_is_the_papers_failover_chain() {
     // generated strategy is readTempSensor-estTemp-readLocTemp.
     let tb = testbed(40, 0.7);
     for _ in 0..40 {
-        tb.gateway.invoke("detect-temperature").unwrap();
+        tb.gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
     }
-    let response = tb.gateway.invoke("detect-temperature").unwrap();
+    let response = tb
+        .gateway
+        .submit(Request::new("detect-temperature"))
+        .unwrap();
     assert!(matches!(response.origin, StrategyOrigin::Generated(_)));
     assert_eq!(
         response.strategy_text, "readTempSensor-estTemp-readLocTemp",
@@ -105,7 +107,10 @@ fn generated_strategy_beats_default_on_cost() {
     let mut default_costs = Vec::new();
     let mut generated_costs = Vec::new();
     for _ in 0..90 {
-        let response = tb.gateway.invoke("detect-temperature").unwrap();
+        let response = tb
+            .gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
         match response.origin {
             StrategyOrigin::Default => default_costs.push(response.cost),
             StrategyOrigin::Generated(_) => generated_costs.push(response.cost),
@@ -128,7 +133,9 @@ fn feedback_loop_adapts_to_reliability_drop_and_recovery() {
 
     // Slot 0 (default) + slot 1 (generated from healthy data).
     for _ in 0..100 {
-        tb.gateway.invoke("detect-temperature").unwrap();
+        tb.gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
     }
     let healthy = tb.gateway.current_strategy("detect-temperature").unwrap();
     assert!(
@@ -139,7 +146,9 @@ fn feedback_loop_adapts_to_reliability_drop_and_recovery() {
     // Reliability drops; run enough slots for the window to turn over.
     tb.sensor.set_reliability(0.2);
     for _ in 0..150 {
-        tb.gateway.invoke("detect-temperature").unwrap();
+        tb.gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
     }
     let degraded = tb.gateway.current_strategy("detect-temperature").unwrap();
     assert!(
@@ -152,7 +161,9 @@ fn feedback_loop_adapts_to_reliability_drop_and_recovery() {
     // several slots.
     tb.sensor.set_reliability(0.7);
     for _ in 0..400 {
-        tb.gateway.invoke("detect-temperature").unwrap();
+        tb.gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
     }
     let recovered = tb.gateway.current_strategy("detect-temperature").unwrap();
     assert!(
@@ -166,13 +177,18 @@ fn measured_qos_tracks_generator_estimate() {
     let tb = testbed(60, 0.7);
     // Slot 0: collect.
     for _ in 0..60 {
-        tb.gateway.invoke("detect-temperature").unwrap();
+        tb.gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
     }
     // Slot 1: measure the generated strategy.
     let mut costs = Vec::new();
     let mut successes = 0u32;
     for _ in 0..60 {
-        let r = tb.gateway.invoke("detect-temperature").unwrap();
+        let r = tb
+            .gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
         costs.push(r.cost);
         if r.success {
             successes += 1;
@@ -235,7 +251,9 @@ fn caching_market_fetches_cloud_once() {
 fn best_provider_switches_when_a_better_device_joins() {
     let tb = testbed(5, 0.7);
     for _ in 0..5 {
-        tb.gateway.invoke("detect-temperature").unwrap();
+        tb.gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
     }
     // A much better read-temp provider joins the environment.
     tb.gateway.registry().register(
@@ -251,7 +269,9 @@ fn best_provider_switches_when_a_better_device_joins() {
     // prior-based utility), so run enough slots for the estimate to
     // settle; after that the collector has data for the newcomer.
     for _ in 0..55 {
-        tb.gateway.invoke("detect-temperature").unwrap();
+        tb.gateway
+            .submit(Request::new("detect-temperature"))
+            .unwrap();
     }
     let collector: &Arc<Collector> = tb.gateway.collector();
     let adopted = collector.observation_count("server/read-temp");
@@ -285,6 +305,6 @@ fn registry_is_shared_across_services() {
                 .build(),
         );
     }
-    assert!(gateway.invoke("svc-1").unwrap().success);
-    assert!(gateway.invoke("svc-2").unwrap().success);
+    assert!(gateway.submit(Request::new("svc-1")).unwrap().success);
+    assert!(gateway.submit(Request::new("svc-2")).unwrap().success);
 }

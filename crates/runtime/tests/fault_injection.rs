@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use qce_runtime::{
-    Gateway, GatewayConfig, InMemoryMarket, Market, MsSpec, RuntimeError, ServiceScript,
+    Gateway, GatewayConfig, InMemoryMarket, Market, MsSpec, Request, RuntimeError, ServiceScript,
     SimulatedProvider,
 };
 use qce_strategy::{Qos, Requirements};
@@ -49,21 +49,21 @@ fn offline_device_is_routed_around_by_the_strategy() {
 
     // Healthy warm-up.
     for _ in 0..20 {
-        assert!(gateway.invoke("svc").unwrap().success);
+        assert!(gateway.submit(Request::new("svc")).unwrap().success);
     }
     // x's device goes dark: invocations fail instantly, but the equivalent
     // microservice y keeps the service alive within the same request.
     x.set_online(false);
     let mut ok = 0;
     for _ in 0..20 {
-        if gateway.invoke("svc").unwrap().success {
+        if gateway.submit(Request::new("svc")).unwrap().success {
             ok += 1;
         }
     }
     assert_eq!(ok, 20, "fail-over to y keeps every request alive");
     // Force the slot to turn over so the generator sees the failures.
     gateway.end_slot("svc");
-    gateway.invoke("svc").unwrap();
+    gateway.submit(Request::new("svc")).unwrap();
     let strategy = gateway.current_strategy("svc").unwrap();
     assert!(
         !strategy.starts_with('x'),
@@ -77,19 +77,19 @@ fn departed_device_fails_planning_until_replacement_registers() {
     market.publish(script(5, &["x"])).unwrap();
     let gateway = Gateway::new(Box::new(market), GatewayConfig::default());
     gateway.registry().register(provider("x", 1.0, 1));
-    assert!(gateway.invoke("svc").unwrap().success);
+    assert!(gateway.submit(Request::new("svc")).unwrap().success);
 
     // The only provider for the capability leaves the environment.
     assert!(gateway.registry().deregister("dev/x"));
     gateway.end_slot("svc");
     assert!(matches!(
-        gateway.invoke("svc"),
+        gateway.submit(Request::new("svc")),
         Err(RuntimeError::NoProvider { .. })
     ));
 
     // A replacement shows up; planning succeeds again.
     gateway.registry().register(provider("x", 1.0, 1));
-    assert!(gateway.invoke("svc").unwrap().success);
+    assert!(gateway.submit(Request::new("svc")).unwrap().success);
 }
 
 #[test]
@@ -136,17 +136,17 @@ fn market_outage_after_first_fetch_is_invisible() {
     gateway.registry().register(provider("x", 1.0, 1));
 
     // First request downloads the script.
-    assert!(gateway.invoke("svc").unwrap().success);
+    assert!(gateway.submit(Request::new("svc")).unwrap().success);
     // The cloud goes away — the edge keeps working from its local cache
     // ("the request can be processed entirely within the edge's local
     // environment", Section IV.A).
     market.up.store(false, Ordering::SeqCst);
     for _ in 0..12 {
-        assert!(gateway.invoke("svc").unwrap().success);
+        assert!(gateway.submit(Request::new("svc")).unwrap().success);
     }
     // A *new* service, however, cannot be provisioned during the outage.
     assert!(matches!(
-        gateway.invoke("other"),
+        gateway.submit(Request::new("other")),
         Err(RuntimeError::Market { .. })
     ));
 }
@@ -172,7 +172,7 @@ fn overloaded_provider_degrades_gracefully() {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let gw = Arc::clone(&gateway);
-                scope.spawn(move || (0..5).all(|_| gw.invoke("svc").unwrap().success))
+                scope.spawn(move || (0..5).all(|_| gw.submit(Request::new("svc")).unwrap().success))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -192,7 +192,7 @@ fn all_devices_failing_reports_failure_not_error() {
     let y = provider("y", 0.0, 1);
     gateway.registry().register(x as _);
     gateway.registry().register(y as _);
-    let response = gateway.invoke("svc").unwrap();
+    let response = gateway.submit(Request::new("svc")).unwrap();
     assert!(!response.success);
     assert!(response.payload.is_none());
     assert_eq!(response.cost, 40.0, "both tried, both charged");

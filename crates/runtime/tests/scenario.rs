@@ -423,6 +423,7 @@ fn build_scenario(
     let services: Vec<ServiceDef> = (0..n_services)
         .map(|s| ServiceDef {
             name: format!("svc{s}"),
+            class: None,
             microservices: (0..n_ms)
                 .map(|m| MsDef {
                     name: format!("m{m}"),
@@ -454,6 +455,7 @@ fn build_scenario(
                 to_slot: slots,
                 multiplier: f64::from(mult_q) / 16.0,
                 burst: 0,
+                classes: Vec::new(),
             }]
         } else {
             Vec::new()
@@ -579,6 +581,7 @@ fn malformed_scenario_json_is_rejected_with_typed_errors() {
         to_slot: 1,
         multiplier: f64::NAN,
         burst: 0,
+        classes: Vec::new(),
     });
     assert!(Scenario::from_json(&s.to_json()).is_err());
     // And the in-memory validation path reports it as non-finite.
@@ -600,6 +603,7 @@ fn storm_scenario_replays_identically() {
         load: Vec::new(),
         services: vec![ServiceDef {
             name: "svc".to_string(),
+            class: None,
             microservices: vec![
                 MsDef {
                     name: "a".to_string(),

@@ -9,8 +9,8 @@ use std::thread;
 use std::time::Duration;
 
 use qce_runtime::{
-    EventKind, Gateway, GatewayConfig, Harness, InMemoryMarket, Market, MsSpec, RuntimeError,
-    ServiceScript, SimulatedProvider, StrategyOrigin,
+    EventKind, Gateway, GatewayConfig, Harness, InMemoryMarket, Market, MsSpec, Request,
+    RuntimeError, ServiceScript, SimulatedProvider, StrategyOrigin,
 };
 use qce_strategy::{Qos, Requirements};
 
@@ -219,7 +219,7 @@ fn assert_invoke_completes(gateway: &Arc<Gateway>, service_id: &str) {
     let gateway = Arc::clone(gateway);
     let service_id = service_id.to_string();
     thread::spawn(move || {
-        let response = gateway.invoke(&service_id);
+        let response = gateway.submit(Request::new(&service_id));
         done_tx.send(response).unwrap();
     });
     let response = done_rx
@@ -255,7 +255,7 @@ fn service_b_is_served_while_service_a_fetch_blocks() {
 
     let blocked = {
         let gateway = Arc::clone(&gateway);
-        thread::spawn(move || gateway.invoke("slow"))
+        thread::spawn(move || gateway.submit(Request::new("slow")))
     };
     gate.wait_entered();
 
@@ -294,12 +294,12 @@ fn service_b_is_served_during_service_a_replan() {
         }
     });
 
-    assert!(gateway.invoke("a").unwrap().success); // slot 0 planned
+    assert!(gateway.submit(Request::new("a")).unwrap().success); // slot 0 planned
     let blocked = {
         let gateway = Arc::clone(&gateway);
         // slot_size is 1, so this invocation re-plans (slot 1) and parks in
         // the sink while holding service A's state lock.
-        thread::spawn(move || gateway.invoke("a"))
+        thread::spawn(move || gateway.submit(Request::new("a")))
     };
     gate.wait_entered();
 
@@ -315,10 +315,8 @@ fn service_b_is_served_during_service_a_replan() {
 /// order, even events that overflow the bounded ring.
 #[test]
 fn sink_streams_every_event_in_order() {
-    let config = GatewayConfig {
-        telemetry_events: 2, // tiny ring: most events are evicted
-        ..GatewayConfig::default()
-    };
+    // Tiny ring: most events are evicted.
+    let config = GatewayConfig::builder().telemetry_events(2).build();
     let market = InMemoryMarket::new();
     market.publish(three_ms_script("svc", 1)).unwrap();
     let clock = Arc::new(qce_runtime::VirtualClock::new());
@@ -343,7 +341,7 @@ fn sink_streams_every_event_in_order() {
         );
     }
     for _ in 0..6 {
-        gateway.invoke("svc").unwrap();
+        gateway.submit(Request::new("svc")).unwrap();
     }
     let seen = seen.lock().unwrap();
     let expected: Vec<u64> = (0..seen.len() as u64).collect();

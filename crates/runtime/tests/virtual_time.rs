@@ -230,10 +230,7 @@ fn collector_window_evicts_stale_observations() {
     // the windowed success rate recovers to 1.0 (not 0.5).
     let h = Harness::builder()
         .script(one_ms_script("svc", 1000))
-        .config(GatewayConfig {
-            collector_window: 5,
-            ..GatewayConfig::default()
-        })
+        .config(GatewayConfig::builder().collector_window(5).build())
         .provider(
             SimulatedProvider::builder("d/cap", "cap")
                 .latency(Duration::ZERO)

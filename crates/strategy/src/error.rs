@@ -145,6 +145,9 @@ pub enum QosError {
     InvalidPenalty(f64),
     /// A QoS requirement used for normalization must be finite and positive.
     InvalidRequirement(f64),
+    /// A textual QoS value (e.g. a `"cost,latency,reliability"` requirement
+    /// triple) could not be parsed.
+    Parse(String),
 }
 
 impl fmt::Display for QosError {
@@ -165,6 +168,7 @@ impl fmt::Display for QosError {
             QosError::InvalidRequirement(v) => {
                 write!(f, "QoS requirement must be finite and positive, got {v}")
             }
+            QosError::Parse(reason) => write!(f, "{reason}"),
         }
     }
 }

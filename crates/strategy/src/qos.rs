@@ -461,6 +461,34 @@ impl fmt::Display for Requirements {
     }
 }
 
+/// Parses a requirement triple from `"cost,latency,reliability"` (e.g.
+/// `"100,100,0.97"`), the format runtime control planes and CLIs use to
+/// retune a live service's requirements.
+impl std::str::FromStr for Requirements {
+    type Err = QosError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(',').map(str::trim);
+        let mut next = |what: &str| {
+            parts
+                .next()
+                .filter(|p| !p.is_empty())
+                .ok_or_else(|| QosError::Parse(format!("missing {what} in requirement {s:?}")))?
+                .parse::<f64>()
+                .map_err(|e| QosError::Parse(format!("bad {what} in requirement {s:?}: {e}")))
+        };
+        let cost = next("cost")?;
+        let latency = next("latency")?;
+        let reliability = next("reliability")?;
+        if parts.next().is_some() {
+            return Err(QosError::Parse(format!(
+                "expected cost,latency,reliability — got extra fields in {s:?}"
+            )));
+        }
+        Requirements::new(cost, latency, reliability)
+    }
+}
+
 /// Environment-specific QoS of a set of equivalent microservices, indexed by
 /// [`MsId`].
 ///
@@ -591,6 +619,16 @@ impl Extend<Qos> for EnvQos {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn requirements_parse_from_comma_triple() {
+        let req: Requirements = "100, 80, 0.97".parse().unwrap();
+        assert_eq!(req, Requirements::new(100.0, 80.0, 0.97).unwrap());
+        assert!("100,80".parse::<Requirements>().is_err(), "missing field");
+        assert!("100,80,0.97,1".parse::<Requirements>().is_err(), "extra");
+        assert!("x,80,0.97".parse::<Requirements>().is_err(), "non-numeric");
+        assert!("100,80,1.5".parse::<Requirements>().is_err(), "range check");
+    }
 
     #[test]
     fn ms_id_display_round_trips() {

@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Stand up the gateway; devices register their microservices.
     let gateway = Arc::new(Gateway::new(
         Box::new(market),
-        GatewayConfig {
-            collector_window: 60,
-            ..GatewayConfig::default()
-        },
+        GatewayConfig::builder().collector_window(60).build(),
     ));
     let sensor = SimulatedProvider::builder("pi/read-temp", "read-temp")
         .cost(30.0)

@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use qce_runtime::{
     AdvisoryPolicy, CachingMarket, Client, ClientError, FileMarket, Gateway, GatewayConfig, Market,
-    MsSpec, ServiceScript, SimulatedProvider,
+    MsSpec, Request, ServiceScript, SimulatedProvider,
 };
 use qce_strategy::{Qos, Requirements};
 
@@ -109,7 +109,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let strict = Client::new(Arc::clone(&gateway)).with_policy(AdvisoryPolicy::Abort);
     // Warm through slot 0 so the generator produces an estimate+advisory.
     for _ in 0..101 {
-        let _ = gateway.invoke("impossible-service");
+        let _ = gateway.submit(Request::new("impossible-service"));
     }
     match strict.invoke("impossible-service") {
         Err(ClientError::Rejected(rejected)) => {

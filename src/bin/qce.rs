@@ -11,6 +11,11 @@
 //!   pareto             print the Pareto-optimal strategies
 //!   run                drive the full gateway feedback loop in virtual time
 //!   stats              like run, then print the telemetry snapshot as JSON
+//!   ctl <action> <service> <value>
+//!                      like run, but apply a live override halfway
+//!                      through: set-class CLASS, set-deadline MS|none, or
+//!                      set-requirement COST,LATENCY_MS,RELIABILITY; prints
+//!                      the override event and the per-class breakdown
 //!
 //! With `--scenario FILE`, `run` and `stats` replay an adversarial
 //! scenario JSON file (load curves, correlated failure storms, device
@@ -58,7 +63,9 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use qce::runtime::{Clock, GatewayConfig, Harness, MsSpec, ServiceScript, SimulatedProvider};
+use qce::runtime::{
+    Clock, EventKind, GatewayConfig, Harness, MsSpec, QosClass, ServiceScript, SimulatedProvider,
+};
 use qce::sim::{simulate, Environment};
 use qce::strategy::enumerate::{count_full, enumerate_full, paper};
 use qce::strategy::estimate::{estimate, estimate_folding};
@@ -68,7 +75,7 @@ use qce::strategy::{EnvQos, Generator, Requirements, Strategy, UtilityIndex};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Options {
     triples: Vec<(f64, f64, f64)>,
     require: (f64, f64, f64),
@@ -88,6 +95,7 @@ struct Options {
     deadline_ms: Option<u64>,
     trace: bool,
     scenario: Option<String>,
+    ctl_args: Vec<String>,
 }
 
 impl Default for Options {
@@ -111,6 +119,7 @@ impl Default for Options {
             deadline_ms: None,
             trace: false,
             scenario: None,
+            ctl_args: Vec::new(),
         }
     }
 }
@@ -198,6 +207,10 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             positional if command.is_none() => command = Some(positional.to_string()),
             positional if expr.is_none() => expr = Some(positional.to_string()),
+            // `ctl` takes extra positionals: SERVICE VALUE after the action.
+            extra if command.as_deref() == Some("ctl") => {
+                options.ctl_args.push(extra.to_string());
+            }
             extra => return Err(format!("unexpected argument {extra:?}")),
         }
     }
@@ -273,14 +286,13 @@ fn build_harness(options: &Options) -> Result<Harness, String> {
     script.slot_size = options.slot_size;
     script.quorum = options.quorum;
     script.validate().map_err(|e| e.to_string())?;
-    let config = GatewayConfig {
-        generator_warm_start: options.plan_cache,
-        plan_cache: options.plan_cache,
-        plan_quantize: options.quantize,
-        max_in_flight: options.max_in_flight,
-        request_deadline: options.deadline_ms.map(Duration::from_millis),
-        ..GatewayConfig::default()
-    };
+    let config = GatewayConfig::builder()
+        .generator_warm_start(options.plan_cache)
+        .plan_cache(options.plan_cache)
+        .plan_quantize(options.quantize)
+        .max_in_flight(options.max_in_flight)
+        .request_deadline(options.deadline_ms.map(Duration::from_millis))
+        .build();
     Ok(builder.config(config).script(script).build())
 }
 
@@ -554,9 +566,88 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
             );
             Ok(())
         }
+        "ctl" => {
+            let action =
+                expr.ok_or("ctl expects an action: set-class, set-deadline or set-requirement")?;
+            let (service, value) = match options.ctl_args.as_slice() {
+                [service, value] => (service.clone(), value.clone()),
+                _ => return Err(format!("ctl {action} expects SERVICE VALUE")),
+            };
+            // Parse the override up front so a bad value fails before the
+            // run starts, not halfway through it.
+            enum Override {
+                Class(QosClass),
+                Deadline(Option<Duration>),
+                Requirement(Requirements),
+            }
+            let along = match action {
+                "set-class" => Override::Class(value.parse()?),
+                "set-deadline" => Override::Deadline(if value == "none" {
+                    None
+                } else {
+                    let ms: u64 = value.parse().map_err(|e| format!("set-deadline: {e}"))?;
+                    Some(Duration::from_millis(ms))
+                }),
+                "set-requirement" => {
+                    Override::Requirement(value.parse().map_err(|e| format!("{e}"))?)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown ctl action {other:?}; try set-class, set-deadline \
+                         or set-requirement"
+                    ))
+                }
+            };
+            // Drive the same gateway as `run`, applying the override live
+            // at the halfway mark — mid-slot, no re-plan.
+            let harness = build_harness(options)?;
+            let switch_at = options.invocations / 2;
+            let mut successes = 0u32;
+            for done in 0..options.invocations {
+                if done == switch_at {
+                    let control = harness.gateway().control();
+                    match &along {
+                        Override::Class(class) => control.set_class(&service, *class),
+                        Override::Deadline(deadline) => control.set_deadline(&service, *deadline),
+                        Override::Requirement(requirement) => {
+                            control.set_requirement(&service, *requirement);
+                        }
+                    }
+                }
+                let response = harness.invoke("cli-service").map_err(|e| e.to_string())?;
+                if response.success {
+                    successes += 1;
+                }
+            }
+            for event in harness.telemetry().events() {
+                if let EventKind::OverrideApplied {
+                    service,
+                    field,
+                    value,
+                } = &event.kind
+                {
+                    println!("override : {service} {field} = {value}");
+                }
+            }
+            println!("served   : {successes}/{} requests", options.invocations);
+            let snapshot = harness.telemetry().snapshot();
+            let service = snapshot
+                .service("cli-service")
+                .ok_or("no requests were recorded")?;
+            for class in &service.classes {
+                println!(
+                    "{:<11}: {} request(s), {} shed, {} queued at peak",
+                    class.class.to_string(),
+                    class.requests,
+                    class.shed,
+                    class.queue_peak
+                );
+            }
+            Ok(())
+        }
         other => Err(format!(
             "unknown command {other:?}; try estimate, generate, enumerate, \
-             simulate, pareto, run, stats"
+             simulate, pareto, run, stats, ctl"
         )),
     }
 }
@@ -827,6 +918,46 @@ mod tests {
         };
         assert!(run("run", None, &options).is_ok());
         assert!(run("stats", None, &options).is_ok());
+    }
+
+    #[test]
+    fn parse_args_ctl_positionals() {
+        let (command, expr, options) =
+            parse_args(&args(&["ctl", "set-class", "cli-service", "critical"])).unwrap();
+        assert_eq!(command, "ctl");
+        assert_eq!(expr.as_deref(), Some("set-class"));
+        assert_eq!(options.ctl_args, vec!["cli-service", "critical"]);
+        // Only `ctl` accepts extra positionals (see parse_args_rejects_garbage).
+    }
+
+    #[test]
+    fn ctl_applies_overrides_and_rejects_bad_input() {
+        let options = Options {
+            triples: vec![(50.0, 5.0, 95.0), (50.0, 8.0, 95.0)],
+            require: (200.0, 100.0, 50.0),
+            invocations: 8,
+            slot_size: 4,
+            ctl_args: vec!["cli-service".into(), "bulk".into()],
+            ..Options::default()
+        };
+        assert!(run("ctl", Some("set-class"), &options).is_ok());
+        assert!(
+            run("ctl", Some("set-class"), &Options::default()).is_err(),
+            "missing SERVICE VALUE"
+        );
+        let bad = Options {
+            ctl_args: vec!["cli-service".into(), "frantic".into()],
+            ..options.clone()
+        };
+        assert!(
+            run("ctl", Some("set-class"), &bad).is_err(),
+            "unknown class"
+        );
+        let bad_deadline = Options {
+            ctl_args: vec!["cli-service".into(), "soon".into()],
+            ..options
+        };
+        assert!(run("ctl", Some("set-deadline"), &bad_deadline).is_err());
     }
 
     #[test]
