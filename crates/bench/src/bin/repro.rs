@@ -31,6 +31,8 @@
 //!   --latency-scale F testbed latency multiplier           (default 0.05)
 //!   --seed N          RNG seed                             (default 2020)
 //!   --reports DIR     report directory                     (default reports)
+//!   --sweep           bench-throughput: 10^2..10^5 async-client sweep
+//!   --max-clients N   largest sweep point                  (default 100000)
 //!   --quick           small preset for smoke runs
 //! ```
 
@@ -49,6 +51,8 @@ struct Options {
     latency_scale: f64,
     seed: u64,
     reports: PathBuf,
+    sweep: bool,
+    max_clients: usize,
 }
 
 impl Default for Options {
@@ -64,6 +68,8 @@ impl Default for Options {
             latency_scale: 0.05,
             seed: 2020,
             reports: PathBuf::from("reports"),
+            sweep: false,
+            max_clients: 100_000,
         }
     }
 }
@@ -142,6 +148,12 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--reports" => options.reports = PathBuf::from(value("--reports")?),
+            "--sweep" => options.sweep = true,
+            "--max-clients" => {
+                options.max_clients = value("--max-clients")?
+                    .parse()
+                    .map_err(|e| format!("--max-clients: {e}"))?
+            }
             "--quick" => quick = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             experiment => experiments.push(experiment.to_string()),
@@ -199,7 +211,19 @@ fn run_experiment(name: &str, options: &Options) -> std::io::Result<bool> {
             options.seed,
         )?,
         "bench-throughput" => {
-            qce_bench::throughput::run(reports, std::path::Path::new("BENCH_throughput.json"), 8)?
+            if options.sweep {
+                qce_bench::throughput::run_sweep(
+                    reports,
+                    std::path::Path::new("BENCH_throughput.json"),
+                    options.max_clients,
+                )?
+            } else {
+                qce_bench::throughput::run(
+                    reports,
+                    std::path::Path::new("BENCH_throughput.json"),
+                    8,
+                )?
+            }
         }
         "bench-scenarios" => qce_bench::scenarios::run(
             reports,

@@ -29,11 +29,11 @@
 
 use std::io;
 use std::path::Path;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use qce_runtime::{
-    Clock, FaultEvent, FaultKind, FaultPlan, GatewayConfig, Harness, MsSpec, PoolStats,
+    Clock, FaultEvent, FaultKind, FaultPlan, GatewayConfig, Harness, MsSpec, PoolStats, Request,
     RuntimeError, ServiceResponse, ServiceScript, SimulatedProvider, WorkerGuard,
 };
 use qce_strategy::{Qos, Requirements};
@@ -96,6 +96,12 @@ fn script() -> ServiceScript {
 /// A fresh virtual-time rig: `a` crashed from `t = 0` (fails instantly,
 /// still charged), `b` the 4 ms winner, `c` an 8 ms charged loser.
 fn rig(config: GatewayConfig) -> Harness {
+    rig_scripted(config, script())
+}
+
+/// [`rig`] with a caller-supplied script — the sweep widens the slot so
+/// a 10^5-request batch stays on the slot-0 strategy.
+fn rig_scripted(config: GatewayConfig, script: ServiceScript) -> Harness {
     let crashed_forever = FaultPlan::new(vec![FaultEvent {
         at: Duration::ZERO,
         kind: FaultKind::Crash,
@@ -108,7 +114,7 @@ fn rig(config: GatewayConfig) -> Harness {
             .response(name.as_bytes().to_vec())
     };
     Harness::builder()
-        .script(script())
+        .script(script)
         .config(config)
         .faulty(device("a", 2), crashed_forever)
         .provider(device("b", WINNER_MS))
@@ -375,6 +381,267 @@ pub fn run(reports: &Path, json_out: &Path, clients: usize) -> io::Result<()> {
     Ok(())
 }
 
+/// The client counts of `--sweep` mode: 10^2 → 10^5 concurrent virtual
+/// clients per point (capped by `--max-clients` for CI turnaround).
+const SWEEP_POINTS: [usize; 4] = [100, 1_000, 10_000, 100_000];
+
+/// One OS thread's default stack reservation — what the pre-event-core
+/// execution model paid per *running leg* of every in-flight request
+/// (each leg parked a thread on the virtual clock for its full latency).
+const THREAD_STACK_BYTES: usize = 2 * 1024 * 1024;
+
+/// Running legs per request under `a*b*c`: all three race.
+const LEGS: usize = 3;
+
+/// What one sweep point measured. Every field is a deterministic function
+/// of the rig (virtual time, core-lock-serialized frame counts), so the
+/// sweep JSON reproduces byte-for-byte across runs.
+struct SweepPoint {
+    clients: usize,
+    makespan: Duration,
+    p50: Duration,
+    p99: Duration,
+    frames_peak: usize,
+    frame_bytes: usize,
+}
+
+impl SweepPoint {
+    fn bytes_per_request(&self) -> f64 {
+        (self.frames_peak * self.frame_bytes) as f64 / self.clients.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"clients\": {}, \"ok\": {}, \"shed\": 0, \"makespan_ms\": {}, \
+             \"p50_ms\": {}, \"p99_ms\": {}, \"frames_peak\": {}, \
+             \"frames_per_request\": {}, \"bytes_per_request\": {}}}",
+            self.clients,
+            self.clients,
+            fmt_f(millis(self.makespan), 3),
+            fmt_f(millis(self.p50), 3),
+            fmt_f(millis(self.p99), 3),
+            self.frames_peak,
+            fmt_f(self.frames_peak as f64 / self.clients.max(1) as f64, 2),
+            fmt_f(self.bytes_per_request(), 1),
+        )
+    }
+}
+
+/// `clients` concurrent virtual clients on one fresh rig, all submitted
+/// through [`Gateway::submit_async`] while a [`WorkerGuard`] pins virtual
+/// time at `t = 0` — so every request starts at the same instant and no
+/// request can finish before all are resident. No client threads exist:
+/// queued and in-flight requests are heap frames on the event loop, and
+/// every leaf is a completion event on the clock (no worker-pool thread).
+///
+/// Gates (returned as errors so CI keys on the exit code):
+/// shed-free admission, every outcome bit-identical to `expected`, the
+/// whole batch finishing in one request's makespan, a peak-resident-frame
+/// ceiling of 2 frames/request, and a drained core afterwards.
+///
+/// [`Gateway::submit_async`]: qce_runtime::Gateway::submit_async
+fn sweep_point(clients: usize, expected: &OutcomeKey) -> io::Result<SweepPoint> {
+    let fail = |message: String| io::Error::other(format!("bench-throughput sweep: {message}"));
+    // `slot_size` counts invocations per re-plan: the slot must hold the
+    // whole batch or requests past it would run a regenerated slot-1
+    // strategy and (correctly) diverge from the slot-0 baseline.
+    let mut script = script();
+    script.slot_size = script
+        .slot_size
+        .max(u32::try_from(clients).unwrap_or(u32::MAX));
+    let harness = rig_scripted(GatewayConfig::default(), script);
+    let gateway = Arc::clone(harness.gateway());
+    let handles: Vec<_> = {
+        let _pin = WorkerGuard::enter(harness.clock().as_ref());
+        (0..clients)
+            .map(|_| gateway.submit_async(Request::new(SERVICE)))
+            .collect::<Result<_, _>>()
+            .map_err(|error| fail(format!("submission failed: {error}")))?
+    };
+    let mut latencies = Vec::with_capacity(clients);
+    let mut diverged: std::collections::BTreeMap<(u64, String, Duration), usize> =
+        Default::default();
+    for handle in handles {
+        let response = handle
+            .wait()
+            .map_err(|error| fail(format!("{clients} clients: request failed: {error}")))?;
+        let observed = key(&response);
+        if observed != *expected {
+            diverged
+                .entry((observed.5, observed.6.clone(), observed.3))
+                .and_modify(|n| *n += 1)
+                .or_insert(1usize);
+        }
+        latencies.push(response.latency);
+    }
+    if !diverged.is_empty() {
+        return Err(fail(format!(
+            "{clients} clients: outcomes diverged from the sequential baseline \
+             (expected {expected:?}; divergent (slot, strategy, latency) -> count: {diverged:?})"
+        )));
+    }
+    latencies.sort();
+
+    let shed = harness
+        .telemetry()
+        .snapshot()
+        .service(SERVICE)
+        .map_or(0, |s| s.requests_shed);
+    if shed > 0 {
+        return Err(fail(format!(
+            "{clients} clients: {shed} request(s) shed with unlimited admission"
+        )));
+    }
+    let makespan = harness.clock().now();
+    if makespan != Duration::from_millis(SLOWEST_MS) {
+        return Err(fail(format!(
+            "{clients} clients took {:.3} ms, expected exactly one request's {SLOWEST_MS} ms — \
+             requests did not all overlap",
+            millis(makespan),
+        )));
+    }
+    let stats = gateway.engine_stats();
+    if stats.frames_peak < clients || stats.frames_peak > 2 * clients {
+        return Err(fail(format!(
+            "{clients} clients: peak resident frames {} outside [{clients}, {}] — \
+             not O(1) frames per request",
+            stats.frames_peak,
+            2 * clients,
+        )));
+    }
+    if stats.in_flight != 0 || stats.frames_live != 0 {
+        return Err(fail(format!(
+            "{clients} clients: core not drained after the batch \
+             (in_flight {}, frames_live {})",
+            stats.in_flight, stats.frames_live,
+        )));
+    }
+    Ok(SweepPoint {
+        clients,
+        makespan,
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+        frames_peak: stats.frames_peak,
+        frame_bytes: stats.frame_bytes,
+    })
+}
+
+/// `--sweep` mode: 10^2 → 10^5 concurrent virtual clients per point
+/// through the asynchronous submission path, written as
+/// `reports/bench_throughput_sweep.tsv` plus `json_out`. The JSON is a
+/// deterministic function of the rig, so CI double-runs it and `cmp`s the
+/// bytes.
+///
+/// # Errors
+///
+/// Returns an I/O error if a report cannot be written, or — so CI can key
+/// on the exit code — if any point sheds a request, diverges from the
+/// sequential baseline, fails to overlap the whole batch into one
+/// request's makespan, or exceeds the peak-resident-frame ceiling (see
+/// [`sweep_point`]).
+pub fn run_sweep(reports: &Path, json_out: &Path, max_clients: usize) -> io::Result<()> {
+    let max_clients = max_clients.max(SWEEP_POINTS[0]);
+    let points: Vec<usize> = SWEEP_POINTS
+        .into_iter()
+        .filter(|n| *n <= max_clients)
+        .collect();
+
+    // Ground truth: a short sequential run. The providers are
+    // time-independent and every request lands in slot 0, so all
+    // sequential outcomes are identical and one key is the oracle for the
+    // whole sweep.
+    let baseline = sequential_phase(8);
+    let expected = baseline
+        .keys
+        .first()
+        .cloned()
+        .ok_or_else(|| io::Error::other("bench-throughput sweep: empty sequential baseline"))?;
+    if baseline.keys.iter().any(|k| *k != expected) {
+        return Err(io::Error::other(
+            "bench-throughput sweep: sequential baseline outcomes are not uniform",
+        ));
+    }
+
+    let mut sweep = Vec::with_capacity(points.len());
+    for clients in points {
+        sweep.push(sweep_point(clients, &expected)?);
+    }
+
+    let mut report = Report::new(
+        format!(
+            "bench-throughput --sweep: up to {max_clients} concurrent clients, strategy {STRATEGY}"
+        ),
+        &[
+            "clients",
+            "ok",
+            "shed",
+            "makespan_ms",
+            "p50_ms",
+            "p99_ms",
+            "frames_peak",
+            "frames_per_req",
+            "bytes_per_req",
+        ],
+    );
+    for point in &sweep {
+        report.row([
+            point.clients.to_string(),
+            point.clients.to_string(),
+            "0".to_string(),
+            fmt_f(millis(point.makespan), 3),
+            fmt_f(millis(point.p50), 3),
+            fmt_f(millis(point.p99), 3),
+            point.frames_peak.to_string(),
+            fmt_f(point.frames_peak as f64 / point.clients as f64, 2),
+            fmt_f(point.bytes_per_request(), 1),
+        ]);
+    }
+    let largest = sweep.last().expect("at least one sweep point");
+    let threaded = (LEGS * THREAD_STACK_BYTES) as f64;
+    report.note(format!(
+        "every batch finishes in one request's makespan ({SLOWEST_MS} ms) with outcomes \
+         bit-identical to the sequential baseline",
+    ));
+    report.note(format!(
+        "memory per in-flight request: {} B of event-core frames vs {} B of thread stacks \
+         under the per-leg-thread model ({}x)",
+        fmt_f(largest.bytes_per_request(), 1),
+        threaded,
+        fmt_f(threaded / largest.bytes_per_request().max(1.0), 1),
+    ));
+    report.emit(reports, "bench_throughput_sweep")?;
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench-throughput-sweep\",\n  \"service\": \"{SERVICE}\",\n  \
+         \"strategy\": \"{STRATEGY}\",\n  \"single_request_ms\": {},\n  \
+         \"outcomes_match_sequential_baseline\": true,\n  \"sweep\": [\n    {}\n  ],\n  \
+         \"memory_per_request\": {{\n    \"frame_bytes\": {},\n    \
+         \"event_core_bytes_per_request\": {},\n    \
+         \"threaded_walker_bytes_per_request\": {},\n    \
+         \"threaded_walker_model\": \"{LEGS} running legs x {THREAD_STACK_BYTES} B default \
+         thread stack (pre-event-core execution model)\",\n    \
+         \"reduction_factor\": {}\n  }}\n}}\n",
+        fmt_f(millis(Duration::from_millis(SLOWEST_MS)), 3),
+        sweep
+            .iter()
+            .map(SweepPoint::json)
+            .collect::<Vec<_>>()
+            .join(",\n    "),
+        largest.frame_bytes,
+        fmt_f(largest.bytes_per_request(), 1),
+        LEGS * THREAD_STACK_BYTES,
+        fmt_f(threaded / largest.bytes_per_request().max(1.0), 1),
+    );
+    if let Some(parent) = json_out.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(json_out, json)?;
+    println!("bench-throughput --sweep: wrote {}", json_out.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +697,33 @@ mod tests {
         );
         assert_eq!(phase.shed, 0);
         assert_eq!(phase.ok, 4);
+    }
+
+    #[test]
+    fn sweep_point_overlaps_all_clients_and_matches_the_baseline() {
+        let baseline = sequential_phase(4);
+        let point = sweep_point(64, &baseline.keys[0]).unwrap();
+        assert_eq!(point.makespan, Duration::from_millis(SLOWEST_MS));
+        assert!(point.frames_peak >= 64, "all 64 walks resident at once");
+        assert!(point.bytes_per_request() < THREAD_STACK_BYTES as f64);
+        // Gateway latency is the decision instant: b's 4 ms win.
+        assert_eq!(point.p50, Duration::from_millis(WINNER_MS));
+        assert_eq!(point.p99, Duration::from_millis(WINNER_MS));
+    }
+
+    #[test]
+    fn run_sweep_writes_deterministic_json() {
+        let dir = std::env::temp_dir().join(format!("qce-sweep-{}", std::process::id()));
+        let json = dir.join("BENCH_throughput.json");
+        run_sweep(&dir, &json, 100).unwrap();
+        let first = std::fs::read_to_string(&json).unwrap();
+        assert!(first.contains("\"benchmark\": \"bench-throughput-sweep\""));
+        assert!(first.contains("\"outcomes_match_sequential_baseline\": true"));
+        assert!(first.contains("\"threaded_walker_bytes_per_request\""));
+        run_sweep(&dir, &json, 100).unwrap();
+        let second = std::fs::read_to_string(&json).unwrap();
+        assert_eq!(first, second, "sweep JSON must reproduce byte-for-byte");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -128,6 +128,59 @@ pub trait Clock: Send + Sync + fmt::Debug {
     fn thread_is_worker(&self) -> bool {
         false
     }
+
+    /// Blocks until `ready()` returns true or — when `deadline` is `Some`
+    /// — this clock reaches `deadline`, whichever comes first. This is the
+    /// event loop's idle wait: `deadline` is the earliest scheduled
+    /// completion event, and `ready` flips when another thread posts an
+    /// event (the poster then calls
+    /// [`notify_sleepers`](Clock::notify_sleepers)).
+    ///
+    /// `ready` may be invoked while the clock holds internal locks, so it
+    /// must be cheap and must not call back into this clock — reading an
+    /// atomic flag is the intended shape.
+    ///
+    /// On [`VirtualClock`] a waiting registered worker counts toward the
+    /// advance threshold (like a sleeper when `deadline` is `Some`, like a
+    /// passive parent when it is `None`), so an idle event loop never
+    /// stalls virtual time. The default implementation brackets a polling
+    /// wait in [`enter_passive`](Clock::enter_passive)/
+    /// [`exit_passive`](Clock::exit_passive); clocks with their own wait
+    /// machinery should override it with a real blocking wait.
+    fn sleep_until_or(&self, deadline: Option<Duration>, ready: &dyn Fn() -> bool) {
+        if ready() {
+            return;
+        }
+        self.enter_passive();
+        loop {
+            if ready() {
+                break;
+            }
+            if let Some(deadline) = deadline {
+                if self.now() >= deadline {
+                    break;
+                }
+            }
+            std::thread::yield_now();
+        }
+        self.exit_passive();
+    }
+
+    /// Wakes every thread blocked in [`sleep_until_or`](Clock::sleep_until_or)
+    /// so it can re-check its `ready` predicate. Posting an event and then
+    /// calling this (in that order) guarantees the wakeup is never lost.
+    fn notify_sleepers(&self) {}
+}
+
+/// True when `a` and `b` are the same clock object (pointer identity on
+/// the underlying data, ignoring vtables). The engine uses this to decide
+/// whether a provider's internal sleeps can be folded into a scheduled
+/// completion event on the engine clock.
+pub(crate) fn same_clock(a: &dyn Clock, b: &dyn Clock) -> bool {
+    std::ptr::eq(
+        a as *const dyn Clock as *const (),
+        b as *const dyn Clock as *const (),
+    )
 }
 
 /// RAII worker registration: deregisters on drop, so the worker count
@@ -179,6 +232,8 @@ impl Drop for WorkerGuard<'_> {
 #[derive(Debug)]
 pub struct WallClock {
     epoch: Instant,
+    waiters: Mutex<()>,
+    wake: Condvar,
 }
 
 impl WallClock {
@@ -187,6 +242,8 @@ impl WallClock {
     pub fn new() -> Self {
         WallClock {
             epoch: Instant::now(),
+            waiters: Mutex::new(()),
+            wake: Condvar::new(),
         }
     }
 }
@@ -204,6 +261,48 @@ impl Clock for WallClock {
 
     fn sleep(&self, duration: Duration) {
         std::thread::sleep(duration);
+    }
+
+    fn sleep_until_or(&self, deadline: Option<Duration>, ready: &dyn Fn() -> bool) {
+        let mut guard = self
+            .waiters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            // Checked under the waiters lock, which `notify_sleepers` also
+            // takes: a post-then-notify sequence can never slip between the
+            // check and the wait.
+            if ready() {
+                return;
+            }
+            match deadline {
+                Some(deadline) => {
+                    let now = self.now();
+                    if now >= deadline {
+                        return;
+                    }
+                    let (next, _timed_out) = self
+                        .wake
+                        .wait_timeout(guard, deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard = next;
+                }
+                None => {
+                    guard = self
+                        .wake
+                        .wait(guard)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    fn notify_sleepers(&self) {
+        let _guard = self
+            .waiters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.wake.notify_all();
     }
 }
 
@@ -409,6 +508,59 @@ impl Clock for VirtualClock {
     fn thread_is_worker(&self) -> bool {
         WORKER_DEPTH.with(|depths| depths.borrow().get(&self.id).is_some_and(|&d| d > 0))
     }
+
+    fn sleep_until_or(&self, deadline: Option<Duration>, ready: &dyn Fn() -> bool) {
+        let is_worker = self.thread_is_worker();
+        let mut state = self.lock();
+        match deadline {
+            Some(deadline) => {
+                // Wait like a sleeper: the deadline participates in the
+                // earliest-deadline computation, and a waiting worker
+                // counts toward the advance threshold.
+                let token = state.next_token;
+                state.next_token += 1;
+                state.sleepers.push((token, deadline));
+                if is_worker {
+                    state.worker_sleepers += 1;
+                }
+                self.try_advance(&mut state);
+                while state.now < deadline && !ready() {
+                    state = self
+                        .wake
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                state.sleepers.retain(|&(t, _)| t != token);
+                if is_worker {
+                    state.worker_sleepers -= 1;
+                }
+                self.try_advance(&mut state);
+            }
+            None => {
+                // Nothing scheduled: wait like a parked parent so other
+                // workers' sleeps can still advance time, but contribute
+                // no deadline of our own.
+                if is_worker {
+                    state.parked += 1;
+                    self.try_advance(&mut state);
+                }
+                while !ready() {
+                    state = self
+                        .wake
+                        .wait(state)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                if is_worker {
+                    state.parked = state.parked.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    fn notify_sleepers(&self) {
+        let _state = self.lock();
+        self.wake.notify_all();
+    }
 }
 
 #[cfg(test)]
@@ -568,6 +720,79 @@ mod tests {
         // advances instantly instead of deadlocking on a phantom worker.
         clock.sleep(Duration::from_millis(7));
         assert_eq!(clock.now(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn sleep_until_or_advances_to_the_deadline() {
+        let clock = VirtualClock::new();
+        clock.enter_worker();
+        // Sole worker waiting on a scheduled event: time jumps there.
+        clock.sleep_until_or(Some(Duration::from_millis(25)), &|| false);
+        assert_eq!(clock.now(), Duration::from_millis(25));
+        clock.exit_worker();
+    }
+
+    #[test]
+    fn sleep_until_or_returns_early_on_ready() {
+        use std::sync::atomic::AtomicBool;
+        let clock = Arc::new(VirtualClock::new());
+        let ready = Arc::new(AtomicBool::new(false));
+        let waker = {
+            let clock = Arc::clone(&clock);
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                ready.store(true, Ordering::SeqCst);
+                clock.notify_sleepers();
+            })
+        };
+        // Unregistered waiter with no deadline: virtual time must hold
+        // still, and the wait must end when the poster signals.
+        clock.sleep_until_or(None, &|| ready.load(Ordering::SeqCst));
+        assert_eq!(clock.now(), Duration::ZERO);
+        waker.join().unwrap();
+    }
+
+    #[test]
+    fn idle_event_wait_lets_other_workers_advance() {
+        use std::sync::atomic::AtomicBool;
+        let clock = Arc::new(VirtualClock::new());
+        let done = Arc::new(AtomicBool::new(false));
+        clock.enter_worker(); // the idle "event loop" worker
+        clock.reserve_worker(); // a blocking leg's slot
+        let leg = {
+            let clock = Arc::clone(&clock);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                clock.adopt_worker();
+                clock.sleep(Duration::from_millis(40));
+                done.store(true, Ordering::SeqCst);
+                clock.exit_worker();
+                clock.notify_sleepers();
+            })
+        };
+        // The loop has no timers (deadline None); its parked-style wait
+        // must let the leg's sleep drive time to 40 ms.
+        clock.sleep_until_or(None, &|| done.load(Ordering::SeqCst));
+        assert_eq!(clock.now(), Duration::from_millis(40));
+        leg.join().unwrap();
+        clock.exit_worker();
+    }
+
+    #[test]
+    fn wall_clock_sleep_until_or_times_out() {
+        let clock = WallClock::new();
+        let t0 = clock.now();
+        clock.sleep_until_or(Some(t0 + Duration::from_millis(5)), &|| false);
+        assert!(clock.now() - t0 >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn same_clock_is_pointer_identity() {
+        let a: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let b: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        assert!(same_clock(&*a, &*Arc::clone(&a)));
+        assert!(!same_clock(&*a, &*b));
     }
 
     #[test]

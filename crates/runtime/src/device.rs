@@ -44,6 +44,26 @@ pub trait Provider: Send + Sync {
     /// Returns an [`InvokeError`] when the execution fails or the device is
     /// unreachable.
     fn invoke(&self, request: &Invocation) -> Result<Vec<u8>, InvokeError>;
+
+    /// Attempts to resolve this invocation as a *scheduled completion*: a
+    /// `(latency, result)` pair the engine turns into a timer on `clock`
+    /// instead of parking a thread in [`invoke`](Provider::invoke).
+    ///
+    /// Returning `Some` commits the invocation — the provider must apply
+    /// exactly the side effects (counters, RNG draws) a blocking `invoke`
+    /// would, because no `invoke` call follows. Return `None` whenever the
+    /// outcome cannot be predicted up front (real I/O, capacity limits, or
+    /// latency emulated on a different clock than `clock`); the engine
+    /// then falls back to a blocking invocation on a worker thread. The
+    /// default implementation always returns `None`.
+    fn try_timed_invoke(
+        &self,
+        request: &Invocation,
+        clock: &dyn Clock,
+    ) -> Option<(Duration, Result<Vec<u8>, InvokeError>)> {
+        let _ = (request, clock);
+        None
+    }
 }
 
 impl fmt::Debug for dyn Provider {
@@ -169,6 +189,46 @@ impl SimulatedProvider {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.active.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// True when an invocation's outcome can be sampled up front and
+    /// scheduled as a completion event on `clock`: the device has no
+    /// capacity limit (capacity needs real in-flight accounting over time)
+    /// and its emulated latency sleeps on `clock` itself.
+    pub(crate) fn timed_eligible(&self, clock: &dyn Clock) -> bool {
+        self.capacity.is_none() && crate::clock::same_clock(&*self.clock, clock)
+    }
+
+    /// Samples one invocation — counters, RNG draws, and all — returning
+    /// how long it takes and how it ends. Both the blocking and the
+    /// event-scheduled paths go through here, so they are
+    /// behaviour-identical by construction.
+    pub(crate) fn timed_sample(&self) -> (Duration, Result<Vec<u8>, InvokeError>) {
+        let mut state = self.state.lock();
+        state.invocations += 1;
+        if !state.online {
+            return (Duration::ZERO, Err(InvokeError::DeviceUnavailable));
+        }
+        let jitter_ns = state.jitter.as_nanos() as u64;
+        let offset = if jitter_ns == 0 {
+            0i64
+        } else {
+            state
+                .rng
+                .gen_range(-(jitter_ns as i64) / 2..=(jitter_ns as i64) / 2)
+        };
+        let base = state.latency.as_nanos() as i64;
+        let sleep_ns = (base + offset).max(0) as u64;
+        let reliability = state.reliability;
+        let success = state.rng.gen_bool(reliability);
+        let result = if success {
+            Ok(self.response.clone())
+        } else {
+            Err(InvokeError::ExecutionFailed {
+                reason: "simulated microservice failure".to_string(),
+            })
+        };
+        (Duration::from_nanos(sleep_ns), result)
     }
 }
 
@@ -316,35 +376,22 @@ impl Provider for SimulatedProvider {
             None
         };
         // Sample behaviour under the lock, then sleep outside it so
-        // concurrent invocations don't serialize.
-        let (sleep_for, success) = {
-            let mut state = self.state.lock();
-            state.invocations += 1;
-            if !state.online {
-                return Err(InvokeError::DeviceUnavailable);
-            }
-            let jitter_ns = state.jitter.as_nanos() as u64;
-            let offset = if jitter_ns == 0 {
-                0i64
-            } else {
-                state
-                    .rng
-                    .gen_range(-(jitter_ns as i64) / 2..=(jitter_ns as i64) / 2)
-            };
-            let base = state.latency.as_nanos() as i64;
-            let sleep_ns = (base + offset).max(0) as u64;
-            let reliability = state.reliability;
-            let success = state.rng.gen_bool(reliability);
-            (Duration::from_nanos(sleep_ns), success)
-        };
+        // concurrent invocations don't serialize. An offline device
+        // samples a zero latency, so the sleep below is a no-op for it.
+        let (sleep_for, result) = self.timed_sample();
         self.clock.sleep(sleep_for);
-        if success {
-            Ok(self.response.clone())
-        } else {
-            Err(InvokeError::ExecutionFailed {
-                reason: "simulated microservice failure".to_string(),
-            })
+        result
+    }
+
+    fn try_timed_invoke(
+        &self,
+        _request: &Invocation,
+        clock: &dyn Clock,
+    ) -> Option<(Duration, Result<Vec<u8>, InvokeError>)> {
+        if !self.timed_eligible(clock) {
+            return None;
         }
+        Some(self.timed_sample())
     }
 }
 
@@ -549,6 +596,60 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimulatedProvider>();
         assert_send_sync::<Arc<dyn Provider>>();
+    }
+
+    #[test]
+    fn timed_invoke_matches_blocking_invoke() {
+        // Two identically seeded providers must produce the same stream of
+        // (latency, result) pairs whether sampled or invoked.
+        let make = || {
+            let clock = Arc::new(VirtualClock::new());
+            let p = SimulatedProvider::builder("d/cap", "cap")
+                .latency(Duration::from_millis(6))
+                .jitter(Duration::from_millis(4))
+                .reliability(0.5)
+                .seed(11)
+                .response(vec![9])
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build();
+            (clock, p)
+        };
+        let (timed_clock, timed) = make();
+        let (block_clock, blocking) = make();
+        let req = Invocation::new(0, "cap", vec![]);
+        for _ in 0..32 {
+            let (latency, result) = timed
+                .try_timed_invoke(&req, &*timed_clock)
+                .expect("uncapped provider on its own clock is timed-eligible");
+            let t0 = block_clock.now();
+            let blocked = blocking.invoke(&req);
+            assert_eq!(block_clock.now() - t0, latency);
+            assert_eq!(blocked, result);
+        }
+        assert_eq!(timed.invocations(), blocking.invocations());
+    }
+
+    #[test]
+    fn timed_invoke_declines_foreign_clocks_and_capacity() {
+        let clock = Arc::new(VirtualClock::new());
+        let other: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let p = SimulatedProvider::builder("d/cap", "cap")
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .build();
+        let req = Invocation::new(0, "cap", vec![]);
+        assert!(
+            p.try_timed_invoke(&req, &*other).is_none(),
+            "latency sleeps on a different clock: outcome is not schedulable"
+        );
+        assert_eq!(p.invocations(), 0, "a declined probe has no side effects");
+        let capped = SimulatedProvider::builder("d/cap", "cap")
+            .capacity(1)
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .build();
+        assert!(
+            capped.try_timed_invoke(&req, &*clock).is_none(),
+            "capacity limits need real in-flight accounting"
+        );
     }
 }
 

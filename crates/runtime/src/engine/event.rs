@@ -1,0 +1,1040 @@
+//! The event-driven execution core: strategy walks as explicit heap
+//! frames plus completion events on the [`Clock`], instead of one parked
+//! OS thread per running leg.
+//!
+//! A running request is a small state machine:
+//!
+//! * every started `Seq`/`Par` node is a [`Frame`] in a per-request arena
+//!   (frames are never removed until the request resolves, so the arena's
+//!   high-water mark is the request's true memory footprint);
+//! * every leaf invocation is either a **timed completion event** — the
+//!   provider pre-computes `(latency, result)` via
+//!   [`Provider::try_timed_invoke`] and the core schedules the completion
+//!   on its timer heap — or, for providers that must really block
+//!   (capacity limits, foreign clocks, arbitrary closures), a
+//!   [`BlockingTask`] handed to a spawner, which posts the completion back
+//!   to the ready queue when the call returns.
+//!
+//! One [`EventCore`] can hold any number of concurrent requests; one (or
+//! N) driver threads drain it via [`EventCore::run_loop`] /
+//! [`EventCore::drive_request`]. Events are processed in a deterministic
+//! order — the ready queue FIFO first, then due timers in `(deadline,
+//! schedule-order)` order — so a single-driver core on a
+//! [`VirtualClock`](crate::VirtualClock) replays bit-identically.
+//!
+//! # Clock discipline
+//!
+//! The driver holds one worker slot (its caller's [`WorkerGuard`]
+//! (crate::WorkerGuard) or its own). While idle it waits in
+//! [`Clock::sleep_until_or`] — like a sleeper when a timer is armed, like
+//! a passive parent otherwise — so virtual time advances exactly to the
+//! next scheduled completion and never past it. A blocking leaf reserves a
+//! worker slot *before* its task is spawned (so time cannot slip while the
+//! task is in flight to a thread), binds it for the duration of the
+//! provider call, and then leaves the slot **orphaned** — reserved but
+//! unbound — while the completion event travels through the ready queue.
+//! An orphaned slot pins virtual time, which is what makes the latency
+//! and decision timestamps the driver records identical to the ones the
+//! old thread-per-leg walker read on the leg's own thread. The driver
+//! releases the slot after it has processed the completion (and after any
+//! new reservations that processing made).
+
+use std::any::Any;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use qce_strategy::{Node, Strategy};
+
+use crate::clock::Clock;
+use crate::collector::{Collector, ExecutionRecord};
+use crate::device::Provider;
+use crate::message::{Invocation, InvocationOutcome, InvokeError};
+use crate::telemetry::Telemetry;
+
+use super::budget::Budget;
+use super::policy::PolicyState;
+use super::EngineOutcome;
+
+/// A caught provider panic, re-raised on the submitter.
+pub(crate) type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Per-request completion callback, run by the driver outside the core
+/// lock once the request resolves.
+pub(crate) type DoneFn<'env> = Box<dyn FnOnce(RequestResult) + Send + 'env>;
+
+/// An embedder thunk queued on the core (admission grants, queue-deadline
+/// cancellations). Runs on the driver thread, outside the core lock.
+pub(crate) type TaskFn<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Either a borrow (scoped execution) or shared ownership (engine /
+/// gateway execution) of one piece of request state. Lets one state
+/// machine serve both the borrowing and the owning entry points.
+pub(crate) enum Shared<'env, T: ?Sized> {
+    /// Borrowed from the caller for the core's lifetime.
+    Borrowed(&'env T),
+    /// Owned via `Arc` (the `'static` entry points).
+    Owned(Arc<T>),
+}
+
+impl<T: ?Sized> Deref for Shared<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self {
+            Shared::Borrowed(t) => t,
+            Shared::Owned(t) => t,
+        }
+    }
+}
+
+/// How one request ended.
+pub(crate) enum RequestResult {
+    /// The walk ran to a policy decision (or exhaustion).
+    Finished(EngineOutcome),
+    /// A provider panicked; the payload must be resumed on the submitter.
+    Panicked(PanicPayload),
+    /// The core was shut down while the request was in flight.
+    Shutdown,
+}
+
+impl std::fmt::Debug for RequestResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestResult::Finished(outcome) => f.debug_tuple("Finished").field(outcome).finish(),
+            RequestResult::Panicked(_) => f.write_str("Panicked(..)"),
+            RequestResult::Shutdown => f.write_str("Shutdown"),
+        }
+    }
+}
+
+/// Everything one request needs, with per-field borrow-or-own flexibility.
+pub(crate) struct RequestSpec<'env> {
+    pub strategy: Shared<'env, Strategy>,
+    pub providers: Shared<'env, [Arc<dyn Provider>]>,
+    pub request: Shared<'env, Invocation>,
+    pub collector: Option<Shared<'env, Collector>>,
+    pub telemetry: Option<Shared<'env, Telemetry>>,
+    pub budget: Budget,
+    pub policy: PolicyState,
+    pub done: DoneFn<'env>,
+}
+
+/// A leaf invocation that must run on a real thread: the provider either
+/// declined [`Provider::try_timed_invoke`] (capacity limit, foreign clock)
+/// or does not implement it (arbitrary closures). The worker slot for the
+/// task was already reserved when it was created.
+pub(crate) struct BlockingTask {
+    req: u64,
+    parent: Option<(usize, usize)>,
+    provider_index: usize,
+    provider: Arc<dyn Provider>,
+    invocation: Invocation,
+}
+
+impl std::fmt::Debug for BlockingTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockingTask")
+            .field("req", &self.req)
+            .field("provider_index", &self.provider_index)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Runs a [`BlockingTask`] to completion on the calling thread: binds the
+/// reserved worker slot, invokes the provider (catching panics), unbinds,
+/// and posts the completion event. The slot stays reserved — orphaned —
+/// until the driver processes the event, pinning virtual time at the
+/// completion instant.
+pub(crate) fn run_blocking(core: &EventCore<'_>, task: BlockingTask) {
+    let clock = core.clock();
+    clock.adopt_worker();
+    let t0 = clock.now();
+    let result = catch_unwind(AssertUnwindSafe(|| task.provider.invoke(&task.invocation)));
+    clock.disown_worker();
+    let result = match result {
+        Ok(outcome) => LeafOutcome::Completed(outcome),
+        Err(panic) => LeafOutcome::Panicked(panic),
+    };
+    core.post_leaf(LeafEvent {
+        req: task.req,
+        parent: task.parent,
+        provider_index: task.provider_index,
+        t0,
+        result,
+        orphan_slot: true,
+    });
+}
+
+/// What a completed leaf reports back.
+enum LeafOutcome {
+    Completed(Result<Vec<u8>, InvokeError>),
+    Panicked(PanicPayload),
+}
+
+/// A leaf completion travelling to the driver.
+struct LeafEvent {
+    req: u64,
+    parent: Option<(usize, usize)>,
+    provider_index: usize,
+    t0: Duration,
+    result: LeafOutcome,
+    /// Whether a reserved-but-unbound worker slot rides with this event
+    /// (blocking legs only); the driver releases it after processing.
+    orphan_slot: bool,
+}
+
+enum Event<'env> {
+    Leaf(LeafEvent),
+    Task(TaskFn<'env>),
+}
+
+/// A scheduled event. The heap is a max-heap, so `Ord` is reversed on
+/// `(deadline, seq)`: the earliest deadline — ties broken by schedule
+/// order — is popped first, giving timers a deterministic total order.
+struct Timer<'env> {
+    deadline: Duration,
+    seq: u64,
+    event: Event<'env>,
+}
+
+impl PartialEq for Timer<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for Timer<'_> {}
+
+impl PartialOrd for Timer<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Timer<'_> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .deadline
+            .cmp(&self.deadline)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The status a resolved subtree delivers to its parent frame — the
+/// event-model twin of the old walker's `NodeStatus`, plus panics (which
+/// the thread model expressed by unwinding).
+enum Status {
+    Succeeded,
+    Failed,
+    Cancelled,
+    Panicked(PanicPayload),
+}
+
+/// A started `Seq`/`Par` node. ~100 bytes against the old model's one OS
+/// thread (8 KiB stack minimum) per running leg.
+struct Frame {
+    parent: Option<(usize, usize)>,
+    /// Child-index path of this node within the strategy tree.
+    path: Vec<usize>,
+    kind: FrameKind,
+}
+
+enum FrameKind {
+    /// A sequential chain: `next` is the next child to start.
+    Seq { next: usize, len: usize },
+    /// A parallel fan-out waiting on `pending` children. Mirrors the
+    /// walker's join-then-fold: every child (panicked or not) is awaited,
+    /// then the lowest-ordinal panic wins, else success, else
+    /// cancellation, else failure.
+    Par {
+        pending: usize,
+        succeeded: bool,
+        cancelled: bool,
+        panicked: Option<(usize, PanicPayload)>,
+    },
+    /// Resolved; kept in the arena until the request completes so frame
+    /// accounting reflects true per-request memory.
+    Resolved,
+}
+
+/// One in-flight request.
+struct RequestState<'env> {
+    strategy: Shared<'env, Strategy>,
+    providers: Shared<'env, [Arc<dyn Provider>]>,
+    request: Shared<'env, Invocation>,
+    collector: Option<Shared<'env, Collector>>,
+    telemetry: Option<Shared<'env, Telemetry>>,
+    budget: Budget,
+    policy: PolicyState,
+    started_at: Duration,
+    invocations: Vec<InvocationOutcome>,
+    pruned: Option<super::PruneDetail>,
+    frames: Vec<Frame>,
+    done: Option<DoneFn<'env>>,
+}
+
+impl RequestState<'_> {
+    /// The global stop check, applied before starting any leg (identical
+    /// to the old walker's): the policy has halted the walk, or the budget
+    /// prunes. The first prune is recorded for attribution.
+    fn stopped(&mut self, clock: &dyn Clock) -> bool {
+        if self.policy.halted() {
+            return true;
+        }
+        if let Some(detail) = self.budget.prune_detail(clock) {
+            if self.pruned.is_none() {
+                self.pruned = Some(detail);
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Point-in-time occupancy of an [`EventCore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct CoreStats {
+    /// Requests currently in flight.
+    pub in_flight: usize,
+    /// Live `Seq`/`Par` frames across all in-flight requests.
+    pub frames_live: usize,
+    /// High-water mark of `frames_live` since the core was created.
+    pub frames_peak: usize,
+}
+
+struct CoreState<'env> {
+    ready: VecDeque<Event<'env>>,
+    timers: BinaryHeap<Timer<'env>>,
+    timer_seq: u64,
+    requests: BTreeMap<u64, RequestState<'env>>,
+    next_req: u64,
+    frames_live: usize,
+    frames_peak: usize,
+    shutdown: bool,
+}
+
+/// Everything processing defers to after the core lock is released.
+#[derive(Default)]
+struct Deferred<'env> {
+    spawns: Vec<BlockingTask>,
+    dones: Vec<(DoneFn<'env>, RequestResult)>,
+    tasks: Vec<TaskFn<'env>>,
+    release_slots: usize,
+}
+
+/// The event-driven execution core (see the module docs).
+pub(crate) struct EventCore<'env> {
+    clock: Shared<'env, dyn Clock + 'env>,
+    state: Mutex<CoreState<'env>>,
+    /// Set (after pushing, before [`Clock::notify_sleepers`]) by anyone
+    /// posting work from outside the driver; the driver's idle wait
+    /// re-checks it so a post-while-falling-asleep is never lost.
+    signal: AtomicBool,
+}
+
+impl std::fmt::Debug for EventCore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EventCore")
+            .field("in_flight", &stats.in_flight)
+            .field("frames_live", &stats.frames_live)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Resolves a child-index path to the node's shallow shape.
+enum NodeShape {
+    Leaf(usize),
+    Seq(usize),
+    Par(usize),
+}
+
+fn node_shape(strategy: &Strategy, path: &[usize]) -> NodeShape {
+    let mut node = strategy.node();
+    for &index in path {
+        node = match node {
+            Node::Seq(children) | Node::Par(children) => &children[index],
+            Node::Leaf(_) => unreachable!("paths never descend into leaves"),
+        };
+    }
+    match node {
+        Node::Leaf(id) => NodeShape::Leaf(id.index()),
+        Node::Seq(children) => NodeShape::Seq(children.len()),
+        Node::Par(children) => NodeShape::Par(children.len()),
+    }
+}
+
+impl<'env> EventCore<'env> {
+    pub(crate) fn new(clock: Shared<'env, dyn Clock + 'env>) -> Self {
+        EventCore {
+            clock,
+            state: Mutex::new(CoreState {
+                ready: VecDeque::new(),
+                timers: BinaryHeap::new(),
+                timer_seq: 0,
+                requests: BTreeMap::new(),
+                next_req: 0,
+                frames_live: 0,
+                frames_peak: 0,
+                shutdown: false,
+            }),
+            signal: AtomicBool::new(false),
+        }
+    }
+
+    /// The clock this core schedules on.
+    pub(crate) fn clock(&self) -> &dyn Clock {
+        &*self.clock
+    }
+
+    /// Current occupancy counters.
+    pub(crate) fn stats(&self) -> CoreStats {
+        let state = self.state.lock();
+        CoreStats {
+            in_flight: state.requests.len(),
+            frames_live: state.frames_live,
+            frames_peak: state.frames_peak,
+        }
+    }
+
+    /// Bytes of core-resident state per started `Seq`/`Par` node.
+    pub(crate) fn frame_bytes() -> usize {
+        std::mem::size_of::<Frame>()
+    }
+
+    /// Admits a request and starts its root node synchronously (so
+    /// `started_at` is the submission instant, exactly like the walker).
+    /// Blocking legs the root fans out immediately are handed to `spawn`;
+    /// a request whose whole tree resolves synchronously (e.g. a
+    /// pre-tripped budget) has its `done` callback run before this
+    /// returns.
+    pub(crate) fn submit(&self, spec: RequestSpec<'env>, spawn: &dyn Fn(BlockingTask)) -> u64 {
+        let mut deferred = Deferred::default();
+        let req;
+        {
+            let mut state = self.state.lock();
+            req = state.next_req;
+            state.next_req += 1;
+            if state.shutdown {
+                deferred.dones.push((spec.done, RequestResult::Shutdown));
+            } else {
+                if let Some(telemetry) = &spec.telemetry {
+                    telemetry.record_engine_request_start();
+                }
+                let started_at = self.clock().now();
+                state.requests.insert(
+                    req,
+                    RequestState {
+                        strategy: spec.strategy,
+                        providers: spec.providers,
+                        request: spec.request,
+                        collector: spec.collector,
+                        telemetry: spec.telemetry,
+                        budget: spec.budget,
+                        policy: spec.policy,
+                        started_at,
+                        invocations: Vec::new(),
+                        pruned: None,
+                        frames: Vec::new(),
+                        done: Some(spec.done),
+                    },
+                );
+                self.start_node(&mut state, &mut deferred, req, Vec::new(), None);
+            }
+        }
+        self.flush(deferred, spawn);
+        self.wake();
+        req
+    }
+
+    /// Drives the core until request `req` resolves. The calling thread is
+    /// the driver: it should hold a worker slot on the clock.
+    pub(crate) fn drive_request(&self, req: u64, spawn: &dyn Fn(BlockingTask)) {
+        while self.step(spawn, &|state| !state.requests.contains_key(&req)) {}
+    }
+
+    /// Drives the core until [`EventCore::shutdown`] is called. This is
+    /// the gateway's event-loop thread body.
+    pub(crate) fn run_loop(&self, spawn: &dyn Fn(BlockingTask)) {
+        while self.step(spawn, &|state| state.shutdown) {}
+    }
+
+    /// Queues an embedder thunk on the ready queue.
+    pub(crate) fn post_task(&self, task: TaskFn<'env>) {
+        {
+            let mut state = self.state.lock();
+            if !state.shutdown {
+                state.ready.push_back(Event::Task(task));
+            }
+        }
+        self.wake();
+    }
+
+    /// Schedules an embedder thunk to run once the clock reaches
+    /// `deadline`.
+    pub(crate) fn schedule_task(&self, deadline: Duration, task: TaskFn<'env>) {
+        {
+            let mut state = self.state.lock();
+            if !state.shutdown {
+                let seq = state.timer_seq;
+                state.timer_seq += 1;
+                state.timers.push(Timer {
+                    deadline,
+                    seq,
+                    event: Event::Task(task),
+                });
+            }
+        }
+        self.wake();
+    }
+
+    /// Shuts the core down: every in-flight request's `done` callback
+    /// fires with [`RequestResult::Shutdown`], queued events are dropped
+    /// (releasing any worker slots riding on them), and the drivers exit.
+    /// Blocking legs still on provider threads finish on their own and
+    /// release their slots when they find the core shut down.
+    pub(crate) fn shutdown(&self) {
+        let mut deferred = Deferred::default();
+        {
+            let mut state = self.state.lock();
+            state.shutdown = true;
+            while let Some(event) = state.ready.pop_front() {
+                if let Event::Leaf(leaf) = event {
+                    if leaf.orphan_slot {
+                        deferred.release_slots += 1;
+                    }
+                }
+            }
+            state.timers.clear();
+            let requests = std::mem::take(&mut state.requests);
+            for (_, mut request) in requests {
+                state.frames_live -= request.frames.len();
+                if let Some(telemetry) = &request.telemetry {
+                    telemetry.record_engine_frames_done(request.frames.len());
+                    telemetry.record_engine_request_end();
+                }
+                if let Some(done) = request.done.take() {
+                    deferred.dones.push((done, RequestResult::Shutdown));
+                }
+            }
+        }
+        for _ in 0..deferred.release_slots {
+            self.clock().release_worker();
+        }
+        for (done, result) in deferred.dones {
+            done(result);
+        }
+        self.wake();
+    }
+
+    /// Posts a leaf completion from a blocking task's thread. If the core
+    /// has shut down the event is dropped and its orphan slot released
+    /// here, so an abandoned in-flight leg cannot freeze the clock.
+    fn post_leaf(&self, event: LeafEvent) {
+        let release_now = {
+            let mut state = self.state.lock();
+            if state.shutdown {
+                event.orphan_slot
+            } else {
+                state.ready.push_back(Event::Leaf(event));
+                false
+            }
+        };
+        if release_now {
+            self.clock().release_worker();
+        }
+        self.wake();
+    }
+
+    /// Signals the drivers that new events exist. The first signal in a
+    /// quiet period also *reserves a worker slot on the clock*: a driver
+    /// idling in [`Clock::sleep_until_or`] stays registered as a deadline
+    /// sleeper until it actually wakes, so without the reservation a
+    /// third thread deregistering (e.g. a submitter dropping its
+    /// [`WorkerGuard`]) could advance virtual time to the driver's own
+    /// deadline while posted events sit unprocessed — time running ahead
+    /// of work that was runnable at the earlier instant. The slot is
+    /// released when a driver disarms the signal ([`EventCore::step`]'s
+    /// idle path) or, if no driver ever runs again, on drop.
+    fn wake(&self) {
+        // Events are pushed before wake() is called and a driver disarms
+        // before re-checking the queues, so if the signal reads armed here
+        // the driver is guaranteed to find our event; only an unarmed
+        // signal needs the reservation. Reserving *before* publishing the
+        // armed state keeps the slot count conservative: a concurrent
+        // disarm can only release a reservation that already exists.
+        if !self.signal.load(Ordering::SeqCst) {
+            self.clock().reserve_worker();
+            if self.signal.swap(true, Ordering::SeqCst) {
+                self.clock().release_worker();
+            }
+        }
+        self.clock().notify_sleepers();
+    }
+
+    /// Disarms the wake signal, releasing the clock slot [`wake`] reserved
+    /// with it. Returns with the signal observed `false`.
+    ///
+    /// [`wake`]: EventCore::wake
+    fn disarm(&self) {
+        if self.signal.swap(false, Ordering::SeqCst) {
+            self.clock().release_worker();
+        }
+    }
+
+    /// One driver iteration: process a ready event, else a due timer, else
+    /// wait. Returns `false` once `stop` holds.
+    fn step(&self, spawn: &dyn Fn(BlockingTask), stop: &dyn Fn(&CoreState<'env>) -> bool) -> bool {
+        let mut deferred = Deferred::default();
+        {
+            let mut state = self.state.lock();
+            if stop(&state) {
+                return false;
+            }
+            let event = if let Some(event) = state.ready.pop_front() {
+                Some(event)
+            } else {
+                let now = self.clock().now();
+                if state.timers.peek().is_some_and(|t| t.deadline <= now) {
+                    state.timers.pop().map(|t| t.event)
+                } else {
+                    None
+                }
+            };
+            if let Some(event) = event {
+                self.process_event(&mut state, &mut deferred, event);
+                drop(state);
+                self.flush(deferred, spawn);
+                return true;
+            }
+        }
+        // Idle: disarm the signal, then re-check under the lock — a post
+        // that landed between the unlock above and the disarm is caught
+        // here; one that lands later re-arms the signal our wait watches
+        // (and re-reserves the clock slot that keeps virtual time from
+        // advancing over it).
+        self.disarm();
+        let deadline = {
+            let state = self.state.lock();
+            if stop(&state) {
+                return false;
+            }
+            let now = self.clock().now();
+            if !state.ready.is_empty() || state.timers.peek().is_some_and(|t| t.deadline <= now) {
+                return true;
+            }
+            state.timers.peek().map(|t| t.deadline)
+        };
+        self.clock()
+            .sleep_until_or(deadline, &|| self.signal.load(Ordering::SeqCst));
+        true
+    }
+
+    fn flush(&self, deferred: Deferred<'env>, spawn: &dyn Fn(BlockingTask)) {
+        // Orphan slots are released only after processing (and after any
+        // new reservations processing made), so virtual time never runs
+        // ahead of a completion the driver has not finished accounting.
+        for _ in 0..deferred.release_slots {
+            self.clock().release_worker();
+        }
+        for (done, result) in deferred.dones {
+            done(result);
+        }
+        for task in deferred.tasks {
+            task();
+        }
+        for task in deferred.spawns {
+            spawn(task);
+        }
+    }
+
+    fn process_event(
+        &self,
+        state: &mut CoreState<'env>,
+        deferred: &mut Deferred<'env>,
+        event: Event<'env>,
+    ) {
+        match event {
+            Event::Task(task) => deferred.tasks.push(task),
+            Event::Leaf(leaf) => self.process_leaf(state, deferred, leaf),
+        }
+    }
+
+    /// Completes one leaf: records the invocation exactly as the old
+    /// walker did (outcome, collector, telemetry, policy — in that order)
+    /// and delivers the resulting status to the parent frame. A completion
+    /// for a request that no longer exists (core shut down concurrently)
+    /// only releases its slot.
+    fn process_leaf(
+        &self,
+        state: &mut CoreState<'env>,
+        deferred: &mut Deferred<'env>,
+        event: LeafEvent,
+    ) {
+        if event.orphan_slot {
+            deferred.release_slots += 1;
+        }
+        let status = match event.result {
+            LeafOutcome::Panicked(panic) => Status::Panicked(panic),
+            LeafOutcome::Completed(result) => {
+                let clock = self.clock();
+                let Some(request) = state.requests.get_mut(&event.req) else {
+                    return;
+                };
+                let provider = Arc::clone(&request.providers[event.provider_index]);
+                let now = clock.now();
+                let latency = now.saturating_sub(event.t0);
+                let success = result.is_ok();
+                let outcome = InvocationOutcome {
+                    provider_id: provider.id().to_string(),
+                    capability: provider.capability().to_string(),
+                    payload: result.as_ref().ok().cloned(),
+                    latency,
+                    cost: provider.cost(),
+                    success,
+                };
+                if let Some(collector) = &request.collector {
+                    collector.record(
+                        provider.id(),
+                        ExecutionRecord {
+                            success,
+                            latency,
+                            cost: provider.cost(),
+                        },
+                    );
+                }
+                if let Some(telemetry) = &request.telemetry {
+                    telemetry.record_invocation(provider.id(), success, latency, provider.cost());
+                }
+                request.invocations.push(outcome);
+                match result {
+                    Ok(payload) => {
+                        let at = now.saturating_sub(request.started_at);
+                        request.policy.on_success(payload, at);
+                        Status::Succeeded
+                    }
+                    Err(_) => Status::Failed,
+                }
+            }
+        };
+        self.deliver(state, deferred, event.req, event.parent, status);
+    }
+
+    /// Starts the node at `path`, delivering to `parent` when it resolves.
+    fn start_node(
+        &self,
+        state: &mut CoreState<'env>,
+        deferred: &mut Deferred<'env>,
+        req: u64,
+        path: Vec<usize>,
+        parent: Option<(usize, usize)>,
+    ) {
+        let clock = self.clock();
+        let Some(request) = state.requests.get_mut(&req) else {
+            return;
+        };
+        match node_shape(&request.strategy, &path) {
+            NodeShape::Leaf(provider_index) => {
+                // The short-circuit: once the policy halts or the budget
+                // trips, new invocations never start (never charged).
+                if request.stopped(clock) {
+                    self.deliver(state, deferred, req, parent, Status::Cancelled);
+                    return;
+                }
+                let provider = Arc::clone(&request.providers[provider_index]);
+                if let Some((latency, result)) = provider.try_timed_invoke(&request.request, clock)
+                {
+                    let t0 = clock.now();
+                    let seq = state.timer_seq;
+                    state.timer_seq += 1;
+                    state.timers.push(Timer {
+                        deadline: t0.saturating_add(latency),
+                        seq,
+                        event: Event::Leaf(LeafEvent {
+                            req,
+                            parent,
+                            provider_index,
+                            t0,
+                            result: LeafOutcome::Completed(result),
+                            orphan_slot: false,
+                        }),
+                    });
+                } else {
+                    // Reserve the slot *now*, under the core lock, so the
+                    // clock cannot advance before the task's thread binds
+                    // it — the same reserve-before-spawn discipline as the
+                    // old walker.
+                    clock.reserve_worker();
+                    deferred.spawns.push(BlockingTask {
+                        req,
+                        parent,
+                        provider_index,
+                        provider,
+                        invocation: (*request.request).clone(),
+                    });
+                }
+            }
+            NodeShape::Seq(len) => {
+                let frame = self.alloc_frame(
+                    state,
+                    req,
+                    Frame {
+                        parent,
+                        path,
+                        kind: FrameKind::Seq { next: 0, len },
+                    },
+                );
+                self.advance_seq(state, deferred, req, frame);
+            }
+            NodeShape::Par(len) => {
+                let frame = self.alloc_frame(
+                    state,
+                    req,
+                    Frame {
+                        parent,
+                        path: path.clone(),
+                        kind: FrameKind::Par {
+                            pending: len,
+                            succeeded: false,
+                            cancelled: false,
+                            panicked: None,
+                        },
+                    },
+                );
+                if len == 0 {
+                    self.resolve_frame(state, deferred, req, frame, Status::Failed);
+                    return;
+                }
+                // Fan every child out before any completion can process:
+                // `pending` starts at `len`, so even a zero-latency child
+                // resolving synchronously cannot fold the Par early.
+                for ordinal in 0..len {
+                    let mut child_path = path.clone();
+                    child_path.push(ordinal);
+                    self.start_node(state, deferred, req, child_path, Some((frame, ordinal)));
+                }
+            }
+        }
+    }
+
+    fn alloc_frame(&self, state: &mut CoreState<'env>, req: u64, frame: Frame) -> usize {
+        state.frames_live += 1;
+        if state.frames_live > state.frames_peak {
+            state.frames_peak = state.frames_live;
+        }
+        let request = state
+            .requests
+            .get_mut(&req)
+            .expect("frame allocated for a live request");
+        if let Some(telemetry) = &request.telemetry {
+            telemetry.record_engine_frame();
+        }
+        request.frames.push(frame);
+        request.frames.len() - 1
+    }
+
+    /// Starts the next leg of a Seq frame — checking the stop condition at
+    /// exactly the instants the old walker did: before each child, but not
+    /// after the last one (an exhausted chain reports `Failed` as-is).
+    fn advance_seq(
+        &self,
+        state: &mut CoreState<'env>,
+        deferred: &mut Deferred<'env>,
+        req: u64,
+        frame: usize,
+    ) {
+        enum Step {
+            Exhausted,
+            Stopped,
+            Start(Vec<usize>, usize),
+        }
+        let clock = self.clock();
+        let step = {
+            let Some(request) = state.requests.get_mut(&req) else {
+                return;
+            };
+            let FrameKind::Seq { next, len } = request.frames[frame].kind else {
+                unreachable!("advance_seq on a non-Seq frame");
+            };
+            if next == len {
+                Step::Exhausted
+            } else if request.stopped(clock) {
+                Step::Stopped
+            } else {
+                request.frames[frame].kind = FrameKind::Seq {
+                    next: next + 1,
+                    len,
+                };
+                let mut child_path = request.frames[frame].path.clone();
+                child_path.push(next);
+                Step::Start(child_path, next)
+            }
+        };
+        match step {
+            Step::Exhausted => self.resolve_frame(state, deferred, req, frame, Status::Failed),
+            Step::Stopped => self.resolve_frame(state, deferred, req, frame, Status::Cancelled),
+            Step::Start(child_path, ordinal) => {
+                self.start_node(state, deferred, req, child_path, Some((frame, ordinal)));
+            }
+        }
+    }
+
+    /// Marks `frame` resolved and delivers `status` to its parent.
+    fn resolve_frame(
+        &self,
+        state: &mut CoreState<'env>,
+        deferred: &mut Deferred<'env>,
+        req: u64,
+        frame: usize,
+        status: Status,
+    ) {
+        let parent = {
+            let Some(request) = state.requests.get_mut(&req) else {
+                return;
+            };
+            request.frames[frame].kind = FrameKind::Resolved;
+            request.frames[frame].parent
+        };
+        self.deliver(state, deferred, req, parent, status);
+    }
+
+    /// Delivers a resolved child's status to its parent slot (`None` =
+    /// the strategy root; the request itself resolves).
+    fn deliver(
+        &self,
+        state: &mut CoreState<'env>,
+        deferred: &mut Deferred<'env>,
+        req: u64,
+        slot: Option<(usize, usize)>,
+        status: Status,
+    ) {
+        let Some((frame, ordinal)) = slot else {
+            self.resolve_request(state, deferred, req, status);
+            return;
+        };
+        enum Next {
+            Advance,
+            Resolve(Status),
+            Wait,
+        }
+        let next = {
+            let Some(request) = state.requests.get_mut(&req) else {
+                return;
+            };
+            let absorbs = request.policy.seq_absorbs_success();
+            match &mut request.frames[frame].kind {
+                FrameKind::Seq { .. } => match status {
+                    // A panic aborts the chain immediately, as unwinding
+                    // did in the thread model.
+                    Status::Panicked(panic) => Next::Resolve(Status::Panicked(panic)),
+                    // Under first-success semantics a succeeding fail-over
+                    // leg absorbs the chain; under quorum every stage
+                    // still runs so it can contribute votes.
+                    Status::Succeeded if absorbs => Next::Resolve(Status::Succeeded),
+                    Status::Cancelled => Next::Resolve(Status::Cancelled),
+                    Status::Succeeded | Status::Failed => Next::Advance,
+                },
+                FrameKind::Par {
+                    pending,
+                    succeeded,
+                    cancelled,
+                    panicked,
+                } => {
+                    match status {
+                        Status::Succeeded => *succeeded = true,
+                        Status::Cancelled => *cancelled = true,
+                        Status::Failed => {}
+                        Status::Panicked(panic) => {
+                            // The thread model re-raised the first panic
+                            // in child order (inline leg first); keep the
+                            // lowest ordinal.
+                            if panicked.as_ref().is_none_or(|(o, _)| ordinal < *o) {
+                                *panicked = Some((ordinal, panic));
+                            }
+                        }
+                    }
+                    *pending -= 1;
+                    if *pending == 0 {
+                        let final_status = if let Some((_, panic)) = panicked.take() {
+                            Status::Panicked(panic)
+                        } else if *succeeded {
+                            Status::Succeeded
+                        } else if *cancelled {
+                            Status::Cancelled
+                        } else {
+                            Status::Failed
+                        };
+                        Next::Resolve(final_status)
+                    } else {
+                        Next::Wait
+                    }
+                }
+                FrameKind::Resolved => unreachable!("delivery to a resolved frame"),
+            }
+        };
+        match next {
+            Next::Advance => self.advance_seq(state, deferred, req, frame),
+            Next::Resolve(status) => self.resolve_frame(state, deferred, req, frame, status),
+            Next::Wait => {}
+        }
+    }
+
+    /// The root resolved: assembles the [`EngineOutcome`] (at the
+    /// resolution instant — every leg has completed by construction) and
+    /// defers the request's `done` callback.
+    fn resolve_request(
+        &self,
+        state: &mut CoreState<'env>,
+        deferred: &mut Deferred<'env>,
+        req: u64,
+        status: Status,
+    ) {
+        let Some(mut request) = state.requests.remove(&req) else {
+            return;
+        };
+        state.frames_live -= request.frames.len();
+        if let Some(telemetry) = &request.telemetry {
+            telemetry.record_engine_frames_done(request.frames.len());
+            telemetry.record_engine_request_end();
+        }
+        let result = match status {
+            Status::Panicked(panic) => RequestResult::Panicked(panic),
+            Status::Succeeded | Status::Failed | Status::Cancelled => {
+                let invocations = std::mem::take(&mut request.invocations);
+                let cost = invocations.iter().map(|i| i.cost).sum();
+                let fallback = self.clock().now().saturating_sub(request.started_at);
+                let (completion, latency) = request.policy.finish(fallback);
+                let prune_detail = request.pruned;
+                RequestResult::Finished(EngineOutcome {
+                    completion,
+                    latency,
+                    cost,
+                    invocations,
+                    pruned: prune_detail.map(|d| d.reason),
+                    prune_detail,
+                })
+            }
+        };
+        if let Some(done) = request.done.take() {
+            deferred.dones.push((done, result));
+        }
+    }
+}
+
+impl Drop for EventCore<'_> {
+    fn drop(&mut self) {
+        // An armed wake signal holds a reserved worker slot on the clock
+        // (see `wake`). If no driver runs again — the core shut down, or a
+        // per-request core finished its walk — the slot must not outlive
+        // the core, or it would freeze virtual time for every other user
+        // of a shared clock.
+        self.disarm();
+    }
+}

@@ -1,40 +1,44 @@
-//! The unified execution engine: one Seq/Par strategy walker serving both
-//! first-success and quorum semantics, with bounded worker-pool
-//! parallelism and per-request budgets.
+//! The unified execution engine: one event-driven Seq/Par state machine
+//! serving both first-success and quorum semantics, with per-request
+//! budgets and O(frames) — not O(threads) — memory per request.
 //!
-//! Two entry points share the walker core:
+//! Strategy walks no longer park one OS thread per running leg. Instead,
+//! every started `Seq`/`Par` node is a small heap frame and every leaf
+//! invocation is a completion event scheduled on the [`Clock`] (see
+//! [`event`] for the core). Two entry points share it:
 //!
-//! * [`execute_scoped`] — borrows everything, runs parallel legs on scoped
-//!   OS threads. This is what [`execute_strategy`](crate::execute_strategy)
+//! * [`execute_scoped`] — borrows everything; the calling thread drives
+//!   the event loop, and the rare leaf that must really block (capacity
+//!   limits, foreign clocks, closure providers) runs on a scoped OS
+//!   thread. This is what [`execute_strategy`](crate::execute_strategy)
 //!   and [`execute_with_quorum`](crate::execute_with_quorum) delegate to;
 //!   with an unlimited [`Budget`] its behaviour is bit-for-bit the
 //!   pre-engine executors'.
-//! * [`ExecutionEngine::execute`] — owns its inputs ([`ExecSpec`]), runs
-//!   parallel legs on the engine's bounded, reusable worker pool. This is
-//!   what the [`Gateway`](crate::Gateway) uses, so concurrent requests
-//!   share a capped set of threads instead of spawning per leg. A
-//!   saturated pool spills legs to one-shot threads rather than queueing
-//!   them behind their own parents, so capacity never deadlocks an
-//!   execution (see [`PoolStats`] for the observable counters).
+//! * [`ExecutionEngine::execute`] — owns its inputs ([`ExecSpec`]); the
+//!   calling thread drives, and blocking leaves run on the engine's
+//!   bounded, reusable worker pool (a saturated pool spills to one-shot
+//!   threads rather than queueing legs behind their own parents, so
+//!   capacity never deadlocks an execution — see [`PoolStats`]).
 //!
 //! Both honour the paper's semantics: Assumption-2 cost accounting (every
-//! started invocation is charged in full), global short-circuit, and the
-//! reserve-before-spawn virtual-clock discipline that keeps
-//! [`VirtualClock`](crate::VirtualClock) executions deterministic.
-//! Budgets add deadline/cancel pruning at exactly the points the
-//! short-circuit is already checked, so a pruned leg is always one that
-//! had not started.
+//! started invocation is charged in full), global short-circuit, and
+//! deterministic [`VirtualClock`](crate::VirtualClock) executions — the
+//! event core processes completions in `(deadline, schedule-order)` order,
+//! so a replay is bit-identical. Budgets add deadline/cancel pruning at
+//! exactly the points the short-circuit is already checked, so a pruned
+//! leg is always one that had not started.
 
 mod budget;
+pub(crate) mod event;
 mod policy;
 pub(crate) mod pool;
-mod walker;
 
 pub use budget::{Budget, PruneDetail};
 pub use policy::Completion;
 pub use pool::PoolStats;
 pub use qce_strategy::{CompletionPolicy, PruneReason};
 
+use std::panic::resume_unwind;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -48,9 +52,9 @@ use crate::device::Provider;
 use crate::message::{Invocation, InvocationOutcome, RuntimeError};
 use crate::telemetry::Telemetry;
 
-use policy::PolicyState;
-use pool::WorkerPool;
-use walker::{run_node, Ctx, OwnedExec, ScopedSpawner};
+use event::{run_blocking, BlockingTask, EventCore, RequestResult, RequestSpec, Shared};
+pub(crate) use policy::PolicyState;
+pub(crate) use pool::WorkerPool;
 
 /// The result of one engine execution, common to both completion
 /// policies.
@@ -74,6 +78,24 @@ pub struct EngineOutcome {
     /// remaining deadline budget at the prune instant). Always present
     /// when [`EngineOutcome::pruned`] is.
     pub prune_detail: Option<PruneDetail>,
+}
+
+/// Point-in-time occupancy of the execution core: in-flight requests and
+/// the continuation frames their walks are holding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests currently in flight.
+    pub in_flight: usize,
+    /// Live `Seq`/`Par` continuation frames across all in-flight
+    /// requests.
+    pub frames_live: usize,
+    /// High-water mark of `frames_live` since the core was created.
+    pub frames_peak: usize,
+    /// Bytes of core-resident state per frame (for memory-per-request
+    /// accounting: a request's walk costs `frames × frame_bytes` plus its
+    /// bookkeeping, where the old model paid one OS thread stack per
+    /// running leg).
+    pub frame_bytes: usize,
 }
 
 /// Owned inputs for [`ExecutionEngine::execute`].
@@ -108,7 +130,10 @@ impl std::fmt::Debug for ExecSpec {
 }
 
 /// Rejects strategies that reference an unresolved provider index.
-fn validate(strategy: &Strategy, providers: &[Arc<dyn Provider>]) -> Result<(), RuntimeError> {
+pub(crate) fn validate(
+    strategy: &Strategy,
+    providers: &[Arc<dyn Provider>],
+) -> Result<(), RuntimeError> {
     for id in strategy.leaves() {
         if providers.get(id.index()).is_none() {
             return Err(RuntimeError::NoProvider {
@@ -119,8 +144,18 @@ fn validate(strategy: &Strategy, providers: &[Arc<dyn Provider>]) -> Result<(), 
     Ok(())
 }
 
-/// Executes `strategy` with borrowed inputs, running parallel legs on
-/// scoped OS threads (one per leg). The behaviour with
+/// Unwraps a resolved request's result, re-raising a provider panic on
+/// the submitting thread.
+fn settle(result: Option<RequestResult>) -> EngineOutcome {
+    match result.expect("driving to resolution settles the request") {
+        RequestResult::Finished(outcome) => outcome,
+        RequestResult::Panicked(panic) => resume_unwind(panic),
+        RequestResult::Shutdown => unreachable!("ephemeral cores are never shut down"),
+    }
+}
+
+/// Executes `strategy` with borrowed inputs on the calling thread's event
+/// loop; blocking leaves run on scoped OS threads. The behaviour with
 /// [`Budget::unlimited`] is bit-for-bit the pre-engine
 /// [`execute_strategy_with_clock`](crate::execute_strategy_with_clock) /
 /// [`execute_with_quorum_clock`](crate::execute_with_quorum_clock).
@@ -150,46 +185,40 @@ pub fn execute_scoped(
 
     // A caller already registered as a worker of this clock (e.g. a load
     // generator driving many concurrent requests) keeps its own slot; the
-    // walk runs inline on its thread, so registering again would double-
-    // count it and stall the virtual clock.
+    // event loop runs inline on its thread, so registering again would
+    // double-count it and stall the virtual clock.
     let worker = (!clock.thread_is_worker()).then(|| WorkerGuard::enter(clock));
-    let invocations = Mutex::new(Vec::new());
-    let pruned = Mutex::new(None);
-    let ctx = Ctx {
-        providers,
-        request,
-        collector,
-        telemetry,
-        clock,
-        budget,
-        started_at: clock.now(),
-        policy: &policy,
-        invocations: &invocations,
-        pruned: &pruned,
-        spawn: &ScopedSpawner,
-    };
-    let started_at = ctx.started_at;
-    run_node(strategy.node(), &[], &ctx);
+    let result: Mutex<Option<RequestResult>> = Mutex::new(None);
+    let core = EventCore::new(Shared::Borrowed(clock));
+    std::thread::scope(|scope| {
+        let core = &core;
+        let spawn = move |task: BlockingTask| {
+            scope.spawn(move || run_blocking(core, task));
+        };
+        let req = core.submit(
+            RequestSpec {
+                strategy: Shared::Borrowed(strategy),
+                providers: Shared::Borrowed(providers),
+                request: Shared::Borrowed(request),
+                collector: collector.map(Shared::Borrowed),
+                telemetry: telemetry.map(Shared::Borrowed),
+                budget: budget.clone(),
+                policy,
+                done: Box::new(|r| *result.lock() = Some(r)),
+            },
+            &spawn,
+        );
+        core.drive_request(req, &spawn);
+    });
+    drop(core);
     drop(worker);
-
-    let invocations = invocations.into_inner();
-    let cost = invocations.iter().map(|i| i.cost).sum();
-    let fallback = clock.now().saturating_sub(started_at);
-    let (completion, latency) = policy.finish(fallback);
-    let prune_detail = pruned.into_inner();
-    Ok(EngineOutcome {
-        completion,
-        latency,
-        cost,
-        invocations,
-        pruned: prune_detail.map(|d| d.reason),
-        prune_detail,
-    })
+    Ok(settle(result.into_inner()))
 }
 
-/// The unified execution engine: a bounded worker pool plus the shared
-/// strategy walker. One engine (and so one pool) is meant to be shared by
-/// many concurrent executions — the [`Gateway`](crate::Gateway) owns one.
+/// The unified execution engine: a bounded worker pool (for blocking
+/// leaves) plus the shared event core. One engine (and so one pool) is
+/// meant to be shared by many concurrent executions — the
+/// [`Gateway`](crate::Gateway) owns one.
 ///
 /// # Examples
 ///
@@ -234,8 +263,8 @@ pub struct ExecutionEngine {
 
 impl ExecutionEngine {
     /// Creates an engine whose pool keeps up to `capacity` persistent
-    /// worker threads (`0` = no persistent workers; every parallel leg
-    /// runs on a one-shot thread, the pre-engine behaviour).
+    /// worker threads for blocking leaves (`0` = no persistent workers;
+    /// every blocking leaf runs on a one-shot thread).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         ExecutionEngine {
@@ -249,7 +278,14 @@ impl ExecutionEngine {
         self.pool.stats()
     }
 
-    /// Executes `spec` with parallel legs on the engine's worker pool.
+    /// The shared blocking-leaf pool, for callers (the gateway's event
+    /// loops) that submit blocking work outside `execute`.
+    pub(crate) fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Executes `spec` on the calling thread's event loop; blocking
+    /// leaves run on the engine's worker pool.
     ///
     /// # Errors
     ///
@@ -267,43 +303,44 @@ impl ExecutionEngine {
         let clock = Arc::clone(&spec.clock);
         // See `execute_scoped`: an already-registered caller keeps its slot.
         let worker = (!clock.thread_is_worker()).then(|| WorkerGuard::enter(&*clock));
-        let exec = Arc::new_cyclic(|me| OwnedExec {
-            strategy: spec.strategy,
-            providers: spec.providers,
-            request: spec.request,
-            collector: spec.collector,
-            telemetry: spec.telemetry,
-            clock: spec.clock,
-            budget: spec.budget,
-            policy,
-            started_at: clock.now(),
-            invocations: Mutex::new(Vec::new()),
-            pruned: Mutex::new(None),
-            pool: Arc::downgrade(&self.pool),
-            me: me.clone(),
-        });
-        {
-            let ctx = exec.ctx();
-            run_node(exec.strategy.node(), &[], &ctx);
-        }
+        let core = Arc::new(EventCore::new(Shared::Owned(Arc::clone(&spec.clock))));
+        let result = Arc::new(Mutex::new(None));
+        let spawn = {
+            let core = Arc::downgrade(&core);
+            let clock = Arc::clone(&spec.clock);
+            let pool = Arc::clone(&self.pool);
+            move |task: BlockingTask| {
+                let core = core.clone();
+                let clock = Arc::clone(&clock);
+                pool.submit(Box::new(move || match core.upgrade() {
+                    Some(core) => run_blocking(&core, task),
+                    // The core was torn down mid-flight (shutdown or
+                    // eviction race): free the slot reserved for this leg
+                    // and vanish instead of panicking.
+                    None => clock.release_worker(),
+                }));
+            }
+        };
+        let done = {
+            let result = Arc::clone(&result);
+            Box::new(move |r| *result.lock() = Some(r))
+        };
+        let req = core.submit(
+            RequestSpec {
+                strategy: Shared::Owned(Arc::new(spec.strategy)),
+                providers: Shared::Owned(spec.providers.into()),
+                request: Shared::Owned(Arc::new(spec.request)),
+                collector: spec.collector.map(Shared::Owned),
+                telemetry: spec.telemetry.map(Shared::Owned),
+                budget: spec.budget,
+                policy,
+                done,
+            },
+            &spawn,
+        );
+        core.drive_request(req, &spawn);
         drop(worker);
-
-        // Every pooled leg was joined before the walk returned, so the
-        // shared state is quiescent — but a finished leg's thread may not
-        // have dropped its `Arc` clone yet, so drain by reference instead
-        // of unwrapping the `Arc`.
-        let invocations = std::mem::take(&mut *exec.invocations.lock());
-        let cost = invocations.iter().map(|i| i.cost).sum();
-        let fallback = clock.now().saturating_sub(exec.started_at);
-        let (completion, latency) = exec.policy.finish(fallback);
-        let prune_detail = *exec.pruned.lock();
-        Ok(EngineOutcome {
-            completion,
-            latency,
-            cost,
-            invocations,
-            pruned: prune_detail.map(|d| d.reason),
-            prune_detail,
-        })
+        let settled = settle(result.lock().take());
+        Ok(settled)
     }
 }

@@ -341,6 +341,43 @@ impl Provider for FaultyProvider {
         let payload = self.inner.invoke(request)?;
         Ok(byzantine.unwrap_or(payload))
     }
+
+    fn try_timed_invoke(
+        &self,
+        _request: &Invocation,
+        clock: &dyn Clock,
+    ) -> Option<(Duration, Result<Vec<u8>, InvokeError>)> {
+        // Eligibility first, before any side effect: a declined probe must
+        // leave the fault cursor, telemetry, and the inner provider's
+        // counters untouched, because a blocking `invoke` follows and
+        // applies them itself.
+        if !self.inner.timed_eligible(clock) || !crate::clock::same_clock(&*self.clock, clock) {
+            return None;
+        }
+        let (crashed, added_latency, byzantine) = self.condition_at(self.clock.now());
+        if let Some(telemetry) = &self.telemetry {
+            if crashed {
+                telemetry.record_fault_window(self.id(), "crash");
+            }
+            if !added_latency.is_zero() {
+                telemetry.record_fault_window(self.id(), "latency");
+            }
+            if byzantine.is_some() {
+                telemetry.record_fault_window(self.id(), "byzantine");
+            }
+        }
+        if crashed {
+            // A crashed device fails before reaching the inner provider,
+            // so the inner invocation counter must not move.
+            return Some((Duration::ZERO, Err(InvokeError::DeviceUnavailable)));
+        }
+        let (latency, result) = self.inner.timed_sample();
+        let result = match result {
+            Ok(payload) => Ok(byzantine.unwrap_or(payload)),
+            err => err,
+        };
+        Some((added_latency.saturating_add(latency), result))
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +491,48 @@ mod tests {
             EventKind::FaultWindowHit { provider, fault }
                 if provider == "d/cap" && fault == "crash"
         )));
+    }
+
+    #[test]
+    fn timed_invoke_matches_blocking_across_fault_windows() {
+        let plan = FaultPlan::new(vec![
+            at(10, FaultKind::AddLatency(Duration::from_millis(20))),
+            at(40, FaultKind::ClearLatency),
+            at(50, FaultKind::Byzantine(vec![99])),
+            at(70, FaultKind::Honest),
+            at(80, FaultKind::Crash),
+        ]);
+        let (timed_clock, timed) = rig(plan.clone());
+        let (block_clock, blocking) = rig(plan);
+        let req = Invocation::new(0, "cap", vec![]);
+        for step in 0..10u64 {
+            let (latency, result) = timed
+                .try_timed_invoke(&req, &*timed_clock)
+                .expect("same clock and no capacity limit: timed-eligible");
+            let t0 = block_clock.now();
+            let blocked = blocking.invoke(&req);
+            assert_eq!(block_clock.now() - t0, latency, "step {step}");
+            assert_eq!(blocked, result, "step {step}");
+            // Timed sampling never advances its clock; step both clocks
+            // through the fault windows in lockstep by hand.
+            let catch_up = block_clock.now() - timed_clock.now();
+            timed_clock.advance(catch_up + Duration::from_millis(9));
+            block_clock.advance(Duration::from_millis(9));
+        }
+        assert_eq!(timed.inner().invocations(), blocking.inner().invocations());
+    }
+
+    #[test]
+    fn timed_probe_on_foreign_clock_has_no_side_effects() {
+        let (_clock, p) = rig(FaultPlan::new(vec![at(0, FaultKind::Crash)]));
+        let other = VirtualClock::new();
+        let req = Invocation::new(0, "cap", vec![]);
+        assert!(p.try_timed_invoke(&req, &other).is_none());
+        assert_eq!(
+            p.inner().invocations(),
+            0,
+            "declined probe must not touch the inner provider"
+        );
     }
 
     #[test]

@@ -13,19 +13,23 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError, Weak};
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
 use qce_strategy::{Attribute, Qos, Requirements, Strategy};
 
-use crate::clock::{Clock, WallClock};
+use crate::clock::{Clock, WallClock, WorkerGuard};
 use crate::collector::Collector;
 use crate::device::Provider;
+use crate::engine::event::{
+    run_blocking, BlockingTask, DoneFn, EventCore, PanicPayload, RequestResult, RequestSpec,
+    Shared, TaskFn,
+};
 use crate::engine::{
-    Budget, Completion, CompletionPolicy, ExecSpec, ExecutionEngine, PoolStats, PruneDetail,
-    PruneReason,
+    Budget, Completion, CompletionPolicy, EngineStats, ExecSpec, ExecutionEngine, PolicyState,
+    PoolStats, PruneDetail, PruneReason,
 };
 use crate::generator::{Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 use crate::market::Market;
@@ -87,6 +91,12 @@ pub struct GatewayConfig {
     /// Persistent worker threads in the execution engine's pool (`0` = no
     /// pool; every parallel leg runs on its own one-shot thread).
     pub worker_pool: usize,
+    /// Event-loop threads draining asynchronous submissions
+    /// ([`Gateway::submit_async`]). Requests are state machines on a shared
+    /// event core, so one loop drains every service; extra loops only help
+    /// when per-event CPU work (planning, result assembly) saturates a
+    /// core. `0` is treated as `1`.
+    pub event_loops: usize,
 }
 
 impl Default for GatewayConfig {
@@ -106,6 +116,7 @@ impl Default for GatewayConfig {
             admission_queue: 16,
             request_deadline: None,
             worker_pool: 8,
+            event_loops: 1,
         }
     }
 }
@@ -203,6 +214,8 @@ impl GatewayConfigBuilder {
         request_deadline: Option<Duration>,
         /// See [`GatewayConfig::worker_pool`].
         worker_pool: usize,
+        /// See [`GatewayConfig::event_loops`].
+        event_loops: usize,
     }
 
     /// Finishes the builder.
@@ -345,6 +358,12 @@ struct GateState {
     granted: Vec<u64>,
     /// Tickets preempted out of their queue slot by a higher class.
     preempted: Vec<u64>,
+    /// Continuations of asynchronous waiters ([`Gateway::submit_async`]),
+    /// keyed by ticket. A ticket with no entry here belongs to a blocking
+    /// waiter parked on the condvar. The waker is removed together with
+    /// its ticket — on grant, preemption, or cancellation — so it fires
+    /// exactly once.
+    wakers: HashMap<u64, WakerFn>,
     next_ticket: u64,
 }
 
@@ -385,6 +404,41 @@ struct Shed {
     queued: u64,
 }
 
+/// How an asynchronous admission ticket left the queue. Delivered to the
+/// ticket's [`WakerFn`] exactly once.
+enum AdmitOutcome {
+    /// A freed in-flight slot was handed to this ticket (the slot is
+    /// already counted; the continuation wraps it in an [`OwnedPermit`]).
+    Granted,
+    /// Preempted out of its queue slot by a higher-class arrival.
+    Preempted { in_flight: u64, queued: u64 },
+    /// The queue-wait deadline expired before a slot freed up.
+    Expired,
+    /// The gateway is shutting down; no slot will ever be granted.
+    Shutdown,
+}
+
+/// Continuation of an asynchronous waiter. Invoked after the gate lock is
+/// released wherever that is possible; the blocking [`AdmissionGate::admit`]
+/// path invokes preemption wakers while still holding the gate lock (it must
+/// keep the lock to park on the condvar), which is safe because wakers only
+/// touch the event core, the response handle, and telemetry — never the
+/// gate.
+type WakerFn = Box<dyn FnOnce(AdmitOutcome) + Send>;
+
+/// Immediate result of a non-blocking admission attempt. The waker is
+/// consumed only when the ticket actually queues; otherwise it comes back
+/// to the caller, who invokes (on admission) or discards (on shed) it.
+enum AsyncAdmission {
+    /// A slot was free: the request is in flight.
+    Admitted(WakerFn),
+    /// The request waits in its class queue under this ticket; its waker
+    /// fires when the ticket leaves the queue.
+    Queued(u64),
+    /// Queue full and nobody to preempt.
+    Shed(Shed, WakerFn),
+}
+
 impl AdmissionGate {
     fn new(limit: usize, max_queue: usize) -> Self {
         AdmissionGate {
@@ -409,6 +463,36 @@ impl AdmissionGate {
         (lower && eligible).then_some(victim)
     }
 
+    /// Makes room for an arriving `class` request when the queue is full:
+    /// evicts the newest waiter of the lowest eligible class. The chosen
+    /// queue's occupancy is re-checked under the lock on every iteration —
+    /// a victim ticket can leave the queue through another door (a
+    /// Scavenger's queue deadline cancelling it, a freed slot granting it),
+    /// so an empty pop falls through to the next candidate instead of
+    /// panicking on a stale "has waiters" snapshot.
+    ///
+    /// Returns the evicted waiter's waker when the victim was asynchronous
+    /// (to fire once the gate bookkeeping is done), `Ok(None)` when it was
+    /// a blocking waiter (flagged via `preempted`), or `Err` when nobody is
+    /// eligible and the arrival itself is shed.
+    fn preempt_for(state: &mut GateState, class: QosClass) -> Result<Option<WakerFn>, Shed> {
+        loop {
+            let Some(victim_class) = Self::preemption_victim(state, class) else {
+                return Err(Shed {
+                    in_flight: state.in_flight as u64,
+                    queued: state.queued() as u64,
+                });
+            };
+            if let Some(ticket) = state.waiting[victim_class].pop_back() {
+                if let Some(waker) = state.wakers.remove(&ticket) {
+                    return Ok(Some(waker));
+                }
+                state.preempted.push(ticket);
+                return Ok(None);
+            }
+        }
+    }
+
     /// Admits the caller, blocking in its class's queue when the service
     /// is at its in-flight limit. `on_queue_depth` is called with
     /// `(class, class depth, total depth)` whenever this caller enters or
@@ -422,24 +506,19 @@ impl AdmissionGate {
     ) -> Result<AdmissionPermit<'a>, Shed> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if self.limit > 0 && state.in_flight >= self.limit {
+            let mut evicted = None;
             if state.queued() >= self.max_queue {
                 // Queue full. Either a lower-class waiter gives up its
                 // slot to this arrival, or the arrival itself is shed.
-                match Self::preemption_victim(&state, class) {
-                    Some(victim_class) => {
-                        let ticket = state.waiting[victim_class]
-                            .pop_back()
-                            .expect("victim class has waiters");
-                        state.preempted.push(ticket);
-                        self.freed.notify_all();
-                    }
-                    None => {
-                        return Err(Shed {
-                            in_flight: state.in_flight as u64,
-                            queued: state.queued() as u64,
-                        });
-                    }
-                }
+                evicted = Self::preempt_for(&mut state, class)?;
+                self.freed.notify_all();
+            }
+            if let Some(waker) = evicted {
+                // An async victim's waker fires here, before parking. It
+                // never touches the gate (see [`WakerFn`]), so invoking it
+                // under the gate lock cannot deadlock.
+                let (in_flight, queued) = (state.in_flight as u64, state.queued() as u64);
+                waker(AdmitOutcome::Preempted { in_flight, queued });
             }
             let ticket = state.next_ticket;
             state.next_ticket += 1;
@@ -489,6 +568,117 @@ impl AdmissionGate {
         state.in_flight += 1;
         Ok(AdmissionPermit { gate: self })
     }
+
+    /// Non-blocking admission for [`Gateway::submit_async`]: admits
+    /// immediately when a slot is free, otherwise queues the ticket with
+    /// `waker` as its continuation — or sheds when the queue is full and
+    /// nobody can be preempted. Mirrors [`AdmissionGate::admit`] except
+    /// that queueing returns instead of parking.
+    fn admit_async(
+        &self,
+        class: QosClass,
+        waker: WakerFn,
+        on_queue_depth: impl Fn(QosClass, u64, u64),
+    ) -> AsyncAdmission {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.limit == 0 || state.in_flight < self.limit {
+            state.in_flight += 1;
+            return AsyncAdmission::Admitted(waker);
+        }
+        let mut evicted = None;
+        if state.queued() >= self.max_queue {
+            match Self::preempt_for(&mut state, class) {
+                Ok(evicted_waker) => evicted = evicted_waker,
+                Err(shed) => return AsyncAdmission::Shed(shed, waker),
+            }
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        let index = class.index();
+        state.waiting[index].push_back(ticket);
+        state.wakers.insert(ticket, waker);
+        on_queue_depth(
+            class,
+            state.waiting[index].len() as u64,
+            state.queued() as u64,
+        );
+        let (in_flight, queued) = (state.in_flight as u64, state.queued() as u64);
+        drop(state);
+        self.freed.notify_all();
+        if let Some(waker) = evicted {
+            waker(AdmitOutcome::Preempted { in_flight, queued });
+        }
+        AsyncAdmission::Queued(ticket)
+    }
+
+    /// Withdraws a queued asynchronous ticket, returning its waker if the
+    /// ticket was still waiting. `None` means the ticket already left the
+    /// queue (granted, preempted, or cancelled) and its waker has fired or
+    /// is about to — the caller must then do nothing.
+    fn cancel_ticket(
+        &self,
+        class: QosClass,
+        ticket: u64,
+        on_queue_depth: impl Fn(QosClass, u64, u64),
+    ) -> Option<WakerFn> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let index = class.index();
+        let pos = state.waiting[index].iter().position(|&t| t == ticket)?;
+        state.waiting[index].remove(pos);
+        let waker = state.wakers.remove(&ticket);
+        on_queue_depth(
+            class,
+            state.waiting[index].len() as u64,
+            state.queued() as u64,
+        );
+        waker
+    }
+
+    /// Removes every queued asynchronous ticket (blocking waiters stay
+    /// parked — their submitter threads still exist) and returns the
+    /// wakers, so shutdown can fail them instead of leaving their handles
+    /// pending forever.
+    fn drain_async(&self) -> Vec<WakerFn> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let wakers = std::mem::take(&mut state.wakers);
+        for queue in &mut state.waiting {
+            queue.retain(|ticket| !wakers.contains_key(ticket));
+        }
+        wakers.into_values().collect()
+    }
+
+    /// Releases one in-flight slot: hands it to the next queued waiter
+    /// (weighted pick across the class queues) or, with nobody waiting,
+    /// frees it. As in [`AdmissionGate::preempt_for`], the picked class's
+    /// occupancy is re-checked under the lock — an empty pop retries the
+    /// pick instead of panicking on a stale "is nonempty" snapshot.
+    fn release_slot(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let granted_waker = loop {
+            let nonempty = std::array::from_fn(|i| !state.waiting[i].is_empty());
+            let Some(class) = pick_class(&mut state.wrr, nonempty) else {
+                state.in_flight -= 1;
+                drop(state);
+                self.freed.notify_one();
+                return;
+            };
+            // Hand the slot straight to the chosen waiter instead of
+            // freeing it, so a racing new arrival cannot barge past the
+            // queue.
+            if let Some(ticket) = state.waiting[class].pop_front() {
+                if let Some(waker) = state.wakers.remove(&ticket) {
+                    break Some(waker);
+                }
+                state.granted.push(ticket);
+                break None;
+            }
+        };
+        drop(state);
+        self.freed.notify_all();
+        if let Some(waker) = granted_waker {
+            waker(AdmitOutcome::Granted);
+        }
+    }
 }
 
 /// RAII admission slot: dropping it hands the slot to the next queued
@@ -500,24 +690,20 @@ struct AdmissionPermit<'a> {
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
-        let mut state = self
-            .gate
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        let nonempty = std::array::from_fn(|i| !state.waiting[i].is_empty());
-        // Hand the slot straight to the chosen waiter instead of freeing
-        // it, so a racing new arrival cannot barge past the queue.
-        if let Some(class) = pick_class(&mut state.wrr, nonempty) {
-            let ticket = state.waiting[class].pop_front().expect("class is nonempty");
-            state.granted.push(ticket);
-            drop(state);
-            self.gate.freed.notify_all();
-        } else {
-            state.in_flight -= 1;
-            drop(state);
-            self.gate.freed.notify_one();
-        }
+        self.gate.release_slot();
+    }
+}
+
+/// As [`AdmissionPermit`], but owning its service entry so asynchronous
+/// requests — whose submitter returns before the request resolves — can
+/// carry their slot through the event loop.
+struct OwnedPermit {
+    entry: ServiceCell,
+}
+
+impl Drop for OwnedPermit {
+    fn drop(&mut self) {
+        self.entry.gate.release_slot();
     }
 }
 
@@ -546,6 +732,22 @@ struct ServiceEntry {
 
 type ServiceCell = Arc<ServiceEntry>;
 
+/// Everything a single request needs from its service's current slot plan,
+/// cloned out of the per-service state cell so execution runs outside
+/// every lock. Produced by [`Gateway::plan_slot`] for both the blocking
+/// ([`Gateway::submit`]) and asynchronous ([`Gateway::submit_async`])
+/// paths.
+struct Planned {
+    strategy: Strategy,
+    providers: Vec<Arc<dyn Provider>>,
+    names: Vec<String>,
+    slot: u64,
+    origin: StrategyOrigin,
+    estimated: Option<Qos>,
+    base_requirements: Requirements,
+    quorum: Option<usize>,
+}
+
 /// The edge gateway.
 ///
 /// # Examples
@@ -562,6 +764,18 @@ pub struct Gateway {
     engine: ExecutionEngine,
     services: RwLock<HashMap<String, ServiceCell>>,
     next_request: AtomicU64,
+    /// Shared event core draining every asynchronous request
+    /// ([`Gateway::submit_async`]) as a state machine: leaves complete as
+    /// clock events, continuations are heap frames, and
+    /// [`GatewayConfig::event_loops`] threads step the whole gateway.
+    core: Arc<EventCore<'static>>,
+    /// Routes a blocking leaf to the engine's worker pool. Holds the core
+    /// weakly so a task that outlives the gateway releases its clock slot
+    /// instead of touching freed state.
+    spawn: Arc<dyn Fn(BlockingTask) + Send + Sync>,
+    /// Event-loop threads, spawned lazily on the first `submit_async`,
+    /// joined on drop.
+    loops: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -592,16 +806,34 @@ impl Gateway {
         clock: Arc<dyn Clock>,
     ) -> Self {
         let telemetry = Telemetry::new(Arc::clone(&clock), config.telemetry_events);
+        let engine = ExecutionEngine::new(config.worker_pool);
+        let core = Arc::new(EventCore::new(Shared::Owned(Arc::clone(&clock))));
+        let spawn: Arc<dyn Fn(BlockingTask) + Send + Sync> = {
+            let core = Arc::downgrade(&core);
+            let clock = Arc::clone(&clock);
+            let pool = Arc::clone(engine.pool());
+            Arc::new(move |task: BlockingTask| {
+                let core = Weak::clone(&core);
+                let clock = Arc::clone(&clock);
+                pool.submit(Box::new(move || match core.upgrade() {
+                    Some(core) => run_blocking(&core, task),
+                    None => clock.release_worker(),
+                }));
+            })
+        };
         Gateway {
             market,
             registry: Arc::new(Registry::new()),
             collector: Arc::new(Collector::new(config.collector_window)),
             clock,
-            engine: ExecutionEngine::new(config.worker_pool),
+            engine,
             config,
             telemetry,
             services: RwLock::new(HashMap::new()),
             next_request: AtomicU64::new(1),
+            core,
+            spawn,
+            loops: Mutex::new(Vec::new()),
         }
     }
 
@@ -682,6 +914,287 @@ impl Gateway {
         self.invoke_inner(request)
     }
 
+    /// Submits a typed [`Request`] without blocking on its completion: the
+    /// call returns a [`RequestHandle`] as soon as the request is admitted
+    /// or queued, and the request itself runs as a state machine on the
+    /// gateway's event loops ([`GatewayConfig::event_loops`]). Neither a
+    /// queued nor an in-flight request holds a thread, so any number of
+    /// concurrent requests cost one heap frame each, not one stack each.
+    ///
+    /// Field resolution, admission, planning, execution, and telemetry are
+    /// identical to [`Gateway::submit`], with two differences inherent to
+    /// the asynchronous shape: the deadline is measured from submission
+    /// (a request whose deadline expires while still queued fails with
+    /// [`RuntimeError::DeadlineExceeded`] without ever executing), and
+    /// errors after admission — shed by preemption, planning failure,
+    /// shutdown — are delivered through [`RequestHandle::wait`] rather
+    /// than this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::DeadlineExceeded`] for a zero effective
+    /// deadline and [`RuntimeError::Overloaded`] when the request is shed
+    /// at submission. All later failures surface through the handle.
+    pub fn submit_async(self: &Arc<Self>, request: Request) -> Result<RequestHandle, RuntimeError> {
+        self.ensure_loops();
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (service_id, explicit_class, explicit_deadline, explicit_requirement, payload) =
+            request.into_parts();
+        let entry = self.service_entry(&service_id);
+        let overrides = *entry.overrides.lock();
+        let class = explicit_class.or(overrides.class).unwrap_or_default();
+        let deadline = explicit_deadline
+            .or(overrides.deadline)
+            .or(self.config.request_deadline)
+            .or_else(|| class.default_deadline());
+        if deadline == Some(Duration::ZERO) {
+            self.telemetry
+                .record_deadline_exceeded(&service_id, request_id, class);
+            return Err(RuntimeError::DeadlineExceeded { service_id, class });
+        }
+        let abs_deadline = deadline.map(|d| self.clock.now() + d);
+        let shared = Arc::new(HandleShared {
+            clock: Arc::clone(&self.clock),
+            slot: StdMutex::new(None),
+            done: Condvar::new(),
+        });
+
+        // The admitted continuation: planning, engine submission, and the
+        // response-assembling done-callback, all running on an event-loop
+        // thread. If the task is ever dropped unrun (shutdown), the
+        // FinishGuard inside fails the handle instead of leaving its
+        // waiter parked forever.
+        let task: TaskFn<'static> = {
+            let gateway = Arc::downgrade(self);
+            let entry = Arc::clone(&entry);
+            // The guard is captured (not created inside the body) so a
+            // task discarded unrun — e.g. posted to an already shut-down
+            // core — still resolves the handle from its drop.
+            let finish = FinishGuard::new(Arc::clone(&shared));
+            let service_id = service_id.clone();
+            let requirement_override = overrides.requirement;
+            Box::new(move || {
+                let permit = OwnedPermit {
+                    entry: Arc::clone(&entry),
+                };
+                let Some(gateway) = gateway.upgrade() else {
+                    return;
+                };
+                // The deadline may have passed while the ticket was queued
+                // (the scheduled cancellation races the grant): reject
+                // before planning, never entering the engine. Exactly one
+                // of this check and the cancellation task fires — whichever
+                // removes the ticket/runs the continuation first.
+                if let Some(abs) = abs_deadline {
+                    if gateway.clock.now() >= abs {
+                        gateway
+                            .telemetry
+                            .record_deadline_exceeded(&service_id, request_id, class);
+                        finish.finish(Err(RuntimeError::DeadlineExceeded { service_id, class }));
+                        return;
+                    }
+                }
+                let planned = match gateway.plan_slot(&service_id, &entry) {
+                    Ok(planned) => planned,
+                    Err(error) => return finish.finish(Err(error)),
+                };
+                if let Err(error) = crate::engine::validate(&planned.strategy, &planned.providers) {
+                    return finish.finish(Err(error));
+                }
+                let requirement = explicit_requirement
+                    .or(requirement_override)
+                    .unwrap_or_else(|| class.default_requirement(&planned.base_requirements));
+                let advisory = planned.estimated.and_then(|estimated| {
+                    let violations = requirement.violations(&estimated);
+                    (!violations.is_empty()).then_some(QosAdvisory {
+                        estimated,
+                        violations,
+                    })
+                });
+                let mut budget = Budget::unlimited()
+                    .with_class(class)
+                    .with_parent_flag(Arc::clone(&entry.evicted));
+                if let Some(abs) = abs_deadline {
+                    budget = budget.with_deadline(abs);
+                }
+                let policy = match planned.quorum {
+                    Some(q) if q > 1 => CompletionPolicy::Quorum { quorum: q },
+                    _ => CompletionPolicy::FirstSuccess,
+                };
+                let invocation = Invocation::new(request_id, service_id.clone(), payload);
+                let Planned {
+                    strategy,
+                    providers,
+                    names,
+                    slot,
+                    origin,
+                    ..
+                } = planned;
+                let telemetry = Arc::clone(&gateway.telemetry);
+                let response_strategy = strategy.clone();
+                let done: DoneFn<'static> = Box::new(move |result| {
+                    // The permit outlives the finish call so the freed
+                    // admission slot is handed over only after the handle
+                    // resolves.
+                    let _slot = permit;
+                    match result {
+                        RequestResult::Finished(outcome) => {
+                            let pruned = outcome.pruned;
+                            let prune_detail = outcome.prune_detail;
+                            if pruned == Some(PruneReason::DeadlineExceeded) {
+                                telemetry.record_deadline_exceeded(&service_id, request_id, class);
+                            }
+                            let latency = outcome.latency;
+                            let cost = outcome.cost;
+                            let (success, payload, votes) = match outcome.completion {
+                                Completion::First { success, payload } => (success, payload, None),
+                                Completion::Agreement {
+                                    payload,
+                                    votes,
+                                    votes_cast,
+                                    agreed,
+                                } => (agreed, payload, Some((votes, votes_cast))),
+                            };
+                            telemetry.record_request(
+                                &service_id,
+                                class,
+                                success,
+                                latency,
+                                cost,
+                                advisory.is_some(),
+                                votes,
+                            );
+                            finish.finish(Ok(ServiceResponse {
+                                request_id,
+                                class,
+                                success,
+                                payload,
+                                latency,
+                                cost,
+                                strategy_text: response_strategy.to_string_with_names(&names),
+                                strategy: response_strategy,
+                                slot,
+                                origin,
+                                advisory,
+                                votes,
+                                pruned,
+                                prune_detail,
+                            }));
+                        }
+                        RequestResult::Panicked(panic) => finish.finish_panic(panic),
+                        RequestResult::Shutdown => finish.finish(Err(RuntimeError::Shutdown)),
+                    }
+                });
+                gateway.core.submit(
+                    RequestSpec {
+                        strategy: Shared::Owned(Arc::new(strategy)),
+                        providers: Shared::Owned(providers.into()),
+                        request: Shared::Owned(Arc::new(invocation)),
+                        collector: Some(Shared::Owned(Arc::clone(&gateway.collector))),
+                        telemetry: Some(Shared::Owned(Arc::clone(&gateway.telemetry))),
+                        budget,
+                        policy: PolicyState::new(policy),
+                        done,
+                    },
+                    &*gateway.spawn,
+                );
+            })
+        };
+
+        // The waker owns the continuation and fires exactly once, however
+        // the ticket leaves the queue.
+        let waker: WakerFn = {
+            let telemetry = Arc::clone(&self.telemetry);
+            let core = Arc::clone(&self.core);
+            let shared = Arc::clone(&shared);
+            let service_id = service_id.clone();
+            Box::new(move |outcome| match outcome {
+                AdmitOutcome::Granted => core.post_task(task),
+                AdmitOutcome::Preempted { in_flight, queued } => {
+                    telemetry.record_shed(&service_id, class, in_flight, queued);
+                    shared.finish(Err(RuntimeError::Overloaded {
+                        service_id: service_id.clone(),
+                        class,
+                        queue_depth: queued,
+                    }));
+                    // Dropping the unrun task fires its FinishGuard, whose
+                    // late Shutdown loses to the result above (first wins).
+                }
+                AdmitOutcome::Expired => {
+                    telemetry.record_deadline_exceeded(&service_id, request_id, class);
+                    shared.finish(Err(RuntimeError::DeadlineExceeded {
+                        service_id: service_id.clone(),
+                        class,
+                    }));
+                }
+                AdmitOutcome::Shutdown => drop(task),
+            })
+        };
+
+        match entry
+            .gate
+            .admit_async(class, waker, |c, class_depth, total| {
+                self.telemetry.record_admission_queue(&service_id, total);
+                self.telemetry
+                    .record_class_queue_depth(&service_id, c, class_depth);
+            }) {
+            AsyncAdmission::Admitted(waker) => {
+                // The slot is counted; run the continuation on the event
+                // loop exactly like a deferred grant.
+                waker(AdmitOutcome::Granted);
+            }
+            AsyncAdmission::Queued(ticket) => {
+                if let Some(abs) = abs_deadline {
+                    let gateway = Arc::downgrade(self);
+                    let entry = Arc::clone(&entry);
+                    let service_id = service_id.clone();
+                    self.core.schedule_task(
+                        abs,
+                        Box::new(move || {
+                            let Some(gateway) = gateway.upgrade() else {
+                                return;
+                            };
+                            let waker =
+                                entry
+                                    .gate
+                                    .cancel_ticket(class, ticket, |c, class_depth, total| {
+                                        gateway
+                                            .telemetry
+                                            .record_admission_queue(&service_id, total);
+                                        gateway.telemetry.record_class_queue_depth(
+                                            &service_id,
+                                            c,
+                                            class_depth,
+                                        );
+                                    });
+                            if let Some(waker) = waker {
+                                waker(AdmitOutcome::Expired);
+                            }
+                        }),
+                    );
+                }
+            }
+            AsyncAdmission::Shed(shed, waker) => {
+                // The handle is never returned, so the waker (and the
+                // continuation inside it) is simply discarded.
+                drop(waker);
+                self.telemetry
+                    .record_shed(&service_id, class, shed.in_flight, shed.queued);
+                return Err(RuntimeError::Overloaded {
+                    service_id,
+                    class,
+                    queue_depth: shed.queued,
+                });
+            }
+        }
+
+        Ok(RequestHandle {
+            request_id,
+            class,
+            shared,
+        })
+    }
+
     /// The single invocation path behind [`Gateway::submit`] (and the
     /// deprecated `invoke`/`invoke_with_payload` shims): admission, script
     /// fetch/planning, engine execution, telemetry.
@@ -693,6 +1206,24 @@ impl Gateway {
         let entry = self.service_entry(service_id);
         let overrides = *entry.overrides.lock();
         let class = explicit_class.or(overrides.class).unwrap_or_default();
+        let deadline = explicit_deadline
+            .or(overrides.deadline)
+            .or(self.config.request_deadline)
+            .or_else(|| class.default_deadline());
+
+        // A zero deadline can never be met: reject it here, before
+        // admission, so it neither occupies a queue slot nor enters the
+        // engine (where it would charge the cost of its started leaves
+        // before the first prune check). Counted as exactly one
+        // deadline-exceeded event.
+        if deadline == Some(Duration::ZERO) {
+            self.telemetry
+                .record_deadline_exceeded(service_id, request_id, class);
+            return Err(RuntimeError::DeadlineExceeded {
+                service_id: service_id.to_string(),
+                class,
+            });
+        }
 
         // Admission first: it bounds everything the request does from here
         // on (planning included). Shedding here keeps an overloaded
@@ -716,97 +1247,16 @@ impl Gateway {
             }
         };
 
-        // Fetch/validate the script and plan (or reuse) the slot's strategy
-        // under the *per-service* lock only — the global map lock above is
-        // held just long enough to find the entry, so one service's
-        // exhaustive re-plan never blocks invocations of other services.
-        // Execution then happens outside every lock.
-        let (strategy, providers, names, slot, origin, estimated, base_requirements, quorum) = {
-            let mut guard = entry.cell.lock();
-            if guard.is_none() {
-                let t0 = self.clock.now();
-                let fetched = self.market.fetch(service_id);
-                self.telemetry
-                    .record_market_fetch(self.clock.now().saturating_sub(t0), fetched.is_ok());
-                let initialised = fetched.and_then(|script| {
-                    script.validate()?;
-                    let planner = Planner::new(&script, &self.config.synthesis_settings())?;
-                    Ok((script, planner))
-                });
-                match initialised {
-                    Ok((script, planner)) => {
-                        *guard = Some(ServiceState {
-                            script,
-                            planner,
-                            slot: 0,
-                            invocations_in_slot: 0,
-                            active: None,
-                            history: VecDeque::new(),
-                        });
-                    }
-                    Err(error) => {
-                        drop(guard);
-                        self.discard_uninitialised(service_id, &entry);
-                        return Err(error);
-                    }
-                }
-            }
-            let state = guard.as_mut().expect("initialised above");
-
-            if state.active.is_none() || state.invocations_in_slot >= state.script.slot_size {
-                if state.active.is_some() {
-                    state.slot += 1;
-                    state.invocations_in_slot = 0;
-                    // Clear the previous slot's plan *before* planning: if
-                    // plan() fails (e.g. a provider departed), the stale
-                    // plan must not keep serving the new slot — the next
-                    // invocation retries planning instead.
-                    state.active = None;
-                }
-                let active = match self.plan(state) {
-                    Ok(active) => active,
-                    Err(error) => {
-                        self.telemetry
-                            .record_plan_failure(service_id, state.slot, &error);
-                        return Err(error);
-                    }
-                };
-                let strategy_text = active.plan.strategy.to_string_with_names(&active.names);
-                self.telemetry.record_replan(
-                    service_id,
-                    state.slot,
-                    &active.plan.origin.to_string(),
-                    &strategy_text,
-                    active.plan.report.as_ref(),
-                    active.plan.source,
-                );
-                state.history.push_back(SlotRecord {
-                    slot: state.slot,
-                    strategy_text,
-                    origin: active.plan.origin.clone(),
-                    estimated: active.plan.estimated,
-                });
-                let limit = self.config.history_limit.max(1);
-                while state.history.len() > limit {
-                    state.history.pop_front();
-                    self.telemetry.record_history_evicted(service_id, 1);
-                }
-                state.active = Some(active);
-            }
-
-            state.invocations_in_slot += 1;
-            let active = state.active.as_ref().expect("planned above");
-            (
-                active.plan.strategy.clone(),
-                active.providers.clone(),
-                active.names.clone(),
-                state.slot,
-                active.plan.origin.clone(),
-                active.plan.estimated,
-                state.script.requirements,
-                state.script.quorum,
-            )
-        };
+        let Planned {
+            strategy,
+            providers,
+            names,
+            slot,
+            origin,
+            estimated,
+            base_requirements,
+            quorum,
+        } = self.plan_slot(service_id, &entry)?;
 
         // The advisory judges the slot's estimated QoS against *this
         // request's* effective requirement (explicit → live override →
@@ -831,10 +1281,6 @@ impl Gateway {
         let mut budget = Budget::unlimited()
             .with_class(class)
             .with_parent_flag(Arc::clone(&entry.evicted));
-        let deadline = explicit_deadline
-            .or(overrides.deadline)
-            .or(self.config.request_deadline)
-            .or_else(|| class.default_deadline());
         if let Some(deadline) = deadline {
             budget = budget.with_deadline(self.clock.now() + deadline);
         }
@@ -899,6 +1345,98 @@ impl Gateway {
         })
     }
 
+    /// Fetches/validates the script and plans (or reuses) the slot's
+    /// strategy under the *per-service* lock only — the global map lock is
+    /// held just long enough to find the entry, so one service's
+    /// exhaustive re-plan never blocks invocations of other services.
+    /// Execution then happens outside every lock.
+    fn plan_slot(&self, service_id: &str, entry: &ServiceCell) -> Result<Planned, RuntimeError> {
+        let mut guard = entry.cell.lock();
+        if guard.is_none() {
+            let t0 = self.clock.now();
+            let fetched = self.market.fetch(service_id);
+            self.telemetry
+                .record_market_fetch(self.clock.now().saturating_sub(t0), fetched.is_ok());
+            let initialised = fetched.and_then(|script| {
+                script.validate()?;
+                let planner = Planner::new(&script, &self.config.synthesis_settings())?;
+                Ok((script, planner))
+            });
+            match initialised {
+                Ok((script, planner)) => {
+                    *guard = Some(ServiceState {
+                        script,
+                        planner,
+                        slot: 0,
+                        invocations_in_slot: 0,
+                        active: None,
+                        history: VecDeque::new(),
+                    });
+                }
+                Err(error) => {
+                    drop(guard);
+                    self.discard_uninitialised(service_id, entry);
+                    return Err(error);
+                }
+            }
+        }
+        let state = guard.as_mut().expect("initialised above");
+
+        if state.active.is_none() || state.invocations_in_slot >= state.script.slot_size {
+            if state.active.is_some() {
+                state.slot += 1;
+                state.invocations_in_slot = 0;
+                // Clear the previous slot's plan *before* planning: if
+                // plan() fails (e.g. a provider departed), the stale
+                // plan must not keep serving the new slot — the next
+                // invocation retries planning instead.
+                state.active = None;
+            }
+            let active = match self.plan(state) {
+                Ok(active) => active,
+                Err(error) => {
+                    self.telemetry
+                        .record_plan_failure(service_id, state.slot, &error);
+                    return Err(error);
+                }
+            };
+            let strategy_text = active.plan.strategy.to_string_with_names(&active.names);
+            self.telemetry.record_replan(
+                service_id,
+                state.slot,
+                &active.plan.origin.to_string(),
+                &strategy_text,
+                active.plan.report.as_ref(),
+                active.plan.source,
+            );
+            state.history.push_back(SlotRecord {
+                slot: state.slot,
+                strategy_text,
+                origin: active.plan.origin.clone(),
+                estimated: active.plan.estimated,
+            });
+            let limit = self.config.history_limit.max(1);
+            while state.history.len() > limit {
+                state.history.pop_front();
+                self.telemetry.record_history_evicted(service_id, 1);
+            }
+            state.active = Some(active);
+        }
+
+        state.invocations_in_slot += 1;
+        let active = state.active.as_ref().expect("planned above");
+        Ok(Planned {
+            strategy: active.plan.strategy.clone(),
+            providers: active.providers.clone(),
+            names: active.names.clone(),
+            slot: state.slot,
+            origin: active.plan.origin.clone(),
+            estimated: active.plan.estimated,
+            base_requirements: state.script.requirements,
+            quorum: state.script.quorum,
+        })
+    }
+
     /// The gateway's runtime control plane: retunes a live service's
     /// traffic class, deadline, or requirement without re-planning its
     /// slot. Every applied override is recorded as exactly one
@@ -914,6 +1452,45 @@ impl Gateway {
     #[must_use]
     pub fn pool_stats(&self) -> PoolStats {
         self.engine.pool_stats()
+    }
+
+    /// Live occupancy of the event core: requests in flight, resident
+    /// continuation frames (live and peak), and the size of one frame —
+    /// the per-request memory unit that replaces a per-leg thread stack.
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        let stats = self.core.stats();
+        EngineStats {
+            in_flight: stats.in_flight,
+            frames_live: stats.frames_live,
+            frames_peak: stats.frames_peak,
+            frame_bytes: EventCore::frame_bytes(),
+        }
+    }
+
+    /// Spawns the event-loop threads on the first asynchronous submission.
+    /// Each loop registers as a clock worker: while it processes events it
+    /// pins virtual time, and when it idles it parks in
+    /// [`Clock::sleep_until_or`], letting virtual time advance to the next
+    /// completion.
+    fn ensure_loops(&self) {
+        let mut loops = self.loops.lock();
+        if !loops.is_empty() {
+            return;
+        }
+        for i in 0..self.config.event_loops.max(1) {
+            let core = Arc::clone(&self.core);
+            let clock = Arc::clone(&self.clock);
+            let spawn = Arc::clone(&self.spawn);
+            let handle = std::thread::Builder::new()
+                .name(format!("qce-event-loop-{i}"))
+                .spawn(move || {
+                    let _worker = WorkerGuard::enter(&*clock);
+                    core.run_loop(&*spawn);
+                })
+                .expect("spawn event-loop thread");
+            loops.push(handle);
+        }
     }
 
     /// Returns the entry of `service_id`, inserting an uninitialised one if
@@ -1113,6 +1690,201 @@ impl Gateway {
         self.collector.reset(&id);
         self.registry.register(provider);
         self.telemetry.record_provider_rejoined(&id);
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        // Queued async admissions first: nobody will ever grant them, so
+        // their wakers fail the handles with `Shutdown` instead of leaving
+        // waiters parked forever.
+        let entries: Vec<ServiceCell> = self.services.read().values().map(Arc::clone).collect();
+        for entry in entries {
+            for waker in entry.gate.drain_async() {
+                waker(AdmitOutcome::Shutdown);
+            }
+        }
+        // Then the core: in-flight async requests resolve with `Shutdown`,
+        // the loop threads observe the flag and exit, and blocking leaves
+        // still running on the pool release their orphaned clock slots when
+        // they post into the shut-down core.
+        self.core.shutdown();
+        for handle in self.loops.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// What an asynchronous request resolved to, parked in its handle until
+/// the submitter collects it.
+enum HandleResult {
+    // Boxed: a `ServiceResponse` dwarfs the panic payload, and the slot
+    // holds the variant until the submitter collects it.
+    Done(Box<Result<ServiceResponse, RuntimeError>>),
+    Panicked(PanicPayload),
+}
+
+/// State shared between a [`RequestHandle`] and the event-loop side that
+/// resolves it. The first `finish` wins; later calls (e.g. a shutdown
+/// guard racing a preemption result) are ignored.
+struct HandleShared {
+    clock: Arc<dyn Clock>,
+    slot: StdMutex<Option<HandleResult>>,
+    done: Condvar,
+}
+
+impl HandleShared {
+    fn finish(&self, result: Result<ServiceResponse, RuntimeError>) {
+        self.park(HandleResult::Done(Box::new(result)));
+    }
+
+    fn park(&self, result: HandleResult) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(result);
+            drop(slot);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Guards an asynchronous request's handle against being orphaned: drops
+/// on any path that forgets to resolve the handle (a continuation discarded
+/// by a shutting-down core, a panic between admission and submission) fail
+/// it with [`RuntimeError::Shutdown`] so [`RequestHandle::wait`] can never
+/// park forever. Explicit finishes consume the guard.
+struct FinishGuard {
+    shared: Option<Arc<HandleShared>>,
+}
+
+impl FinishGuard {
+    fn new(shared: Arc<HandleShared>) -> Self {
+        FinishGuard {
+            shared: Some(shared),
+        }
+    }
+
+    fn finish(mut self, result: Result<ServiceResponse, RuntimeError>) {
+        if let Some(shared) = self.shared.take() {
+            shared.finish(result);
+        }
+    }
+
+    fn finish_panic(mut self, panic: PanicPayload) {
+        if let Some(shared) = self.shared.take() {
+            shared.park(HandleResult::Panicked(panic));
+        }
+    }
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            shared.finish(Err(RuntimeError::Shutdown));
+        }
+    }
+}
+
+/// A pending asynchronous request, returned by [`Gateway::submit_async`].
+///
+/// The handle is detached from the request's execution: dropping it does
+/// not cancel the request (its deadline and admission bounds still
+/// apply), and [`RequestHandle::wait`] merely parks until the event loop
+/// resolves it.
+#[derive(Debug)]
+pub struct RequestHandle {
+    request_id: u64,
+    class: QosClass,
+    shared: Arc<HandleShared>,
+}
+
+impl std::fmt::Debug for HandleShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HandleShared").finish_non_exhaustive()
+    }
+}
+
+impl RequestHandle {
+    /// The request id the response will carry.
+    #[must_use]
+    pub fn request_id(&self) -> u64 {
+        self.request_id
+    }
+
+    /// The traffic class the request was admitted under.
+    #[must_use]
+    pub fn class(&self) -> QosClass {
+        self.class
+    }
+
+    /// Returns the resolved response without blocking, or the handle back
+    /// if the request is still pending.
+    ///
+    /// # Errors
+    ///
+    /// As [`RequestHandle::wait`], once resolved.
+    pub fn try_wait(self) -> Result<Result<ServiceResponse, RuntimeError>, Self> {
+        let resolved = {
+            let mut slot = self
+                .shared
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            slot.take()
+        };
+        match resolved {
+            Some(HandleResult::Done(result)) => Ok(*result),
+            Some(HandleResult::Panicked(panic)) => std::panic::resume_unwind(panic),
+            None => Err(self),
+        }
+    }
+
+    /// Parks until the request resolves and returns its response.
+    ///
+    /// A caller registered as a worker of the gateway's clock is marked
+    /// passive for the duration of the wait (exactly as a queued blocking
+    /// submit would be), so waiting on a handle never stalls the virtual
+    /// time its own request needs to complete.
+    ///
+    /// If a provider panicked during the request, the panic resumes here,
+    /// on the thread that collects the result — the event loop itself is
+    /// never poisoned.
+    ///
+    /// # Errors
+    ///
+    /// Any error [`Gateway::submit`] can return, plus
+    /// [`RuntimeError::Shutdown`] when the gateway was dropped before the
+    /// request resolved and [`RuntimeError::DeadlineExceeded`] when the
+    /// deadline expired while the request was still queued.
+    pub fn wait(self) -> Result<ServiceResponse, RuntimeError> {
+        let registered = self.shared.clock.thread_is_worker();
+        if registered {
+            self.shared.clock.enter_passive();
+        }
+        let result = {
+            let mut slot = self
+                .shared
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(result) = slot.take() {
+                    break result;
+                }
+                slot = self
+                    .shared
+                    .done
+                    .wait(slot)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if registered {
+            self.shared.clock.exit_passive();
+        }
+        match result {
+            HandleResult::Done(result) => *result,
+            HandleResult::Panicked(panic) => std::panic::resume_unwind(panic),
+        }
     }
 }
 
@@ -2253,5 +3025,358 @@ mod tests {
             snapshot.market.fetches, 1,
             "script fetched once, then cached"
         );
+    }
+
+    /// Bugfix regression: a request whose effective deadline is zero used
+    /// to enter the engine, reserve workers, and charge the cost of its
+    /// started leaves before the first prune check rejected it. It must be
+    /// rejected at admission — no queue slot, no invocation, no cost —
+    /// and counted as exactly one deadline-exceeded event.
+    #[test]
+    fn zero_deadline_is_rejected_before_admission_and_counted_once() {
+        use crate::clock::VirtualClock;
+
+        let clock = Arc::new(VirtualClock::new());
+        let gateway = Gateway::with_clock(
+            market_with(one_ms_script()),
+            GatewayConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        gateway.registry().register(
+            SimulatedProvider::builder("dev/cap-a", "cap-a")
+                .cost(50.0)
+                .latency(Duration::from_millis(1))
+                .reliability(1.0)
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build(),
+        );
+        match gateway.submit(Request::new("svc").deadline(Duration::ZERO)) {
+            Err(RuntimeError::DeadlineExceeded { service_id, class }) => {
+                assert_eq!(service_id, "svc");
+                assert_eq!(class, QosClass::Interactive);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.deadline_exceeded, 1, "counted exactly once");
+        assert_eq!(svc.invocations, 0, "never entered the engine");
+        assert_eq!(clock.now(), Duration::ZERO, "no virtual time consumed");
+
+        // The same applies to a dead-on-arrival deadline set through the
+        // control plane rather than the request.
+        gateway.control().set_deadline("svc", Some(Duration::ZERO));
+        assert!(matches!(
+            gateway.submit(Request::new("svc")),
+            Err(RuntimeError::DeadlineExceeded { .. })
+        ));
+        let snapshot = gateway.telemetry().snapshot();
+        assert_eq!(snapshot.service("svc").unwrap().deadline_exceeded, 2);
+        assert_eq!(snapshot.service("svc").unwrap().invocations, 0);
+
+        // An explicit (positive) request deadline outranks the override
+        // and the request executes normally.
+        let response = gateway
+            .submit(Request::new("svc").deadline(Duration::from_millis(100)))
+            .unwrap();
+        assert!(response.success);
+    }
+
+    /// Bugfix regression: handing out a queue slot used to
+    /// `expect("victim class has waiters")` / `expect("class is
+    /// nonempty")` on a queue snapshot. With asynchronous tickets a queued
+    /// waiter can leave through a third door — its queue deadline
+    /// cancelling the ticket — so preemption and release now re-check
+    /// occupancy and fall through instead of panicking. Race cancellation
+    /// against preemption and grant on every side of the gate.
+    #[test]
+    fn ticket_cancellation_racing_preemption_and_release_never_panics() {
+        use std::sync::atomic::AtomicUsize;
+
+        let gate = Arc::new(AdmissionGate::new(1, 2));
+        // Occupy the single in-flight slot for the whole race so every
+        // arrival goes through the queue paths.
+        let permit = gate.admit(QosClass::Bulk, &WallClock::new(), |_, _, _| {});
+        let permit = match permit {
+            Ok(permit) => permit,
+            Err(_) => panic!("empty gate admits"),
+        };
+        let fired = Arc::new(AtomicUsize::new(0));
+        let rounds = 200;
+        std::thread::scope(|scope| {
+            // Scavengers queue asynchronously and their tickets are
+            // cancelled concurrently (the queue-deadline path).
+            let canceller = {
+                let gate = Arc::clone(&gate);
+                let fired = Arc::clone(&fired);
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        let fired = Arc::clone(&fired);
+                        match gate.admit_async(
+                            QosClass::Scavenger,
+                            Box::new(move |_| {
+                                fired.fetch_add(1, Ordering::SeqCst);
+                            }),
+                            |_, _, _| {},
+                        ) {
+                            AsyncAdmission::Queued(ticket) => {
+                                std::thread::yield_now();
+                                if let Some(waker) =
+                                    gate.cancel_ticket(QosClass::Scavenger, ticket, |_, _, _| {})
+                                {
+                                    waker(AdmitOutcome::Expired);
+                                }
+                            }
+                            AsyncAdmission::Admitted(_) => {
+                                panic!("the slot is held for the whole race")
+                            }
+                            AsyncAdmission::Shed(_, waker) => waker(AdmitOutcome::Shutdown),
+                        }
+                    }
+                })
+            };
+            // Critical arrivals preempt whatever Scavenger is queued.
+            let preemptor = {
+                let gate = Arc::clone(&gate);
+                let fired = Arc::clone(&fired);
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        let fired = Arc::clone(&fired);
+                        match gate.admit_async(
+                            QosClass::Critical,
+                            Box::new(move |_| {
+                                fired.fetch_add(1, Ordering::SeqCst);
+                            }),
+                            |_, _, _| {},
+                        ) {
+                            AsyncAdmission::Queued(ticket) => {
+                                if let Some(waker) =
+                                    gate.cancel_ticket(QosClass::Critical, ticket, |_, _, _| {})
+                                {
+                                    waker(AdmitOutcome::Expired);
+                                }
+                            }
+                            AsyncAdmission::Admitted(_) => {
+                                panic!("the slot is held for the whole race")
+                            }
+                            AsyncAdmission::Shed(_, waker) => waker(AdmitOutcome::Shutdown),
+                        }
+                    }
+                })
+            };
+            canceller.join().unwrap();
+            preemptor.join().unwrap();
+        });
+        // Every ticket's waker fired exactly once (cancelled, preempted,
+        // or shed) or is still queued; nothing double-fired or vanished.
+        let state = gate.state.lock().unwrap();
+        assert_eq!(state.in_flight, 1, "the held slot is still counted");
+        assert_eq!(
+            state.queued(),
+            state.wakers.len(),
+            "every queued ticket still owns exactly one waker"
+        );
+        let queued = state.queued();
+        drop(state);
+        assert_eq!(
+            fired.load(Ordering::SeqCst) + queued,
+            2 * rounds,
+            "each ticket resolved exactly once"
+        );
+        drop(permit);
+    }
+
+    /// An asynchronous submission is the same request as a blocking one:
+    /// same planning, same execution, same telemetry — bit-identical
+    /// response.
+    #[test]
+    fn submit_async_matches_blocking_submit_bit_for_bit() {
+        use crate::clock::VirtualClock;
+
+        let run = |blocking: bool| -> ServiceResponse {
+            let clock = Arc::new(VirtualClock::new());
+            let gateway = Arc::new(Gateway::with_clock(
+                market_with(script(10)),
+                GatewayConfig::default(),
+                Arc::clone(&clock) as Arc<dyn Clock>,
+            ));
+            for (i, (cap, ms)) in [("read-temp", 2u64), ("est-temp", 3), ("loc-temp", 5)]
+                .iter()
+                .enumerate()
+            {
+                gateway.registry().register(
+                    SimulatedProvider::builder(format!("dev{i}/{cap}"), *cap)
+                        .cost(50.0)
+                        .latency(Duration::from_millis(*ms))
+                        .reliability(0.9)
+                        .seed(i as u64)
+                        .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                        .build(),
+                );
+            }
+            if blocking {
+                gateway.submit(Request::new("temp")).unwrap()
+            } else {
+                gateway
+                    .submit_async(Request::new("temp"))
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+            }
+        };
+        let blocking = run(true);
+        let asynchronous = run(false);
+        assert_eq!(blocking, asynchronous);
+    }
+
+    /// A queued asynchronous request whose deadline expires before a slot
+    /// frees up fails with `DeadlineExceeded` without ever executing —
+    /// and is counted exactly once even though both the queue-deadline
+    /// timer and the continuation's own expiry check could observe it.
+    #[test]
+    fn queued_async_request_expires_without_executing() {
+        use crate::clock::{VirtualClock, WorkerGuard};
+
+        let clock = Arc::new(VirtualClock::new());
+        let config = GatewayConfig::builder()
+            .max_in_flight(1)
+            .admission_queue(4)
+            .build();
+        let gateway = Arc::new(Gateway::with_clock(
+            market_with(one_ms_script()),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        gateway.registry().register(
+            SimulatedProvider::builder("dev/cap-a", "cap-a")
+                .cost(50.0)
+                .latency(Duration::from_millis(10))
+                .reliability(1.0)
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build(),
+        );
+        let (first, second) = {
+            // Pin virtual time while both submissions land, so the second
+            // is deterministically queued behind the first.
+            let _pin = WorkerGuard::enter(&*clock);
+            let first = gateway.submit_async(Request::new("svc")).unwrap();
+            let second = gateway
+                .submit_async(Request::new("svc").deadline(Duration::from_millis(2)))
+                .unwrap();
+            (first, second)
+        };
+        match second.wait() {
+            Err(RuntimeError::DeadlineExceeded { service_id, class }) => {
+                assert_eq!(service_id, "svc");
+                assert_eq!(class, QosClass::Interactive);
+            }
+            other => panic!("expected queue-deadline expiry, got {other:?}"),
+        }
+        let first = first.wait().unwrap();
+        assert!(first.success);
+        assert_eq!(first.latency, Duration::from_millis(10));
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.deadline_exceeded, 1, "counted exactly once");
+        assert_eq!(svc.invocations, 1, "the expired request never executed");
+        assert_eq!(svc.latency_ms.count, 1, "only the first became a request");
+    }
+
+    /// The preemption contract carries over to asynchronous waiters: a
+    /// queued async Scavenger preempted by a Critical arrival resolves its
+    /// handle with `Overloaded` and is counted as shed.
+    #[test]
+    fn critical_arrival_preempts_a_queued_async_scavenger() {
+        use crate::clock::{VirtualClock, WorkerGuard};
+
+        let clock = Arc::new(VirtualClock::new());
+        let config = GatewayConfig::builder()
+            .max_in_flight(1)
+            .admission_queue(1)
+            .build();
+        let gateway = Arc::new(Gateway::with_clock(
+            market_with(one_ms_script()),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        gateway.registry().register(
+            SimulatedProvider::builder("dev/cap-a", "cap-a")
+                .cost(50.0)
+                .latency(Duration::from_millis(5))
+                .reliability(1.0)
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build(),
+        );
+        let (running, scavenger, critical) = {
+            let _pin = WorkerGuard::enter(&*clock);
+            let running = gateway.submit_async(Request::new("svc")).unwrap();
+            let scavenger = gateway
+                .submit_async(Request::new("svc").class(QosClass::Scavenger))
+                .unwrap();
+            let critical = gateway
+                .submit_async(Request::new("svc").class(QosClass::Critical))
+                .unwrap();
+            (running, scavenger, critical)
+        };
+        match scavenger.wait() {
+            Err(RuntimeError::Overloaded {
+                service_id, class, ..
+            }) => {
+                assert_eq!(service_id, "svc");
+                assert_eq!(class, QosClass::Scavenger, "the waiter was preempted");
+            }
+            other => panic!("scavenger should have been shed, got {other:?}"),
+        }
+        assert!(running.wait().unwrap().success);
+        let critical = critical.wait().unwrap();
+        assert!(critical.success);
+        assert_eq!(critical.class, QosClass::Critical);
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("svc").unwrap();
+        assert_eq!(svc.requests_shed, 1);
+        assert_eq!(svc.class(QosClass::Scavenger).unwrap().shed, 1);
+        assert_eq!(svc.class(QosClass::Critical).unwrap().requests, 1);
+    }
+
+    /// Bugfix regression: dropping the gateway with requests in flight
+    /// used to panic the engine (`pool.upgrade().expect("engine outlives
+    /// its walk")`). Now every pending handle resolves with
+    /// [`RuntimeError::Shutdown`] — in-flight requests via the core's
+    /// shutdown sweep, queued admissions via their drained wakers — and
+    /// nothing parks forever.
+    #[test]
+    fn dropping_the_gateway_resolves_in_flight_and_queued_handles() {
+        use crate::clock::{VirtualClock, WorkerGuard};
+
+        let clock = Arc::new(VirtualClock::new());
+        let config = GatewayConfig::builder()
+            .max_in_flight(1)
+            .admission_queue(4)
+            .build();
+        let gateway = Arc::new(Gateway::with_clock(
+            market_with(one_ms_script()),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        gateway.registry().register(
+            SimulatedProvider::builder("dev/cap-a", "cap-a")
+                .cost(50.0)
+                .latency(Duration::from_millis(5))
+                .reliability(1.0)
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build(),
+        );
+        // Pin virtual time for the gateway's whole lifetime: the leaf's
+        // completion event can never fire, so the first request is
+        // mid-flight and the second still queued when the gateway drops.
+        let _pin = WorkerGuard::enter(&*clock);
+        let in_flight = gateway.submit_async(Request::new("svc")).unwrap();
+        let queued = gateway.submit_async(Request::new("svc")).unwrap();
+        while gateway.engine_stats().in_flight < 1 {
+            std::thread::yield_now();
+        }
+        drop(gateway);
+        assert!(matches!(in_flight.wait(), Err(RuntimeError::Shutdown)));
+        assert!(matches!(queued.wait(), Err(RuntimeError::Shutdown)));
     }
 }

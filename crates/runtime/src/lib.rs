@@ -104,16 +104,16 @@ pub use clock::{Clock, VirtualClock, WallClock, WorkerGuard};
 pub use collector::{Collector, ExecutionRecord, ProviderStats};
 pub use device::{FnProvider, Provider, SimulatedProvider, SimulatedProviderBuilder};
 pub use engine::{
-    Budget, Completion, CompletionPolicy, EngineOutcome, ExecSpec, ExecutionEngine, PoolStats,
-    PruneDetail, PruneReason,
+    Budget, Completion, CompletionPolicy, EngineOutcome, EngineStats, ExecSpec, ExecutionEngine,
+    PoolStats, PruneDetail, PruneReason,
 };
 pub use executor::{
     execute_strategy, execute_strategy_instrumented, execute_strategy_with_clock, ServiceOutcome,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultyProvider};
 pub use gateway::{
-    Gateway, GatewayConfig, GatewayConfigBuilder, GatewayControl, QosAdvisory, ServiceResponse,
-    SlotRecord,
+    Gateway, GatewayConfig, GatewayConfigBuilder, GatewayControl, QosAdvisory, RequestHandle,
+    ServiceResponse, SlotRecord,
 };
 pub use generator::{assumed_env, plan_slot, Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 pub use harness::{Harness, HarnessBuilder};

@@ -129,6 +129,20 @@ pub enum RuntimeError {
         /// Requests waiting in the admission queue when the shed happened.
         queue_depth: u64,
     },
+    /// The request's deadline had already passed when it reached the
+    /// gateway (a zero or stale deadline), or expired while the request
+    /// was still queued for admission — it was rejected before charging
+    /// any invocation cost.
+    DeadlineExceeded {
+        /// The service the request targeted.
+        service_id: String,
+        /// Traffic class of the expired request.
+        class: crate::request::QosClass,
+    },
+    /// The gateway (or engine) was shut down or the service evicted while
+    /// the request was in flight; the request was abandoned without a
+    /// result.
+    Shutdown,
 }
 
 impl fmt::Display for RuntimeError {
@@ -157,6 +171,16 @@ impl fmt::Display for RuntimeError {
                     "service {service_id:?} overloaded: {class} request shed \
                      ({queue_depth} queued)"
                 )
+            }
+            RuntimeError::DeadlineExceeded { service_id, class } => {
+                write!(
+                    f,
+                    "service {service_id:?}: {class} request deadline expired \
+                     before execution"
+                )
+            }
+            RuntimeError::Shutdown => {
+                write!(f, "runtime shut down while the request was in flight")
             }
         }
     }
@@ -225,6 +249,14 @@ mod tests {
         assert!(overloaded.contains("shed"), "{overloaded}");
         assert!(overloaded.contains("scavenger"), "{overloaded}");
         assert!(overloaded.contains('3'), "{overloaded}");
+        let expired = RuntimeError::DeadlineExceeded {
+            service_id: "svc".into(),
+            class: crate::request::QosClass::Critical,
+        }
+        .to_string();
+        assert!(expired.contains("deadline"), "{expired}");
+        assert!(expired.contains("critical"), "{expired}");
+        assert!(RuntimeError::Shutdown.to_string().contains("shut down"));
     }
 
     #[test]

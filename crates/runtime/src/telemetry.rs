@@ -608,6 +608,18 @@ pub struct EventRingSnapshot {
     pub capacity: u64,
 }
 
+/// Gauges of the event-driven execution core: how many requests are in
+/// flight and how much frame memory their walks are holding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Requests currently inside the engine.
+    pub in_flight: u64,
+    /// Live `Seq`/`Par` continuation frames across all in-flight requests.
+    pub frames: u64,
+    /// High-water mark of `frames` since startup.
+    pub frames_peak: u64,
+}
+
 /// A serializable copy of every counter, histogram, and buffered event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
@@ -622,6 +634,9 @@ pub struct MetricsSnapshot {
     /// Correlated-failure storm markers.
     #[serde(default)]
     pub storms: StormSnapshot,
+    /// Execution-core occupancy gauges.
+    #[serde(default)]
+    pub engine: EngineSnapshot,
     /// Event ring accounting.
     pub events: EventRingSnapshot,
     /// The events still buffered in the ring, oldest first.
@@ -660,6 +675,9 @@ pub struct Telemetry {
     market_fetch_micros: AtomicU64,
     storm_onsets: AtomicU64,
     storm_recoveries: AtomicU64,
+    engine_in_flight: AtomicU64,
+    engine_frames: AtomicU64,
+    engine_frames_peak: AtomicU64,
     sink: RwLock<Option<EventSink>>,
 }
 
@@ -692,6 +710,9 @@ impl Telemetry {
             market_fetch_micros: AtomicU64::new(0),
             storm_onsets: AtomicU64::new(0),
             storm_recoveries: AtomicU64::new(0),
+            engine_in_flight: AtomicU64::new(0),
+            engine_frames: AtomicU64::new(0),
+            engine_frames_peak: AtomicU64::new(0),
             sink: RwLock::new(None),
         })
     }
@@ -799,6 +820,28 @@ impl Telemetry {
         }
         metrics.latency.record(micros(latency));
         metrics.cost.record(milli_cost(cost));
+    }
+
+    /// A request entered the execution core.
+    pub fn record_engine_request_start(&self) {
+        self.engine_in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request left the execution core (resolved or shut down).
+    pub fn record_engine_request_end(&self) {
+        self.engine_in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The core allocated one `Seq`/`Par` continuation frame.
+    pub fn record_engine_frame(&self) {
+        let frames = self.engine_frames.fetch_add(1, Ordering::Relaxed) + 1;
+        self.engine_frames_peak.fetch_max(frames, Ordering::Relaxed);
+    }
+
+    /// A resolved request released its `frames` continuation frames.
+    pub fn record_engine_frames_done(&self, frames: usize) {
+        self.engine_frames
+            .fetch_sub(frames as u64, Ordering::Relaxed);
     }
 
     /// Records the generator's search effort for one re-plan of `service`
@@ -1137,6 +1180,11 @@ impl Telemetry {
             storms: StormSnapshot {
                 onsets: self.storm_onsets.load(Ordering::Relaxed),
                 recoveries: self.storm_recoveries.load(Ordering::Relaxed),
+            },
+            engine: EngineSnapshot {
+                in_flight: self.engine_in_flight.load(Ordering::Relaxed),
+                frames: self.engine_frames.load(Ordering::Relaxed),
+                frames_peak: self.engine_frames_peak.load(Ordering::Relaxed),
             },
             events: EventRingSnapshot {
                 emitted: self.seq.load(Ordering::Relaxed),

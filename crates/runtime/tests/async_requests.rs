@@ -1,0 +1,181 @@
+//! Integration tests for the asynchronous submission path
+//! ([`Gateway::submit_async`]): panic isolation of the event loops and
+//! shutdown behaviour when the gateway drops with work in flight.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use qce_runtime::{
+    Clock, FnProvider, Gateway, GatewayConfig, InMemoryMarket, Market, MsSpec, Request,
+    RuntimeError, ServiceScript, SimulatedProvider, VirtualClock,
+};
+use qce_strategy::{Qos, Requirements};
+
+/// Blocks providers until the test releases them, counting entries.
+struct Gate {
+    state: Mutex<(bool, u32)>,
+    cond: Condvar,
+}
+
+impl Gate {
+    fn new() -> Arc<Self> {
+        Arc::new(Gate {
+            state: Mutex::new((false, 0)),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn enter(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.1 += 1;
+        self.cond.notify_all();
+        while !state.0 {
+            state = self.cond.wait(state).unwrap();
+        }
+    }
+
+    fn await_entered(&self, n: u32) {
+        let mut state = self.state.lock().unwrap();
+        while state.1 < n {
+            state = self.cond.wait(state).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.0 = true;
+        self.cond.notify_all();
+    }
+}
+
+fn script(service: &str, arms: usize) -> ServiceScript {
+    ServiceScript::new(
+        service,
+        (0..arms)
+            .map(|i| MsSpec {
+                name: format!("m{i}"),
+                capability: format!("{service}-cap{i}"),
+                prior: Qos::new(50.0, 2.0 + i as f64, 0.9).unwrap(),
+            })
+            .collect(),
+        Requirements::new(1000.0, 1000.0, 0.5).unwrap(),
+    )
+}
+
+fn market_with(scripts: Vec<ServiceScript>) -> Box<dyn Market> {
+    let market = InMemoryMarket::new();
+    for script in scripts {
+        market.publish(script).unwrap();
+    }
+    Box::new(market)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A provider panicking inside one arm of the first slot's parallel
+    /// default must resume its panic on the thread that collects the
+    /// handle — never on the event loop. The loop stays healthy: a
+    /// sibling request already in flight and a request submitted *after*
+    /// the panic both complete normally.
+    #[test]
+    fn panicking_par_arm_resumes_on_the_collector_not_the_event_loop(
+        arms in 2usize..4,
+        bad_seed in any::<u64>(),
+    ) {
+        let bad = (bad_seed as usize) % arms;
+        let clock = Arc::new(VirtualClock::new());
+        let gateway = Arc::new(Gateway::with_clock(
+            market_with(vec![script("svc", arms), script("ok", 1)]),
+            GatewayConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        for i in 0..arms {
+            if i == bad {
+                // No clock binding: the panicking arm takes the blocking
+                // path through the worker pool.
+                gateway.registry().register(FnProvider::new(
+                    format!("dev{i}"),
+                    format!("svc-cap{i}"),
+                    10.0,
+                    |_| panic!("boom: provider exploded"),
+                ));
+            } else {
+                gateway.registry().register(
+                    SimulatedProvider::builder(format!("dev{i}"), format!("svc-cap{i}"))
+                        .cost(10.0)
+                        .latency(Duration::from_millis(1 + i as u64))
+                        .reliability(1.0)
+                        .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                        .build(),
+                );
+            }
+        }
+        gateway.registry().register(
+            SimulatedProvider::builder("dev-ok", "ok-cap0")
+                .cost(10.0)
+                .latency(Duration::from_millis(1))
+                .reliability(1.0)
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build(),
+        );
+
+        let sibling = gateway.submit_async(Request::new("ok")).unwrap();
+        let doomed = gateway.submit_async(Request::new("svc")).unwrap();
+        let panic = catch_unwind(AssertUnwindSafe(|| doomed.wait()))
+            .expect_err("the provider panic must resume on the collector");
+        let message = panic
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_string)
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        prop_assert!(message.contains("boom"), "unexpected payload: {message}");
+
+        // The sibling in flight during the panic and a fresh request after
+        // it both resolve: the event loop was not poisoned.
+        prop_assert!(sibling.wait().unwrap().success);
+        let after = gateway.submit_async(Request::new("ok")).unwrap();
+        prop_assert!(after.wait().unwrap().success);
+    }
+}
+
+/// Bugfix regression: dropping the gateway while a blocking leaf is still
+/// running on the worker pool used to panic the leaf's pool task
+/// (`expect("engine outlives its walk")`). The race must resolve cleanly
+/// whichever side wins: the handle resolves (success or `Shutdown`), the
+/// drop completes, nothing panics or hangs.
+#[test]
+fn gateway_drop_races_a_blocking_leaf_without_panicking() {
+    for _ in 0..25 {
+        let clock = Arc::new(VirtualClock::new());
+        let gateway = Arc::new(Gateway::with_clock(
+            market_with(vec![script("svc", 1)]),
+            GatewayConfig::default(),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        ));
+        let gate = Gate::new();
+        let provider_gate = Arc::clone(&gate);
+        gateway
+            .registry()
+            .register(FnProvider::new("dev0", "svc-cap0", 10.0, move |_| {
+                provider_gate.enter();
+                Ok(vec![1])
+            }));
+        let handle = gateway.submit_async(Request::new("svc")).unwrap();
+        gate.await_entered(1);
+        // The dropper blocks joining the pool until the gate opens, so the
+        // leaf is guaranteed to still be running when shutdown begins.
+        let dropper = std::thread::spawn(move || drop(gateway));
+        gate.open();
+        dropper.join().expect("gateway drop must not panic");
+        match handle.wait() {
+            Ok(response) => assert!(response.success),
+            Err(RuntimeError::Shutdown) => {}
+            Err(other) => panic!("unexpected error from a shutdown race: {other:?}"),
+        }
+    }
+}
