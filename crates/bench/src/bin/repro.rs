@@ -17,6 +17,7 @@
 //!   bench-synth   synthesis engine: baseline vs pruned/parallel exhaustive search
 //!   bench-replan  slot re-planning: cold vs warm-start vs plan-cache
 //!   bench-throughput  gateway concurrency: N clients, admission control, worker pool
+//!   bench-fleet   sharded gateway fleet: consistent-hash routing, shared plan store
 //!   bench-scenarios   adversarial scenario pack: storms, flash crowds, churn + QoS gate
 //!   all           everything above
 //!
@@ -32,7 +33,8 @@
 //!   --seed N          RNG seed                             (default 2020)
 //!   --reports DIR     report directory                     (default reports)
 //!   --sweep           bench-throughput: 10^2..10^5 async-client sweep
-//!   --max-clients N   largest sweep point                  (default 100000)
+//!   --max-clients N   largest sweep point / fleet clients  (default 100000)
+//!   --shards N        bench-fleet: cap the shard sweep at [1, N]
 //!   --quick           small preset for smoke runs
 //! ```
 
@@ -53,6 +55,7 @@ struct Options {
     reports: PathBuf,
     sweep: bool,
     max_clients: usize,
+    shards: Option<usize>,
 }
 
 impl Default for Options {
@@ -70,6 +73,7 @@ impl Default for Options {
             reports: PathBuf::from("reports"),
             sweep: false,
             max_clients: 100_000,
+            shards: None,
         }
     }
 }
@@ -154,6 +158,13 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Options), String> {
                     .parse()
                     .map_err(|e| format!("--max-clients: {e}"))?
             }
+            "--shards" => {
+                options.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
             "--quick" => quick = true,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             experiment => experiments.push(experiment.to_string()),
@@ -225,6 +236,12 @@ fn run_experiment(name: &str, options: &Options) -> std::io::Result<bool> {
                 )?
             }
         }
+        "bench-fleet" => qce_bench::fleet::run(
+            reports,
+            std::path::Path::new("BENCH_fleet.json"),
+            options.max_clients,
+            options.shards,
+        )?,
         "bench-scenarios" => qce_bench::scenarios::run(
             reports,
             std::path::Path::new("BENCH_scenarios.json"),
@@ -235,7 +252,7 @@ fn run_experiment(name: &str, options: &Options) -> std::io::Result<bool> {
     Ok(true)
 }
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "table1",
     "table2",
     "fig5",
@@ -249,6 +266,7 @@ const ALL: [&str; 14] = [
     "bench-synth",
     "bench-replan",
     "bench-throughput",
+    "bench-fleet",
     "bench-scenarios",
 ];
 
@@ -259,7 +277,7 @@ fn main() -> ExitCode {
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!(
-                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|bench-replan|bench-throughput|bench-scenarios|all> [options]"
+                "usage: repro <table1|table2|fig5|estimation|fig6|fig7|table4|fig8|bench-synth|bench-replan|bench-throughput|bench-fleet|bench-scenarios|all> [options]"
             );
             return ExitCode::FAILURE;
         }
@@ -326,6 +344,25 @@ mod tests {
     }
 
     #[test]
+    fn parse_fleet_flags() {
+        let (experiments, options) = parse(&args(&[
+            "bench-fleet",
+            "--shards",
+            "4",
+            "--max-clients",
+            "1000",
+        ]))
+        .unwrap();
+        assert_eq!(experiments, vec!["bench-fleet".to_string()]);
+        assert_eq!(options.shards, Some(4));
+        assert_eq!(options.max_clients, 1000);
+        let (_, options) = parse(&args(&["bench-fleet"])).unwrap();
+        assert_eq!(options.shards, None, "full 1/8/32 sweep by default");
+        assert!(parse(&args(&["bench-fleet", "--shards", "x"])).is_err());
+        assert!(parse(&args(&["bench-fleet", "--shards"])).is_err());
+    }
+
+    #[test]
     fn parse_rejects_bad_input() {
         assert!(parse(&args(&[])).is_err());
         assert!(parse(&args(&["--services"])).is_err());
@@ -346,6 +383,6 @@ mod tests {
         for name in ALL {
             assert_ne!(name, "all");
         }
-        assert_eq!(ALL.len(), 14);
+        assert_eq!(ALL.len(), 15);
     }
 }

@@ -21,6 +21,7 @@
 //! | [`synth`] | synthesis-engine benchmark — baseline vs pruned/parallel search |
 //! | [`replan`] | slot re-planning benchmark — cold vs warm-start vs plan-cache |
 //! | [`throughput`] | gateway throughput — concurrent clients, admission control, worker pool |
+//! | [`fleet`] | sharded gateway fleet — consistent-hash routing + cross-shard plan economics |
 //! | [`scenarios`] | adversarial scenario pack — storms, flash crowds, churn + QoS-consistency gate |
 //!
 //! Reports are printed to the console and written as TSV under `reports/`.
@@ -41,6 +42,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod replan;
 pub mod report;
 pub mod scenarios;

@@ -538,7 +538,7 @@ fn sweep_point(clients: usize, expected: &OutcomeKey) -> io::Result<SweepPoint> 
 /// on the exit code — if any point sheds a request, diverges from the
 /// sequential baseline, fails to overlap the whole batch into one
 /// request's makespan, or exceeds the peak-resident-frame ceiling (see
-/// [`sweep_point`]).
+/// `sweep_point`).
 pub fn run_sweep(reports: &Path, json_out: &Path, max_clients: usize) -> io::Result<()> {
     let max_clients = max_clients.max(SWEEP_POINTS[0]);
     let points: Vec<usize> = SWEEP_POINTS

@@ -167,6 +167,7 @@ pub(crate) fn run_blocking(core: &EventCore<'_>, task: BlockingTask) {
         parent: task.parent,
         provider_index: task.provider_index,
         t0,
+        declared: None,
         result,
         orphan_slot: true,
     });
@@ -184,6 +185,14 @@ struct LeafEvent {
     parent: Option<(usize, usize)>,
     provider_index: usize,
     t0: Duration,
+    /// The latency the provider declared for a timed leaf. Blocking legs
+    /// (`None`) measure `now - t0` on the driver instead. Timed legs must
+    /// carry the declared value: their timer deadline is
+    /// `t0.saturating_add(latency)`, and once that clamps (a deadline at
+    /// the far end of `Duration`), `now - t0` under-reports by `t0` —
+    /// records, histograms, and the policy would see a latency the
+    /// provider never declared.
+    declared: Option<Duration>,
     result: LeafOutcome,
     /// Whether a reserved-but-unbound worker slot rides with this event
     /// (blocking legs only); the driver releases it after processing.
@@ -690,7 +699,12 @@ impl<'env> EventCore<'env> {
                 };
                 let provider = Arc::clone(&request.providers[event.provider_index]);
                 let now = clock.now();
-                let latency = now.saturating_sub(event.t0);
+                // Timed legs report the latency the provider declared; on
+                // an unclamped virtual clock `now - t0` equals it exactly,
+                // but a saturated deadline would silently shrink it by t0.
+                let latency = event
+                    .declared
+                    .unwrap_or_else(|| now.saturating_sub(event.t0));
                 let success = result.is_ok();
                 let outcome = InvocationOutcome {
                     provider_id: provider.id().to_string(),
@@ -762,6 +776,7 @@ impl<'env> EventCore<'env> {
                             parent,
                             provider_index,
                             t0,
+                            declared: Some(latency),
                             result: LeafOutcome::Completed(result),
                             orphan_slot: false,
                         }),

@@ -5,7 +5,7 @@
 //! Strategy walks no longer park one OS thread per running leg. Instead,
 //! every started `Seq`/`Par` node is a small heap frame and every leaf
 //! invocation is a completion event scheduled on the [`Clock`] (see
-//! [`event`] for the core). Two entry points share it:
+//! `engine/event.rs` for the core). Two entry points share it:
 //!
 //! * [`execute_scoped`] — borrows everything; the calling thread drives
 //!   the event loop, and the rare leaf that must really block (capacity

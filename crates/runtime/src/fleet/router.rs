@@ -1,0 +1,282 @@
+//! Consistent-hash service routing for a gateway fleet.
+//!
+//! Each shard contributes a configurable number of *virtual nodes* to a
+//! hash ring; a service id is owned by the shard whose first virtual node
+//! follows the id's hash clockwise. The placement is a pure function of
+//! the shard ids and the virtual-node count — no RNG, no insertion-order
+//! dependence — so two routers built from the same membership route
+//! identically (the replay-determinism property the fleet bench gates
+//! on), and adding or removing one of `N` shards moves only `~K/N` of `K`
+//! services.
+
+/// 64-bit FNV-1a with a murmur3 finalizer: tiny, dependency-free, and
+/// stable across platforms and releases — ring placement is part of the
+/// fleet's replay contract, so `std`'s randomized `DefaultHasher` is
+/// unusable here. The finalizer matters: raw FNV-1a leaves the high bits
+/// of similar short keys (`svc-0`, `svc-1`, …) clustered, which skews the
+/// ring badly; the avalanche pass spreads them uniformly.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^ (hash >> 33)
+}
+
+/// A consistent-hash ring mapping service ids to shard ids.
+///
+/// # Examples
+///
+/// ```
+/// use qce_runtime::fleet::ServiceRouter;
+///
+/// let mut router = ServiceRouter::new(64);
+/// router.add_shard(0);
+/// router.add_shard(1);
+/// let owner = router.route("read-temp").unwrap();
+/// assert_eq!(router.route("read-temp"), Some(owner), "routing is stable");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceRouter {
+    vnodes: usize,
+    /// `(ring point, shard id)`, sorted by point. Point collisions between
+    /// shards resolve to the smaller shard id (the sort's second key), so
+    /// even that corner is membership-deterministic.
+    ring: Vec<(u64, u32)>,
+    shards: Vec<u32>,
+}
+
+impl ServiceRouter {
+    /// Creates an empty ring where every shard contributes `vnodes`
+    /// virtual nodes (`0` is treated as `1`). More virtual nodes smooth
+    /// the load split between shards at the cost of a larger ring.
+    #[must_use]
+    pub fn new(vnodes: usize) -> Self {
+        ServiceRouter {
+            vnodes: vnodes.max(1),
+            ring: Vec::new(),
+            shards: Vec::new(),
+        }
+    }
+
+    /// The configured virtual nodes per shard.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+
+    /// Member shard ids, ascending.
+    #[must_use]
+    pub fn shards(&self) -> &[u32] {
+        &self.shards
+    }
+
+    /// Number of member shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `true` when no shard is a member.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Adds `shard` to the ring; returns `false` (and changes nothing) if
+    /// it is already a member. Only services whose arc the new shard's
+    /// virtual nodes split move to it — everything else keeps its owner.
+    pub fn add_shard(&mut self, shard: u32) -> bool {
+        if self.shards.contains(&shard) {
+            return false;
+        }
+        self.shards.push(shard);
+        self.shards.sort_unstable();
+        self.ring.extend(Self::points(shard, self.vnodes));
+        self.ring.sort_unstable();
+        true
+    }
+
+    /// Removes `shard` from the ring; returns `false` if it was not a
+    /// member. Its services redistribute to the shards owning the next
+    /// points clockwise; nothing else moves.
+    pub fn remove_shard(&mut self, shard: u32) -> bool {
+        if !self.shards.contains(&shard) {
+            return false;
+        }
+        self.shards.retain(|&s| s != shard);
+        self.ring.retain(|&(_, s)| s != shard);
+        true
+    }
+
+    /// The shard owning `service_id`, or `None` on an empty ring.
+    #[must_use]
+    pub fn route(&self, service_id: &str) -> Option<u32> {
+        if self.ring.is_empty() {
+            return None;
+        }
+        let point = fnv1a(service_id.as_bytes());
+        // First virtual node at or after the service's point, wrapping
+        // past the top of the ring to the first node.
+        let at = self.ring.partition_point(|&(p, _)| p < point);
+        let (_, shard) = self.ring[at % self.ring.len()];
+        Some(shard)
+    }
+
+    fn points(shard: u32, vnodes: usize) -> impl Iterator<Item = (u64, u32)> {
+        (0..vnodes).map(move |v| (fnv1a(format!("shard-{shard}#vnode-{v}").as_bytes()), shard))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("service-{i}")).collect()
+    }
+
+    fn assignment(router: &ServiceRouter, keys: &[String]) -> HashMap<String, u32> {
+        keys.iter()
+            .map(|k| (k.clone(), router.route(k).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        let router = ServiceRouter::new(16);
+        assert!(router.is_empty());
+        assert_eq!(router.route("svc"), None);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let mut router = ServiceRouter::new(16);
+        assert!(router.add_shard(7));
+        assert!(!router.add_shard(7), "re-adding is a no-op");
+        for key in keys(100) {
+            assert_eq!(router.route(&key), Some(7));
+        }
+    }
+
+    #[test]
+    fn removing_the_last_shard_empties_the_ring() {
+        let mut router = ServiceRouter::new(16);
+        router.add_shard(0);
+        assert!(router.remove_shard(0));
+        assert!(!router.remove_shard(0));
+        assert_eq!(router.route("svc"), None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Two routers built from the same membership — in any insertion
+        /// order — route every key identically: placement is a pure
+        /// function of membership.
+        #[test]
+        fn routing_is_membership_deterministic(
+            mask in 1u32..65536,
+            seed in any::<u64>(),
+        ) {
+            // Membership derived from the mask's set bits: 1–16 distinct
+            // shard ids, already ascending.
+            let shards: Vec<u32> = (0..16).filter(|b| mask & (1 << b) != 0).collect();
+            let mut forward = ServiceRouter::new(32);
+            for &s in &shards {
+                forward.add_shard(s);
+            }
+            let mut scrambled = ServiceRouter::new(32);
+            let mut order = shards.clone();
+            // Deterministic scramble: rotate by the seed.
+            let pivot = (seed as usize) % order.len();
+            order.rotate_left(pivot);
+            for &s in order.iter().rev() {
+                scrambled.add_shard(s);
+            }
+            for key in keys(200) {
+                prop_assert_eq!(forward.route(&key), scrambled.route(&key));
+            }
+        }
+
+        /// Adding a shard to an `N`-shard ring moves roughly `K/(N+1)` of
+        /// `K` keys — and every moved key moves *to* the new shard.
+        #[test]
+        fn join_moves_about_one_nth_and_only_to_the_joiner(n in 1usize..9) {
+            let keys = keys(2000);
+            let mut router = ServiceRouter::new(64);
+            for s in 0..n as u32 {
+                router.add_shard(s);
+            }
+            let before = assignment(&router, &keys);
+            let joiner = n as u32;
+            router.add_shard(joiner);
+            let after = assignment(&router, &keys);
+
+            let mut moved = 0usize;
+            for key in &keys {
+                if before[key] != after[key] {
+                    prop_assert_eq!(
+                        after[key], joiner,
+                        "a key moved between old shards on join"
+                    );
+                    moved += 1;
+                }
+            }
+            let expected = keys.len() / (n + 1);
+            // Virtual-node placement is statistical; allow a wide band
+            // around K/(N+1) while still ruling out "all keys moved"
+            // (naive mod-N hashing) and "no keys moved".
+            prop_assert!(
+                moved > expected / 4 && moved < expected * 3,
+                "moved {} of {}, expected ~{}",
+                moved, keys.len(), expected
+            );
+        }
+
+        /// Removing a shard strands only its own keys: survivors' keys
+        /// keep their owner.
+        #[test]
+        fn leave_moves_only_the_leavers_keys(n in 2usize..9, leaver in 0u32..9) {
+            let leaver = leaver % n as u32;
+            let keys = keys(2000);
+            let mut router = ServiceRouter::new(64);
+            for s in 0..n as u32 {
+                router.add_shard(s);
+            }
+            let before = assignment(&router, &keys);
+            router.remove_shard(leaver);
+            let after = assignment(&router, &keys);
+            for key in &keys {
+                if before[key] == leaver {
+                    prop_assert!(after[key] != leaver, "a key stayed on the evicted shard");
+                } else {
+                    prop_assert_eq!(before[key], after[key], "a surviving key moved");
+                }
+            }
+        }
+
+        /// A shard that leaves and rejoins restores the original routing
+        /// exactly — membership, not history, decides placement.
+        #[test]
+        fn leave_then_rejoin_restores_routing(n in 2usize..7, who in 0u32..7) {
+            let who = who % n as u32;
+            let keys = keys(500);
+            let mut router = ServiceRouter::new(32);
+            for s in 0..n as u32 {
+                router.add_shard(s);
+            }
+            let before = assignment(&router, &keys);
+            router.remove_shard(who);
+            router.add_shard(who);
+            prop_assert_eq!(before, assignment(&router, &keys));
+        }
+    }
+}

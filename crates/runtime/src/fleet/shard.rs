@@ -1,0 +1,72 @@
+//! One gateway shard of a [`GatewayFleet`](super::GatewayFleet).
+
+use std::sync::Arc;
+
+use crate::engine::EngineStats;
+use crate::gateway::Gateway;
+use crate::market::{MarketCacheStats, TtlMarket};
+
+/// A fleet member: one [`Gateway`] plus the TTL script-cache front it
+/// reads the shared market through. Obtained from
+/// [`GatewayFleet::shard`](super::GatewayFleet::shard); hold it to reach
+/// the shard's registry, telemetry, or control plane directly.
+#[derive(Debug)]
+pub struct GatewayShard {
+    pub(super) id: u32,
+    pub(super) gateway: Arc<Gateway>,
+    pub(super) market: Arc<TtlMarket>,
+}
+
+/// Counter snapshot of one shard, from [`GatewayShard::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShardStats {
+    /// The shard's fleet-assigned id.
+    pub id: u32,
+    /// Requests currently in flight on the shard's event core.
+    pub in_flight: usize,
+    /// Live continuation frames on the shard's event core.
+    pub frames_live: usize,
+    /// The shard's script-cache counters.
+    pub market: MarketCacheStats,
+}
+
+impl GatewayShard {
+    /// The shard's fleet-assigned id (stable across membership changes —
+    /// ids are never reused while the fleet lives).
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The shard's gateway.
+    #[must_use]
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// The shard's TTL script-cache front over the fleet's shared market.
+    #[must_use]
+    pub fn market(&self) -> &Arc<TtlMarket> {
+        &self.market
+    }
+
+    /// Engine occupancy of the shard's event core.
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        self.gateway.engine_stats()
+    }
+
+    /// Counter snapshot of the shard: engine occupancy plus script-cache
+    /// hit economics.
+    #[must_use]
+    pub fn stats(&self) -> ShardStats {
+        let engine = self.gateway.engine_stats();
+        ShardStats {
+            id: self.id,
+            in_flight: engine.in_flight,
+            frames_live: engine.frames_live,
+            market: self.market.cache_stats(),
+        }
+    }
+}

@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
-use qce_strategy::{Attribute, Qos, Requirements, Strategy};
+use qce_strategy::{Attribute, PlanCacheHub, Qos, Requirements, Strategy};
 
 use crate::clock::{Clock, WallClock, WorkerGuard};
 use crate::collector::Collector;
@@ -717,6 +717,20 @@ struct ServiceOverrides {
     requirement: Option<Requirements>,
 }
 
+impl ServiceOverrides {
+    /// The requirement slot planning must satisfy under these overrides:
+    /// the explicit requirement override, else the overridden class's
+    /// default requirement derived from the script's, else the script's
+    /// own. Mirrors the per-request resolution order (explicit request
+    /// fields excluded — plans are per-service, not per-request).
+    fn planning_requirement(&self, base: &Requirements) -> Requirements {
+        self.requirement.unwrap_or_else(|| {
+            self.class
+                .map_or(*base, |class| class.default_requirement(base))
+        })
+    }
+}
+
 /// One service's entry in the gateway: its state cell (`None` until the
 /// script has been fetched and validated), its admission gate, its live
 /// control-plane overrides, and the eviction flag chained into every
@@ -776,6 +790,13 @@ pub struct Gateway {
     /// Event-loop threads, spawned lazily on the first `submit_async`,
     /// joined on drop.
     loops: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// When set (by [`Gateway::set_plan_hub`]), this gateway's one view
+    /// of the fleet-shared plan store. Every service planner memoizes
+    /// into it instead of a private cache, so plans synthesized by other
+    /// gateways in the same fleet are served warm here — and because the
+    /// whole gateway shares one view, only genuinely cross-gateway reuse
+    /// is attributed as *remote*.
+    plan_view: RwLock<Option<Arc<qce_strategy::PlanCache>>>,
 }
 
 impl std::fmt::Debug for Gateway {
@@ -834,7 +855,23 @@ impl Gateway {
             core,
             spawn,
             loops: Mutex::new(Vec::new()),
+            plan_view: RwLock::new(None),
         }
+    }
+
+    /// Plugs this gateway into a fleet-shared plan-cache hub: services
+    /// initialised *after* this call plan through this gateway's one
+    /// [view](PlanCacheHub::view) of the hub's store (when
+    /// [`GatewayConfig::plan_cache`] is enabled), so a plan synthesized on
+    /// any sharing gateway is a warm hit here — attributed as a *remote*
+    /// hit in telemetry. Call before the first request; already-planned
+    /// services keep their private caches.
+    ///
+    /// Invalidation stays view-scoped: a live override on one service
+    /// drops every entry this *gateway* stored (conservative — siblings
+    /// re-synthesize on their next slot), never other gateways' entries.
+    pub fn set_plan_hub(&self, hub: Arc<PlanCacheHub>) {
+        *self.plan_view.write() = Some(hub.view());
     }
 
     /// The device registry (devices register their microservices here).
@@ -1359,7 +1396,19 @@ impl Gateway {
                 .record_market_fetch(self.clock.now().saturating_sub(t0), fetched.is_ok());
             let initialised = fetched.and_then(|script| {
                 script.validate()?;
-                let planner = Planner::new(&script, &self.config.synthesis_settings())?;
+                let settings = self.config.synthesis_settings();
+                // A fleet-shared view replaces the private per-service
+                // cache (the local `plan_cache` knob still gates caching
+                // as a whole).
+                let view = self
+                    .config
+                    .plan_cache
+                    .then(|| self.plan_view.read().clone())
+                    .flatten();
+                let planner = match view {
+                    Some(view) => Planner::with_cache(&script, &settings, view)?,
+                    None => Planner::new(&script, &settings)?,
+                };
                 Ok((script, planner))
             });
             match initialised {
@@ -1392,7 +1441,15 @@ impl Gateway {
                 // invocation retries planning instead.
                 state.active = None;
             }
-            let active = match self.plan(state) {
+            // Plan against the *effective* requirement: a live
+            // `set_requirement`/`set_class` override changes what the
+            // operator demands, and the synthesized strategy (and its
+            // plan-cache key) must track it — not the deployed script.
+            let requirement = entry
+                .overrides
+                .lock()
+                .planning_requirement(&state.script.requirements);
+            let active = match self.plan(state, &requirement) {
                 Ok(active) => active,
                 Err(error) => {
                     self.telemetry
@@ -1527,7 +1584,11 @@ impl Gateway {
 
     /// Plans the current slot for `state`: resolve providers, then generate
     /// (or default) the strategy.
-    fn plan(&self, state: &ServiceState) -> Result<ActivePlan, RuntimeError> {
+    fn plan(
+        &self,
+        state: &ServiceState,
+        requirement: &Requirements,
+    ) -> Result<ActivePlan, RuntimeError> {
         let utility = qce_strategy::UtilityIndex::new(state.script.penalty_k).map_err(|e| {
             RuntimeError::InvalidScript {
                 reason: e.to_string(),
@@ -1547,7 +1608,7 @@ impl Gateway {
                 &spec.prior,
                 &self.collector,
                 utility,
-                &state.script.requirements,
+                requirement,
             ) {
                 Ok(provider) => {
                     specs.push(spec.clone());
@@ -1575,8 +1636,9 @@ impl Gateway {
             &reduced_script
         };
 
-        let plan = state.planner.plan_slot(
+        let plan = state.planner.plan_slot_for(
             script,
+            requirement,
             &providers,
             &self.collector,
             state.slot,
@@ -1602,6 +1664,23 @@ impl Gateway {
                 state.slot += 1;
                 state.invocations_in_slot = 0;
                 state.active = None;
+            }
+        }
+    }
+
+    /// Drops `service_id`'s cached and warm-started plans after a
+    /// requirement-affecting override. The memoized winners (and the
+    /// incumbent pruning bars) were synthesized for the *pre-override*
+    /// requirement; without this, the next slot boundary could serve one
+    /// of them and quietly plan against a requirement the operator just
+    /// replaced. The active slot keeps serving (overrides never re-plan
+    /// mid-slot); the next boundary runs a truly cold search.
+    fn invalidate_override_plans(&self, service_id: &str, entry: &ServiceEntry) {
+        let guard = entry.cell.lock();
+        if let Some(state) = guard.as_ref() {
+            state.planner.invalidate_plans();
+            if let Some(stats) = state.planner.cache_stats() {
+                self.telemetry.record_plan_cache(service_id, &stats);
             }
         }
     }
@@ -1913,10 +1992,14 @@ pub struct GatewayControl<'a> {
 
 impl GatewayControl<'_> {
     /// Overrides the traffic class of `service_id` for every subsequent
-    /// request that does not set one explicitly.
+    /// request that does not set one explicitly. The class default
+    /// requirement changes what planning must satisfy, so the service's
+    /// cached/warm-started plans are invalidated: the next slot boundary
+    /// re-plans cold for the new class.
     pub fn set_class(&self, service_id: &str, class: QosClass) {
         let entry = self.gateway.service_entry(service_id);
         entry.overrides.lock().class = Some(class);
+        self.gateway.invalidate_override_plans(service_id, &entry);
         self.gateway
             .telemetry
             .record_override(service_id, "class", &class.to_string());
@@ -1936,10 +2019,14 @@ impl GatewayControl<'_> {
 
     /// Overrides the QoS requirement requests of `service_id` are judged
     /// against (the response advisory reports violations of this
-    /// requirement instead of the script's).
+    /// requirement instead of the script's) — and that slot planning must
+    /// satisfy from the next boundary on. Plans cached or warm-started
+    /// under the old requirement are invalidated so the next re-plan runs
+    /// cold against the new one.
     pub fn set_requirement(&self, service_id: &str, requirement: Requirements) {
         let entry = self.gateway.service_entry(service_id);
         entry.overrides.lock().requirement = Some(requirement);
+        self.gateway.invalidate_override_plans(service_id, &entry);
         self.gateway
             .telemetry
             .record_override(service_id, "requirement", &requirement.to_string());
@@ -2945,6 +3032,113 @@ mod tests {
         let svc = snapshot.service("svc").unwrap();
         assert_eq!(svc.replans, replans_before, "no re-plan happened");
         assert_eq!(svc.overrides, 1);
+    }
+
+    /// Headline regression test (stale plan on live override): a
+    /// requirement override mid-slot must invalidate the plans cached or
+    /// warm-started under the old requirement — the next slot boundary
+    /// must re-plan **cold** against the new requirement, not serve the
+    /// pre-override winner. Pre-fix, the boundary re-planned with the
+    /// script requirement (same cache key, nothing invalidated) and served
+    /// the stale cached plan: `source` came back `Cached` and the response
+    /// ran the old strategy, violating the overridden requirement.
+    #[test]
+    fn requirement_override_invalidates_plans_and_replans_cold() {
+        use crate::clock::VirtualClock;
+        use crate::telemetry::EventKind;
+        use qce_strategy::PlanSource;
+
+        let mut script = ServiceScript::new(
+            "svc",
+            vec![
+                MsSpec {
+                    name: "mCheap".into(),
+                    capability: "cap-cheap".into(),
+                    prior: Qos::new(10.0, 10.0, 0.9).unwrap(),
+                },
+                MsSpec {
+                    name: "mFast".into(),
+                    capability: "cap-fast".into(),
+                    prior: Qos::new(200.0, 2.0, 0.9).unwrap(),
+                },
+            ],
+            // Lenient: only the cheap microservice fits the cost budget.
+            Requirements::new(50.0, 1000.0, 0.5).unwrap(),
+        );
+        script.slot_size = 1000; // boundaries driven by end_slot() only
+
+        let clock = Arc::new(VirtualClock::new());
+        let config = GatewayConfig::builder()
+            .generator_warm_start(true)
+            .plan_cache(true)
+            .build();
+        let gateway = Gateway::with_clock(
+            market_with(script),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        for (id, cap, cost, ms) in [
+            ("dev/cheap", "cap-cheap", 10.0, 10u64),
+            ("dev/fast", "cap-fast", 200.0, 2),
+        ] {
+            gateway.registry().register(
+                SimulatedProvider::builder(id, cap)
+                    .cost(cost)
+                    .latency(Duration::from_millis(ms))
+                    .reliability(1.0)
+                    .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                    .build(),
+            );
+        }
+
+        // Slot 0 (default parallel) seeds observations for both providers;
+        // slot 1 is the first real search under the lenient requirement.
+        gateway.submit(Request::new("svc")).unwrap();
+        gateway.end_slot("svc");
+        let lenient = gateway.submit(Request::new("svc")).unwrap();
+        assert_eq!(lenient.slot, 1);
+        assert!(lenient.advisory.is_none());
+        assert_eq!(
+            lenient.latency,
+            Duration::from_millis(10),
+            "under the lenient requirement the cheap (slow) leg wins"
+        );
+
+        // Mid-slot override: the operator now demands 5 ms end-to-end and
+        // tolerates the expensive provider. Then cross a slot boundary.
+        let strict = Requirements::new(500.0, 5.0, 0.5).unwrap();
+        gateway.control().set_requirement("svc", strict);
+        gateway.end_slot("svc");
+        let judged = gateway.submit(Request::new("svc")).unwrap();
+        assert_eq!(judged.slot, 2);
+        assert!(
+            judged.advisory.is_none(),
+            "the new plan must satisfy the overridden requirement, got {:?}",
+            judged.advisory
+        );
+        assert_eq!(
+            judged.latency,
+            Duration::from_millis(2),
+            "the re-plan must switch to the fast leg"
+        );
+
+        // And the re-plan must be truly cold: the cached winner and the
+        // warm-start incumbent were both won under the old requirement.
+        let snapshot = gateway.telemetry().snapshot();
+        let slot2_source = snapshot
+            .recent_events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::SlotReplanned {
+                    slot: 2, source, ..
+                } => Some(*source),
+                _ => None,
+            })
+            .next_back()
+            .expect("slot 2 re-planned");
+        assert_eq!(slot2_source, Some(PlanSource::Cold));
+        let svc = snapshot.service("svc").unwrap();
+        assert!(svc.plan_cache_stale >= 1, "old-requirement plans dropped");
     }
 
     #[test]

@@ -164,16 +164,43 @@ impl Planner {
     /// Returns [`RuntimeError::InvalidScript`] if the script's utility
     /// penalty is invalid.
     pub fn new(script: &ServiceScript, settings: &SynthesisSettings) -> Result<Self, RuntimeError> {
-        let utility =
-            UtilityIndex::new(script.penalty_k).map_err(|e| RuntimeError::InvalidScript {
-                reason: e.to_string(),
-            })?;
         let cache = settings.plan_cache.then(|| {
             Arc::new(PlanCache::new(PlanCacheConfig {
                 capacity: settings.plan_cache_capacity,
                 quantum: settings.plan_quantize,
             }))
         });
+        Planner::build(script, settings, cache)
+    }
+
+    /// Builds the planner for `script` under `settings`, memoizing plans in
+    /// the provided (possibly [shared](PlanCache::share)) cache instead of
+    /// a private one. This is how a gateway fleet lets a plan synthesized
+    /// on one shard be served warm on another: every shard's planner holds
+    /// a view of the same store, and `settings.plan_cache`,
+    /// `plan_cache_capacity`, and `plan_quantize` are ignored in favor of
+    /// the cache's own configuration.
+    ///
+    /// # Errors
+    ///
+    /// As [`Planner::new`].
+    pub fn with_cache(
+        script: &ServiceScript,
+        settings: &SynthesisSettings,
+        cache: Arc<PlanCache>,
+    ) -> Result<Self, RuntimeError> {
+        Planner::build(script, settings, Some(cache))
+    }
+
+    fn build(
+        script: &ServiceScript,
+        settings: &SynthesisSettings,
+        cache: Option<Arc<PlanCache>>,
+    ) -> Result<Self, RuntimeError> {
+        let utility =
+            UtilityIndex::new(script.penalty_k).map_err(|e| RuntimeError::InvalidScript {
+                reason: e.to_string(),
+            })?;
         let mut builder = Generator::builder()
             .utility(utility)
             .threshold(settings.threshold)
@@ -198,8 +225,25 @@ impl Planner {
     /// Drops every cached plan (call when the service script is evicted or
     /// replaced — the cached winners were computed for the old script).
     /// Returns how many entries were dropped; `0` with no cache.
+    ///
+    /// Warm-start incumbents survive: the next search still prunes from
+    /// the remembered winner's bar. Use [`Planner::invalidate_plans`] when
+    /// even that seed must go.
     pub fn invalidate(&self) -> usize {
         self.cache.as_ref().map_or(0, |cache| cache.invalidate())
+    }
+
+    /// Drops every cached plan **and** every warm-start incumbent, so the
+    /// next re-plan runs truly cold ([`PlanSource::Cold`]). The runtime
+    /// calls this when a live override changes the effective planning
+    /// requirement mid-slot: both the cached winners and the incumbent
+    /// pruning bars were won under the old requirement, and neither may
+    /// shape the first plan for the new one. Returns how many cache
+    /// entries were dropped; `0` with no cache.
+    pub fn invalidate_plans(&self) -> usize {
+        let dropped = self.invalidate();
+        self.generator.clear_incumbents();
+        dropped
     }
 
     /// Plans the strategy for a time slot (see [`plan_slot`]).
@@ -215,9 +259,38 @@ impl Planner {
         slot: u64,
         telemetry: Option<&Telemetry>,
     ) -> Result<SlotPlan, RuntimeError> {
+        self.plan_slot_for(
+            script,
+            &script.requirements,
+            providers,
+            collector,
+            slot,
+            telemetry,
+        )
+    }
+
+    /// Plans the strategy for a time slot against an explicit *effective*
+    /// requirement instead of the script's own. The gateway resolves live
+    /// per-service overrides (`qce ctl set-requirement` / `set-class`) into
+    /// this value, so the synthesized plan — and the plan-cache key — track
+    /// what the operator currently demands, not what the script was
+    /// deployed with.
+    ///
+    /// # Errors
+    ///
+    /// As [`plan_slot`].
+    pub fn plan_slot_for(
+        &self,
+        script: &ServiceScript,
+        requirements: &Requirements,
+        providers: &[Arc<dyn Provider>],
+        collector: &Collector,
+        slot: u64,
+        telemetry: Option<&Telemetry>,
+    ) -> Result<SlotPlan, RuntimeError> {
         let env = assumed_env(script, providers, collector);
         let ids = env.ids();
-        let requirements: Requirements = script.requirements;
+        let requirements: Requirements = *requirements;
 
         if slot == 0 {
             let strategy = match script.parsed_default_strategy()? {
@@ -623,6 +696,58 @@ mod tests {
             .unwrap();
         assert_eq!(third.source, Some(PlanSource::WarmStart));
         assert_eq!(third.strategy, first.strategy);
+    }
+
+    #[test]
+    fn invalidate_plans_forces_a_truly_cold_replan() {
+        use qce_strategy::PlanSource;
+        let collector = Collector::new(10);
+        let settings = SynthesisSettings {
+            plan_cache: true,
+            warm_start: true,
+            ..SynthesisSettings::default()
+        };
+        let planner = Planner::new(&script(), &settings).unwrap();
+        let first = planner
+            .plan_slot(&script(), &providers(), &collector, 1, None)
+            .unwrap();
+        assert_eq!(first.source, Some(PlanSource::Cold));
+        // Unlike plain `invalidate` (which leaves the warm-start incumbent
+        // seeded — see `persistent_planner_caches_and_warm_starts`),
+        // `invalidate_plans` drops the incumbents too.
+        assert_eq!(planner.invalidate_plans(), 1);
+        let second = planner
+            .plan_slot(&script(), &providers(), &collector, 2, None)
+            .unwrap();
+        assert_eq!(second.source, Some(PlanSource::Cold));
+    }
+
+    #[test]
+    fn plan_slot_for_keys_the_cache_by_effective_requirement() {
+        use qce_strategy::PlanSource;
+        let collector = Collector::new(10);
+        let settings = SynthesisSettings {
+            plan_cache: true,
+            ..SynthesisSettings::default()
+        };
+        let planner = Planner::new(&script(), &settings).unwrap();
+        let base = planner
+            .plan_slot(&script(), &providers(), &collector, 1, None)
+            .unwrap();
+        assert_eq!(base.source, Some(PlanSource::Cold));
+        // A different effective requirement is a different search identity:
+        // it must not be served the script-requirement plan.
+        let strict = qce_strategy::Requirements::new(1000.0, 1000.0, 0.999).unwrap();
+        let overridden = planner
+            .plan_slot_for(&script(), &strict, &providers(), &collector, 2, None)
+            .unwrap();
+        assert_eq!(overridden.source, Some(PlanSource::Cold));
+        // Re-planning under the same effective requirement hits.
+        let again = planner
+            .plan_slot_for(&script(), &strict, &providers(), &collector, 3, None)
+            .unwrap();
+        assert_eq!(again.source, Some(PlanSource::Cached));
+        assert_eq!(again.strategy, overridden.strategy);
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub mod device;
 pub mod engine;
 pub mod executor;
 pub mod fault;
+pub mod fleet;
 pub mod gateway;
 pub mod generator;
 pub mod harness;
@@ -111,13 +112,14 @@ pub use executor::{
     execute_strategy, execute_strategy_instrumented, execute_strategy_with_clock, ServiceOutcome,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultProfile, FaultyProvider};
+pub use fleet::{FleetConfig, FleetStats, GatewayFleet, GatewayShard, ServiceRouter, ShardStats};
 pub use gateway::{
     Gateway, GatewayConfig, GatewayConfigBuilder, GatewayControl, QosAdvisory, RequestHandle,
     ServiceResponse, SlotRecord,
 };
 pub use generator::{assumed_env, plan_slot, Planner, SlotPlan, StrategyOrigin, SynthesisSettings};
 pub use harness::{Harness, HarnessBuilder};
-pub use market::{CachingMarket, FileMarket, InMemoryMarket, Market};
+pub use market::{CachingMarket, FileMarket, InMemoryMarket, Market, MarketCacheStats, TtlMarket};
 pub use message::{Invocation, InvocationOutcome, InvokeError, RuntimeError};
 pub use pipeline::{invoke_pipeline, PipelineResponse};
 pub use qce_strategy::SynthesisReport;

@@ -39,6 +39,21 @@ impl std::fmt::Debug for dyn Market {
     }
 }
 
+/// A shared market handle is itself a market — this is what lets one
+/// cloud-backed market sit behind many gateway shards (each shard's
+/// [`TtlMarket`] keeps an `Arc` to the common backend), and what lets a
+/// fleet hand each [`Gateway`](crate::Gateway) a `Box<dyn Market>` view of
+/// a [`TtlMarket`] it still holds for stats.
+impl<M: Market + ?Sized> Market for Arc<M> {
+    fn fetch(&self, service_id: &str) -> Result<ServiceScript, RuntimeError> {
+        (**self).fetch(service_id)
+    }
+
+    fn service_ids(&self) -> Vec<String> {
+        (**self).service_ids()
+    }
+}
+
 /// An in-memory market, optionally with an artificial fetch latency to
 /// emulate the cloud round-trip.
 ///
@@ -288,6 +303,151 @@ impl<M: Market> Market for CachingMarket<M> {
     }
 }
 
+/// Counter snapshot of a [`TtlMarket`]'s script cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MarketCacheStats {
+    /// Fetches served from a fresh local copy (no cloud round-trip).
+    pub hits: u64,
+    /// Fetches for scripts the cache had never seen (went to the backend).
+    pub misses: u64,
+    /// Fetches that found a local copy *older than the TTL* and re-fetched
+    /// it from the backend (disjoint from both `hits` and `misses`).
+    pub expired: u64,
+}
+
+/// A read-through script cache with time-to-live invalidation over a
+/// *shared* backing market — the per-shard market front of a gateway
+/// fleet.
+///
+/// Unlike [`CachingMarket`], which caches forever and owns its backend,
+/// `TtlMarket` (a) holds the backend by `Arc`, so N shards can front the
+/// same cloud market with independent caches, and (b) stamps every cached
+/// script with the fetch instant on a [`Clock`]: a copy older than the TTL
+/// is re-fetched, so market-side script updates propagate to every shard
+/// within one TTL without any invalidation broadcast. A zero TTL never
+/// expires (equivalent to [`CachingMarket`] over a shared backend).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use qce_runtime::{InMemoryMarket, Market, MsSpec, ServiceScript, TtlMarket, VirtualClock};
+/// use qce_strategy::{Qos, Requirements};
+///
+/// let clock = Arc::new(VirtualClock::new());
+/// let backend: Arc<dyn Market> = Arc::new({
+///     let m = InMemoryMarket::new();
+///     m.publish(ServiceScript::new(
+///         "svc",
+///         vec![MsSpec {
+///             name: "m".into(),
+///             capability: "cap".into(),
+///             prior: Qos::new(1.0, 1.0, 0.9)?,
+///         }],
+///         Requirements::new(10.0, 10.0, 0.5)?,
+///     ))?;
+///     m
+/// });
+/// let front = TtlMarket::new(
+///     Arc::clone(&backend),
+///     Duration::from_secs(60),
+///     clock.clone() as Arc<dyn qce_runtime::Clock>,
+/// );
+/// front.fetch("svc")?; // miss: goes to the backend
+/// front.fetch("svc")?; // hit: served locally
+/// clock.advance(Duration::from_secs(61));
+/// front.fetch("svc")?; // expired: re-fetched from the backend
+/// assert_eq!(front.cache_stats().hits, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct TtlMarket {
+    backend: Arc<dyn Market>,
+    ttl: Duration,
+    clock: Arc<dyn Clock>,
+    cache: RwLock<HashMap<String, (Duration, ServiceScript)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl TtlMarket {
+    /// Fronts `backend` with an empty cache whose entries stay fresh for
+    /// `ttl` on `clock` (`Duration::ZERO` = never expire).
+    #[must_use]
+    pub fn new(backend: Arc<dyn Market>, ttl: Duration, clock: Arc<dyn Clock>) -> Self {
+        TtlMarket {
+            backend,
+            ttl,
+            clock,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured time-to-live.
+    #[must_use]
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Counter snapshot: hits, misses, and TTL expiries so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> MarketCacheStats {
+        MarketCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops every cached script immediately, regardless of age.
+    pub fn invalidate(&self) {
+        self.cache.write().clear();
+    }
+
+    fn fresh(&self, stamp: Duration, now: Duration) -> bool {
+        self.ttl.is_zero() || now.saturating_sub(stamp) < self.ttl
+    }
+}
+
+impl Market for TtlMarket {
+    fn fetch(&self, service_id: &str) -> Result<ServiceScript, RuntimeError> {
+        let now = self.clock.now();
+        let had_stale = {
+            let cache = self.cache.read();
+            match cache.get(service_id) {
+                Some((stamp, script)) if self.fresh(*stamp, now) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(script.clone());
+                }
+                Some(_) => true,
+                None => false,
+            }
+        };
+        if had_stale {
+            self.expired.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let script = self.backend.fetch(service_id)?;
+        // Stamp with the post-fetch instant: the backend round-trip may
+        // have advanced the clock, and freshness is measured from when the
+        // copy was *obtained*.
+        self.cache
+            .write()
+            .insert(service_id.to_string(), (self.clock.now(), script.clone()));
+        Ok(script)
+    }
+
+    fn service_ids(&self) -> Vec<String> {
+        self.backend.service_ids()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +556,118 @@ mod tests {
         assert!(caching.fetch("nope").is_err());
         assert!(caching.fetch("nope").is_err());
         assert_eq!(caching.cache_stats(), (0, 2));
+    }
+
+    #[test]
+    fn ttl_market_hits_until_expiry_then_refetches() {
+        let clock = Arc::new(crate::clock::VirtualClock::new());
+        let inner = InMemoryMarket::new();
+        inner.publish(script("a")).unwrap();
+        let backend: Arc<dyn Market> = Arc::new(inner);
+        let front = TtlMarket::new(
+            Arc::clone(&backend),
+            Duration::from_secs(30),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        front.fetch("a").unwrap();
+        front.fetch("a").unwrap();
+        front.fetch("a").unwrap();
+        assert_eq!(
+            front.cache_stats(),
+            MarketCacheStats {
+                hits: 2,
+                misses: 1,
+                expired: 0
+            }
+        );
+        clock.advance(Duration::from_secs(29));
+        front.fetch("a").unwrap();
+        clock.advance(Duration::from_secs(1));
+        front.fetch("a").unwrap();
+        assert_eq!(
+            front.cache_stats(),
+            MarketCacheStats {
+                hits: 3,
+                misses: 1,
+                expired: 1
+            },
+            "a copy exactly TTL old is stale"
+        );
+    }
+
+    #[test]
+    fn ttl_market_zero_ttl_never_expires_and_invalidate_clears() {
+        let clock = Arc::new(crate::clock::VirtualClock::new());
+        let inner = InMemoryMarket::new();
+        inner.publish(script("a")).unwrap();
+        let backend: Arc<dyn Market> = Arc::new(inner);
+        let front = TtlMarket::new(
+            Arc::clone(&backend),
+            Duration::ZERO,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        front.fetch("a").unwrap();
+        clock.advance(Duration::from_secs(3600));
+        front.fetch("a").unwrap();
+        assert_eq!(front.cache_stats().hits, 1);
+        front.invalidate();
+        front.fetch("a").unwrap();
+        assert_eq!(front.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn ttl_market_shards_front_one_backend_independently() {
+        let clock = Arc::new(crate::clock::VirtualClock::new());
+        let inner = InMemoryMarket::new();
+        inner.publish(script("a")).unwrap();
+        let backend: Arc<dyn Market> = Arc::new(inner);
+        let shard0 = TtlMarket::new(
+            Arc::clone(&backend),
+            Duration::from_secs(30),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let shard1 = TtlMarket::new(
+            Arc::clone(&backend),
+            Duration::from_secs(30),
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        shard0.fetch("a").unwrap();
+        shard0.fetch("a").unwrap();
+        shard1.fetch("a").unwrap();
+        assert_eq!(shard0.cache_stats().hits, 1);
+        assert_eq!(
+            shard1.cache_stats(),
+            MarketCacheStats {
+                hits: 0,
+                misses: 1,
+                expired: 0
+            },
+            "shard caches are independent"
+        );
+    }
+
+    #[test]
+    fn ttl_market_propagates_unknown_service_without_caching() {
+        let clock = Arc::new(crate::clock::VirtualClock::new());
+        let backend: Arc<dyn Market> = Arc::new(InMemoryMarket::new());
+        let front = TtlMarket::new(
+            backend,
+            Duration::ZERO,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        assert!(front.fetch("nope").is_err());
+        assert!(front.fetch("nope").is_err());
+        assert_eq!(front.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn arc_market_is_a_market() {
+        let inner = InMemoryMarket::new();
+        inner.publish(script("a")).unwrap();
+        let shared: Arc<dyn Market> = Arc::new(inner);
+        let boxed: Box<dyn Market> = Box::new(Arc::clone(&shared));
+        assert_eq!(boxed.fetch("a").unwrap().service_id, "a");
+        assert_eq!(boxed.service_ids(), vec!["a".to_string()]);
     }
 
     #[test]

@@ -170,6 +170,7 @@ struct ServiceMetrics {
     /// Plan-cache gauges: absolute values of the service planner's
     /// [`PlanCacheStats`], stored (not accumulated) on every re-plan.
     plan_cache_hits: AtomicU64,
+    plan_cache_remote_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
     plan_cache_stale: AtomicU64,
     strategy_switches: AtomicU64,
@@ -207,6 +208,7 @@ impl ServiceMetrics {
             plans_warm_start: AtomicU64::new(0),
             plans_cached: AtomicU64::new(0),
             plan_cache_hits: AtomicU64::new(0),
+            plan_cache_remote_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
             plan_cache_stale: AtomicU64::new(0),
             strategy_switches: AtomicU64::new(0),
@@ -500,6 +502,11 @@ pub struct ServiceSnapshot {
     /// cache, captured at the last re-plan).
     #[serde(default)]
     pub plan_cache_hits: u64,
+    /// Plan-cache hits served from an entry another sharing view stored —
+    /// e.g. a plan synthesized on a different gateway shard (absolute
+    /// gauge; subset of `plan_cache_hits`).
+    #[serde(default)]
+    pub plan_cache_remote_hits: u64,
     /// Plan-cache lookups that missed (absolute gauge).
     #[serde(default)]
     pub plan_cache_misses: u64,
@@ -939,6 +946,9 @@ impl Telemetry {
         let metrics = self.service(service);
         metrics.plan_cache_hits.store(stats.hits, Ordering::Relaxed);
         metrics
+            .plan_cache_remote_hits
+            .store(stats.remote_hits, Ordering::Relaxed);
+        metrics
             .plan_cache_misses
             .store(stats.misses, Ordering::Relaxed);
         metrics
@@ -1113,6 +1123,7 @@ impl Telemetry {
                 plans_warm_start: m.plans_warm_start.load(Ordering::Relaxed),
                 plans_cached: m.plans_cached.load(Ordering::Relaxed),
                 plan_cache_hits: m.plan_cache_hits.load(Ordering::Relaxed),
+                plan_cache_remote_hits: m.plan_cache_remote_hits.load(Ordering::Relaxed),
                 plan_cache_misses: m.plan_cache_misses.load(Ordering::Relaxed),
                 plan_cache_stale: m.plan_cache_stale.load(Ordering::Relaxed),
                 strategy_switches: m.strategy_switches.load(Ordering::Relaxed),
@@ -1379,6 +1390,7 @@ mod tests {
         t.record_replan("svc", 4, "generated", "a-b", None, Some(PlanSource::Cached));
         let stats = PlanCacheStats {
             hits: 2,
+            remote_hits: 1,
             misses: 3,
             stale: 1,
             entries: 3,
@@ -1392,6 +1404,7 @@ mod tests {
         assert_eq!(svc.plans_warm_start, 1);
         assert_eq!(svc.plans_cached, 2);
         assert_eq!(svc.plan_cache_hits, 2);
+        assert_eq!(svc.plan_cache_remote_hits, 1);
         assert_eq!(svc.plan_cache_misses, 3);
         assert_eq!(svc.plan_cache_stale, 1);
         // The event stream carries the provenance too.

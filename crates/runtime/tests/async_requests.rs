@@ -179,3 +179,66 @@ fn gateway_drop_races_a_blocking_leaf_without_panicking() {
         }
     }
 }
+
+/// Bugfix audit (handle-leak sweep): a `RequestHandle` dropped without
+/// `wait()` must not leak engine state. The handle is detached from the
+/// request — the event core still drives the request to completion and
+/// must then release its frames and clock registrations even though
+/// nobody collects the response. 10³ dropped handles later, the core
+/// drains to zero and a fresh request still completes.
+#[test]
+fn dropped_handles_do_not_leak_frames_or_clock_slots() {
+    use qce_runtime::WorkerGuard;
+
+    let clock = Arc::new(VirtualClock::new());
+    let gateway = Arc::new(Gateway::with_clock(
+        market_with(vec![script("svc", 1)]),
+        GatewayConfig::default(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    ));
+    gateway.registry().register(
+        SimulatedProvider::builder("dev0", "svc-cap0")
+            .cost(10.0)
+            .latency(Duration::from_millis(1))
+            .reliability(1.0)
+            .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+            .build(),
+    );
+
+    // Pin virtual time during submission so every request is admitted at
+    // t = 0 with the same 1 ms completion deadline; timers then fire in
+    // submission order, so the last handle is a drain barrier for all the
+    // dropped ones.
+    let last = {
+        let _pin = WorkerGuard::enter(&*clock);
+        for _ in 0..1_000 {
+            drop(gateway.submit_async(Request::new("svc")).unwrap());
+        }
+        gateway.submit_async(Request::new("svc")).unwrap()
+    };
+    let response = last.wait().unwrap();
+    assert!(response.success);
+
+    // Resolving the barrier handle may race the core's cleanup of that
+    // final request by a beat; everything *dropped* must already be gone.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = gateway.engine_stats();
+        if stats.in_flight == 0 && stats.frames_live == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "engine did not drain after dropped handles: {stats:?}"
+        );
+        std::thread::yield_now();
+    }
+
+    // The loops are still healthy: a request submitted after the flood
+    // resolves normally.
+    let after = gateway.submit_async(Request::new("svc")).unwrap();
+    assert!(after.wait().unwrap().success);
+    let stats = gateway.engine_stats();
+    assert_eq!(stats.in_flight, 0);
+    assert_eq!(stats.frames_live, 0);
+}

@@ -1,0 +1,266 @@
+//! Integration tests for the sharded gateway fleet: consistent-hash
+//! routing end to end, cross-shard plan-cache sharing, provider replay
+//! onto joining shards, and clean eviction with work in flight.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use qce_runtime::fleet::{FleetConfig, GatewayFleet};
+use qce_runtime::{
+    Clock, FnProvider, GatewayConfig, InMemoryMarket, Market, MsSpec, Request, RuntimeError,
+    ServiceScript, SimulatedProvider, VirtualClock,
+};
+use qce_strategy::{PlanSource, Qos, Requirements};
+
+/// A service over `arms` equivalent microservices with shared capability
+/// names (`cap0`, `cap1`, …), so every service resolves to the same
+/// fleet-registered providers.
+fn script(service: &str, arms: usize) -> ServiceScript {
+    ServiceScript::new(
+        service,
+        (0..arms)
+            .map(|i| MsSpec {
+                name: format!("m{i}"),
+                capability: format!("cap{i}"),
+                prior: Qos::new(50.0, 2.0 + i as f64, 0.9).unwrap(),
+            })
+            .collect(),
+        Requirements::new(1000.0, 1000.0, 0.5).unwrap(),
+    )
+}
+
+fn backend(services: &[&str], arms: usize) -> Arc<dyn Market> {
+    let market = InMemoryMarket::new();
+    for service in services {
+        market.publish(script(service, arms)).unwrap();
+    }
+    Arc::new(market)
+}
+
+fn fleet_with(
+    services: &[&str],
+    arms: usize,
+    config: FleetConfig,
+) -> (Arc<VirtualClock>, GatewayFleet) {
+    let clock = Arc::new(VirtualClock::new());
+    let fleet = GatewayFleet::with_clock(
+        backend(services, arms),
+        config,
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    for i in 0..arms {
+        fleet.register(
+            SimulatedProvider::builder(format!("dev{i}"), format!("cap{i}"))
+                .cost(10.0)
+                .latency(Duration::from_millis(1 + i as u64))
+                .reliability(1.0)
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build(),
+        );
+    }
+    (clock, fleet)
+}
+
+#[test]
+fn fleet_routes_stably_and_serves_every_service() {
+    let services: Vec<String> = (0..12).map(|i| format!("svc-{i}")).collect();
+    let names: Vec<&str> = services.iter().map(String::as_str).collect();
+    let (_clock, fleet) = fleet_with(&names, 2, FleetConfig::default());
+    assert_eq!(fleet.shard_ids(), vec![0, 1, 2, 3]);
+
+    let owners: Vec<u32> = names.iter().map(|s| fleet.route(s).unwrap()).collect();
+    for (service, &owner) in names.iter().zip(&owners) {
+        let response = fleet.submit(Request::new(*service)).unwrap();
+        assert!(response.success);
+        // The responding shard is the routed one: its engine served the
+        // request, so its market front fetched the script.
+        assert_eq!(fleet.route(service), Some(owner));
+    }
+    // With 12 services over 4 shards and 64 vnodes, more than one shard
+    // ends up owning something.
+    let mut distinct = owners.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert!(distinct.len() > 1, "all services landed on one shard");
+
+    // Each script was fetched exactly once, through the owning shard's
+    // TTL front (misses), and never twice (no hits needed yet).
+    let stats = fleet.stats();
+    assert_eq!(stats.market.misses, 12);
+    assert_eq!(stats.market.expired, 0);
+    assert_eq!(stats.shards, 4);
+}
+
+/// The cross-shard economics the fleet exists for: a plan synthesized on
+/// one shard is served warm — attributed as a *remote* hit — to an
+/// identically-shaped search on another shard.
+#[test]
+fn plans_synthesized_on_one_shard_hit_remotely_on_another() {
+    let services: Vec<String> = (0..16).map(|i| format!("svc-{i}")).collect();
+    let names: Vec<&str> = services.iter().map(String::as_str).collect();
+    let config = FleetConfig::default().gateway(GatewayConfig::builder().plan_cache(true).build());
+    let (_clock, fleet) = fleet_with(&names, 2, config);
+
+    // Two identically-scripted services owned by *different* shards.
+    let a = names[0];
+    let b = *names
+        .iter()
+        .find(|s| fleet.route(s) != fleet.route(a))
+        .expect("16 services over 4 shards span more than one shard");
+    assert_ne!(fleet.route(a), fleet.route(b));
+
+    // Slot 0 on both: the default strategy gathers identical observations
+    // (same providers, same latencies, one submission each).
+    assert!(fleet.submit(Request::new(a)).unwrap().success);
+    assert!(fleet.submit(Request::new(b)).unwrap().success);
+    fleet.end_slot(a);
+    fleet.end_slot(b);
+
+    // Slot 1 on `a` synthesizes and stores the plan; slot 1 on `b`
+    // searches with the same key (same script shape, same requirement,
+    // same observed environment) and must hit `a`'s entry remotely.
+    assert!(fleet.submit(Request::new(a)).unwrap().success);
+    let before = fleet.stats().plan_cache;
+    assert_eq!(before.misses, 1, "a's slot-1 search was the first lookup");
+    assert!(fleet.submit(Request::new(b)).unwrap().success);
+    let after = fleet.stats().plan_cache;
+    assert_eq!(after.hits, before.hits + 1);
+    assert_eq!(
+        after.remote_hits,
+        before.remote_hits + 1,
+        "b's hit came from a's shard and must be attributed as remote"
+    );
+
+    // The owning shard's telemetry agrees: b's slot was replanned from
+    // the cache.
+    let owner = fleet.shard(fleet.route(b).unwrap()).unwrap();
+    let snapshot = owner.gateway().telemetry().snapshot();
+    let source = snapshot
+        .recent_events
+        .iter()
+        .filter_map(|event| match &event.kind {
+            qce_runtime::EventKind::SlotReplanned {
+                service, source, ..
+            } if service == b => Some(*source),
+            _ => None,
+        })
+        .next_back()
+        .flatten();
+    assert_eq!(source, Some(PlanSource::Cached));
+}
+
+/// Providers registered before a shard joins are replayed onto it, so
+/// services the ring moves to the newcomer still find their devices.
+#[test]
+fn joining_shard_receives_replayed_providers_and_serves_moved_services() {
+    let services: Vec<String> = (0..24).map(|i| format!("svc-{i}")).collect();
+    let names: Vec<&str> = services.iter().map(String::as_str).collect();
+    let config = FleetConfig::default().shards(1);
+    let (_clock, fleet) = fleet_with(&names, 2, config);
+    assert!(names.iter().all(|s| fleet.route(s) == Some(0)));
+
+    let joiner = fleet.add_shard();
+    let moved: Vec<&str> = names
+        .iter()
+        .copied()
+        .filter(|s| fleet.route(s) == Some(joiner))
+        .collect();
+    assert!(
+        !moved.is_empty(),
+        "24 services over 2 shards leave the joiner empty"
+    );
+    for service in moved {
+        let response = fleet.submit(Request::new(service)).unwrap();
+        assert!(response.success, "moved service failed on the joiner");
+    }
+}
+
+/// Evicting a shard with a request still running on it must resolve that
+/// request (success or `Shutdown` — never a panic or a hang), and the
+/// service must immediately be servable by a surviving shard.
+#[test]
+fn evicted_shard_resolves_in_flight_requests_and_survivors_take_over() {
+    let services: Vec<String> = (0..8).map(|i| format!("svc-{i}")).collect();
+    let names: Vec<&str> = services.iter().map(String::as_str).collect();
+    let clock = Arc::new(VirtualClock::new());
+    let fleet = Arc::new(GatewayFleet::with_clock(
+        backend(&names, 1),
+        FleetConfig::default(),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    ));
+
+    // A blocking provider the test holds at the gate, so the request is
+    // guaranteed in flight when the shard is evicted.
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let entered = Arc::new((Mutex::new(0u32), Condvar::new()));
+    {
+        let gate = Arc::clone(&gate);
+        let entered = Arc::clone(&entered);
+        fleet.register(FnProvider::new("dev0", "cap0", 10.0, move |_| {
+            {
+                let (count, cond) = &*entered;
+                *count.lock().unwrap() += 1;
+                cond.notify_all();
+            }
+            let (open, cond) = &*gate;
+            let mut open = open.lock().unwrap();
+            while !*open {
+                open = cond.wait(open).unwrap();
+            }
+            Ok(vec![1])
+        }));
+    }
+
+    let service = names[0];
+    let victim = fleet.route(service).unwrap();
+    let handle = fleet.submit_async(Request::new(service)).unwrap();
+    {
+        let (count, cond) = &*entered;
+        let mut count = count.lock().unwrap();
+        while *count < 1 {
+            count = cond.wait(count).unwrap();
+        }
+    }
+
+    // Evict on a helper thread: dropping the shard's gateway joins its
+    // event loops, which blocks until the gated leaf finishes.
+    let evictor = {
+        let fleet = Arc::clone(&fleet);
+        std::thread::spawn(move || fleet.remove_shard(victim))
+    };
+    {
+        let (open, cond) = &*gate;
+        *open.lock().unwrap() = true;
+        cond.notify_all();
+    }
+    assert!(evictor.join().expect("eviction must not panic"));
+    assert!(!fleet.shard_ids().contains(&victim));
+
+    match handle.wait() {
+        Ok(response) => assert!(response.success),
+        Err(RuntimeError::Shutdown) => {}
+        Err(other) => panic!("unexpected error from an eviction race: {other:?}"),
+    }
+
+    // The ring re-homed the service; a survivor serves it.
+    let new_owner = fleet.route(service).unwrap();
+    assert_ne!(new_owner, victim);
+    let response = fleet.submit(Request::new(service)).unwrap();
+    assert!(response.success);
+}
+
+/// An empty fleet sheds cleanly instead of panicking.
+#[test]
+fn empty_fleet_rejects_submissions() {
+    let clock = Arc::new(VirtualClock::new());
+    let fleet = GatewayFleet::with_clock(
+        backend(&["svc"], 1),
+        FleetConfig::default().shards(0),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    assert_eq!(fleet.route("svc"), None);
+    assert!(matches!(
+        fleet.submit(Request::new("svc")),
+        Err(RuntimeError::Market { .. })
+    ));
+}

@@ -423,6 +423,21 @@ impl Generator {
         &self.estimator
     }
 
+    /// Forgets every warm-start incumbent. Callers use this when the
+    /// inputs the incumbents were won under stop being representative —
+    /// e.g. a live requirement override — so the next search runs truly
+    /// cold instead of warm-started from a winner for the old inputs.
+    /// Returns how many incumbents were dropped.
+    pub fn clear_incumbents(&self) -> usize {
+        let mut incumbents = self
+            .incumbents
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let dropped = incumbents.len();
+        incumbents.clear();
+        dropped
+    }
+
     /// Estimates through the configured estimator; ids are pre-validated
     /// by every public entry point, but custom estimators may still fail.
     fn est(&self, s: &Strategy, env: &EnvQos) -> Result<Qos, GenerateError> {

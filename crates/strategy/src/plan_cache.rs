@@ -19,18 +19,33 @@
 //! so the cached winner is **bit-identical** to what a fresh search would
 //! return (the search is deterministic).
 //!
+//! ## Sharing and attribution
+//!
+//! A `PlanCache` is a *view* onto a shared entry store. [`PlanCache::share`]
+//! creates a sibling view over the same store: lookups and stores go to the
+//! common memo, while hit/miss counters stay per-view so each consumer can
+//! report its own economics. Every entry remembers which view stored it;
+//! a hit served from an entry stored by a *different* view additionally
+//! counts as a `remote_hit` — this is how a fleet of gateway shards
+//! attributes "plan synthesized elsewhere, served warm here".
+//! [`PlanCacheHub`] packages the pattern: one hub per fleet, one
+//! [`PlanCacheHub::view`] per planner.
+//!
 //! ## Staleness
 //!
 //! Entries never expire by time; they are dropped by capacity eviction
 //! (least-recently-used) or by [`PlanCache::invalidate`], which the runtime
-//! calls when a service script is evicted or replaced. Both paths count
-//! into the `stale` statistic so operators can distinguish "the cache is
-//! too small / invalidated often" from a plain low hit rate.
+//! calls when a service script is evicted or replaced. Invalidation is
+//! view-scoped: it drops the entries *this view stored* (plans derived from
+//! other consumers' identical search inputs remain valid for them). Both
+//! paths count into the shared `stale` statistic so operators can
+//! distinguish "the cache is too small / invalidated often" from a plain
+//! low hit rate.
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -88,12 +103,17 @@ impl Default for PlanCacheConfig {
 pub struct PlanCacheStats {
     /// Lookups that returned a cached plan.
     pub hits: u64,
+    /// Hits served from an entry stored by a *different* view of the
+    /// shared store (e.g. another gateway shard's planner). Always a
+    /// subset of `hits`; zero for an unshared cache.
+    #[serde(default)]
+    pub remote_hits: u64,
     /// Lookups that found no entry.
     pub misses: u64,
     /// Entries dropped before reuse: capacity evictions plus explicit
-    /// invalidations (script eviction/replacement).
+    /// invalidations (script eviction/replacement). Shared across views.
     pub stale: u64,
-    /// Entries currently resident.
+    /// Entries currently resident (shared across views).
     pub entries: usize,
 }
 
@@ -117,24 +137,50 @@ struct Key {
 #[derive(Debug)]
 struct Entry {
     stamp: u64,
+    /// The view that stored (or last overwrote) this entry.
+    owner: u32,
     generated: Generated,
 }
 
-/// A bounded, thread-safe memo of synthesized plans. See the module docs
-/// for keying and staleness semantics.
-///
-/// Construct one, share it via `Arc`, and hand it to
-/// [`GeneratorBuilder::plan_cache`](crate::GeneratorBuilder::plan_cache);
-/// the generator consults it on every exhaustive search.
+/// The store behind one or more [`PlanCache`] views.
 #[derive(Debug)]
-pub struct PlanCache {
+struct Store {
     config: PlanCacheConfig,
     entries: Mutex<HashMap<Key, Entry>>,
     /// Monotone access stamp driving LRU eviction.
     clock: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
     stale: AtomicU64,
+    /// Next view id handed out by [`PlanCache::share`].
+    views: AtomicU32,
+    /// Store-wide totals across all views (feed [`PlanCacheHub::stats`]).
+    total_hits: AtomicU64,
+    total_remote_hits: AtomicU64,
+    total_misses: AtomicU64,
+}
+
+impl Store {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Entry>> {
+        self.entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// A bounded, thread-safe memo of synthesized plans. See the module docs
+/// for keying, sharing, and staleness semantics.
+///
+/// Construct one, share it via `Arc`, and hand it to
+/// [`GeneratorBuilder::plan_cache`](crate::GeneratorBuilder::plan_cache);
+/// the generator consults it on every exhaustive search. [`PlanCache::share`]
+/// creates an independently-attributed view over the same entries.
+#[derive(Debug)]
+pub struct PlanCache {
+    store: Arc<Store>,
+    /// This view's identity, stamped on entries it stores.
+    view: u32,
+    hits: AtomicU64,
+    remote_hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl PlanCache {
@@ -142,46 +188,76 @@ impl PlanCache {
     #[must_use]
     pub fn new(config: PlanCacheConfig) -> Self {
         PlanCache {
-            config,
-            entries: Mutex::new(HashMap::new()),
-            clock: AtomicU64::new(0),
+            store: Arc::new(Store {
+                config,
+                entries: Mutex::new(HashMap::new()),
+                clock: AtomicU64::new(0),
+                stale: AtomicU64::new(0),
+                views: AtomicU32::new(1),
+                total_hits: AtomicU64::new(0),
+                total_remote_hits: AtomicU64::new(0),
+                total_misses: AtomicU64::new(0),
+            }),
+            view: 0,
             hits: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
-            stale: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a sibling view over the same shared entry store with fresh
+    /// per-view counters. A plan stored through any view is visible to all
+    /// of them; a hit on an entry stored by another view counts as a
+    /// `remote_hit` on the view that looked it up.
+    #[must_use]
+    pub fn share(&self) -> PlanCache {
+        PlanCache {
+            store: Arc::clone(&self.store),
+            view: self.store.views.fetch_add(1, Ordering::Relaxed),
+            hits: AtomicU64::new(0),
+            remote_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// The configured quantization step.
     #[must_use]
     pub fn quantum(&self) -> f64 {
-        self.config.quantum
+        self.store.config.quantum
     }
 
     /// The configured capacity.
     #[must_use]
     pub fn capacity(&self) -> usize {
-        self.config.capacity
+        self.store.config.capacity
     }
 
-    /// Current counter values and entry count.
+    /// This view's counters plus the shared stale/entry counts.
     #[must_use]
     pub fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            stale: self.stale.load(Ordering::Relaxed),
-            entries: self.lock().len(),
+            stale: self.store.stale.load(Ordering::Relaxed),
+            entries: self.store.lock().len(),
         }
     }
 
-    /// Drops every entry (the runtime calls this when the service script
-    /// backing the cached plans is evicted or replaced), counting each into
-    /// the `stale` statistic. Returns how many entries were dropped.
+    /// Drops the entries **this view stored** (the runtime calls this when
+    /// the service script backing the cached plans is evicted or replaced,
+    /// or when a live override changes the planning requirement), counting
+    /// each into the shared `stale` statistic. Entries stored by sibling
+    /// views remain — they were derived from those consumers' own inputs
+    /// and stay valid for them. Returns how many entries were dropped.
     pub fn invalidate(&self) -> usize {
-        let mut entries = self.lock();
-        let dropped = entries.len();
-        entries.clear();
-        self.stale.fetch_add(dropped as u64, Ordering::Relaxed);
+        let mut entries = self.store.lock();
+        let before = entries.len();
+        entries.retain(|_, entry| entry.owner != self.view);
+        let dropped = before - entries.len();
+        self.store
+            .stale
+            .fetch_add(dropped as u64, Ordering::Relaxed);
         dropped
     }
 
@@ -195,15 +271,21 @@ impl PlanCache {
         estimator: &'static str,
     ) -> Option<Generated> {
         let key = self.key(env, ids, req, subsets, penalty, estimator)?;
-        let mut entries = self.lock();
+        let mut entries = self.store.lock();
         match entries.get_mut(&key) {
             Some(entry) => {
-                entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                entry.stamp = self.store.clock.fetch_add(1, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.store.total_hits.fetch_add(1, Ordering::Relaxed);
+                if entry.owner != self.view {
+                    self.remote_hits.fetch_add(1, Ordering::Relaxed);
+                    self.store.total_remote_hits.fetch_add(1, Ordering::Relaxed);
+                }
                 Some(entry.generated.clone())
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.store.total_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -221,28 +303,29 @@ impl PlanCache {
         estimator: &'static str,
         generated: &Generated,
     ) {
-        if self.config.capacity == 0 {
+        if self.store.config.capacity == 0 {
             return;
         }
         let Some(key) = self.key(env, ids, req, subsets, penalty, estimator) else {
             return;
         };
-        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.lock();
-        if entries.len() >= self.config.capacity && !entries.contains_key(&key) {
+        let stamp = self.store.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.store.lock();
+        if entries.len() >= self.store.config.capacity && !entries.contains_key(&key) {
             if let Some(oldest) = entries
                 .iter()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone())
             {
                 entries.remove(&oldest);
-                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.store.stale.fetch_add(1, Ordering::Relaxed);
             }
         }
         entries.insert(
             key,
             Entry {
                 stamp,
+                owner: self.view,
                 generated: generated.clone(),
             },
         );
@@ -289,19 +372,64 @@ impl PlanCache {
     /// Maps one QoS attribute value to its key cell: the nearest multiple
     /// of the quantum, or the exact bit pattern when the quantum is zero.
     fn cell(&self, value: f64) -> i64 {
-        if self.config.quantum > 0.0 {
+        if self.store.config.quantum > 0.0 {
             // Saturating float→int cast; inputs are validated finite.
-            (value / self.config.quantum).round() as i64
+            (value / self.store.config.quantum).round() as i64
         } else {
             // Bit pattern as a (bijective) i64 so both modes share a type.
             value.to_bits() as i64
         }
     }
+}
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Entry>> {
-        self.entries
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+/// A fleet-wide plan-sharing handle: one logical plan memo whose
+/// [`view`](PlanCacheHub::view)s hand independently-attributed [`PlanCache`]
+/// fronts to many planners (one per service cell per gateway shard).
+///
+/// Because the cache key is the full quantized *search identity* — ids,
+/// requirements, penalty, estimator, environment cells — two planners
+/// anywhere in the fleet that would run the identical search share one
+/// entry: the first to finish stores it, every other planner's lookup is a
+/// `remote_hit`. Aggregate economics are available via
+/// [`PlanCacheHub::stats`].
+#[derive(Debug)]
+pub struct PlanCacheHub {
+    root: PlanCache,
+}
+
+impl PlanCacheHub {
+    /// Creates a hub with an empty shared store.
+    #[must_use]
+    pub fn new(config: PlanCacheConfig) -> Self {
+        PlanCacheHub {
+            root: PlanCache::new(config),
+        }
+    }
+
+    /// A fresh attributed view onto the shared store, ready for
+    /// [`GeneratorBuilder::plan_cache`](crate::GeneratorBuilder::plan_cache).
+    #[must_use]
+    pub fn view(&self) -> Arc<PlanCache> {
+        Arc::new(self.root.share())
+    }
+
+    /// The configured quantization step.
+    #[must_use]
+    pub fn quantum(&self) -> f64 {
+        self.root.quantum()
+    }
+
+    /// Store-wide totals summed over every view.
+    #[must_use]
+    pub fn stats(&self) -> PlanCacheStats {
+        let store = &self.root.store;
+        PlanCacheStats {
+            hits: store.total_hits.load(Ordering::Relaxed),
+            remote_hits: store.total_remote_hits.load(Ordering::Relaxed),
+            misses: store.total_misses.load(Ordering::Relaxed),
+            stale: store.stale.load(Ordering::Relaxed),
+            entries: store.lock().len(),
+        }
     }
 }
 
@@ -363,6 +491,7 @@ mod tests {
 
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
+        assert_eq!(stats.remote_hits, 0, "single view: every hit is local");
         assert_eq!(stats.misses, 5);
         assert_eq!(stats.entries, 1);
     }
@@ -450,6 +579,68 @@ mod tests {
     }
 
     #[test]
+    fn shared_views_attribute_remote_hits() {
+        let a = PlanCache::new(PlanCacheConfig::default());
+        let b = a.share();
+        let e1 = env(&[(50.0, 50.0, 0.6)]);
+        let ids = e1.ids();
+        let g = plan(&e1);
+
+        // View A stores; view B's lookup is a hit *and* a remote hit.
+        a.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
+        assert!(b.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_some());
+        // View A's own lookup is a plain local hit.
+        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_some());
+
+        let sa = a.stats();
+        let sb = b.stats();
+        assert_eq!((sa.hits, sa.remote_hits, sa.misses), (1, 0, 0));
+        assert_eq!((sb.hits, sb.remote_hits, sb.misses), (1, 1, 0));
+        // Entries are shared.
+        assert_eq!(sa.entries, 1);
+        assert_eq!(sb.entries, 1);
+    }
+
+    #[test]
+    fn invalidate_is_view_scoped() {
+        let a = PlanCache::new(PlanCacheConfig::default());
+        let b = a.share();
+        let e1 = env(&[(50.0, 50.0, 0.6)]);
+        let e2 = env(&[(60.0, 60.0, 0.7)]);
+        let ids = e1.ids();
+        let g = plan(&e1);
+        a.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
+        b.store(&e2, &ids, &req(), false, 2.0, "a1", &g);
+
+        // Invalidating A drops only A's entry; B's survives for both views.
+        assert_eq!(a.invalidate(), 1);
+        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
+        assert!(a.lookup(&e2, &ids, &req(), false, 2.0, "a1").is_some());
+        assert_eq!(a.stats().stale, 1);
+        assert_eq!(a.stats().entries, 1);
+    }
+
+    #[test]
+    fn hub_views_share_entries_and_aggregate_stats() {
+        let hub = PlanCacheHub::new(PlanCacheConfig::default());
+        let a = hub.view();
+        let b = hub.view();
+        let e1 = env(&[(50.0, 50.0, 0.6)]);
+        let ids = e1.ids();
+        let g = plan(&e1);
+
+        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
+        a.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
+        assert!(b.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_some());
+
+        let total = hub.stats();
+        assert_eq!(total.hits, 1);
+        assert_eq!(total.remote_hits, 1);
+        assert_eq!(total.misses, 1);
+        assert_eq!(total.entries, 1);
+    }
+
+    #[test]
     fn plan_source_display_and_default() {
         assert_eq!(PlanSource::Cold.to_string(), "cold");
         assert_eq!(PlanSource::WarmStart.to_string(), "warm-start");
@@ -458,5 +649,14 @@ mod tests {
         let json = serde_json::to_string(&PlanSource::WarmStart).unwrap();
         let back: PlanSource = serde_json::from_str(&json).unwrap();
         assert_eq!(back, PlanSource::WarmStart);
+    }
+
+    #[test]
+    fn plan_cache_stats_deserializes_without_remote_hits() {
+        // Pre-sharing snapshots lack the field; serde must default it.
+        let json = r#"{"hits":3,"misses":1,"stale":0,"entries":2}"#;
+        let stats: PlanCacheStats = serde_json::from_str(json).unwrap();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.remote_hits, 0);
     }
 }

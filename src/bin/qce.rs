@@ -45,6 +45,9 @@
 //!                     observed QoS values (default 0 = exact match)
 //!   --max-in-flight N run/stats: concurrent requests per service
 //!                     (default 0 = unlimited); extras queue, then shed
+//!   --shards N        run: drive a consistent-hash fleet of N gateway
+//!                     shards (shared market + plan store) instead of a
+//!                     single gateway, and print the fleet stats
 //!   --deadline-ms D   run/stats: per-request deadline in virtual
 //!                     milliseconds; strategy legs not yet started when it
 //!                     passes are pruned
@@ -63,8 +66,11 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use qce::runtime::{
-    Clock, EventKind, GatewayConfig, Harness, MsSpec, QosClass, ServiceScript, SimulatedProvider,
+    Clock, EventKind, FleetConfig, GatewayConfig, GatewayFleet, Harness, InMemoryMarket, MsSpec,
+    QosClass, Request, ServiceScript, SimulatedProvider, VirtualClock,
 };
 use qce::sim::{simulate, Environment};
 use qce::strategy::enumerate::{count_full, enumerate_full, paper};
@@ -93,6 +99,7 @@ struct Options {
     quantize: f64,
     max_in_flight: usize,
     deadline_ms: Option<u64>,
+    shards: usize,
     trace: bool,
     scenario: Option<String>,
     ctl_args: Vec<String>,
@@ -117,6 +124,7 @@ impl Default for Options {
             quantize: 0.0,
             max_in_flight: 0,
             deadline_ms: None,
+            shards: 0,
             trace: false,
             scenario: None,
             ctl_args: Vec::new(),
@@ -201,6 +209,11 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
                         .parse()
                         .map_err(|e| format!("--deadline-ms: {e}"))?,
                 )
+            }
+            "--shards" => {
+                options.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
             }
             "--trace" => options.trace = true,
             "--scenario" => options.scenario = Some(value("--scenario")?),
@@ -319,6 +332,105 @@ fn drive_gateway(options: &Options, trace: bool) -> Result<(Harness, u32), Strin
         harness.telemetry().clear_sink();
     }
     Ok((harness, successes))
+}
+
+/// `run --shards N`: the same `cli-service` behind a consistent-hash
+/// [`GatewayFleet`] of `N` gateway shards on a shared virtual clock —
+/// one shard owns the service's feedback loop, every shard shares the
+/// market and (with `--plan-cache`) one plan store. Prints the served
+/// count plus `Fleet::stats()`.
+fn run_fleet(options: &Options) -> Result<(), String> {
+    if options.trace {
+        return Err("--trace is not supported with --shards".into());
+    }
+    if options.triples.is_empty() {
+        return Err("no microservices; pass at least one --ms cost,latency,reliability%".into());
+    }
+    if options.slot_size == 0 {
+        return Err("--slot-size must be at least 1".into());
+    }
+    let requirements = requirements(options)?;
+    let mut specs = Vec::new();
+    for (i, &(cost, latency, reliability)) in options.triples.iter().enumerate() {
+        specs.push(MsSpec {
+            name: ms_name(i),
+            capability: format!("cap{i}"),
+            prior: qce::strategy::Qos::new(cost, latency, reliability / 100.0)
+                .map_err(|e| format!("--ms #{}: {e}", i + 1))?,
+        });
+    }
+    let mut script = ServiceScript::new("cli-service", specs, requirements);
+    script.penalty_k = options.k;
+    script.slot_size = options.slot_size;
+    script.quorum = options.quorum;
+    script.validate().map_err(|e| e.to_string())?;
+    let market = InMemoryMarket::new();
+    market.publish(script).map_err(|e| e.to_string())?;
+
+    let gateway = GatewayConfig::builder()
+        .generator_warm_start(options.plan_cache)
+        .plan_cache(options.plan_cache)
+        .plan_quantize(options.quantize)
+        .max_in_flight(options.max_in_flight)
+        .request_deadline(options.deadline_ms.map(Duration::from_millis))
+        .build();
+    let clock = Arc::new(VirtualClock::new());
+    let fleet = GatewayFleet::with_clock(
+        Arc::new(market),
+        FleetConfig::default()
+            .shards(options.shards)
+            .gateway(gateway),
+        Arc::clone(&clock) as Arc<dyn Clock>,
+    );
+    for (i, &(cost, latency, reliability)) in options.triples.iter().enumerate() {
+        let capability = format!("cap{i}");
+        fleet.register(
+            SimulatedProvider::builder(format!("dev{i}/{capability}"), capability)
+                .cost(cost)
+                .latency(Duration::from_secs_f64(latency / 1e3))
+                .reliability(reliability / 100.0)
+                .seed(options.seed.wrapping_add(i as u64))
+                .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                .build(),
+        );
+    }
+
+    let mut successes = 0u32;
+    for _ in 0..options.invocations {
+        let response = fleet
+            .submit(Request::new("cli-service"))
+            .map_err(|e| e.to_string())?;
+        if response.success {
+            successes += 1;
+        }
+    }
+    let owner = fleet.route("cli-service").ok_or("fleet has no shards")?;
+    let stats = fleet.stats();
+    println!(
+        "served   : {successes}/{} requests on shard {owner} of {} ({} virtual ms)",
+        options.invocations,
+        stats.shards,
+        clock.now().as_millis()
+    );
+    println!(
+        "plans    : {} hit(s) ({} remote), {} miss(es), {} stale, {} entr(ies) in the shared store",
+        stats.plan_cache.hits,
+        stats.plan_cache.remote_hits,
+        stats.plan_cache.misses,
+        stats.plan_cache.stale,
+        stats.plan_cache.entries
+    );
+    println!(
+        "scripts  : {} cache hit(s), {} fetch(es), {} expired across the shard fronts",
+        stats.market.hits, stats.market.misses, stats.market.expired
+    );
+    for shard in &stats.per_shard {
+        println!(
+            "shard {:<4}: in_flight {}, frames {}, script fetches {}",
+            shard.id, shard.in_flight, shard.frames_live, shard.market.misses
+        );
+    }
+    Ok(())
 }
 
 /// Loads and replays a `--scenario FILE` on virtual time.
@@ -507,6 +619,12 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
             Ok(())
         }
         "run" => {
+            if options.shards > 0 {
+                if options.scenario.is_some() {
+                    return Err("--shards and --scenario are mutually exclusive".into());
+                }
+                return run_fleet(options);
+            }
             if let Some(path) = &options.scenario {
                 let run = replay_scenario(path)?;
                 print_scenario_outcome(&run.outcome);
@@ -853,6 +971,52 @@ mod tests {
         let service = snapshot.service("cli-service").unwrap();
         assert_eq!(service.requests_shed, 0);
         assert_eq!(service.deadline_exceeded, 0);
+    }
+
+    #[test]
+    fn parse_args_shards_flag() {
+        let (_, _, options) =
+            parse_args(&args(&["run", "--ms", "50,5,90", "--shards", "3"])).unwrap();
+        assert_eq!(options.shards, 3);
+        let (_, _, options) = parse_args(&args(&["run", "--ms", "50,5,90"])).unwrap();
+        assert_eq!(options.shards, 0, "single gateway by default");
+        assert!(parse_args(&args(&["run", "--shards", "x"])).is_err());
+        assert!(parse_args(&args(&["run", "--shards"])).is_err());
+    }
+
+    #[test]
+    fn fleet_run_serves_and_prints_stats() {
+        let options = Options {
+            triples: vec![(50.0, 5.0, 95.0), (50.0, 8.0, 95.0)],
+            require: (200.0, 100.0, 50.0),
+            invocations: 12,
+            slot_size: 4,
+            shards: 3,
+            plan_cache: true,
+            ..Options::default()
+        };
+        assert!(run("run", None, &options).is_ok());
+        let conflicted = Options {
+            scenario: Some("pack/calm.json".into()),
+            ..options.clone()
+        };
+        assert!(
+            run("run", None, &conflicted).is_err(),
+            "--shards and --scenario are mutually exclusive"
+        );
+        let traced = Options {
+            trace: true,
+            ..options.clone()
+        };
+        assert!(
+            run("run", None, &traced).is_err(),
+            "--trace needs one gateway"
+        );
+        let empty = Options {
+            triples: Vec::new(),
+            ..options
+        };
+        assert!(run("run", None, &empty).is_err(), "no microservices");
     }
 
     #[test]
