@@ -18,7 +18,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
-use qce_strategy::{Attribute, PlanCacheHub, Qos, Requirements, Strategy};
+use qce_strategy::{Attribute, EnvQos, PlanCacheHub, Qos, Requirements, Strategy};
 
 use crate::clock::{Clock, WallClock, WorkerGuard};
 use crate::collector::Collector;
@@ -72,6 +72,17 @@ pub struct GatewayConfig {
     /// search; positive steps trade that exactness for more hits under
     /// small environment drift.
     pub plan_quantize: f64,
+    /// Which search backend plans each slot: a fixed backend
+    /// (`Exhaustive` / `Greedy` / `Beam(W)`), the paper's threshold rule
+    /// (`Threshold`, the default), or a per-service UCB1 bandit over the
+    /// backends (`Auto`).
+    pub planner: qce_strategy::BackendChoice,
+    /// Re-plan at a slot boundary only when the collector's QoS table has
+    /// drifted outside the active plan's quantization band (measured with
+    /// [`env_drift`](crate::env_drift) at `plan_quantize` granularity).
+    /// `false` (the default) re-plans at every boundary, the paper's
+    /// fixed-cadence behavior.
+    pub replan_on_drift: bool,
     /// Maximum [`SlotRecord`]s kept per service; older records are evicted
     /// (and counted in telemetry) so long-running services don't leak.
     pub history_limit: usize,
@@ -110,6 +121,8 @@ impl Default for GatewayConfig {
             plan_cache: false,
             plan_cache_capacity: 64,
             plan_quantize: 0.0,
+            planner: qce_strategy::BackendChoice::Threshold,
+            replan_on_drift: false,
             history_limit: 1024,
             telemetry_events: 1024,
             max_in_flight: 0,
@@ -139,6 +152,8 @@ impl GatewayConfig {
             plan_cache: self.plan_cache,
             plan_cache_capacity: self.plan_cache_capacity,
             plan_quantize: self.plan_quantize,
+            planner: self.planner,
+            replan_on_drift: self.replan_on_drift,
         }
     }
 }
@@ -202,6 +217,10 @@ impl GatewayConfigBuilder {
         plan_cache_capacity: usize,
         /// See [`GatewayConfig::plan_quantize`].
         plan_quantize: f64,
+        /// See [`GatewayConfig::planner`].
+        planner: qce_strategy::BackendChoice,
+        /// See [`GatewayConfig::replan_on_drift`].
+        replan_on_drift: bool,
         /// See [`GatewayConfig::history_limit`].
         history_limit: usize,
         /// See [`GatewayConfig::telemetry_events`].
@@ -301,6 +320,9 @@ struct ActivePlan {
     /// but a subset when providers for some capabilities were missing at
     /// planning time (the slot plans over what it has).
     names: Vec<String>,
+    /// The effective requirement the plan was synthesized against, so the
+    /// drift trigger never holds a plan across a live requirement change.
+    requirement: Requirements,
 }
 
 struct ServiceState {
@@ -899,34 +921,6 @@ impl Gateway {
         &self.telemetry
     }
 
-    /// Invokes the service identified by `service_id` with an empty
-    /// payload.
-    ///
-    /// # Errors
-    ///
-    /// See [`Gateway::submit`].
-    #[deprecated(note = "build a typed request with `Request::new(service)` \
-                         and submit it through `Gateway::submit`")]
-    pub fn invoke(&self, service_id: &str) -> Result<ServiceResponse, RuntimeError> {
-        self.invoke_inner(Request::new(service_id))
-    }
-
-    /// Invokes the service identified by `service_id` with `payload`.
-    ///
-    /// # Errors
-    ///
-    /// See [`Gateway::submit`].
-    #[deprecated(note = "build a typed request with \
-                         `Request::new(service).payload(..)` and submit it \
-                         through `Gateway::submit`")]
-    pub fn invoke_with_payload(
-        &self,
-        service_id: &str,
-        payload: Vec<u8>,
-    ) -> Result<ServiceResponse, RuntimeError> {
-        self.invoke_inner(Request::new(service_id).payload(payload))
-    }
-
     /// Submits a typed [`Request`] to its service.
     ///
     /// On the first invocation the script is fetched from the market and
@@ -1232,9 +1226,8 @@ impl Gateway {
         })
     }
 
-    /// The single invocation path behind [`Gateway::submit`] (and the
-    /// deprecated `invoke`/`invoke_with_payload` shims): admission, script
-    /// fetch/planning, engine execution, telemetry.
+    /// The single invocation path behind [`Gateway::submit`]: admission,
+    /// script fetch/planning, engine execution, telemetry.
     fn invoke_inner(&self, request: Request) -> Result<ServiceResponse, RuntimeError> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let (service_id, explicit_class, explicit_deadline, explicit_requirement, payload) =
@@ -1432,15 +1425,6 @@ impl Gateway {
         let state = guard.as_mut().expect("initialised above");
 
         if state.active.is_none() || state.invocations_in_slot >= state.script.slot_size {
-            if state.active.is_some() {
-                state.slot += 1;
-                state.invocations_in_slot = 0;
-                // Clear the previous slot's plan *before* planning: if
-                // plan() fails (e.g. a provider departed), the stale
-                // plan must not keep serving the new slot — the next
-                // invocation retries planning instead.
-                state.active = None;
-            }
             // Plan against the *effective* requirement: a live
             // `set_requirement`/`set_class` override changes what the
             // operator demands, and the synthesized strategy (and its
@@ -1449,35 +1433,72 @@ impl Gateway {
                 .overrides
                 .lock()
                 .planning_requirement(&state.script.requirements);
-            let active = match self.plan(state, &requirement) {
-                Ok(active) => active,
-                Err(error) => {
-                    self.telemetry
-                        .record_plan_failure(service_id, state.slot, &error);
-                    return Err(error);
+            let mut replan = true;
+            if state.active.is_some() {
+                // With `replan_on_drift`, measure how far the collector's
+                // table has moved from the active plan's assumptions
+                // before discarding it (`None` = requirement or provider
+                // set changed, which always re-plans).
+                let drift = self
+                    .config
+                    .replan_on_drift
+                    .then(|| self.boundary_drift(state, &requirement))
+                    .flatten();
+                state.slot += 1;
+                state.invocations_in_slot = 0;
+                match drift {
+                    Some(drift) if drift <= 0.0 => {
+                        // Every quantized cell of the assumed QoS table is
+                        // unchanged: a re-plan would see identical search
+                        // inputs, so hold the active plan for this slot.
+                        self.telemetry.record_drift_hold(service_id);
+                        replan = false;
+                    }
+                    drift => {
+                        if let Some(drift) = drift {
+                            self.telemetry
+                                .record_drift_trigger(service_id, state.slot, drift);
+                        }
+                        // Clear the previous slot's plan *before*
+                        // planning: if plan() fails (e.g. a provider
+                        // departed), the stale plan must not keep serving
+                        // the new slot — the next invocation retries
+                        // planning instead.
+                        state.active = None;
+                    }
                 }
-            };
-            let strategy_text = active.plan.strategy.to_string_with_names(&active.names);
-            self.telemetry.record_replan(
-                service_id,
-                state.slot,
-                &active.plan.origin.to_string(),
-                &strategy_text,
-                active.plan.report.as_ref(),
-                active.plan.source,
-            );
-            state.history.push_back(SlotRecord {
-                slot: state.slot,
-                strategy_text,
-                origin: active.plan.origin.clone(),
-                estimated: active.plan.estimated,
-            });
-            let limit = self.config.history_limit.max(1);
-            while state.history.len() > limit {
-                state.history.pop_front();
-                self.telemetry.record_history_evicted(service_id, 1);
             }
-            state.active = Some(active);
+            if replan {
+                let active = match self.plan(state, &requirement) {
+                    Ok(active) => active,
+                    Err(error) => {
+                        self.telemetry
+                            .record_plan_failure(service_id, state.slot, &error);
+                        return Err(error);
+                    }
+                };
+                let strategy_text = active.plan.strategy.to_string_with_names(&active.names);
+                self.telemetry.record_replan(
+                    service_id,
+                    state.slot,
+                    &active.plan.origin.to_string(),
+                    &strategy_text,
+                    active.plan.report.as_ref(),
+                    active.plan.source,
+                );
+                state.history.push_back(SlotRecord {
+                    slot: state.slot,
+                    strategy_text,
+                    origin: active.plan.origin.clone(),
+                    estimated: active.plan.estimated,
+                });
+                let limit = self.config.history_limit.max(1);
+                while state.history.len() > limit {
+                    state.history.pop_front();
+                    self.telemetry.record_history_evicted(service_id, 1);
+                }
+                state.active = Some(active);
+            }
         }
 
         state.invocations_in_slot += 1;
@@ -1649,7 +1670,41 @@ impl Gateway {
             names: script.ms_names().iter().map(|s| (*s).to_string()).collect(),
             plan,
             providers,
+            requirement: *requirement,
         })
+    }
+
+    /// How far the collector's QoS table has drifted from the active
+    /// plan's assumed table, at the plan-cache quantization granularity
+    /// (see [`env_drift`](crate::env_drift)).
+    ///
+    /// Returns `None` — forcing a re-plan — when there is no active plan,
+    /// the effective requirement changed since the plan was synthesized
+    /// (live override), or the plan's microservice set no longer maps onto
+    /// the script (provider churn reshaped the service mid-slot).
+    fn boundary_drift(&self, state: &ServiceState, requirement: &Requirements) -> Option<f64> {
+        let active = state.active.as_ref()?;
+        if active.requirement != *requirement {
+            return None;
+        }
+        // Rebuild the QoS table the planner would assume right now over
+        // the active plan's own provider set, then compare cell-by-cell.
+        let mut current: Vec<qce_strategy::Qos> = Vec::with_capacity(active.providers.len());
+        for (name, provider) in active.names.iter().zip(&active.providers) {
+            let spec = state
+                .script
+                .microservices
+                .iter()
+                .find(|spec| &spec.name == name)?;
+            let prior = crate::collector::prior_with_advertised_cost(&spec.prior, provider.cost());
+            current.push(self.collector.qos_or_prior(provider.id(), &prior));
+        }
+        let current: EnvQos = current.into_iter().collect();
+        Some(crate::generator::env_drift(
+            &active.plan.assumed_env,
+            &current,
+            self.config.plan_quantize,
+        ))
     }
 
     /// Forces the next invocation of `service_id` to re-plan its strategy,
@@ -2349,6 +2404,163 @@ mod tests {
         assert_eq!(slots, vec![7, 8, 9], "oldest slots were evicted first");
         let snapshot = gateway.telemetry().snapshot();
         assert_eq!(snapshot.service("temp").unwrap().history_evicted, 7);
+    }
+
+    /// Builds a virtual-clock gateway with three perfectly reliable
+    /// providers (bit-reproducible latencies), for the drift-trigger
+    /// tests.
+    fn drift_gateway(config: GatewayConfig, reliability: f64) -> Gateway {
+        use crate::clock::VirtualClock;
+        let clock = Arc::new(VirtualClock::new());
+        let gateway = Gateway::with_clock(
+            market_with(script(1)),
+            config,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        for (i, (cap, ms)) in [("read-temp", 2u64), ("est-temp", 3), ("loc-temp", 5)]
+            .iter()
+            .enumerate()
+        {
+            gateway.registry().register(
+                SimulatedProvider::builder(format!("dev{i}/{cap}"), *cap)
+                    .cost(50.0)
+                    .latency(Duration::from_millis(*ms))
+                    .reliability(reliability)
+                    .seed(i as u64)
+                    .clock(Arc::clone(&clock) as Arc<dyn Clock>)
+                    .build(),
+            );
+        }
+        gateway
+    }
+
+    #[test]
+    fn drift_trigger_holds_stable_plans() {
+        use crate::telemetry::EventKind;
+        // Virtual time: after the priors-vs-observations jump at slot 1,
+        // the assumed environment is bit-identical at every boundary, so
+        // drift mode plans exactly twice and holds the rest.
+        let config = GatewayConfig::builder().replan_on_drift(true).build();
+        let gateway = drift_gateway(config, 1.0);
+        let slots: Vec<u64> = (0..6)
+            .map(|_| gateway.submit(Request::new("temp")).unwrap().slot)
+            .collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4, 5], "slots still advance");
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("temp").unwrap();
+        assert_eq!(svc.replans, 2, "slot 0 default + the slot-1 drift");
+        assert_eq!(svc.drift_replans, 1, "only slot 1 left the band");
+        assert_eq!(svc.drift_holds, 4, "slots 2-5 held the generated plan");
+        let triggers: Vec<(u64, f64)> = snapshot
+            .recent_events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::ReplanTriggered { slot, drift, .. } => Some((*slot, *drift)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(triggers.len(), 1);
+        assert_eq!(triggers[0].0, 1);
+        assert!(triggers[0].1 > 0.0 && triggers[0].1 <= 1.0);
+        // The cadence baseline re-plans at all six boundaries.
+        let cadence = drift_gateway(GatewayConfig::default(), 1.0);
+        for _ in 0..6 {
+            cadence.submit(Request::new("temp")).unwrap();
+        }
+        let base = cadence.telemetry().snapshot();
+        assert_eq!(base.service("temp").unwrap().replans, 6);
+    }
+
+    #[test]
+    fn drift_trigger_fires_on_unstable_observations() {
+        // Flaky providers (seeded, deterministic): the collector's
+        // reliability mean moves between boundaries, so drift mode keeps
+        // re-planning instead of holding a stale plan.
+        let config = GatewayConfig::builder().replan_on_drift(true).build();
+        let gateway = drift_gateway(config, 0.5);
+        for _ in 0..8 {
+            let _ = gateway.submit(Request::new("temp"));
+        }
+        let snapshot = gateway.telemetry().snapshot();
+        let svc = snapshot.service("temp").unwrap();
+        assert!(
+            svc.drift_replans >= 2,
+            "unstable observations must keep tripping the trigger \
+             (drift_replans={}, drift_holds={})",
+            svc.drift_replans,
+            svc.drift_holds
+        );
+    }
+
+    #[test]
+    fn drift_hold_never_survives_a_requirement_override() {
+        // A zero-drift boundary must still re-plan when a live override
+        // changed the effective requirement: the held plan was synthesized
+        // for a demand the operator just replaced.
+        let config = GatewayConfig::builder().replan_on_drift(true).build();
+        let gateway = drift_gateway(config, 1.0);
+        for _ in 0..4 {
+            gateway.submit(Request::new("temp")).unwrap();
+        }
+        let before = gateway.telemetry().snapshot();
+        let before_svc = before.service("temp").unwrap();
+        assert_eq!(before_svc.replans, 2, "steady state: holding");
+        gateway
+            .control()
+            .set_requirement("temp", Requirements::new(500.0, 500.0, 0.5).unwrap());
+        gateway.submit(Request::new("temp")).unwrap();
+        let after = gateway.telemetry().snapshot();
+        let after_svc = after.service("temp").unwrap();
+        assert_eq!(
+            after_svc.replans,
+            before_svc.replans + 1,
+            "the override boundary re-planned despite zero drift"
+        );
+    }
+
+    #[test]
+    fn drift_and_bandit_replay_byte_identical_telemetry() {
+        use crate::telemetry::EventKind;
+        // Satellite property: the whole adaptive stack — drift trigger +
+        // UCB1 backend bandit — is deterministic. Two identical runs must
+        // produce byte-identical telemetry event streams once the one
+        // wall-clock field (synthesis elapsed) is zeroed.
+        let run = || {
+            let config = GatewayConfig::builder()
+                .replan_on_drift(true)
+                .planner(qce_strategy::BackendChoice::Auto)
+                .generator_parallelism(1)
+                .build();
+            let gateway = drift_gateway(config, 0.5);
+            for _ in 0..10 {
+                let _ = gateway.submit(Request::new("temp"));
+            }
+            let events: Vec<crate::telemetry::TelemetryEvent> = gateway
+                .telemetry()
+                .events()
+                .iter()
+                .cloned()
+                .map(|mut e| {
+                    if let EventKind::SlotReplanned { elapsed, .. } = &mut e.kind {
+                        *elapsed = Duration::ZERO;
+                    }
+                    e
+                })
+                .collect();
+            serde_json::to_string(&events).unwrap()
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "replayed telemetry streams diverged");
+        // The streams exercise the new adaptive events, not a vacuous
+        // equality of empty rings.
+        let events: Vec<crate::telemetry::TelemetryEvent> = serde_json::from_str(&first).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BackendChosen { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::ReplanTriggered { .. })));
     }
 
     #[test]
@@ -3182,24 +3394,6 @@ mod tests {
             crate::telemetry::EventKind::DeadlineExceeded { service, class, .. }
                 if service == "svc" && *class == QosClass::Critical
         )));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_invoke_shims_delegate_to_submit() {
-        let gateway = Gateway::new(market_with(one_ms_script()), GatewayConfig::default());
-        gateway.registry().register(crate::device::FnProvider::new(
-            "dev-a",
-            "cap-a",
-            10.0,
-            |_| Ok(vec![1]),
-        ));
-        let bare = gateway.invoke("svc").unwrap();
-        assert!(bare.success);
-        assert_eq!(bare.class, QosClass::Interactive, "shims stay classless");
-        let with_payload = gateway.invoke_with_payload("svc", vec![9]).unwrap();
-        assert!(with_payload.success);
-        assert_eq!(with_payload.class, QosClass::Interactive);
     }
 
     #[test]

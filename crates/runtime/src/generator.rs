@@ -5,9 +5,10 @@
 
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use qce_strategy::{
-    EnvQos, Generated, Generator, PlanCache, PlanCacheConfig, PlanCacheStats, PlanSource,
-    Requirements, Strategy, SynthesisReport, UtilityIndex,
+    BackendChoice, BackendSelector, EnvQos, Generated, Generator, PlanCache, PlanCacheConfig,
+    PlanCacheStats, PlanSource, Requirements, Strategy, SynthesisReport, UtilityIndex,
 };
 
 /// Synthesis-engine knobs threaded from the gateway configuration into the
@@ -33,6 +34,16 @@ pub struct SynthesisSettings {
     /// bit-identical to a fresh search), positive values trade exactness
     /// for more hits under small drift.
     pub plan_quantize: f64,
+    /// Which search backend plans each slot: a fixed backend
+    /// (`Exhaustive` / `Greedy` / `Beam(W)`), the paper's threshold rule
+    /// (`Threshold`, the default), or a per-service UCB1 bandit over the
+    /// backends (`Auto`).
+    pub planner: BackendChoice,
+    /// Re-plan at a slot boundary only when the collector's QoS table has
+    /// drifted outside the active plan's quantization band (measured with
+    /// [`env_drift`] at `plan_quantize` granularity); `false` re-plans at
+    /// every boundary (the fixed-cadence baseline).
+    pub replan_on_drift: bool,
 }
 
 impl Default for SynthesisSettings {
@@ -45,7 +56,62 @@ impl Default for SynthesisSettings {
             plan_cache: false,
             plan_cache_capacity: 64,
             plan_quantize: 0.0,
+            planner: BackendChoice::Threshold,
+            replan_on_drift: false,
         }
+    }
+}
+
+/// The fraction of (microservice, attribute) cells whose quantized value
+/// differs between two QoS tables — the drift measure behind
+/// `replan_on_drift`.
+///
+/// Quantization matches the plan cache's key derivation: with a positive
+/// `quantum`, each attribute maps to `round(value / quantum)`; with
+/// `quantum <= 0.0`, to its exact bit pattern. A microservice present in
+/// only one table counts as fully drifted (all three attribute cells
+/// differ). Returns `0.0` for two empty tables.
+#[must_use]
+pub fn env_drift(old: &EnvQos, new: &EnvQos, quantum: f64) -> f64 {
+    fn cell(value: f64, quantum: f64) -> i64 {
+        if quantum > 0.0 {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                (value / quantum).round() as i64
+            }
+        } else {
+            value.to_bits() as i64
+        }
+    }
+    let mut ids: Vec<qce_strategy::MsId> = old.ids();
+    for id in new.ids() {
+        if !ids.contains(&id) {
+            ids.push(id);
+        }
+    }
+    if ids.is_empty() {
+        return 0.0;
+    }
+    let mut differing = 0usize;
+    for &id in &ids {
+        match (old.get(id), new.get(id)) {
+            (Some(a), Some(b)) => {
+                for (x, y) in [
+                    (a.cost, b.cost),
+                    (a.latency, b.latency),
+                    (a.reliability.value(), b.reliability.value()),
+                ] {
+                    if cell(x, quantum) != cell(y, quantum) {
+                        differing += 1;
+                    }
+                }
+            }
+            _ => differing += 3,
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        differing as f64 / (3 * ids.len()) as f64
     }
 }
 
@@ -154,6 +220,11 @@ pub fn plan_slot(
 pub struct Planner {
     generator: Generator,
     cache: Option<Arc<PlanCache>>,
+    choice: BackendChoice,
+    /// UCB1 selector over search backends, present only for
+    /// [`BackendChoice::Auto`]: one per service, so arm statistics track
+    /// that service's environment.
+    selector: Option<Mutex<BackendSelector>>,
 }
 
 impl Planner {
@@ -210,9 +281,14 @@ impl Planner {
         if let Some(cache) = &cache {
             builder = builder.plan_cache(Arc::clone(cache));
         }
+        let choice = settings.planner;
+        let selector =
+            (choice == BackendChoice::Auto).then(|| Mutex::new(BackendSelector::default()));
         Ok(Planner {
             generator: builder.build(),
             cache,
+            choice,
+            selector,
         })
     }
 
@@ -312,12 +388,43 @@ impl Planner {
             });
         }
 
-        let generated: Generated =
-            self.generator
-                .generate(&env, &ids, &requirements)
+        let generated: Generated = if let Some(selector) = &self.selector {
+            // `auto`: a deterministic UCB1 bandit picks the backend; the
+            // realized utility-per-search-cost of each fresh plan feeds
+            // the arm's statistics (cache hits cost nothing to produce
+            // and would inflate every arm equally, so they don't count).
+            let mut sel = selector.lock();
+            let eligible = sel.eligibility(ids.len(), self.generator.threshold());
+            let picked = sel.choose(&eligible);
+            let choice = picked.map_or(BackendChoice::Threshold, |arm| sel.arms()[arm]);
+            let generated = self
+                .generator
+                .generate_with(choice, &env, &ids, &requirements)
                 .map_err(|e| RuntimeError::Generation {
                     reason: e.to_string(),
                 })?;
+            if let Some(arm) = picked {
+                if generated.source != PlanSource::Cached {
+                    sel.record(arm, generated.utility, generated.evaluated as u64);
+                }
+                if let Some(telemetry) = telemetry {
+                    telemetry.record_backend_choice(
+                        &script.service_id,
+                        slot,
+                        &choice.to_string(),
+                        sel.pulls(arm),
+                        sel.mean(arm),
+                    );
+                }
+            }
+            generated
+        } else {
+            self.generator
+                .generate_with(self.choice, &env, &ids, &requirements)
+                .map_err(|e| RuntimeError::Generation {
+                    reason: e.to_string(),
+                })?
+        };
         if let Some(telemetry) = telemetry {
             telemetry.record_synthesis(&script.service_id, &generated.report);
             if let Some(stats) = self.cache_stats() {
@@ -765,6 +872,123 @@ mod tests {
                 plan.source,
                 Some(qce_strategy::PlanSource::Cold),
                 "a fresh Planner per call has nothing to reuse"
+            );
+        }
+    }
+
+    #[test]
+    fn env_drift_measures_quantized_cell_changes() {
+        let old = EnvQos::from_triples(&[(50.0, 30.0, 0.7), (60.0, 40.0, 0.8)]).unwrap();
+        // Identical tables never drift, at any quantum.
+        assert_eq!(env_drift(&old, &old, 0.0), 0.0);
+        assert_eq!(env_drift(&old, &old, 5.0), 0.0);
+        // One of six cells changed: exact keying sees it…
+        let new = EnvQos::from_triples(&[(50.0, 30.0, 0.7), (60.0, 41.0, 0.8)]).unwrap();
+        assert!((env_drift(&old, &new, 0.0) - 1.0 / 6.0).abs() < 1e-12);
+        // …while a coarse quantum absorbs it (40 and 41 round to the same
+        // cell at quantum 5), matching the plan cache's hit behavior.
+        assert_eq!(env_drift(&old, &new, 5.0), 0.0);
+        // A microservice present in only one table is fully drifted.
+        let shrunk = EnvQos::from_triples(&[(50.0, 30.0, 0.7)]).unwrap();
+        assert_eq!(env_drift(&old, &shrunk, 0.0), 0.5);
+        // Empty tables are trivially identical.
+        let empty = EnvQos::from_triples(&[]).unwrap();
+        assert_eq!(env_drift(&empty, &empty, 0.0), 0.0);
+    }
+
+    #[test]
+    fn fixed_backend_settings_route_the_search() {
+        let collector = Collector::new(10);
+        for (choice, method) in [
+            (BackendChoice::Greedy, qce_strategy::Method::Approximation),
+            (BackendChoice::Beam(2), qce_strategy::Method::Beam),
+            (BackendChoice::Exhaustive, qce_strategy::Method::Exhaustive),
+        ] {
+            let settings = SynthesisSettings {
+                planner: choice,
+                ..SynthesisSettings::default()
+            };
+            let planner = Planner::new(&script(), &settings).unwrap();
+            let plan = planner
+                .plan_slot(&script(), &providers(), &collector, 1, None)
+                .unwrap();
+            assert_eq!(
+                plan.origin,
+                StrategyOrigin::Generated(method),
+                "planner={choice}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_planner_pulls_every_arm_then_exploits() {
+        use crate::clock::VirtualClock;
+        let telemetry = Telemetry::new(
+            Arc::new(VirtualClock::new()) as Arc<dyn crate::clock::Clock>,
+            64,
+        );
+        let collector = Collector::new(10);
+        let settings = SynthesisSettings {
+            planner: BackendChoice::Auto,
+            ..SynthesisSettings::default()
+        };
+        let planner = Planner::new(&script(), &settings).unwrap();
+        for slot in 1..=5 {
+            planner
+                .plan_slot(&script(), &providers(), &collector, slot, Some(&telemetry))
+                .unwrap();
+        }
+        let chosen: Vec<String> = telemetry
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                crate::telemetry::EventKind::BackendChosen { arm, .. } => Some(arm.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chosen.len(), 5, "one choice event per generated slot");
+        // UCB1 pulls each untried arm once, in arm order, before
+        // exploiting the best mean.
+        assert_eq!(&chosen[..3], &["exhaustive", "greedy", "beam:4"]);
+        // Deterministic: a fresh planner replays the same choices.
+        let replay = Planner::new(&script(), &settings).unwrap();
+        let telemetry2 = Telemetry::new(
+            Arc::new(VirtualClock::new()) as Arc<dyn crate::clock::Clock>,
+            64,
+        );
+        for slot in 1..=5 {
+            replay
+                .plan_slot(&script(), &providers(), &collector, slot, Some(&telemetry2))
+                .unwrap();
+        }
+        let chosen2: Vec<String> = telemetry2
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                crate::telemetry::EventKind::BackendChosen { arm, .. } => Some(arm.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chosen, chosen2);
+    }
+
+    #[test]
+    fn auto_planner_masks_exhaustive_beyond_threshold() {
+        let collector = Collector::new(10);
+        let settings = SynthesisSettings {
+            planner: BackendChoice::Auto,
+            threshold: 2,
+            ..SynthesisSettings::default()
+        };
+        let planner = Planner::new(&script(), &settings).unwrap();
+        for slot in 1..=6 {
+            let plan = planner
+                .plan_slot(&script(), &providers(), &collector, slot, None)
+                .unwrap();
+            assert_ne!(
+                plan.origin,
+                StrategyOrigin::Generated(qce_strategy::Method::Exhaustive),
+                "m=3 > θ=2: the exhaustive arm is never eligible"
             );
         }
     }

@@ -174,6 +174,12 @@ struct ServiceMetrics {
     plan_cache_misses: AtomicU64,
     plan_cache_stale: AtomicU64,
     strategy_switches: AtomicU64,
+    /// Slot boundaries that re-planned because the observed QoS drifted
+    /// outside the active plan's quantization band (drift mode only).
+    drift_replans: AtomicU64,
+    /// Slot boundaries that kept the active plan because the observed
+    /// QoS stayed within its quantization band (drift mode only).
+    drift_holds: AtomicU64,
     plan_failures: AtomicU64,
     history_evicted: AtomicU64,
     requests_shed: AtomicU64,
@@ -212,6 +218,8 @@ impl ServiceMetrics {
             plan_cache_misses: AtomicU64::new(0),
             plan_cache_stale: AtomicU64::new(0),
             strategy_switches: AtomicU64::new(0),
+            drift_replans: AtomicU64::new(0),
+            drift_holds: AtomicU64::new(0),
             plan_failures: AtomicU64::new(0),
             history_evicted: AtomicU64::new(0),
             requests_shed: AtomicU64::new(0),
@@ -296,6 +304,36 @@ pub enum EventKind {
         /// plan-cache hit); `None` for the unsearched default strategy.
         #[serde(default)]
         source: Option<PlanSource>,
+    },
+    /// A drift-triggered re-plan fired: at a slot boundary with
+    /// `replan_on_drift` enabled, the collector's QoS table left the
+    /// quantization band of the active plan's assumed table, so the
+    /// gateway re-planned instead of holding the plan.
+    ReplanTriggered {
+        /// Service id.
+        service: String,
+        /// Slot the re-plan will serve.
+        slot: u64,
+        /// Fraction of (microservice, attribute) quantized cells that
+        /// differ between the active plan's assumed QoS table and the
+        /// current one (`(0, 1]` — zero-drift boundaries hold the plan
+        /// and emit no event).
+        drift: f64,
+    },
+    /// The `auto` planner's bandit selected a search backend for a
+    /// re-plan. `pulls` and `mean` reflect the arm's statistics *after*
+    /// the pull is recorded.
+    BackendChosen {
+        /// Service id.
+        service: String,
+        /// Slot the plan serves.
+        slot: u64,
+        /// The chosen arm, rendered (`exhaustive` / `greedy` / `beam:W`).
+        arm: String,
+        /// Times this arm has been pulled for this service.
+        pulls: u64,
+        /// The arm's mean reward (utility per log-damped search cost).
+        mean: f64,
     },
     /// A re-plan chose a different strategy than the previous slot's.
     StrategySwitched {
@@ -516,6 +554,14 @@ pub struct ServiceSnapshot {
     pub plan_cache_stale: u64,
     /// Re-plans that chose a different strategy than the previous slot.
     pub strategy_switches: u64,
+    /// Slot boundaries that re-planned because the observed QoS drifted
+    /// outside the active plan's quantization band (drift mode only).
+    #[serde(default)]
+    pub drift_replans: u64,
+    /// Slot boundaries that held the active plan because the observed QoS
+    /// stayed inside its quantization band (drift mode only).
+    #[serde(default)]
+    pub drift_holds: u64,
     /// Slot-planning failures.
     pub plan_failures: u64,
     /// Slot records evicted from the bounded history ring.
@@ -916,6 +962,47 @@ impl Telemetry {
         }
     }
 
+    /// Records a drift-triggered re-plan decision at a slot boundary,
+    /// emitting an [`EventKind::ReplanTriggered`] event (counter first,
+    /// so accounting stays gap-free under ring overflow).
+    pub fn record_drift_trigger(&self, service: &str, slot: u64, drift: f64) {
+        self.service(service)
+            .drift_replans
+            .fetch_add(1, Ordering::Relaxed);
+        self.emit(EventKind::ReplanTriggered {
+            service: service.to_string(),
+            slot,
+            drift,
+        });
+    }
+
+    /// Records a slot boundary that held its plan because the observed
+    /// QoS stayed inside the active plan's quantization band.
+    pub fn record_drift_hold(&self, service: &str) {
+        self.service(service)
+            .drift_holds
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the `auto` planner's bandit choosing a search backend for
+    /// one re-plan, emitting an [`EventKind::BackendChosen`] event.
+    pub fn record_backend_choice(
+        &self,
+        service: &str,
+        slot: u64,
+        arm: &str,
+        pulls: u64,
+        mean: f64,
+    ) {
+        self.emit(EventKind::BackendChosen {
+            service: service.to_string(),
+            slot,
+            arm: arm.to_string(),
+            pulls,
+            mean,
+        });
+    }
+
     /// Records a failed slot plan, emitting
     /// [`EventKind::ProviderResolutionFailed`] for missing providers and
     /// [`EventKind::PlanFailed`] for everything else.
@@ -1127,6 +1214,8 @@ impl Telemetry {
                 plan_cache_misses: m.plan_cache_misses.load(Ordering::Relaxed),
                 plan_cache_stale: m.plan_cache_stale.load(Ordering::Relaxed),
                 strategy_switches: m.strategy_switches.load(Ordering::Relaxed),
+                drift_replans: m.drift_replans.load(Ordering::Relaxed),
+                drift_holds: m.drift_holds.load(Ordering::Relaxed),
                 plan_failures: m.plan_failures.load(Ordering::Relaxed),
                 history_evicted: m.history_evicted.load(Ordering::Relaxed),
                 requests_shed: m.requests_shed.load(Ordering::Relaxed),

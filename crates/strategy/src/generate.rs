@@ -71,6 +71,10 @@ pub enum Method {
     Failover,
     /// Predefined speculative-parallel pattern (`a*b*…`).
     SpeculativeParallel,
+    /// Width-`W` beam search ([`Generator::beam`]): greedy at width 1,
+    /// exhaustive in the limit. The width is carried by the backend
+    /// identity ([`crate::backend::BackendId`]), not the method.
+    Beam,
 }
 
 impl fmt::Display for Method {
@@ -83,6 +87,7 @@ impl fmt::Display for Method {
             Method::ApproximationEarlyStop => "approximation-early-stop",
             Method::Failover => "failover",
             Method::SpeculativeParallel => "speculative-parallel",
+            Method::Beam => "beam",
         };
         f.write_str(name)
     }
@@ -90,10 +95,15 @@ impl fmt::Display for Method {
 
 /// How a [`Generated`] strategy was found: candidate counts and timing.
 ///
-/// For the exhaustive methods `candidates_seen + candidates_pruned` always
-/// equals the full search-space size (`F(M)` or `F'(M)`) — pruning skips
-/// estimation work, never candidates' consideration. Heuristic methods
-/// report their estimate count as `candidates_seen` with zero pruned.
+/// Effort accounting is unified across every backend: for a fresh
+/// (non-cached) result, `candidates_seen + candidates_pruned ==
+/// `[`Generated::evaluated`], the number of candidate strategies
+/// *considered*. Auxiliary estimates — the per-leaf ranking behind
+/// `sortByUtility`, the exhaustive engine's seed bounds — are never
+/// counted by any backend. For the exhaustive methods the sum equals the
+/// full search-space size (`F(M)` or `F'(M)`): pruning skips estimation
+/// work, never candidates' consideration. Heuristic methods report their
+/// estimate count as `candidates_seen` with zero pruned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SynthesisReport {
     /// Candidates whose QoS was actually estimated.
@@ -475,6 +485,27 @@ impl Generator {
         }
     }
 
+    /// Runs the search backend selected by `choice` — the pluggable entry
+    /// point behind the CLI's `--planner` flag.
+    /// [`BackendChoice::Threshold`](crate::backend::BackendChoice) (the
+    /// default) reproduces [`Generator::generate`]'s paper rule exactly;
+    /// `Auto` also falls back to that rule here, because the runtime's
+    /// bandit resolves `Auto` to a concrete arm *before* calling the
+    /// generator.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Generator::generate`].
+    pub fn generate_with(
+        &self,
+        choice: crate::backend::BackendChoice,
+        env: &EnvQos,
+        ids: &[MsId],
+        req: &Requirements,
+    ) -> Result<Generated, GenerateError> {
+        crate::backend::resolve(choice, ids.len(), self.threshold).search(self, env, ids, req)
+    }
+
     /// Exhaustive search over `F(M)`: estimates every strategy that uses
     /// all of `ids` and returns the utility-maximal one.
     ///
@@ -537,6 +568,7 @@ impl Generator {
                 subsets,
                 self.utility.k(),
                 self.estimator.name(),
+                crate::backend::BackendId::EXHAUSTIVE,
             ) {
                 // The stored winner (and its `evaluated` space size) is
                 // what a fresh search over these keyed inputs would have
@@ -610,6 +642,7 @@ impl Generator {
                 subsets,
                 self.utility.k(),
                 self.estimator.name(),
+                crate::backend::BackendId::EXHAUSTIVE,
                 &generated,
             );
         }
@@ -830,7 +863,11 @@ impl Generator {
         }
         let start = Instant::now();
         let order = self.sort_by_utility(env, ids, req)?;
-        let mut evaluated = order.len(); // individual estimates for sorting
+        // Unified effort accounting: the per-leaf estimates behind the
+        // sort are auxiliary and not counted (matching the exhaustive
+        // engine, whose seed estimates are likewise free); the best-leaf
+        // incumbent is the first candidate considered.
+        let mut evaluated = 1;
         let mut es = Strategy::leaf(order[0]);
         let mut qos = self.est(&es, env)?;
         let mut utility = self.utility.utility(&qos, req);
@@ -910,8 +947,10 @@ impl Generator {
             return Err(GenerateError::NoMicroservices);
         }
         let start_time = Instant::now();
-        let order = self.sort_by_utility(env, ids, req)?;
-        let mut evaluated = order.len();
+        // Unified effort accounting: only candidates considered count —
+        // the starts' own estimates plus every leaf-swap neighbour; the
+        // sorting estimates inside the starts are auxiliary.
+        let mut evaluated = 0;
         let mut starts = vec![self.approximation(env, ids, req)?];
         evaluated += starts[0].evaluated;
         if ids.len() >= 2 {
@@ -1344,6 +1383,74 @@ mod tests {
         let a = gen.exhaustive(&env, &env.ids(), &req()).unwrap();
         let b = gen.exhaustive(&env, &env.ids(), &req()).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// Satellite: effort accounting is unified across every backend — a
+    /// fresh (non-cached) result always satisfies `candidates_seen +
+    /// candidates_pruned == evaluated`, with auxiliary estimates (leaf
+    /// ranking, seed bounds) excluded everywhere. The greedy approximation
+    /// is pinned to its closed form `1 + 2(M-1)`.
+    #[test]
+    fn effort_accounting_invariant_across_backends() {
+        let gen = Generator::default();
+        let env = env5();
+        let ids = env.ids();
+        let r = req();
+        let outputs = vec![
+            gen.exhaustive(&env, &ids, &r).unwrap(),
+            gen.exhaustive_subsets(&env, &ids, &r).unwrap(),
+            gen.approximation(&env, &ids, &r).unwrap(),
+            gen.approximation_early_stop(&env, &ids, &r).unwrap(),
+            gen.local_search(&env, &ids, &r).unwrap(),
+            gen.failover(&env, &ids, &r).unwrap(),
+            gen.failover_in_order(&env, &ids, &r).unwrap(),
+            gen.speculative_parallel(&env, &ids, &r).unwrap(),
+            gen.beam(&env, &ids, &r, 1).unwrap(),
+            gen.beam(&env, &ids, &r, 3).unwrap(),
+        ];
+        for out in &outputs {
+            assert_eq!(
+                out.report.candidates_seen + out.report.candidates_pruned,
+                out.evaluated as u64,
+                "{}: seen + pruned must equal evaluated",
+                out.method
+            );
+        }
+        let approx = &outputs[2];
+        assert_eq!(
+            approx.evaluated,
+            1 + 2 * (ids.len() - 1),
+            "greedy counts the best-leaf incumbent plus two per step"
+        );
+        assert_eq!(approx.evaluated, outputs[8].evaluated, "beam(1) matches");
+    }
+
+    #[test]
+    fn generate_with_reproduces_every_backend() {
+        use crate::backend::BackendChoice;
+        let gen = Generator::new(UtilityIndex::default(), 3);
+        let env = env5();
+        let ids = env.ids();
+        let r = req();
+        // Threshold and Auto follow the paper rule (M=5 > θ=3 ⇒ greedy).
+        for choice in [BackendChoice::Threshold, BackendChoice::Auto] {
+            let out = gen.generate_with(choice, &env, &ids, &r).unwrap();
+            assert_eq!(out, gen.generate(&env, &ids, &r).unwrap(), "{choice}");
+            assert_eq!(out.method, Method::Approximation);
+        }
+        let exact = gen
+            .generate_with(BackendChoice::Exhaustive, &env, &ids, &r)
+            .unwrap();
+        assert_eq!(exact, gen.exhaustive(&env, &ids, &r).unwrap());
+        let greedy = gen
+            .generate_with(BackendChoice::Greedy, &env, &ids, &r)
+            .unwrap();
+        assert_eq!(greedy, gen.approximation(&env, &ids, &r).unwrap());
+        let beam = gen
+            .generate_with(BackendChoice::Beam(2), &env, &ids, &r)
+            .unwrap();
+        assert_eq!(beam, gen.beam(&env, &ids, &r, 2).unwrap());
+        assert_eq!(beam.method, Method::Beam);
     }
 }
 

@@ -66,6 +66,8 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
+mod beam;
 pub mod compose;
 pub mod enumerate;
 pub mod error;
@@ -79,6 +81,10 @@ pub mod qos;
 mod synth;
 pub mod utility;
 
+pub use backend::{
+    BackendChoice, BackendId, BackendSelector, BeamBackend, ExhaustiveBackend, GreedyBackend,
+    SearchBackend, DEFAULT_BEAM_WIDTH,
+};
 pub use enumerate::StrategyIter;
 pub use error::{BuildError, EstimateError, GenerateError, ParseError, QosError};
 pub use estimate::{Algorithm1, Estimator, Folding};
@@ -109,6 +115,10 @@ mod tests {
         assert_send_sync::<StrategyIter>();
         assert_send_sync::<Algorithm1>();
         assert_send_sync::<Folding>();
+        assert_send_sync::<BackendChoice>();
+        assert_send_sync::<BackendId>();
+        assert_send_sync::<BackendSelector>();
+        assert_send_sync::<Box<dyn SearchBackend>>();
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //! in any way the search can observe. [`PlanCache`] exploits that by
 //! memoizing the winning [`Generated`] strategy keyed by the *search
 //! inputs* — the id list, the requirements, the utility penalty, the
-//! estimator, and a (configurably quantized) per-microservice QoS vector.
+//! estimator, the search backend ([`BackendId`] — different backends can
+//! return different winners for identical inputs), and a (configurably
+//! quantized) per-microservice QoS vector.
 //!
 //! ## Key quantization
 //!
@@ -49,6 +51,7 @@ use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
+use crate::backend::BackendId;
 use crate::generate::Generated;
 use crate::qos::{EnvQos, MsId, Requirements};
 
@@ -129,6 +132,9 @@ struct Key {
     penalty: u64,
     /// Estimator identity ([`Estimator::name`](crate::Estimator::name)).
     estimator: &'static str,
+    /// Search backend identity (name plus beam width): a greedy or
+    /// narrow-beam winner must never be served to an exhaustive search.
+    backend: BackendId,
     /// Quantized `(r, l, c)` cells per microservice (exact bit patterns
     /// when the quantum is zero).
     env: Vec<[i64; 3]>,
@@ -261,6 +267,8 @@ impl PlanCache {
         dropped
     }
 
+    // One argument per key component, mirroring `store` and `key`.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn lookup(
         &self,
         env: &EnvQos,
@@ -269,8 +277,9 @@ impl PlanCache {
         subsets: bool,
         penalty: f64,
         estimator: &'static str,
+        backend: BackendId,
     ) -> Option<Generated> {
-        let key = self.key(env, ids, req, subsets, penalty, estimator)?;
+        let key = self.key(env, ids, req, subsets, penalty, estimator, backend)?;
         let mut entries = self.store.lock();
         match entries.get_mut(&key) {
             Some(entry) => {
@@ -301,12 +310,13 @@ impl PlanCache {
         subsets: bool,
         penalty: f64,
         estimator: &'static str,
+        backend: BackendId,
         generated: &Generated,
     ) {
         if self.store.config.capacity == 0 {
             return;
         }
-        let Some(key) = self.key(env, ids, req, subsets, penalty, estimator) else {
+        let Some(key) = self.key(env, ids, req, subsets, penalty, estimator, backend) else {
             return;
         };
         let stamp = self.store.clock.fetch_add(1, Ordering::Relaxed);
@@ -334,6 +344,7 @@ impl PlanCache {
     /// Builds the cache key, or `None` when some id has no environment
     /// entry (the generator validates that before calling, but a bare
     /// lookup must not panic).
+    #[allow(clippy::too_many_arguments)]
     fn key(
         &self,
         env: &EnvQos,
@@ -342,6 +353,7 @@ impl PlanCache {
         subsets: bool,
         penalty: f64,
         estimator: &'static str,
+        backend: BackendId,
     ) -> Option<Key> {
         let env = ids
             .iter()
@@ -365,6 +377,7 @@ impl PlanCache {
             ],
             penalty: penalty.to_bits(),
             estimator,
+            backend,
             env,
         })
     }
@@ -439,6 +452,8 @@ mod tests {
     use crate::generate::Generator;
     use crate::qos::{EnvQos, Requirements};
 
+    const EX: BackendId = BackendId::EXHAUSTIVE;
+
     fn env(triples: &[(f64, f64, f64)]) -> EnvQos {
         EnvQos::from_triples(triples).unwrap()
     }
@@ -459,9 +474,9 @@ mod tests {
         let e1 = env(&[(50.0, 50.0, 0.6), (100.0, 100.0, 0.7)]);
         let g = plan(&e1);
         let ids = e1.ids();
-        cache.store(&e1, &ids, &req(), false, 2.0, "algorithm1", &g);
+        cache.store(&e1, &ids, &req(), false, 2.0, "algorithm1", EX, &g);
         assert!(cache
-            .lookup(&e1, &ids, &req(), false, 2.0, "algorithm1")
+            .lookup(&e1, &ids, &req(), false, 2.0, "algorithm1", EX)
             .is_some());
 
         // One ulp of drift in a single attribute must miss.
@@ -470,29 +485,53 @@ mod tests {
         q.cost = f64::from_bits(q.cost.to_bits() + 1);
         e2.set(crate::MsId(0), q);
         assert!(cache
-            .lookup(&e2, &ids, &req(), false, 2.0, "algorithm1")
+            .lookup(&e2, &ids, &req(), false, 2.0, "algorithm1", EX)
             .is_none());
 
         // So must any change to requirements, subsets mode, penalty, or
         // estimator identity.
         let other_req = Requirements::new(100.0, 100.0, 0.91).unwrap();
         assert!(cache
-            .lookup(&e1, &ids, &other_req, false, 2.0, "algorithm1")
+            .lookup(&e1, &ids, &other_req, false, 2.0, "algorithm1", EX)
             .is_none());
         assert!(cache
-            .lookup(&e1, &ids, &req(), true, 2.0, "algorithm1")
+            .lookup(&e1, &ids, &req(), true, 2.0, "algorithm1", EX)
             .is_none());
         assert!(cache
-            .lookup(&e1, &ids, &req(), false, 3.0, "algorithm1")
+            .lookup(&e1, &ids, &req(), false, 3.0, "algorithm1", EX)
             .is_none());
         assert!(cache
-            .lookup(&e1, &ids, &req(), false, 2.0, "folding")
+            .lookup(&e1, &ids, &req(), false, 2.0, "folding", EX)
+            .is_none());
+        // …or to the search backend: a greedy or beam search must never be
+        // served the exhaustive winner (or another width's beam winner).
+        assert!(cache
+            .lookup(
+                &e1,
+                &ids,
+                &req(),
+                false,
+                2.0,
+                "algorithm1",
+                BackendId::GREEDY
+            )
+            .is_none());
+        assert!(cache
+            .lookup(
+                &e1,
+                &ids,
+                &req(),
+                false,
+                2.0,
+                "algorithm1",
+                BackendId::beam(2)
+            )
             .is_none());
 
         let stats = cache.stats();
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.remote_hits, 0, "single view: every hit is local");
-        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.misses, 7);
         assert_eq!(stats.entries, 1);
     }
 
@@ -505,16 +544,16 @@ mod tests {
         let e1 = env(&[(50.0, 50.0, 0.6)]);
         let ids = e1.ids();
         let g = plan(&e1);
-        cache.store(&e1, &ids, &req(), false, 2.0, "algorithm1", &g);
+        cache.store(&e1, &ids, &req(), false, 2.0, "algorithm1", EX, &g);
         // 50.3 rounds into the same 1.0-wide cell as 50.0 …
         let near = env(&[(50.3, 49.8, 0.6)]);
         assert!(cache
-            .lookup(&near, &ids, &req(), false, 2.0, "algorithm1")
+            .lookup(&near, &ids, &req(), false, 2.0, "algorithm1", EX)
             .is_some());
         // … but 50.6 does not.
         let far = env(&[(50.6, 50.0, 0.6)]);
         assert!(cache
-            .lookup(&far, &ids, &req(), false, 2.0, "algorithm1")
+            .lookup(&far, &ids, &req(), false, 2.0, "algorithm1", EX)
             .is_none());
     }
 
@@ -529,21 +568,21 @@ mod tests {
             .collect();
         let ids = envs[0].ids();
         let g = plan(&envs[0]);
-        cache.store(&envs[0], &ids, &req(), false, 2.0, "a1", &g);
-        cache.store(&envs[1], &ids, &req(), false, 2.0, "a1", &g);
+        cache.store(&envs[0], &ids, &req(), false, 2.0, "a1", EX, &g);
+        cache.store(&envs[1], &ids, &req(), false, 2.0, "a1", EX, &g);
         // Touch entry 0 so entry 1 is the LRU victim.
         assert!(cache
-            .lookup(&envs[0], &ids, &req(), false, 2.0, "a1")
+            .lookup(&envs[0], &ids, &req(), false, 2.0, "a1", EX)
             .is_some());
-        cache.store(&envs[2], &ids, &req(), false, 2.0, "a1", &g);
+        cache.store(&envs[2], &ids, &req(), false, 2.0, "a1", EX, &g);
         assert!(cache
-            .lookup(&envs[0], &ids, &req(), false, 2.0, "a1")
+            .lookup(&envs[0], &ids, &req(), false, 2.0, "a1", EX)
             .is_some());
         assert!(cache
-            .lookup(&envs[1], &ids, &req(), false, 2.0, "a1")
+            .lookup(&envs[1], &ids, &req(), false, 2.0, "a1", EX)
             .is_none());
         assert!(cache
-            .lookup(&envs[2], &ids, &req(), false, 2.0, "a1")
+            .lookup(&envs[2], &ids, &req(), false, 2.0, "a1", EX)
             .is_some());
         let stats = cache.stats();
         assert_eq!(stats.stale, 1, "one capacity eviction");
@@ -556,9 +595,11 @@ mod tests {
         let e1 = env(&[(50.0, 50.0, 0.6)]);
         let ids = e1.ids();
         let g = plan(&e1);
-        cache.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
+        cache.store(&e1, &ids, &req(), false, 2.0, "a1", EX, &g);
         assert_eq!(cache.invalidate(), 1);
-        assert!(cache.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
+        assert!(cache
+            .lookup(&e1, &ids, &req(), false, 2.0, "a1", EX)
+            .is_none());
         let stats = cache.stats();
         assert_eq!(stats.stale, 1);
         assert_eq!(stats.entries, 0);
@@ -573,8 +614,10 @@ mod tests {
         let e1 = env(&[(50.0, 50.0, 0.6)]);
         let ids = e1.ids();
         let g = plan(&e1);
-        cache.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
-        assert!(cache.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
+        cache.store(&e1, &ids, &req(), false, 2.0, "a1", EX, &g);
+        assert!(cache
+            .lookup(&e1, &ids, &req(), false, 2.0, "a1", EX)
+            .is_none());
         assert_eq!(cache.stats().entries, 0);
     }
 
@@ -587,10 +630,10 @@ mod tests {
         let g = plan(&e1);
 
         // View A stores; view B's lookup is a hit *and* a remote hit.
-        a.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
-        assert!(b.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_some());
+        a.store(&e1, &ids, &req(), false, 2.0, "a1", EX, &g);
+        assert!(b.lookup(&e1, &ids, &req(), false, 2.0, "a1", EX).is_some());
         // View A's own lookup is a plain local hit.
-        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_some());
+        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1", EX).is_some());
 
         let sa = a.stats();
         let sb = b.stats();
@@ -609,13 +652,13 @@ mod tests {
         let e2 = env(&[(60.0, 60.0, 0.7)]);
         let ids = e1.ids();
         let g = plan(&e1);
-        a.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
-        b.store(&e2, &ids, &req(), false, 2.0, "a1", &g);
+        a.store(&e1, &ids, &req(), false, 2.0, "a1", EX, &g);
+        b.store(&e2, &ids, &req(), false, 2.0, "a1", EX, &g);
 
         // Invalidating A drops only A's entry; B's survives for both views.
         assert_eq!(a.invalidate(), 1);
-        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
-        assert!(a.lookup(&e2, &ids, &req(), false, 2.0, "a1").is_some());
+        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1", EX).is_none());
+        assert!(a.lookup(&e2, &ids, &req(), false, 2.0, "a1", EX).is_some());
         assert_eq!(a.stats().stale, 1);
         assert_eq!(a.stats().entries, 1);
     }
@@ -629,9 +672,9 @@ mod tests {
         let ids = e1.ids();
         let g = plan(&e1);
 
-        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_none());
-        a.store(&e1, &ids, &req(), false, 2.0, "a1", &g);
-        assert!(b.lookup(&e1, &ids, &req(), false, 2.0, "a1").is_some());
+        assert!(a.lookup(&e1, &ids, &req(), false, 2.0, "a1", EX).is_none());
+        a.store(&e1, &ids, &req(), false, 2.0, "a1", EX, &g);
+        assert!(b.lookup(&e1, &ids, &req(), false, 2.0, "a1", EX).is_some());
 
         let total = hub.stats();
         assert_eq!(total.hits, 1);

@@ -30,6 +30,16 @@
 //!   --k K             utility penalty factor (default 2)
 //!   --method M        exhaustive | approximation | local-search |
 //!                     failover | parallel | auto (default auto)
+//!   --planner P       search backend: threshold | exhaustive | greedy |
+//!                     beam:W | auto. For `generate` it supersedes
+//!                     --method (auto falls back to the threshold rule);
+//!                     for run/stats it picks the gateway's per-slot
+//!                     backend, with auto running a deterministic UCB1
+//!                     bandit over exhaustive/greedy/beam arms
+//!   --replan-on-drift run/stats: re-plan a slot boundary only when the
+//!                     observed QoS has drifted outside the plan's
+//!                     quantization band (--quantize); the default
+//!                     re-plans every boundary (fixed cadence)
 //!   --parallelism N   generate: search worker threads (0 = auto, default)
 //!   --no-pruning      generate: disable branch-and-bound pruning
 //!   --runs N          simulate: executions (default 10000)
@@ -76,7 +86,7 @@ use qce::sim::{simulate, Environment};
 use qce::strategy::enumerate::{count_full, enumerate_full, paper};
 use qce::strategy::estimate::{estimate, estimate_folding};
 use qce::strategy::pareto::pareto_front;
-use qce::strategy::{EnvQos, Generator, Requirements, Strategy, UtilityIndex};
+use qce::strategy::{BackendChoice, EnvQos, Generator, Requirements, Strategy, UtilityIndex};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -87,6 +97,8 @@ struct Options {
     require: (f64, f64, f64),
     k: f64,
     method: String,
+    planner: Option<String>,
+    replan_on_drift: bool,
     parallelism: usize,
     pruning: bool,
     runs: u32,
@@ -112,6 +124,8 @@ impl Default for Options {
             require: (100.0, 100.0, 97.0),
             k: 2.0,
             method: "auto".to_string(),
+            planner: None,
+            replan_on_drift: false,
             parallelism: 0,
             pruning: true,
             runs: 10_000,
@@ -158,6 +172,8 @@ fn parse_args(args: &[String]) -> Result<(String, Option<String>, Options), Stri
             "--require" => options.require = parse_triple(&value("--require")?)?,
             "--k" => options.k = value("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--method" => options.method = value("--method")?,
+            "--planner" => options.planner = Some(value("--planner")?),
+            "--replan-on-drift" => options.replan_on_drift = true,
             "--parallelism" => {
                 options.parallelism = value("--parallelism")?
                     .parse()
@@ -248,6 +264,17 @@ fn requirements(options: &Options) -> Result<Requirements, String> {
     Requirements::new(c, l, r / 100.0).map_err(|e| e.to_string())
 }
 
+/// The search backend requested with `--planner` ([`BackendChoice::Threshold`]
+/// — the paper's Algorithm 2 rule — when the flag is absent).
+fn planner_choice(options: &Options) -> Result<BackendChoice, String> {
+    options
+        .planner
+        .as_deref()
+        .map_or(Ok(BackendChoice::Threshold), |planner| {
+            planner.parse().map_err(|e| format!("--planner: {e}"))
+        })
+}
+
 /// The name the i-th `--ms` microservice gets in scripts and strategy
 /// text: `a`, `b`, … like the strategy algebra's own rendering.
 fn ms_name(index: usize) -> String {
@@ -303,6 +330,8 @@ fn build_harness(options: &Options) -> Result<Harness, String> {
         .generator_warm_start(options.plan_cache)
         .plan_cache(options.plan_cache)
         .plan_quantize(options.quantize)
+        .planner(planner_choice(options)?)
+        .replan_on_drift(options.replan_on_drift)
         .max_in_flight(options.max_in_flight)
         .request_deadline(options.deadline_ms.map(Duration::from_millis))
         .build();
@@ -371,6 +400,8 @@ fn run_fleet(options: &Options) -> Result<(), String> {
         .generator_warm_start(options.plan_cache)
         .plan_cache(options.plan_cache)
         .plan_quantize(options.quantize)
+        .planner(planner_choice(options)?)
+        .replan_on_drift(options.replan_on_drift)
         .max_in_flight(options.max_in_flight)
         .request_deadline(options.deadline_ms.map(Duration::from_millis))
         .build();
@@ -499,14 +530,21 @@ fn run(command: &str, expr: Option<&str>, options: &Options) -> Result<(), Strin
                 .pruning(options.pruning)
                 .build();
             let ids = env.ids();
-            let generated = match options.method.as_str() {
-                "auto" => generator.generate(&env, &ids, &req),
-                "exhaustive" => generator.exhaustive(&env, &ids, &req),
-                "approximation" => generator.approximation(&env, &ids, &req),
-                "local-search" => generator.local_search(&env, &ids, &req),
-                "failover" => generator.failover(&env, &ids, &req),
-                "parallel" => generator.speculative_parallel(&env, &ids, &req),
-                other => return Err(format!("unknown method {other:?}")),
+            // --planner routes through the pluggable backend pipeline and
+            // supersedes --method; without it the historical method names
+            // dispatch as before.
+            let generated = if options.planner.is_some() {
+                generator.generate_with(planner_choice(options)?, &env, &ids, &req)
+            } else {
+                match options.method.as_str() {
+                    "auto" => generator.generate(&env, &ids, &req),
+                    "exhaustive" => generator.exhaustive(&env, &ids, &req),
+                    "approximation" => generator.approximation(&env, &ids, &req),
+                    "local-search" => generator.local_search(&env, &ids, &req),
+                    "failover" => generator.failover(&env, &ids, &req),
+                    "parallel" => generator.speculative_parallel(&env, &ids, &req),
+                    other => return Err(format!("unknown method {other:?}")),
+                }
             }
             .map_err(|e| e.to_string())?;
             println!("{generated}");
@@ -971,6 +1009,94 @@ mod tests {
         let service = snapshot.service("cli-service").unwrap();
         assert_eq!(service.requests_shed, 0);
         assert_eq!(service.deadline_exceeded, 0);
+    }
+
+    #[test]
+    fn parse_args_planner_flags() {
+        let (_, _, options) = parse_args(&args(&[
+            "run",
+            "--ms",
+            "50,5,90",
+            "--planner",
+            "beam:2",
+            "--replan-on-drift",
+        ]))
+        .unwrap();
+        assert_eq!(options.planner.as_deref(), Some("beam:2"));
+        assert!(options.replan_on_drift);
+        let (_, _, options) = parse_args(&args(&["run", "--ms", "50,5,90"])).unwrap();
+        assert_eq!(options.planner, None, "paper threshold rule by default");
+        assert!(!options.replan_on_drift, "fixed cadence by default");
+        assert!(parse_args(&args(&["run", "--planner"])).is_err());
+    }
+
+    #[test]
+    fn generate_routes_through_the_planner_backends() {
+        let base = Options {
+            triples: vec![
+                (50.0, 50.0, 60.0),
+                (100.0, 100.0, 60.0),
+                (150.0, 150.0, 70.0),
+            ],
+            ..Options::default()
+        };
+        for planner in ["exhaustive", "greedy", "beam:2", "auto", "threshold"] {
+            let options = Options {
+                planner: Some(planner.into()),
+                ..base.clone()
+            };
+            assert!(
+                run("generate", None, &options).is_ok(),
+                "--planner {planner}"
+            );
+        }
+        let bogus = Options {
+            planner: Some("zigzag".into()),
+            ..base.clone()
+        };
+        assert!(run("generate", None, &bogus).is_err(), "unknown backend");
+        let zero_width = Options {
+            planner: Some("beam:0".into()),
+            ..base
+        };
+        assert!(run("generate", None, &zero_width).is_err(), "empty beam");
+    }
+
+    #[test]
+    fn drift_run_replans_less_than_cadence() {
+        let base = Options {
+            triples: vec![(50.0, 5.0, 100.0), (50.0, 8.0, 100.0)],
+            require: (200.0, 100.0, 50.0),
+            invocations: 20,
+            slot_size: 4,
+            quantize: 0.25,
+            ..Options::default()
+        };
+        let (cadence, cadence_ok) = drive_gateway(&base, false).unwrap();
+        let drifted = Options {
+            replan_on_drift: true,
+            planner: Some("auto".into()),
+            ..base.clone()
+        };
+        let (drift, drift_ok) = drive_gateway(&drifted, false).unwrap();
+        assert_eq!(cadence_ok, drift_ok, "reliable devices either way");
+        let cadence_snapshot = cadence.telemetry().snapshot();
+        let cadence_svc = cadence_snapshot.service("cli-service").unwrap();
+        let drift_snapshot = drift.telemetry().snapshot();
+        let drift_svc = drift_snapshot.service("cli-service").unwrap();
+        assert!(
+            drift_svc.replans < cadence_svc.replans,
+            "drift mode re-planned {} times, cadence {}",
+            drift_svc.replans,
+            cadence_svc.replans
+        );
+        assert!(drift_svc.drift_holds > 0, "stable boundaries were held");
+        assert!(run("run", None, &drifted).is_ok(), "prints the run summary");
+        let bad = Options {
+            planner: Some("zigzag".into()),
+            ..base
+        };
+        assert!(run("run", None, &bad).is_err(), "unknown backend rejected");
     }
 
     #[test]
